@@ -1,0 +1,69 @@
+/// \file ablation_order.cc
+/// \brief Ablation from §VII: how much of the accuracy comes from the
+/// *order* of culinary events? Runs the same models on (a) intact
+/// sequences and (b) per-recipe shuffled sequences. Bag-of-words models
+/// are order-invariant by construction; sequence models should lose
+/// their edge when order is destroyed.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using cuisine::core::FormatPercent;
+  using cuisine::core::TextTable;
+
+  auto config = cuisine::benchutil::DefaultConfig(/*default_scale=*/0.05);
+  config.sequential.max_train_sequences = std::min<size_t>(
+      config.sequential.max_train_sequences, 3000);
+  config.sequential.max_pretrain_sequences = std::min<size_t>(
+      config.sequential.max_pretrain_sequences, 4000);
+  config.sequential.max_eval_sequences = std::min<size_t>(
+      config.sequential.max_eval_sequences, 1500);
+  // The statistical side is order-free; LogReg alone demonstrates that.
+  cuisine::benchutil::PrintHeader("Ablation: does event order matter?",
+                                  config);
+
+  const cuisine::data::RecipeDbGenerator generator(config.generator);
+  const auto corpus = generator.Generate();
+
+  config.shuffle_token_order = false;
+  const auto intact =
+      cuisine::core::ExperimentRunner(config).RunOnCorpus(corpus);
+  if (!intact.ok()) {
+    std::fprintf(stderr, "intact run failed: %s\n",
+                 intact.status().ToString().c_str());
+    return 1;
+  }
+  config.shuffle_token_order = true;
+  const auto shuffled =
+      cuisine::core::ExperimentRunner(config).RunOnCorpus(corpus);
+  if (!shuffled.ok()) {
+    std::fprintf(stderr, "shuffled run failed: %s\n",
+                 shuffled.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table(
+      {"Model", "Intact order", "Shuffled order", "Delta (points)"});
+  for (const auto& m : intact->models) {
+    const auto* s = shuffled->Find(m.name);
+    if (s == nullptr) continue;
+    table.AddRow({m.name, FormatPercent(m.metrics.accuracy),
+                  FormatPercent(s->metrics.accuracy),
+                  FormatPercent(m.metrics.accuracy - s->metrics.accuracy)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: statistical models are exactly unchanged (TF-IDF "
+      "never sees order) while the sequence models drop when order is "
+      "destroyed. Order exploitation is data-hungry: at this bench's "
+      "reduced caps the transformer deltas can sit inside noise — raise "
+      "CUISINE_SCALE/CUISINE_NEURAL_TRAIN (Table IV settings) for the "
+      "full-strength effect, or see examples/sequence_matters for the "
+      "isolated demonstration.\n");
+  return 0;
+}

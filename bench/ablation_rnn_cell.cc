@@ -1,0 +1,109 @@
+/// \file ablation_rnn_cell.cc
+/// \brief Extension beyond Table IV: LSTM vs GRU on the same data.
+/// §V-E motivates the LSTM as one member of "the recurrent neural
+/// network class"; this bench checks whether the cell choice matters
+/// and how both compare to the paper's reported 53.61% band.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/trainer.h"
+#include "data/splitter.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace cuisine;  // NOLINT: bench-local convenience
+  using core::FormatPercent;
+  using core::TextTable;
+
+  auto config = cuisine::benchutil::DefaultConfig(/*default_scale=*/0.06);
+  const size_t max_train =
+      std::min<size_t>(config.sequential.max_train_sequences, 5000);
+  const size_t max_eval =
+      std::min<size_t>(config.sequential.max_eval_sequences, 2000);
+  cuisine::benchutil::PrintHeader("Ablation: LSTM vs GRU recurrent cell",
+                                  config);
+
+  const data::RecipeDbGenerator generator(config.generator);
+  const auto corpus = generator.Generate();
+  const text::Tokenizer tokenizer;
+  const core::TokenizedCorpus tokenized =
+      core::TokenizeCorpus(corpus, tokenizer);
+  const auto split =
+      data::StratifiedSplit(corpus, config.ratios, config.split_seed);
+  if (!split.ok()) return 1;
+  auto train = core::GatherCorpus(tokenized, split->train);
+  auto test = core::GatherCorpus(tokenized, split->test);
+  if (train.documents.size() > max_train) {
+    train.documents.resize(max_train);
+    train.labels.resize(max_train);
+  }
+  if (test.documents.size() > max_eval) {
+    test.documents.resize(max_eval);
+    test.labels.resize(max_eval);
+  }
+
+  const text::Vocabulary vocab = core::BuildSequenceVocabulary(
+      train.documents, config.sequential.vocab_min_frequency,
+      config.sequential.vocab_max_size);
+  const features::SequenceEncoder encoder(
+      &vocab, {.max_length = config.sequential.lstm_sequence_length,
+               .add_cls_sep = false});
+  const auto train_x = encoder.EncodeAll(train.documents);
+  const auto test_x = encoder.EncodeAll(test.documents);
+
+  TextTable table({"Cell", "Accuracy", "Test loss", "Parameters", "Train s"});
+  auto run = [&](const char* name, const core::SequenceForwardFn& forward,
+                 std::vector<nn::Tensor> params, int64_t num_params) {
+    const auto history = core::TrainSequenceClassifier(
+        forward, std::move(params), train_x, train.labels, {}, {},
+        config.sequential.lstm_train);
+    if (!history.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   history.status().ToString().c_str());
+      return;
+    }
+    const auto pred = core::PredictSequences(forward, test_x);
+    const auto metrics = core::ComputeMetrics(test.labels, pred.labels,
+                                              pred.probas, data::kNumCuisines);
+    table.AddRow({name, FormatPercent(metrics->accuracy),
+                  core::FormatFixed(metrics->log_loss, 2),
+                  std::to_string(num_params),
+                  core::FormatFixed(history->train_seconds, 1)});
+  };
+
+  nn::LstmConfig lstm_config = config.sequential.lstm;
+  lstm_config.vocab_size = static_cast<int64_t>(vocab.size());
+  nn::LstmClassifier lstm(lstm_config, data::kNumCuisines);
+  run("LSTM (paper)",
+      [&lstm](const features::EncodedSequence& s, bool t, util::Rng* r) {
+        return lstm.ForwardLogits(s, t, r);
+      },
+      lstm.Parameters(), lstm.NumParameters());
+
+  nn::GruConfig gru_config;
+  gru_config.vocab_size = static_cast<int64_t>(vocab.size());
+  gru_config.embedding_dim = lstm_config.embedding_dim;
+  gru_config.hidden_size = lstm_config.hidden_size;
+  gru_config.num_layers = lstm_config.num_layers;
+  nn::GruClassifier gru(gru_config, data::kNumCuisines);
+  run("GRU (extension)",
+      [&gru](const features::EncodedSequence& s, bool t, util::Rng* r) {
+        return gru.ForwardLogits(s, t, r);
+      },
+      gru.Parameters(), gru.NumParameters());
+
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: the two gated cells land in the same accuracy "
+      "band (the paper's LSTM row is about the cell *class*, not the "
+      "specific gate arithmetic); GRU trains faster per step with ~25%% "
+      "fewer recurrent parameters.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file ablation_substructures.cc
+/// \brief Ablation from §VII: which substructures (ingredients,
+/// processes, utensils) carry the cuisine signal? Trains the statistical
+/// models and the LSTM on each subset of the event stream.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using cuisine::core::FormatPercent;
+  using cuisine::core::TextTable;
+
+  auto config = cuisine::benchutil::DefaultConfig(/*default_scale=*/0.05);
+  config.run_transformers = false;  // LSTM demonstrates the sequence side
+  config.sequential.max_train_sequences = std::min<size_t>(
+      config.sequential.max_train_sequences, 4000);
+  cuisine::benchutil::PrintHeader("Ablation: substructure contributions",
+                                  config);
+
+  const cuisine::data::RecipeDbGenerator generator(config.generator);
+  const auto corpus = generator.Generate();
+
+  struct Variant {
+    const char* name;
+    bool ingredients, processes, utensils;
+  };
+  const Variant kVariants[] = {
+      {"all substructures", true, true, true},
+      {"ingredients only", true, false, false},
+      {"processes only", false, true, false},
+      {"utensils only", false, false, true},
+      {"ingredients+processes", true, true, false},
+  };
+
+  TextTable table({"Substructures", "LogReg", "Naive Bayes", "SVM (linear)",
+                   "Random Forest", "LSTM"});
+  for (const Variant& variant : kVariants) {
+    config.include_ingredients = variant.ingredients;
+    config.include_processes = variant.processes;
+    config.include_utensils = variant.utensils;
+    const auto result =
+        cuisine::core::ExperimentRunner(config).RunOnCorpus(corpus);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> row{variant.name};
+    for (const char* model : {"LogReg", "Naive Bayes", "SVM (linear)",
+                              "Random Forest", "LSTM"}) {
+      const auto* m = result->Find(model);
+      row.push_back(m != nullptr ? FormatPercent(m->metrics.accuracy) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: no single substructure recovers the combined "
+      "accuracy, utensils alone are weak, and the sequence model gains "
+      "most from the process stream (where the order signal lives) — the "
+      "paper argues all three substructures plus their order are needed.\n");
+  return 0;
+}

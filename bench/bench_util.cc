@@ -1,0 +1,75 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace cuisine::benchutil {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+core::ExperimentConfig DefaultConfig(double default_scale) {
+  core::ExperimentConfig config;
+  config.generator.scale = EnvDouble("CUISINE_SCALE", default_scale);
+  config.verbose = EnvFlag("CUISINE_VERBOSE");
+
+  // Compact transformer/LSTM dims: BERT-base is a GPU-scale model; the
+  // mechanism (bidirectional self-attention + MLM pretraining) is what
+  // matters for the reproduction (DESIGN.md §2).
+  config.sequential.max_sequence_length = 48;
+  config.sequential.transformer.d_model = 64;
+  config.sequential.transformer.num_heads = 4;
+  config.sequential.transformer.num_layers = 2;
+  config.sequential.transformer.d_ff = 128;
+  config.sequential.lstm.embedding_dim = 64;
+  config.sequential.lstm.hidden_size = 64;
+  config.sequential.lstm.num_layers = 2;
+
+  if (EnvFlag("CUISINE_FULL")) {
+    config.generator.scale = 1.0;
+    config.sequential.max_train_sequences = 0;
+    config.sequential.max_pretrain_sequences = 0;
+    config.sequential.max_eval_sequences = 0;
+  } else {
+    config.sequential.max_train_sequences =
+        static_cast<size_t>(EnvInt("CUISINE_NEURAL_TRAIN", 8000));
+    config.sequential.max_pretrain_sequences =
+        static_cast<size_t>(EnvInt("CUISINE_PRETRAIN", 10000));
+    config.sequential.max_eval_sequences =
+        static_cast<size_t>(EnvInt("CUISINE_NEURAL_EVAL", 2500));
+  }
+  return config;
+}
+
+void PrintHeader(const std::string& bench_name,
+                 const core::ExperimentConfig& config) {
+  std::printf("== %s ==\n", bench_name.c_str());
+  std::printf(
+      "corpus scale %.3f of Table II (%lld recipes); neural caps: "
+      "train=%zu pretrain=%zu eval=%zu\n\n",
+      config.generator.scale,
+      static_cast<long long>(static_cast<double>(data::TotalRecipeCount()) *
+                             config.generator.scale),
+      config.sequential.max_train_sequences,
+      config.sequential.max_pretrain_sequences,
+      config.sequential.max_eval_sequences);
+}
+
+}  // namespace cuisine::benchutil

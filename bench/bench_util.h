@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.h"
+
+/// \file bench_util.h
+/// \brief Shared configuration for the table/figure bench binaries.
+///
+/// Every bench is deterministic under fixed seeds and configurable
+/// through environment variables so the full-scale paper setting and a
+/// CPU-friendly default are both one command away:
+///
+///   CUISINE_SCALE          corpus fraction of Table II (default varies)
+///   CUISINE_NEURAL_TRAIN   max sequences for neural fine-tuning
+///   CUISINE_PRETRAIN       max sequences for MLM pretraining
+///   CUISINE_NEURAL_EVAL    max sequences for neural evaluation
+///   CUISINE_FULL=1         lift all caps and use scale 1.0 (slow!)
+///   CUISINE_VERBOSE=1      per-model training logs
+
+namespace cuisine::benchutil {
+
+/// Environment lookups with defaults.
+double EnvDouble(const char* name, double fallback);
+int64_t EnvInt(const char* name, int64_t fallback);
+bool EnvFlag(const char* name);
+
+/// The bench-default experiment configuration: paper-shaped corpus at a
+/// CPU-budget scale, compact transformer dims, all caps env-overridable.
+core::ExperimentConfig DefaultConfig(double default_scale);
+
+/// Prints the standard bench header (name + effective scale).
+void PrintHeader(const std::string& bench_name,
+                 const core::ExperimentConfig& config);
+
+}  // namespace cuisine::benchutil

@@ -1,0 +1,63 @@
+/// \file fig_feature_frequency.cc
+/// \brief Reproduces the paper's feature-frequency figures ("feat",
+/// "feature"): the rank-frequency (Zipf) series of the corpus on log-log
+/// axes and per-substructure frequency summaries.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generator.h"
+#include "data/stats.h"
+#include "text/tokenizer.h"
+
+int main() {
+  namespace data = cuisine::data;
+
+  auto config = cuisine::benchutil::DefaultConfig(/*default_scale=*/1.0);
+  config.generator.scale =
+      cuisine::benchutil::EnvDouble("CUISINE_SCALE", 1.0);
+  cuisine::benchutil::PrintHeader("Figure: feature frequency distribution",
+                                  config);
+
+  const data::RecipeDbGenerator generator(config.generator);
+  const auto corpus = generator.Generate();
+  const cuisine::text::Tokenizer tokenizer;
+  const data::CorpusStats stats = data::ComputeCorpusStats(corpus, tokenizer);
+
+  std::printf("rank, frequency (log-log Zipf series)\n");
+  for (const auto& point : data::RankFrequencySeries(stats, 40)) {
+    std::printf("%lld, %lld\n", static_cast<long long>(point.rank),
+                static_cast<long long>(point.frequency));
+  }
+
+  // Per-substructure top tokens (the paper's bar-chart flavour).
+  const data::EventType kTypes[] = {data::EventType::kIngredient,
+                                    data::EventType::kProcess,
+                                    data::EventType::kUtensil};
+  for (data::EventType type : kTypes) {
+    std::printf("\ntop 10 %ss by occurrences:\n", data::EventTypeName(type));
+    int shown = 0;
+    for (const auto& f : stats.frequencies) {
+      if (f.type != type) continue;
+      std::printf("  %-24s %lld\n", f.token.c_str(),
+                  static_cast<long long>(f.occurrences));
+      if (++shown == 10) break;
+    }
+  }
+
+  // ASCII log-log sketch of the Zipf curve.
+  std::printf("\nlog10(frequency) vs log10(rank):\n");
+  const auto series = data::RankFrequencySeries(stats, 24);
+  for (const auto& point : series) {
+    const double logf = std::log10(static_cast<double>(point.frequency));
+    const int width = static_cast<int>(logf * 10.0);
+    std::printf("rank %-7lld |", static_cast<long long>(point.rank));
+    for (int i = 0; i < width; ++i) std::printf("*");
+    std::printf(" %.2f\n", logf);
+  }
+  std::printf(
+      "\npaper figure shape: heavy-tailed (Zipf-like) frequency decay with "
+      "'add' dominating and >11k single-occurrence ingredients.\n");
+  return 0;
+}

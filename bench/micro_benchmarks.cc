@@ -1,0 +1,189 @@
+/// \file micro_benchmarks.cc
+/// \brief google-benchmark microbenches for the hot paths: tokenization,
+/// TF-IDF transform, sparse kernels, GEMM, LSTM steps, attention layers
+/// and corpus generation.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "linalg/matrix.h"
+#include "ml/naive_bayes.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cuisine;  // NOLINT: bench-local convenience
+
+const std::vector<data::Recipe>& SharedCorpus() {
+  static const auto& corpus = *new std::vector<data::Recipe>(
+      data::RecipeDbGenerator(data::GeneratorOptions{.scale = 0.01})
+          .Generate());
+  return corpus;
+}
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  data::GeneratorOptions options;
+  options.scale = 0.002;
+  const data::RecipeDbGenerator generator(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate());
+  }
+}
+BENCHMARK(BM_GenerateCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_TokenizeCorpus(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  const text::Tokenizer tokenizer;
+  int64_t events = 0;
+  for (auto _ : state) {
+    for (const auto& rec : corpus) {
+      benchmark::DoNotOptimize(tokenizer.TokenizeEvents(rec.EventTexts()));
+      events += static_cast<int64_t>(rec.events.size());
+    }
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_TokenizeCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_TfidfTransform(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  const text::Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& rec : corpus) {
+    docs.push_back(tokenizer.TokenizeEvents(rec.EventTexts()));
+  }
+  features::TfidfVectorizer tfidf;
+  (void)tfidf.Fit(docs);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    for (const auto& doc : docs) {
+      benchmark::DoNotOptimize(tfidf.Transform(doc));
+      ++rows;
+    }
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_TfidfTransform)->Unit(benchmark::kMillisecond);
+
+void BM_SparseDot(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<features::SparseEntry> ea, eb;
+  for (int i = 0; i < 20000; i += 80) {
+    if (rng.NextBool(0.5)) ea.push_back({i, rng.NextFloat()});
+    if (rng.NextBool(0.5)) eb.push_back({i, rng.NextFloat()});
+  }
+  const auto a = features::SparseVector::FromUnsorted(std::move(ea));
+  const auto b = features::SparseVector::FromUnsorted(std::move(eb));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_SparseDot);
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  linalg::Matrix a(n, n), b(n, n), c;
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = rng.NextFloat();
+    b.data()[i] = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    linalg::Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_NaiveBayesPredict(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  const text::Tokenizer tokenizer;
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  for (const auto& rec : corpus) {
+    docs.push_back(tokenizer.TokenizeEvents(rec.EventTexts()));
+    labels.push_back(rec.cuisine_id);
+  }
+  features::TfidfVectorizer tfidf;
+  (void)tfidf.Fit(docs);
+  const auto x = tfidf.TransformAll(docs);
+  ml::MultinomialNaiveBayes nb;
+  (void)nb.Fit(x, labels, data::kNumCuisines);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nb.Predict(x.Row(i)));
+    i = (i + 1) % x.rows();
+  }
+}
+BENCHMARK(BM_NaiveBayesPredict);
+
+void BM_LstmForward(benchmark::State& state) {
+  nn::LstmConfig config;
+  config.vocab_size = 3000;
+  config.embedding_dim = 64;
+  config.hidden_size = 64;
+  const nn::LstmClassifier model(config, 26);
+  features::EncodedSequence seq;
+  const auto len = static_cast<int32_t>(state.range(0));
+  for (int32_t i = 0; i < len; ++i) {
+    seq.ids.push_back(5 + i % 100);
+    seq.mask.push_back(1);
+  }
+  seq.length = len;
+  util::Rng rng(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ForwardLogits(seq, false, &rng));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(16)->Arg(32)->Arg(48)->Unit(benchmark::kMicrosecond);
+
+void BM_AttentionForward(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto seq_len = static_cast<int64_t>(state.range(0));
+  nn::MultiHeadSelfAttention attn(64, 4, 0.0f, &rng);
+  const nn::Tensor x = nn::Tensor::Randn(seq_len, 64, 1.0f, &rng, false);
+  const nn::Tensor mask =
+      nn::MaskBias(std::vector<int32_t>(static_cast<size_t>(seq_len), 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x, mask, false, &rng));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(50)->Unit(benchmark::kMicrosecond);
+
+void BM_TransformerTrainStep(benchmark::State& state) {
+  nn::TransformerConfig config;
+  config.vocab_size = 3000;
+  config.max_length = 50;
+  config.d_model = 64;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.d_ff = 128;
+  nn::TransformerClassifier model(config, 26);
+  auto params = model.Parameters();
+  features::EncodedSequence seq;
+  seq.ids = {2};
+  for (int i = 0; i < 40; ++i) seq.ids.push_back(5 + i % 200);
+  seq.ids.push_back(3);
+  seq.length = static_cast<int32_t>(seq.ids.size());
+  seq.mask.assign(seq.ids.size(), 1);
+  util::Rng rng(0);
+  for (auto _ : state) {
+    for (auto& p : params) p.ZeroGrad();
+    nn::Tensor loss =
+        nn::CrossEntropy(model.ForwardLogits(seq, true, &rng), {7});
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TransformerTrainStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

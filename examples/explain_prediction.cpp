@@ -1,0 +1,115 @@
+/// \file explain_prediction.cpp
+/// \brief Answers the paper's §VII question — "what features aid or
+/// hinder the classification of a recipe?" — with token-occlusion
+/// saliency: delete each event from the recipe, re-classify, and report
+/// how much the predicted cuisine's probability drops. Events whose
+/// removal hurts most are the recipe's salient cuisine markers.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/cuisines.h"
+#include "data/generator.h"
+#include "features/vectorizer.h"
+#include "ml/logistic_regression.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace cuisine;  // NOLINT: example brevity
+
+struct Saliency {
+  std::string token;
+  double probability_drop;
+};
+
+/// Occlusion saliency of every token for the model's predicted class.
+std::vector<Saliency> ExplainTokens(const ml::LogisticRegression& model,
+                                    const features::TfidfVectorizer& tfidf,
+                                    const std::vector<std::string>& tokens) {
+  const auto base_proba = model.PredictProba(tfidf.Transform(tokens));
+  const auto predicted = static_cast<size_t>(
+      std::max_element(base_proba.begin(), base_proba.end()) -
+      base_proba.begin());
+  std::vector<Saliency> saliencies;
+  for (size_t drop = 0; drop < tokens.size(); ++drop) {
+    std::vector<std::string> occluded;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (i != drop) occluded.push_back(tokens[i]);
+    }
+    const auto proba = model.PredictProba(tfidf.Transform(occluded));
+    saliencies.push_back(
+        {tokens[drop],
+         static_cast<double>(base_proba[predicted]) - proba[predicted]});
+  }
+  std::sort(saliencies.begin(), saliencies.end(),
+            [](const Saliency& a, const Saliency& b) {
+              return a.probability_drop > b.probability_drop;
+            });
+  return saliencies;
+}
+
+}  // namespace
+
+int main() {
+  // Train the paper's best statistical model on a small corpus.
+  data::GeneratorOptions gen_options;
+  gen_options.scale = 0.04;
+  const auto corpus = data::RecipeDbGenerator(gen_options).Generate();
+  const text::Tokenizer tokenizer;
+  const core::TokenizedCorpus tokenized =
+      core::TokenizeCorpus(corpus, tokenizer);
+  features::TfidfVectorizer tfidf;
+  if (auto st = tfidf.Fit(tokenized.documents); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  ml::LogisticRegression model;
+  if (auto st = model.Fit(tfidf.TransformAll(tokenized.documents),
+                          tokenized.labels, data::kNumCuisines);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Explain three held-out-style recipes drawn from different cuisines.
+  const int32_t kProbes[] = {data::CuisineIdByName("Italian"),
+                             data::CuisineIdByName("Thai"),
+                             data::CuisineIdByName("Mexican")};
+  // Probes come from the same generator (same cuisine distributions) but
+  // beyond the range the training corpus consumed, so they are unseen.
+  const data::RecipeDbGenerator probe_gen(gen_options);
+  for (const int32_t cuisine : kProbes) {
+    const int32_t seen = probe_gen.ScaledCount(cuisine);
+    const auto probes = probe_gen.GenerateCuisine(cuisine, seen + 1);
+    const auto tokens =
+        tokenizer.TokenizeEvents(probes.back().EventTexts());
+    const auto proba = model.PredictProba(tfidf.Transform(tokens));
+    const auto predicted = static_cast<int32_t>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+    std::printf("recipe of %s -> predicted %s (%.1f%%)\n",
+                data::GetCuisine(cuisine).name,
+                data::GetCuisine(predicted).name,
+                proba[predicted] * 100.0);
+    const auto saliencies = ExplainTokens(model, tfidf, tokens);
+    std::printf("  evidence FOR the prediction (occlusion drop):\n");
+    for (size_t i = 0; i < std::min<size_t>(4, saliencies.size()); ++i) {
+      std::printf("    %-28s %+.3f\n", saliencies[i].token.c_str(),
+                  -saliencies[i].probability_drop);
+    }
+    std::printf("  evidence AGAINST (removal helps):\n");
+    for (size_t i = saliencies.size() - std::min<size_t>(2, saliencies.size());
+         i < saliencies.size(); ++i) {
+      std::printf("    %-28s %+.3f\n", saliencies[i].token.c_str(),
+                  -saliencies[i].probability_drop);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "the paper's §VII asks which features aid or hinder classification; "
+      "occlusion saliency answers it per recipe.\n");
+  return 0;
+}

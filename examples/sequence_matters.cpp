@@ -1,0 +1,121 @@
+/// \file sequence_matters.cpp
+/// \brief Demonstrates the paper's thesis on a single pair of cuisines:
+/// two sibling cuisines share the same ingredient/process *bag* but use
+/// it in different *orders*; a bag-of-words model keeps only a faint echo
+/// of that (via adjacency-pair counts) while a sequence model reads the
+/// order directly and gains ~15 accuracy points.
+///
+/// This is the smallest self-contained version of the Table IV story.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "ml/logistic_regression.h"
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace cuisine;  // NOLINT: example brevity
+
+  // Generate only the two French/Eastern-European siblings, noise-free,
+  // with the cuisine-specific identity signal switched off: the order of
+  // shared items is the dominant separating signal.
+  data::GeneratorOptions gen_options;
+  gen_options.scale = 0.05;
+  gen_options.noise_global = 0.0;
+  gen_options.noise_sibling = 0.0;
+  gen_options.noise_label = 0.0;
+  gen_options.w_cuisine = 0.0;  // no cuisine-specific ingredients
+  const data::RecipeDbGenerator generator(gen_options);
+  const int32_t kA = 11, kB = 12;  // Eastern European, French (siblings)
+  std::vector<data::Recipe> corpus = generator.GenerateCuisine(kA, 700);
+  for (auto& rec : generator.GenerateCuisine(kB, 700)) {
+    corpus.push_back(std::move(rec));
+  }
+
+  const text::Tokenizer tokenizer;
+  core::TokenizedCorpus tokenized = core::TokenizeCorpus(corpus, tokenizer);
+  // Binary labels: 0 = sibling A, 1 = sibling B.
+  for (auto& label : tokenized.labels) label = label == kB ? 1 : 0;
+
+  // 80/20 split.
+  const size_t n = tokenized.size();
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  util::Rng rng(7);
+  rng.Shuffle(&indices);
+  const size_t n_train = n * 8 / 10;
+  core::TokenizedCorpus train = core::GatherCorpus(
+      tokenized, {indices.begin(), indices.begin() + n_train});
+  core::TokenizedCorpus test = core::GatherCorpus(
+      tokenized, {indices.begin() + n_train, indices.end()});
+
+  // --- Bag-of-words view: logistic regression on TF-IDF ---
+  features::TfidfVectorizer tfidf;
+  (void)tfidf.Fit(train.documents);
+  ml::LogisticRegression logreg;
+  (void)logreg.Fit(tfidf.TransformAll(train.documents), train.labels, 2);
+  int correct = 0;
+  const auto test_x = tfidf.TransformAll(test.documents);
+  for (size_t i = 0; i < test_x.rows(); ++i) {
+    if (logreg.Predict(test_x.Row(i)) == test.labels[i]) ++correct;
+  }
+  const double bag_acc = static_cast<double>(correct) / test_x.rows();
+
+  // --- Sequence view: a tiny transformer classifier ---
+  const text::Vocabulary vocab =
+      core::BuildSequenceVocabulary(train.documents, 1, 4000);
+  const features::SequenceEncoder encoder(
+      &vocab, {.max_length = 50, .add_cls_sep = true});
+  nn::TransformerConfig config;
+  config.vocab_size = static_cast<int64_t>(vocab.size());
+  config.max_length = 50;
+  config.d_model = 48;
+  config.num_heads = 4;
+  config.num_layers = 2;
+  config.d_ff = 96;
+  nn::TransformerClassifier model(config, 2);
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* fwd_rng) {
+        return model.ForwardLogits(seq, training, fwd_rng);
+      };
+  core::NeuralTrainOptions train_options;
+  train_options.epochs = 6;
+  train_options.batch_size = 16;
+  train_options.learning_rate = 1e-3;
+  const auto train_x = encoder.EncodeAll(train.documents);
+  const auto history = core::TrainSequenceClassifier(
+      forward, model.Parameters(), train_x, train.labels, {}, {},
+      train_options);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
+    return 1;
+  }
+  const auto pred =
+      core::PredictSequences(forward, encoder.EncodeAll(test.documents));
+  correct = 0;
+  for (size_t i = 0; i < pred.labels.size(); ++i) {
+    if (pred.labels[i] == test.labels[i]) ++correct;
+  }
+  const double seq_acc = static_cast<double>(correct) / pred.labels.size();
+
+  std::printf("two sibling cuisines, near-identical event bags:\n");
+  std::printf("  bag-of-words LogReg accuracy : %.1f%%  (chance = 50%%)\n",
+              bag_acc * 100.0);
+  std::printf("  sequence transformer accuracy: %.1f%%\n", seq_acc * 100.0);
+  std::printf(
+      "\nthe bag view retains only a faint echo of the ordering "
+      "preferences; reading the order of cooking events directly is worth "
+      "%+.1f accuracy points — exactly the information the paper adds to "
+      "cuisine classification.\n",
+      (seq_acc - bag_acc) * 100.0);
+  return bag_acc < seq_acc ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#include "core/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cuisine::core {
+
+util::Result<CrossValidationResult> CrossValidate(
+    const ClassifierFactory& factory,
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int32_t>& labels, int32_t num_classes, int32_t k,
+    uint64_t seed, const features::TfidfOptions& tfidf_options) {
+  if (k < 2) return util::Status::InvalidArgument("k must be >= 2");
+  if (documents.empty() || documents.size() != labels.size()) {
+    return util::Status::InvalidArgument("documents/labels mismatch");
+  }
+  if (num_classes < 2) {
+    return util::Status::InvalidArgument("need at least 2 classes");
+  }
+
+  // Stratified fold assignment: shuffle within each class, deal
+  // round-robin into folds.
+  std::vector<int32_t> fold_of(documents.size());
+  {
+    std::vector<std::vector<size_t>> by_class(num_classes);
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] < 0 || labels[i] >= num_classes) {
+        return util::Status::InvalidArgument("label out of range");
+      }
+      by_class[labels[i]].push_back(i);
+    }
+    util::Rng rng(seed);
+    for (auto& bucket : by_class) {
+      rng.Shuffle(&bucket);
+      for (size_t j = 0; j < bucket.size(); ++j) {
+        fold_of[bucket[j]] = static_cast<int32_t>(j % k);
+      }
+    }
+  }
+
+  CrossValidationResult result;
+  for (int32_t fold = 0; fold < k; ++fold) {
+    std::vector<std::vector<std::string>> train_docs, test_docs;
+    std::vector<int32_t> train_y, test_y;
+    for (size_t i = 0; i < documents.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_docs.push_back(documents[i]);
+        test_y.push_back(labels[i]);
+      } else {
+        train_docs.push_back(documents[i]);
+        train_y.push_back(labels[i]);
+      }
+    }
+    if (test_docs.empty() || train_docs.empty()) {
+      return util::Status::InvalidArgument(
+          "fold " + std::to_string(fold) + " is empty; reduce k");
+    }
+    // Per-fold vectorizer: no statistics leak from the test documents.
+    features::TfidfVectorizer tfidf(tfidf_options);
+    CUISINE_RETURN_NOT_OK(tfidf.Fit(train_docs));
+    std::unique_ptr<ml::SparseClassifier> model = factory();
+    CUISINE_RETURN_NOT_OK(
+        model->Fit(tfidf.TransformAll(train_docs), train_y, num_classes));
+
+    const features::CsrMatrix test_x = tfidf.TransformAll(test_docs);
+    std::vector<int32_t> preds;
+    std::vector<std::vector<float>> probas;
+    preds.reserve(test_x.rows());
+    for (size_t i = 0; i < test_x.rows(); ++i) {
+      probas.push_back(model->PredictProba(test_x.Row(i)));
+      preds.push_back(static_cast<int32_t>(
+          std::max_element(probas.back().begin(), probas.back().end()) -
+          probas.back().begin()));
+    }
+    CUISINE_ASSIGN_OR_RETURN(
+        ClassificationMetrics metrics,
+        ComputeMetrics(test_y, preds, probas, num_classes));
+    result.folds.push_back(metrics);
+  }
+
+  double sum = 0.0, sum_sq = 0.0, f1_sum = 0.0;
+  for (const auto& m : result.folds) {
+    sum += m.accuracy;
+    sum_sq += m.accuracy * m.accuracy;
+    f1_sum += m.macro_f1;
+  }
+  const double n = static_cast<double>(result.folds.size());
+  result.mean_accuracy = sum / n;
+  result.stddev_accuracy =
+      std::sqrt(std::max(0.0, sum_sq / n - result.mean_accuracy *
+                                               result.mean_accuracy));
+  result.mean_macro_f1 = f1_sum / n;
+  return result;
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "features/vectorizer.h"
+#include "ml/classifier.h"
+#include "util/status.h"
+
+/// \file cross_validation.h
+/// \brief Stratified k-fold cross-validation for the statistical models.
+///
+/// Each fold refits the TF-IDF vectorizer on its training documents so
+/// no document statistics leak across the split — the evaluation-rigour
+/// extension the paper's single-split protocol lacks.
+
+namespace cuisine::core {
+
+/// Creates a fresh, unfitted classifier per fold.
+using ClassifierFactory =
+    std::function<std::unique_ptr<ml::SparseClassifier>()>;
+
+/// Per-fold and aggregate results.
+struct CrossValidationResult {
+  std::vector<ClassificationMetrics> folds;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  double mean_macro_f1 = 0.0;
+};
+
+/// Runs stratified k-fold CV over tokenized documents.
+/// Returns InvalidArgument for k < 2, empty data or shape mismatches.
+util::Result<CrossValidationResult> CrossValidate(
+    const ClassifierFactory& factory,
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int32_t>& labels, int32_t num_classes, int32_t k,
+    uint64_t seed, const features::TfidfOptions& tfidf_options = {});
+
+}  // namespace cuisine::core

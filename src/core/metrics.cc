@@ -1,0 +1,163 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuisine::core {
+
+ConfusionMatrix::ConfusionMatrix(int32_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {}
+
+void ConfusionMatrix::Add(int32_t truth, int32_t predicted) {
+  ++counts_[static_cast<size_t>(truth) * num_classes_ + predicted];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::TruePositives(int32_t c) const { return At(c, c); }
+
+int64_t ConfusionMatrix::FalsePositives(int32_t c) const {
+  int64_t n = 0;
+  for (int32_t t = 0; t < num_classes_; ++t) {
+    if (t != c) n += At(t, c);
+  }
+  return n;
+}
+
+int64_t ConfusionMatrix::FalseNegatives(int32_t c) const {
+  int64_t n = 0;
+  for (int32_t p = 0; p < num_classes_; ++p) {
+    if (p != c) n += At(c, p);
+  }
+  return n;
+}
+
+util::Result<ConfusionMatrix> ComputeConfusion(
+    const std::vector<int32_t>& y_true, const std::vector<int32_t>& y_pred,
+    int32_t num_classes) {
+  if (y_true.size() != y_pred.size()) {
+    return util::Status::InvalidArgument("y_true/y_pred size mismatch");
+  }
+  if (y_true.empty()) {
+    return util::Status::InvalidArgument("empty evaluation set");
+  }
+  ConfusionMatrix cm(num_classes);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] < 0 || y_true[i] >= num_classes || y_pred[i] < 0 ||
+        y_pred[i] >= num_classes) {
+      return util::Status::InvalidArgument("label out of range");
+    }
+    cm.Add(y_true[i], y_pred[i]);
+  }
+  return cm;
+}
+
+util::Result<ClassificationMetrics> ComputeMetrics(
+    const std::vector<int32_t>& y_true, const std::vector<int32_t>& y_pred,
+    const std::vector<std::vector<float>>& probas, int32_t num_classes) {
+  CUISINE_ASSIGN_OR_RETURN(ConfusionMatrix cm,
+                           ComputeConfusion(y_true, y_pred, num_classes));
+  if (!probas.empty() && probas.size() != y_true.size()) {
+    return util::Status::InvalidArgument("probas size mismatch");
+  }
+
+  ClassificationMetrics m;
+  int64_t correct = 0;
+  for (int32_t c = 0; c < num_classes; ++c) correct += cm.TruePositives(c);
+  m.accuracy = static_cast<double>(correct) / static_cast<double>(cm.total());
+
+  // Macro averages over classes present in y_true.
+  int32_t present = 0;
+  double precision_sum = 0.0, recall_sum = 0.0, f1_sum = 0.0;
+  for (int32_t c = 0; c < num_classes; ++c) {
+    const int64_t tp = cm.TruePositives(c);
+    const int64_t fp = cm.FalsePositives(c);
+    const int64_t fn = cm.FalseNegatives(c);
+    if (tp + fn == 0) continue;  // class absent from y_true
+    ++present;
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+    const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    precision_sum += precision;
+    recall_sum += recall;
+    if (precision + recall > 0.0) {
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+  }
+  if (present > 0) {
+    m.macro_precision = precision_sum / present;
+    m.macro_recall = recall_sum / present;
+    m.macro_f1 = f1_sum / present;
+  }
+
+  if (!probas.empty()) {
+    double loss = 0.0;
+    for (size_t i = 0; i < y_true.size(); ++i) {
+      if (static_cast<int32_t>(probas[i].size()) != num_classes) {
+        return util::Status::InvalidArgument("probas row width mismatch");
+      }
+      double sum = 0.0;
+      for (float p : probas[i]) sum += std::max(p, 0.0f);
+      const double p_true =
+          sum > 0.0 ? std::max<double>(probas[i][y_true[i]], 0.0) / sum : 0.0;
+      loss -= std::log(std::max(p_true, 1e-15));
+    }
+    m.log_loss = loss / static_cast<double>(y_true.size());
+  }
+  return m;
+}
+
+util::Result<double> TopKAccuracy(
+    const std::vector<int32_t>& y_true,
+    const std::vector<std::vector<float>>& probas, int32_t k) {
+  if (y_true.empty() || y_true.size() != probas.size()) {
+    return util::Status::InvalidArgument("y_true/probas size mismatch");
+  }
+  if (k < 1) return util::Status::InvalidArgument("k must be >= 1");
+  int64_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    const auto& p = probas[i];
+    if (y_true[i] < 0 || y_true[i] >= static_cast<int32_t>(p.size())) {
+      return util::Status::InvalidArgument("label out of range");
+    }
+    // Rank of the true class: count of entries strictly better, with
+    // id-order tie-breaking.
+    const float true_p = p[y_true[i]];
+    int32_t better = 0;
+    for (size_t c = 0; c < p.size(); ++c) {
+      if (p[c] > true_p ||
+          (p[c] == true_p && static_cast<int32_t>(c) < y_true[i])) {
+        ++better;
+      }
+    }
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+std::vector<PerClassMetrics> PerClassReport(const ConfusionMatrix& cm) {
+  std::vector<PerClassMetrics> report;
+  report.reserve(cm.num_classes());
+  for (int32_t c = 0; c < cm.num_classes(); ++c) {
+    PerClassMetrics m;
+    m.class_id = c;
+    const int64_t tp = cm.TruePositives(c);
+    const int64_t fp = cm.FalsePositives(c);
+    const int64_t fn = cm.FalseNegatives(c);
+    m.support = tp + fn;
+    m.precision = tp + fp > 0
+                      ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                      : 0.0;
+    m.recall = m.support > 0
+                   ? static_cast<double>(tp) / static_cast<double>(m.support)
+                   : 0.0;
+    m.f1 = m.precision + m.recall > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    report.push_back(m);
+  }
+  return report;
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file metrics.h
+/// \brief The paper's performance metrics (Table IV): accuracy, log-loss,
+/// macro-averaged precision / recall / F1, plus the confusion matrix.
+
+namespace cuisine::core {
+
+/// \brief Row-major num_classes x num_classes confusion counts.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int32_t num_classes);
+
+  void Add(int32_t truth, int32_t predicted);
+
+  int64_t At(int32_t truth, int32_t predicted) const {
+    return counts_[static_cast<size_t>(truth) * num_classes_ + predicted];
+  }
+  int32_t num_classes() const { return num_classes_; }
+  int64_t total() const { return total_; }
+
+  /// Per-class true positives / false positives / false negatives.
+  int64_t TruePositives(int32_t c) const;
+  int64_t FalsePositives(int32_t c) const;
+  int64_t FalseNegatives(int32_t c) const;
+
+ private:
+  int32_t num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+/// The paper's five reported numbers for one model.
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  /// Mean multi-class cross-entropy of the predicted probabilities.
+  double log_loss = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Computes all metrics. `probas` is row-major [n x num_classes]; rows
+/// need not be perfectly normalised (they are renormalised for the loss).
+/// Classes absent from y_true are skipped in the macro averages
+/// (sklearn's default behaviour the paper inherited).
+util::Result<ClassificationMetrics> ComputeMetrics(
+    const std::vector<int32_t>& y_true, const std::vector<int32_t>& y_pred,
+    const std::vector<std::vector<float>>& probas, int32_t num_classes);
+
+/// Confusion matrix alone (no probabilities required).
+util::Result<ConfusionMatrix> ComputeConfusion(
+    const std::vector<int32_t>& y_true, const std::vector<int32_t>& y_pred,
+    int32_t num_classes);
+
+/// Fraction of rows whose true class is among the k highest-probability
+/// predictions (useful for the recipe-recommendation use case the paper
+/// motivates). Ties are broken by class id.
+util::Result<double> TopKAccuracy(
+    const std::vector<int32_t>& y_true,
+    const std::vector<std::vector<float>>& probas, int32_t k);
+
+/// Per-class precision/recall/F1 with supports (sklearn's
+/// classification_report).
+struct PerClassMetrics {
+  int32_t class_id = 0;
+  int64_t support = 0;  // #true instances
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+std::vector<PerClassMetrics> PerClassReport(const ConfusionMatrix& cm);
+
+}  // namespace cuisine::core

@@ -1,0 +1,70 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace cuisine::core {
+
+TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
+                               const text::Tokenizer& tokenizer) {
+  return TokenizeCorpus(recipes, tokenizer, true, true, true);
+}
+
+TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
+                               const text::Tokenizer& tokenizer,
+                               bool include_ingredients,
+                               bool include_processes, bool include_utensils) {
+  TokenizedCorpus out;
+  out.documents.reserve(recipes.size());
+  out.labels.reserve(recipes.size());
+  for (const data::Recipe& rec : recipes) {
+    std::vector<std::string> tokens;
+    for (const data::RecipeEvent& ev : rec.events) {
+      const bool keep =
+          (ev.type == data::EventType::kIngredient && include_ingredients) ||
+          (ev.type == data::EventType::kProcess && include_processes) ||
+          (ev.type == data::EventType::kUtensil && include_utensils);
+      if (!keep) continue;
+      for (std::string& tok : tokenizer.TokenizeEvent(ev.text)) {
+        tokens.push_back(std::move(tok));
+      }
+    }
+    out.documents.push_back(std::move(tokens));
+    out.labels.push_back(rec.cuisine_id);
+  }
+  return out;
+}
+
+TokenizedCorpus GatherCorpus(const TokenizedCorpus& corpus,
+                             const std::vector<size_t>& indices) {
+  TokenizedCorpus out;
+  out.documents.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (size_t i : indices) {
+    out.documents.push_back(corpus.documents[i]);
+    out.labels.push_back(corpus.labels[i]);
+  }
+  return out;
+}
+
+text::Vocabulary BuildSequenceVocabulary(
+    const std::vector<std::vector<std::string>>& train_documents,
+    int64_t min_frequency, size_t max_size) {
+  text::Vocabulary counting(/*with_special_tokens=*/true);
+  for (const auto& doc : train_documents) counting.AddAll(doc);
+  text::Vocabulary pruned = counting.Pruned(min_frequency);
+  if (max_size == 0 || pruned.size() <= max_size) return pruned;
+  // Pruned() orders non-special tokens by descending frequency, so a cap
+  // keeps the most frequent ones: round-trip the survivors.
+  std::string serialized;
+  for (size_t id = pruned.num_special_tokens(); id < max_size; ++id) {
+    const auto token_id = static_cast<int32_t>(id);
+    serialized += pruned.Token(token_id);
+    serialized += '\t';
+    serialized += std::to_string(pruned.Frequency(token_id));
+    serialized += '\n';
+  }
+  return *text::Vocabulary::Deserialize(serialized,
+                                        /*with_special_tokens=*/true);
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "data/splitter.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+/// \file pipeline.h
+/// \brief The paper's preprocessing pipeline (§IV): clean -> tokenize ->
+/// lemmatize, then either TF-IDF rows (statistical models) or id
+/// sequences (sequential models).
+
+namespace cuisine::core {
+
+/// A tokenized corpus: one token sequence and one label per recipe.
+struct TokenizedCorpus {
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int32_t> labels;
+
+  size_t size() const { return documents.size(); }
+};
+
+/// Tokenizes every recipe's ordered event sequence.
+TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
+                               const text::Tokenizer& tokenizer);
+
+/// Tokenizes only the selected substructures (ablation support).
+TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
+                               const text::Tokenizer& tokenizer,
+                               bool include_ingredients, bool include_processes,
+                               bool include_utensils);
+
+/// View of one split of a tokenized corpus (copies the selected docs).
+TokenizedCorpus GatherCorpus(const TokenizedCorpus& corpus,
+                             const std::vector<size_t>& indices);
+
+/// Builds the sequential-model vocabulary from training documents only:
+/// special tokens + tokens with frequency >= min_frequency, capped at
+/// max_size (0 = uncapped) by descending frequency.
+text::Vocabulary BuildSequenceVocabulary(
+    const std::vector<std::vector<std::string>>& train_documents,
+    int64_t min_frequency, size_t max_size);
+
+}  // namespace cuisine::core

@@ -1,0 +1,55 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace cuisine::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < row.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  out += render_row(rule);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatPercent(double fraction) {
+  return util::FormatDouble(fraction * 100.0, 2);
+}
+
+std::string FormatFixed(double value, int digits) {
+  return util::FormatDouble(value, digits);
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file report.h
+/// \brief Fixed-width ASCII table rendering for the bench binaries, so
+/// every bench prints the same rows the paper's tables report.
+
+namespace cuisine::core {
+
+/// \brief Column-aligned text table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with a header rule, e.g.
+  ///   Model     Accuracy
+  ///   --------  --------
+  ///   LogReg    57.70
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Percentage with two decimals: 0.5770 -> "57.70".
+std::string FormatPercent(double fraction);
+
+/// Plain fixed decimals: (1.514, 2) -> "1.51".
+std::string FormatFixed(double value, int digits);
+
+}  // namespace cuisine::core

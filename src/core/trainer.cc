@@ -1,0 +1,284 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace cuisine::core {
+
+namespace {
+
+/// One supervised step over [begin, end) of the shuffled order:
+/// accumulates gradients and returns the summed loss.
+double AccumulateBatch(const SequenceForwardFn& forward,
+                       const std::vector<features::EncodedSequence>& x,
+                       const std::vector<int32_t>& y,
+                       const std::vector<size_t>& order, size_t begin,
+                       size_t end, util::Rng* rng) {
+  double loss_sum = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const size_t idx = order[i];
+    nn::Tensor logits = forward(x[idx], /*training=*/true, rng);
+    nn::Tensor loss = nn::CrossEntropy(logits, {y[idx]});
+    loss_sum += loss.item();
+    // Scale so the accumulated gradient is the batch mean.
+    nn::Scale(loss, inv_batch).Backward();
+  }
+  return loss_sum;
+}
+
+}  // namespace
+
+util::Result<TrainHistory> TrainSequenceClassifier(
+    const SequenceForwardFn& forward, std::vector<nn::Tensor> params,
+    const std::vector<features::EncodedSequence>& train_x,
+    const std::vector<int32_t>& train_y,
+    const std::vector<features::EncodedSequence>& val_x,
+    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options) {
+  if (train_x.empty() || train_x.size() != train_y.size()) {
+    return util::Status::InvalidArgument("bad training set");
+  }
+  if (val_x.size() != val_y.size()) {
+    return util::Status::InvalidArgument("bad validation set");
+  }
+  if (options.epochs <= 0 || options.batch_size <= 0) {
+    return util::Status::InvalidArgument("bad train options");
+  }
+
+  const size_t n = train_x.size();
+  const auto batch = static_cast<size_t>(options.batch_size);
+  const int64_t steps_per_epoch =
+      static_cast<int64_t>((n + batch - 1) / batch);
+  const int64_t total_steps = steps_per_epoch * options.epochs;
+  nn::Adam optimizer(std::move(params), options.learning_rate, 0.9, 0.999,
+                     1e-8, options.weight_decay);
+  nn::WarmupLinearSchedule schedule(
+      options.learning_rate,
+      std::max<int64_t>(1, static_cast<int64_t>(options.warmup_fraction *
+                                                static_cast<double>(total_steps))),
+      total_steps);
+
+  util::Rng rng(options.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainHistory history;
+  util::Stopwatch watch;
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(n, start + batch);
+      optimizer.ZeroGrad();
+      epoch_loss +=
+          AccumulateBatch(forward, train_x, train_y, order, start, end, &rng);
+      if (options.clip_norm > 0.0) optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.set_learning_rate(schedule.LearningRate(step++));
+      optimizer.Step();
+    }
+    history.train_loss.push_back(epoch_loss / static_cast<double>(n));
+    if (!val_x.empty()) {
+      history.validation_loss.push_back(
+          EvaluateSequenceLoss(forward, val_x, val_y));
+    }
+    if (options.verbose) {
+      CUISINE_LOG(Info) << "epoch " << (epoch + 1) << "/" << options.epochs
+                        << " train_loss=" << history.train_loss.back()
+                        << (val_x.empty()
+                                ? ""
+                                : " val_loss=" + std::to_string(
+                                      history.validation_loss.back()));
+    }
+  }
+  history.train_seconds = watch.ElapsedSeconds();
+  return history;
+}
+
+double EvaluateSequenceLoss(const SequenceForwardFn& forward,
+                            const std::vector<features::EncodedSequence>& x,
+                            const std::vector<int32_t>& y) {
+  CUISINE_CHECK(x.size() == y.size() && !x.empty());
+  util::Rng rng(0);  // unused: dropout is off in eval mode
+  double loss = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+    loss += nn::CrossEntropy(logits.Detach(), {y[i]}).item();
+  }
+  return loss / static_cast<double>(x.size());
+}
+
+SequencePredictions PredictSequences(
+    const SequenceForwardFn& forward,
+    const std::vector<features::EncodedSequence>& x) {
+  SequencePredictions out;
+  out.labels.reserve(x.size());
+  out.probas.reserve(x.size());
+  util::Rng rng(0);
+  for (const auto& seq : x) {
+    nn::Tensor logits = forward(seq, /*training=*/false, &rng);
+    const auto k = static_cast<size_t>(logits.cols());
+    std::vector<float> proba(logits.data(), logits.data() + k);
+    // Softmax over the single row.
+    float mx = proba[0];
+    for (float v : proba) mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (float& v : proba) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (float& v : proba) v /= sum;
+    out.labels.push_back(static_cast<int32_t>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin()));
+    out.probas.push_back(std::move(proba));
+  }
+  return out;
+}
+
+namespace {
+
+/// BERT-style masking of one sequence: returns (input ids, targets).
+/// Targets are -1 everywhere except selected positions, where they hold
+/// the original token id.
+struct MaskedExample {
+  std::vector<int32_t> ids;
+  std::vector<int32_t> targets;
+};
+
+MaskedExample MaskSequence(const features::EncodedSequence& seq,
+                           const text::Vocabulary& vocab, double mask_prob,
+                           util::Rng* rng) {
+  const auto length = static_cast<size_t>(seq.length);
+  MaskedExample out;
+  out.ids.assign(seq.ids.begin(), seq.ids.begin() + length);
+  out.targets.assign(length, -1);
+  bool any = false;
+  for (size_t i = 0; i < length; ++i) {
+    const int32_t id = out.ids[i];
+    if (id == vocab.cls_id() || id == vocab.sep_id() || id == vocab.pad_id()) {
+      continue;
+    }
+    if (!rng->NextBool(mask_prob)) continue;
+    out.targets[i] = id;
+    any = true;
+    const double r = rng->NextDouble();
+    if (r < 0.8) {
+      out.ids[i] = vocab.mask_id();
+    } else if (r < 0.9) {
+      out.ids[i] = static_cast<int32_t>(
+          vocab.num_special_tokens() +
+          rng->NextBelow(vocab.size() - vocab.num_special_tokens()));
+    }  // else keep the original token
+  }
+  if (!any) {
+    // Guarantee at least one prediction target per example.
+    for (size_t i = 0; i < length; ++i) {
+      const int32_t id = out.ids[i];
+      if (id != vocab.cls_id() && id != vocab.sep_id() &&
+          id != vocab.pad_id()) {
+        out.targets[i] = id;
+        out.ids[i] = vocab.mask_id();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<std::vector<double>> PretrainMlm(
+    nn::TransformerEncoder* encoder, nn::MlmHead* head,
+    const std::vector<features::EncodedSequence>& sequences,
+    const text::Vocabulary& vocab, const MlmOptions& options) {
+  if (sequences.empty()) {
+    return util::Status::InvalidArgument("no pretraining sequences");
+  }
+  if (options.epochs <= 0 || options.batch_size <= 0 ||
+      options.mask_probability <= 0.0 || options.mask_probability >= 1.0) {
+    return util::Status::InvalidArgument("bad MLM options");
+  }
+
+  std::vector<nn::Tensor> params;
+  encoder->CollectParameters(&params);
+  head->CollectParameters(&params);
+  const size_t n = sequences.size();
+  const auto batch = static_cast<size_t>(options.batch_size);
+  const int64_t steps_per_epoch =
+      static_cast<int64_t>((n + batch - 1) / batch);
+  const int64_t total_steps = steps_per_epoch * options.epochs;
+  nn::Adam optimizer(std::move(params), options.learning_rate, 0.9, 0.999,
+                     1e-8, options.weight_decay);
+  nn::WarmupLinearSchedule schedule(
+      options.learning_rate,
+      std::max<int64_t>(1, static_cast<int64_t>(options.warmup_fraction *
+                                                static_cast<double>(total_steps))),
+      total_steps);
+
+  util::Rng rng(options.seed);
+  // Static masking (BERT) fixes each example's mask once; dynamic
+  // masking (RoBERTa) re-samples per epoch inside the loop below.
+  std::vector<MaskedExample> static_masks;
+  if (!options.dynamic_masking) {
+    static_masks.reserve(n);
+    for (const auto& seq : sequences) {
+      static_masks.push_back(
+          MaskSequence(seq, vocab, options.mask_probability, &rng));
+    }
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> epoch_losses;
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(n, start + batch);
+      optimizer.ZeroGrad();
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const size_t idx = order[i];
+        MaskedExample ex =
+            options.dynamic_masking
+                ? MaskSequence(sequences[idx], vocab,
+                               options.mask_probability, &rng)
+                : static_masks[idx];
+        // Sequences with no maskable token (e.g. bare [CLS][SEP]) carry
+        // no MLM signal.
+        if (std::none_of(ex.targets.begin(), ex.targets.end(),
+                         [](int32_t t) { return t >= 0; })) {
+          continue;
+        }
+        features::EncodedSequence masked;
+        masked.ids = std::move(ex.ids);
+        masked.length = static_cast<int32_t>(masked.ids.size());
+        masked.mask.assign(masked.ids.size(), 1);
+        const nn::Tensor hidden =
+            encoder->Encode(masked, /*training=*/true, &rng);
+        const nn::Tensor logits = head->ForwardLogits(
+            hidden, encoder->token_embedding().table());
+        nn::Tensor loss = nn::CrossEntropy(logits, ex.targets);
+        epoch_loss += loss.item();
+        nn::Scale(loss, inv_batch).Backward();
+      }
+      if (options.clip_norm > 0.0) optimizer.ClipGradNorm(options.clip_norm);
+      optimizer.set_learning_rate(schedule.LearningRate(step++));
+      optimizer.Step();
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(n));
+    if (options.verbose) {
+      CUISINE_LOG(Info) << "MLM epoch " << (epoch + 1) << "/"
+                        << options.epochs
+                        << " loss=" << epoch_losses.back();
+    }
+  }
+  return epoch_losses;
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "features/sequence_encoder.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file trainer.h
+/// \brief Training loops for the sequential models: supervised sequence
+/// classification (LSTM / transformer fine-tuning) and masked-language-
+/// model pretraining (the BERT/RoBERTa recipes of §V-F).
+
+namespace cuisine::core {
+
+/// Forward pass of a sequence classifier: one encoded sequence ->
+/// [1, num_classes] logits.
+using SequenceForwardFn = std::function<nn::Tensor(
+    const features::EncodedSequence&, bool training, util::Rng*)>;
+
+struct NeuralTrainOptions {
+  int32_t epochs = 4;
+  int32_t batch_size = 16;
+  double learning_rate = 1e-3;
+  /// Decoupled weight decay (AdamW) strength.
+  double weight_decay = 0.01;
+  double clip_norm = 1.0;
+  /// Warmup fraction of total optimizer steps (linear schedule).
+  double warmup_fraction = 0.1;
+  uint64_t seed = 31;
+  bool verbose = false;
+};
+
+/// Per-epoch loss curves (the paper's training/validation loss figures).
+struct TrainHistory {
+  std::vector<double> train_loss;
+  std::vector<double> validation_loss;
+  double train_seconds = 0.0;
+};
+
+/// Trains a sequence classifier with AdamW + warmup-linear decay.
+/// Gradients accumulate across `batch_size` sequences per step. Returns
+/// the loss history; `val_x` may be empty (no validation curve).
+util::Result<TrainHistory> TrainSequenceClassifier(
+    const SequenceForwardFn& forward, std::vector<nn::Tensor> params,
+    const std::vector<features::EncodedSequence>& train_x,
+    const std::vector<int32_t>& train_y,
+    const std::vector<features::EncodedSequence>& val_x,
+    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options);
+
+/// Mean cross-entropy of the classifier on a labelled set.
+double EvaluateSequenceLoss(const SequenceForwardFn& forward,
+                            const std::vector<features::EncodedSequence>& x,
+                            const std::vector<int32_t>& y);
+
+/// Predictions and probability rows for an evaluation set.
+struct SequencePredictions {
+  std::vector<int32_t> labels;
+  std::vector<std::vector<float>> probas;
+};
+SequencePredictions PredictSequences(
+    const SequenceForwardFn& forward,
+    const std::vector<features::EncodedSequence>& x);
+
+// ---- Masked-language-model pretraining ----
+
+struct MlmOptions {
+  int32_t epochs = 2;
+  int32_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double weight_decay = 0.01;
+  double clip_norm = 1.0;
+  double warmup_fraction = 0.05;
+  /// Probability of selecting a position for prediction.
+  double mask_probability = 0.15;
+  /// RoBERTa-style dynamic masking: re-sample the mask pattern every
+  /// epoch instead of fixing it once (BERT).
+  bool dynamic_masking = false;
+  uint64_t seed = 37;
+  bool verbose = false;
+};
+
+/// Pretrains `encoder` (+ a tied-weight MLM head) on unlabelled
+/// sequences. Returns per-epoch MLM loss. The encoder is mutated in
+/// place; the head is discarded by callers after pretraining.
+util::Result<std::vector<double>> PretrainMlm(
+    nn::TransformerEncoder* encoder, nn::MlmHead* head,
+    const std::vector<features::EncodedSequence>& sequences,
+    const text::Vocabulary& vocab, const MlmOptions& options);
+
+}  // namespace cuisine::core

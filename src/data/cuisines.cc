@@ -1,0 +1,78 @@
+#include "data/cuisines.h"
+
+#include "util/logging.h"
+
+namespace cuisine::data {
+
+const char* ContinentName(Continent c) {
+  switch (c) {
+    case Continent::kAfrican: return "African";
+    case Continent::kAsian: return "Asian";
+    case Continent::kEuropean: return "European";
+    case Continent::kLatinAmerican: return "Latin American";
+    case Continent::kNorthAmerican: return "North American";
+    case Continent::kAustralasian: return "Australasian";
+  }
+  return "Unknown";
+}
+
+const std::vector<CuisineInfo>& AllCuisines() {
+  // Table II of the paper, grouped by continent. Ids are positional.
+  static const std::vector<CuisineInfo>& kCuisines = *new std::vector<CuisineInfo>{
+      // African continent (RecipeDB files Middle Eastern under African;
+      // see Table I row 2610).
+      {0, "Middle Eastern", Continent::kAfrican, 3905},
+      {1, "Northern Africa", Continent::kAfrican, 1611},
+      {2, "Rest Africa", Continent::kAfrican, 2740},
+      // Asian.
+      {3, "Chinese and Mongolian", Continent::kAsian, 5896},
+      {4, "Indian Subcontinent", Continent::kAsian, 6464},
+      {5, "Japanese", Continent::kAsian, 2041},
+      {6, "Korean", Continent::kAsian, 668},
+      {7, "Southeast Asian", Continent::kAsian, 1940},
+      {8, "Thai", Continent::kAsian, 2605},
+      // European.
+      {9, "Belgian", Continent::kEuropean, 1060},
+      {10, "Deutschland", Continent::kEuropean, 4323},
+      {11, "Eastern European", Continent::kEuropean, 2503},
+      {12, "French", Continent::kEuropean, 6381},
+      {13, "Greek", Continent::kEuropean, 4185},
+      {14, "Irish", Continent::kEuropean, 2532},
+      {15, "Italian", Continent::kEuropean, 16582},
+      {16, "Scandinavian", Continent::kEuropean, 2811},
+      {17, "Spanish and Portuguese", Continent::kEuropean, 2844},
+      {18, "UK", Continent::kEuropean, 4401},
+      // Latin American.
+      {19, "Caribbean", Continent::kLatinAmerican, 3026},
+      {20, "Central American", Continent::kLatinAmerican, 460},
+      {21, "Mexican", Continent::kLatinAmerican, 14463},
+      {22, "South American", Continent::kLatinAmerican, 7176},
+      // North American.
+      {23, "Canadian", Continent::kNorthAmerican, 6700},
+      {24, "US", Continent::kNorthAmerican, 5031},
+      // Australasian.
+      {25, "Australian", Continent::kAustralasian, 5823},
+  };
+  return kCuisines;
+}
+
+const CuisineInfo& GetCuisine(int32_t id) {
+  const auto& all = AllCuisines();
+  CUISINE_CHECK(id >= 0 && id < static_cast<int32_t>(all.size()));
+  return all[id];
+}
+
+int32_t CuisineIdByName(std::string_view name) {
+  for (const auto& c : AllCuisines()) {
+    if (name == c.name) return c.id;
+  }
+  return -1;
+}
+
+int64_t TotalRecipeCount() {
+  int64_t total = 0;
+  for (const auto& c : AllCuisines()) total += c.recipe_count;
+  return total;
+}
+
+}  // namespace cuisine::data

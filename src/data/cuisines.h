@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file cuisines.h
+/// \brief The 26-cuisine / 6-continent registry with Table II recipe counts.
+///
+/// Counts are taken verbatim from Table II of the paper. Note: the table's
+/// counts sum to 118,171 while the paper's text says 118,071 recipes; we
+/// follow the table (the authoritative per-class numbers) and record the
+/// discrepancy in EXPERIMENTS.md.
+
+namespace cuisine::data {
+
+/// Continents as used by RecipeDB (Table I).
+enum class Continent : uint8_t {
+  kAfrican = 0,
+  kAsian,
+  kEuropean,
+  kLatinAmerican,
+  kNorthAmerican,
+  kAustralasian,
+};
+
+inline constexpr int32_t kNumContinents = 6;
+
+/// Continent display name ("African"...).
+const char* ContinentName(Continent c);
+
+/// Static description of one cuisine class.
+struct CuisineInfo {
+  int32_t id;
+  const char* name;
+  Continent continent;
+  /// Number of recipes in RecipeDB (Table II).
+  int32_t recipe_count;
+};
+
+inline constexpr int32_t kNumCuisines = 26;
+
+/// All 26 cuisines in a fixed, reproducible order (grouped by continent).
+const std::vector<CuisineInfo>& AllCuisines();
+
+/// Info for a cuisine id. Requires 0 <= id < kNumCuisines.
+const CuisineInfo& GetCuisine(int32_t id);
+
+/// Cuisine id by exact name, or -1 if unknown.
+int32_t CuisineIdByName(std::string_view name);
+
+/// Total recipes across all cuisines (sum of Table II = 118,171).
+int64_t TotalRecipeCount();
+
+}  // namespace cuisine::data

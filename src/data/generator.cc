@@ -1,0 +1,532 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/word_lists.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace cuisine::data {
+
+namespace {
+
+// Process id layout inside the 256-wide process space.
+constexpr int32_t kPrepBegin = 0;
+constexpr int32_t kPrepCount = 96;
+constexpr int32_t kCookBegin = 96;
+constexpr int32_t kCookCount = 96;
+constexpr int32_t kFinishBegin = 192;
+constexpr int32_t kFinishCount = 48;
+constexpr int32_t kGenericBegin = 240;
+constexpr int32_t kGenericCount = 16;
+constexpr int32_t kNumProcesses = 256;
+
+// The Table III rare-ingredient tail: (#recipes containing it, #features).
+// Derived from the paper's cumulative "<k" column (full scale).
+struct RareBin {
+  int32_t frequency;
+  int32_t count;
+};
+constexpr RareBin kRareTail[] = {
+    {1, 11738}, {2, 2277}, {3, 987}, {4, 618}, {5, 453},
+    {6, 321},   {7, 233},  {8, 210}, {9, 179}, {10, 60},
+    {11, 60},   {12, 60},  {13, 60}, {14, 58}, {15, 41},
+    {16, 41},   {17, 41},  {18, 41}, {19, 41},
+};
+
+std::vector<double> ZipfWeights(size_t n, double exponent) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -exponent);
+  }
+  return w;
+}
+
+}  // namespace
+
+struct RecipeDbGenerator::Impl {
+  GeneratorVocabulary vocab;
+
+  // Ingredient distributions (indices into vocab.common_ingredients).
+  std::unique_ptr<util::AliasSampler> global_ingredients;
+  std::vector<std::vector<int32_t>> continent_signatures;  // [continent]
+  std::vector<std::vector<int32_t>> group_signatures;      // [group]
+  std::vector<std::vector<int32_t>> cuisine_signatures;    // [cuisine]
+
+  // Process distributions (indices into vocab.processes).
+  std::unique_ptr<util::AliasSampler> prep_global;
+  std::unique_ptr<util::AliasSampler> cook_global;
+  std::unique_ptr<util::AliasSampler> finish_global;
+  std::unique_ptr<util::AliasSampler> generic_dist;
+  // Per cuisine, per stage (0=prep, 1=cook, 2=finish): boosted process
+  // ids. Sibling cuisines share the same multiset of boosted processes
+  // but swap several of them between the prep and cook stages, so their
+  // process *unigrams* match while the *order* (early vs late) differs.
+  std::vector<std::array<std::vector<int32_t>, 3>> cuisine_process_signatures;
+  // Per cuisine: preferred next process after a pair head (order signal).
+  std::vector<std::unordered_map<int32_t, int32_t>> order_preference;
+
+  // Utensil distributions (indices into vocab.utensils).
+  std::unique_ptr<util::AliasSampler> global_utensils;
+  std::vector<std::vector<int32_t>> utensil_signatures;  // [group]
+
+  // Sibling-group structure.
+  std::vector<int32_t> group_of_cuisine;                 // [cuisine] -> group
+  std::vector<std::vector<int32_t>> group_members;       // [group] -> cuisines
+};
+
+namespace {
+
+/// Synthesises ingredient names that stay distinct after tokenization.
+/// `used` holds tokenized forms already claimed (processes, utensils).
+void SynthesizeIngredientNames(int32_t common_count, int32_t rare_count,
+                               std::unordered_set<std::string>* used,
+                               std::vector<std::string>* common,
+                               std::vector<std::string>* rare) {
+  const text::Tokenizer tokenizer;
+  auto try_accept = [&](const std::string& name) {
+    std::vector<std::string> toks = tokenizer.TokenizeEvent(name);
+    if (toks.size() != 1) return false;  // must survive as one phrase token
+    if (!used->insert(toks[0]).second) return false;
+    if (static_cast<int32_t>(common->size()) < common_count) {
+      common->push_back(name);
+    } else {
+      rare->push_back(name);
+    }
+    return true;
+  };
+  const auto& nouns = FoodNouns();
+  const auto& adjs = FoodAdjectives();
+  const auto& origins = FoodOrigins();
+  const int32_t total = common_count + rare_count;
+  auto done = [&] {
+    return static_cast<int32_t>(common->size() + rare->size()) >= total;
+  };
+  // Plain nouns first: they take the most frequent Zipf ranks.
+  for (const auto& n : nouns) {
+    if (done()) return;
+    try_accept(n);
+  }
+  // Then adjective + noun ("smoked paprika").
+  for (const auto& a : adjs) {
+    for (const auto& n : nouns) {
+      if (done()) return;
+      try_accept(a + " " + n);
+    }
+  }
+  // Then origin + noun ("basmati rice").
+  for (const auto& o : origins) {
+    for (const auto& n : nouns) {
+      if (done()) return;
+      try_accept(o + " " + n);
+    }
+  }
+  // Then origin + adjective + noun for the deep tail.
+  for (const auto& o : origins) {
+    for (const auto& a : adjs) {
+      for (const auto& n : nouns) {
+        if (done()) return;
+        try_accept(o + " " + a + " " + n);
+      }
+    }
+  }
+  CUISINE_CHECK(done());
+}
+
+/// Samples `count` distinct values in [lo, hi) into a sorted vector.
+std::vector<int32_t> SampleDistinct(int32_t count, int32_t lo, int32_t hi,
+                                    util::Rng* rng) {
+  CUISINE_CHECK(hi - lo >= count);
+  std::unordered_set<int32_t> seen;
+  std::vector<int32_t> out;
+  out.reserve(count);
+  while (static_cast<int32_t>(out.size()) < count) {
+    auto v = static_cast<int32_t>(lo + rng->NextBelow(hi - lo));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+RecipeDbGenerator::RecipeDbGenerator(GeneratorOptions options)
+    : options_(options), impl_(new Impl) {
+  CUISINE_CHECK(options_.scale > 0.0 && options_.scale <= 1.0);
+  util::Rng rng(options_.seed);
+
+  // ---- Vocabulary ----
+  auto& vocab = impl_->vocab;
+  const text::Tokenizer tokenizer;
+  std::unordered_set<std::string> used;
+
+  const auto& prep = PrepProcessVerbs();
+  const auto& cook = CookProcessVerbs();
+  const auto& finish = FinishProcessVerbs();
+  const auto& generic = GenericProcessVerbs();
+  CUISINE_CHECK(static_cast<int32_t>(prep.size()) == kPrepCount);
+  CUISINE_CHECK(static_cast<int32_t>(cook.size()) == kCookCount);
+  CUISINE_CHECK(static_cast<int32_t>(finish.size()) == kFinishCount);
+  CUISINE_CHECK(static_cast<int32_t>(generic.size()) == kGenericCount);
+  vocab.processes.reserve(kNumProcesses);
+  for (const auto& list : {prep, cook, finish, generic}) {
+    for (const auto& p : list) {
+      std::vector<std::string> toks = tokenizer.TokenizeEvent(p);
+      CUISINE_CHECK(toks.size() == 1);
+      CUISINE_CHECK(used.insert(toks[0]).second);
+      vocab.processes.push_back(p);
+    }
+  }
+  for (const auto& u : UtensilNames()) {
+    std::vector<std::string> toks = tokenizer.TokenizeEvent(u);
+    CUISINE_CHECK(toks.size() == 1);
+    CUISINE_CHECK(used.insert(toks[0]).second);
+    vocab.utensils.push_back(u);
+  }
+  CUISINE_CHECK(vocab.utensils.size() == 69);
+
+  int64_t rare_needed = 0;
+  for (const RareBin& bin : kRareTail) rare_needed += bin.count;
+  SynthesizeIngredientNames(options_.common_ingredients,
+                            static_cast<int32_t>(rare_needed), &used,
+                            &vocab.common_ingredients,
+                            &vocab.rare_ingredients);
+
+  // ---- Sibling groups: chunks of two cuisines within each continent ----
+  impl_->group_of_cuisine.assign(kNumCuisines, -1);
+  for (int32_t cont = 0; cont < kNumContinents; ++cont) {
+    std::vector<int32_t> members;
+    for (const auto& c : AllCuisines()) {
+      if (static_cast<int32_t>(c.continent) == cont) members.push_back(c.id);
+    }
+    for (size_t i = 0; i < members.size(); i += 2) {
+      const auto group = static_cast<int32_t>(impl_->group_members.size());
+      std::vector<int32_t> group_cuisines;
+      group_cuisines.push_back(members[i]);
+      impl_->group_of_cuisine[members[i]] = group;
+      if (i + 1 < members.size()) {
+        group_cuisines.push_back(members[i + 1]);
+        impl_->group_of_cuisine[members[i + 1]] = group;
+      }
+      impl_->group_members.push_back(std::move(group_cuisines));
+    }
+  }
+  const auto num_groups = static_cast<int32_t>(impl_->group_members.size());
+
+  // ---- Ingredient distributions ----
+  const int32_t n_common = options_.common_ingredients;
+  impl_->global_ingredients = std::make_unique<util::AliasSampler>(
+      ZipfWeights(n_common, options_.zipf_exponent));
+  // Signatures avoid the top-50 global staples so they carry information.
+  const int32_t sig_lo = std::min(50, n_common / 4);
+  for (int32_t cont = 0; cont < kNumContinents; ++cont) {
+    impl_->continent_signatures.push_back(SampleDistinct(
+        options_.continent_signature_size, sig_lo, n_common, &rng));
+  }
+  for (int32_t g = 0; g < num_groups; ++g) {
+    impl_->group_signatures.push_back(
+        SampleDistinct(options_.group_signature_size, sig_lo, n_common, &rng));
+  }
+  for (int32_t c = 0; c < kNumCuisines; ++c) {
+    impl_->cuisine_signatures.push_back(SampleDistinct(
+        options_.cuisine_signature_size, sig_lo, n_common, &rng));
+  }
+
+  // ---- Process distributions ----
+  impl_->prep_global =
+      std::make_unique<util::AliasSampler>(ZipfWeights(kPrepCount, 1.35));
+  impl_->cook_global =
+      std::make_unique<util::AliasSampler>(ZipfWeights(kCookCount, 1.35));
+  impl_->finish_global =
+      std::make_unique<util::AliasSampler>(ZipfWeights(kFinishCount, 1.35));
+  impl_->generic_dist =
+      std::make_unique<util::AliasSampler>(ZipfWeights(kGenericCount, 1.6));
+
+  impl_->cuisine_process_signatures.resize(kNumCuisines);
+  std::vector<std::array<std::vector<int32_t>, 3>> group_base_sigs;
+  for (int32_t g = 0; g < num_groups; ++g) {
+    std::array<std::vector<int32_t>, 3> base;
+    const int32_t k = options_.group_process_signature_size;
+    base[0] = SampleDistinct(k, kPrepBegin, kPrepBegin + kPrepCount, &rng);
+    base[1] = SampleDistinct(k, kCookBegin, kCookBegin + kCookCount, &rng);
+    base[2] =
+        SampleDistinct(k, kFinishBegin, kFinishBegin + kFinishCount, &rng);
+    // Stage-swap order signal: member 0 keeps the base assignment;
+    // member 1 swaps the first `swaps` prep/cook signature processes, so
+    // the same processes appear but early-vs-late is reversed.
+    const int32_t swaps =
+        std::min<int32_t>(options_.order_pairs, k);
+    for (size_t m = 0; m < impl_->group_members[g].size(); ++m) {
+      const int32_t cuisine = impl_->group_members[g][m];
+      std::array<std::vector<int32_t>, 3> sigs = base;
+      if (m == 1) {
+        for (int32_t i = 0; i < swaps; ++i) {
+          std::swap(sigs[0][i], sigs[1][i]);
+        }
+      }
+      impl_->cuisine_process_signatures[cuisine] = std::move(sigs);
+    }
+    group_base_sigs.push_back(std::move(base));
+  }
+
+  // ---- Order preferences: opposite pair directions within a group ----
+  impl_->order_preference.resize(kNumCuisines);
+  for (int32_t g = 0; g < num_groups; ++g) {
+    const auto& sigs = group_base_sigs[g];
+    std::vector<std::pair<int32_t, int32_t>> pairs;
+    util::Rng pair_rng = rng.Split();
+    int guard = 0;
+    std::unordered_set<int32_t> heads;  // heads must be unique per direction
+    while (static_cast<int32_t>(pairs.size()) < options_.order_pairs &&
+           guard++ < 10000) {
+      // Alternate between prep-stage and cook-stage pairs.
+      const auto& stage_sig = sigs[pairs.size() % 2 == 0 ? 1 : 0];
+      int32_t a = stage_sig[pair_rng.NextBelow(stage_sig.size())];
+      int32_t b = stage_sig[pair_rng.NextBelow(stage_sig.size())];
+      if (a == b) continue;
+      if (heads.count(a) || heads.count(b)) continue;
+      heads.insert(a);
+      heads.insert(b);
+      pairs.emplace_back(a, b);
+    }
+    for (size_t m = 0; m < impl_->group_members[g].size(); ++m) {
+      const int32_t cuisine = impl_->group_members[g][m];
+      auto& pref = impl_->order_preference[cuisine];
+      for (const auto& [a, b] : pairs) {
+        if (m == 0) {
+          pref[a] = b;  // member 0 prefers a -> b
+        } else {
+          pref[b] = a;  // member 1 prefers b -> a
+        }
+      }
+    }
+  }
+
+  // ---- Utensil distributions ----
+  impl_->global_utensils = std::make_unique<util::AliasSampler>(
+      ZipfWeights(vocab.utensils.size(), 1.3));
+  for (int32_t g = 0; g < num_groups; ++g) {
+    impl_->utensil_signatures.push_back(
+        SampleDistinct(options_.utensil_signature_size, 0,
+                       static_cast<int32_t>(vocab.utensils.size()), &rng));
+  }
+}
+
+RecipeDbGenerator::~RecipeDbGenerator() = default;
+
+const GeneratorVocabulary& RecipeDbGenerator::vocabulary() const {
+  return impl_->vocab;
+}
+
+int32_t RecipeDbGenerator::ScaledCount(int32_t cuisine_id) const {
+  const auto& info = GetCuisine(cuisine_id);
+  const auto scaled =
+      static_cast<int32_t>(std::llround(info.recipe_count * options_.scale));
+  return std::max(8, scaled);
+}
+
+namespace {
+
+/// Per-recipe generation context; groups the distributions one draw uses.
+struct DrawPlan {
+  int32_t cuisine;          // distributions to draw from
+  bool global_only;         // ignore all signatures (noise_global)
+  int32_t order_cuisine;    // whose order preferences to use
+};
+
+}  // namespace
+
+std::vector<Recipe> RecipeDbGenerator::GenerateCuisine(int32_t cuisine_id,
+                                                       int32_t count) const {
+  CUISINE_CHECK(cuisine_id >= 0 && cuisine_id < kNumCuisines);
+  const Impl& im = *impl_;
+  const GeneratorOptions& opt = options_;
+  // Deterministic per-cuisine stream regardless of generation order.
+  util::Rng rng(opt.seed * 0x9e3779b97f4a7c15ULL + 0x51ed2701 +
+                static_cast<uint64_t>(cuisine_id));
+
+  std::vector<Recipe> out;
+  out.reserve(count);
+  for (int32_t i = 0; i < count; ++i) {
+    DrawPlan plan{cuisine_id, false, cuisine_id};
+    // Noise decisions.
+    const double r = rng.NextDouble();
+    if (r < opt.noise_label) {
+      // Whole recipe drawn as a random other cuisine (label noise).
+      auto other = static_cast<int32_t>(rng.NextBelow(kNumCuisines - 1));
+      if (other >= cuisine_id) ++other;
+      plan.cuisine = other;
+      plan.order_cuisine = other;
+    } else if (r < opt.noise_label + opt.noise_global) {
+      plan.global_only = true;
+    } else if (r < opt.noise_label + opt.noise_global + opt.noise_sibling) {
+      // Use the sibling's order preferences (if the group has one).
+      const int32_t g = im.group_of_cuisine[cuisine_id];
+      for (int32_t member : im.group_members[g]) {
+        if (member != cuisine_id) plan.order_cuisine = member;
+      }
+    }
+
+    Recipe rec;
+    rec.id = i + 1;  // caller reassigns global ids
+    rec.cuisine_id = cuisine_id;
+
+    const int32_t g = im.group_of_cuisine[plan.cuisine];
+    const auto& info = GetCuisine(plan.cuisine);
+    const auto cont = static_cast<int32_t>(info.continent);
+
+    // ---- Ingredients ----
+    const int32_t n_ing = static_cast<int32_t>(
+        rng.NextInt(opt.min_ingredients, opt.max_ingredients));
+    std::unordered_set<int32_t> used_ing;
+    int attempts = 0;
+    while (static_cast<int32_t>(used_ing.size()) < n_ing &&
+           attempts++ < n_ing * 8) {
+      int32_t id;
+      const double u = plan.global_only ? 1.0 : rng.NextDouble();
+      if (u < opt.w_cuisine) {
+        const auto& sig = im.cuisine_signatures[plan.cuisine];
+        id = sig[rng.NextBelow(sig.size())];
+      } else if (u < opt.w_cuisine + opt.w_group) {
+        const auto& sig = im.group_signatures[g];
+        id = sig[rng.NextBelow(sig.size())];
+      } else if (u < opt.w_cuisine + opt.w_group + opt.w_continent) {
+        const auto& sig = im.continent_signatures[cont];
+        id = sig[rng.NextBelow(sig.size())];
+      } else {
+        id = static_cast<int32_t>(im.global_ingredients->Sample(&rng));
+      }
+      if (!used_ing.insert(id).second) continue;
+      rec.events.push_back(
+          {EventType::kIngredient, im.vocab.common_ingredients[id]});
+    }
+
+    // ---- Processes ----
+    const int32_t n_proc = static_cast<int32_t>(
+        rng.NextInt(opt.min_processes, opt.max_processes));
+    // Stage signatures and adjacency preferences both follow
+    // plan.order_cuisine: sibling-order noise swaps them wholesale.
+    const auto& proc_sigs = im.cuisine_process_signatures[plan.order_cuisine];
+    const auto& order_pref = im.order_preference[plan.order_cuisine];
+    // Prep and cook get the same slot budget so the sibling stage-swap
+    // keeps process unigrams identical (the order signal must stay
+    // invisible to bag-of-words models).
+    int32_t stage_counts[3] = {
+        std::max(1, static_cast<int32_t>(std::lround(n_proc * 0.375))),
+        std::max(1, static_cast<int32_t>(std::lround(n_proc * 0.375))), 0};
+    stage_counts[2] =
+        std::max(1, n_proc - stage_counts[0] - stage_counts[1]);
+    const util::AliasSampler* stage_global[3] = {
+        im.prep_global.get(), im.cook_global.get(), im.finish_global.get()};
+    const int32_t stage_begin[3] = {kPrepBegin, kCookBegin, kFinishBegin};
+
+    for (int stage = 0; stage < 3; ++stage) {
+      int32_t remaining = stage_counts[stage];
+      int32_t forced_next = -1;
+      while (remaining > 0) {
+        // Generic verbs ("add", "stir") interleave with stage verbs.
+        if (forced_next < 0 && rng.NextBool(opt.generic_process_rate)) {
+          const auto gid = static_cast<int32_t>(
+              kGenericBegin + im.generic_dist->Sample(&rng));
+          rec.events.push_back(
+              {EventType::kProcess, im.vocab.processes[gid]});
+        }
+        int32_t pid;
+        if (forced_next >= 0) {
+          pid = forced_next;
+          forced_next = -1;
+        } else if (!plan.global_only &&
+                   rng.NextBool(opt.process_signature_rate)) {
+          const auto& sig = proc_sigs[stage];
+          pid = sig[rng.NextBelow(sig.size())];
+        } else {
+          pid = stage_begin[stage] +
+                static_cast<int32_t>(stage_global[stage]->Sample(&rng));
+        }
+        rec.events.push_back({EventType::kProcess, im.vocab.processes[pid]});
+        --remaining;
+        // Order signal: after a pair head, emit the preferred partner.
+        if (!plan.global_only && remaining > 0) {
+          auto it = order_pref.find(pid);
+          if (it != order_pref.end() && rng.NextBool(opt.order_strength)) {
+            forced_next = it->second;
+          }
+        }
+      }
+    }
+
+    // ---- Utensils ----
+    const int32_t n_ut =
+        static_cast<int32_t>(rng.NextInt(opt.min_utensils, opt.max_utensils));
+    std::unordered_set<int32_t> used_ut;
+    attempts = 0;
+    while (static_cast<int32_t>(used_ut.size()) < n_ut &&
+           attempts++ < n_ut * 8) {
+      int32_t uid;
+      if (!plan.global_only && rng.NextBool(opt.utensil_signature_rate)) {
+        const auto& sig = im.utensil_signatures[g];
+        uid = sig[rng.NextBelow(sig.size())];
+      } else {
+        uid = static_cast<int32_t>(im.global_utensils->Sample(&rng));
+      }
+      if (!used_ut.insert(uid).second) continue;
+      rec.events.push_back({EventType::kUtensil, im.vocab.utensils[uid]});
+    }
+
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<Recipe> RecipeDbGenerator::Generate() const {
+  std::vector<Recipe> corpus;
+  corpus.reserve(static_cast<size_t>(TotalRecipeCount() * options_.scale) +
+                 kNumCuisines * 8);
+  for (int32_t c = 0; c < kNumCuisines; ++c) {
+    std::vector<Recipe> part = GenerateCuisine(c, ScaledCount(c));
+    for (auto& r : part) corpus.push_back(std::move(r));
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    corpus[i].id = static_cast<int64_t>(i + 1);
+  }
+
+  if (options_.inject_rare_tail) {
+    // Deterministic stream independent of cuisine streams.
+    util::Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + 0x7a3e11);
+    const auto n = corpus.size();
+    size_t next_rare = 0;
+    for (const RareBin& bin : kRareTail) {
+      const auto scaled_count = static_cast<int32_t>(
+          std::llround(bin.count * options_.scale));
+      for (int32_t f = 0; f < scaled_count; ++f) {
+        if (next_rare >= impl_->vocab.rare_ingredients.size()) break;
+        const std::string& name = impl_->vocab.rare_ingredients[next_rare++];
+        // Insert into `bin.frequency` distinct recipes, inside the
+        // ingredient prefix so the event order stays well formed.
+        std::unordered_set<size_t> chosen;
+        while (chosen.size() < static_cast<size_t>(bin.frequency) &&
+               chosen.size() < n) {
+          chosen.insert(rng.NextBelow(n));
+        }
+        for (size_t idx : chosen) {
+          Recipe& rec = corpus[idx];
+          size_t prefix = 0;
+          while (prefix < rec.events.size() &&
+                 rec.events[prefix].type == EventType::kIngredient) {
+            ++prefix;
+          }
+          const size_t pos = rng.NextBelow(prefix + 1);
+          rec.events.insert(
+              rec.events.begin() + static_cast<ptrdiff_t>(pos),
+              {EventType::kIngredient, name});
+        }
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace cuisine::data

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/cuisines.h"
+#include "data/recipe.h"
+#include "util/rng.h"
+
+/// \file generator.h
+/// \brief Synthetic RecipeDB corpus generator.
+///
+/// The real RecipeDB is a proprietary scrape of 118k recipes; this
+/// generator is the documented substitution (see DESIGN.md §2). It plants
+/// two separable kinds of cuisine signal so the paper's central comparison
+/// — bag-of-items models vs. order-aware models — is driven by the same
+/// mechanism the paper hypothesises:
+///
+///  1. *Identity signal*: each cuisine draws ingredients from a mixture of
+///     a global Zipf base, a continent boost, a sibling-group boost and a
+///     small cuisine-specific boost. Bag-of-words models can use all of it.
+///  2. *Order signal*: cuisines are grouped into sibling pairs that share
+///     the same ingredient signatures and the same process *unigram*
+///     distribution but opposite preferred *orderings* of process pairs
+///     ("marinate then grill" vs "grill then marinate"). Only sequence-
+///     aware models can separate siblings.
+///
+/// Corpus shape follows the paper: Table II class sizes (scaled), ~20k
+/// distinct ingredients with the Table III rare tail injected exactly,
+/// 256 processes, 69 utensils, 'add' as the runaway most frequent token.
+
+namespace cuisine::data {
+
+/// All knobs of the synthetic corpus. Defaults reproduce the paper-shaped
+/// corpus at full scale; benches lower `scale` for the model-training runs.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  /// Fraction of Table II recipe counts to generate (each class >= 8).
+  double scale = 1.0;
+
+  // ---- Vocabulary shape ----
+  /// Number of frequently-used ingredient phrases (head of the Zipf).
+  int32_t common_ingredients = 2761;
+  /// Inject the low-frequency ingredient tail with the exact Table III
+  /// frequency histogram (11,738 singletons, ...), scaled by `scale`.
+  bool inject_rare_tail = true;
+  /// Zipf exponent for the global ingredient base distribution.
+  double zipf_exponent = 1.2;
+
+  // ---- Recipe shape ----
+  int32_t min_ingredients = 4;
+  int32_t max_ingredients = 12;
+  int32_t min_processes = 6;
+  int32_t max_processes = 18;
+  int32_t min_utensils = 1;
+  int32_t max_utensils = 4;
+  /// Probability that any given process slot emits a generic verb
+  /// ("add", "stir", ...) instead of a stage verb.
+  double generic_process_rate = 0.30;
+
+  // ---- Identity (bag-of-items) signal ----
+  /// Ingredient mixture weights; must sum to 1 with w_global implied.
+  double w_continent = 0.18;
+  double w_group = 0.22;
+  double w_cuisine = 0.03;
+  /// Signature set sizes (boosted items per continent/group/cuisine).
+  int32_t continent_signature_size = 120;
+  int32_t group_signature_size = 45;
+  int32_t cuisine_signature_size = 18;
+  /// Utensil signatures are per sibling group (weak, order-free signal).
+  /// Per-stage processes boosted for a sibling group.
+  int32_t group_process_signature_size = 14;
+  /// Probability a stage slot draws from the group's boosted processes.
+  double process_signature_rate = 0.55;
+  /// Utensils boosted per cuisine.
+  int32_t utensil_signature_size = 6;
+  double utensil_signature_rate = 0.35;
+
+  // ---- Order signal ----
+  /// Number of ordered process pairs whose direction distinguishes the
+  /// two members of a sibling group.
+  int32_t order_pairs = 20;
+  /// Probability of emitting the preferred partner right after a pair head.
+  double order_strength = 0.8;
+
+  // ---- Noise (caps achievable accuracy) ----
+  /// Recipe drawn from global distributions only (confuses every model).
+  double noise_global = 0.10;
+  /// Recipe drawn with the sibling's order preferences (confuses order-
+  /// aware models within a group).
+  double noise_sibling = 0.06;
+  /// Recipe drawn with a uniformly random other cuisine's full generator
+  /// (label noise; irreducible error for all models).
+  double noise_label = 0.05;
+};
+
+/// Corpus statistics the generator can report about itself.
+struct GeneratorVocabulary {
+  std::vector<std::string> common_ingredients;
+  std::vector<std::string> rare_ingredients;
+  std::vector<std::string> processes;  // prep + cook + finish + generic
+  std::vector<std::string> utensils;
+};
+
+/// \brief Deterministic synthetic RecipeDB generator.
+///
+/// Construction synthesises the vocabulary and per-cuisine distributions;
+/// `Generate()` produces the corpus. Both are deterministic functions of
+/// `GeneratorOptions`.
+class RecipeDbGenerator {
+ public:
+  explicit RecipeDbGenerator(GeneratorOptions options = {});
+  ~RecipeDbGenerator();
+
+  RecipeDbGenerator(const RecipeDbGenerator&) = delete;
+  RecipeDbGenerator& operator=(const RecipeDbGenerator&) = delete;
+
+  /// Generates the full corpus: Table II counts x scale, recipes grouped
+  /// by cuisine in registry order, ids sequential from 1.
+  std::vector<Recipe> Generate() const;
+
+  /// Generates exactly `count` recipes of one cuisine (ids from 1).
+  std::vector<Recipe> GenerateCuisine(int32_t cuisine_id, int32_t count) const;
+
+  /// The synthesised vocabulary (post-preprocessing-distinct names).
+  const GeneratorVocabulary& vocabulary() const;
+
+  /// Number of recipes `Generate()` will produce for `cuisine_id`.
+  int32_t ScaledCount(int32_t cuisine_id) const;
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+
+  GeneratorOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cuisine::data

@@ -1,0 +1,107 @@
+#include "data/io.h"
+
+#include <charconv>
+
+#include "data/cuisines.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace cuisine::data {
+
+namespace {
+
+char TypeChar(EventType t) {
+  switch (t) {
+    case EventType::kIngredient: return 'i';
+    case EventType::kProcess: return 'p';
+    case EventType::kUtensil: return 'u';
+  }
+  return '?';
+}
+
+util::Result<EventType> TypeFromChar(char c) {
+  switch (c) {
+    case 'i': return EventType::kIngredient;
+    case 'p': return EventType::kProcess;
+    case 'u': return EventType::kUtensil;
+    default:
+      return util::Status::InvalidArgument(
+          std::string("unknown event type char: ") + c);
+  }
+}
+
+}  // namespace
+
+util::Result<std::string> WriteRecipesCsv(const std::vector<Recipe>& recipes) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(recipes.size() + 1);
+  rows.push_back({"id", "continent", "cuisine", "events"});
+  for (const Recipe& r : recipes) {
+    const CuisineInfo& info = GetCuisine(r.cuisine_id);
+    std::string events;
+    for (size_t i = 0; i < r.events.size(); ++i) {
+      const RecipeEvent& ev = r.events[i];
+      if (ev.text.find('|') != std::string::npos ||
+          ev.text.find(':') != std::string::npos) {
+        return util::Status::InvalidArgument(
+            "event text contains reserved delimiter: " + ev.text);
+      }
+      if (i > 0) events.push_back('|');
+      events.push_back(TypeChar(ev.type));
+      events.push_back(':');
+      events.append(ev.text);
+    }
+    rows.push_back({std::to_string(r.id), ContinentName(info.continent),
+                    info.name, std::move(events)});
+  }
+  return util::WriteCsv(rows);
+}
+
+util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text) {
+  CUISINE_ASSIGN_OR_RETURN(util::CsvTable table, util::ParseCsv(text));
+  std::vector<Recipe> out;
+  if (table.rows.empty()) return out;
+  for (size_t row_idx = 1; row_idx < table.rows.size(); ++row_idx) {
+    const auto& row = table.rows[row_idx];
+    if (row.size() != 4) {
+      return util::Status::InvalidArgument(
+          "recipe row " + std::to_string(row_idx) + " has " +
+          std::to_string(row.size()) + " fields, expected 4");
+    }
+    Recipe rec;
+    const std::string& id_str = row[0];
+    auto [ptr, ec] = std::from_chars(id_str.data(),
+                                     id_str.data() + id_str.size(), rec.id);
+    if (ec != std::errc() || ptr != id_str.data() + id_str.size()) {
+      return util::Status::InvalidArgument("bad recipe id: " + id_str);
+    }
+    rec.cuisine_id = CuisineIdByName(row[2]);
+    if (rec.cuisine_id < 0) {
+      return util::Status::InvalidArgument("unknown cuisine: " + row[2]);
+    }
+    if (!row[3].empty()) {
+      for (const std::string& item : util::Split(row[3], '|')) {
+        if (item.size() < 2 || item[1] != ':') {
+          return util::Status::InvalidArgument("bad event item: " + item);
+        }
+        CUISINE_ASSIGN_OR_RETURN(EventType type, TypeFromChar(item[0]));
+        rec.events.push_back({type, item.substr(2)});
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+util::Status SaveRecipes(const std::vector<Recipe>& recipes,
+                         const std::string& path) {
+  CUISINE_ASSIGN_OR_RETURN(std::string text, WriteRecipesCsv(recipes));
+  return util::WriteFile(path, text);
+}
+
+util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path) {
+  CUISINE_ASSIGN_OR_RETURN(std::string text, util::ReadFile(path));
+  return ReadRecipesCsv(text);
+}
+
+}  // namespace cuisine::data

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "util/status.h"
+
+/// \file io.h
+/// \brief Recipe corpus persistence (CSV, mirroring the RecipeDB export).
+///
+/// Format: header `id,continent,cuisine,events`; the events field is a
+/// `|`-separated list of `type:text` items (types i/p/u), e.g.
+/// `i:red lentil|i:water|p:stir|u:saucepan`. Event texts contain only
+/// letters and spaces, so no escaping is needed; WriteRecipesCsv rejects
+/// texts containing the delimiters.
+
+namespace cuisine::data {
+
+/// Serialises recipes to CSV text.
+util::Result<std::string> WriteRecipesCsv(const std::vector<Recipe>& recipes);
+
+/// Parses the WriteRecipesCsv format.
+util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text);
+
+/// Convenience: write/read via a file path.
+util::Status SaveRecipes(const std::vector<Recipe>& recipes,
+                         const std::string& path);
+util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path);
+
+}  // namespace cuisine::data

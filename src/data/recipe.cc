@@ -1,0 +1,14 @@
+#include "data/recipe.h"
+
+namespace cuisine::data {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kIngredient: return "ingredient";
+    case EventType::kProcess: return "process";
+    case EventType::kUtensil: return "utensil";
+  }
+  return "unknown";
+}
+
+}  // namespace cuisine::data

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file recipe.h
+/// \brief The RecipeDB record schema.
+///
+/// RecipeDB mines each recipe into an *ordered* list of culinary events:
+/// the ingredients, cooking processes and utensils in the order they occur
+/// in the instructions (§III). A recipe is "sequentially structured": the
+/// whole point of the paper is that this order carries signal beyond the
+/// bag of items.
+
+namespace cuisine::data {
+
+/// Which substructure an event belongs to.
+enum class EventType : uint8_t { kIngredient = 0, kProcess = 1, kUtensil = 2 };
+
+/// Human-readable name of an event type ("ingredient"...).
+const char* EventTypeName(EventType type);
+
+/// One culinary event: an ingredient use, a cooking process or a utensil.
+struct RecipeEvent {
+  EventType type = EventType::kIngredient;
+  /// Lower-case phrase, e.g. "red lentil", "stir", "saucepan".
+  std::string text;
+
+  bool operator==(const RecipeEvent&) const = default;
+};
+
+/// \brief One recipe row: identity, labels and the ordered event sequence.
+struct Recipe {
+  int64_t id = 0;
+  /// Index into the cuisine registry (0..25).
+  int32_t cuisine_id = 0;
+  /// Ordered events: ingredients first, then processes interleaved with
+  /// utensils, matching the RecipeDB sample rows (Table I).
+  std::vector<RecipeEvent> events;
+
+  /// The event phrases in order, without type tags (what the classifier
+  /// pipelines consume).
+  std::vector<std::string> EventTexts() const {
+    std::vector<std::string> out;
+    out.reserve(events.size());
+    for (const auto& e : events) out.push_back(e.text);
+    return out;
+  }
+
+  /// Event phrases of one substructure only, in order.
+  std::vector<std::string> EventTexts(EventType type) const {
+    std::vector<std::string> out;
+    for (const auto& e : events) {
+      if (e.type == type) out.push_back(e.text);
+    }
+    return out;
+  }
+};
+
+}  // namespace cuisine::data

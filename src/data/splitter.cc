@@ -1,0 +1,62 @@
+#include "data/splitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/cuisines.h"
+
+namespace cuisine::data {
+
+util::Result<DataSplit> StratifiedSplit(const std::vector<Recipe>& recipes,
+                                        SplitRatios ratios, uint64_t seed) {
+  if (ratios.train <= 0.0 || ratios.validation < 0.0 || ratios.test <= 0.0) {
+    return util::Status::InvalidArgument("split ratios must be positive");
+  }
+  const double sum = ratios.train + ratios.validation + ratios.test;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return util::Status::InvalidArgument("split ratios must sum to 1");
+  }
+
+  // Bucket indices by cuisine.
+  std::vector<std::vector<size_t>> by_class(kNumCuisines);
+  for (size_t i = 0; i < recipes.size(); ++i) {
+    const int32_t c = recipes[i].cuisine_id;
+    if (c < 0 || c >= kNumCuisines) {
+      return util::Status::InvalidArgument("recipe has out-of-range cuisine");
+    }
+    by_class[c].push_back(i);
+  }
+
+  util::Rng rng(seed);
+  DataSplit split;
+  for (auto& bucket : by_class) {
+    rng.Shuffle(&bucket);
+    const size_t n = bucket.size();
+    const auto n_train = static_cast<size_t>(std::llround(n * ratios.train));
+    const auto n_val =
+        static_cast<size_t>(std::llround(n * ratios.validation));
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        split.train.push_back(bucket[i]);
+      } else if (i < n_train + n_val) {
+        split.validation.push_back(bucket[i]);
+      } else {
+        split.test.push_back(bucket[i]);
+      }
+    }
+  }
+  rng.Shuffle(&split.train);
+  rng.Shuffle(&split.validation);
+  rng.Shuffle(&split.test);
+  return split;
+}
+
+std::vector<Recipe> Gather(const std::vector<Recipe>& recipes,
+                           const std::vector<size_t>& indices) {
+  std::vector<Recipe> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(recipes[i]);
+  return out;
+}
+
+}  // namespace cuisine::data

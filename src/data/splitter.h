@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/recipe.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file splitter.h
+/// \brief Stratified train/validation/test splitting.
+///
+/// The paper divides RecipeDB 7:1:2 into train/validation/test (§VI).
+/// We stratify by cuisine so every class keeps the same ratio, then the
+/// within-split order is shuffled.
+
+namespace cuisine::data {
+
+/// Index sets of one split.
+struct DataSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+  std::vector<size_t> test;
+
+  size_t total() const {
+    return train.size() + validation.size() + test.size();
+  }
+};
+
+/// Fractions of the three splits; must be positive and sum to ~1.
+struct SplitRatios {
+  double train = 0.7;
+  double validation = 0.1;
+  double test = 0.2;
+};
+
+/// Produces a stratified split of `recipes`. Deterministic in `seed`.
+/// Returns InvalidArgument for degenerate ratios.
+util::Result<DataSplit> StratifiedSplit(const std::vector<Recipe>& recipes,
+                                        SplitRatios ratios, uint64_t seed);
+
+/// Gathers the recipes selected by `indices` (copies).
+std::vector<Recipe> Gather(const std::vector<Recipe>& recipes,
+                           const std::vector<size_t>& indices);
+
+}  // namespace cuisine::data

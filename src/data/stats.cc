@@ -1,0 +1,108 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/cuisines.h"
+
+namespace cuisine::data {
+
+int64_t CorpusStats::CountAbove(int64_t threshold) const {
+  int64_t n = 0;
+  for (const auto& f : frequencies) {
+    if (f.occurrences > threshold) ++n;
+  }
+  return n;
+}
+
+int64_t CorpusStats::CountDocFreqBelow(int64_t threshold) const {
+  int64_t n = 0;
+  for (const auto& f : frequencies) {
+    if (f.document_frequency < threshold) ++n;
+  }
+  return n;
+}
+
+CorpusStats ComputeCorpusStats(const std::vector<Recipe>& recipes,
+                               const text::Tokenizer& tokenizer) {
+  CorpusStats stats;
+  stats.num_recipes = static_cast<int64_t>(recipes.size());
+  stats.recipes_per_cuisine.assign(kNumCuisines, 0);
+
+  struct Agg {
+    EventType type;
+    int64_t occurrences = 0;
+    int64_t doc_freq = 0;
+  };
+  std::unordered_map<std::string, Agg> agg;
+  int64_t total_tokens = 0;
+  int64_t total_nnz = 0;  // distinct tokens per recipe, summed
+
+  for (const Recipe& rec : recipes) {
+    ++stats.recipes_per_cuisine[rec.cuisine_id];
+    std::unordered_set<std::string> seen;
+    for (const RecipeEvent& ev : rec.events) {
+      for (std::string& tok : tokenizer.TokenizeEvent(ev.text)) {
+        auto [it, inserted] = agg.try_emplace(std::move(tok));
+        if (inserted) it->second.type = ev.type;
+        ++it->second.occurrences;
+        ++total_tokens;
+        if (seen.insert(it->first).second) {
+          ++it->second.doc_freq;
+          ++total_nnz;
+        }
+      }
+    }
+  }
+
+  stats.frequencies.reserve(agg.size());
+  for (auto& [tok, a] : agg) {
+    stats.frequencies.push_back({tok, a.type, a.occurrences, a.doc_freq});
+    switch (a.type) {
+      case EventType::kIngredient: ++stats.distinct_ingredients; break;
+      case EventType::kProcess: ++stats.distinct_processes; break;
+      case EventType::kUtensil: ++stats.distinct_utensils; break;
+    }
+  }
+  std::sort(stats.frequencies.begin(), stats.frequencies.end(),
+            [](const TokenFrequency& a, const TokenFrequency& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.token < b.token;
+            });
+
+  if (stats.num_recipes > 0) {
+    stats.mean_sequence_length =
+        static_cast<double>(total_tokens) / stats.num_recipes;
+    const double cells = static_cast<double>(stats.num_recipes) *
+                         static_cast<double>(stats.frequencies.size());
+    if (cells > 0) stats.sparsity = 1.0 - total_nnz / cells;
+  }
+  return stats;
+}
+
+std::vector<RankFrequencyPoint> RankFrequencySeries(const CorpusStats& stats,
+                                                    size_t max_points) {
+  std::vector<RankFrequencyPoint> series;
+  const size_t n = stats.frequencies.size();
+  if (n == 0 || max_points == 0) return series;
+  // Log-spaced ranks so a log-log plot is evenly covered.
+  double rank = 1.0;
+  const double factor =
+      std::pow(static_cast<double>(n), 1.0 / static_cast<double>(max_points));
+  int64_t last_rank = 0;
+  while (rank <= static_cast<double>(n)) {
+    const auto r = static_cast<int64_t>(rank);
+    if (r != last_rank) {
+      series.push_back({r, stats.frequencies[r - 1].occurrences});
+      last_rank = r;
+    }
+    rank = std::max(rank * factor, rank + 1.0);
+  }
+  return series;
+}
+
+}  // namespace cuisine::data

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "text/tokenizer.h"
+
+/// \file stats.h
+/// \brief Corpus statistics backing Tables II/III and the feature figures.
+
+namespace cuisine::data {
+
+/// One (token, total occurrences, #recipes containing it) row.
+struct TokenFrequency {
+  std::string token;
+  EventType type = EventType::kIngredient;
+  int64_t occurrences = 0;
+  int64_t document_frequency = 0;
+};
+
+/// \brief Aggregate statistics of a recipe corpus.
+struct CorpusStats {
+  int64_t num_recipes = 0;
+  std::vector<int64_t> recipes_per_cuisine;  // size kNumCuisines
+  int64_t distinct_ingredients = 0;
+  int64_t distinct_processes = 0;
+  int64_t distinct_utensils = 0;
+  /// All token frequencies sorted by descending occurrences.
+  std::vector<TokenFrequency> frequencies;
+  double mean_sequence_length = 0.0;
+  /// 1 - nnz / (recipes * distinct features), the paper's sparsity ratio.
+  double sparsity = 0.0;
+
+  int64_t distinct_features() const {
+    return distinct_ingredients + distinct_processes + distinct_utensils;
+  }
+
+  /// Number of features with total occurrences strictly above `threshold`.
+  int64_t CountAbove(int64_t threshold) const;
+  /// Number of features contained in fewer than `threshold` recipes.
+  int64_t CountDocFreqBelow(int64_t threshold) const;
+};
+
+/// Computes stats over tokenized events (one pass; tokens follow the same
+/// clean->lemmatize->phrase pipeline the classifiers use).
+CorpusStats ComputeCorpusStats(const std::vector<Recipe>& recipes,
+                               const text::Tokenizer& tokenizer);
+
+/// Rank/frequency series (log-log Zipf plot data) from computed stats.
+struct RankFrequencyPoint {
+  int64_t rank = 0;
+  int64_t frequency = 0;
+};
+std::vector<RankFrequencyPoint> RankFrequencySeries(const CorpusStats& stats,
+                                                    size_t max_points);
+
+}  // namespace cuisine::data

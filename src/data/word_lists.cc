@@ -1,0 +1,217 @@
+#include "data/word_lists.h"
+
+#include "util/logging.h"
+
+namespace cuisine::data {
+
+namespace {
+
+/// Composes "verb" and "verb modifier" phrases until exactly `target`
+/// entries exist. Base verbs come first so single-word forms dominate.
+std::vector<std::string> ComposeProcesses(
+    const std::vector<std::string>& verbs,
+    const std::vector<std::string>& modifiers, size_t target) {
+  std::vector<std::string> out;
+  out.reserve(target);
+  for (const auto& v : verbs) {
+    if (out.size() >= target) return out;
+    out.push_back(v);
+  }
+  for (const auto& m : modifiers) {
+    for (const auto& v : verbs) {
+      if (out.size() >= target) return out;
+      out.push_back(v + " " + m);
+    }
+  }
+  CUISINE_CHECK(out.size() == target);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FoodNouns() {
+  static const auto& kList = *new std::vector<std::string>{
+      // Vegetables.
+      "onion", "garlic", "tomato", "potato", "carrot", "celery", "pepper",
+      "spinach", "kale", "cabbage", "broccoli", "cauliflower", "zucchini",
+      "eggplant", "cucumber", "radish", "turnip", "beet", "leek", "shallot",
+      "scallion", "fennel", "artichoke", "asparagus", "okra", "pumpkin",
+      "squash", "corn", "pea", "mushroom", "parsnip", "yam", "taro",
+      "lettuce", "arugula", "watercress", "endive", "chard", "bamboo shoot",
+      "lotus root", "daikon", "plantain", "cassava", "chayote", "jicama",
+      // Legumes and grains.
+      "lentil", "chickpea", "bean", "soybean", "rice", "quinoa", "barley",
+      "oat", "wheat", "rye", "millet", "buckwheat", "couscous", "bulgur",
+      "polenta", "semolina", "farro", "noodle", "pasta", "vermicelli",
+      "macaroni", "spaghetti", "lasagna", "orzo", "tortilla", "bread",
+      "baguette", "pita", "naan", "flour", "cornmeal", "breadcrumb",
+      // Proteins.
+      "chicken", "beef", "pork", "lamb", "mutton", "veal", "duck", "turkey",
+      "goat", "rabbit", "sausage", "bacon", "ham", "prosciutto", "chorizo",
+      "salami", "meatball", "liver", "tripe", "oxtail", "brisket",
+      "salmon", "tuna", "cod", "haddock", "trout", "mackerel", "sardine",
+      "anchovy", "herring", "halibut", "snapper", "tilapia", "catfish",
+      "shrimp", "prawn", "crab", "lobster", "mussel", "clam", "oyster",
+      "scallop", "squid", "octopus", "egg", "tofu", "tempeh", "seitan",
+      // Dairy.
+      "milk", "cream", "butter", "yogurt", "cheese", "mozzarella",
+      "parmesan", "cheddar", "feta", "ricotta", "mascarpone", "gouda",
+      "brie", "paneer", "ghee", "buttermilk", "creme fraiche",
+      // Fruits and nuts.
+      "apple", "pear", "peach", "plum", "apricot", "cherry", "grape",
+      "orange", "lemon", "lime", "grapefruit", "banana", "mango", "papaya",
+      "pineapple", "coconut", "date", "fig", "raisin", "prune", "cranberry",
+      "blueberry", "raspberry", "strawberry", "blackberry", "currant",
+      "pomegranate", "guava", "lychee", "tamarind", "almond", "walnut",
+      "pecan", "cashew", "pistachio", "hazelnut", "peanut", "chestnut",
+      "macadamia", "pine nut", "sesame seed", "sunflower seed",
+      "poppy seed", "flax seed",
+      // Herbs, spices and aromatics.
+      "basil", "oregano", "thyme", "rosemary", "sage", "parsley",
+      "cilantro", "mint", "dill", "tarragon", "chive", "bay leaf",
+      "lemongrass", "ginger", "turmeric", "cumin", "coriander", "cardamom",
+      "clove", "cinnamon", "nutmeg", "allspice", "paprika", "cayenne",
+      "chili", "saffron", "vanilla", "anise", "fenugreek", "mustard seed",
+      "caraway", "juniper berry", "sumac", "zaatar", "galangal", "wasabi",
+      // Condiments, oils and staples.
+      "olive oil", "vegetable oil", "sesame oil", "peanut oil", "lard",
+      "vinegar", "soy sauce", "fish sauce", "oyster sauce", "hoisin sauce",
+      "miso", "tahini", "hummus", "salsa", "pesto", "ketchup", "mayonnaise",
+      "mustard", "honey", "maple syrup", "molasses", "sugar", "salt",
+      "broth", "stock", "wine", "beer", "rum", "brandy", "sake", "mirin",
+      "chocolate", "cocoa", "coffee", "tea", "gelatin", "yeast",
+      "baking powder", "baking soda", "cornstarch", "agave nectar",
+  };
+  return kList;
+}
+
+const std::vector<std::string>& FoodAdjectives() {
+  static const auto& kList = *new std::vector<std::string>{
+      "fresh",     "dried",     "smoked",    "ground",   "whole",
+      "crushed",   "minced",    "sliced",    "diced",    "shredded",
+      "grated",    "roasted",   "toasted",   "pickled",  "salted",
+      "unsalted",  "sweet",     "sour",      "bitter",   "spicy",
+      "hot",       "mild",      "ripe",      "green",    "red",
+      "yellow",    "white",     "black",     "brown",    "golden",
+      "purple",    "baby",      "wild",      "organic",  "frozen",
+      "canned",    "raw",       "cooked",    "cured",    "fermented",
+      "aged",      "young",     "tender",    "lean",     "fatty",
+      "boneless",  "skinless",  "seedless",  "stemmed",  "peeled",
+      "chunky",    "smooth",    "creamy",    "crispy",   "crunchy",
+      "soft",      "firm",      "thick",     "thin",     "coarse",
+      "fine",      "extra",     "light",     "dark",     "pale",
+      "double",    "single",    "heavy",     "skim",     "lowfat",
+      "nonfat",    "glutinous", "instant",   "quick",    "slow",
+      "petite",    "jumbo",     "giant",     "dwarf",    "heirloom",
+      "winter",    "summer",    "spring",    "autumn",   "early",
+      "late",      "candied",   "glazed",    "stuffed",  "marinated",
+  };
+  return kList;
+}
+
+const std::vector<std::string>& FoodOrigins() {
+  static const auto& kList = *new std::vector<std::string>{
+      "basmati",    "jasmine",   "arborio",   "roma",      "cherry vine",
+      "kalamata",   "nicoise",   "serrano",   "jalapeno",  "habanero",
+      "poblano",    "ancho",     "chipotle",  "thai bird", "szechuan",
+      "cantonese",  "hunan",     "bengali",   "punjabi",   "madras",
+      "goan",       "kashmiri",  "persian",   "moroccan",  "tunisian",
+      "ethiopian",  "berber",    "andalusian", "catalan",  "tuscan",
+      "sicilian",   "ligurian",  "provencal", "alsatian",  "bavarian",
+      "westphalian", "nordic",   "baltic",    "creole",    "cajun",
+      "yucatan",    "oaxacan",   "andean",    "patagonian",
+  };
+  return kList;
+}
+
+const std::vector<std::string>& GenericProcessVerbs() {
+  // Descending expected frequency; 'add' leads as in RecipeDB (188,004
+  // occurrences). Exactly 16 entries.
+  static const auto& kList = *new std::vector<std::string>{
+      "add",    "stir",  "mix",     "heat",   "cook",  "place",
+      "remove", "serve", "combine", "season", "pour",  "cover",
+      "set",    "turn",  "bring",   "taste",
+  };
+  return kList;
+}
+
+const std::vector<std::string>& PrepProcessVerbs() {
+  static const auto& kBase = *new std::vector<std::string>{
+      "chop",    "slice",    "dice",   "mince",  "peel",    "grate",
+      "shred",   "crush",    "mash",   "whisk",  "beat",    "knead",
+      "marinate", "soak",    "rinse",  "drain",  "trim",    "core",
+      "pit",     "zest",     "juice",  "cube",   "julienne", "butterfly",
+      "tenderize", "score",  "skewer", "bread",  "batter",  "dust",
+      "coat",    "rub",      "brine",  "cure",   "sift",    "measure",
+      "divide",  "portion",  "roll",   "flatten", "fold in", "cream together",
+  };
+  static const auto& kModifiers = *new std::vector<std::string>{
+      "finely", "coarsely", "thinly", "roughly", "evenly", "lightly",
+  };
+  static const auto& kList =
+      *new std::vector<std::string>(ComposeProcesses(kBase, kModifiers, 96));
+  return kList;
+}
+
+const std::vector<std::string>& CookProcessVerbs() {
+  static const auto& kBase = *new std::vector<std::string>{
+      "simmer",  "boil",    "steam",   "poach",   "blanch",  "saute",
+      "fry",     "deep fry", "stir fry", "pan fry", "sear",   "brown",
+      "roast",   "bake",    "broil",   "grill",   "barbecue", "smoke",
+      "braise",  "stew",    "sweat",   "caramelize", "reduce", "deglaze",
+      "toast",   "char",    "griddle", "pressure cook", "slow cook",
+      "microwave", "flambe", "confit", "render",  "melt",    "scald",
+      "temper",  "proof",   "steep",   "infuse",  "parboil", "crisp",
+      "glaze",
+  };
+  static const auto& kModifiers = *new std::vector<std::string>{
+      "gently", "slowly", "rapidly", "uncovered", "covered", "twice",
+  };
+  static const auto& kList =
+      *new std::vector<std::string>(ComposeProcesses(kBase, kModifiers, 96));
+  return kList;
+}
+
+const std::vector<std::string>& FinishProcessVerbs() {
+  static const auto& kBase = *new std::vector<std::string>{
+      "garnish", "plate",   "drizzle", "sprinkle", "dollop",  "spread",
+      "chill",   "cool",    "rest",    "refrigerate", "freeze", "thaw",
+      "strain",  "skim",    "carve",   "slice open", "unmold", "transfer",
+      "top",     "layer",   "stack",   "wrap",    "seal",     "store",
+      "reheat",  "warm through", "finish", "adjust seasoning", "squeeze over",
+      "scatter", "brush",   "baste",
+  };
+  static const auto& kModifiers = *new std::vector<std::string>{
+      "before serving", "to taste",
+  };
+  static const auto& kList =
+      *new std::vector<std::string>(ComposeProcesses(kBase, kModifiers, 48));
+  return kList;
+}
+
+const std::vector<std::string>& UtensilNames() {
+  // Exactly 69 utensils, matching the RecipeDB count.
+  static const auto& kList = *new std::vector<std::string>{
+      "pan",          "saucepan",     "skillet",      "pot",
+      "stockpot",     "dutch oven",   "wok",          "griddle pan",
+      "baking sheet", "baking dish",  "roasting pan", "casserole dish",
+      "loaf pan",     "cake pan",     "pie dish",     "muffin tin",
+      "ramekin",      "bowl",         "mixing bowl",  "serving bowl",
+      "dinner plate", "platter",      "cup",          "measuring cup",
+      "measuring spoon", "knife",     "chef knife",   "paring knife",
+      "cutting board", "spoon",       "wooden spoon", "slotted spoon",
+      "ladle",        "spatula",      "tongs",        "balloon whisk",
+      "fork",         "grater",       "zester",       "peeler",
+      "colander",     "strainer",     "sieve",        "food processor",
+      "blender",      "mixer",        "stand mixer",  "rolling pin",
+      "oven",         "stove",        "broiler",      "grill pan",
+      "microwave oven", "toaster",      "steamer",      "pressure cooker",
+      "slow cooker",  "rice cooker",  "mortar",       "pestle",
+      "thermometer",  "timer",        "foil",         "parchment paper",
+      "plastic wrap", "skewer stick", "mandoline",    "funnel",
+      "kettle",
+  };
+  return kList;
+}
+
+}  // namespace cuisine::data

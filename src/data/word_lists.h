@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file word_lists.h
+/// \brief Culinary word inventories used to synthesise a plausible
+/// RecipeDB-like vocabulary (ingredient phrases, process verbs, utensils).
+///
+/// The generator composes these lists ("smoked" + "paprika", "simmer" +
+/// "gently") into the ~20k ingredient phrases, 256 processes and 69
+/// utensils the paper reports, then dedupes the results *after*
+/// tokenization + lemmatization so every synthesised name survives
+/// preprocessing as a distinct feature.
+
+namespace cuisine::data {
+
+/// ~220 base food nouns ("lentil", "paprika", ...).
+const std::vector<std::string>& FoodNouns();
+
+/// ~90 culinary adjectives ("smoked", "fresh", ...).
+const std::vector<std::string>& FoodAdjectives();
+
+/// ~44 origin/variety modifiers ("basmati", "roma", ...).
+const std::vector<std::string>& FoodOrigins();
+
+/// ~24 high-frequency generic process verbs ("add", "stir", ...), most
+/// frequent first ('add' dominates RecipeDB with 188k occurrences).
+const std::vector<std::string>& GenericProcessVerbs();
+
+/// ~96 preparation-stage verbs ("chop", "peel", "marinate", ...).
+const std::vector<std::string>& PrepProcessVerbs();
+
+/// ~96 cooking-stage verbs ("simmer", "roast", "braise", ...).
+const std::vector<std::string>& CookProcessVerbs();
+
+/// ~48 finishing-stage verbs ("garnish", "plate", "chill", ...).
+const std::vector<std::string>& FinishProcessVerbs();
+
+/// Exactly 69 utensil names ("saucepan", "skillet", ...).
+const std::vector<std::string>& UtensilNames();
+
+}  // namespace cuisine::data

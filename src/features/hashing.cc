@@ -1,0 +1,53 @@
+#include "features/hashing.h"
+
+#include "util/logging.h"
+
+namespace cuisine::features {
+
+namespace {
+
+/// FNV-1a 64-bit.
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FeatureHasher::FeatureHasher(FeatureHasherOptions options)
+    : options_(options) {
+  CUISINE_CHECK(options_.num_buckets >= 2);
+}
+
+int32_t FeatureHasher::Bucket(std::string_view token) const {
+  return static_cast<int32_t>(Fnv1a(token, 0) %
+                              static_cast<uint64_t>(options_.num_buckets));
+}
+
+SparseVector FeatureHasher::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    const int32_t bucket = Bucket(tok);
+    const float sign =
+        options_.alternate_sign && (Fnv1a(tok, 0x9e3779b9) & 1) ? -1.0f : 1.0f;
+    entries.push_back({bucket, sign});
+  }
+  SparseVector out = SparseVector::FromUnsorted(std::move(entries));
+  if (options_.l2_normalize) out.L2Normalize();
+  return out;
+}
+
+CsrMatrix FeatureHasher::TransformAll(
+    const std::vector<std::vector<std::string>>& documents) const {
+  CsrMatrix m(static_cast<size_t>(options_.num_buckets));
+  for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+}  // namespace cuisine::features

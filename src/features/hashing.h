@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "features/sparse.h"
+
+/// \file hashing.h
+/// \brief Feature-hashing vectorizer (the "hashing trick").
+///
+/// An alternative to the dictionary-based CountVectorizer that needs no
+/// fit pass: tokens hash straight into a fixed number of buckets with a
+/// sign hash to de-bias collisions (Weinberger et al., 2009). Useful
+/// when the 20k-wide RecipeDB feature space must be bounded up front.
+
+namespace cuisine::features {
+
+struct FeatureHasherOptions {
+  /// Number of output buckets (columns).
+  int32_t num_buckets = 4096;
+  /// Use the secondary hash's sign to reduce collision bias.
+  bool alternate_sign = true;
+  /// L2-normalise each output row.
+  bool l2_normalize = true;
+};
+
+/// \brief Stateless hashing vectorizer.
+class FeatureHasher {
+ public:
+  explicit FeatureHasher(FeatureHasherOptions options = {});
+
+  /// Maps a tokenized document to a sparse row (no fitting needed).
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Maps a corpus.
+  CsrMatrix TransformAll(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  /// The bucket a token hashes to (for tests/diagnostics).
+  int32_t Bucket(std::string_view token) const;
+
+  int32_t num_buckets() const { return options_.num_buckets; }
+
+ private:
+  FeatureHasherOptions options_;
+};
+
+}  // namespace cuisine::features

@@ -1,0 +1,56 @@
+#include "features/sequence_encoder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cuisine::features {
+
+SequenceEncoder::SequenceEncoder(const text::Vocabulary* vocab,
+                                 SequenceEncoderOptions options)
+    : vocab_(vocab), options_(options) {
+  CUISINE_CHECK(vocab_ != nullptr);
+  CUISINE_CHECK(vocab_->has_special_tokens());
+  CUISINE_CHECK(options_.max_length >= (options_.add_cls_sep ? 3 : 1));
+}
+
+EncodedSequence SequenceEncoder::Encode(
+    const std::vector<std::string>& tokens) const {
+  const int32_t max_len = options_.max_length;
+  EncodedSequence out;
+  out.ids.reserve(max_len);
+
+  if (options_.add_cls_sep) {
+    out.ids.push_back(vocab_->cls_id());
+    const int32_t budget = max_len - 2;  // room for [CLS] and [SEP]
+    for (const auto& tok : tokens) {
+      if (static_cast<int32_t>(out.ids.size()) - 1 >= budget) break;
+      out.ids.push_back(vocab_->Lookup(tok));
+    }
+    out.ids.push_back(vocab_->sep_id());
+  } else {
+    for (const auto& tok : tokens) {
+      if (static_cast<int32_t>(out.ids.size()) >= max_len) break;
+      out.ids.push_back(vocab_->Lookup(tok));
+    }
+    // Recurrent models need at least one step; an empty document (possible
+    // under substructure ablations) becomes a lone [UNK].
+    if (out.ids.empty()) out.ids.push_back(vocab_->unk_id());
+  }
+
+  out.length = static_cast<int32_t>(out.ids.size());
+  out.ids.resize(max_len, vocab_->pad_id());
+  out.mask.assign(max_len, 0);
+  std::fill(out.mask.begin(), out.mask.begin() + out.length, 1);
+  return out;
+}
+
+std::vector<EncodedSequence> SequenceEncoder::EncodeAll(
+    const std::vector<std::vector<std::string>>& documents) const {
+  std::vector<EncodedSequence> out;
+  out.reserve(documents.size());
+  for (const auto& doc : documents) out.push_back(Encode(doc));
+  return out;
+}
+
+}  // namespace cuisine::features

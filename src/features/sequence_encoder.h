@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+/// \file sequence_encoder.h
+/// \brief Token sequence -> fixed-length id sequence for sequential models.
+///
+/// LSTM batches are right-padded with [PAD]=0; transformer inputs are
+/// wrapped as [CLS] tokens... [SEP] then padded. Attention masks mark real
+/// positions with 1.
+
+namespace cuisine::features {
+
+/// One encoded sequence with its attention mask.
+struct EncodedSequence {
+  std::vector<int32_t> ids;
+  /// 1 for real tokens (incl. CLS/SEP), 0 for padding. Same length as ids.
+  std::vector<int32_t> mask;
+  /// Number of non-pad positions.
+  int32_t length = 0;
+};
+
+/// Options controlling truncation and special-token wrapping.
+struct SequenceEncoderOptions {
+  int32_t max_length = 64;
+  /// Wrap with [CLS] ... [SEP] (transformer style). When false the raw
+  /// token ids are padded/truncated (LSTM style).
+  bool add_cls_sep = false;
+};
+
+/// \brief Fixed-length id-sequence encoder over a frozen vocabulary.
+class SequenceEncoder {
+ public:
+  /// `vocab` must outlive the encoder and have special tokens.
+  SequenceEncoder(const text::Vocabulary* vocab,
+                  SequenceEncoderOptions options);
+
+  /// Encodes one tokenized recipe.
+  EncodedSequence Encode(const std::vector<std::string>& tokens) const;
+
+  /// Encodes a corpus.
+  std::vector<EncodedSequence> EncodeAll(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  int32_t max_length() const { return options_.max_length; }
+  const text::Vocabulary& vocabulary() const { return *vocab_; }
+
+ private:
+  const text::Vocabulary* vocab_;
+  SequenceEncoderOptions options_;
+};
+
+}  // namespace cuisine::features

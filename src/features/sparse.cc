@@ -1,0 +1,100 @@
+#include "features/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cuisine::features {
+
+SparseVector SparseVector::FromUnsorted(std::vector<SparseEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.index < b.index;
+            });
+  SparseVector out;
+  for (const SparseEntry& e : entries) {
+    if (!out.entries_.empty() && out.entries_.back().index == e.index) {
+      out.entries_.back().value += e.value;
+    } else {
+      out.entries_.push_back(e);
+    }
+  }
+  // Drop entries that cancelled to zero.
+  out.entries_.erase(
+      std::remove_if(out.entries_.begin(), out.entries_.end(),
+                     [](const SparseEntry& e) { return e.value == 0.0f; }),
+      out.entries_.end());
+  return out;
+}
+
+float SparseVector::At(int32_t index) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), index,
+      [](const SparseEntry& e, int32_t idx) { return e.index < idx; });
+  if (it != entries_.end() && it->index == index) return it->value;
+  return 0.0f;
+}
+
+float SparseVector::SquaredNorm() const {
+  float s = 0.0f;
+  for (const SparseEntry& e : entries_) s += e.value * e.value;
+  return s;
+}
+
+void SparseVector::L2Normalize() {
+  const float norm = std::sqrt(SquaredNorm());
+  if (norm == 0.0f) return;
+  Scale(1.0f / norm);
+}
+
+void SparseVector::Scale(float alpha) {
+  for (SparseEntry& e : entries_) e.value *= alpha;
+}
+
+float SparseVector::DotDense(const float* dense) const {
+  float s = 0.0f;
+  for (const SparseEntry& e : entries_) s += e.value * dense[e.index];
+  return s;
+}
+
+float SparseVector::Dot(const SparseVector& other) const {
+  float s = 0.0f;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->index < b->index) {
+      ++a;
+    } else if (b->index < a->index) {
+      ++b;
+    } else {
+      s += a->value * b->value;
+      ++a;
+      ++b;
+    }
+  }
+  return s;
+}
+
+void SparseVector::AxpyInto(float alpha, float* dense) const {
+  for (const SparseEntry& e : entries_) dense[e.index] += alpha * e.value;
+}
+
+void CsrMatrix::AppendRow(const SparseVector& row) {
+  entries_.insert(entries_.end(), row.entries().begin(), row.entries().end());
+  row_offsets_.push_back(entries_.size());
+}
+
+SparseVector CsrMatrix::Row(size_t r) const {
+  SparseVector v;
+  for (const SparseEntry* e = RowBegin(r); e != RowEnd(r); ++e) {
+    v.PushBack(e->index, e->value);
+  }
+  return v;
+}
+
+double CsrMatrix::Sparsity() const {
+  const double cells = static_cast<double>(rows()) * static_cast<double>(cols());
+  if (cells == 0.0) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / cells;
+}
+
+}  // namespace cuisine::features

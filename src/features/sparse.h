@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file sparse.h
+/// \brief Sparse vector and CSR sparse matrix types.
+///
+/// The RecipeDB feature space is ~20k wide with ~99.5% sparsity (§III), so
+/// every statistical model consumes these types instead of dense rows.
+
+namespace cuisine::features {
+
+/// One (column, value) entry of a sparse row.
+struct SparseEntry {
+  int32_t index = 0;
+  float value = 0.0f;
+
+  bool operator==(const SparseEntry&) const = default;
+};
+
+/// \brief Sorted-by-index sparse vector.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  /// Takes entries that may be unsorted or contain duplicate indices;
+  /// duplicates are summed, zeros dropped, result sorted by index.
+  static SparseVector FromUnsorted(std::vector<SparseEntry> entries);
+
+  /// Appends an entry; caller guarantees strictly increasing indices.
+  void PushBack(int32_t index, float value) {
+    entries_.push_back({index, value});
+  }
+
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+  size_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Value at a column (0 if absent). O(log nnz).
+  float At(int32_t index) const;
+
+  /// Sum of squared values.
+  float SquaredNorm() const;
+
+  /// L2-normalises in place (no-op on the zero vector).
+  void L2Normalize();
+
+  /// Multiplies every value by `alpha`.
+  void Scale(float alpha);
+
+  /// Dot product with a dense span of length >= max index + 1.
+  float DotDense(const float* dense) const;
+
+  /// Dot product with another sparse vector (merge join).
+  float Dot(const SparseVector& other) const;
+
+  /// Adds `alpha * this` into a dense accumulator.
+  void AxpyInto(float alpha, float* dense) const;
+
+  bool operator==(const SparseVector&) const = default;
+
+ private:
+  std::vector<SparseEntry> entries_;
+};
+
+/// \brief Compressed sparse row matrix over float.
+///
+/// Rows are appended once and then read-only; this is the layout the
+/// statistical trainers iterate over (row slices are contiguous).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  explicit CsrMatrix(size_t cols) : cols_(cols) {}
+
+  /// Appends one row.
+  void AppendRow(const SparseVector& row);
+
+  size_t rows() const { return row_offsets_.size() - 1; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return entries_.size(); }
+
+  /// Entries of row r as a contiguous span.
+  const SparseEntry* RowBegin(size_t r) const {
+    return entries_.data() + row_offsets_[r];
+  }
+  const SparseEntry* RowEnd(size_t r) const {
+    return entries_.data() + row_offsets_[r + 1];
+  }
+  size_t RowNnz(size_t r) const {
+    return row_offsets_[r + 1] - row_offsets_[r];
+  }
+
+  /// Copies row r into a SparseVector.
+  SparseVector Row(size_t r) const;
+
+  /// Fraction of zero cells, in [0, 1].
+  double Sparsity() const;
+
+ private:
+  size_t cols_ = 0;
+  std::vector<SparseEntry> entries_;
+  std::vector<size_t> row_offsets_ = {0};
+};
+
+}  // namespace cuisine::features

@@ -1,0 +1,108 @@
+#include "features/vectorizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cuisine::features {
+
+CountVectorizer::CountVectorizer(VectorizerOptions options)
+    : options_(options) {}
+
+util::Status CountVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  if (fitted_) {
+    return util::Status::FailedPrecondition("CountVectorizer already fitted");
+  }
+  // Pass 1: document frequencies over the raw token space.
+  std::unordered_map<std::string, int64_t> df;
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string_view> seen;
+    for (const auto& tok : doc) seen.insert(tok);
+    for (std::string_view tok : seen) ++df[std::string(tok)];
+  }
+  // Select features: df threshold, then cap by descending df.
+  std::vector<std::pair<std::string, int64_t>> selected;
+  selected.reserve(df.size());
+  for (auto& [tok, count] : df) {
+    if (count >= options_.min_document_frequency) {
+      selected.emplace_back(tok, count);
+    }
+  }
+  std::sort(selected.begin(), selected.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (options_.max_features > 0 &&
+      selected.size() > static_cast<size_t>(options_.max_features)) {
+    selected.resize(static_cast<size_t>(options_.max_features));
+  }
+  for (const auto& [tok, count] : selected) {
+    vocab_.Add(tok);
+    doc_freq_.push_back(count);
+  }
+  num_documents_ = static_cast<int64_t>(documents.size());
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+SparseVector CountVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    const int32_t id = vocab_.Lookup(tok);
+    if (id < 0) continue;
+    entries.push_back({id, 1.0f});
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+CsrMatrix CountVectorizer::TransformAll(
+    const std::vector<std::vector<std::string>>& documents) const {
+  CsrMatrix m(num_features());
+  for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+TfidfVectorizer::TfidfVectorizer(TfidfOptions options)
+    : options_(options), counts_(options.vectorizer) {}
+
+util::Status TfidfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  CUISINE_RETURN_NOT_OK(counts_.Fit(documents));
+  const auto n = static_cast<double>(counts_.num_fitted_documents());
+  idf_.resize(counts_.num_features());
+  for (size_t i = 0; i < idf_.size(); ++i) {
+    const auto df = static_cast<double>(
+        counts_.DocumentFrequency(static_cast<int32_t>(i)));
+    double idf = options_.smooth_idf ? std::log((1.0 + n) / (1.0 + df)) + 1.0
+                                     : std::log(n / df) + 1.0;
+    idf_[i] = static_cast<float>(idf);
+  }
+  return util::Status::OK();
+}
+
+SparseVector TfidfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  SparseVector counts = counts_.Transform(tokens);
+  std::vector<SparseEntry> entries;
+  entries.reserve(counts.nnz());
+  for (const SparseEntry& e : counts.entries()) {
+    float tf = options_.sublinear_tf ? 1.0f + std::log(e.value) : e.value;
+    entries.push_back({e.index, tf * idf_[e.index]});
+  }
+  SparseVector out = SparseVector::FromUnsorted(std::move(entries));
+  if (options_.l2_normalize) out.L2Normalize();
+  return out;
+}
+
+CsrMatrix TfidfVectorizer::TransformAll(
+    const std::vector<std::vector<std::string>>& documents) const {
+  CsrMatrix m(num_features());
+  for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+}  // namespace cuisine::features

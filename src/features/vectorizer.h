@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/sparse.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+/// \file vectorizer.h
+/// \brief Bag-of-tokens count and TF-IDF vectorizers (§IV of the paper).
+///
+/// The statistical models consume TF-IDF rows: "we used TF-IDF technique
+/// because of its weighted function which reduces the effect of high
+/// frequency yet less meaningful words". Fit learns the vocabulary and
+/// document frequencies on the training split only; Transform maps any
+/// split through the frozen statistics (no leakage).
+
+namespace cuisine::features {
+
+/// Options shared by the count and TF-IDF vectorizers.
+struct VectorizerOptions {
+  /// Tokens seen in fewer than this many documents are dropped.
+  int32_t min_document_frequency = 1;
+  /// Keep at most this many features (by descending document frequency,
+  /// ties broken lexicographically); 0 = unlimited.
+  int32_t max_features = 0;
+};
+
+/// \brief Token-count vectorizer (the "bag of items" view of a recipe).
+class CountVectorizer {
+ public:
+  explicit CountVectorizer(VectorizerOptions options = {});
+
+  /// Learns the feature vocabulary from tokenized documents.
+  util::Status Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Maps one document to a sparse count row. Unknown tokens are dropped.
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Maps a corpus to a CSR matrix.
+  CsrMatrix TransformAll(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_features() const { return vocab_.size(); }
+  /// Number of training documents containing feature `i`.
+  int64_t DocumentFrequency(int32_t i) const { return doc_freq_[i]; }
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  int64_t num_fitted_documents() const { return num_documents_; }
+
+ private:
+  VectorizerOptions options_;
+  text::Vocabulary vocab_{/*with_special_tokens=*/false};
+  std::vector<int64_t> doc_freq_;
+  int64_t num_documents_ = 0;
+  bool fitted_ = false;
+};
+
+/// Options for TF-IDF weighting on top of counts.
+struct TfidfOptions {
+  VectorizerOptions vectorizer;
+  /// idf(t) = log((1 + n) / (1 + df(t))) + 1 when true (sklearn smooth_idf),
+  /// else log(n / df(t)) + 1.
+  bool smooth_idf = true;
+  /// tf = 1 + log(count) instead of raw count.
+  bool sublinear_tf = false;
+  /// L2-normalise each output row.
+  bool l2_normalize = true;
+};
+
+/// \brief TF-IDF vectorizer: counts reweighted by inverse document
+/// frequency, optionally L2-normalised.
+class TfidfVectorizer {
+ public:
+  explicit TfidfVectorizer(TfidfOptions options = {});
+
+  util::Status Fit(const std::vector<std::vector<std::string>>& documents);
+
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  CsrMatrix TransformAll(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  bool fitted() const { return counts_.fitted(); }
+  size_t num_features() const { return counts_.num_features(); }
+  const text::Vocabulary& vocabulary() const { return counts_.vocabulary(); }
+  /// The learned idf weight for feature `i`.
+  float Idf(int32_t i) const { return idf_[i]; }
+
+ private:
+  TfidfOptions options_;
+  CountVectorizer counts_;
+  std::vector<float> idf_;
+};
+
+}  // namespace cuisine::features

@@ -1,0 +1,130 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cuisine::linalg {
+
+namespace {
+
+// Blocked inner kernel: accumulates C[i,:] += a_ik * B[k,:].
+// Row-major GEMM in i-k-j order keeps all three streams sequential.
+void GemmImpl(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  assert(b.rows() == k);
+  if (!accumulate) {
+    *c = Matrix(m, n, 0.0f);
+  } else {
+    assert(c->rows() == m && c->cols() == n);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(kk);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmImpl(a, b, c, /*accumulate=*/false);
+}
+
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmImpl(a, b, c, /*accumulate=*/true);
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  assert(b.rows() == k);
+  *c = Matrix(m, n, 0.0f);
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c) {
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  assert(b.cols() == k);
+  *c = Matrix(m, n, 0.0f);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = Dot(arow, b.Row(j), k);
+    }
+  }
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float Dot(const float* x, const float* y, size_t n) {
+  // Four partial sums so the compiler can keep independent FMA chains.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float Norm2(const float* x, size_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+void Scale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void SoftmaxInPlace(float* x, size_t n) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+float LogSumExp(const float* x, size_t n) {
+  if (n == 0) return -std::numeric_limits<float>::infinity();
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(x[i] - mx);
+  return mx + std::log(sum);
+}
+
+}  // namespace cuisine::linalg

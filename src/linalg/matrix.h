@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+/// \file matrix.h
+/// \brief Row-major dense float matrix and the blocked kernels built on it.
+///
+/// This is deliberately small: just what the classical models and the
+/// autograd engine need (GEMM variants, row ops, reductions). All kernels
+/// are single-threaded; callers parallelise across batches/trees.
+
+namespace cuisine::linalg {
+
+/// \brief Row-major dense matrix of float.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Creates a rows x cols matrix initialised to `fill`.
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* Row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). C is overwritten.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C += A * B (accumulating GEMM).
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// y += alpha * x (vectors as raw spans of length n).
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// Dot product of two length-n spans.
+float Dot(const float* x, const float* y, size_t n);
+
+/// Euclidean norm of a length-n span.
+float Norm2(const float* x, size_t n);
+
+/// In-place scale: x *= alpha.
+void Scale(float alpha, float* x, size_t n);
+
+/// Numerically stable in-place softmax over a length-n span.
+void SoftmaxInPlace(float* x, size_t n);
+
+/// log(sum(exp(x))) over a length-n span, numerically stable.
+float LogSumExp(const float* x, size_t n);
+
+}  // namespace cuisine::linalg

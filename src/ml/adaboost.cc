@@ -1,0 +1,90 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cuisine::ml {
+
+AdaBoost::AdaBoost(AdaBoostOptions options) : options_(options) {}
+
+util::Status AdaBoost::Fit(const features::CsrMatrix& x,
+                           const std::vector<int32_t>& y,
+                           int32_t num_classes) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (options_.num_rounds <= 0) {
+    return util::Status::InvalidArgument("num_rounds must be positive");
+  }
+  const size_t n = x.rows();
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  util::Rng rng(options_.seed);
+
+  trees_.clear();
+  alphas_.clear();
+  const double k = num_classes;
+  for (int32_t round = 0; round < options_.num_rounds; ++round) {
+    DecisionTreeOptions tree_options = options_.tree;
+    tree_options.seed = rng.NextU64();
+    auto tree = std::make_unique<DecisionTree>(tree_options);
+    CUISINE_RETURN_NOT_OK(tree->FitWeighted(x, y, num_classes, indices, w));
+
+    // Weighted training error of this round.
+    std::vector<int32_t> pred(n);
+    double err = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] = tree->Predict(x.Row(i));
+      if (pred[i] != y[i]) err += w[i];
+    }
+    // SAMME requires err < (K-1)/K (better than random guessing).
+    if (err >= (k - 1.0) / k) {
+      if (trees_.empty()) {
+        // Keep one stump anyway so the model is usable.
+        trees_.push_back(std::move(tree));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+    err = std::max(err, 1e-10);
+    const double alpha =
+        options_.learning_rate * (std::log((1.0 - err) / err) + std::log(k - 1.0));
+    // Reweight: misclassified samples gain exp(alpha).
+    double wsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pred[i] != y[i]) w[i] *= std::exp(alpha);
+      wsum += w[i];
+    }
+    for (double& wi : w) wi /= wsum;
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+    if (err < 1e-9) break;  // perfect fit; later rounds add nothing
+  }
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+std::vector<float> AdaBoost::PredictProba(
+    const features::SparseVector& x) const {
+  // Discrete SAMME vote: sum alpha over each tree's argmax class.
+  std::vector<double> votes(num_classes_, 0.0);
+  for (size_t m = 0; m < trees_.size(); ++m) {
+    votes[trees_[m]->Predict(x)] += alphas_[m];
+  }
+  double total = 0.0;
+  for (double v : votes) total += v;
+  std::vector<float> proba(num_classes_);
+  if (total <= 0.0) {
+    std::fill(proba.begin(), proba.end(),
+              1.0f / static_cast<float>(num_classes_));
+  } else {
+    for (int32_t c = 0; c < num_classes_; ++c) {
+      proba[c] = static_cast<float>(votes[c] / total);
+    }
+  }
+  return proba;
+}
+
+}  // namespace cuisine::ml

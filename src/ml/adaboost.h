@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+/// \file adaboost.h
+/// \brief Multi-class AdaBoost (SAMME) over shallow CART trees (§V-D).
+///
+/// The paper pairs Random Forest with AdaBoost ("RF with AdaBoost can
+/// turn out to be a good text classifier"). SAMME (Zhu et al., 2009)
+/// generalises discrete AdaBoost to K classes: round weight
+/// alpha_m = log((1-err)/err) + log(K-1), with early exit when a round is
+/// no better than chance.
+
+namespace cuisine::ml {
+
+struct AdaBoostOptions {
+  int32_t num_rounds = 30;
+  /// Base learner; shallow by default (boosting wants weak learners).
+  DecisionTreeOptions tree{.max_depth = 3,
+                           .min_samples_split = 4,
+                           .min_samples_leaf = 2,
+                           .max_features = 0,
+                           .max_thresholds = 4,
+                           .seed = 13};
+  uint64_t seed = 19;
+  /// Shrinkage applied to every alpha.
+  double learning_rate = 1.0;
+};
+
+/// \brief SAMME AdaBoost ensemble.
+class AdaBoost final : public SparseClassifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  std::string name() const override { return "AdaBoost"; }
+
+  size_t num_rounds_fitted() const { return trees_.size(); }
+  const std::vector<double>& alphas() const { return alphas_; }
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace cuisine::ml

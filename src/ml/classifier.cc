@@ -1,0 +1,59 @@
+#include "ml/classifier.h"
+
+#include <algorithm>
+
+namespace cuisine::ml {
+
+int32_t SparseClassifier::Predict(const features::SparseVector& x) const {
+  const std::vector<float> proba = PredictProba(x);
+  return static_cast<int32_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+util::Status SparseClassifier::ValidateFitInputs(
+    const features::CsrMatrix& x, const std::vector<int32_t>& y,
+    int32_t num_classes) {
+  if (fitted_) {
+    return util::Status::FailedPrecondition(name() + " already fitted");
+  }
+  if (x.rows() == 0) {
+    return util::Status::InvalidArgument("empty training set");
+  }
+  if (x.rows() != y.size()) {
+    return util::Status::InvalidArgument(
+        "row/label count mismatch: " + std::to_string(x.rows()) + " vs " +
+        std::to_string(y.size()));
+  }
+  if (num_classes < 2) {
+    return util::Status::InvalidArgument("need at least 2 classes");
+  }
+  for (int32_t label : y) {
+    if (label < 0 || label >= num_classes) {
+      return util::Status::InvalidArgument("label out of range: " +
+                                           std::to_string(label));
+    }
+  }
+  num_classes_ = num_classes;
+  num_features_ = x.cols();
+  return util::Status::OK();
+}
+
+std::vector<int32_t> PredictAll(const SparseClassifier& model,
+                                const features::CsrMatrix& x) {
+  std::vector<int32_t> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out.push_back(model.Predict(x.Row(i)));
+  return out;
+}
+
+std::vector<std::vector<float>> PredictProbaAll(const SparseClassifier& model,
+                                                const features::CsrMatrix& x) {
+  std::vector<std::vector<float>> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    out.push_back(model.PredictProba(x.Row(i)));
+  }
+  return out;
+}
+
+}  // namespace cuisine::ml

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "features/sparse.h"
+#include "util/status.h"
+
+/// \file classifier.h
+/// \brief Common interface of the statistical (TF-IDF based) models.
+///
+/// All "statistical models" of the paper (§V: Naive Bayes, Logistic
+/// Regression, linear SVM, Random Forest with boosting) train on sparse
+/// TF-IDF rows and share this interface so the experiment runner can
+/// sweep them uniformly.
+
+namespace cuisine::ml {
+
+/// \brief Abstract multi-class classifier over sparse feature rows.
+class SparseClassifier {
+ public:
+  virtual ~SparseClassifier() = default;
+
+  /// Trains on rows `x` with labels `y` in [0, num_classes).
+  /// Returns InvalidArgument on shape mismatches or bad labels.
+  virtual util::Status Fit(const features::CsrMatrix& x,
+                           const std::vector<int32_t>& y,
+                           int32_t num_classes) = 0;
+
+  /// Class probabilities for one row; size num_classes, sums to 1.
+  /// Margin-based models return calibrated-ish softmax scores (documented
+  /// per model). Requires a successful Fit.
+  virtual std::vector<float> PredictProba(
+      const features::SparseVector& x) const = 0;
+
+  /// Predicted class (argmax of PredictProba unless overridden).
+  virtual int32_t Predict(const features::SparseVector& x) const;
+
+  /// Short display name ("LogReg", ...).
+  virtual std::string name() const = 0;
+
+  int32_t num_classes() const { return num_classes_; }
+  bool fitted() const { return fitted_; }
+
+ protected:
+  /// Validates Fit inputs and records num_classes. Shared by subclasses.
+  util::Status ValidateFitInputs(const features::CsrMatrix& x,
+                                 const std::vector<int32_t>& y,
+                                 int32_t num_classes);
+
+  int32_t num_classes_ = 0;
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+/// Predicts every row of `x`.
+std::vector<int32_t> PredictAll(const SparseClassifier& model,
+                                const features::CsrMatrix& x);
+
+/// Probability rows for every row of `x` (row-major, num_classes wide).
+std::vector<std::vector<float>> PredictProbaAll(const SparseClassifier& model,
+                                                const features::CsrMatrix& x);
+
+}  // namespace cuisine::ml

@@ -1,0 +1,256 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cuisine::ml {
+
+namespace {
+
+/// Value of `feature` in CSR row `row` without materialising the row.
+float RowValue(const features::CsrMatrix& x, size_t row, int32_t feature) {
+  const auto* begin = x.RowBegin(row);
+  const auto* end = x.RowEnd(row);
+  const auto* it = std::lower_bound(
+      begin, end, feature,
+      [](const features::SparseEntry& e, int32_t f) { return e.index < f; });
+  return (it != end && it->index == feature) ? it->value : 0.0f;
+}
+
+/// Weighted Gini impurity of a class histogram with total mass `total`.
+double Gini(const std::vector<double>& histogram, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double h : histogram) sum_sq += h * h;
+  return 1.0 - sum_sq / (total * total);
+}
+
+}  // namespace
+
+struct DecisionTree::BuildContext {
+  const features::CsrMatrix* x = nullptr;
+  const std::vector<int32_t>* y = nullptr;
+  int32_t num_classes = 0;
+  int32_t max_features = 0;
+  util::Rng rng{0};
+};
+
+DecisionTree::DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+util::Status DecisionTree::Fit(const features::CsrMatrix& x,
+                               const std::vector<int32_t>& y,
+                               int32_t num_classes) {
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<double> weights(x.rows(), 1.0);
+  return FitWeighted(x, y, num_classes, indices, weights);
+}
+
+util::Status DecisionTree::FitWeighted(
+    const features::CsrMatrix& x, const std::vector<int32_t>& y,
+    int32_t num_classes, const std::vector<size_t>& sample_indices,
+    const std::vector<double>& weights) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (sample_indices.size() != weights.size()) {
+    return util::Status::InvalidArgument(
+        "sample_indices/weights size mismatch");
+  }
+  if (sample_indices.empty()) {
+    return util::Status::InvalidArgument("empty sample set");
+  }
+  for (size_t i : sample_indices) {
+    if (i >= x.rows()) {
+      return util::Status::InvalidArgument("sample index out of range");
+    }
+  }
+
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.y = &y;
+  ctx.num_classes = num_classes;
+  ctx.max_features =
+      options_.max_features > 0
+          ? options_.max_features
+          : std::max(1, static_cast<int32_t>(
+                            std::sqrt(static_cast<double>(x.cols()))));
+  ctx.rng = util::Rng(options_.seed);
+
+  nodes_.clear();
+  leaf_probas_.clear();
+  depth_ = 0;
+  std::vector<size_t> samples = sample_indices;
+  std::vector<double> w = weights;
+  BuildNode(&ctx, &samples, &w, 0);
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+int32_t DecisionTree::BuildNode(BuildContext* ctx,
+                                std::vector<size_t>* samples,
+                                std::vector<double>* weights, int32_t depth) {
+  depth_ = std::max(depth_, depth);
+  const auto node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  const auto k = static_cast<size_t>(ctx->num_classes);
+  std::vector<double> histogram(k, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < samples->size(); ++i) {
+    histogram[(*ctx->y)[(*samples)[i]]] += (*weights)[i];
+    total += (*weights)[i];
+  }
+  const double node_gini = Gini(histogram, total);
+
+  auto make_leaf = [&] {
+    Node& node = nodes_[node_id];
+    node.proba_offset = static_cast<int32_t>(leaf_probas_.size());
+    for (size_t c = 0; c < k; ++c) {
+      leaf_probas_.push_back(
+          total > 0.0 ? static_cast<float>(histogram[c] / total)
+                      : 1.0f / static_cast<float>(k));
+    }
+    return node_id;
+  };
+
+  if (depth >= options_.max_depth || node_gini == 0.0 ||
+      static_cast<int32_t>(samples->size()) < options_.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Sample candidate features, then collect the non-zero (value, sample)
+  // pairs for just those features in one pass over the node's rows.
+  std::unordered_set<int32_t> candidate_set;
+  const auto d = static_cast<int32_t>(ctx->x->cols());
+  const int32_t want = std::min(ctx->max_features, d);
+  while (static_cast<int32_t>(candidate_set.size()) < want) {
+    candidate_set.insert(static_cast<int32_t>(ctx->rng.NextBelow(d)));
+  }
+  struct Present {
+    float value;
+    size_t pos;  // position within samples/weights
+  };
+  std::unordered_map<int32_t, std::vector<Present>> by_feature;
+  for (size_t pos = 0; pos < samples->size(); ++pos) {
+    const size_t row = (*samples)[pos];
+    for (const auto* e = ctx->x->RowBegin(row); e != ctx->x->RowEnd(row);
+         ++e) {
+      if (candidate_set.count(e->index)) {
+        by_feature[e->index].push_back({e->value, pos});
+      }
+    }
+  }
+
+  // Find the best (feature, threshold) by weighted Gini decrease.
+  double best_gain = 1e-12;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<double> right_hist(k);
+  for (auto& [feature, present] : by_feature) {
+    std::sort(present.begin(), present.end(),
+              [](const Present& a, const Present& b) {
+                return a.value < b.value;
+              });
+    // Thresholds: the zero/non-zero boundary plus value quantiles.
+    std::vector<float> thresholds;
+    if (present.size() < samples->size() && present.front().value > 0.0f) {
+      thresholds.push_back(present.front().value * 0.5f);
+    }
+    const size_t steps =
+        std::min<size_t>(options_.max_thresholds, present.size());
+    for (size_t s = 1; s < steps; ++s) {
+      const size_t lo_idx = present.size() * s / steps - 1;
+      const size_t hi_idx = lo_idx + 1;
+      if (hi_idx < present.size() &&
+          present[lo_idx].value < present[hi_idx].value) {
+        thresholds.push_back(
+            0.5f * (present[lo_idx].value + present[hi_idx].value));
+      }
+    }
+    for (float t : thresholds) {
+      // Right side: present values > t (absent samples have value 0 <= t
+      // for the positive thresholds we generate).
+      std::fill(right_hist.begin(), right_hist.end(), 0.0);
+      double right_total = 0.0;
+      for (const Present& p : present) {
+        if (p.value > t) {
+          const double w = (*weights)[p.pos];
+          right_hist[(*ctx->y)[(*samples)[p.pos]]] += w;
+          right_total += w;
+        }
+      }
+      const double left_total = total - right_total;
+      if (right_total <= 0.0 || left_total <= 0.0) continue;
+      double left_gini_sum = 0.0, right_gini_sum = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        const double lh = histogram[c] - right_hist[c];
+        left_gini_sum += lh * lh;
+        right_gini_sum += right_hist[c] * right_hist[c];
+      }
+      const double left_gini = 1.0 - left_gini_sum / (left_total * left_total);
+      const double right_gini =
+          1.0 - right_gini_sum / (right_total * right_total);
+      const double gain =
+          node_gini - (left_total * left_gini + right_total * right_gini) /
+                          total;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = t;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition samples by the winning split.
+  std::vector<size_t> left_samples, right_samples;
+  std::vector<double> left_weights, right_weights;
+  for (size_t pos = 0; pos < samples->size(); ++pos) {
+    const size_t row = (*samples)[pos];
+    const float v = RowValue(*ctx->x, row, best_feature);
+    if (v > best_threshold) {
+      right_samples.push_back(row);
+      right_weights.push_back((*weights)[pos]);
+    } else {
+      left_samples.push_back(row);
+      left_weights.push_back((*weights)[pos]);
+    }
+  }
+  if (static_cast<int32_t>(left_samples.size()) < options_.min_samples_leaf ||
+      static_cast<int32_t>(right_samples.size()) < options_.min_samples_leaf) {
+    return make_leaf();
+  }
+  // Free the parent's buffers before recursing.
+  samples->clear();
+  samples->shrink_to_fit();
+  weights->clear();
+  weights->shrink_to_fit();
+
+  const int32_t left_id =
+      BuildNode(ctx, &left_samples, &left_weights, depth + 1);
+  const int32_t right_id =
+      BuildNode(ctx, &right_samples, &right_weights, depth + 1);
+  Node& node = nodes_[node_id];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_id;
+  node.right = right_id;
+  return node_id;
+}
+
+std::vector<float> DecisionTree::PredictProba(
+    const features::SparseVector& x) const {
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const float v = x.At(nodes_[node].feature);
+    node = v > nodes_[node].threshold ? nodes_[node].right : nodes_[node].left;
+  }
+  const int32_t off = nodes_[node].proba_offset;
+  return std::vector<float>(leaf_probas_.begin() + off,
+                            leaf_probas_.begin() + off + num_classes_);
+}
+
+}  // namespace cuisine::ml

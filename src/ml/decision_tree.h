@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+/// \file decision_tree.h
+/// \brief CART decision tree on sparse rows (the Random Forest / AdaBoost
+/// base learner, §V-D).
+///
+/// Splits minimise weighted Gini impurity. Because TF-IDF rows are ~99.5%
+/// sparse, candidate thresholds per feature are the zero/non-zero boundary
+/// plus quantiles of the non-zero values; all absent (zero) samples fall
+/// on the left of any positive threshold.
+
+namespace cuisine::ml {
+
+struct DecisionTreeOptions {
+  int32_t max_depth = 18;
+  int32_t min_samples_split = 4;
+  int32_t min_samples_leaf = 2;
+  /// Features examined per node; 0 = floor(sqrt(num_features)).
+  int32_t max_features = 0;
+  /// Candidate thresholds per feature (beyond the presence boundary).
+  int32_t max_thresholds = 4;
+  uint64_t seed = 13;
+};
+
+/// \brief Single CART tree with optional per-sample weights.
+class DecisionTree final : public SparseClassifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  /// Weighted fit over a subset of rows (duplicates allowed: bootstrap).
+  /// `sample_indices` selects rows of x; `weights` (same length) scales
+  /// each sample's contribution. Used by RandomForest and AdaBoost.
+  util::Status FitWeighted(const features::CsrMatrix& x,
+                           const std::vector<int32_t>& y,
+                           int32_t num_classes,
+                           const std::vector<size_t>& sample_indices,
+                           const std::vector<double>& weights);
+
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  std::string name() const override { return "Decision Tree"; }
+
+  /// Number of nodes in the fitted tree (tests / ablations).
+  size_t node_count() const { return nodes_.size(); }
+  int32_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int32_t feature = -1;       // -1 for leaves
+    float threshold = 0.0f;     // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t proba_offset = -1;  // leaves: index into leaf_probas_
+  };
+
+  struct BuildContext;
+  int32_t BuildNode(BuildContext* ctx, std::vector<size_t>* samples,
+                    std::vector<double>* weights, int32_t depth);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<float> leaf_probas_;  // concatenated [num_classes] blocks
+  int32_t depth_ = 0;
+};
+
+}  // namespace cuisine::ml

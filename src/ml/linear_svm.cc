@@ -1,0 +1,102 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cuisine::ml {
+
+LinearSvm::LinearSvm(LinearSvmOptions options) : options_(options) {}
+
+util::Status LinearSvm::Fit(const features::CsrMatrix& x,
+                            const std::vector<int32_t>& y,
+                            int32_t num_classes) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (options_.lambda <= 0.0) {
+    return util::Status::InvalidArgument("lambda must be positive");
+  }
+  const size_t n = x.rows();
+  const size_t d = num_features_;
+  const auto k = static_cast<size_t>(num_classes);
+  weights_.assign(k * d, 0.0f);
+  bias_.assign(k, 0.0f);
+
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Shared Pegasos clock and scale for all heads (they see the same
+  // sample stream, so the 1/(lambda t) schedule coincides).
+  double scale = 1.0;
+  // Warm-start the Pegasos clock one epoch in so the first steps are not
+  // enormous (eta = 1/(lambda t)).
+  int64_t t = static_cast<int64_t>(n);
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      ++t;
+      const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      const auto* begin = x.RowBegin(idx);
+      const auto* end = x.RowEnd(idx);
+      // Regularisation shrink: w <- (1 - eta*lambda) w. With the Pegasos
+      // schedule 1 - eta*lambda = 1 - 1/t, zero at t=1 — clamp slightly.
+      const double shrink = std::max(1.0 - eta * options_.lambda, 1e-12);
+      scale *= shrink;
+      if (scale < 1e-9) {
+        for (auto& w : weights_) w = static_cast<float>(w * scale);
+        scale = 1.0;
+      }
+      for (size_t c = 0; c < k; ++c) {
+        const float ylabel = static_cast<int32_t>(c) == y[idx] ? 1.0f : -1.0f;
+        float* w = weights_.data() + c * d;
+        float z = 0.0f;
+        for (const auto* e = begin; e != end; ++e) {
+          z += w[e->index] * e->value;
+        }
+        const float margin = ylabel * (static_cast<float>(z * scale) + bias_[c]);
+        if (margin < 1.0f) {
+          // Hinge subgradient step (squared hinge scales by the slack).
+          const float coeff = options_.squared_hinge
+                                  ? 2.0f * (1.0f - margin) * ylabel
+                                  : ylabel;
+          const auto step = static_cast<float>(eta * coeff / scale);
+          for (const auto* e = begin; e != end; ++e) {
+            w[e->index] += step * e->value;
+          }
+          bias_[c] += static_cast<float>(eta * coeff * 0.01);  // slow bias
+        }
+      }
+    }
+  }
+  for (auto& w : weights_) w = static_cast<float>(w * scale);
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+std::vector<float> LinearSvm::DecisionFunction(
+    const features::SparseVector& x) const {
+  std::vector<float> scores(num_classes_);
+  for (int32_t c = 0; c < num_classes_; ++c) {
+    const float* w = weights_.data() + static_cast<size_t>(c) * num_features_;
+    scores[c] = bias_[c] + x.DotDense(w);
+  }
+  return scores;
+}
+
+int32_t LinearSvm::Predict(const features::SparseVector& x) const {
+  const std::vector<float> scores = DecisionFunction(x);
+  return static_cast<int32_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<float> LinearSvm::PredictProba(
+    const features::SparseVector& x) const {
+  std::vector<float> scores = DecisionFunction(x);
+  linalg::SoftmaxInPlace(scores.data(), scores.size());
+  return scores;
+}
+
+}  // namespace cuisine::ml

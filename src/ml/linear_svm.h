@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file linear_svm.h
+/// \brief Linear support vector machine, one-vs-all (§V-C).
+///
+/// "Single classifier per class was trained with the training set
+/// belonging to that class annotated as positive while the rest of the
+/// samples as negative." Each binary head minimises the L2-regularised
+/// hinge loss with Pegasos-style stochastic subgradient descent
+/// (Shalev-Shwartz et al., 2011): step size 1/(lambda·t) and exact lazy
+/// regularisation via a weight-scale factor.
+
+namespace cuisine::ml {
+
+struct LinearSvmOptions {
+  int32_t epochs = 30;
+  /// Pegasos regularisation parameter lambda.
+  double lambda = 5e-4;
+  uint64_t seed = 11;
+  /// Use squared hinge instead of hinge.
+  bool squared_hinge = false;
+};
+
+/// \brief One-vs-all linear SVM on sparse rows.
+class LinearSvm final : public SparseClassifier {
+ public:
+  explicit LinearSvm(LinearSvmOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  /// Softmax over margins: SVMs are not probabilistic, this is the
+  /// normalised-confidence convention used for the paper's loss metric.
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  int32_t Predict(const features::SparseVector& x) const override;
+
+  std::string name() const override { return "SVM (linear)"; }
+
+  /// Raw margins w_k·x + b_k.
+  std::vector<float> DecisionFunction(const features::SparseVector& x) const;
+
+ private:
+  LinearSvmOptions options_;
+  std::vector<float> weights_;  // [num_classes x num_features]
+  std::vector<float> bias_;     // [num_classes]
+};
+
+}  // namespace cuisine::ml

@@ -1,0 +1,219 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "linalg/matrix.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cuisine::ml {
+
+namespace {
+
+float Sigmoid(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+namespace {
+
+/// Per-class sample weights: n / (k * count). Unit weights when off.
+std::vector<float> ClassWeights(const std::vector<int32_t>& y,
+                                int32_t num_classes, bool balanced) {
+  std::vector<float> weights(num_classes, 1.0f);
+  if (!balanced) return weights;
+  std::vector<int64_t> counts(num_classes, 0);
+  for (int32_t label : y) ++counts[label];
+  for (int32_t c = 0; c < num_classes; ++c) {
+    weights[c] = counts[c] > 0
+                     ? static_cast<float>(y.size()) /
+                           (static_cast<float>(num_classes) *
+                            static_cast<float>(counts[c]))
+                     : 0.0f;
+  }
+  return weights;
+}
+
+}  // namespace
+
+util::Status LogisticRegression::Fit(const features::CsrMatrix& x,
+                                     const std::vector<int32_t>& y,
+                                     int32_t num_classes) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (options_.epochs <= 0 || options_.learning_rate <= 0.0) {
+    return util::Status::InvalidArgument("epochs and learning_rate must be positive");
+  }
+  weights_.assign(static_cast<size_t>(num_classes) * num_features_, 0.0f);
+  bias_.assign(num_classes, 0.0f);
+  epoch_losses_.clear();
+  if (options_.one_vs_rest) {
+    FitOneVsRest(x, y);
+  } else {
+    FitSoftmax(x, y);
+  }
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+void LogisticRegression::FitSoftmax(const features::CsrMatrix& x,
+                                    const std::vector<int32_t>& y) {
+  const size_t n = x.rows();
+  const size_t d = num_features_;
+  const auto k = static_cast<size_t>(num_classes_);
+  const std::vector<float> class_weight =
+      ClassWeights(y, num_classes_, options_.balanced_class_weights);
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Lazy exact L2: weights_ stores v with w = scale * v.
+  double scale = 1.0;
+  std::vector<float> logits(k);
+  int64_t t = 0;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      const double lr =
+          options_.learning_rate / (1.0 + static_cast<double>(t) / (10.0 * n));
+      ++t;
+      const auto* begin = x.RowBegin(idx);
+      const auto* end = x.RowEnd(idx);
+      for (size_t c = 0; c < k; ++c) {
+        const float* w = weights_.data() + c * d;
+        float z = bias_[c];
+        for (const auto* e = begin; e != end; ++e) {
+          z += w[e->index] * e->value;
+        }
+        logits[c] = static_cast<float>(z * scale);
+      }
+      const float sample_weight = class_weight[y[idx]];
+      const double lse = linalg::LogSumExp(logits.data(), k);
+      loss_sum += (lse - logits[y[idx]]) * sample_weight;
+      linalg::SoftmaxInPlace(logits.data(), k);
+      // L2 decay for this step (applies to all coordinates at once).
+      if (options_.l2 > 0.0) {
+        scale *= 1.0 - lr * options_.l2;
+        if (scale < 1e-6) {  // renormalise to keep v in range
+          for (auto& w : weights_) w = static_cast<float>(w * scale);
+          scale = 1.0;
+        }
+      }
+      for (size_t c = 0; c < k; ++c) {
+        const float g =
+            (logits[c] - (static_cast<int32_t>(c) == y[idx])) * sample_weight;
+        if (g == 0.0f) continue;
+        float* w = weights_.data() + c * d;
+        const auto step = static_cast<float>(lr * g / scale);
+        for (const auto* e = begin; e != end; ++e) {
+          w[e->index] -= step * e->value;
+        }
+        bias_[c] -= static_cast<float>(lr * g);
+      }
+    }
+    epoch_losses_.push_back(loss_sum / static_cast<double>(n));
+    if (options_.tolerance > 0.0 && epoch_losses_.size() >= 2) {
+      const double prev = epoch_losses_[epoch_losses_.size() - 2];
+      if (prev - epoch_losses_.back() < options_.tolerance) break;
+    }
+  }
+  for (auto& w : weights_) w = static_cast<float>(w * scale);
+}
+
+void LogisticRegression::FitOneVsRest(const features::CsrMatrix& x,
+                                      const std::vector<int32_t>& y) {
+  const size_t n = x.rows();
+  const size_t d = num_features_;
+  const auto k = static_cast<size_t>(num_classes_);
+  const std::vector<float> class_weight =
+      ClassWeights(y, num_classes_, options_.balanced_class_weights);
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double scale = 1.0;
+  int64_t t = 0;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    for (size_t idx : order) {
+      const double lr =
+          options_.learning_rate / (1.0 + static_cast<double>(t) / (10.0 * n));
+      ++t;
+      const auto* begin = x.RowBegin(idx);
+      const auto* end = x.RowEnd(idx);
+      if (options_.l2 > 0.0) {
+        scale *= 1.0 - lr * options_.l2;
+        if (scale < 1e-6) {
+          for (auto& w : weights_) w = static_cast<float>(w * scale);
+          scale = 1.0;
+        }
+      }
+      for (size_t c = 0; c < k; ++c) {
+        const float* w = weights_.data() + c * d;
+        float z = bias_[c];
+        for (const auto* e = begin; e != end; ++e) {
+          z += w[e->index] * e->value;
+        }
+        z = static_cast<float>(z * scale);
+        const float target = static_cast<int32_t>(c) == y[idx] ? 1.0f : 0.0f;
+        // Positive samples of head c are reweighted; negatives keep 1.
+        const float sample_weight = target > 0.0f ? class_weight[y[idx]] : 1.0f;
+        const float p = Sigmoid(z);
+        // Binary cross-entropy of this head, numerically stable form.
+        loss_sum += (std::max(z, 0.0f) - z * target +
+                     std::log1p(std::exp(-std::abs(z)))) *
+                    sample_weight;
+        const float g = (p - target) * sample_weight;
+        if (g != 0.0f) {
+          float* wm = weights_.data() + c * d;
+          const auto step = static_cast<float>(lr * g / scale);
+          for (const auto* e = begin; e != end; ++e) {
+            wm[e->index] -= step * e->value;
+          }
+          bias_[c] -= static_cast<float>(lr * g);
+        }
+      }
+    }
+    epoch_losses_.push_back(loss_sum / static_cast<double>(n * k));
+    if (options_.tolerance > 0.0 && epoch_losses_.size() >= 2) {
+      const double prev = epoch_losses_[epoch_losses_.size() - 2];
+      if (prev - epoch_losses_.back() < options_.tolerance) break;
+    }
+  }
+  for (auto& w : weights_) w = static_cast<float>(w * scale);
+}
+
+std::vector<float> LogisticRegression::DecisionFunction(
+    const features::SparseVector& x) const {
+  std::vector<float> scores(num_classes_);
+  for (int32_t c = 0; c < num_classes_; ++c) {
+    const float* w = weights_.data() + static_cast<size_t>(c) * num_features_;
+    scores[c] = bias_[c] + x.DotDense(w);
+  }
+  return scores;
+}
+
+std::vector<float> LogisticRegression::PredictProba(
+    const features::SparseVector& x) const {
+  std::vector<float> scores = DecisionFunction(x);
+  if (options_.one_vs_rest) {
+    // Independent sigmoids normalised to sum 1 (sklearn OvR behaviour).
+    float sum = 0.0f;
+    for (float& s : scores) {
+      s = Sigmoid(s);
+      sum += s;
+    }
+    if (sum > 0.0f) {
+      for (float& s : scores) s /= sum;
+    }
+  } else {
+    linalg::SoftmaxInPlace(scores.data(), scores.size());
+  }
+  return scores;
+}
+
+}  // namespace cuisine::ml

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file logistic_regression.h
+/// \brief Multinomial logistic regression (§V-B).
+///
+/// The paper trains LogReg one-vs-rest; we support both one-vs-rest
+/// (independent sigmoid heads, normalised at predict time) and the
+/// equivalent-in-practice softmax parameterisation. Optimised with
+/// mini-batch SGD with momentum over sparse rows; L2 regularisation is
+/// applied lazily per touched coordinate (standard sparse trick) so the
+/// pass stays O(nnz).
+
+namespace cuisine::ml {
+
+struct LogisticRegressionOptions {
+  /// True = 26 independent binary heads (the paper's scheme);
+  /// false = softmax (multinomial) training.
+  bool one_vs_rest = true;
+  int32_t epochs = 40;
+  double learning_rate = 0.5;
+  /// L2 regularisation strength (lambda), applied exactly through a
+  /// multiplicative weight-scale factor so updates stay O(nnz).
+  double l2 = 1e-6;
+  uint64_t seed = 7;
+  /// Stop early when training log-loss improves by less than this
+  /// between epochs (0 disables).
+  double tolerance = 1e-5;
+  /// Weight samples by n / (num_classes * count(class)) — sklearn's
+  /// "balanced" mode, the paper's §VII imbalance mitigation.
+  bool balanced_class_weights = false;
+};
+
+/// \brief Linear classifier with logistic loss on sparse rows.
+class LogisticRegression final : public SparseClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  std::string name() const override { return "LogReg"; }
+
+  /// Raw decision scores w_k·x + b_k for tests and calibration studies.
+  std::vector<float> DecisionFunction(const features::SparseVector& x) const;
+
+  /// Mean training log-loss after each epoch (for convergence tests).
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+ private:
+  void FitSoftmax(const features::CsrMatrix& x, const std::vector<int32_t>& y);
+  void FitOneVsRest(const features::CsrMatrix& x,
+                    const std::vector<int32_t>& y);
+
+  LogisticRegressionOptions options_;
+  std::vector<float> weights_;  // [num_classes x num_features]
+  std::vector<float> bias_;     // [num_classes]
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace cuisine::ml

@@ -1,0 +1,75 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace cuisine::ml {
+
+MultinomialNaiveBayes::MultinomialNaiveBayes(NaiveBayesOptions options)
+    : options_(options) {}
+
+util::Status MultinomialNaiveBayes::Fit(const features::CsrMatrix& x,
+                                        const std::vector<int32_t>& y,
+                                        int32_t num_classes) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (options_.alpha <= 0.0) {
+    return util::Status::InvalidArgument("alpha must be positive");
+  }
+
+  const size_t d = num_features_;
+  std::vector<double> class_count(num_classes, 0.0);
+  std::vector<double> feature_count(static_cast<size_t>(num_classes) * d, 0.0);
+
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int32_t k = y[i];
+    class_count[k] += 1.0;
+    double* row = feature_count.data() + static_cast<size_t>(k) * d;
+    for (const auto* e = x.RowBegin(i); e != x.RowEnd(i); ++e) {
+      if (e->value < 0.0f) {
+        return util::Status::InvalidArgument(
+            "MultinomialNB requires non-negative features");
+      }
+      row[e->index] += e->value;
+    }
+  }
+
+  class_log_prior_.resize(num_classes);
+  feature_log_prob_.resize(static_cast<size_t>(num_classes) * d);
+  const auto n = static_cast<double>(x.rows());
+  for (int32_t k = 0; k < num_classes; ++k) {
+    // Classes absent from the training split keep a tiny prior rather
+    // than -inf so PredictProba stays finite.
+    class_log_prior_[k] = static_cast<float>(
+        std::log((class_count[k] + 1e-12) / n));
+    const double* counts = feature_count.data() + static_cast<size_t>(k) * d;
+    double total = 0.0;
+    for (size_t j = 0; j < d; ++j) total += counts[j];
+    const double denom = total + options_.alpha * static_cast<double>(d);
+    float* logp = feature_log_prob_.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j) {
+      logp[j] = static_cast<float>(
+          std::log((counts[j] + options_.alpha) / denom));
+    }
+  }
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+std::vector<float> MultinomialNaiveBayes::PredictProba(
+    const features::SparseVector& x) const {
+  std::vector<float> joint(num_classes_);
+  for (int32_t k = 0; k < num_classes_; ++k) {
+    const float* logp =
+        feature_log_prob_.data() + static_cast<size_t>(k) * num_features_;
+    float s = class_log_prior_[k];
+    for (const features::SparseEntry& e : x.entries()) {
+      s += e.value * logp[e.index];
+    }
+    joint[k] = s;
+  }
+  linalg::SoftmaxInPlace(joint.data(), joint.size());
+  return joint;
+}
+
+}  // namespace cuisine::ml

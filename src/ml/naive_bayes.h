@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+/// \file naive_bayes.h
+/// \brief Multinomial Naive Bayes (§V-A).
+///
+/// P(C_k | x) ∝ P(C_k) · Π_i P(x_i | C_k)^{x_i} with Laplace-smoothed
+/// feature likelihoods. Works on fractional "counts" (TF-IDF weights),
+/// matching sklearn's MultinomialNB behaviour the paper's pipeline used.
+
+namespace cuisine::ml {
+
+struct NaiveBayesOptions {
+  /// Laplace/Lidstone smoothing added to every feature count.
+  double alpha = 1.0;
+};
+
+/// \brief Multinomial Naive Bayes over sparse non-negative rows.
+class MultinomialNaiveBayes final : public SparseClassifier {
+ public:
+  explicit MultinomialNaiveBayes(NaiveBayesOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  std::string name() const override { return "Naive Bayes"; }
+
+  /// log P(feature j | class k); exposed for tests.
+  float FeatureLogProb(int32_t k, int32_t j) const {
+    return feature_log_prob_[static_cast<size_t>(k) * num_features_ + j];
+  }
+  float ClassLogPrior(int32_t k) const { return class_log_prior_[k]; }
+
+ private:
+  NaiveBayesOptions options_;
+  std::vector<float> class_log_prior_;    // [num_classes]
+  std::vector<float> feature_log_prob_;   // [num_classes x num_features]
+};
+
+}  // namespace cuisine::ml

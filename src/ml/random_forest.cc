@@ -1,0 +1,80 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cuisine::ml {
+
+RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
+
+util::Status RandomForest::Fit(const features::CsrMatrix& x,
+                               const std::vector<int32_t>& y,
+                               int32_t num_classes) {
+  CUISINE_RETURN_NOT_OK(ValidateFitInputs(x, y, num_classes));
+  if (options_.num_trees <= 0) {
+    return util::Status::InvalidArgument("num_trees must be positive");
+  }
+  const size_t n = x.rows();
+  const auto bootstrap_size = static_cast<size_t>(
+      std::max(1.0, options_.bootstrap_fraction * static_cast<double>(n)));
+
+  // Pre-draw bootstraps and tree seeds serially for determinism, then
+  // train trees in parallel.
+  util::Rng rng(options_.seed);
+  struct TreeJob {
+    std::vector<size_t> samples;
+    uint64_t seed;
+  };
+  std::vector<TreeJob> jobs(options_.num_trees);
+  for (auto& job : jobs) {
+    job.samples.reserve(bootstrap_size);
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      job.samples.push_back(rng.NextBelow(n));
+    }
+    job.seed = rng.NextU64();
+  }
+
+  trees_.clear();
+  trees_.resize(options_.num_trees);
+  std::atomic<bool> failed{false};
+  const size_t threads = options_.num_threads > 0
+                             ? static_cast<size_t>(options_.num_threads)
+                             : util::HardwareThreads();
+  util::ParallelFor(jobs.size(), threads, [&](size_t t) {
+    DecisionTreeOptions tree_options = options_.tree;
+    tree_options.seed = jobs[t].seed;
+    auto tree = std::make_unique<DecisionTree>(tree_options);
+    const std::vector<double> weights(jobs[t].samples.size(), 1.0);
+    const util::Status st =
+        tree->FitWeighted(x, y, num_classes, jobs[t].samples, weights);
+    if (!st.ok()) {
+      failed.store(true);
+      return;
+    }
+    trees_[t] = std::move(tree);
+  });
+  if (failed.load()) {
+    trees_.clear();
+    return util::Status::Internal("tree training failed");
+  }
+  fitted_ = true;
+  return util::Status::OK();
+}
+
+std::vector<float> RandomForest::PredictProba(
+    const features::SparseVector& x) const {
+  std::vector<float> proba(num_classes_, 0.0f);
+  for (const auto& tree : trees_) {
+    const std::vector<float> p = tree->PredictProba(x);
+    for (int32_t c = 0; c < num_classes_; ++c) proba[c] += p[c];
+  }
+  const float inv = 1.0f / static_cast<float>(trees_.size());
+  for (float& p : proba) p *= inv;
+  return proba;
+}
+
+}  // namespace cuisine::ml

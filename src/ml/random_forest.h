@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+/// \file random_forest.h
+/// \brief Random Forest: bagged CART trees with feature subsampling (§V-D).
+///
+/// Each tree trains on a bootstrap resample with sqrt-feature subsampling
+/// at every node; prediction averages leaf class distributions. Trees are
+/// independent, so training parallelises across a thread pool.
+
+namespace cuisine::ml {
+
+struct RandomForestOptions {
+  int32_t num_trees = 100;
+  DecisionTreeOptions tree;
+  /// Rows drawn per bootstrap, as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 17;
+  /// Worker threads for tree training (0 = hardware concurrency).
+  int32_t num_threads = 0;
+};
+
+/// \brief Bagging ensemble of decision trees.
+class RandomForest final : public SparseClassifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  util::Status Fit(const features::CsrMatrix& x, const std::vector<int32_t>& y,
+                   int32_t num_classes) override;
+
+  std::vector<float> PredictProba(
+      const features::SparseVector& x) const override;
+
+  std::string name() const override { return "Random Forest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace cuisine::ml

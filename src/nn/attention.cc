@@ -1,0 +1,64 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t num_heads,
+                                               float dropout, util::Rng* rng)
+    : num_heads_(num_heads),
+      head_dim_(d_model / num_heads),
+      query_(d_model, d_model, rng),
+      key_(d_model, d_model, rng),
+      value_(d_model, d_model, rng),
+      output_(d_model, d_model, rng),
+      attn_dropout_(dropout) {
+  CUISINE_CHECK(num_heads >= 1 && d_model % num_heads == 0);
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const Tensor& mask_bias, bool training,
+                                       util::Rng* rng) const {
+  CUISINE_CHECK(mask_bias.rows() == 1 && mask_bias.cols() == x.rows());
+  const Tensor q = query_.Forward(x);
+  const Tensor k = key_.Forward(x);
+  const Tensor v = value_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
+    const Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
+    const Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
+    // scores[i,j] = qh_i . kh_j / sqrt(dh) + mask_bias[j]
+    Tensor scores = Scale(MatMulTransposeB(qh, kh), scale);
+    scores = AddRowBroadcast(scores, mask_bias);
+    Tensor attn = SoftmaxRows(scores);
+    attn = attn_dropout_.Forward(attn, training, rng);
+    heads.push_back(MatMul(attn, vh));
+  }
+  return output_.Forward(ConcatCols(heads));
+}
+
+void MultiHeadSelfAttention::CollectParameters(
+    std::vector<Tensor>* out) const {
+  query_.CollectParameters(out);
+  key_.CollectParameters(out);
+  value_.CollectParameters(out);
+  output_.CollectParameters(out);
+}
+
+Tensor MaskBias(const std::vector<int32_t>& mask) {
+  std::vector<float> bias(mask.size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    bias[i] = mask[i] != 0 ? 0.0f : -1e9f;
+  }
+  return Tensor::FromData(1, static_cast<int64_t>(mask.size()),
+                          std::move(bias));
+}
+
+}  // namespace cuisine::nn

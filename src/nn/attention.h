@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+/// \file attention.h
+/// \brief Multi-head scaled dot-product self-attention
+/// (Vaswani et al., 2017), the core of the BERT/RoBERTa encoders (§V-F).
+
+namespace cuisine::nn {
+
+/// \brief Bidirectional multi-head self-attention over one sequence.
+class MultiHeadSelfAttention final : public Module {
+ public:
+  /// d_model must be divisible by num_heads.
+  MultiHeadSelfAttention(int64_t d_model, int64_t num_heads, float dropout,
+                         util::Rng* rng);
+
+  /// x: [S, d_model]; mask_bias: [1, S] additive key bias (0 for real
+  /// positions, -1e9 for padding). Returns [S, d_model].
+  Tensor Forward(const Tensor& x, const Tensor& mask_bias, bool training,
+                 util::Rng* rng) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int64_t num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+ private:
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear query_;
+  Linear key_;
+  Linear value_;
+  Linear output_;
+  Dropout attn_dropout_;
+};
+
+/// Builds the [1, S] additive attention-mask bias from a 0/1 mask.
+Tensor MaskBias(const std::vector<int32_t>& mask);
+
+}  // namespace cuisine::nn

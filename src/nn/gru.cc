@@ -1,0 +1,89 @@
+#include "nn/gru.h"
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, util::Rng* rng)
+    : hidden_size_(hidden_size),
+      w_input_(Tensor::Xavier(input_size, 3 * hidden_size, rng)),
+      w_hidden_(Tensor::Xavier(hidden_size, 3 * hidden_size, rng)),
+      bias_(Tensor::Zeros(1, 3 * hidden_size, /*requires_grad=*/true)) {}
+
+Tensor GruCell::InitialState() const { return Tensor::Zeros(1, hidden_size_); }
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  // r = sigma(W_r x + U_r h + b_r), z = sigma(W_z x + U_z h + b_z)
+  // n = tanh(W_n x + r * (U_n h) + b_n)
+  // h' = (1 - z) * n + z * h
+  const Tensor xi = MatMul(x, w_input_);
+  const Tensor hi = MatMul(h, w_hidden_);
+  const Tensor gates = AddRowBroadcast(Add(xi, hi), bias_);
+  const Tensor r = Sigmoid(SliceCols(gates, 0, hidden_size_));
+  const Tensor z = Sigmoid(SliceCols(gates, hidden_size_, hidden_size_));
+  // Candidate uses the reset gate on the *hidden* contribution only, so
+  // recompute that slice from its parts.
+  const Tensor xn = SliceCols(xi, 2 * hidden_size_, hidden_size_);
+  const Tensor hn = SliceCols(hi, 2 * hidden_size_, hidden_size_);
+  const Tensor bn = SliceCols(bias_, 2 * hidden_size_, hidden_size_);
+  const Tensor n = Tanh(AddRowBroadcast(Add(xn, Mul(r, hn)), bn));
+  const Tensor one_minus_z = Sub(Tensor::Full(1, hidden_size_, 1.0f), z);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+void GruCell::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(w_input_);
+  out->push_back(w_hidden_);
+  out->push_back(bias_);
+}
+
+GruClassifier::GruClassifier(const GruConfig& config, int32_t num_classes)
+    : config_(config),
+      embedding_([&] {
+        CUISINE_CHECK(config.vocab_size > 0);
+        util::Rng rng(config.seed);
+        return Embedding(config.vocab_size, config.embedding_dim, &rng);
+      }()),
+      dropout_(config.dropout),
+      head_([&] {
+        util::Rng rng(config.seed + 1);
+        return Linear(config.hidden_size, num_classes, &rng);
+      }()),
+      num_classes_(num_classes) {
+  CUISINE_CHECK(num_classes >= 2);
+  util::Rng rng(config.seed + 2);
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.embedding_dim : config.hidden_size;
+    cells_.push_back(std::make_unique<GruCell>(in, config.hidden_size, &rng));
+  }
+}
+
+Tensor GruClassifier::ForwardLogits(const features::EncodedSequence& seq,
+                                    bool training, util::Rng* rng) const {
+  const auto length = static_cast<size_t>(seq.length);
+  CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
+  const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
+  const Tensor embedded = embedding_.Forward(ids);
+
+  std::vector<Tensor> states;
+  states.reserve(cells_.size());
+  for (const auto& cell : cells_) states.push_back(cell->InitialState());
+  for (size_t t = 0; t < length; ++t) {
+    Tensor input = SliceRows(embedded, static_cast<int64_t>(t), 1);
+    for (size_t l = 0; l < cells_.size(); ++l) {
+      if (l > 0) input = dropout_.Forward(input, training, rng);
+      states[l] = cells_[l]->Step(input, states[l]);
+      input = states[l];
+    }
+  }
+  const Tensor dropped = dropout_.Forward(states.back(), training, rng);
+  return head_.Forward(dropped);
+}
+
+void GruClassifier::CollectParameters(std::vector<Tensor>* out) const {
+  embedding_.CollectParameters(out);
+  for (const auto& cell : cells_) cell->CollectParameters(out);
+  head_.CollectParameters(out);
+}
+
+}  // namespace cuisine::nn

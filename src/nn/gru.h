@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "features/sequence_encoder.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+/// \file gru.h
+/// \brief Gated Recurrent Unit classifier — an extension beyond the
+/// paper's LSTM (§V-E discusses "the recurrent neural network class";
+/// GRU is its other standard member, benched in ablation_rnn_cell).
+
+namespace cuisine::nn {
+
+/// \brief One GRU layer (cell applied over time by the caller).
+///
+/// Gate layout inside the fused 3H projection: [reset, update, candidate].
+class GruCell final : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, util::Rng* rng);
+
+  /// Zero hidden state.
+  Tensor InitialState() const;
+
+  /// One timestep: x [1, input] + h [1, hidden] -> h'.
+  Tensor Step(const Tensor& x, const Tensor& h) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Tensor w_input_;   // [input, 3H]
+  Tensor w_hidden_;  // [H, 3H]
+  Tensor bias_;      // [1, 3H]
+};
+
+/// Hyperparameters of the GRU classifier (mirrors LstmConfig).
+struct GruConfig {
+  int64_t vocab_size = 0;  // required
+  int64_t embedding_dim = 64;
+  int64_t hidden_size = 64;
+  int64_t num_layers = 2;
+  float dropout = 0.1f;
+  uint64_t seed = 61;
+};
+
+/// \brief Embedding -> stacked GRU -> linear head on the final hidden
+/// state of the top layer.
+class GruClassifier final : public Module {
+ public:
+  GruClassifier(const GruConfig& config, int32_t num_classes);
+
+  /// Logits [1, num_classes] for one encoded sequence.
+  Tensor ForwardLogits(const features::EncodedSequence& seq, bool training,
+                       util::Rng* rng) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const GruConfig& config() const { return config_; }
+  int32_t num_classes() const { return num_classes_; }
+
+ private:
+  GruConfig config_;
+  Embedding embedding_;
+  std::vector<std::unique_ptr<GruCell>> cells_;
+  Dropout dropout_;
+  Linear head_;
+  int32_t num_classes_;
+};
+
+}  // namespace cuisine::nn

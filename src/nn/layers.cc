@@ -1,0 +1,43 @@
+#include "nn/layers.h"
+
+namespace cuisine::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng)
+    : weight_(Tensor::Xavier(in_features, out_features, rng)),
+      bias_(Tensor::Zeros(1, out_features, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return AddRowBroadcast(MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng,
+                     float stddev)
+    : table_(Tensor::Randn(vocab_size, dim, stddev, rng)) {}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return EmbeddingGather(table_, ids);
+}
+
+void Embedding::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(table_);
+}
+
+LayerNorm::LayerNorm(int64_t dim)
+    : gamma_(Tensor::Full(1, dim, 1.0f, /*requires_grad=*/true)),
+      beta_(Tensor::Zeros(1, dim, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return LayerNormOp(x, gamma_, beta_);
+}
+
+void LayerNorm::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(gamma_);
+  out->push_back(beta_);
+}
+
+}  // namespace cuisine::nn

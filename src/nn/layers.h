@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+/// \file layers.h
+/// \brief Basic layers: Linear, Embedding, LayerNorm, Dropout.
+
+namespace cuisine::nn {
+
+/// \brief Affine map y = x W + b with Xavier-initialised W.
+class Linear final : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng);
+
+  /// x: [m, in] -> [m, out].
+  Tensor Forward(const Tensor& x) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [1, out]
+};
+
+/// \brief Token-id embedding table.
+class Embedding final : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng,
+            float stddev = 0.02f);
+
+  /// ids -> [len(ids), dim].
+  Tensor Forward(const std::vector<int32_t>& ids) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const Tensor& table() const { return table_; }
+  int64_t vocab_size() const { return table_.rows(); }
+  int64_t dim() const { return table_.cols(); }
+
+ private:
+  Tensor table_;  // [vocab, dim]
+};
+
+/// \brief Learned row-wise layer normalisation.
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  Tensor gamma_;  // [1, dim], ones
+  Tensor beta_;   // [1, dim], zeros
+};
+
+/// \brief Inverted dropout (stateless apart from the caller's RNG).
+class Dropout final {
+ public:
+  explicit Dropout(float p) : p_(p) {}
+
+  Tensor Forward(const Tensor& x, bool training, util::Rng* rng) const {
+    return DropoutOp(x, p_, training, rng);
+  }
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+};
+
+}  // namespace cuisine::nn

@@ -1,0 +1,92 @@
+#include "nn/lstm.h"
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, util::Rng* rng)
+    : hidden_size_(hidden_size),
+      w_input_(Tensor::Xavier(input_size, 4 * hidden_size, rng)),
+      w_hidden_(Tensor::Xavier(hidden_size, 4 * hidden_size, rng)),
+      bias_(Tensor::Zeros(1, 4 * hidden_size, /*requires_grad=*/true)) {
+  // Forget-gate bias = 1 (gate block order: i, f, g, o).
+  for (int64_t j = hidden_size; j < 2 * hidden_size; ++j) {
+    bias_.data()[j] = 1.0f;
+  }
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return {Tensor::Zeros(1, hidden_size_), Tensor::Zeros(1, hidden_size_)};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  const Tensor gates = AddRowBroadcast(
+      Add(MatMul(x, w_input_), MatMul(state.h, w_hidden_)), bias_);
+  const Tensor i = Sigmoid(SliceCols(gates, 0, hidden_size_));
+  const Tensor f = Sigmoid(SliceCols(gates, hidden_size_, hidden_size_));
+  const Tensor g = Tanh(SliceCols(gates, 2 * hidden_size_, hidden_size_));
+  const Tensor o = Sigmoid(SliceCols(gates, 3 * hidden_size_, hidden_size_));
+  const Tensor c = Add(Mul(f, state.c), Mul(i, g));
+  const Tensor h = Mul(o, Tanh(c));
+  return {h, c};
+}
+
+void LstmCell::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(w_input_);
+  out->push_back(w_hidden_);
+  out->push_back(bias_);
+}
+
+LstmClassifier::LstmClassifier(const LstmConfig& config, int32_t num_classes)
+    : config_(config),
+      embedding_([&] {
+        CUISINE_CHECK(config.vocab_size > 0);
+        util::Rng rng(config.seed);
+        return Embedding(config.vocab_size, config.embedding_dim, &rng);
+      }()),
+      dropout_(config.dropout),
+      head_([&] {
+        util::Rng rng(config.seed + 1);
+        return Linear(config.hidden_size, num_classes, &rng);
+      }()),
+      num_classes_(num_classes) {
+  CUISINE_CHECK(num_classes >= 2);
+  util::Rng rng(config.seed + 2);
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    const int64_t in = l == 0 ? config.embedding_dim : config.hidden_size;
+    cells_.push_back(std::make_unique<LstmCell>(in, config.hidden_size, &rng));
+  }
+}
+
+Tensor LstmClassifier::ForwardLogits(const features::EncodedSequence& seq,
+                                     bool training, util::Rng* rng) const {
+  const auto length = static_cast<size_t>(seq.length);
+  CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
+  const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
+  const Tensor embedded = embedding_.Forward(ids);
+
+  // Stacked left-to-right pass; dropout between layers.
+  std::vector<LstmCell::State> states;
+  states.reserve(cells_.size());
+  for (const auto& cell : cells_) states.push_back(cell->InitialState());
+  Tensor top_hidden;
+  for (size_t t = 0; t < length; ++t) {
+    Tensor input = SliceRows(embedded, static_cast<int64_t>(t), 1);
+    for (size_t l = 0; l < cells_.size(); ++l) {
+      if (l > 0) input = dropout_.Forward(input, training, rng);
+      states[l] = cells_[l]->Step(input, states[l]);
+      input = states[l].h;
+    }
+    top_hidden = states.back().h;
+  }
+  const Tensor dropped = dropout_.Forward(top_hidden, training, rng);
+  return head_.Forward(dropped);
+}
+
+void LstmClassifier::CollectParameters(std::vector<Tensor>* out) const {
+  embedding_.CollectParameters(out);
+  for (const auto& cell : cells_) cell->CollectParameters(out);
+  head_.CollectParameters(out);
+}
+
+}  // namespace cuisine::nn

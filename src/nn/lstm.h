@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "features/sequence_encoder.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+/// \file lstm.h
+/// \brief Long Short-Term Memory network (§V-E).
+///
+/// "We employed a simple 2-layer LSTM" — left-to-right, final hidden
+/// state feeding a linear classifier. Gate layout inside the fused 4H
+/// projection: [input, forget, cell, output]. Forget-gate bias starts at
+/// 1 (standard initialisation so memories persist early in training).
+
+namespace cuisine::nn {
+
+/// \brief One LSTM layer (cell applied over time by the caller).
+class LstmCell final : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, util::Rng* rng);
+
+  struct State {
+    Tensor h;  // [1, hidden]
+    Tensor c;  // [1, hidden]
+  };
+
+  /// Zero-initialised state.
+  State InitialState() const;
+
+  /// One timestep: x [1, input] + state -> next state.
+  State Step(const Tensor& x, const State& state) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Tensor w_input_;   // [input, 4H]
+  Tensor w_hidden_;  // [H, 4H]
+  Tensor bias_;      // [1, 4H]
+};
+
+/// Hyperparameters of the LSTM classifier.
+struct LstmConfig {
+  int64_t vocab_size = 0;  // required
+  int64_t embedding_dim = 64;
+  int64_t hidden_size = 64;
+  int64_t num_layers = 2;  // the paper's "simple 2-layer LSTM"
+  float dropout = 0.1f;
+  uint64_t seed = 29;
+};
+
+/// \brief Embedding -> stacked LSTM -> linear head on the final hidden
+/// state of the top layer.
+class LstmClassifier final : public Module {
+ public:
+  LstmClassifier(const LstmConfig& config, int32_t num_classes);
+
+  /// Logits [1, num_classes] for one encoded sequence (reads the first
+  /// seq.length ids; no [CLS]/[SEP] wrapping expected).
+  Tensor ForwardLogits(const features::EncodedSequence& seq, bool training,
+                       util::Rng* rng) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const LstmConfig& config() const { return config_; }
+  int32_t num_classes() const { return num_classes_; }
+
+ private:
+  LstmConfig config_;
+  Embedding embedding_;
+  std::vector<std::unique_ptr<LstmCell>> cells_;
+  Dropout dropout_;
+  Linear head_;
+  int32_t num_classes_;
+};
+
+}  // namespace cuisine::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+/// \file module.h
+/// \brief Base class for parameterised layers.
+
+namespace cuisine::nn {
+
+/// \brief A layer that owns trainable tensors.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends this module's trainable tensors (used by optimizers).
+  virtual void CollectParameters(std::vector<Tensor>* out) const = 0;
+
+  /// All trainable tensors of the module tree.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> params;
+    CollectParameters(&params);
+    return params;
+  }
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const Tensor& p : Parameters()) n += static_cast<int64_t>(p.size());
+    return n;
+  }
+};
+
+}  // namespace cuisine::nn

@@ -1,0 +1,140 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (Tensor& p : params_) {
+    if (p.grad_vector().empty()) continue;
+    for (float g : p.grad_vector()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (Tensor& p : params_) {
+      for (float& g : p.grad_vector()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ > 0.0) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(params_[i].size(), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  ++step_;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad_vector().empty()) continue;
+    float* data = p.data();
+    const float* grad = p.grad();
+    if (momentum_ > 0.0) {
+      float* vel = velocity_[i].data();
+      for (size_t j = 0; j < p.size(); ++j) {
+        vel[j] = static_cast<float>(momentum_ * vel[j] - lr_ * grad[j]);
+        data[j] += vel[j];
+      }
+    } else {
+      for (size_t j = 0; j < p.size(); ++j) {
+        data[j] -= static_cast<float>(lr_ * grad[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double epsilon, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad_vector().empty()) continue;
+    float* data = p.data();
+    const float* grad = p.grad();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p.size(); ++j) {
+      const double g = grad[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * g * g);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      double update = lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      if (weight_decay_ > 0.0) {
+        update += lr_ * weight_decay_ * data[j];  // decoupled (AdamW)
+      }
+      data[j] -= static_cast<float>(update);
+    }
+  }
+}
+
+WarmupLinearSchedule::WarmupLinearSchedule(double peak_lr,
+                                           int64_t warmup_steps,
+                                           int64_t total_steps)
+    : peak_lr_(peak_lr),
+      warmup_steps_(std::max<int64_t>(1, warmup_steps)),
+      total_steps_(std::max(total_steps, warmup_steps + 1)) {}
+
+double WarmupLinearSchedule::LearningRate(int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double remain = static_cast<double>(total_steps_ - step) /
+                        static_cast<double>(total_steps_ - warmup_steps_);
+  return peak_lr_ * std::max(0.0, remain);
+}
+
+CosineSchedule::CosineSchedule(double peak_lr, int64_t warmup_steps,
+                               int64_t total_steps, double floor)
+    : peak_lr_(peak_lr),
+      warmup_steps_(std::max<int64_t>(1, warmup_steps)),
+      total_steps_(std::max(total_steps, warmup_steps + 1)),
+      floor_(floor) {}
+
+double CosineSchedule::LearningRate(int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double progress =
+      std::min(1.0, static_cast<double>(step - warmup_steps_) /
+                        static_cast<double>(total_steps_ - warmup_steps_));
+  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979323846 * progress));
+  return floor_ + (peak_lr_ - floor_) * cosine;
+}
+
+}  // namespace cuisine::nn

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+/// \file optimizer.h
+/// \brief SGD / Adam / AdamW plus learning-rate schedules.
+///
+/// Optimizers own per-parameter state indexed by position in the
+/// parameter list passed at construction; the list must stay stable for
+/// the optimizer's lifetime.
+
+namespace cuisine::nn {
+
+/// \brief Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients (call after Step).
+  void ZeroGrad();
+
+  /// Rescales gradients whose global L2 norm exceeds `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+  int64_t step_count() const { return step_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  double lr_ = 1e-3;
+  int64_t step_ = 0;
+};
+
+/// \brief SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015); AdamW when weight_decay > 0
+/// (decoupled decay, Loshchilov & Hutter, 2019).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8,
+       double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, epsilon_, weight_decay_;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// \brief Linear warmup then linear decay to zero (the BERT schedule).
+class WarmupLinearSchedule {
+ public:
+  WarmupLinearSchedule(double peak_lr, int64_t warmup_steps,
+                       int64_t total_steps);
+  double LearningRate(int64_t step) const;
+
+ private:
+  double peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+/// \brief Cosine decay with linear warmup.
+class CosineSchedule {
+ public:
+  CosineSchedule(double peak_lr, int64_t warmup_steps, int64_t total_steps,
+                 double floor = 0.0);
+  double LearningRate(int64_t step) const;
+
+ private:
+  double peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  double floor_;
+};
+
+}  // namespace cuisine::nn

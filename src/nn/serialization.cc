@@ -1,0 +1,123 @@
+#include "nn/serialization.h"
+
+#include <cstring>
+
+#include "util/csv.h"
+
+namespace cuisine::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'N', 'N'};
+constexpr uint32_t kVersion = 1;
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+/// Cursor over the serialized byte string.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadFloats(float* dst, size_t count) {
+    const size_t n = count * sizeof(float);
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeTensors(const std::vector<Tensor>& tensors) {
+  std::string out;
+  AppendBytes(&out, kMagic, sizeof(kMagic));
+  AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    AppendValue(&out, t.rows());
+    AppendValue(&out, t.cols());
+    AppendBytes(&out, t.data(), t.size() * sizeof(float));
+  }
+  return out;
+}
+
+util::Status DeserializeTensors(const std::string& bytes,
+                                std::vector<Tensor>* tensors) {
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Read(&magic) || std::memcmp(magic, kMagic, 4) != 0) {
+    return util::Status::InvalidArgument("bad checkpoint magic");
+  }
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kVersion) {
+    return util::Status::InvalidArgument("unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!reader.Read(&count) || count != tensors->size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(count) + " tensors, model has " +
+        std::to_string(tensors->size()));
+  }
+  // Stage into buffers first so a failure leaves the model untouched.
+  std::vector<std::vector<float>> staged(tensors->size());
+  for (size_t i = 0; i < tensors->size(); ++i) {
+    int64_t rows = 0, cols = 0;
+    if (!reader.Read(&rows) || !reader.Read(&cols)) {
+      return util::Status::InvalidArgument("truncated checkpoint header");
+    }
+    Tensor& t = (*tensors)[i];
+    if (rows != t.rows() || cols != t.cols()) {
+      return util::Status::InvalidArgument(
+          "tensor " + std::to_string(i) + " shape mismatch: checkpoint " +
+          std::to_string(rows) + "x" + std::to_string(cols) + ", model " +
+          std::to_string(t.rows()) + "x" + std::to_string(t.cols()));
+    }
+    staged[i].resize(t.size());
+    if (!reader.ReadFloats(staged[i].data(), t.size())) {
+      return util::Status::InvalidArgument("truncated checkpoint data");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+  for (size_t i = 0; i < tensors->size(); ++i) {
+    std::memcpy((*tensors)[i].data(), staged[i].data(),
+                staged[i].size() * sizeof(float));
+  }
+  return util::Status::OK();
+}
+
+util::Status SaveCheckpoint(const std::vector<Tensor>& tensors,
+                            const std::string& path) {
+  return util::WriteFile(path, SerializeTensors(tensors));
+}
+
+util::Status LoadCheckpoint(const std::string& path,
+                            std::vector<Tensor>* tensors) {
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, util::ReadFile(path));
+  return DeserializeTensors(bytes, tensors);
+}
+
+}  // namespace cuisine::nn

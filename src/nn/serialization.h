@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+/// \file serialization.h
+/// \brief Binary checkpointing of parameter tensors.
+///
+/// Format (little-endian):
+///   magic "CSNN" | uint32 version | uint64 tensor count |
+///   per tensor: int64 rows | int64 cols | rows*cols float32 values.
+///
+/// Loading restores values *into* an existing parameter list (the module
+/// tree defines the structure), with strict shape checking — mirroring
+/// how PyTorch state_dicts are applied to an instantiated model.
+
+namespace cuisine::nn {
+
+/// Serialises the tensors' values (not gradients) to a byte string.
+std::string SerializeTensors(const std::vector<Tensor>& tensors);
+
+/// Restores values into `tensors` from SerializeTensors() output.
+/// Returns InvalidArgument on format or shape mismatch (and leaves the
+/// tensors untouched in that case).
+util::Status DeserializeTensors(const std::string& bytes,
+                                std::vector<Tensor>* tensors);
+
+/// Checkpoint to / restore from a file.
+util::Status SaveCheckpoint(const std::vector<Tensor>& tensors,
+                            const std::string& path);
+util::Status LoadCheckpoint(const std::string& path,
+                            std::vector<Tensor>* tensors);
+
+}  // namespace cuisine::nn

@@ -1,0 +1,753 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+namespace {
+
+using internal::TensorNode;
+
+std::shared_ptr<TensorNode> NewNode(int64_t rows, int64_t cols,
+                                    bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->rows = rows;
+  node->cols = cols;
+  node->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+/// Result node whose requires_grad is the OR of its parents'.
+std::shared_ptr<TensorNode> NewResult(
+    int64_t rows, int64_t cols,
+    std::initializer_list<std::shared_ptr<TensorNode>> parents) {
+  bool rg = false;
+  for (const auto& p : parents) rg = rg || p->requires_grad;
+  auto node = NewNode(rows, cols, rg);
+  if (rg) node->parents.assign(parents.begin(), parents.end());
+  return node;
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+}  // namespace
+
+Tensor Tensor::Zeros(int64_t rows, int64_t cols, bool requires_grad) {
+  return Tensor(NewNode(rows, cols, requires_grad));
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float fill,
+                    bool requires_grad) {
+  auto node = NewNode(rows, cols, requires_grad);
+  std::fill(node->data.begin(), node->data.end(), fill);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::FromData(int64_t rows, int64_t cols, std::vector<float> values,
+                        bool requires_grad) {
+  CUISINE_CHECK(static_cast<int64_t>(values.size()) == rows * cols);
+  auto node = NewNode(rows, cols, requires_grad);
+  node->data = std::move(values);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Randn(int64_t rows, int64_t cols, float stddev, util::Rng* rng,
+                     bool requires_grad) {
+  auto node = NewNode(rows, cols, requires_grad);
+  for (float& v : node->data) {
+    v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Xavier(int64_t fan_in, int64_t fan_out, util::Rng* rng,
+                      bool requires_grad) {
+  auto node = NewNode(fan_in, fan_out, requires_grad);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : node->data) {
+    v = (2.0f * rng->NextFloat() - 1.0f) * limit;
+  }
+  return Tensor(std::move(node));
+}
+
+float Tensor::item() const {
+  CUISINE_CHECK(node_ && node_->size() == 1);
+  return node_->data[0];
+}
+
+void Tensor::ZeroGrad() {
+  CUISINE_CHECK(node_ != nullptr);
+  node_->grad.assign(node_->data.size(), 0.0f);
+}
+
+void Tensor::Backward() {
+  CUISINE_CHECK(node_ && node_->size() == 1);
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<TensorNode*> order;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      TensorNode* parent = node->parents[child].get();
+      ++child;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  node_->EnsureGrad();
+  node_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  CUISINE_CHECK(node_ != nullptr);
+  auto node = NewNode(node_->rows, node_->cols, false);
+  node->data = node_->data;
+  return Tensor(std::move(node));
+}
+
+// ---- Operations ----
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CUISINE_CHECK(a.cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  auto out = NewResult(m, n, {a.node(), b.node()});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = out->data.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = ad[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bd + kk * n;
+      float* crow = cd + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    auto an = a.node(), bn = b.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [an, bn, on, m, k, n] {
+      const float* g = on->grad.data();
+      if (an->requires_grad) {
+        an->EnsureGrad();  // dA += dC * B^T
+        float* da = an->grad.data();
+        const float* bd2 = bn->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            float s = 0.0f;
+            const float* grow = g + i * n;
+            const float* brow = bd2 + kk * n;
+            for (int64_t j = 0; j < n; ++j) s += grow[j] * brow[j];
+            da[i * k + kk] += s;
+          }
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();  // dB += A^T * dC
+        float* db = bn->grad.data();
+        const float* ad2 = an->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = ad2[i * k + kk];
+            if (aik == 0.0f) continue;
+            float* dbrow = db + kk * n;
+            for (int64_t j = 0; j < n; ++j) dbrow[j] += aik * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  CUISINE_CHECK(a.cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  auto out = NewResult(m, n, {a.node(), b.node()});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* cd = out->data.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ad + i * k;
+    float* crow = cd + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = bd + j * k;
+      float s = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+  if (out->requires_grad) {
+    auto an = a.node(), bn = b.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [an, bn, on, m, k, n] {
+      const float* g = on->grad.data();
+      if (an->requires_grad) {
+        an->EnsureGrad();  // dA += dC * B
+        float* da = an->grad.data();
+        const float* bd2 = bn->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          float* darow = da + i * k;
+          for (int64_t j = 0; j < n; ++j) {
+            const float gij = grow[j];
+            if (gij == 0.0f) continue;
+            const float* brow = bd2 + j * k;
+            for (int64_t kk = 0; kk < k; ++kk) darow[kk] += gij * brow[kk];
+          }
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();  // dB += dC^T * A
+        float* db = bn->grad.data();
+        const float* ad2 = an->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          const float* arow = ad2 + i * k;
+          for (int64_t j = 0; j < n; ++j) {
+            const float gij = grow[j];
+            if (gij == 0.0f) continue;
+            float* dbrow = db + j * k;
+            for (int64_t kk = 0; kk < k; ++kk) dbrow[kk] += gij * arow[kk];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CUISINE_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto out = NewResult(a.rows(), a.cols(), {a.node(), b.node()});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < out->size(); ++i) out->data[i] = ad[i] + bd[i];
+  if (out->requires_grad) {
+    auto an = a.node(), bn = b.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [an, bn, on] {
+      for (const auto& p : {an, bn}) {
+        if (!p->requires_grad) continue;
+        p->EnsureGrad();
+        for (size_t i = 0; i < on->size(); ++i) p->grad[i] += on->grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& row) {
+  CUISINE_CHECK(row.rows() == 1 && row.cols() == x.cols());
+  auto out = NewResult(x.rows(), x.cols(), {x.node(), row.node()});
+  const int64_t n = x.cols();
+  const float* xd = x.data();
+  const float* rd = row.data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      out->data[i * n + j] = xd[i * n + j] + rd[j];
+    }
+  }
+  if (out->requires_grad) {
+    auto xn = x.node(), rn = row.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, rn, on, n] {
+      if (xn->requires_grad) {
+        xn->EnsureGrad();
+        for (size_t i = 0; i < on->size(); ++i) xn->grad[i] += on->grad[i];
+      }
+      if (rn->requires_grad) {
+        rn->EnsureGrad();
+        for (int64_t i = 0; i < on->rows; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            rn->grad[j] += on->grad[i * n + j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Add(a, Scale(b, -1.0f));
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CUISINE_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto out = NewResult(a.rows(), a.cols(), {a.node(), b.node()});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < out->size(); ++i) out->data[i] = ad[i] * bd[i];
+  if (out->requires_grad) {
+    auto an = a.node(), bn = b.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [an, bn, on] {
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        for (size_t i = 0; i < on->size(); ++i) {
+          an->grad[i] += on->grad[i] * bn->data[i];
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (size_t i = 0; i < on->size(); ++i) {
+          bn->grad[i] += on->grad[i] * an->data[i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Scale(const Tensor& x, float alpha) {
+  auto out = NewResult(x.rows(), x.cols(), {x.node()});
+  const float* xd = x.data();
+  for (size_t i = 0; i < out->size(); ++i) out->data[i] = alpha * xd[i];
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, alpha] {
+      xn->EnsureGrad();
+      for (size_t i = 0; i < on->size(); ++i) {
+        xn->grad[i] += alpha * on->grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+namespace {
+
+/// Shared scaffolding for elementwise unary ops whose derivative can be
+/// expressed from input and output values.
+template <typename Forward, typename Backward>
+Tensor Elementwise(const Tensor& x, Forward fwd, Backward bwd) {
+  auto out = NewResult(x.rows(), x.cols(), {x.node()});
+  const float* xd = x.data();
+  for (size_t i = 0; i < out->size(); ++i) out->data[i] = fwd(xd[i]);
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, bwd] {
+      xn->EnsureGrad();
+      for (size_t i = 0; i < on->size(); ++i) {
+        xn->grad[i] += on->grad[i] * bwd(xn->data[i], on->data[i]);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& x) {
+  return Elementwise(
+      x,
+      [](float v) {
+        const float inner = kGeluC * (v + 0.044715f * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(inner));
+      },
+      [](float v, float) {
+        const float inner = kGeluC * (v + 0.044715f * v * v * v);
+        const float t = std::tanh(inner);
+        const float sech2 = 1.0f - t * t;
+        const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * sech2 * dinner;
+      });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return Elementwise(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  auto out = NewResult(x.rows(), x.cols(), {x.node()});
+  const int64_t n = x.cols();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xrow = x.data() + i * n;
+    float* orow = out->data.data() + i * n;
+    float mx = xrow[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xrow[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(xrow[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, n] {
+      xn->EnsureGrad();
+      for (int64_t i = 0; i < on->rows; ++i) {
+        const float* y = on->data.data() + i * n;
+        const float* gy = on->grad.data() + i * n;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < n; ++j) dot += y[j] * gy[j];
+        float* gx = xn->grad.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) gx[j] += y[j] * (gy[j] - dot);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SliceRows(const Tensor& x, int64_t start, int64_t len) {
+  CUISINE_CHECK(start >= 0 && len >= 1 && start + len <= x.rows());
+  auto out = NewResult(len, x.cols(), {x.node()});
+  const int64_t n = x.cols();
+  std::copy(x.data() + start * n, x.data() + (start + len) * n,
+            out->data.begin());
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, start, n] {
+      xn->EnsureGrad();
+      float* gx = xn->grad.data() + start * n;
+      for (size_t i = 0; i < on->size(); ++i) gx[i] += on->grad[i];
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SliceCols(const Tensor& x, int64_t start, int64_t len) {
+  CUISINE_CHECK(start >= 0 && len >= 1 && start + len <= x.cols());
+  auto out = NewResult(x.rows(), len, {x.node()});
+  const int64_t n = x.cols();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    std::copy(x.data() + i * n + start, x.data() + i * n + start + len,
+              out->data.begin() + i * len);
+  }
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, start, n, len] {
+      xn->EnsureGrad();
+      for (int64_t i = 0; i < on->rows; ++i) {
+        float* gx = xn->grad.data() + i * n + start;
+        const float* go = on->grad.data() + i * len;
+        for (int64_t j = 0; j < len; ++j) gx[j] += go[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& xs) {
+  CUISINE_CHECK(!xs.empty());
+  const int64_t m = xs[0].rows();
+  int64_t total = 0;
+  bool rg = false;
+  for (const Tensor& x : xs) {
+    CUISINE_CHECK(x.rows() == m);
+    total += x.cols();
+    rg = rg || x.requires_grad();
+  }
+  auto out = NewNode(m, total, rg);
+  int64_t offset = 0;
+  for (const Tensor& x : xs) {
+    const int64_t n = x.cols();
+    for (int64_t i = 0; i < m; ++i) {
+      std::copy(x.data() + i * n, x.data() + (i + 1) * n,
+                out->data.begin() + i * total + offset);
+    }
+    offset += n;
+    if (rg) out->parents.push_back(x.node());
+  }
+  if (rg) {
+    TensorNode* on = out.get();
+    auto parents = out->parents;
+    out->backward_fn = [on, parents, m, total] {
+      int64_t off = 0;
+      for (const auto& p : parents) {
+        const int64_t n = p->cols;
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (int64_t i = 0; i < m; ++i) {
+            const float* go = on->grad.data() + i * total + off;
+            float* gp = p->grad.data() + i * n;
+            for (int64_t j = 0; j < n; ++j) gp[j] += go[j];
+          }
+        }
+        off += n;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& xs) {
+  CUISINE_CHECK(!xs.empty());
+  const int64_t n = xs[0].cols();
+  int64_t total = 0;
+  bool rg = false;
+  for (const Tensor& x : xs) {
+    CUISINE_CHECK(x.cols() == n);
+    total += x.rows();
+    rg = rg || x.requires_grad();
+  }
+  auto out = NewNode(total, n, rg);
+  int64_t row = 0;
+  for (const Tensor& x : xs) {
+    std::copy(x.data(), x.data() + x.size(), out->data.begin() + row * n);
+    row += x.rows();
+    if (rg) out->parents.push_back(x.node());
+  }
+  if (rg) {
+    TensorNode* on = out.get();
+    auto parents = out->parents;
+    out->backward_fn = [on, parents, n] {
+      int64_t r = 0;
+      for (const auto& p : parents) {
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          const float* go = on->grad.data() + r * n;
+          for (size_t i = 0; i < p->grad.size(); ++i) p->grad[i] += go[i];
+        }
+        r += p->rows;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int32_t>& ids) {
+  const int64_t dim = table.cols();
+  const auto len = static_cast<int64_t>(ids.size());
+  CUISINE_CHECK(len >= 1);
+  for (int32_t id : ids) {
+    CUISINE_CHECK(id >= 0 && id < table.rows());
+  }
+  auto out = NewResult(len, dim, {table.node()});
+  for (int64_t i = 0; i < len; ++i) {
+    std::copy(table.data() + ids[i] * dim, table.data() + (ids[i] + 1) * dim,
+              out->data.begin() + i * dim);
+  }
+  if (out->requires_grad) {
+    auto tn = table.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [tn, on, ids, dim] {
+      tn->EnsureGrad();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        float* gt = tn->grad.data() + static_cast<int64_t>(ids[i]) * dim;
+        const float* go = on->grad.data() + static_cast<int64_t>(i) * dim;
+        for (int64_t j = 0; j < dim; ++j) gt[j] += go[j];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Sum(const Tensor& x) {
+  auto out = NewResult(1, 1, {x.node()});
+  float s = 0.0f;
+  for (size_t i = 0; i < x.size(); ++i) s += x.data()[i];
+  out->data[0] = s;
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on] {
+      xn->EnsureGrad();
+      const float g = on->grad[0];
+      for (float& gv : xn->grad) gv += g;
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Mean(const Tensor& x) {
+  return Scale(Sum(x), 1.0f / static_cast<float>(x.size()));
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+                    float label_smoothing) {
+  CUISINE_CHECK(static_cast<int64_t>(targets.size()) == logits.rows());
+  CUISINE_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
+  const int64_t n = logits.cols();
+  int64_t active = 0;
+  for (int32_t t : targets) {
+    CUISINE_CHECK(t < n);
+    if (t >= 0) ++active;
+  }
+  CUISINE_CHECK(active > 0);
+  auto out = NewResult(1, 1, {logits.node()});
+  // Cache per-row softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(logits.size());
+  double loss = 0.0;
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.data() + i * n;
+    float* prow = probs->data() + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      sum += prow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < n; ++j) prow[j] *= inv;
+    if (targets[i] >= 0) {
+      if (label_smoothing == 0.0f) {
+        loss -= std::log(std::max(prow[targets[i]], 1e-12f));
+      } else {
+        // Smoothed target distribution q: loss = -sum_j q_j log p_j.
+        const float uniform = label_smoothing / static_cast<float>(n);
+        for (int64_t j = 0; j < n; ++j) {
+          const float q = uniform + (j == targets[i]
+                                         ? 1.0f - label_smoothing
+                                         : 0.0f);
+          loss -= q * std::log(std::max(prow[j], 1e-12f));
+        }
+      }
+    }
+  }
+  out->data[0] = static_cast<float>(loss / static_cast<double>(active));
+  if (out->requires_grad) {
+    auto ln = logits.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [ln, on, probs, targets, n, active, label_smoothing] {
+      ln->EnsureGrad();
+      const float g = on->grad[0] / static_cast<float>(active);
+      const float uniform = label_smoothing / static_cast<float>(n);
+      for (int64_t i = 0; i < ln->rows; ++i) {
+        if (targets[i] < 0) continue;
+        const float* prow = probs->data() + i * n;
+        float* grow = ln->grad.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          const float q = uniform + (j == targets[i]
+                                         ? 1.0f - label_smoothing
+                                         : 0.0f);
+          grow[j] += g * (prow[j] - q);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float epsilon) {
+  const int64_t n = x.cols();
+  CUISINE_CHECK(gamma.rows() == 1 && gamma.cols() == n);
+  CUISINE_CHECK(beta.rows() == 1 && beta.cols() == n);
+  auto out = NewResult(x.rows(), n, {x.node(), gamma.node(), beta.node()});
+  // Cache normalised activations and inverse stddevs for backward.
+  auto xhat = std::make_shared<std::vector<float>>(x.size());
+  auto inv_std = std::make_shared<std::vector<float>>(x.rows());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float istd = 1.0f / std::sqrt(var + epsilon);
+    (*inv_std)[i] = istd;
+    float* xh = xhat->data() + i * n;
+    float* orow = out->data.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      xh[j] = (row[j] - mean) * istd;
+      orow[j] = xh[j] * gamma.data()[j] + beta.data()[j];
+    }
+  }
+  if (out->requires_grad) {
+    auto xn = x.node(), gn = gamma.node(), bn = beta.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, gn, bn, on, xhat, inv_std, n] {
+      for (int64_t i = 0; i < on->rows; ++i) {
+        const float* go = on->grad.data() + i * n;
+        const float* xh = xhat->data() + i * n;
+        if (gn->requires_grad) {
+          gn->EnsureGrad();
+          bn->EnsureGrad();
+          for (int64_t j = 0; j < n; ++j) {
+            gn->grad[j] += go[j] * xh[j];
+            bn->grad[j] += go[j];
+          }
+        }
+        if (xn->requires_grad) {
+          xn->EnsureGrad();
+          // dxhat = go * gamma; dx = istd*(dxhat - mean(dxhat)
+          //                                - xhat*mean(dxhat*xhat)).
+          float sum_d = 0.0f, sum_dx = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            const float dxh = go[j] * gn->data[j];
+            sum_d += dxh;
+            sum_dx += dxh * xh[j];
+          }
+          const float inv_n = 1.0f / static_cast<float>(n);
+          float* gx = xn->grad.data() + i * n;
+          const float istd = (*inv_std)[i];
+          for (int64_t j = 0; j < n; ++j) {
+            const float dxh = go[j] * gn->data[j];
+            gx[j] += istd * (dxh - sum_d * inv_n - xh[j] * sum_dx * inv_n);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor DropoutOp(const Tensor& x, float p, bool training, util::Rng* rng) {
+  if (!training || p <= 0.0f) return x;
+  CUISINE_CHECK(p < 1.0f);
+  auto out = NewResult(x.rows(), x.cols(), {x.node()});
+  auto mask = std::make_shared<std::vector<float>>(x.size());
+  const float scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < x.size(); ++i) {
+    (*mask)[i] = rng->NextBool(p) ? 0.0f : scale;
+    out->data[i] = x.data()[i] * (*mask)[i];
+  }
+  if (out->requires_grad) {
+    auto xn = x.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, on, mask] {
+      xn->EnsureGrad();
+      for (size_t i = 0; i < on->size(); ++i) {
+        xn->grad[i] += on->grad[i] * (*mask)[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace cuisine::nn

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file tensor.h
+/// \brief Tape-based reverse-mode autograd over 2-D float tensors.
+///
+/// Every sequential model in the paper (2-layer LSTM, BERT-like and
+/// RoBERTa-like transformer encoders) is built from these ops. The design
+/// is deliberately minimal: tensors are dense row-major 2-D matrices
+/// (vectors are 1xN), ops build a DAG of shared nodes, and `Backward()`
+/// runs the tape in reverse topological order. Models process one
+/// sequence at a time and accumulate parameter gradients across a
+/// mini-batch, so the graph stays small and 2-D throughout.
+
+namespace cuisine::nn {
+
+namespace internal {
+
+struct TensorNode {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily, same size as data
+  bool requires_grad = false;
+  /// Adds this node's contribution to its parents' grads.
+  std::function<void()> backward_fn;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+
+  size_t size() const { return data.size(); }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// \brief Handle to an autograd node (cheap shared copy).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// rows x cols tensor filled with `fill`.
+  static Tensor Zeros(int64_t rows, int64_t cols, bool requires_grad = false);
+  static Tensor Full(int64_t rows, int64_t cols, float fill,
+                     bool requires_grad = false);
+  /// From explicit row-major values.
+  static Tensor FromData(int64_t rows, int64_t cols,
+                         std::vector<float> values,
+                         bool requires_grad = false);
+  /// Gaussian init with the given standard deviation.
+  static Tensor Randn(int64_t rows, int64_t cols, float stddev,
+                      util::Rng* rng, bool requires_grad = true);
+  /// Xavier/Glorot uniform init for a (fan_in x fan_out) weight.
+  static Tensor Xavier(int64_t fan_in, int64_t fan_out, util::Rng* rng,
+                       bool requires_grad = true);
+
+  bool defined() const { return node_ != nullptr; }
+  int64_t rows() const { return node_->rows; }
+  int64_t cols() const { return node_->cols; }
+  size_t size() const { return node_->size(); }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  float* data() { return node_->data.data(); }
+  const float* data() const { return node_->data.data(); }
+  float* grad() { return node_->grad.data(); }
+  const float* grad() const { return node_->grad.data(); }
+  std::vector<float>& grad_vector() { return node_->grad; }
+
+  float At(int64_t r, int64_t c) const {
+    return node_->data[r * node_->cols + c];
+  }
+  float GradAt(int64_t r, int64_t c) const {
+    return node_->grad[r * node_->cols + c];
+  }
+  /// Scalar value of a 1x1 tensor.
+  float item() const;
+
+  /// Zeroes (and allocates) the gradient buffer.
+  void ZeroGrad();
+
+  /// Reverse-mode sweep from this (scalar) tensor; seeds d(this)=1.
+  void Backward();
+
+  /// Detached copy sharing no graph history.
+  Tensor Detach() const;
+
+  std::shared_ptr<internal::TensorNode> node() const { return node_; }
+
+  /// Internal: wraps an existing node.
+  explicit Tensor(std::shared_ptr<internal::TensorNode> node)
+      : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+// ---- Graph-building operations ----
+// Shapes are CHECKed; every op propagates requires_grad from its inputs.
+
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[m,k] * B[n,k]^T.
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+/// Elementwise sum; shapes must match.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// X[m,n] + row[1,n] broadcast over rows (bias add / key mask add).
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& row);
+/// Elementwise difference.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Hadamard product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// alpha * X.
+Tensor Scale(const Tensor& x, float alpha);
+
+Tensor Relu(const Tensor& x);
+/// Tanh-approximation GELU (as in BERT).
+Tensor Gelu(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+
+/// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& x);
+
+/// Rows [start, start+len) of X; backward scatters into the slice.
+Tensor SliceRows(const Tensor& x, int64_t start, int64_t len);
+/// Columns [start, start+len) of X.
+Tensor SliceCols(const Tensor& x, int64_t start, int64_t len);
+/// Concatenation along columns; all inputs share the row count.
+Tensor ConcatCols(const std::vector<Tensor>& xs);
+/// Concatenation along rows; all inputs share the column count.
+Tensor ConcatRows(const std::vector<Tensor>& xs);
+
+/// Gathers rows of `table[vocab, dim]` by ids -> [len(ids), dim].
+/// Backward scatter-adds into the table rows.
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int32_t>& ids);
+
+/// Mean of all elements -> 1x1.
+Tensor Mean(const Tensor& x);
+/// Sum of all elements -> 1x1.
+Tensor Sum(const Tensor& x);
+
+/// Mean cross-entropy of row logits vs target class ids -> 1x1.
+/// Rows with target < 0 are ignored (the MLM convention).
+/// `label_smoothing` (in [0, 1)) mixes the one-hot target with the
+/// uniform distribution: target' = (1-eps)*onehot + eps/num_classes.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+                    float label_smoothing = 0.0f);
+
+/// Row-wise layer normalisation with learned gain/bias (1xN each).
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float epsilon = 1e-5f);
+
+/// Inverted dropout; active only when `training`.
+Tensor DropoutOp(const Tensor& x, float p, bool training, util::Rng* rng);
+
+}  // namespace cuisine::nn

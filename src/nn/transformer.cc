@@ -1,0 +1,155 @@
+#include "nn/transformer.h"
+
+#include "util/logging.h"
+
+namespace cuisine::nn {
+
+FeedForward::FeedForward(int64_t d_model, int64_t d_ff, util::Rng* rng)
+    : in_(d_model, d_ff, rng), out_(d_ff, d_model, rng) {}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  return out_.Forward(Gelu(in_.Forward(x)));
+}
+
+void FeedForward::CollectParameters(std::vector<Tensor>* out) const {
+  in_.CollectParameters(out);
+  out_.CollectParameters(out);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, util::Rng* rng)
+    : attention_(config.d_model, config.num_heads, config.dropout, rng),
+      feed_forward_(config.d_model, config.d_ff, rng),
+      norm1_(config.d_model),
+      norm2_(config.d_model),
+      dropout_(config.dropout) {}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x,
+                                        const Tensor& mask_bias,
+                                        bool training, util::Rng* rng) const {
+  Tensor attn = attention_.Forward(x, mask_bias, training, rng);
+  attn = dropout_.Forward(attn, training, rng);
+  Tensor h = norm1_.Forward(Add(x, attn));
+  Tensor ff = feed_forward_.Forward(h);
+  ff = dropout_.Forward(ff, training, rng);
+  return norm2_.Forward(Add(h, ff));
+}
+
+void TransformerEncoderLayer::CollectParameters(
+    std::vector<Tensor>* out) const {
+  attention_.CollectParameters(out);
+  feed_forward_.CollectParameters(out);
+  norm1_.CollectParameters(out);
+  norm2_.CollectParameters(out);
+}
+
+namespace {
+
+util::Rng MakeInitRng(uint64_t seed) { return util::Rng(seed); }
+
+}  // namespace
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config)
+    : config_(config),
+      token_embedding_(
+          [&] {
+            CUISINE_CHECK(config.vocab_size > 0);
+            util::Rng rng = MakeInitRng(config.seed);
+            return Embedding(config.vocab_size, config.d_model, &rng);
+          }()),
+      position_embedding_(
+          [&] {
+            util::Rng rng = MakeInitRng(config.seed + 1);
+            return Embedding(config.max_length, config.d_model, &rng);
+          }()),
+      embed_norm_(config.d_model),
+      embed_dropout_(config.dropout) {
+  util::Rng rng = MakeInitRng(config.seed + 2);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, &rng));
+  }
+}
+
+Tensor TransformerEncoder::Encode(const features::EncodedSequence& seq,
+                                  bool training, util::Rng* rng) const {
+  // Padding carries no information; per-sequence processing lets us trim
+  // to the real length, which also makes every mask position live.
+  const auto length = static_cast<size_t>(seq.length);
+  CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
+  CUISINE_CHECK(static_cast<int64_t>(length) <= config_.max_length);
+  std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
+  std::vector<int32_t> positions(length);
+  for (size_t i = 0; i < length; ++i) {
+    positions[i] = static_cast<int32_t>(i);
+  }
+  Tensor x = Add(token_embedding_.Forward(ids),
+                 position_embedding_.Forward(positions));
+  x = embed_norm_.Forward(x);
+  x = embed_dropout_.Forward(x, training, rng);
+  const Tensor mask_bias =
+      MaskBias(std::vector<int32_t>(length, 1));
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, mask_bias, training, rng);
+  }
+  return x;
+}
+
+void TransformerEncoder::CollectParameters(std::vector<Tensor>* out) const {
+  token_embedding_.CollectParameters(out);
+  position_embedding_.CollectParameters(out);
+  embed_norm_.CollectParameters(out);
+  for (const auto& layer : layers_) layer->CollectParameters(out);
+}
+
+TransformerClassifier::TransformerClassifier(const TransformerConfig& config,
+                                             int32_t num_classes)
+    : encoder_(config),
+      pooler_([&] {
+        util::Rng rng = MakeInitRng(config.seed + 101);
+        return Linear(config.d_model, config.d_model, &rng);
+      }()),
+      head_([&] {
+        util::Rng rng = MakeInitRng(config.seed + 102);
+        return Linear(config.d_model, num_classes, &rng);
+      }()),
+      head_dropout_(config.dropout),
+      num_classes_(num_classes) {
+  CUISINE_CHECK(num_classes >= 2);
+}
+
+Tensor TransformerClassifier::ForwardLogits(
+    const features::EncodedSequence& seq, bool training,
+    util::Rng* rng) const {
+  const Tensor hidden = encoder_.Encode(seq, training, rng);
+  const Tensor cls = SliceRows(hidden, 0, 1);  // [CLS] position
+  Tensor pooled = Tanh(pooler_.Forward(cls));
+  pooled = head_dropout_.Forward(pooled, training, rng);
+  return head_.Forward(pooled);
+}
+
+void TransformerClassifier::CollectParameters(std::vector<Tensor>* out) const {
+  encoder_.CollectParameters(out);
+  pooler_.CollectParameters(out);
+  head_.CollectParameters(out);
+}
+
+MlmHead::MlmHead(const TransformerEncoder& encoder, util::Rng* rng)
+    : transform_(encoder.config().d_model, encoder.config().d_model, rng),
+      norm_(encoder.config().d_model),
+      vocab_bias_(Tensor::Zeros(1, encoder.config().vocab_size,
+                                /*requires_grad=*/true)) {}
+
+Tensor MlmHead::ForwardLogits(const Tensor& hidden,
+                              const Tensor& embedding_table) const {
+  const Tensor h = norm_.Forward(Gelu(transform_.Forward(hidden)));
+  // Tied decoder: logits = h . E^T + b.
+  return AddRowBroadcast(MatMulTransposeB(h, embedding_table), vocab_bias_);
+}
+
+void MlmHead::CollectParameters(std::vector<Tensor>* out) const {
+  transform_.CollectParameters(out);
+  norm_.CollectParameters(out);
+  out->push_back(vocab_bias_);
+}
+
+}  // namespace cuisine::nn

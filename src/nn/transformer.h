@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/sequence_encoder.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+/// \file transformer.h
+/// \brief BERT-style bidirectional transformer encoder, classifier head
+/// and masked-language-model head (§V-F).
+///
+/// "BERT" and "RoBERTa" in this reproduction share the architecture
+/// below; they differ — exactly as the paper describes — in *training*:
+/// the RoBERTa recipe pretrains with MLM for more steps with dynamic
+/// masking and fine-tunes longer (see core/experiment.cc).
+
+namespace cuisine::nn {
+
+/// Architecture hyperparameters (compact defaults; BERT-base shape is
+/// infeasible on CPU but the mechanism is identical).
+struct TransformerConfig {
+  int64_t vocab_size = 0;    // required
+  int64_t max_length = 64;   // positional table size
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t d_ff = 128;
+  float dropout = 0.1f;
+  uint64_t seed = 23;
+};
+
+/// \brief Position-wise feed-forward block (Linear-GELU-Linear).
+class FeedForward final : public Module {
+ public:
+  FeedForward(int64_t d_model, int64_t d_ff, util::Rng* rng);
+  Tensor Forward(const Tensor& x) const;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  Linear in_;
+  Linear out_;
+};
+
+/// \brief Post-LN encoder block: LN(x + MHA(x)), LN(x + FF(x)).
+class TransformerEncoderLayer final : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, util::Rng* rng);
+  Tensor Forward(const Tensor& x, const Tensor& mask_bias, bool training,
+                 util::Rng* rng) const;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  FeedForward feed_forward_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Dropout dropout_;
+};
+
+/// \brief Token + learned positional embeddings, then N encoder layers.
+class TransformerEncoder final : public Module {
+ public:
+  explicit TransformerEncoder(const TransformerConfig& config);
+
+  /// Encodes one [CLS] ... [SEP]-wrapped sequence -> [S, d_model].
+  /// `seq.mask` marks real positions.
+  Tensor Encode(const features::EncodedSequence& seq, bool training,
+                util::Rng* rng) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const TransformerConfig& config() const { return config_; }
+  const Embedding& token_embedding() const { return token_embedding_; }
+
+ private:
+  TransformerConfig config_;
+  Embedding token_embedding_;
+  Embedding position_embedding_;
+  LayerNorm embed_norm_;
+  Dropout embed_dropout_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// \brief Encoder + [CLS] pooler + softmax classification head.
+class TransformerClassifier final : public Module {
+ public:
+  TransformerClassifier(const TransformerConfig& config, int32_t num_classes);
+
+  /// Logits [1, num_classes] for one encoded sequence.
+  Tensor ForwardLogits(const features::EncodedSequence& seq, bool training,
+                       util::Rng* rng) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  TransformerEncoder* encoder() { return &encoder_; }
+  const TransformerEncoder& encoder() const { return encoder_; }
+  int32_t num_classes() const { return num_classes_; }
+
+ private:
+  TransformerEncoder encoder_;
+  Linear pooler_;
+  Linear head_;
+  Dropout head_dropout_;
+  int32_t num_classes_;
+};
+
+/// \brief Masked-language-model head with weight tying.
+///
+/// Hidden states are projected (Linear + GELU + LN) and decoded against
+/// the token embedding table (tied weights) plus a vocab bias.
+class MlmHead final : public Module {
+ public:
+  MlmHead(const TransformerEncoder& encoder, util::Rng* rng);
+
+  /// Logits [S, vocab] over the full sequence.
+  Tensor ForwardLogits(const Tensor& hidden,
+                       const Tensor& embedding_table) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+ private:
+  Linear transform_;
+  LayerNorm norm_;
+  Tensor vocab_bias_;  // [1, vocab]
+};
+
+}  // namespace cuisine::nn

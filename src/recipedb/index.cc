@@ -1,0 +1,52 @@
+#include "recipedb/index.h"
+
+#include <algorithm>
+
+namespace cuisine::recipedb {
+
+InvertedIndex::InvertedIndex(const RecipeStore* store) : store_(store) {
+  postings_.resize(store_->num_terms());
+  for (size_t row = 0; row < store_->num_recipes(); ++row) {
+    for (const EncodedEvent* e = store_->EventsBegin(row);
+         e != store_->EventsEnd(row); ++e) {
+      PostingList& list = postings_[e->term];
+      if (list.empty() || list.back() != static_cast<uint32_t>(row)) {
+        list.push_back(static_cast<uint32_t>(row));
+      }
+    }
+  }
+  // Rows are ingested in order, so each posting list is already sorted.
+}
+
+const PostingList& InvertedIndex::Postings(int32_t term_id) const {
+  if (term_id < 0 || term_id >= static_cast<int32_t>(postings_.size())) {
+    return empty_;
+  }
+  return postings_[term_id];
+}
+
+PostingList Intersect(const PostingList& a, const PostingList& b) {
+  PostingList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+PostingList Union(const PostingList& a, const PostingList& b) {
+  PostingList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+PostingList Difference(const PostingList& a, const PostingList& b) {
+  PostingList out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace cuisine::recipedb

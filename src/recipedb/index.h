@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recipedb/store.h"
+
+/// \file index.h
+/// \brief Inverted index over the recipe store's term dictionary.
+///
+/// Posting lists are sorted row-id arrays, so boolean combinations are
+/// linear merges — the classic IR layout, here over culinary terms.
+
+namespace cuisine::recipedb {
+
+/// A sorted list of dense store row indices.
+using PostingList = std::vector<uint32_t>;
+
+/// \brief Term -> recipes inverted index built from a RecipeStore.
+class InvertedIndex {
+ public:
+  /// Builds postings for every dictionary term. `store` must outlive the
+  /// index and not be mutated afterwards.
+  explicit InvertedIndex(const RecipeStore* store);
+
+  /// Rows containing `term_id` at least once (sorted). Empty list for
+  /// out-of-range ids.
+  const PostingList& Postings(int32_t term_id) const;
+
+  /// Document frequency (number of recipes containing the term).
+  int64_t DocumentFrequency(int32_t term_id) const {
+    return static_cast<int64_t>(Postings(term_id).size());
+  }
+
+  const RecipeStore& store() const { return *store_; }
+
+ private:
+  const RecipeStore* store_;
+  std::vector<PostingList> postings_;
+  PostingList empty_;
+};
+
+/// Sorted-list intersection.
+PostingList Intersect(const PostingList& a, const PostingList& b);
+/// Sorted-list union.
+PostingList Union(const PostingList& a, const PostingList& b);
+/// Sorted-list difference (a minus b).
+PostingList Difference(const PostingList& a, const PostingList& b);
+
+}  // namespace cuisine::recipedb

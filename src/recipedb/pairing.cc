@@ -1,0 +1,75 @@
+#include "recipedb/pairing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cuisine::recipedb {
+
+PairingAnalyzer::PairingAnalyzer(const InvertedIndex* index)
+    : index_(index) {}
+
+int64_t PairingAnalyzer::Cooccurrences(int32_t a, int32_t b) const {
+  return static_cast<int64_t>(
+      Intersect(index_->Postings(a), index_->Postings(b)).size());
+}
+
+util::Result<double> PairingAnalyzer::Pmi(int32_t a, int32_t b) const {
+  const auto num_terms = static_cast<int32_t>(index_->store().num_terms());
+  if (a < 0 || a >= num_terms || b < 0 || b >= num_terms) {
+    return util::Status::NotFound("term id out of range");
+  }
+  const double n = static_cast<double>(index_->store().num_recipes());
+  const double df_a = static_cast<double>(index_->DocumentFrequency(a));
+  const double df_b = static_cast<double>(index_->DocumentFrequency(b));
+  if (df_a == 0.0 || df_b == 0.0) {
+    return util::Status::InvalidArgument("term occurs in no recipe");
+  }
+  const double joint = static_cast<double>(Cooccurrences(a, b));
+  if (joint == 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log2((joint / n) / ((df_a / n) * (df_b / n)));
+}
+
+util::Result<std::vector<Pairing>> PairingAnalyzer::TopPairings(
+    int32_t term, data::EventType type, size_t k, int64_t min_df,
+    int64_t min_cooccurrences) const {
+  const RecipeStore& store = index_->store();
+  if (term < 0 || term >= static_cast<int32_t>(store.num_terms())) {
+    return util::Status::NotFound("term id out of range");
+  }
+  if (index_->DocumentFrequency(term) == 0) {
+    return util::Status::InvalidArgument("term occurs in no recipe");
+  }
+  std::vector<Pairing> pairings;
+  for (int32_t other = 0; other < static_cast<int32_t>(store.num_terms());
+       ++other) {
+    if (other == term || store.TermType(other) != type) continue;
+    if (index_->DocumentFrequency(other) < min_df) continue;
+    const int64_t joint = Cooccurrences(term, other);
+    if (joint < min_cooccurrences) continue;
+    Pairing p;
+    p.term = other;
+    p.cooccurrences = joint;
+    p.pmi = *Pmi(term, other);
+    pairings.push_back(p);
+  }
+  std::sort(pairings.begin(), pairings.end(),
+            [](const Pairing& a, const Pairing& b) {
+              if (a.pmi != b.pmi) return a.pmi > b.pmi;
+              return a.term < b.term;
+            });
+  if (pairings.size() > k) pairings.resize(k);
+  return pairings;
+}
+
+util::Result<std::vector<Pairing>> PairingAnalyzer::TopPairings(
+    std::string_view term, data::EventType type, size_t k, int64_t min_df,
+    int64_t min_cooccurrences) const {
+  const int32_t id = index_->store().TermId(term);
+  if (id < 0) {
+    return util::Status::NotFound("unknown term: " + std::string(term));
+  }
+  return TopPairings(id, type, k, min_df, min_cooccurrences);
+}
+
+}  // namespace cuisine::recipedb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recipedb/index.h"
+#include "util/status.h"
+
+/// \file pairing.h
+/// \brief Food-pairing analysis — one of the data-driven cuisine
+/// explorations the paper's introduction cites. Association between
+/// culinary terms is measured by pointwise mutual information over
+/// recipe co-occurrence.
+
+namespace cuisine::recipedb {
+
+/// One scored pairing.
+struct Pairing {
+  int32_t term = -1;
+  int64_t cooccurrences = 0;
+  /// log2( P(a,b) / (P(a) P(b)) ).
+  double pmi = 0.0;
+};
+
+/// \brief PMI-based term association over an inverted index.
+class PairingAnalyzer {
+ public:
+  /// `index` must outlive the analyzer.
+  explicit PairingAnalyzer(const InvertedIndex* index);
+
+  /// Number of recipes containing both terms.
+  int64_t Cooccurrences(int32_t a, int32_t b) const;
+
+  /// PMI of two terms; NotFound if either id is out of range, and
+  /// InvalidArgument if either term occurs in no recipe.
+  util::Result<double> Pmi(int32_t a, int32_t b) const;
+
+  /// The `k` strongest pairings of `term` among terms of `type`,
+  /// considering only candidates appearing in >= min_df recipes and
+  /// co-occurring at least min_cooccurrences times. Sorted by PMI.
+  util::Result<std::vector<Pairing>> TopPairings(
+      int32_t term, data::EventType type, size_t k, int64_t min_df = 5,
+      int64_t min_cooccurrences = 3) const;
+
+  /// Convenience overload by term string.
+  util::Result<std::vector<Pairing>> TopPairings(
+      std::string_view term, data::EventType type, size_t k,
+      int64_t min_df = 5, int64_t min_cooccurrences = 3) const;
+
+ private:
+  const InvertedIndex* index_;
+};
+
+}  // namespace cuisine::recipedb

@@ -1,0 +1,130 @@
+#include "recipedb/query.h"
+
+#include <algorithm>
+
+namespace cuisine::recipedb {
+
+int32_t CuisineHistogram::ArgMax() const {
+  if (total == 0) return -1;
+  return static_cast<int32_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+QueryBuilder::QueryBuilder(const InvertedIndex* index) : index_(index) {}
+
+QueryBuilder& QueryBuilder::WithTerm(std::string_view term) {
+  const int32_t id = index_->store().TermId(term);
+  if (id < 0) {
+    unknown_required_ = true;  // AND with an absent term: empty result
+  } else {
+    required_.push_back(id);
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithAnyTerm(const std::vector<std::string>& terms) {
+  std::vector<int32_t> group;
+  for (const auto& term : terms) {
+    const int32_t id = index_->store().TermId(term);
+    if (id >= 0) group.push_back(id);
+  }
+  // An OR group with no known member can never match.
+  if (group.empty()) unknown_required_ = true;
+  any_groups_.push_back(std::move(group));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WithoutTerm(std::string_view term) {
+  const int32_t id = index_->store().TermId(term);
+  if (id >= 0) excluded_.push_back(id);  // absent term excludes nothing
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::InCuisine(std::string_view cuisine_name) {
+  const int32_t id = data::CuisineIdByName(cuisine_name);
+  if (id < 0) {
+    bad_cuisine_ = true;
+  } else {
+    cuisine_ = id;
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::InContinent(data::Continent continent) {
+  continent_ = continent;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(size_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
+util::Result<PostingList> QueryBuilder::Execute() const {
+  if (bad_cuisine_) {
+    return util::Status::InvalidArgument("unknown cuisine name");
+  }
+  const RecipeStore& store = index_->store();
+  if (unknown_required_) return PostingList{};
+
+  // Start from the most selective required posting list (or the cuisine
+  // row list / full range when there are no required terms).
+  std::optional<PostingList> result;
+  std::vector<const PostingList*> ands;
+  for (int32_t id : required_) ands.push_back(&index_->Postings(id));
+  std::sort(ands.begin(), ands.end(),
+            [](const PostingList* a, const PostingList* b) {
+              return a->size() < b->size();
+            });
+  for (const PostingList* list : ands) {
+    result = result.has_value() ? Intersect(*result, *list) : *list;
+    if (result->empty()) return PostingList{};
+  }
+  for (const auto& group : any_groups_) {
+    PostingList merged;
+    for (int32_t id : group) merged = Union(merged, index_->Postings(id));
+    result = result.has_value() ? Intersect(*result, merged)
+                                : std::move(merged);
+    if (result->empty()) return PostingList{};
+  }
+  if (!result.has_value()) {
+    if (cuisine_.has_value()) {
+      result = store.RowsOfCuisine(*cuisine_);
+    } else {
+      PostingList all(store.num_recipes());
+      for (size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<uint32_t>(i);
+      }
+      result = std::move(all);
+    }
+  }
+  for (int32_t id : excluded_) {
+    result = Difference(*result, index_->Postings(id));
+  }
+
+  PostingList out;
+  out.reserve(result->size());
+  for (uint32_t row : *result) {
+    if (cuisine_.has_value() && store.cuisine(row) != *cuisine_) continue;
+    if (continent_.has_value() &&
+        data::GetCuisine(store.cuisine(row)).continent != *continent_) {
+      continue;
+    }
+    out.push_back(row);
+    if (limit_ > 0 && out.size() == limit_) break;
+  }
+  return out;
+}
+
+util::Result<CuisineHistogram> QueryBuilder::ExecuteHistogram() const {
+  CUISINE_ASSIGN_OR_RETURN(PostingList rows, Execute());
+  CuisineHistogram hist;
+  hist.counts.assign(data::kNumCuisines, 0);
+  for (uint32_t row : rows) {
+    ++hist.counts[index_->store().cuisine(row)];
+    ++hist.total;
+  }
+  return hist;
+}
+
+}  // namespace cuisine::recipedb

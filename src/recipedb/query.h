@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "recipedb/index.h"
+#include "recipedb/store.h"
+#include "util/status.h"
+
+/// \file query.h
+/// \brief Fluent boolean query API over the recipe store + index:
+///
+///   QueryBuilder(&index)
+///       .WithTerm("garlic")
+///       .WithTerm("simmer")
+///       .WithoutTerm("butter")
+///       .InCuisine("Italian")
+///       .Execute();
+///
+/// Results are dense row indices into the store, sorted ascending.
+
+namespace cuisine::recipedb {
+
+/// Aggregated per-cuisine counts of a result set.
+struct CuisineHistogram {
+  /// counts[cuisine_id] = number of matching recipes.
+  std::vector<int64_t> counts;
+  int64_t total = 0;
+
+  /// Cuisine id with the largest count (-1 when total == 0).
+  int32_t ArgMax() const;
+};
+
+/// \brief Composable conjunctive query with exclusions.
+class QueryBuilder {
+ public:
+  /// `index` must outlive the builder.
+  explicit QueryBuilder(const InvertedIndex* index);
+
+  /// Requires the recipe to contain `term` (AND semantics across calls).
+  QueryBuilder& WithTerm(std::string_view term);
+  /// Requires at least one of `terms` (a nested OR group).
+  QueryBuilder& WithAnyTerm(const std::vector<std::string>& terms);
+  /// Excludes recipes containing `term`.
+  QueryBuilder& WithoutTerm(std::string_view term);
+  /// Restricts to one cuisine (by registry name).
+  QueryBuilder& InCuisine(std::string_view cuisine_name);
+  /// Restricts to one continent.
+  QueryBuilder& InContinent(data::Continent continent);
+  /// Keeps only the first `limit` results (0 = unlimited).
+  QueryBuilder& Limit(size_t limit);
+
+  /// Runs the query. Returns InvalidArgument for unknown cuisine names;
+  /// unknown terms simply produce an empty result.
+  util::Result<PostingList> Execute() const;
+
+  /// Executes and aggregates matches per cuisine.
+  util::Result<CuisineHistogram> ExecuteHistogram() const;
+
+ private:
+  const InvertedIndex* index_;
+  std::vector<int32_t> required_;                 // single AND terms
+  std::vector<std::vector<int32_t>> any_groups_;  // OR groups (ANDed)
+  std::vector<int32_t> excluded_;
+  std::optional<int32_t> cuisine_;
+  std::optional<data::Continent> continent_;
+  size_t limit_ = 0;
+  bool unknown_required_ = false;  // a required term missing from the dict
+  bool bad_cuisine_ = false;
+};
+
+}  // namespace cuisine::recipedb

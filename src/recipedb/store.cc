@@ -1,0 +1,59 @@
+#include "recipedb/store.h"
+
+#include "util/logging.h"
+
+namespace cuisine::recipedb {
+
+util::Status RecipeStore::Ingest(const std::vector<data::Recipe>& recipes) {
+  for (const data::Recipe& rec : recipes) {
+    if (rec.cuisine_id < 0 || rec.cuisine_id >= data::kNumCuisines) {
+      return util::Status::InvalidArgument(
+          "recipe " + std::to_string(rec.id) + " has out-of-range cuisine");
+    }
+  }
+  ids_.reserve(ids_.size() + recipes.size());
+  for (const data::Recipe& rec : recipes) {
+    const auto row = static_cast<uint32_t>(ids_.size());
+    ids_.push_back(rec.id);
+    cuisines_.push_back(rec.cuisine_id);
+    rows_by_cuisine_[rec.cuisine_id].push_back(row);
+    for (const data::RecipeEvent& ev : rec.events) {
+      auto [it, inserted] =
+          term_index_.try_emplace(ev.text, static_cast<int32_t>(terms_.size()));
+      if (inserted) {
+        terms_.push_back(ev.text);
+        term_types_.push_back(ev.type);
+        term_occurrences_.push_back(0);
+      }
+      ++term_occurrences_[it->second];
+      events_.push_back({ev.type, it->second});
+    }
+    offsets_.push_back(events_.size());
+  }
+  return util::Status::OK();
+}
+
+data::Recipe RecipeStore::MaterializeRecipe(size_t row) const {
+  CUISINE_CHECK(row < num_recipes());
+  data::Recipe rec;
+  rec.id = ids_[row];
+  rec.cuisine_id = cuisines_[row];
+  rec.events.reserve(EventCount(row));
+  for (const EncodedEvent* e = EventsBegin(row); e != EventsEnd(row); ++e) {
+    rec.events.push_back({e->type, terms_[e->term]});
+  }
+  return rec;
+}
+
+int32_t RecipeStore::TermId(std::string_view term) const {
+  const auto it = term_index_.find(std::string(term));
+  return it != term_index_.end() ? it->second : -1;
+}
+
+const std::vector<uint32_t>& RecipeStore::RowsOfCuisine(
+    int32_t cuisine_id) const {
+  CUISINE_CHECK(cuisine_id >= 0 && cuisine_id < data::kNumCuisines);
+  return rows_by_cuisine_[cuisine_id];
+}
+
+}  // namespace cuisine::recipedb

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/cuisines.h"
+#include "data/recipe.h"
+#include "util/status.h"
+
+/// \file store.h
+/// \brief Column-oriented, dictionary-encoded recipe store.
+///
+/// RecipeDB is literally a database ("RecipeDB: a resource for exploring
+/// recipes"); this module is the storage substrate behind the corpus:
+/// recipes are ingested once, event texts are dictionary-encoded into a
+/// shared string dictionary, and the event stream is stored as columnar
+/// arrays (type, dictionary id, recipe offsets). Lookups hand out views,
+/// never copies.
+
+namespace cuisine::recipedb {
+
+/// Dictionary-encoded culinary event.
+struct EncodedEvent {
+  data::EventType type;
+  /// Id into the store's term dictionary.
+  int32_t term;
+};
+
+/// \brief Immutable-after-build columnar recipe storage.
+class RecipeStore {
+ public:
+  RecipeStore() = default;
+
+  /// Bulk-loads recipes. Returns InvalidArgument on out-of-range
+  /// cuisine ids. May be called repeatedly before the first query.
+  util::Status Ingest(const std::vector<data::Recipe>& recipes);
+
+  size_t num_recipes() const { return ids_.size(); }
+  size_t num_terms() const { return terms_.size(); }
+  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+
+  // -- Row access (by dense row index, 0..num_recipes) --
+  int64_t recipe_id(size_t row) const { return ids_[row]; }
+  int32_t cuisine(size_t row) const { return cuisines_[row]; }
+  /// The event slice of one recipe (contiguous, in cooking order).
+  const EncodedEvent* EventsBegin(size_t row) const {
+    return events_.data() + offsets_[row];
+  }
+  const EncodedEvent* EventsEnd(size_t row) const {
+    return events_.data() + offsets_[row + 1];
+  }
+  size_t EventCount(size_t row) const {
+    return offsets_[row + 1] - offsets_[row];
+  }
+
+  /// Reconstructs a full Recipe row (copies).
+  data::Recipe MaterializeRecipe(size_t row) const;
+
+  // -- Dictionary --
+  /// Dictionary id of a term, or -1 if absent.
+  int32_t TermId(std::string_view term) const;
+  /// Term string for an id. Requires 0 <= id < num_terms().
+  const std::string& Term(int32_t id) const { return terms_[id]; }
+  /// The substructure a term belongs to (type of its first occurrence).
+  data::EventType TermType(int32_t id) const { return term_types_[id]; }
+  /// Total occurrences of a term across all recipes.
+  int64_t TermOccurrences(int32_t id) const { return term_occurrences_[id]; }
+
+  /// Dense row indices of every recipe of one cuisine.
+  const std::vector<uint32_t>& RowsOfCuisine(int32_t cuisine_id) const;
+
+ private:
+  std::vector<int64_t> ids_;
+  std::vector<int32_t> cuisines_;
+  std::vector<size_t> offsets_ = {0};  // row -> events_ begin
+  std::vector<EncodedEvent> events_;
+
+  std::vector<std::string> terms_;
+  std::vector<data::EventType> term_types_;
+  std::vector<int64_t> term_occurrences_;
+  std::unordered_map<std::string, int32_t> term_index_;
+
+  std::vector<std::vector<uint32_t>> rows_by_cuisine_ =
+      std::vector<std::vector<uint32_t>>(data::kNumCuisines);
+};
+
+}  // namespace cuisine::recipedb

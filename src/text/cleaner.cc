@@ -1,0 +1,45 @@
+#include "text/cleaner.h"
+
+#include <cctype>
+
+namespace cuisine::text {
+
+std::string Cleaner::Clean(std::string_view s) const {
+  std::string out;
+  out.reserve(s.size());
+  bool last_was_space = true;  // suppress leading space
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    char mapped;
+    if (std::isalpha(c)) {
+      mapped = options_.lowercase
+                   ? static_cast<char>(std::tolower(c))
+                   : static_cast<char>(c);
+    } else if (std::isdigit(c)) {
+      if (options_.strip_digits) {
+        mapped = ' ';
+      } else {
+        mapped = static_cast<char>(c);
+      }
+    } else if (raw == '_' && options_.keep_underscore) {
+      mapped = '_';
+    } else if (std::isspace(c)) {
+      mapped = ' ';
+    } else {
+      mapped = options_.strip_symbols ? ' ' : static_cast<char>(c);
+    }
+    if (mapped == ' ') {
+      if (!last_was_space) {
+        out.push_back(' ');
+        last_was_space = true;
+      }
+    } else {
+      out.push_back(mapped);
+      last_was_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace cuisine::text

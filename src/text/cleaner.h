@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file cleaner.h
+/// \brief Text normalisation matching the paper's preprocessing (§IV).
+///
+/// The paper: "the digits or symbols were omitted from the items to only
+/// keep words, thereby reducing the noise in this highly sparse dataset."
+/// `Cleaner` lower-cases, replaces every non-letter with a space and
+/// collapses whitespace runs.
+
+namespace cuisine::text {
+
+/// Options for text cleaning.
+struct CleanerOptions {
+  bool lowercase = true;
+  /// Replace digits with space (paper behaviour) instead of keeping them.
+  bool strip_digits = true;
+  /// Replace punctuation/symbols with space (paper behaviour).
+  bool strip_symbols = true;
+  /// Keep '_' as a word character (used by phrase tokens like red_lentil).
+  bool keep_underscore = false;
+};
+
+/// \brief Stateless cleaner applying CleanerOptions.
+class Cleaner {
+ public:
+  explicit Cleaner(CleanerOptions options = {}) : options_(options) {}
+
+  /// Returns the cleaned text with single-space separated word characters.
+  std::string Clean(std::string_view s) const;
+
+  const CleanerOptions& options() const { return options_; }
+
+ private:
+  CleanerOptions options_;
+};
+
+}  // namespace cuisine::text

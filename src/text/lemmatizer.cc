@@ -1,0 +1,104 @@
+#include "text/lemmatizer.h"
+
+#include "util/string_util.h"
+
+namespace cuisine::text {
+
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+Lemmatizer::Lemmatizer() {
+  // Irregulars seen in culinary text plus common English irregulars.
+  irregular_ = {
+      {"tomatoes", "tomato"},   {"potatoes", "potato"},
+      {"leaves", "leaf"},       {"loaves", "loaf"},
+      {"halves", "half"},       {"knives", "knife"},
+      {"shelves", "shelf"},     {"children", "child"},
+      {"men", "man"},           {"women", "woman"},
+      {"feet", "foot"},         {"teeth", "tooth"},
+      {"geese", "goose"},       {"mice", "mouse"},
+      {"dice", "die"},          {"anchovies", "anchovy"},
+      {"berries", "berry"},     {"cherries", "cherry"},
+      {"chillies", "chilli"},   {"chilies", "chili"},
+      {"made", "make"},         {"fried", "fry"},
+      {"cut", "cut"},           {"put", "put"},
+      {"left", "leave"},        {"dough", "dough"},
+      {"couscous", "couscous"}, {"hummus", "hummus"},
+      {"molasses", "molasses"}, {"swiss", "swiss"},
+      {"citrus", "citrus"},     {"asparagus", "asparagus"},
+  };
+}
+
+std::string Lemmatizer::Lemmatize(std::string_view word) const {
+  std::string w(word);
+  if (w.size() < 3) return w;
+
+  auto it = irregular_.find(w);
+  if (it != irregular_.end()) return it->second;
+
+  using util::EndsWith;
+
+  // Plural noun rules.
+  if (EndsWith(w, "ies") && w.size() > 4) {
+    return w.substr(0, w.size() - 3) + "y";  // berries -> berry
+  }
+  if (EndsWith(w, "sses")) {
+    return w.substr(0, w.size() - 2);  // presses -> press
+  }
+  if (EndsWith(w, "shes") || EndsWith(w, "ches") || EndsWith(w, "xes") ||
+      EndsWith(w, "zes")) {
+    return w.substr(0, w.size() - 2);  // dishes -> dish
+  }
+  if (EndsWith(w, "oes") && w.size() > 4) {
+    return w.substr(0, w.size() - 2);  // heroes -> hero
+  }
+  if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+      !EndsWith(w, "is") && w.size() > 3) {
+    return w.substr(0, w.size() - 1);  // onions -> onion
+  }
+
+  // Verb participle rules (applied after plural rules).
+  if (EndsWith(w, "ing") && w.size() > 5) {
+    std::string stem = w.substr(0, w.size() - 3);
+    // doubled consonant: chopping -> chop
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      return stem.substr(0, stem.size() - 1);
+    }
+    // restore silent e: baking -> bake (consonant-vowel-consonant stem end)
+    if (stem.size() >= 3 && !IsVowel(stem.back()) &&
+        IsVowel(stem[stem.size() - 2]) && !IsVowel(stem[stem.size() - 3])) {
+      return stem + "e";
+    }
+    return stem;  // boiling -> boil
+  }
+  if (EndsWith(w, "ed") && w.size() > 4) {
+    std::string stem = w.substr(0, w.size() - 2);
+    if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !IsVowel(stem.back())) {
+      return stem.substr(0, stem.size() - 1);  // chopped -> chop
+    }
+    if (stem.back() == 'i') {
+      return stem.substr(0, stem.size() - 1) + "y";  // dried -> dry
+    }
+    if (stem.size() >= 3 && !IsVowel(stem.back()) &&
+        IsVowel(stem[stem.size() - 2]) && !IsVowel(stem[stem.size() - 3])) {
+      return stem + "e";  // baked -> bake
+    }
+    return stem;  // boiled -> boil
+  }
+  return w;
+}
+
+std::string Lemmatizer::LemmatizeText(std::string_view text) const {
+  std::vector<std::string> words = util::SplitWhitespace(text);
+  for (auto& w : words) w = Lemmatize(w);
+  return util::Join(words, " ");
+}
+
+}  // namespace cuisine::text

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+/// \file lemmatizer.h
+/// \brief Rule-based English lemmatizer for culinary vocabulary.
+///
+/// The paper lemmatizes tokens after tokenization (§IV). Full WordNet
+/// lemmatization is out of scope offline, so this implements a
+/// suffix-rule lemmatizer (plural nouns, -ing/-ed verb forms) with an
+/// irregular-form table covering common culinary words. The rules are
+/// conservative: a transformation is applied only when the stem stays
+/// at least three characters long.
+
+namespace cuisine::text {
+
+/// \brief Deterministic suffix-rule lemmatizer.
+class Lemmatizer {
+ public:
+  Lemmatizer();
+
+  /// Returns the lemma for a single lower-case word.
+  std::string Lemmatize(std::string_view word) const;
+
+  /// Lemmatizes every whitespace-separated word in `text`.
+  std::string LemmatizeText(std::string_view text) const;
+
+ private:
+  std::unordered_map<std::string, std::string> irregular_;
+};
+
+}  // namespace cuisine::text

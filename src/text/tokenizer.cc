@@ -1,0 +1,43 @@
+#include "text/tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace cuisine::text {
+
+Tokenizer::Tokenizer(TokenizerOptions options)
+    : options_(options), cleaner_(options.cleaner) {}
+
+std::vector<std::string> Tokenizer::TokenizeEvent(
+    std::string_view event) const {
+  std::string cleaned = cleaner_.Clean(event);
+  std::vector<std::string> words = util::SplitWhitespace(cleaned);
+  if (options_.lemmatize) {
+    for (auto& w : words) w = lemmatizer_.Lemmatize(w);
+  }
+  if (words.empty()) return {};
+  if (options_.mode == TokenMode::kWord) return words;
+  return {util::Join(words, "_")};
+}
+
+std::vector<std::string> Tokenizer::TokenizeEvents(
+    const std::vector<std::string>& events) const {
+  std::vector<std::string> out;
+  out.reserve(events.size());
+  for (const auto& e : events) {
+    std::vector<std::string> toks = TokenizeEvent(e);
+    out.insert(out.end(), std::make_move_iterator(toks.begin()),
+               std::make_move_iterator(toks.end()));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::TokenizeText(std::string_view text) const {
+  std::string cleaned = cleaner_.Clean(text);
+  std::vector<std::string> words = util::SplitWhitespace(cleaned);
+  if (options_.lemmatize) {
+    for (auto& w : words) w = lemmatizer_.Lemmatize(w);
+  }
+  return words;
+}
+
+}  // namespace cuisine::text

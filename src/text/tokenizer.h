@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/cleaner.h"
+#include "text/lemmatizer.h"
+
+/// \file tokenizer.h
+/// \brief Recipe tokenization.
+///
+/// RecipeDB events are short phrases ("red lentil", "olive oil", "stir").
+/// Two tokenization modes are supported:
+///  - kPhrase: each cleaned event becomes one token with internal spaces
+///    replaced by '_' ("red_lentil"). This mirrors the paper's treatment of
+///    items as distinct entities (20,400 of them after lemmatization).
+///  - kWord: events are split into individual words.
+
+namespace cuisine::text {
+
+enum class TokenMode { kPhrase, kWord };
+
+/// Options controlling the full clean -> split -> lemmatize pipeline.
+struct TokenizerOptions {
+  CleanerOptions cleaner;
+  TokenMode mode = TokenMode::kPhrase;
+  bool lemmatize = true;
+};
+
+/// \brief Deterministic recipe-event tokenizer.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes one event phrase into zero or more tokens.
+  std::vector<std::string> TokenizeEvent(std::string_view event) const;
+
+  /// Tokenizes an ordered list of event phrases, concatenating results in
+  /// order (this is the "sequentially structured recipe" representation).
+  std::vector<std::string> TokenizeEvents(
+      const std::vector<std::string>& events) const;
+
+  /// Tokenizes free text (whitespace separated words).
+  std::vector<std::string> TokenizeText(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+  Cleaner cleaner_;
+  Lemmatizer lemmatizer_;
+};
+
+}  // namespace cuisine::text

@@ -1,0 +1,134 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace cuisine::text {
+
+Vocabulary::Vocabulary(bool with_special_tokens) {
+  if (with_special_tokens) {
+    for (const char* tok :
+         {kPadToken, kUnkToken, kClsToken, kSepToken, kMaskToken}) {
+      int32_t id = static_cast<int32_t>(tokens_.size());
+      index_.emplace(tok, id);
+      tokens_.emplace_back(tok);
+      freq_.push_back(0);
+    }
+    num_special_ = tokens_.size();
+  }
+}
+
+int32_t Vocabulary::Add(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) {
+    ++freq_[static_cast<size_t>(it->second)];
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  freq_.push_back(1);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+void Vocabulary::AddAll(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) Add(t);
+}
+
+int32_t Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  return has_special_tokens() ? unk_id() : -1;
+}
+
+bool Vocabulary::Contains(std::string_view token) const {
+  return index_.count(std::string(token)) > 0;
+}
+
+const std::string& Vocabulary::Token(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::Frequency(int32_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < freq_.size());
+  return freq_[static_cast<size_t>(id)];
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_frequency) const {
+  Vocabulary out(has_special_tokens());
+  struct Entry {
+    const std::string* token;
+    int64_t freq;
+  };
+  std::vector<Entry> kept;
+  for (size_t i = num_special_; i < tokens_.size(); ++i) {
+    if (freq_[i] >= min_frequency) kept.push_back({&tokens_[i], freq_[i]});
+  }
+  std::sort(kept.begin(), kept.end(), [](const Entry& a, const Entry& b) {
+    if (a.freq != b.freq) return a.freq > b.freq;
+    return *a.token < *b.token;
+  });
+  for (const auto& e : kept) {
+    int32_t id = out.Add(*e.token);
+    out.freq_[static_cast<size_t>(id)] = e.freq;
+  }
+  return out;
+}
+
+std::vector<int32_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    int32_t id = Lookup(t);
+    if (id >= 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::string> Vocabulary::Decode(
+    const std::vector<int32_t>& ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (int32_t id : ids) out.push_back(Token(id));
+  return out;
+}
+
+std::string Vocabulary::Serialize() const {
+  std::string out;
+  for (size_t i = num_special_; i < tokens_.size(); ++i) {
+    out += tokens_[i];
+    out += '\t';
+    out += std::to_string(freq_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+util::Result<Vocabulary> Vocabulary::Deserialize(const std::string& text,
+                                                 bool with_special_tokens) {
+  Vocabulary vocab(with_special_tokens);
+  for (std::string_view line : util::Split(text, '\n')) {
+    line = util::Trim(line);
+    if (line.empty()) continue;
+    auto parts = util::Split(line, '\t');
+    if (parts.size() != 2) {
+      return util::Status::InvalidArgument("bad vocabulary line: " +
+                                           std::string(line));
+    }
+    int64_t freq = 0;
+    try {
+      freq = std::stoll(parts[1]);
+    } catch (const std::exception&) {
+      return util::Status::InvalidArgument("bad frequency: " + parts[1]);
+    }
+    int32_t id = vocab.Add(parts[0]);
+    vocab.freq_[static_cast<size_t>(id)] = freq;
+  }
+  return vocab;
+}
+
+}  // namespace cuisine::text

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file vocabulary.h
+/// \brief Token <-> id mapping with frequency tracking and special tokens.
+///
+/// Sequential models index embeddings by these ids; statistical models use
+/// them as TF-IDF feature columns. Special tokens occupy the first ids so
+/// `[PAD]` is always id 0 (required by padded-batch code in src/nn).
+
+namespace cuisine::text {
+
+/// Reserved special tokens, in id order.
+inline constexpr const char* kPadToken = "[PAD]";
+inline constexpr const char* kUnkToken = "[UNK]";
+inline constexpr const char* kClsToken = "[CLS]";
+inline constexpr const char* kSepToken = "[SEP]";
+inline constexpr const char* kMaskToken = "[MASK]";
+
+/// \brief Frequency-counting vocabulary builder and lookup table.
+class Vocabulary {
+ public:
+  /// \param with_special_tokens when true, ids 0..4 are
+  /// [PAD],[UNK],[CLS],[SEP],[MASK]. Sequential models need them; TF-IDF
+  /// vocabularies don't.
+  explicit Vocabulary(bool with_special_tokens = true);
+
+  /// Adds one observation of `token`, creating it if unseen.
+  /// Returns the token id.
+  int32_t Add(std::string_view token);
+
+  /// Adds every token in the sequence.
+  void AddAll(const std::vector<std::string>& tokens);
+
+  /// Id of `token`, or the [UNK] id when absent (or -1 without specials).
+  int32_t Lookup(std::string_view token) const;
+
+  /// True if `token` is present.
+  bool Contains(std::string_view token) const;
+
+  /// Token string for an id. Requires 0 <= id < size().
+  const std::string& Token(int32_t id) const;
+
+  /// Total observation count for an id.
+  int64_t Frequency(int32_t id) const;
+
+  /// Number of distinct tokens (including specials).
+  size_t size() const { return tokens_.size(); }
+
+  size_t num_special_tokens() const { return num_special_; }
+
+  int32_t pad_id() const { return 0; }
+  int32_t unk_id() const { return 1; }
+  int32_t cls_id() const { return 2; }
+  int32_t sep_id() const { return 3; }
+  int32_t mask_id() const { return 4; }
+  bool has_special_tokens() const { return num_special_ > 0; }
+
+  /// Returns a new vocabulary containing only tokens with frequency >=
+  /// min_frequency (specials always kept). Id order follows descending
+  /// frequency, ties broken lexicographically, for reproducibility.
+  Vocabulary Pruned(int64_t min_frequency) const;
+
+  /// Encodes tokens to ids, mapping unseen tokens to [UNK] (which requires
+  /// special tokens; otherwise unseen tokens are dropped).
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Decodes ids back to token strings.
+  std::vector<std::string> Decode(const std::vector<int32_t>& ids) const;
+
+  /// Serialises to "token\tfrequency" lines.
+  std::string Serialize() const;
+
+  /// Parses the Serialize() format.
+  static util::Result<Vocabulary> Deserialize(const std::string& text,
+                                              bool with_special_tokens);
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> freq_;
+  size_t num_special_ = 0;
+};
+
+}  // namespace cuisine::text

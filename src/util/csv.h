@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file csv.h
+/// \brief RFC-4180-ish CSV reading and writing.
+///
+/// Supports quoted fields containing commas, quotes (doubled) and newlines.
+/// Used for dataset import/export and for dumping bench series that plotting
+/// scripts can consume.
+
+namespace cuisine::util {
+
+/// One parsed CSV table: rows of string fields.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Returns InvalidArgument on unterminated quotes.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Serialises rows to CSV text, quoting fields when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file (overwrites).
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace cuisine::util

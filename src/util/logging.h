@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// \brief Minimal leveled logger used across the library.
+///
+/// Usage: `CUISINE_LOG(Info) << "epoch " << e << " loss " << loss;`
+/// Output goes to stderr; the global threshold is settable at runtime so
+/// benches can silence training chatter.
+
+namespace cuisine::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement; flushes its buffer on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cuisine::util
+
+#define CUISINE_LOG(severity)                                       \
+  ::cuisine::util::internal::LogMessage(                            \
+      ::cuisine::util::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check (active in all build types).
+#define CUISINE_CHECK(cond)                                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::cuisine::util::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                                   \
+  } while (false)
+
+namespace cuisine::util::internal {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace cuisine::util::internal

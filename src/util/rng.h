@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+/// \file rng.h
+/// \brief Deterministic, seedable random number generation.
+///
+/// All stochastic components (the corpus generator, model initialisation,
+/// samplers, shufflers) draw from `Rng` so every experiment is reproducible
+/// from a single seed. The core generator is SplitMix64: tiny state, good
+/// statistical quality, and stable across platforms (unlike std::mt19937
+/// distributions, whose outputs vary across standard libraries).
+
+namespace cuisine::util {
+
+/// \brief SplitMix64-based pseudo random number generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Lemire-style rejection to avoid modulo bias.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal variate (Box-Muller; one value per call, cached pair).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Samples an index from unnormalised non-negative weights.
+  /// Returns weights.size() - 1 if rounding pushes past the total.
+  size_t SampleDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBelow(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel streams).
+  Rng Split() { return Rng(NextU64()); }
+
+ private:
+  uint64_t state_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+/// \brief Alias-method sampler for repeated draws from one fixed discrete
+/// distribution in O(1) per draw.
+class AliasSampler {
+ public:
+  /// Builds the alias table from unnormalised non-negative weights.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace cuisine::util

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status and Result<T> error handling.
+///
+/// Library code never throws across public API boundaries; fallible
+/// operations return `Status` (or `Result<T>` when they produce a value).
+/// `CUISINE_RETURN_NOT_OK` propagates errors up the call stack.
+
+namespace cuisine::util {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kNotImplemented,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: OK or a code plus message.
+///
+/// Cheap to copy in the OK case (single enum); error details live in the
+/// message string.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<CODE>: <message>" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Thrown only by `Result<T>::ValueOrDie` / `Status`-to-exception bridges in
+/// examples and tests; library internals propagate `Status` values instead.
+class StatusException : public std::runtime_error {
+ public:
+  explicit StatusException(const Status& status)
+      : std::runtime_error(status.ToString()), status_(status) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires `ok()`.
+  const T& ValueOrDie() const& {
+    if (!ok()) throw StatusException(status_);
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) throw StatusException(status_);
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) throw StatusException(status_);
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; requires `ok()`.
+  T MoveValueUnsafe() { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CUISINE_RETURN_NOT_OK(expr)        \
+  do {                                     \
+    ::cuisine::util::Status _st = (expr);  \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define CUISINE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).MoveValueUnsafe()
+
+#define CUISINE_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  CUISINE_ASSIGN_OR_RETURN_IMPL(CUISINE_CONCAT_(_result_, __LINE__), lhs, \
+                                rexpr)
+
+#define CUISINE_CONCAT_INNER_(a, b) a##b
+#define CUISINE_CONCAT_(a, b) CUISINE_CONCAT_INNER_(a, b)
+
+}  // namespace cuisine::util

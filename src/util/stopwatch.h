@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing helper for trainers and benches.
+
+namespace cuisine::util {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cuisine::util

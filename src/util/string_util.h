@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// \brief Small string helpers shared by the text and data layers.
+
+namespace cuisine::util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Formats an integer with thousands separators ("118,071").
+std::string FormatWithCommas(long long v);
+
+}  // namespace cuisine::util

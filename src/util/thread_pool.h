@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief Fixed-size thread pool plus a ParallelFor convenience.
+///
+/// Used by the random forest trainer (independent trees), the corpus
+/// generator and batched inference. Tasks must not throw; exceptions are
+/// surfaced through the returned futures.
+
+namespace cuisine::util {
+
+/// \brief Simple FIFO thread pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` threads and blocks
+/// until all iterations complete. Falls back to serial execution when n or
+/// num_threads is small. Rethrows the first exception encountered.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+/// Number of hardware threads, at least 1.
+size_t HardwareThreads();
+
+}  // namespace cuisine::util

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/trainer.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+
+namespace cuisine::core {
+namespace {
+
+// ---- Metrics ----
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(2, 1);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.At(0, 1), 1);
+  EXPECT_EQ(cm.TruePositives(1), 1);
+  EXPECT_EQ(cm.FalsePositives(1), 2);
+  EXPECT_EQ(cm.FalseNegatives(0), 1);
+}
+
+TEST(MetricsTest, HandComputedBinaryCase) {
+  // truth:  0 0 1 1 1
+  // pred:   0 1 1 1 0
+  const std::vector<int32_t> y_true{0, 0, 1, 1, 1};
+  const std::vector<int32_t> y_pred{0, 1, 1, 1, 0};
+  auto m = ComputeMetrics(y_true, y_pred, {}, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->accuracy, 3.0 / 5.0, 1e-9);
+  // class 0: precision 1/2, recall 1/2; class 1: precision 2/3, recall 2/3.
+  EXPECT_NEAR(m->macro_precision, (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_NEAR(m->macro_recall, (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_NEAR(m->macro_f1, (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m->log_loss, 0.0);  // no probabilities supplied
+}
+
+TEST(MetricsTest, LogLossMatchesHandValue) {
+  const std::vector<int32_t> y_true{0, 1};
+  const std::vector<int32_t> y_pred{0, 1};
+  const std::vector<std::vector<float>> probas{{0.8f, 0.2f}, {0.4f, 0.6f}};
+  auto m = ComputeMetrics(y_true, y_pred, probas, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->log_loss, -(std::log(0.8) + std::log(0.6)) / 2.0, 1e-6);
+}
+
+TEST(MetricsTest, AbsentClassesAreSkippedInMacroAverages) {
+  // Class 2 never appears in y_true; macro averages over classes 0, 1.
+  const std::vector<int32_t> y_true{0, 1};
+  const std::vector<int32_t> y_pred{0, 1};
+  auto m = ComputeMetrics(y_true, y_pred, {}, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->macro_precision, 1.0, 1e-9);
+  EXPECT_NEAR(m->macro_recall, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeMetrics({0}, {0, 1}, {}, 2).ok());
+  EXPECT_FALSE(ComputeMetrics({}, {}, {}, 2).ok());
+  EXPECT_FALSE(ComputeMetrics({5}, {0}, {}, 2).ok());
+  EXPECT_FALSE(ComputeMetrics({0}, {0}, {{0.5f}}, 2).ok());  // row width
+}
+
+TEST(MetricsTest, UnnormalisedProbasAreRenormalised) {
+  auto m = ComputeMetrics({0}, {0}, {{8.0f, 2.0f}}, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->log_loss, -std::log(0.8), 1e-6);
+}
+
+// ---- Report ----
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"Model", "Acc"});
+  table.AddRow({"LogReg", "57.70"});
+  table.AddRow({"NB", "51.64"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("Model   Acc"), std::string::npos);
+  EXPECT_NE(out.find("------  -----"), std::string::npos);
+  EXPECT_NE(out.find("LogReg  57.70"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"A", "B", "C"});
+  table.AddRow({"x"});
+  EXPECT_NE(table.Render().find("x"), std::string::npos);
+}
+
+TEST(FormatTest, PercentAndFixed) {
+  EXPECT_EQ(FormatPercent(0.57696), "57.70");
+  EXPECT_EQ(FormatFixed(1.514, 2), "1.51");
+  EXPECT_EQ(FormatFixed(0.1, 2), "0.10");
+}
+
+// ---- Pipeline ----
+
+data::Recipe MakeRecipe(int32_t cuisine,
+                        std::vector<std::pair<data::EventType, const char*>>
+                            events) {
+  data::Recipe r;
+  r.cuisine_id = cuisine;
+  for (auto& [type, text] : events) r.events.push_back({type, text});
+  return r;
+}
+
+TEST(PipelineTest, TokenizeCorpusPreservesOrderAndLabels) {
+  const std::vector<data::Recipe> recipes{
+      MakeRecipe(3, {{data::EventType::kIngredient, "Red Lentils"},
+                     {data::EventType::kProcess, "stir"},
+                     {data::EventType::kUtensil, "saucepan"}})};
+  const text::Tokenizer tokenizer;
+  const TokenizedCorpus corpus = TokenizeCorpus(recipes, tokenizer);
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.documents[0],
+            (std::vector<std::string>{"red_lentil", "stir", "saucepan"}));
+  EXPECT_EQ(corpus.labels[0], 3);
+}
+
+TEST(PipelineTest, SubstructureFiltering) {
+  const std::vector<data::Recipe> recipes{
+      MakeRecipe(0, {{data::EventType::kIngredient, "onion"},
+                     {data::EventType::kProcess, "stir"},
+                     {data::EventType::kUtensil, "pan"}})};
+  const text::Tokenizer tokenizer;
+  const TokenizedCorpus only_proc =
+      TokenizeCorpus(recipes, tokenizer, false, true, false);
+  EXPECT_EQ(only_proc.documents[0], (std::vector<std::string>{"stir"}));
+  const TokenizedCorpus no_utensils =
+      TokenizeCorpus(recipes, tokenizer, true, true, false);
+  EXPECT_EQ(no_utensils.documents[0],
+            (std::vector<std::string>{"onion", "stir"}));
+}
+
+TEST(PipelineTest, GatherCorpusSelects) {
+  TokenizedCorpus corpus;
+  corpus.documents = {{"a"}, {"b"}, {"c"}};
+  corpus.labels = {0, 1, 2};
+  const TokenizedCorpus picked = GatherCorpus(corpus, {2, 0});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked.documents[0], (std::vector<std::string>{"c"}));
+  EXPECT_EQ(picked.labels[1], 0);
+}
+
+TEST(PipelineTest, SequenceVocabularyMinFrequencyAndCap) {
+  std::vector<std::vector<std::string>> docs{
+      {"common", "common", "mid"}, {"common", "mid", "rare"}};
+  const text::Vocabulary uncapped = BuildSequenceVocabulary(docs, 2, 0);
+  EXPECT_TRUE(uncapped.Contains("common"));
+  EXPECT_TRUE(uncapped.Contains("mid"));
+  EXPECT_FALSE(uncapped.Contains("rare"));
+  const text::Vocabulary capped = BuildSequenceVocabulary(docs, 1, 6);
+  EXPECT_EQ(capped.size(), 6u);  // 5 specials + "common"
+  EXPECT_TRUE(capped.Contains("common"));
+  EXPECT_FALSE(capped.Contains("mid"));
+  // Frequencies survive the cap round-trip.
+  EXPECT_EQ(capped.Frequency(capped.Lookup("common")), 3);
+}
+
+// ---- Trainer (tiny learnable task) ----
+
+/// Synthetic task: the class is determined by the first token id.
+struct TinyTask {
+  std::vector<features::EncodedSequence> x;
+  std::vector<int32_t> y;
+};
+
+TinyTask MakeTinyTask(int n, uint64_t seed) {
+  util::Rng rng(seed);
+  TinyTask task;
+  for (int i = 0; i < n; ++i) {
+    const auto cls = static_cast<int32_t>(rng.NextBelow(3));
+    features::EncodedSequence seq;
+    seq.ids = {10 + cls, static_cast<int32_t>(5 + rng.NextBelow(4)), 0, 0};
+    seq.mask = {1, 1, 0, 0};
+    seq.length = 2;
+    task.x.push_back(std::move(seq));
+    task.y.push_back(cls);
+  }
+  return task;
+}
+
+TEST(TrainerTest, LearnsTinyLstmTask) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  nn::LstmClassifier model(config, 3);
+  const SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const TinyTask train = MakeTinyTask(200, 1);
+  const TinyTask val = MakeTinyTask(50, 2);
+  NeuralTrainOptions options;
+  options.epochs = 8;
+  options.batch_size = 8;
+  options.learning_rate = 5e-2;
+  auto history = TrainSequenceClassifier(forward, model.Parameters(), train.x,
+                                         train.y, val.x, val.y, options);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->train_loss.size(), 8u);
+  ASSERT_EQ(history->validation_loss.size(), 8u);
+  EXPECT_LT(history->train_loss.back(), history->train_loss.front());
+
+  const TinyTask test = MakeTinyTask(60, 3);
+  const SequencePredictions pred = PredictSequences(forward, test.x);
+  int correct = 0;
+  for (size_t i = 0; i < test.y.size(); ++i) {
+    if (pred.labels[i] == test.y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 50);  // > 83% on a trivially learnable task
+  // Probabilities are normalised.
+  float sum = 0.0f;
+  for (float p : pred.probas[0]) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(TrainerTest, RejectsBadOptions) {
+  nn::LstmConfig config;
+  config.vocab_size = 10;
+  nn::LstmClassifier model(config, 2);
+  const SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const TinyTask train = MakeTinyTask(10, 4);
+  NeuralTrainOptions bad;
+  bad.epochs = 0;
+  EXPECT_FALSE(TrainSequenceClassifier(forward, model.Parameters(), train.x,
+                                       train.y, {}, {}, bad)
+                   .ok());
+  NeuralTrainOptions ok_options;
+  EXPECT_FALSE(TrainSequenceClassifier(forward, model.Parameters(), {}, {},
+                                       {}, {}, ok_options)
+                   .ok());
+}
+
+TEST(TrainerTest, MlmPretrainingReducesLoss) {
+  nn::TransformerConfig config;
+  config.vocab_size = 40;
+  config.max_length = 10;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.d_ff = 32;
+  config.dropout = 0.0f;
+  nn::TransformerEncoder encoder(config);
+  util::Rng rng(5);
+  nn::MlmHead head(encoder, &rng);
+
+  text::Vocabulary vocab;  // ids 0..4 specials; add tokens up to 39
+  for (int i = 5; i < 40; ++i) vocab.Add("tok" + std::to_string(i));
+
+  // Highly predictable corpus: token pairs always co-occur.
+  std::vector<features::EncodedSequence> seqs;
+  util::Rng data_rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const auto base = static_cast<int32_t>(5 + 2 * data_rng.NextBelow(10));
+    features::EncodedSequence seq;
+    seq.ids = {vocab.cls_id(), base, base + 1, base, base + 1,
+               vocab.sep_id()};
+    seq.mask.assign(6, 1);
+    seq.length = 6;
+    seqs.push_back(std::move(seq));
+  }
+  MlmOptions options;
+  options.epochs = 10;
+  options.batch_size = 8;
+  options.learning_rate = 1e-2;
+  options.dynamic_masking = true;
+  auto losses = PretrainMlm(&encoder, &head, seqs, vocab, options);
+  ASSERT_TRUE(losses.ok());
+  ASSERT_EQ(losses->size(), 10u);
+  EXPECT_LT(losses->back(), losses->front() * 0.8);
+}
+
+TEST(TrainerTest, MlmRejectsBadOptions) {
+  nn::TransformerConfig config;
+  config.vocab_size = 10;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  nn::TransformerEncoder encoder(config);
+  util::Rng rng(7);
+  nn::MlmHead head(encoder, &rng);
+  text::Vocabulary vocab;
+  MlmOptions bad;
+  bad.mask_probability = 0.0;
+  EXPECT_FALSE(PretrainMlm(&encoder, &head, {}, vocab, bad).ok());
+}
+
+}  // namespace
+}  // namespace cuisine::core

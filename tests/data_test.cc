@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "data/cuisines.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/splitter.h"
+#include "data/stats.h"
+#include "data/word_lists.h"
+#include "text/tokenizer.h"
+
+namespace cuisine::data {
+namespace {
+
+// ---- Cuisine registry ----
+
+TEST(CuisinesTest, RegistryHas26CuisinesWithPositionalIds) {
+  const auto& all = AllCuisines();
+  ASSERT_EQ(all.size(), static_cast<size_t>(kNumCuisines));
+  for (int32_t i = 0; i < kNumCuisines; ++i) {
+    EXPECT_EQ(all[i].id, i);
+    EXPECT_GT(all[i].recipe_count, 0);
+  }
+}
+
+TEST(CuisinesTest, TableTwoTotals) {
+  // Table II sums to 118,171 (the text says 118,071; see EXPERIMENTS.md).
+  EXPECT_EQ(TotalRecipeCount(), 118171);
+}
+
+TEST(CuisinesTest, KnownRows) {
+  const int32_t italian = CuisineIdByName("Italian");
+  ASSERT_GE(italian, 0);
+  EXPECT_EQ(GetCuisine(italian).recipe_count, 16582);
+  EXPECT_EQ(GetCuisine(italian).continent, Continent::kEuropean);
+  const int32_t mexican = CuisineIdByName("Mexican");
+  EXPECT_EQ(GetCuisine(mexican).recipe_count, 14463);
+  EXPECT_EQ(CuisineIdByName("Klingon"), -1);
+}
+
+TEST(CuisinesTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& c : AllCuisines()) names.insert(c.name);
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumCuisines));
+}
+
+TEST(CuisinesTest, EveryContinentHasACuisine) {
+  std::set<Continent> continents;
+  for (const auto& c : AllCuisines()) continents.insert(c.continent);
+  EXPECT_EQ(continents.size(), static_cast<size_t>(kNumContinents));
+}
+
+// ---- Word lists ----
+
+TEST(WordListsTest, SizesMatchRecipeDb) {
+  EXPECT_EQ(PrepProcessVerbs().size(), 96u);
+  EXPECT_EQ(CookProcessVerbs().size(), 96u);
+  EXPECT_EQ(FinishProcessVerbs().size(), 48u);
+  EXPECT_EQ(GenericProcessVerbs().size(), 16u);
+  EXPECT_EQ(UtensilNames().size(), 69u);  // the paper's utensil count
+}
+
+TEST(WordListsTest, NamesSurvivePreprocessingDistinctly) {
+  const text::Tokenizer tokenizer;
+  std::unordered_set<std::string> seen;
+  for (const auto* list : {&PrepProcessVerbs(), &CookProcessVerbs(),
+                           &FinishProcessVerbs(), &GenericProcessVerbs(),
+                           &UtensilNames()}) {
+    for (const auto& name : *list) {
+      const auto toks = tokenizer.TokenizeEvent(name);
+      ASSERT_EQ(toks.size(), 1u) << name;
+      EXPECT_TRUE(seen.insert(toks[0]).second) << "collision: " << name;
+    }
+  }
+}
+
+// ---- Generator ----
+
+TEST(GeneratorTest, DeterministicUnderSameSeed) {
+  GeneratorOptions opt;
+  opt.scale = 0.005;
+  const RecipeDbGenerator g1(opt), g2(opt);
+  const auto c1 = g1.Generate();
+  const auto c2 = g2.Generate();
+  ASSERT_EQ(c1.size(), c2.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_EQ(c1[i].events, c2[i].events);
+    EXPECT_EQ(c1[i].cuisine_id, c2[i].cuisine_id);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a, b;
+  a.scale = b.scale = 0.005;
+  b.seed = 777;
+  const auto c1 = RecipeDbGenerator(a).Generate();
+  const auto c2 = RecipeDbGenerator(b).Generate();
+  ASSERT_EQ(c1.size(), c2.size());  // class sizes are scale-determined
+  bool any_diff = false;
+  for (size_t i = 0; i < c1.size() && !any_diff; ++i) {
+    any_diff = c1[i].events != c2[i].events;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ScaledCountsFollowTableTwo) {
+  GeneratorOptions opt;
+  opt.scale = 0.1;
+  const RecipeDbGenerator gen(opt);
+  const int32_t italian = CuisineIdByName("Italian");
+  EXPECT_EQ(gen.ScaledCount(italian), 1658);  // round(16582 * 0.1)
+  // Tiny classes are floored at 8 so every split is non-empty.
+  GeneratorOptions tiny;
+  tiny.scale = 0.001;
+  EXPECT_GE(RecipeDbGenerator(tiny).ScaledCount(
+                CuisineIdByName("Central American")),
+            8);
+}
+
+TEST(GeneratorTest, RecipesAreWellFormed) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  const auto corpus = RecipeDbGenerator(opt).Generate();
+  ASSERT_FALSE(corpus.empty());
+  for (const Recipe& rec : corpus) {
+    ASSERT_GE(rec.cuisine_id, 0);
+    ASSERT_LT(rec.cuisine_id, kNumCuisines);
+    ASSERT_FALSE(rec.events.empty());
+    // Ingredients form a prefix; utensils appear only after processes
+    // have started; no event text is empty.
+    bool seen_process = false;
+    for (const RecipeEvent& ev : rec.events) {
+      EXPECT_FALSE(ev.text.empty());
+      if (ev.type == EventType::kIngredient) {
+        EXPECT_FALSE(seen_process) << "ingredient after process";
+      } else {
+        seen_process = true;
+      }
+    }
+    EXPECT_FALSE(rec.EventTexts(EventType::kIngredient).empty());
+    EXPECT_FALSE(rec.EventTexts(EventType::kProcess).empty());
+  }
+}
+
+TEST(GeneratorTest, IdsAreSequential) {
+  GeneratorOptions opt;
+  opt.scale = 0.005;
+  const auto corpus = RecipeDbGenerator(opt).Generate();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].id, static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(GeneratorTest, VocabularyCountsMatchPaper) {
+  const RecipeDbGenerator gen{GeneratorOptions{.scale = 0.005}};
+  const auto& vocab = gen.vocabulary();
+  EXPECT_EQ(vocab.processes.size(), 256u);
+  EXPECT_EQ(vocab.utensils.size(), 69u);
+  EXPECT_EQ(vocab.common_ingredients.size() + vocab.rare_ingredients.size(),
+            20280u);  // the paper's distinct-ingredient count
+}
+
+TEST(GeneratorTest, RareTailScalesWithCorpus) {
+  GeneratorOptions opt;
+  opt.scale = 0.02;
+  const auto corpus = RecipeDbGenerator(opt).Generate();
+  const text::Tokenizer tokenizer;
+  const CorpusStats stats = ComputeCorpusStats(corpus, tokenizer);
+  // At 2% scale roughly 2% of the 11,738 singletons are injected, plus
+  // common-pool tail items that happen to occur once in a small corpus.
+  const int64_t singletons = stats.CountDocFreqBelow(2);
+  EXPECT_GT(singletons, 200);
+  EXPECT_LT(singletons, 1200);
+}
+
+TEST(GeneratorTest, SiblingOrderSignalPreservesUnigrams) {
+  // The two members of a sibling pair must use (nearly) the same process
+  // multiset but in different orders: compare aggregate process counts.
+  GeneratorOptions opt;
+  opt.scale = 0.05;
+  opt.noise_global = 0.0;
+  opt.noise_label = 0.0;
+  opt.noise_sibling = 0.0;
+  const RecipeDbGenerator gen(opt);
+  // French (12) and Eastern European (11) are siblings (same continent,
+  // adjacent registry slots).
+  const auto a = gen.GenerateCuisine(11, 400);
+  const auto b = gen.GenerateCuisine(12, 400);
+  auto process_counts = [](const std::vector<Recipe>& recipes) {
+    std::map<std::string, double> counts;
+    double total = 0.0;
+    for (const auto& r : recipes) {
+      for (const auto& ev : r.events) {
+        if (ev.type == EventType::kProcess) {
+          ++counts[ev.text];
+          ++total;
+        }
+      }
+    }
+    for (auto& [k, v] : counts) v /= total;
+    return counts;
+  };
+  const auto ca = process_counts(a);
+  const auto cb = process_counts(b);
+  auto tv_distance = [](const std::map<std::string, double>& x,
+                        const std::map<std::string, double>& y) {
+    double tv = 0.0;
+    for (const auto& [tok, px] : x) {
+      const auto it = y.find(tok);
+      tv += std::abs(px - (it == y.end() ? 0.0 : it->second));
+    }
+    for (const auto& [tok, py] : y) {
+      if (!x.count(tok)) tv += py;
+    }
+    return tv / 2.0;
+  };
+  // Siblings share the process bag almost exactly; a cross-continent
+  // cuisine (Thai, id 8) has clearly different process usage.
+  const auto cc = process_counts(gen.GenerateCuisine(8, 400));
+  const double sibling_tv = tv_distance(ca, cb);
+  const double stranger_tv = tv_distance(ca, cc);
+  EXPECT_LT(sibling_tv, 0.2);
+  EXPECT_GT(stranger_tv, sibling_tv * 1.5);
+}
+
+// ---- Splitter ----
+
+std::vector<Recipe> TinyCorpus(int per_class) {
+  std::vector<Recipe> recipes;
+  for (int32_t c = 0; c < kNumCuisines; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      Recipe r;
+      r.id = static_cast<int64_t>(recipes.size() + 1);
+      r.cuisine_id = c;
+      r.events.push_back({EventType::kIngredient, "onion"});
+      recipes.push_back(std::move(r));
+    }
+  }
+  return recipes;
+}
+
+TEST(SplitterTest, RatiosRespectedPerClass) {
+  const auto recipes = TinyCorpus(20);
+  const auto split = StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 99);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->total(), recipes.size());
+  std::vector<int> train_per_class(kNumCuisines, 0);
+  for (size_t i : split->train) ++train_per_class[recipes[i].cuisine_id];
+  for (int c : train_per_class) EXPECT_EQ(c, 14);  // 70% of 20
+}
+
+TEST(SplitterTest, NoIndexAppearsTwice) {
+  const auto recipes = TinyCorpus(10);
+  const auto split = StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 7);
+  ASSERT_TRUE(split.ok());
+  std::set<size_t> seen;
+  for (const auto* part : {&split->train, &split->validation, &split->test}) {
+    for (size_t i : *part) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), recipes.size());
+}
+
+TEST(SplitterTest, DeterministicAndSeedSensitive) {
+  const auto recipes = TinyCorpus(10);
+  const auto a = StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 5);
+  const auto b = StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 5);
+  const auto c = StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 6);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->train, b->train);
+  EXPECT_NE(a->train, c->train);
+}
+
+TEST(SplitterTest, RejectsBadRatios) {
+  const auto recipes = TinyCorpus(2);
+  EXPECT_FALSE(StratifiedSplit(recipes, {0.9, 0.2, 0.2}, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(recipes, {0.0, 0.5, 0.5}, 1).ok());
+}
+
+TEST(SplitterTest, RejectsOutOfRangeLabels) {
+  std::vector<Recipe> recipes = TinyCorpus(2);
+  recipes[0].cuisine_id = 99;
+  EXPECT_FALSE(StratifiedSplit(recipes, {0.7, 0.1, 0.2}, 1).ok());
+}
+
+TEST(SplitterTest, GatherSelects) {
+  const auto recipes = TinyCorpus(2);
+  const auto picked = Gather(recipes, {3, 0});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].id, recipes[3].id);
+  EXPECT_EQ(picked[1].id, recipes[0].id);
+}
+
+// ---- Stats ----
+
+TEST(StatsTest, CountsCraftedCorpus) {
+  std::vector<Recipe> recipes(2);
+  recipes[0].cuisine_id = 0;
+  recipes[0].events = {{EventType::kIngredient, "onion"},
+                       {EventType::kIngredient, "garlic"},
+                       {EventType::kProcess, "stir"}};
+  recipes[1].cuisine_id = 1;
+  recipes[1].events = {{EventType::kIngredient, "onion"},
+                       {EventType::kProcess, "stir"},
+                       {EventType::kProcess, "stir"},
+                       {EventType::kUtensil, "pan"}};
+  const text::Tokenizer tokenizer;
+  const CorpusStats stats = ComputeCorpusStats(recipes, tokenizer);
+  EXPECT_EQ(stats.num_recipes, 2);
+  EXPECT_EQ(stats.distinct_ingredients, 2);
+  EXPECT_EQ(stats.distinct_processes, 1);
+  EXPECT_EQ(stats.distinct_utensils, 1);
+  EXPECT_EQ(stats.recipes_per_cuisine[0], 1);
+  // 'stir' occurs 3 times in 2 recipes.
+  EXPECT_EQ(stats.frequencies[0].token, "stir");
+  EXPECT_EQ(stats.frequencies[0].occurrences, 3);
+  EXPECT_EQ(stats.frequencies[0].document_frequency, 2);
+  EXPECT_EQ(stats.CountAbove(2), 1);
+  EXPECT_EQ(stats.CountDocFreqBelow(2), 2);  // garlic, pan
+  EXPECT_NEAR(stats.mean_sequence_length, 3.5, 1e-9);
+}
+
+TEST(StatsTest, RankFrequencySeriesIsMonotonic) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  const auto corpus = RecipeDbGenerator(opt).Generate();
+  const text::Tokenizer tokenizer;
+  const CorpusStats stats = ComputeCorpusStats(corpus, tokenizer);
+  const auto series = RankFrequencySeries(stats, 50);
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.front().rank, 1);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].rank, series[i - 1].rank);
+    EXPECT_LE(series[i].frequency, series[i - 1].frequency);
+  }
+}
+
+// ---- IO ----
+
+TEST(IoTest, CsvRoundTrip) {
+  GeneratorOptions opt;
+  opt.scale = 0.003;
+  const auto corpus = RecipeDbGenerator(opt).Generate();
+  const auto csv = WriteRecipesCsv(corpus);
+  ASSERT_TRUE(csv.ok());
+  const auto restored = ReadRecipesCsv(*csv);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*restored)[i].id, corpus[i].id);
+    EXPECT_EQ((*restored)[i].cuisine_id, corpus[i].cuisine_id);
+    EXPECT_EQ((*restored)[i].events, corpus[i].events);
+  }
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const auto corpus = RecipeDbGenerator(GeneratorOptions{.scale = 0.003})
+                          .Generate();
+  const std::string path = ::testing::TempDir() + "/recipes_test.csv";
+  ASSERT_TRUE(SaveRecipes(corpus, path).ok());
+  const auto restored = LoadRecipes(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), corpus.size());
+}
+
+TEST(IoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(ReadRecipesCsv("id,continent,cuisine,events\n1,Asian\n").ok());
+  EXPECT_FALSE(
+      ReadRecipesCsv("id,continent,cuisine,events\nx,Asian,Thai,i:rice\n")
+          .ok());
+  EXPECT_FALSE(
+      ReadRecipesCsv("id,continent,cuisine,events\n1,Asian,Klingon,i:rice\n")
+          .ok());
+  EXPECT_FALSE(
+      ReadRecipesCsv("id,continent,cuisine,events\n1,Asian,Thai,q:rice\n")
+          .ok());
+  EXPECT_FALSE(
+      ReadRecipesCsv("id,continent,cuisine,events\n1,Asian,Thai,broken\n")
+          .ok());
+}
+
+TEST(IoTest, RejectsReservedDelimiters) {
+  Recipe r;
+  r.cuisine_id = 0;
+  r.events = {{EventType::kIngredient, "bad|name"}};
+  EXPECT_FALSE(WriteRecipesCsv({r}).ok());
+}
+
+TEST(IoTest, EmptyCorpusRoundTrips) {
+  const auto csv = WriteRecipesCsv({});
+  ASSERT_TRUE(csv.ok());
+  const auto restored = ReadRecipesCsv(*csv);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+}  // namespace
+}  // namespace cuisine::data

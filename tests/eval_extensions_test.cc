@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cross_validation.h"
+#include "core/metrics.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "util/rng.h"
+
+namespace cuisine::core {
+namespace {
+
+// ---- TopKAccuracy ----
+
+TEST(TopKAccuracyTest, MatchesHandValues) {
+  const std::vector<int32_t> y{0, 1, 2};
+  const std::vector<std::vector<float>> probas{
+      {0.5f, 0.3f, 0.2f},  // true 0 is rank 1
+      {0.5f, 0.3f, 0.2f},  // true 1 is rank 2
+      {0.5f, 0.3f, 0.2f},  // true 2 is rank 3
+  };
+  EXPECT_NEAR(*TopKAccuracy(y, probas, 1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(*TopKAccuracy(y, probas, 2), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(*TopKAccuracy(y, probas, 3), 1.0, 1e-9);
+}
+
+TEST(TopKAccuracyTest, TieBreaksByClassId) {
+  // Uniform row: rank of class c is c+1.
+  const std::vector<std::vector<float>> probas{{0.25f, 0.25f, 0.25f, 0.25f}};
+  EXPECT_NEAR(*TopKAccuracy({0}, probas, 1), 1.0, 1e-9);
+  EXPECT_NEAR(*TopKAccuracy({3}, probas, 3), 0.0, 1e-9);
+  EXPECT_NEAR(*TopKAccuracy({3}, probas, 4), 1.0, 1e-9);
+}
+
+TEST(TopKAccuracyTest, RejectsBadInputs) {
+  EXPECT_FALSE(TopKAccuracy({}, {}, 1).ok());
+  EXPECT_FALSE(TopKAccuracy({0}, {{0.5f, 0.5f}}, 0).ok());
+  EXPECT_FALSE(TopKAccuracy({5}, {{0.5f, 0.5f}}, 1).ok());
+  EXPECT_FALSE(TopKAccuracy({0, 1}, {{1.0f}}, 1).ok());
+}
+
+// ---- PerClassReport ----
+
+TEST(PerClassReportTest, MatchesHandValues) {
+  ConfusionMatrix cm(3);
+  // class 0: 2 correct, 1 predicted as 1.
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  // class 1: 1 correct.
+  cm.Add(1, 1);
+  // class 2 never appears.
+  const auto report = PerClassReport(cm);
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report[0].support, 3);
+  EXPECT_NEAR(report[0].precision, 1.0, 1e-9);        // 2 / 2
+  EXPECT_NEAR(report[0].recall, 2.0 / 3.0, 1e-9);     // 2 / 3
+  EXPECT_NEAR(report[1].precision, 0.5, 1e-9);        // 1 / 2
+  EXPECT_NEAR(report[1].recall, 1.0, 1e-9);
+  EXPECT_EQ(report[2].support, 0);
+  EXPECT_DOUBLE_EQ(report[2].f1, 0.0);
+}
+
+// ---- CrossValidate ----
+
+/// Synthetic documents: class k emits token "k-sig" plus shared noise.
+void MakeDocs(int n, uint64_t seed,
+              std::vector<std::vector<std::string>>* docs,
+              std::vector<int32_t>* labels) {
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const auto cls = static_cast<int32_t>(rng.NextBelow(3));
+    std::vector<std::string> doc{"sig" + std::to_string(cls)};
+    doc.push_back("noise" + std::to_string(rng.NextBelow(4)));
+    if (rng.NextBool(0.7)) doc.push_back("sig" + std::to_string(cls));
+    docs->push_back(std::move(doc));
+    labels->push_back(cls);
+  }
+}
+
+TEST(CrossValidateTest, LearnableTaskScoresHigh) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  MakeDocs(300, 17, &docs, &labels);
+  const auto result = CrossValidate(
+      [] { return std::make_unique<ml::MultinomialNaiveBayes>(); }, docs,
+      labels, 3, 5, 99);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->folds.size(), 5u);
+  EXPECT_GT(result->mean_accuracy, 0.95);
+  EXPECT_LT(result->stddev_accuracy, 0.1);
+  EXPECT_GT(result->mean_macro_f1, 0.9);
+}
+
+TEST(CrossValidateTest, DeterministicInSeed) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  MakeDocs(120, 18, &docs, &labels);
+  auto factory = [] { return std::make_unique<ml::LogisticRegression>(); };
+  const auto a = CrossValidate(factory, docs, labels, 3, 4, 7);
+  const auto b = CrossValidate(factory, docs, labels, 3, 4, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->folds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->folds[i].accuracy, b->folds[i].accuracy);
+  }
+}
+
+TEST(CrossValidateTest, RejectsBadArguments) {
+  std::vector<std::vector<std::string>> docs{{"a"}, {"b"}};
+  std::vector<int32_t> labels{0, 1};
+  auto factory = [] { return std::make_unique<ml::MultinomialNaiveBayes>(); };
+  EXPECT_FALSE(CrossValidate(factory, docs, labels, 2, 1, 0).ok());   // k<2
+  EXPECT_FALSE(CrossValidate(factory, {}, {}, 2, 2, 0).ok());         // empty
+  EXPECT_FALSE(CrossValidate(factory, docs, {0}, 2, 2, 0).ok());      // size
+  EXPECT_FALSE(CrossValidate(factory, docs, {0, 9}, 2, 2, 0).ok());   // label
+}
+
+TEST(CrossValidateTest, FoldsPartitionTheData) {
+  // With k close to class size every fold must still be non-degenerate.
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  MakeDocs(60, 19, &docs, &labels);
+  const auto result = CrossValidate(
+      [] { return std::make_unique<ml::MultinomialNaiveBayes>(); }, docs,
+      labels, 3, 10, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->folds.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cuisine::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/generator.h"
+
+namespace cuisine::core {
+namespace {
+
+/// Micro configuration: everything tiny so the full pipeline (corpus ->
+/// split -> TF-IDF + statistical models -> vocab -> LSTM -> MLM ->
+/// transformers) runs in a few seconds.
+ExperimentConfig MicroConfig() {
+  ExperimentConfig config;
+  config.generator.scale = 0.004;
+  config.verbose = false;
+
+  config.statistical.logistic_regression.epochs = 8;
+  config.statistical.svm.epochs = 8;
+  config.statistical.random_forest.num_trees = 8;
+  config.statistical.random_forest.tree.max_depth = 8;
+  config.statistical.adaboost.num_rounds = 4;
+
+  config.sequential.max_sequence_length = 24;
+  config.sequential.lstm_sequence_length = 16;
+  config.sequential.vocab_max_size = 1500;
+  config.sequential.lstm.embedding_dim = 12;
+  config.sequential.lstm.hidden_size = 12;
+  config.sequential.lstm_train.epochs = 1;
+  config.sequential.transformer.d_model = 12;
+  config.sequential.transformer.num_heads = 2;
+  config.sequential.transformer.num_layers = 1;
+  config.sequential.transformer.d_ff = 24;
+  config.sequential.bert_pretrain.epochs = 1;
+  config.sequential.bert_finetune.epochs = 1;
+  config.sequential.roberta_pretrain.epochs = 1;
+  config.sequential.roberta_finetune.epochs = 1;
+  config.sequential.max_train_sequences = 300;
+  config.sequential.max_pretrain_sequences = 300;
+  config.sequential.max_eval_sequences = 150;
+  return config;
+}
+
+TEST(ExperimentTest, FullPipelineRunsAllSevenModels) {
+  const ExperimentRunner runner(MicroConfig());
+  const auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const char* kExpected[] = {"LogReg",        "Naive Bayes", "SVM (linear)",
+                             "Random Forest", "LSTM",        "BERT",
+                             "RoBERTa"};
+  ASSERT_EQ(result->models.size(), 7u);
+  for (const char* name : kExpected) {
+    const ModelResult* m = result->Find(name);
+    ASSERT_NE(m, nullptr) << name;
+    // Everything should beat random guessing on the identity signal,
+    // even at micro scale. 26 classes -> chance ~3.8%.
+    EXPECT_GT(m->metrics.accuracy, 0.06) << name;
+    EXPECT_GT(m->metrics.log_loss, 0.0) << name;
+    EXPECT_GE(m->metrics.macro_f1, 0.0) << name;
+    EXPECT_GE(m->train_seconds, 0.0) << name;
+  }
+  // Split follows 7:1:2 within rounding.
+  const double total = static_cast<double>(
+      result->train_size + result->validation_size + result->test_size);
+  EXPECT_NEAR(result->train_size / total, 0.7, 0.02);
+  EXPECT_NEAR(result->test_size / total, 0.2, 0.02);
+  EXPECT_GT(result->num_tfidf_features, 100u);
+  EXPECT_GT(result->sequence_vocab_size, 100u);
+
+  // Sequential models expose their training curves.
+  EXPECT_FALSE(result->Find("LSTM")->history.train_loss.empty());
+  EXPECT_FALSE(result->Find("BERT")->pretrain_loss.empty());
+  EXPECT_FALSE(result->Find("RoBERTa")->history.validation_loss.empty());
+}
+
+TEST(ExperimentTest, ModelFamiliesCanBeDisabled) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  const auto result = ExperimentRunner(config).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->models.size(), 4u);
+  EXPECT_EQ(result->Find("LSTM"), nullptr);
+
+  ExperimentConfig stat_off = MicroConfig();
+  stat_off.run_statistical = false;
+  stat_off.run_transformers = false;
+  const auto lstm_only = ExperimentRunner(stat_off).Run();
+  ASSERT_TRUE(lstm_only.ok());
+  EXPECT_EQ(lstm_only->models.size(), 1u);
+  EXPECT_NE(lstm_only->Find("LSTM"), nullptr);
+}
+
+TEST(ExperimentTest, AdaBoostVariantReplacesRandomForest) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  config.statistical.use_adaboost = true;
+  const auto result = ExperimentRunner(config).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->Find("AdaBoost"), nullptr);
+  EXPECT_EQ(result->Find("Random Forest"), nullptr);
+}
+
+TEST(ExperimentTest, SubstructureAblationShrinksFeatureSpace) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  const auto full = ExperimentRunner(config).Run();
+  ASSERT_TRUE(full.ok());
+
+  config.include_ingredients = false;  // processes + utensils only
+  const auto reduced = ExperimentRunner(config).Run();
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LT(reduced->num_tfidf_features, full->num_tfidf_features);
+  // At most 256 processes + 69 utensils survive.
+  EXPECT_LE(reduced->num_tfidf_features, 325u);
+}
+
+TEST(ExperimentTest, ShuffledOrderKeepsStatisticalModelsIntact) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  const data::RecipeDbGenerator generator(config.generator);
+  const auto corpus = generator.Generate();
+
+  const auto intact = ExperimentRunner(config).RunOnCorpus(corpus);
+  config.shuffle_token_order = true;
+  const auto shuffled = ExperimentRunner(config).RunOnCorpus(corpus);
+  ASSERT_TRUE(intact.ok() && shuffled.ok());
+  // TF-IDF is a bag; shuffling token order must not change the result.
+  EXPECT_NEAR(intact->Find("LogReg")->metrics.accuracy,
+              shuffled->Find("LogReg")->metrics.accuracy, 1e-9);
+}
+
+TEST(ExperimentTest, RunOnCorpusSupportsRemappedClasses) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  const data::RecipeDbGenerator generator(config.generator);
+  auto corpus = generator.Generate();
+  // Collapse to a 2-class problem: Asian vs everything else.
+  for (auto& rec : corpus) {
+    rec.cuisine_id =
+        data::GetCuisine(rec.cuisine_id).continent == data::Continent::kAsian
+            ? 1
+            : 0;
+  }
+  const auto result = ExperimentRunner(config).RunOnCorpus(corpus, 2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->Find("LogReg")->metrics.accuracy, 0.5);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  ExperimentConfig config = MicroConfig();
+  config.run_lstm = false;
+  config.run_transformers = false;
+  const auto a = ExperimentRunner(config).Run();
+  const auto b = ExperimentRunner(config).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->models.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->models[i].metrics.accuracy,
+                     b->models[i].metrics.accuracy)
+        << a->models[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace cuisine::core

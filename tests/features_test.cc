@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/hashing.h"
+#include "features/sequence_encoder.h"
+#include "features/sparse.h"
+#include "features/vectorizer.h"
+
+namespace cuisine::features {
+namespace {
+
+// ---- SparseVector ----
+
+TEST(SparseVectorTest, FromUnsortedSortsAndMerges) {
+  const SparseVector v = SparseVector::FromUnsorted(
+      {{3, 1.0f}, {1, 2.0f}, {3, 4.0f}, {0, 0.0f}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.entries()[0].index, 1);
+  EXPECT_FLOAT_EQ(v.entries()[0].value, 2.0f);
+  EXPECT_EQ(v.entries()[1].index, 3);
+  EXPECT_FLOAT_EQ(v.entries()[1].value, 5.0f);
+}
+
+TEST(SparseVectorTest, FromUnsortedDropsCancellations) {
+  const SparseVector v =
+      SparseVector::FromUnsorted({{2, 1.0f}, {2, -1.0f}, {5, 3.0f}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 5);
+}
+
+TEST(SparseVectorTest, AtReturnsZeroForAbsent) {
+  const SparseVector v = SparseVector::FromUnsorted({{1, 2.0f}, {7, 3.0f}});
+  EXPECT_FLOAT_EQ(v.At(1), 2.0f);
+  EXPECT_FLOAT_EQ(v.At(7), 3.0f);
+  EXPECT_FLOAT_EQ(v.At(0), 0.0f);
+  EXPECT_FLOAT_EQ(v.At(4), 0.0f);
+  EXPECT_FLOAT_EQ(v.At(100), 0.0f);
+}
+
+TEST(SparseVectorTest, NormAndNormalize) {
+  SparseVector v = SparseVector::FromUnsorted({{0, 3.0f}, {2, 4.0f}});
+  EXPECT_FLOAT_EQ(v.SquaredNorm(), 25.0f);
+  v.L2Normalize();
+  EXPECT_NEAR(v.SquaredNorm(), 1.0f, 1e-6);
+  SparseVector zero;
+  zero.L2Normalize();  // must not crash
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(SparseVectorTest, DotProducts) {
+  const SparseVector a = SparseVector::FromUnsorted({{0, 1.0f}, {2, 2.0f}});
+  const SparseVector b = SparseVector::FromUnsorted({{2, 3.0f}, {5, 1.0f}});
+  EXPECT_FLOAT_EQ(a.Dot(b), 6.0f);
+  EXPECT_FLOAT_EQ(b.Dot(a), 6.0f);
+  const float dense[] = {1.0f, 0.0f, 0.5f};
+  EXPECT_FLOAT_EQ(a.DotDense(dense), 2.0f);
+}
+
+TEST(SparseVectorTest, AxpyInto) {
+  const SparseVector a = SparseVector::FromUnsorted({{1, 2.0f}});
+  float dense[3] = {0.0f, 1.0f, 0.0f};
+  a.AxpyInto(0.5f, dense);
+  EXPECT_FLOAT_EQ(dense[1], 2.0f);
+}
+
+// ---- CsrMatrix ----
+
+TEST(CsrMatrixTest, AppendAndRead) {
+  CsrMatrix m(10);
+  m.AppendRow(SparseVector::FromUnsorted({{1, 1.0f}, {9, 2.0f}}));
+  m.AppendRow(SparseVector{});
+  m.AppendRow(SparseVector::FromUnsorted({{0, 3.0f}}));
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 10u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.RowNnz(0), 2u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+  EXPECT_FLOAT_EQ(m.Row(2).At(0), 3.0f);
+  EXPECT_NEAR(m.Sparsity(), 1.0 - 3.0 / 30.0, 1e-9);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m(5);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+// ---- CountVectorizer ----
+
+using Docs = std::vector<std::vector<std::string>>;
+
+TEST(CountVectorizerTest, CountsTokens) {
+  CountVectorizer vec;
+  ASSERT_TRUE(vec.Fit(Docs{{"a", "b", "a"}, {"b", "c"}}).ok());
+  EXPECT_EQ(vec.num_features(), 3u);
+  const SparseVector row = vec.Transform({"a", "a", "c", "zzz"});
+  EXPECT_EQ(row.nnz(), 2u);
+  EXPECT_FLOAT_EQ(row.At(vec.vocabulary().Lookup("a")), 2.0f);
+  EXPECT_FLOAT_EQ(row.At(vec.vocabulary().Lookup("c")), 1.0f);
+}
+
+TEST(CountVectorizerTest, MinDocumentFrequencyPrunes) {
+  VectorizerOptions opt;
+  opt.min_document_frequency = 2;
+  CountVectorizer vec(opt);
+  ASSERT_TRUE(vec.Fit(Docs{{"a", "b"}, {"a", "c"}, {"a"}}).ok());
+  EXPECT_EQ(vec.num_features(), 1u);  // only "a" appears in >= 2 docs
+  EXPECT_TRUE(vec.vocabulary().Contains("a"));
+}
+
+TEST(CountVectorizerTest, MaxFeaturesKeepsMostFrequent) {
+  VectorizerOptions opt;
+  opt.max_features = 2;
+  CountVectorizer vec(opt);
+  ASSERT_TRUE(
+      vec.Fit(Docs{{"a", "b", "c"}, {"a", "b"}, {"a"}}).ok());
+  EXPECT_EQ(vec.num_features(), 2u);
+  EXPECT_TRUE(vec.vocabulary().Contains("a"));
+  EXPECT_TRUE(vec.vocabulary().Contains("b"));
+  EXPECT_FALSE(vec.vocabulary().Contains("c"));
+}
+
+TEST(CountVectorizerTest, RefitIsRejected) {
+  CountVectorizer vec;
+  ASSERT_TRUE(vec.Fit(Docs{{"a"}}).ok());
+  EXPECT_FALSE(vec.Fit(Docs{{"b"}}).ok());
+}
+
+TEST(CountVectorizerTest, TransformAllShapes) {
+  CountVectorizer vec;
+  ASSERT_TRUE(vec.Fit(Docs{{"a", "b"}, {"c"}}).ok());
+  const CsrMatrix m = vec.TransformAll(Docs{{"a"}, {}, {"b", "c"}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), vec.num_features());
+  EXPECT_EQ(m.RowNnz(1), 0u);
+}
+
+// ---- TfidfVectorizer ----
+
+TEST(TfidfVectorizerTest, MatchesHandComputedIdf) {
+  TfidfOptions opt;
+  opt.l2_normalize = false;
+  TfidfVectorizer vec(opt);
+  // "a" in 2/2 docs, "b" in 1/2.
+  ASSERT_TRUE(vec.Fit(Docs{{"a", "b"}, {"a"}}).ok());
+  const double idf_a = std::log(3.0 / 3.0) + 1.0;  // smooth idf
+  const double idf_b = std::log(3.0 / 2.0) + 1.0;
+  const SparseVector row = vec.Transform({"a", "b", "b"});
+  EXPECT_NEAR(row.At(vec.vocabulary().Lookup("a")), idf_a, 1e-5);
+  EXPECT_NEAR(row.At(vec.vocabulary().Lookup("b")), 2.0 * idf_b, 1e-5);
+}
+
+TEST(TfidfVectorizerTest, RowsAreL2NormalizedByDefault) {
+  TfidfVectorizer vec;
+  ASSERT_TRUE(vec.Fit(Docs{{"a", "b"}, {"a", "c"}}).ok());
+  const SparseVector row = vec.Transform({"a", "b", "c"});
+  EXPECT_NEAR(row.SquaredNorm(), 1.0f, 1e-5);
+}
+
+TEST(TfidfVectorizerTest, SublinearTfDampensCounts) {
+  TfidfOptions opt;
+  opt.l2_normalize = false;
+  opt.sublinear_tf = true;
+  TfidfVectorizer vec(opt);
+  ASSERT_TRUE(vec.Fit(Docs{{"a"}, {"a", "b"}}).ok());
+  const SparseVector row = vec.Transform({"a", "a", "a"});
+  // tf = 1 + ln(3) instead of 3.
+  const double expected = (1.0 + std::log(3.0)) * vec.Idf(
+      vec.vocabulary().Lookup("a"));
+  EXPECT_NEAR(row.At(vec.vocabulary().Lookup("a")), expected, 1e-5);
+}
+
+TEST(TfidfVectorizerTest, RareTokensGetHigherIdf) {
+  TfidfVectorizer vec;
+  ASSERT_TRUE(vec.Fit(Docs{{"common", "rare"},
+                           {"common"},
+                           {"common"},
+                           {"common"}}).ok());
+  EXPECT_GT(vec.Idf(vec.vocabulary().Lookup("rare")),
+            vec.Idf(vec.vocabulary().Lookup("common")));
+}
+
+// ---- FeatureHasher ----
+
+TEST(FeatureHasherTest, StatelessAndDeterministic) {
+  const FeatureHasher hasher;
+  const SparseVector a = hasher.Transform({"garlic", "onion"});
+  const SparseVector b = hasher.Transform({"garlic", "onion"});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(FeatureHasherTest, BucketsAreInRange) {
+  FeatureHasherOptions opt;
+  opt.num_buckets = 64;
+  const FeatureHasher hasher(opt);
+  for (const char* tok : {"a", "bb", "ccc", "garlic", "tomato sauce"}) {
+    const int32_t bucket = hasher.Bucket(tok);
+    EXPECT_GE(bucket, 0);
+    EXPECT_LT(bucket, 64);
+  }
+}
+
+TEST(FeatureHasherTest, RepeatedTokensAccumulate) {
+  FeatureHasherOptions opt;
+  opt.l2_normalize = false;
+  opt.alternate_sign = false;
+  const FeatureHasher hasher(opt);
+  const SparseVector row = hasher.Transform({"stir", "stir", "stir"});
+  ASSERT_EQ(row.nnz(), 1u);
+  EXPECT_FLOAT_EQ(row.entries()[0].value, 3.0f);
+}
+
+TEST(FeatureHasherTest, RowsAreNormalisedByDefault) {
+  const FeatureHasher hasher;
+  const SparseVector row =
+      hasher.Transform({"garlic", "onion", "stir", "pan"});
+  EXPECT_NEAR(row.SquaredNorm(), 1.0f, 1e-5f);
+}
+
+TEST(FeatureHasherTest, TransformAllShapes) {
+  FeatureHasherOptions opt;
+  opt.num_buckets = 128;
+  const FeatureHasher hasher(opt);
+  const CsrMatrix m = hasher.TransformAll({{"a"}, {}, {"b", "c"}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 128u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+}
+
+// ---- SequenceEncoder ----
+
+class SequenceEncoderTest : public ::testing::Test {
+ protected:
+  SequenceEncoderTest() {
+    vocab_.Add("stir");
+    vocab_.Add("heat");
+    vocab_.Add("bake");
+  }
+  text::Vocabulary vocab_;
+};
+
+TEST_F(SequenceEncoderTest, PadsToMaxLength) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 5, .add_cls_sep = false});
+  const EncodedSequence seq = enc.Encode({"stir", "heat"});
+  EXPECT_EQ(seq.length, 2);
+  ASSERT_EQ(seq.ids.size(), 5u);
+  EXPECT_EQ(seq.ids[0], vocab_.Lookup("stir"));
+  EXPECT_EQ(seq.ids[2], vocab_.pad_id());
+  EXPECT_EQ(seq.mask, (std::vector<int32_t>{1, 1, 0, 0, 0}));
+}
+
+TEST_F(SequenceEncoderTest, TruncatesLongSequences) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 3, .add_cls_sep = false});
+  const EncodedSequence seq =
+      enc.Encode({"stir", "heat", "bake", "stir", "stir"});
+  EXPECT_EQ(seq.length, 3);
+  EXPECT_EQ(seq.ids[2], vocab_.Lookup("bake"));
+}
+
+TEST_F(SequenceEncoderTest, ClsSepWrapping) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 6, .add_cls_sep = true});
+  const EncodedSequence seq = enc.Encode({"stir", "heat"});
+  EXPECT_EQ(seq.length, 4);
+  EXPECT_EQ(seq.ids[0], vocab_.cls_id());
+  EXPECT_EQ(seq.ids[3], vocab_.sep_id());
+  EXPECT_EQ(seq.ids[4], vocab_.pad_id());
+}
+
+TEST_F(SequenceEncoderTest, ClsSepTruncationKeepsSep) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 4, .add_cls_sep = true});
+  const EncodedSequence seq =
+      enc.Encode({"stir", "heat", "bake", "stir"});
+  EXPECT_EQ(seq.length, 4);
+  EXPECT_EQ(seq.ids[0], vocab_.cls_id());
+  EXPECT_EQ(seq.ids[3], vocab_.sep_id());
+}
+
+TEST_F(SequenceEncoderTest, EmptyDocumentGetsUnkForRecurrentModels) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 4, .add_cls_sep = false});
+  const EncodedSequence seq = enc.Encode({});
+  EXPECT_EQ(seq.length, 1);
+  EXPECT_EQ(seq.ids[0], vocab_.unk_id());
+}
+
+TEST_F(SequenceEncoderTest, UnknownTokensMapToUnk) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 4, .add_cls_sep = false});
+  const EncodedSequence seq = enc.Encode({"martian"});
+  EXPECT_EQ(seq.ids[0], vocab_.unk_id());
+}
+
+TEST_F(SequenceEncoderTest, EncodeAllMatchesEncode) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 4, .add_cls_sep = false});
+  const auto batch = enc.EncodeAll({{"stir"}, {"heat", "bake"}});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].ids, enc.Encode({"stir"}).ids);
+  EXPECT_EQ(batch[1].length, 2);
+}
+
+}  // namespace
+}  // namespace cuisine::features

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cuisine::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m.At(i, j) = static_cast<float>(rng->NextGaussian());
+    }
+  }
+  return m;
+}
+
+/// Naive reference GEMM with explicit transposition flags.
+Matrix Reference(const Matrix& a, const Matrix& b, bool ta, bool tb) {
+  const size_t m = ta ? a.cols() : a.rows();
+  const size_t k = ta ? a.rows() : a.cols();
+  const size_t n = tb ? b.rows() : b.cols();
+  Matrix c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.At(kk, i) : a.At(i, kk);
+        const float bv = tb ? b.At(j, kk) : b.At(kk, j);
+        s += static_cast<double>(av) * bv;
+      }
+      c.At(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+void ExpectNear(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.At(i, j), b.At(i, j), tol) << "at (" << i << "," << j
+                                               << ")";
+    }
+  }
+}
+
+struct GemmShape {
+  size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  util::Rng rng(101);
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  Matrix c;
+  Gemm(a, b, &c);
+  ExpectNear(c, Reference(a, b, false, false));
+}
+
+TEST_P(GemmTest, TransposeAMatchesReference) {
+  util::Rng rng(103);
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(k, m, &rng);  // (k x m)^T -> m x k
+  const Matrix b = RandomMatrix(k, n, &rng);
+  Matrix c;
+  GemmTransposeA(a, b, &c);
+  ExpectNear(c, Reference(a, b, true, false));
+}
+
+TEST_P(GemmTest, TransposeBMatchesReference) {
+  util::Rng rng(107);
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(n, k, &rng);  // (n x k)^T -> k x n
+  Matrix c;
+  GemmTransposeB(a, b, &c);
+  ExpectNear(c, Reference(a, b, false, true));
+}
+
+TEST_P(GemmTest, AccumulateAddsOnTop) {
+  util::Rng rng(109);
+  const auto [m, k, n] = GetParam();
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  Matrix c(m, n, 1.0f);
+  GemmAccumulate(a, b, &c);
+  Matrix expected = Reference(a, b, false, false);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) expected.At(i, j) += 1.0f;
+  }
+  ExpectNear(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmTest,
+                         ::testing::Values(GemmShape{1, 1, 1},
+                                           GemmShape{2, 3, 4},
+                                           GemmShape{7, 5, 3},
+                                           GemmShape{16, 16, 16},
+                                           GemmShape{1, 31, 9},
+                                           GemmShape{33, 1, 17}));
+
+TEST(VectorOpsTest, DotHandlesRemainderLoop) {
+  const float x[] = {1, 2, 3, 4, 5, 6, 7};
+  const float y[] = {7, 6, 5, 4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(Dot(x, y, 7), 7 + 12 + 15 + 16 + 15 + 12 + 7);
+  EXPECT_FLOAT_EQ(Dot(x, y, 0), 0.0f);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  float y[] = {1, 1, 1};
+  const float x[] = {1, 2, 3};
+  Axpy(2.0f, x, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 3);
+  EXPECT_FLOAT_EQ(y[2], 7);
+  Scale(0.5f, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 1.5f);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  const float x[] = {3, 4};
+  EXPECT_FLOAT_EQ(Norm2(x, 2), 5.0f);
+}
+
+TEST(SoftmaxTest, NormalisesAndIsStable) {
+  float x[] = {1000.0f, 1001.0f, 999.0f};
+  SoftmaxInPlace(x, 3);
+  float sum = x[0] + x[1] + x[2];
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(x[1], x[0]);
+  EXPECT_GT(x[0], x[2]);
+}
+
+TEST(SoftmaxTest, UniformInput) {
+  float x[] = {2.0f, 2.0f, 2.0f, 2.0f};
+  SoftmaxInPlace(x, 4);
+  for (float v : x) EXPECT_NEAR(v, 0.25f, 1e-6);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  const float x[] = {0.1f, 0.2f, 0.3f};
+  const double direct =
+      std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(LogSumExp(x, 3), direct, 1e-5);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  const float x[] = {1000.0f, 1000.0f};
+  EXPECT_NEAR(LogSumExp(x, 2), 1000.0f + std::log(2.0), 1e-3);
+}
+
+TEST(MatrixTest, BasicAccessors) {
+  Matrix m(2, 3, 0.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.empty());
+  m.At(1, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 9.0f);
+  m.Fill(0.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 0.0f);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+}  // namespace
+}  // namespace cuisine::linalg

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "ml/adaboost.h"
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace cuisine::ml {
+namespace {
+
+using features::CsrMatrix;
+using features::SparseEntry;
+using features::SparseVector;
+
+/// Three-class blob data: class k puts weight on features {3k, 3k+1, 3k+2}
+/// plus noise on a shared feature block.
+struct BlobData {
+  CsrMatrix x{12};
+  std::vector<int32_t> y;
+};
+
+BlobData MakeBlobs(int per_class, uint64_t seed) {
+  util::Rng rng(seed);
+  BlobData data;
+  for (int32_t k = 0; k < 3; ++k) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<SparseEntry> entries;
+      for (int j = 0; j < 3; ++j) {
+        if (rng.NextBool(0.8)) {
+          entries.push_back({3 * k + j, 1.0f + rng.NextFloat()});
+        }
+      }
+      // Shared noise features 9..11.
+      entries.push_back({9 + static_cast<int32_t>(rng.NextBelow(3)),
+                         rng.NextFloat()});
+      data.x.AppendRow(SparseVector::FromUnsorted(std::move(entries)));
+      data.y.push_back(k);
+    }
+  }
+  return data;
+}
+
+double Accuracy(const SparseClassifier& model, const CsrMatrix& x,
+                const std::vector<int32_t>& y) {
+  int correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (model.Predict(x.Row(i)) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+// ---- Parameterized contract tests over every classifier ----
+
+using ClassifierFactory = std::function<std::unique_ptr<SparseClassifier>()>;
+
+struct ClassifierCase {
+  const char* name;
+  ClassifierFactory make;
+};
+
+class ClassifierContractTest : public ::testing::TestWithParam<ClassifierCase> {
+};
+
+TEST_P(ClassifierContractTest, LearnsSeparableBlobs) {
+  const BlobData train = MakeBlobs(120, 1);
+  const BlobData test = MakeBlobs(50, 2);
+  auto model = GetParam().make();
+  ASSERT_TRUE(model->Fit(train.x, train.y, 3).ok());
+  EXPECT_TRUE(model->fitted());
+  EXPECT_GT(Accuracy(*model, test.x, test.y), 0.85) << GetParam().name;
+}
+
+TEST_P(ClassifierContractTest, ProbabilitiesAreNormalised) {
+  const BlobData train = MakeBlobs(60, 3);
+  auto model = GetParam().make();
+  ASSERT_TRUE(model->Fit(train.x, train.y, 3).ok());
+  const auto proba = model->PredictProba(train.x.Row(0));
+  ASSERT_EQ(proba.size(), 3u);
+  float sum = 0.0f;
+  for (float p : proba) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f + 1e-5f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST_P(ClassifierContractTest, RefitIsRejected) {
+  const BlobData train = MakeBlobs(30, 4);
+  auto model = GetParam().make();
+  ASSERT_TRUE(model->Fit(train.x, train.y, 3).ok());
+  EXPECT_FALSE(model->Fit(train.x, train.y, 3).ok());
+}
+
+TEST_P(ClassifierContractTest, RejectsBadInputs) {
+  auto model = GetParam().make();
+  CsrMatrix empty(4);
+  EXPECT_FALSE(model->Fit(empty, {}, 3).ok());
+
+  const BlobData train = MakeBlobs(10, 5);
+  auto model2 = GetParam().make();
+  std::vector<int32_t> short_labels(train.y.begin(), train.y.end() - 1);
+  EXPECT_FALSE(model2->Fit(train.x, short_labels, 3).ok());
+
+  auto model3 = GetParam().make();
+  std::vector<int32_t> bad_labels = train.y;
+  bad_labels[0] = 99;
+  EXPECT_FALSE(model3->Fit(train.x, bad_labels, 3).ok());
+
+  auto model4 = GetParam().make();
+  EXPECT_FALSE(model4->Fit(train.x, train.y, 1).ok());
+}
+
+TEST_P(ClassifierContractTest, DeterministicAcrossRuns) {
+  const BlobData train = MakeBlobs(60, 6);
+  auto m1 = GetParam().make();
+  auto m2 = GetParam().make();
+  ASSERT_TRUE(m1->Fit(train.x, train.y, 3).ok());
+  ASSERT_TRUE(m2->Fit(train.x, train.y, 3).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(m1->Predict(train.x.Row(i)), m2->Predict(train.x.Row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierContractTest,
+    ::testing::Values(
+        ClassifierCase{"NaiveBayes",
+                       [] {
+                         return std::make_unique<MultinomialNaiveBayes>();
+                       }},
+        ClassifierCase{"LogRegOvr",
+                       [] {
+                         return std::make_unique<LogisticRegression>();
+                       }},
+        ClassifierCase{"LogRegSoftmax",
+                       [] {
+                         LogisticRegressionOptions opt;
+                         opt.one_vs_rest = false;
+                         return std::make_unique<LogisticRegression>(opt);
+                       }},
+        ClassifierCase{"LinearSvm",
+                       [] { return std::make_unique<LinearSvm>(); }},
+        ClassifierCase{"DecisionTree",
+                       [] {
+                         DecisionTreeOptions opt;
+                         opt.max_features = 12;  // all features
+                         return std::make_unique<DecisionTree>(opt);
+                       }},
+        ClassifierCase{"RandomForest",
+                       [] {
+                         RandomForestOptions opt;
+                         opt.num_trees = 20;
+                         opt.num_threads = 2;
+                         return std::make_unique<RandomForest>(opt);
+                       }},
+        ClassifierCase{"AdaBoost",
+                       [] {
+                         AdaBoostOptions opt;
+                         opt.num_rounds = 10;
+                         return std::make_unique<AdaBoost>(opt);
+                       }}),
+    [](const ::testing::TestParamInfo<ClassifierCase>& info) {
+      return info.param.name;
+    });
+
+// ---- Naive Bayes specifics ----
+
+TEST(NaiveBayesTest, MatchesHandComputedPosterior) {
+  // Two classes, two features; textbook multinomial NB with alpha=1.
+  CsrMatrix x(2);
+  x.AppendRow(SparseVector::FromUnsorted({{0, 2.0f}}));          // class 0
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}, {1, 1.0f}}));  // class 0
+  x.AppendRow(SparseVector::FromUnsorted({{1, 3.0f}}));          // class 1
+  MultinomialNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(x, {0, 0, 1}, 2).ok());
+  // Class 0: counts (3,1), total 4 -> P(f0|0) = (3+1)/(4+2) = 2/3.
+  EXPECT_NEAR(nb.FeatureLogProb(0, 0), std::log(2.0 / 3.0), 1e-5);
+  EXPECT_NEAR(nb.FeatureLogProb(0, 1), std::log(1.0 / 3.0), 1e-5);
+  // Class 1: counts (0,3), total 3 -> P(f0|1) = 1/5, P(f1|1) = 4/5.
+  EXPECT_NEAR(nb.FeatureLogProb(1, 0), std::log(1.0 / 5.0), 1e-5);
+  EXPECT_NEAR(nb.FeatureLogProb(1, 1), std::log(4.0 / 5.0), 1e-5);
+  EXPECT_NEAR(nb.ClassLogPrior(0), std::log(2.0 / 3.0), 1e-5);
+  // A document heavy in feature 1 must be class 1.
+  EXPECT_EQ(nb.Predict(SparseVector::FromUnsorted({{1, 5.0f}})), 1);
+}
+
+TEST(NaiveBayesTest, RejectsNegativeFeatures) {
+  CsrMatrix x(1);
+  x.AppendRow(SparseVector::FromUnsorted({{0, -1.0f}}));
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+  MultinomialNaiveBayes nb;
+  EXPECT_FALSE(nb.Fit(x, {0, 1}, 2).ok());
+}
+
+TEST(NaiveBayesTest, RejectsNonPositiveAlpha) {
+  CsrMatrix x(1);
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+  x.AppendRow(SparseVector::FromUnsorted({{0, 2.0f}}));
+  MultinomialNaiveBayes nb(NaiveBayesOptions{.alpha = 0.0});
+  EXPECT_FALSE(nb.Fit(x, {0, 1}, 2).ok());
+}
+
+// ---- Logistic regression specifics ----
+
+TEST(LogisticRegressionTest, LossDecreasesOverEpochs) {
+  const BlobData train = MakeBlobs(100, 7);
+  LogisticRegressionOptions opt;
+  opt.epochs = 10;
+  opt.tolerance = 0.0;  // no early stop
+  LogisticRegression model(opt);
+  ASSERT_TRUE(model.Fit(train.x, train.y, 3).ok());
+  const auto& losses = model.epoch_losses();
+  ASSERT_EQ(losses.size(), 10u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(LogisticRegressionTest, EarlyStoppingTriggers) {
+  const BlobData train = MakeBlobs(100, 8);
+  LogisticRegressionOptions opt;
+  opt.epochs = 200;
+  opt.tolerance = 1e-2;
+  LogisticRegression model(opt);
+  ASSERT_TRUE(model.Fit(train.x, train.y, 3).ok());
+  EXPECT_LT(model.epoch_losses().size(), 200u);
+}
+
+TEST(LogisticRegressionTest, DecisionFunctionAgreesWithPrediction) {
+  const BlobData train = MakeBlobs(60, 9);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(train.x, train.y, 3).ok());
+  const SparseVector row = train.x.Row(0);
+  const auto scores = model.DecisionFunction(row);
+  const auto argmax = static_cast<int32_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  EXPECT_EQ(model.Predict(row), argmax);
+}
+
+// ---- Decision tree specifics ----
+
+TEST(DecisionTreeTest, PerfectlySeparableDataIsFitExactly) {
+  CsrMatrix x(2);
+  std::vector<int32_t> y;
+  for (int i = 0; i < 10; ++i) {
+    x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+    y.push_back(0);
+    x.AppendRow(SparseVector::FromUnsorted({{1, 1.0f}}));
+    y.push_back(1);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, 2).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(tree, x, y), 1.0);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  const BlobData train = MakeBlobs(100, 10);
+  DecisionTreeOptions opt;
+  opt.max_depth = 1;
+  opt.max_features = 12;
+  DecisionTree stump(opt);
+  ASSERT_TRUE(stump.Fit(train.x, train.y, 3).ok());
+  EXPECT_LE(stump.depth(), 1);
+  EXPECT_LE(stump.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, WeightsChangeTheFit) {
+  // Two contradictory points on the same feature; weights pick the label.
+  CsrMatrix x(1);
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+  const std::vector<int32_t> y{0, 1};
+  DecisionTree heavy0;
+  ASSERT_TRUE(heavy0.FitWeighted(x, y, 2, {0, 1}, {10.0, 1.0}).ok());
+  EXPECT_EQ(heavy0.Predict(x.Row(0)), 0);
+  DecisionTree heavy1;
+  ASSERT_TRUE(heavy1.FitWeighted(x, y, 2, {0, 1}, {1.0, 10.0}).ok());
+  EXPECT_EQ(heavy1.Predict(x.Row(0)), 1);
+}
+
+TEST(DecisionTreeTest, RejectsMismatchedWeights) {
+  CsrMatrix x(1);
+  x.AppendRow(SparseVector::FromUnsorted({{0, 1.0f}}));
+  x.AppendRow(SparseVector::FromUnsorted({{0, 2.0f}}));
+  DecisionTree tree;
+  EXPECT_FALSE(tree.FitWeighted(x, {0, 1}, 2, {0, 1}, {1.0}).ok());
+  DecisionTree tree2;
+  EXPECT_FALSE(tree2.FitWeighted(x, {0, 1}, 2, {5}, {1.0}).ok());
+}
+
+// ---- Random forest / AdaBoost specifics ----
+
+TEST(RandomForestTest, MoreTreesNeverHurtMuch) {
+  const BlobData train = MakeBlobs(80, 11);
+  const BlobData test = MakeBlobs(40, 12);
+  RandomForestOptions small_opt;
+  small_opt.num_trees = 1;
+  RandomForest small(small_opt);
+  RandomForestOptions big_opt;
+  big_opt.num_trees = 30;
+  RandomForest big(big_opt);
+  ASSERT_TRUE(small.Fit(train.x, train.y, 3).ok());
+  ASSERT_TRUE(big.Fit(train.x, train.y, 3).ok());
+  EXPECT_GE(Accuracy(big, test.x, test.y),
+            Accuracy(small, test.x, test.y) - 0.05);
+  EXPECT_EQ(big.num_trees(), 30u);
+}
+
+TEST(AdaBoostTest, AlphasArePositiveOnLearnableData) {
+  const BlobData train = MakeBlobs(80, 13);
+  AdaBoostOptions opt;
+  opt.num_rounds = 5;
+  AdaBoost model(opt);
+  ASSERT_TRUE(model.Fit(train.x, train.y, 3).ok());
+  ASSERT_GE(model.num_rounds_fitted(), 1u);
+  for (double a : model.alphas()) EXPECT_GT(a, 0.0);
+}
+
+TEST(AdaBoostTest, StopsEarlyOnPerfectFit) {
+  // Trivially separable single-feature data.
+  CsrMatrix x(2);
+  std::vector<int32_t> y;
+  for (int i = 0; i < 20; ++i) {
+    x.AppendRow(SparseVector::FromUnsorted({{i % 2, 1.0f}}));
+    y.push_back(i % 2);
+  }
+  AdaBoostOptions opt;
+  opt.num_rounds = 50;
+  AdaBoost model(opt);
+  ASSERT_TRUE(model.Fit(x, y, 2).ok());
+  EXPECT_LT(model.num_rounds_fitted(), 50u);
+  EXPECT_DOUBLE_EQ(Accuracy(model, x, y), 1.0);
+}
+
+}  // namespace
+}  // namespace cuisine::ml

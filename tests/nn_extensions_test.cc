@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace cuisine::nn {
+namespace {
+
+// ---- Serialization ----
+
+std::vector<Tensor> SomeTensors(uint64_t seed) {
+  util::Rng rng(seed);
+  return {Tensor::Randn(3, 4, 1.0f, &rng), Tensor::Randn(1, 7, 1.0f, &rng),
+          Tensor::Randn(5, 5, 1.0f, &rng)};
+}
+
+TEST(SerializationTest, RoundTripRestoresValues) {
+  const std::vector<Tensor> original = SomeTensors(1);
+  const std::string bytes = SerializeTensors(original);
+  std::vector<Tensor> restored = SomeTensors(2);  // same shapes, other values
+  ASSERT_TRUE(DeserializeTensors(bytes, &restored).ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t j = 0; j < original[i].size(); ++j) {
+      EXPECT_FLOAT_EQ(restored[i].data()[j], original[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializationTest, RejectsGarbageAndMismatch) {
+  std::vector<Tensor> tensors = SomeTensors(3);
+  EXPECT_FALSE(DeserializeTensors("not a checkpoint", &tensors).ok());
+
+  // Wrong tensor count.
+  std::vector<Tensor> fewer = {tensors[0]};
+  EXPECT_FALSE(
+      DeserializeTensors(SerializeTensors(tensors), &fewer).ok());
+
+  // Wrong shape: model stays untouched on failure.
+  std::vector<Tensor> reshaped = SomeTensors(4);
+  reshaped[1] = Tensor::Full(2, 7, 42.0f);
+  EXPECT_FALSE(
+      DeserializeTensors(SerializeTensors(tensors), &reshaped).ok());
+  EXPECT_FLOAT_EQ(reshaped[1].At(0, 0), 42.0f);
+
+  // Truncated payload.
+  std::string bytes = SerializeTensors(tensors);
+  bytes.resize(bytes.size() - 8);
+  std::vector<Tensor> target = SomeTensors(5);
+  EXPECT_FALSE(DeserializeTensors(bytes, &target).ok());
+  // Trailing bytes.
+  bytes = SerializeTensors(tensors) + "junk";
+  EXPECT_FALSE(DeserializeTensors(bytes, &target).ok());
+}
+
+TEST(SerializationTest, FileCheckpointRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cuisine_ckpt.bin";
+  const std::vector<Tensor> original = SomeTensors(6);
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+  std::vector<Tensor> restored = SomeTensors(7);
+  ASSERT_TRUE(LoadCheckpoint(path, &restored).ok());
+  EXPECT_FLOAT_EQ(restored[2].At(4, 4), original[2].At(4, 4));
+  EXPECT_FALSE(LoadCheckpoint(path + ".missing", &restored).ok());
+}
+
+TEST(SerializationTest, TransformerCheckpointPreservesPredictions) {
+  TransformerConfig config;
+  config.vocab_size = 50;
+  config.max_length = 10;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.d_ff = 16;
+  TransformerClassifier model(config, 4);
+  features::EncodedSequence seq;
+  seq.ids = {2, 7, 9, 3};
+  seq.length = 4;
+  util::Rng rng(0);
+  const Tensor before = model.ForwardLogits(seq, false, &rng);
+  const std::string bytes = SerializeTensors(model.Parameters());
+
+  config.seed += 100;  // different init
+  TransformerClassifier clone(config, 4);
+  auto params = clone.Parameters();
+  ASSERT_TRUE(DeserializeTensors(bytes, &params).ok());
+  const Tensor after = clone.ForwardLogits(seq, false, &rng);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(after.At(0, j), before.At(0, j));
+  }
+}
+
+// ---- GRU ----
+
+TEST(GruCellTest, StepShapeAndReactivity) {
+  util::Rng rng(11);
+  GruCell cell(4, 6, &rng);
+  Tensor h = cell.InitialState();
+  EXPECT_EQ(h.cols(), 6);
+  const Tensor x = Tensor::Randn(1, 4, 1.0f, &rng, false);
+  const Tensor h1 = cell.Step(x, h);
+  EXPECT_EQ(h1.rows(), 1);
+  EXPECT_EQ(h1.cols(), 6);
+  float sum = 0.0f;
+  for (size_t i = 0; i < h1.size(); ++i) sum += std::abs(h1.data()[i]);
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(GruCellTest, GradientsFlowThroughTime) {
+  util::Rng rng(12);
+  GruCell cell(3, 3, &rng);
+  Tensor x = Tensor::Randn(1, 3, 1.0f, &rng, /*requires_grad=*/true);
+  x.ZeroGrad();
+  Tensor h = cell.InitialState();
+  for (int t = 0; t < 3; ++t) h = cell.Step(x, h);
+  Sum(h).Backward();
+  float grad_sum = 0.0f;
+  for (float g : x.grad_vector()) grad_sum += std::abs(g);
+  EXPECT_GT(grad_sum, 0.0f);
+}
+
+TEST(GruClassifierTest, DeterministicLogits) {
+  GruConfig config;
+  config.vocab_size = 30;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  GruClassifier model(config, 3);
+  features::EncodedSequence seq;
+  seq.ids = {5, 6, 7};
+  seq.length = 3;
+  util::Rng rng(0);
+  const Tensor a = model.ForwardLogits(seq, false, &rng);
+  const Tensor b = model.ForwardLogits(seq, false, &rng);
+  ASSERT_EQ(a.cols(), 3);
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(a.At(0, j), b.At(0, j));
+}
+
+TEST(GruClassifierTest, LearnsTinyTask) {
+  GruConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  GruClassifier model(config, 2);
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  // Class = first token (10 or 11).
+  std::vector<features::EncodedSequence> x;
+  std::vector<int32_t> y;
+  util::Rng rng(13);
+  for (int i = 0; i < 150; ++i) {
+    const auto cls = static_cast<int32_t>(rng.NextBelow(2));
+    features::EncodedSequence seq;
+    seq.ids = {10 + cls, static_cast<int32_t>(5 + rng.NextBelow(3))};
+    seq.length = 2;
+    x.push_back(std::move(seq));
+    y.push_back(cls);
+  }
+  core::NeuralTrainOptions options;
+  options.epochs = 8;
+  options.batch_size = 8;
+  options.learning_rate = 5e-2;
+  const auto history = core::TrainSequenceClassifier(
+      forward, model.Parameters(), x, y, {}, {}, options);
+  ASSERT_TRUE(history.ok());
+  const auto pred = core::PredictSequences(forward, x);
+  int correct = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (pred.labels[i] == y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 130);
+}
+
+TEST(GruClassifierTest, FewerParametersThanLstm) {
+  // GRU has 3 gates vs the LSTM's 4: same dims -> ~25% fewer recurrent
+  // parameters.
+  GruConfig gru_config;
+  gru_config.vocab_size = 100;
+  GruClassifier gru(gru_config, 5);
+  nn::LstmConfig lstm_config;
+  lstm_config.vocab_size = 100;
+  nn::LstmClassifier lstm(lstm_config, 5);
+  EXPECT_LT(gru.NumParameters(), lstm.NumParameters());
+}
+
+}  // namespace
+}  // namespace cuisine::nn

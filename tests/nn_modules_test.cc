@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/sequence_encoder.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace cuisine::nn {
+namespace {
+
+// ---- Layers ----
+
+TEST(LinearTest, ShapeAndBias) {
+  util::Rng rng(1);
+  Linear linear(3, 5, &rng);
+  Tensor x = Tensor::Full(2, 3, 0.0f);
+  Tensor y = linear.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 5);
+  // Zero input -> output equals bias (zero-initialised).
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 0.0f);
+  std::vector<Tensor> params = linear.Parameters();
+  EXPECT_EQ(params.size(), 2u);
+  EXPECT_EQ(linear.NumParameters(), 3 * 5 + 5);
+}
+
+TEST(EmbeddingTest, LooksUpRows) {
+  util::Rng rng(2);
+  Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.At(0, j), out.At(1, j));
+  }
+}
+
+TEST(LayerNormModuleTest, NormalisesRows) {
+  LayerNorm norm(8);
+  util::Rng rng(3);
+  Tensor x = Tensor::Randn(4, 8, 3.0f, &rng, false);
+  Tensor y = norm.Forward(x);
+  for (int64_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.At(i, j);
+    mean /= 8.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      var += (y.At(i, j) - mean) * (y.At(i, j) - mean);
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+// ---- Optimizers ----
+
+TEST(SgdTest, MinimisesQuadratic) {
+  Tensor w = Tensor::Full(1, 1, 5.0f, /*requires_grad=*/true);
+  Sgd opt({w}, /*lr=*/0.1);
+  for (int step = 0; step < 100; ++step) {
+    opt.ZeroGrad();
+    Sum(Mul(w, w)).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.item(), 0.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor a = Tensor::Full(1, 1, 5.0f, true);
+  Tensor b = Tensor::Full(1, 1, 5.0f, true);
+  Sgd plain({a}, 0.01);
+  Sgd momentum({b}, 0.01, 0.9);
+  for (int step = 0; step < 50; ++step) {
+    plain.ZeroGrad();
+    Sum(Mul(a, a)).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    Sum(Mul(b, b)).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::abs(b.item()), std::abs(a.item()));
+}
+
+TEST(AdamTest, MinimisesQuadraticFast) {
+  Tensor w = Tensor::Full(1, 2, 3.0f, true);
+  Adam opt({w}, 0.2);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Sum(Mul(w, w)).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-2f);
+  EXPECT_EQ(opt.step_count(), 200);
+}
+
+TEST(AdamTest, DecoupledWeightDecayShrinksWeights) {
+  // Zero gradient, pure decay.
+  Tensor w = Tensor::Full(1, 1, 1.0f, true);
+  Adam opt({w}, 0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/0.5);
+  for (int step = 0; step < 5; ++step) {
+    opt.ZeroGrad();  // grads stay zero
+    w.ZeroGrad();
+    opt.Step();
+  }
+  EXPECT_LT(w.item(), 1.0f);
+  EXPECT_GT(w.item(), 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Tensor w = Tensor::Full(1, 2, 0.0f, true);
+  w.ZeroGrad();
+  w.grad_vector()[0] = 3.0f;
+  w.grad_vector()[1] = 4.0f;
+  Sgd opt({w}, 0.1);
+  const double norm = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(std::hypot(w.grad()[0], w.grad()[1]), 1.0, 1e-5);
+  // Below the max: untouched.
+  const double norm2 = opt.ClipGradNorm(10.0);
+  EXPECT_NEAR(norm2, 1.0, 1e-5);
+}
+
+TEST(ScheduleTest, WarmupLinearShape) {
+  WarmupLinearSchedule sched(1.0, 10, 110);
+  EXPECT_LT(sched.LearningRate(0), 0.2);
+  EXPECT_NEAR(sched.LearningRate(9), 1.0, 1e-9);
+  EXPECT_GT(sched.LearningRate(10), sched.LearningRate(60));
+  EXPECT_NEAR(sched.LearningRate(110), 0.0, 1e-9);
+}
+
+TEST(ScheduleTest, CosineShape) {
+  CosineSchedule sched(1.0, 10, 110, 0.1);
+  EXPECT_NEAR(sched.LearningRate(9), 1.0, 1e-9);
+  EXPECT_NEAR(sched.LearningRate(110), 0.1, 1e-6);
+  EXPECT_GT(sched.LearningRate(30), sched.LearningRate(90));
+}
+
+// ---- Attention ----
+
+TEST(AttentionTest, OutputShape) {
+  util::Rng rng(7);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  Tensor x = Tensor::Randn(5, 8, 1.0f, &rng, false);
+  Tensor mask = MaskBias(std::vector<int32_t>(5, 1));
+  Tensor y = attn.Forward(x, mask, false, &rng);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 8);
+  EXPECT_EQ(attn.num_heads(), 2);
+  EXPECT_EQ(attn.head_dim(), 4);
+}
+
+TEST(AttentionTest, MaskedPositionsDoNotInfluenceOutput) {
+  util::Rng rng(8);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  // Two inputs identical except at the masked position 3.
+  Tensor x1 = Tensor::Randn(4, 8, 1.0f, &rng, false);
+  Tensor x2 = Tensor::FromData(
+      4, 8, std::vector<float>(x1.data(), x1.data() + x1.size()));
+  for (int j = 0; j < 8; ++j) x2.data()[3 * 8 + j] += 5.0f;
+  Tensor mask = MaskBias({1, 1, 1, 0});
+  util::Rng fwd_rng(0);
+  Tensor y1 = attn.Forward(x1, mask, false, &fwd_rng);
+  Tensor y2 = attn.Forward(x2, mask, false, &fwd_rng);
+  // Unmasked output rows must agree (the masked key is invisible).
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.At(i, j), y2.At(i, j), 1e-5f);
+    }
+  }
+}
+
+TEST(AttentionTest, MaskBiasValues) {
+  Tensor bias = MaskBias({1, 0, 1});
+  EXPECT_FLOAT_EQ(bias.At(0, 0), 0.0f);
+  EXPECT_LT(bias.At(0, 1), -1e8f);
+  EXPECT_FLOAT_EQ(bias.At(0, 2), 0.0f);
+}
+
+// ---- LSTM ----
+
+TEST(LstmCellTest, StepShapesAndStateEvolution) {
+  util::Rng rng(9);
+  LstmCell cell(4, 6, &rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h.cols(), 6);
+  Tensor x = Tensor::Randn(1, 4, 1.0f, &rng, false);
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.rows(), 1);
+  EXPECT_EQ(next.h.cols(), 6);
+  // State must actually change from zero.
+  float sum = 0.0f;
+  for (size_t i = 0; i < next.h.size(); ++i) sum += std::abs(next.h.data()[i]);
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(LstmClassifierTest, LogitsShapeAndDeterminism) {
+  LstmConfig config;
+  config.vocab_size = 50;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  LstmClassifier model(config, 4);
+  features::EncodedSequence seq;
+  seq.ids = {5, 6, 7, 0, 0};
+  seq.mask = {1, 1, 1, 0, 0};
+  seq.length = 3;
+  util::Rng rng(0);
+  Tensor logits1 = model.ForwardLogits(seq, false, &rng);
+  Tensor logits2 = model.ForwardLogits(seq, false, &rng);
+  ASSERT_EQ(logits1.cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(logits1.At(0, j), logits2.At(0, j));
+  }
+}
+
+TEST(LstmClassifierTest, PaddingBeyondLengthIsIgnored) {
+  LstmConfig config;
+  config.vocab_size = 50;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  LstmClassifier model(config, 3);
+  features::EncodedSequence a, b;
+  a.ids = {5, 6, 0, 0};
+  a.length = 2;
+  b.ids = {5, 6, 9, 9};  // differs only beyond length
+  b.length = 2;
+  util::Rng rng(0);
+  Tensor la = model.ForwardLogits(a, false, &rng);
+  Tensor lb = model.ForwardLogits(b, false, &rng);
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(la.At(0, j), lb.At(0, j));
+}
+
+TEST(LstmClassifierTest, TwoLayersHaveParameters) {
+  LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 4;
+  config.hidden_size = 4;
+  config.num_layers = 2;
+  LstmClassifier model(config, 3);
+  // embedding + 2 cells x 3 tensors + head x 2.
+  EXPECT_EQ(model.Parameters().size(), 1u + 2u * 3u + 2u);
+}
+
+// ---- Transformer ----
+
+TransformerConfig SmallConfig() {
+  TransformerConfig config;
+  config.vocab_size = 60;
+  config.max_length = 12;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.d_ff = 16;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(TransformerTest, EncodeShape) {
+  TransformerEncoder encoder(SmallConfig());
+  features::EncodedSequence seq;
+  seq.ids = {2, 7, 8, 3, 0, 0};  // CLS a b SEP pad pad
+  seq.length = 4;
+  util::Rng rng(0);
+  Tensor hidden = encoder.Encode(seq, false, &rng);
+  EXPECT_EQ(hidden.rows(), 4);  // trimmed to real length
+  EXPECT_EQ(hidden.cols(), 8);
+}
+
+TEST(TransformerTest, ClassifierLogitsShapeAndDeterminism) {
+  TransformerClassifier model(SmallConfig(), 5);
+  features::EncodedSequence seq;
+  seq.ids = {2, 7, 8, 3};
+  seq.length = 4;
+  util::Rng rng(0);
+  Tensor l1 = model.ForwardLogits(seq, false, &rng);
+  Tensor l2 = model.ForwardLogits(seq, false, &rng);
+  ASSERT_EQ(l1.cols(), 5);
+  for (int j = 0; j < 5; ++j) EXPECT_FLOAT_EQ(l1.At(0, j), l2.At(0, j));
+}
+
+TEST(TransformerTest, OrderChangesRepresentation) {
+  // The whole point of the paper: the encoder must distinguish the same
+  // bag of tokens in different orders.
+  TransformerClassifier model(SmallConfig(), 5);
+  features::EncodedSequence ab, ba;
+  ab.ids = {2, 7, 8, 3};
+  ab.length = 4;
+  ba.ids = {2, 8, 7, 3};
+  ba.length = 4;
+  util::Rng rng(0);
+  Tensor la = model.ForwardLogits(ab, false, &rng);
+  Tensor lb = model.ForwardLogits(ba, false, &rng);
+  float diff = 0.0f;
+  for (int j = 0; j < 5; ++j) diff += std::abs(la.At(0, j) - lb.At(0, j));
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(TransformerTest, ParameterCountIsStable) {
+  TransformerClassifier model(SmallConfig(), 5);
+  // vocab 60x8 + pos 12x8 + embed LN 2x8
+  // per layer: QKVO (4 x (8x8+8)) + FF (8x16+16 + 16x8+8) + 2 LN x 16
+  // pooler 8x8+8, head 8x5+5.
+  const int64_t expected =
+      60 * 8 + 12 * 8 + 16 +
+      2 * (4 * (64 + 8) + (128 + 16 + 128 + 8) + 32) + (64 + 8) + (40 + 5);
+  EXPECT_EQ(model.NumParameters(), expected);
+}
+
+TEST(MlmHeadTest, LogitsCoverVocabulary) {
+  TransformerConfig config = SmallConfig();
+  TransformerEncoder encoder(config);
+  util::Rng rng(11);
+  MlmHead head(encoder, &rng);
+  features::EncodedSequence seq;
+  seq.ids = {2, 7, 8, 3};
+  seq.length = 4;
+  Tensor hidden = encoder.Encode(seq, false, &rng);
+  Tensor logits = head.ForwardLogits(hidden, encoder.token_embedding().table());
+  EXPECT_EQ(logits.rows(), 4);
+  EXPECT_EQ(logits.cols(), config.vocab_size);
+}
+
+TEST(TransformerTest, GradientsReachEveryParameter) {
+  TransformerClassifier model(SmallConfig(), 3);
+  features::EncodedSequence seq;
+  seq.ids = {2, 7, 8, 9, 3};
+  seq.length = 5;
+  util::Rng rng(0);
+  auto params = model.Parameters();
+  for (auto& p : params) p.ZeroGrad();
+  Tensor loss = CrossEntropy(model.ForwardLogits(seq, true, &rng), {1});
+  loss.Backward();
+  size_t with_grad = 0;
+  for (auto& p : params) {
+    float sum = 0.0f;
+    for (float g : p.grad_vector()) sum += std::abs(g);
+    if (sum > 0.0f) ++with_grad;
+  }
+  // Every parameter except unused embedding rows receives gradient; the
+  // tensors themselves must all be touched.
+  EXPECT_EQ(with_grad, params.size());
+}
+
+}  // namespace
+}  // namespace cuisine::nn

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace cuisine::nn {
+namespace {
+
+/// Builds a scalar output from the given parameter tensors.
+using GraphBuilder = std::function<Tensor(const std::vector<Tensor>&)>;
+
+/// Central-difference gradient check: compares autograd gradients of
+/// `build` against numeric derivatives for every parameter element.
+void GradCheck(const GraphBuilder& build, std::vector<Tensor> params,
+               float eps = 1e-3f, float tol = 2e-2f) {
+  // Autograd pass.
+  for (Tensor& p : params) p.ZeroGrad();
+  Tensor loss = build(params);
+  ASSERT_EQ(loss.size(), 1u);
+  loss.Backward();
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = params[pi];
+    for (size_t j = 0; j < p.size(); ++j) {
+      const float saved = p.data()[j];
+      p.data()[j] = saved + eps;
+      const float up = build(params).item();
+      p.data()[j] = saved - eps;
+      const float down = build(params).item();
+      p.data()[j] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = p.grad()[j];
+      EXPECT_NEAR(analytic, numeric,
+                  tol * std::max(1.0f, std::abs(numeric)))
+          << "param " << pi << " element " << j;
+    }
+  }
+}
+
+std::vector<Tensor> RandomParams(std::vector<std::pair<int64_t, int64_t>> shapes,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Tensor> params;
+  for (auto [r, c] : shapes) {
+    params.push_back(Tensor::Randn(r, c, 0.5f, &rng, /*requires_grad=*/true));
+  }
+  return params;
+}
+
+// ---- Forward-value sanity ----
+
+TEST(TensorTest, ConstructionAndAccessors) {
+  Tensor t = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_FLOAT_EQ(t.At(1, 2), 6.0f);
+  EXPECT_FALSE(t.requires_grad());
+  Tensor z = Tensor::Full(1, 2, 7.0f);
+  EXPECT_FLOAT_EQ(z.At(0, 1), 7.0f);
+}
+
+TEST(TensorTest, MatMulForward) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(2, 2, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(TensorTest, MatMulTransposeBForward) {
+  Tensor a = Tensor::FromData(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromData(2, 3, {1, 0, 1, 0, 1, 0});
+  Tensor c = MatMulTransposeB(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 2.0f);
+}
+
+TEST(TensorTest, SoftmaxRowsForward) {
+  Tensor x = Tensor::FromData(1, 3, {0.0f, 0.0f, 0.0f});
+  Tensor y = SoftmaxRows(x);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(y.At(0, j), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(TensorTest, CrossEntropyMatchesHandValue) {
+  Tensor logits = Tensor::FromData(1, 2, {0.0f, std::log(3.0f)});
+  Tensor loss = CrossEntropy(logits, {1});
+  // softmax = (0.25, 0.75); -log(0.75)
+  EXPECT_NEAR(loss.item(), -std::log(0.75f), 1e-5f);
+}
+
+TEST(TensorTest, CrossEntropyIgnoresNegativeTargets) {
+  Tensor logits = Tensor::FromData(2, 2, {0.0f, 0.0f, 5.0f, 0.0f});
+  Tensor loss = CrossEntropy(logits, {-1, 0});
+  // Only the second row counts; its softmax[0] ~ 0.9933.
+  EXPECT_NEAR(loss.item(), -std::log(0.9933f), 1e-3f);
+}
+
+TEST(TensorTest, EmbeddingGatherForward) {
+  Tensor table = Tensor::FromData(3, 2, {0, 1, 10, 11, 20, 21});
+  Tensor out = EmbeddingGather(table, {2, 0, 2});
+  EXPECT_FLOAT_EQ(out.At(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(2, 1), 21.0f);
+}
+
+TEST(TensorTest, SliceAndConcat) {
+  Tensor x = Tensor::FromData(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor rows = SliceRows(x, 1, 1);
+  EXPECT_FLOAT_EQ(rows.At(0, 2), 7.0f);
+  Tensor cols = SliceCols(x, 2, 2);
+  EXPECT_FLOAT_EQ(cols.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cols.At(1, 1), 8.0f);
+  Tensor cat = ConcatCols({cols, cols});
+  EXPECT_EQ(cat.cols(), 4);
+  EXPECT_FLOAT_EQ(cat.At(1, 3), 8.0f);
+  Tensor rcat = ConcatRows({rows, rows});
+  EXPECT_EQ(rcat.rows(), 2);
+}
+
+TEST(TensorTest, DetachBreaksGraph) {
+  Tensor x = Tensor::Full(1, 1, 2.0f, /*requires_grad=*/true);
+  Tensor y = Scale(x, 3.0f).Detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.item(), 6.0f);
+}
+
+TEST(TensorTest, DropoutOffIsIdentity) {
+  util::Rng rng(5);
+  Tensor x = Tensor::Full(4, 4, 1.0f, true);
+  Tensor y = DropoutOp(x, 0.5f, /*training=*/false, &rng);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(y.At(i, j), 1.0f);
+  }
+}
+
+TEST(TensorTest, DropoutPreservesExpectation) {
+  util::Rng rng(6);
+  Tensor x = Tensor::Full(100, 100, 1.0f);
+  Tensor y = DropoutOp(x, 0.3f, /*training=*/true, &rng);
+  double sum = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) sum += y.data()[i];
+  EXPECT_NEAR(sum / static_cast<double>(y.size()), 1.0, 0.05);
+}
+
+// ---- Gradient checks for every op ----
+
+TEST(GradCheckTest, MatMul) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) { return Sum(MatMul(p[0], p[1])); },
+      RandomParams({{3, 4}, {4, 2}}, 21));
+}
+
+TEST(GradCheckTest, MatMulTransposeB) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Mul(MatMulTransposeB(p[0], p[1]),
+                       MatMulTransposeB(p[0], p[1])));
+      },
+      RandomParams({{3, 4}, {5, 4}}, 22));
+}
+
+TEST(GradCheckTest, AddSubMulScale) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Mul(Add(p[0], p[1]), Sub(Scale(p[0], 2.0f), p[1])));
+      },
+      RandomParams({{2, 3}, {2, 3}}, 23));
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Mul(AddRowBroadcast(p[0], p[1]),
+                       AddRowBroadcast(p[0], p[1])));
+      },
+      RandomParams({{4, 3}, {1, 3}}, 24));
+}
+
+TEST(GradCheckTest, Activations) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Add(Add(Relu(p[0]), Tanh(p[0])),
+                       Add(Sigmoid(p[0]), Gelu(p[0]))));
+      },
+      RandomParams({{3, 3}}, 25));
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Mul(SoftmaxRows(p[0]), p[1]));
+      },
+      RandomParams({{2, 4}, {2, 4}}, 26));
+}
+
+TEST(GradCheckTest, SliceOps) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        Tensor rows = SliceRows(p[0], 1, 2);
+        Tensor cols = SliceCols(rows, 0, 2);
+        return Sum(Mul(cols, cols));
+      },
+      RandomParams({{4, 3}}, 27));
+}
+
+TEST(GradCheckTest, ConcatOps) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        Tensor cat = ConcatCols({p[0], p[1]});
+        Tensor rcat = ConcatRows({cat, cat});
+        return Sum(Mul(rcat, rcat));
+      },
+      RandomParams({{2, 2}, {2, 3}}, 28));
+}
+
+TEST(GradCheckTest, EmbeddingGather) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        // Repeated ids exercise grad accumulation into one row.
+        Tensor g = EmbeddingGather(p[0], {1, 0, 1, 2});
+        return Sum(Mul(g, g));
+      },
+      RandomParams({{3, 4}}, 29));
+}
+
+TEST(GradCheckTest, CrossEntropy) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return CrossEntropy(p[0], {1, 0, -1});
+      },
+      RandomParams({{3, 4}}, 30));
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(Mul(LayerNormOp(p[0], p[1], p[2]), p[3]));
+      },
+      RandomParams({{3, 6}, {1, 6}, {1, 6}, {3, 6}}, 31), 1e-3f, 5e-2f);
+}
+
+TEST(GradCheckTest, MeanAndSum) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) { return Mean(Mul(p[0], p[0])); },
+      RandomParams({{3, 3}}, 32));
+}
+
+TEST(GradCheckTest, DeepComposition) {
+  // A miniature network: (x W1 + b) -> gelu -> layernorm -> W2 -> CE loss.
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        Tensor h = Gelu(AddRowBroadcast(MatMul(p[0], p[1]), p[2]));
+        Tensor n = LayerNormOp(h, p[3], p[4]);
+        Tensor logits = MatMul(n, p[5]);
+        return CrossEntropy(logits, {0, 2});
+      },
+      RandomParams({{2, 3}, {3, 4}, {1, 4}, {1, 4}, {1, 4}, {4, 3}}, 33),
+      1e-3f, 5e-2f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::Full(1, 1, 3.0f, /*requires_grad=*/true);
+  x.ZeroGrad();
+  Scale(x, 2.0f).Backward();
+  Scale(x, 2.0f).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // 2 + 2
+}
+
+TEST(BackwardTest, DiamondGraphSumsBothPaths) {
+  Tensor x = Tensor::Full(1, 1, 2.0f, /*requires_grad=*/true);
+  x.ZeroGrad();
+  Tensor a = Scale(x, 3.0f);
+  Tensor b = Scale(x, 4.0f);
+  Add(a, b).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(BackwardTest, NoGradTensorsAreUntouched) {
+  Tensor x = Tensor::Full(1, 1, 2.0f, /*requires_grad=*/true);
+  Tensor c = Tensor::Full(1, 1, 5.0f, /*requires_grad=*/false);
+  x.ZeroGrad();
+  Mul(x, c).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+  EXPECT_TRUE(c.grad_vector().empty());
+}
+
+}  // namespace
+}  // namespace cuisine::nn

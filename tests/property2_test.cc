@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+/// \file property2_test.cc
+/// \brief Second property batch: idempotence, distribution-equivalence
+/// and round-trip properties over randomised inputs.
+
+namespace cuisine {
+namespace {
+
+// ---- Tokenizer idempotence ----
+
+class TokenizerIdempotenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerIdempotenceTest, TokenizingTwiceEqualsOnce) {
+  // Applying the pipeline to its own output must be a fixed point:
+  // phrase tokens ("red_lentil") re-tokenize to themselves.
+  util::Rng rng(GetParam());
+  const text::Tokenizer tokenizer;
+  const char* kWords[] = {"Red",     "Lentils", "olive",  "oils",
+                          "chopped", "Onions",  "baking", "stirred"};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string event;
+    const int words = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) event += " ";
+      event += kWords[rng.NextBelow(std::size(kWords))];
+    }
+    const auto once = tokenizer.TokenizeEvent(event);
+    ASSERT_EQ(once.size(), 1u) << event;
+    const auto twice = tokenizer.TokenizeEvent(once[0]);
+    ASSERT_EQ(twice.size(), 1u) << once[0];
+    EXPECT_EQ(twice[0], once[0]) << "not a fixed point: " << event;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerIdempotenceTest,
+                         ::testing::Values(41, 42, 43));
+
+// ---- Alias sampler vs direct discrete sampling ----
+
+TEST(SamplerEquivalenceTest, AliasMatchesDirectSampling) {
+  // Both samplers must realise the same distribution (within noise).
+  const std::vector<double> weights{5.0, 1.0, 0.0, 3.0, 1.0};
+  util::Rng rng_a(7), rng_b(7);
+  const util::AliasSampler alias(weights);
+  const int n = 60000;
+  std::vector<int> counts_alias(weights.size(), 0);
+  std::vector<int> counts_direct(weights.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts_alias[alias.Sample(&rng_a)];
+    ++counts_direct[rng_b.SampleDiscrete(weights)];
+  }
+  EXPECT_EQ(counts_alias[2], 0);
+  EXPECT_EQ(counts_direct[2], 0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double pa = static_cast<double>(counts_alias[i]) / n;
+    const double pd = static_cast<double>(counts_direct[i]) / n;
+    EXPECT_NEAR(pa, pd, 0.015) << "bucket " << i;
+    EXPECT_NEAR(pa, weights[i] / 10.0, 0.015) << "bucket " << i;
+  }
+}
+
+// ---- CSV round-trip fuzz ----
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomTablesRoundTrip) {
+  util::Rng rng(GetParam());
+  const char kAlphabet[] = "abc,\"\n\r x";
+  std::vector<std::vector<std::string>> rows;
+  const int num_rows = 1 + static_cast<int>(rng.NextBelow(8));
+  const int num_cols = 1 + static_cast<int>(rng.NextBelow(5));
+  for (int r = 0; r < num_rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < num_cols; ++c) {
+      std::string field;
+      const int len = static_cast<int>(rng.NextBelow(10));
+      for (int i = 0; i < len; ++i) {
+        field += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+      }
+      row.push_back(std::move(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  const auto parsed = util::ParseCsv(util::WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+// ---- Rng uniformity (coarse chi-square bound) ----
+
+TEST(RngUniformityTest, NextBelowIsRoughlyUniform) {
+  util::Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; chi2 > 45 is beyond the 4-sigma tail.
+  EXPECT_LT(chi2, 45.0);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "data/stats.h"
+#include "features/vectorizer.h"
+#include "ml/logistic_regression.h"
+#include "nn/tensor.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+/// \file property_test.cc
+/// \brief Parameterized property sweeps: invariants that must hold across
+/// randomised inputs and configuration ranges, not just single examples.
+
+namespace cuisine {
+namespace {
+
+// ---- TF-IDF vs a brute-force reference, over random corpora ----
+
+class TfidfPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TfidfPropertyTest, MatchesBruteForceReference) {
+  util::Rng rng(GetParam());
+  // Random corpus over a small alphabet.
+  std::vector<std::vector<std::string>> docs;
+  const int num_docs = 20 + static_cast<int>(rng.NextBelow(30));
+  for (int i = 0; i < num_docs; ++i) {
+    std::vector<std::string> doc;
+    const int len = 1 + static_cast<int>(rng.NextBelow(12));
+    for (int t = 0; t < len; ++t) {
+      doc.push_back("w" + std::to_string(rng.NextBelow(15)));
+    }
+    docs.push_back(std::move(doc));
+  }
+
+  features::TfidfOptions options;
+  options.l2_normalize = false;
+  features::TfidfVectorizer vectorizer(options);
+  ASSERT_TRUE(vectorizer.Fit(docs).ok());
+
+  // Brute force: df per token, idf = ln((1+n)/(1+df)) + 1, tf = count.
+  std::map<std::string, int> df;
+  for (const auto& doc : docs) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& tok : seen) ++df[tok];
+  }
+  for (const auto& doc : docs) {
+    std::map<std::string, int> tf;
+    for (const auto& tok : doc) ++tf[tok];
+    const features::SparseVector row = vectorizer.Transform(doc);
+    for (const auto& [tok, count] : tf) {
+      const double idf =
+          std::log((1.0 + num_docs) / (1.0 + df[tok])) + 1.0;
+      const int32_t id = vectorizer.vocabulary().Lookup(tok);
+      ASSERT_GE(id, 0) << tok;
+      EXPECT_NEAR(row.At(id), count * idf, 1e-4) << tok;
+    }
+    EXPECT_EQ(row.nnz(), tf.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TfidfPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---- Generator invariants across scales ----
+
+class GeneratorScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorScaleTest, CorpusInvariantsHoldAtEveryScale) {
+  data::GeneratorOptions options;
+  options.scale = GetParam();
+  const data::RecipeDbGenerator generator(options);
+  const auto corpus = generator.Generate();
+
+  // Every class is populated, scaled within rounding of Table II.
+  std::vector<int64_t> counts(data::kNumCuisines, 0);
+  for (const auto& rec : corpus) ++counts[rec.cuisine_id];
+  for (const auto& info : data::AllCuisines()) {
+    EXPECT_GE(counts[info.id], 8);
+    const auto expected =
+        std::max<int64_t>(8, std::llround(info.recipe_count * options.scale));
+    EXPECT_EQ(counts[info.id], expected) << info.name;
+  }
+
+  // Ordering invariant: ingredients prefix, then processes/utensils.
+  for (size_t i = 0; i < corpus.size(); i += 37) {  // sample rows
+    bool seen_non_ingredient = false;
+    for (const auto& ev : corpus[i].events) {
+      if (ev.type == data::EventType::kIngredient) {
+        EXPECT_FALSE(seen_non_ingredient);
+      } else {
+        seen_non_ingredient = true;
+      }
+    }
+  }
+
+  // Vocabulary is bounded by the synthesised inventory.
+  const text::Tokenizer tokenizer;
+  const data::CorpusStats stats = data::ComputeCorpusStats(corpus, tokenizer);
+  EXPECT_LE(stats.distinct_ingredients, 20280);
+  EXPECT_LE(stats.distinct_processes, 256);
+  EXPECT_LE(stats.distinct_utensils, 69);
+  EXPECT_GT(stats.sparsity, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GeneratorScaleTest,
+                         ::testing::Values(0.002, 0.01, 0.03));
+
+// ---- Class-weight balancing ----
+
+TEST(BalancedClassWeightsTest, LiftsMinorityRecall) {
+  // 9:1 imbalanced binary problem with overlapping features.
+  util::Rng rng(31);
+  features::CsrMatrix x(6);
+  std::vector<int32_t> y;
+  for (int i = 0; i < 600; ++i) {
+    const int32_t cls = i % 10 == 0 ? 1 : 0;
+    std::vector<features::SparseEntry> entries;
+    // Weak signal feature + strong shared noise.
+    if (rng.NextBool(cls == 1 ? 0.8 : 0.3)) entries.push_back({0, 1.0f});
+    entries.push_back(
+        {static_cast<int32_t>(1 + rng.NextBelow(5)), 1.0f});
+    x.AppendRow(features::SparseVector::FromUnsorted(std::move(entries)));
+    y.push_back(cls);
+  }
+  auto minority_recall = [&](bool balanced) {
+    ml::LogisticRegressionOptions opt;
+    opt.balanced_class_weights = balanced;
+    opt.epochs = 20;
+    ml::LogisticRegression model(opt);
+    CUISINE_CHECK(model.Fit(x, y, 2).ok());
+    int64_t tp = 0, fn = 0;
+    for (size_t i = 0; i < x.rows(); ++i) {
+      if (y[i] != 1) continue;
+      if (model.Predict(x.Row(i)) == 1) {
+        ++tp;
+      } else {
+        ++fn;
+      }
+    }
+    return static_cast<double>(tp) / static_cast<double>(tp + fn);
+  };
+  EXPECT_GT(minority_recall(true), minority_recall(false));
+}
+
+// ---- Label smoothing ----
+
+TEST(LabelSmoothingTest, LossMatchesHandValue) {
+  nn::Tensor logits = nn::Tensor::FromData(1, 2, {0.0f, 0.0f});
+  // p = (0.5, 0.5); smoothing 0.2, target 1: q = (0.1, 0.9).
+  nn::Tensor loss = nn::CrossEntropy(logits, {1}, 0.2f);
+  EXPECT_NEAR(loss.item(), -std::log(0.5), 1e-5);
+  // Peaked logits now incur extra loss relative to eps=0.
+  nn::Tensor peaked = nn::Tensor::FromData(1, 2, {-10.0f, 10.0f});
+  const float smooth = nn::CrossEntropy(peaked, {1}, 0.2f).item();
+  const float hard = nn::CrossEntropy(peaked, {1}, 0.0f).item();
+  EXPECT_GT(smooth, hard);
+}
+
+TEST(LabelSmoothingTest, GradientMatchesFiniteDifferences) {
+  util::Rng rng(77);
+  nn::Tensor logits = nn::Tensor::Randn(2, 4, 0.5f, &rng, true);
+  logits.ZeroGrad();
+  nn::CrossEntropy(logits, {1, 3}, 0.1f).Backward();
+  const float eps = 1e-3f;
+  for (size_t j = 0; j < logits.size(); ++j) {
+    const float saved = logits.data()[j];
+    logits.data()[j] = saved + eps;
+    const float up = nn::CrossEntropy(logits.Detach(), {1, 3}, 0.1f).item();
+    logits.data()[j] = saved - eps;
+    const float down = nn::CrossEntropy(logits.Detach(), {1, 3}, 0.1f).item();
+    logits.data()[j] = saved;
+    EXPECT_NEAR(logits.grad()[j], (up - down) / (2 * eps), 2e-3f);
+  }
+}
+
+// ---- Sparse algebra properties over random vectors ----
+
+class SparseAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+features::SparseVector RandomSparse(util::Rng* rng, int32_t dim) {
+  std::vector<features::SparseEntry> entries;
+  for (int32_t i = 0; i < dim; ++i) {
+    if (rng->NextBool(0.3)) {
+      entries.push_back({i, static_cast<float>(rng->NextGaussian())});
+    }
+  }
+  return features::SparseVector::FromUnsorted(std::move(entries));
+}
+
+TEST_P(SparseAlgebraTest, DotIsSymmetricAndCauchySchwarzHolds) {
+  util::Rng rng(GetParam());
+  const auto a = RandomSparse(&rng, 40);
+  const auto b = RandomSparse(&rng, 40);
+  EXPECT_NEAR(a.Dot(b), b.Dot(a), 1e-5);
+  const double lhs = std::abs(a.Dot(b));
+  const double rhs =
+      std::sqrt(static_cast<double>(a.SquaredNorm()) * b.SquaredNorm());
+  EXPECT_LE(lhs, rhs + 1e-4);
+}
+
+TEST_P(SparseAlgebraTest, SparseDotAgreesWithDenseDot) {
+  util::Rng rng(GetParam() + 1000);
+  const auto a = RandomSparse(&rng, 40);
+  const auto b = RandomSparse(&rng, 40);
+  std::vector<float> dense(40, 0.0f);
+  for (const auto& e : b.entries()) dense[e.index] = e.value;
+  EXPECT_NEAR(a.Dot(b), a.DotDense(dense.data()), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseAlgebraTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace cuisine

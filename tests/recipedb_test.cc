@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/generator.h"
+#include "util/logging.h"
+#include "recipedb/index.h"
+#include "recipedb/pairing.h"
+#include "recipedb/query.h"
+#include "recipedb/store.h"
+
+namespace cuisine::recipedb {
+namespace {
+
+using data::EventType;
+using data::Recipe;
+
+Recipe MakeRecipe(int64_t id, int32_t cuisine,
+                  std::vector<std::pair<EventType, const char*>> events) {
+  Recipe r;
+  r.id = id;
+  r.cuisine_id = cuisine;
+  for (auto& [type, text] : events) r.events.push_back({type, text});
+  return r;
+}
+
+/// Small hand-written corpus shared by most tests.
+///  row 0: cuisine 0 (Middle Eastern): garlic, onion, stir, pan
+///  row 1: cuisine 0:                  garlic, lentil, simmer
+///  row 2: cuisine 15 (Italian):       garlic, tomato, simmer, pot
+///  row 3: cuisine 15:                 tomato, basil, stir
+std::vector<Recipe> TinyCorpus() {
+  return {
+      MakeRecipe(10, 0,
+                 {{EventType::kIngredient, "garlic"},
+                  {EventType::kIngredient, "onion"},
+                  {EventType::kProcess, "stir"},
+                  {EventType::kUtensil, "pan"}}),
+      MakeRecipe(11, 0,
+                 {{EventType::kIngredient, "garlic"},
+                  {EventType::kIngredient, "lentil"},
+                  {EventType::kProcess, "simmer"}}),
+      MakeRecipe(12, 15,
+                 {{EventType::kIngredient, "garlic"},
+                  {EventType::kIngredient, "tomato"},
+                  {EventType::kProcess, "simmer"},
+                  {EventType::kUtensil, "pot"}}),
+      MakeRecipe(13, 15,
+                 {{EventType::kIngredient, "tomato"},
+                  {EventType::kIngredient, "basil"},
+                  {EventType::kProcess, "stir"}}),
+  };
+}
+
+// ---- RecipeStore ----
+
+TEST(RecipeStoreTest, IngestAndRowAccess) {
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(TinyCorpus()).ok());
+  EXPECT_EQ(store.num_recipes(), 4u);
+  EXPECT_EQ(store.num_events(), 14);
+  EXPECT_EQ(store.recipe_id(2), 12);
+  EXPECT_EQ(store.cuisine(2), 15);
+  EXPECT_EQ(store.EventCount(0), 4u);
+  EXPECT_EQ(store.EventsBegin(0)->type, EventType::kIngredient);
+}
+
+TEST(RecipeStoreTest, DictionaryDeduplicatesTerms) {
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(TinyCorpus()).ok());
+  // garlic, onion, stir, pan, lentil, simmer, tomato, pot, basil = 9.
+  EXPECT_EQ(store.num_terms(), 9u);
+  const int32_t garlic = store.TermId("garlic");
+  ASSERT_GE(garlic, 0);
+  EXPECT_EQ(store.Term(garlic), "garlic");
+  EXPECT_EQ(store.TermType(garlic), EventType::kIngredient);
+  EXPECT_EQ(store.TermOccurrences(garlic), 3);
+  EXPECT_EQ(store.TermId("caviar"), -1);
+}
+
+TEST(RecipeStoreTest, MaterializeRoundTrips) {
+  const auto corpus = TinyCorpus();
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(corpus).ok());
+  for (size_t row = 0; row < corpus.size(); ++row) {
+    const Recipe rec = store.MaterializeRecipe(row);
+    EXPECT_EQ(rec.id, corpus[row].id);
+    EXPECT_EQ(rec.cuisine_id, corpus[row].cuisine_id);
+    EXPECT_EQ(rec.events, corpus[row].events);
+  }
+}
+
+TEST(RecipeStoreTest, RowsOfCuisine) {
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(TinyCorpus()).ok());
+  EXPECT_EQ(store.RowsOfCuisine(0), (PostingList{0, 1}));
+  EXPECT_EQ(store.RowsOfCuisine(15), (PostingList{2, 3}));
+  EXPECT_TRUE(store.RowsOfCuisine(7).empty());
+}
+
+TEST(RecipeStoreTest, RejectsBadCuisine) {
+  RecipeStore store;
+  EXPECT_FALSE(
+      store.Ingest({MakeRecipe(1, 99, {{EventType::kProcess, "stir"}})})
+          .ok());
+  EXPECT_EQ(store.num_recipes(), 0u);
+}
+
+TEST(RecipeStoreTest, IncrementalIngest) {
+  const auto corpus = TinyCorpus();
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest({corpus[0], corpus[1]}).ok());
+  ASSERT_TRUE(store.Ingest({corpus[2], corpus[3]}).ok());
+  EXPECT_EQ(store.num_recipes(), 4u);
+  EXPECT_EQ(store.TermOccurrences(store.TermId("garlic")), 3);
+}
+
+// ---- InvertedIndex ----
+
+TEST(InvertedIndexTest, PostingsAreSortedAndComplete) {
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(TinyCorpus()).ok());
+  const InvertedIndex index(&store);
+  EXPECT_EQ(index.Postings(store.TermId("garlic")), (PostingList{0, 1, 2}));
+  EXPECT_EQ(index.Postings(store.TermId("tomato")), (PostingList{2, 3}));
+  EXPECT_EQ(index.DocumentFrequency(store.TermId("stir")), 2);
+  EXPECT_TRUE(index.Postings(-1).empty());
+  EXPECT_TRUE(index.Postings(999).empty());
+}
+
+TEST(InvertedIndexTest, DuplicateEventsCountOncePerRecipe) {
+  RecipeStore store;
+  ASSERT_TRUE(store
+                  .Ingest({MakeRecipe(1, 0,
+                                      {{EventType::kProcess, "stir"},
+                                       {EventType::kProcess, "stir"}})})
+                  .ok());
+  const InvertedIndex index(&store);
+  EXPECT_EQ(index.DocumentFrequency(store.TermId("stir")), 1);
+  EXPECT_EQ(store.TermOccurrences(store.TermId("stir")), 2);
+}
+
+TEST(PostingListOpsTest, SetAlgebra) {
+  const PostingList a{1, 3, 5, 7};
+  const PostingList b{3, 4, 7, 9};
+  EXPECT_EQ(Intersect(a, b), (PostingList{3, 7}));
+  EXPECT_EQ(Union(a, b), (PostingList{1, 3, 4, 5, 7, 9}));
+  EXPECT_EQ(Difference(a, b), (PostingList{1, 5}));
+  EXPECT_TRUE(Intersect(a, {}).empty());
+  EXPECT_EQ(Union({}, b), b);
+}
+
+// ---- QueryBuilder ----
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() {
+    CUISINE_CHECK(store_.Ingest(TinyCorpus()).ok());
+    index_ = std::make_unique<InvertedIndex>(&store_);
+  }
+  RecipeStore store_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(QueryTest, SingleTerm) {
+  const auto rows = QueryBuilder(index_.get()).WithTerm("garlic").Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (PostingList{0, 1, 2}));
+}
+
+TEST_F(QueryTest, ConjunctionAndExclusion) {
+  const auto rows = QueryBuilder(index_.get())
+                        .WithTerm("garlic")
+                        .WithTerm("simmer")
+                        .WithoutTerm("tomato")
+                        .Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (PostingList{1}));
+}
+
+TEST_F(QueryTest, OrGroups) {
+  const auto rows = QueryBuilder(index_.get())
+                        .WithAnyTerm({"onion", "basil"})
+                        .Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (PostingList{0, 3}));
+}
+
+TEST_F(QueryTest, CuisineAndContinentFilters) {
+  const auto italian = QueryBuilder(index_.get())
+                           .WithTerm("garlic")
+                           .InCuisine("Italian")
+                           .Execute();
+  ASSERT_TRUE(italian.ok());
+  EXPECT_EQ(*italian, (PostingList{2}));
+
+  const auto european = QueryBuilder(index_.get())
+                            .InContinent(data::Continent::kEuropean)
+                            .Execute();
+  ASSERT_TRUE(european.ok());
+  EXPECT_EQ(*european, (PostingList{2, 3}));
+}
+
+TEST_F(QueryTest, NoFiltersReturnsEverything) {
+  const auto rows = QueryBuilder(index_.get()).Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);
+}
+
+TEST_F(QueryTest, LimitTruncates) {
+  const auto rows = QueryBuilder(index_.get()).Limit(2).Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (PostingList{0, 1}));
+}
+
+TEST_F(QueryTest, UnknownTermYieldsEmpty) {
+  const auto rows =
+      QueryBuilder(index_.get()).WithTerm("unobtainium").Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, UnknownExcludedTermIsIgnored) {
+  const auto rows = QueryBuilder(index_.get())
+                        .WithTerm("garlic")
+                        .WithoutTerm("unobtainium")
+                        .Execute();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(QueryTest, UnknownCuisineIsAnError) {
+  EXPECT_FALSE(
+      QueryBuilder(index_.get()).InCuisine("Klingon").Execute().ok());
+}
+
+TEST_F(QueryTest, HistogramAggregates) {
+  const auto hist =
+      QueryBuilder(index_.get()).WithTerm("garlic").ExecuteHistogram();
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->total, 3);
+  EXPECT_EQ(hist->counts[0], 2);
+  EXPECT_EQ(hist->counts[15], 1);
+  EXPECT_EQ(hist->ArgMax(), 0);
+  const auto empty =
+      QueryBuilder(index_.get()).WithTerm("unobtainium").ExecuteHistogram();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->ArgMax(), -1);
+}
+
+// ---- PairingAnalyzer ----
+
+TEST_F(QueryTest, PairingPmiMatchesHandValue) {
+  const PairingAnalyzer analyzer(index_.get());
+  const int32_t garlic = store_.TermId("garlic");
+  const int32_t simmer = store_.TermId("simmer");
+  // P(garlic)=3/4, P(simmer)=2/4, P(both)=2/4 -> PMI = log2(0.5/0.375).
+  const auto pmi = analyzer.Pmi(garlic, simmer);
+  ASSERT_TRUE(pmi.ok());
+  EXPECT_NEAR(*pmi, std::log2(0.5 / 0.375), 1e-9);
+  EXPECT_EQ(analyzer.Cooccurrences(garlic, simmer), 2);
+}
+
+TEST_F(QueryTest, PairingNeverCooccursIsNegativeInfinity) {
+  const PairingAnalyzer analyzer(index_.get());
+  const auto pmi =
+      analyzer.Pmi(store_.TermId("onion"), store_.TermId("basil"));
+  ASSERT_TRUE(pmi.ok());
+  EXPECT_TRUE(std::isinf(*pmi));
+  EXPECT_LT(*pmi, 0.0);
+}
+
+TEST_F(QueryTest, PairingErrors) {
+  const PairingAnalyzer analyzer(index_.get());
+  EXPECT_FALSE(analyzer.Pmi(-1, 0).ok());
+  EXPECT_FALSE(analyzer.Pmi(0, 999).ok());
+  EXPECT_FALSE(analyzer.TopPairings("unobtainium",
+                                    EventType::kIngredient, 3)
+                   .ok());
+}
+
+TEST(PairingOnCorpusTest, TopPairingsFindCooccurringIngredients) {
+  // On a generated corpus, signature ingredients of one cuisine should
+  // pair with each other more than with random ingredients.
+  data::GeneratorOptions options;
+  options.scale = 0.02;
+  const auto corpus = data::RecipeDbGenerator(options).Generate();
+  RecipeStore store;
+  ASSERT_TRUE(store.Ingest(corpus).ok());
+  const InvertedIndex index(&store);
+  const PairingAnalyzer analyzer(&index);
+
+  // Use a frequent ingredient as the probe.
+  int32_t probe = -1;
+  int64_t best = 0;
+  for (int32_t t = 0; t < static_cast<int32_t>(store.num_terms()); ++t) {
+    if (store.TermType(t) == EventType::kIngredient &&
+        store.TermOccurrences(t) > best) {
+      best = store.TermOccurrences(t);
+      probe = t;
+    }
+  }
+  ASSERT_GE(probe, 0);
+  const auto pairings =
+      analyzer.TopPairings(probe, EventType::kIngredient, 5);
+  ASSERT_TRUE(pairings.ok());
+  ASSERT_FALSE(pairings->empty());
+  // Sorted by descending PMI, all with real co-occurrence mass.
+  for (size_t i = 1; i < pairings->size(); ++i) {
+    EXPECT_LE((*pairings)[i].pmi, (*pairings)[i - 1].pmi);
+  }
+  for (const Pairing& p : *pairings) {
+    EXPECT_GE(p.cooccurrences, 3);
+    EXPECT_EQ(store.TermType(p.term), EventType::kIngredient);
+  }
+}
+
+}  // namespace
+}  // namespace cuisine::recipedb

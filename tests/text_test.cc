@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "text/cleaner.h"
+#include "text/lemmatizer.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cuisine::text {
+namespace {
+
+// ---- Cleaner ----
+
+TEST(CleanerTest, StripsDigitsAndSymbolsByDefault) {
+  Cleaner cleaner;
+  EXPECT_EQ(cleaner.Clean("2 Red Lentils, washed!"), "red lentils washed");
+}
+
+TEST(CleanerTest, CollapsesWhitespaceAndTrims) {
+  Cleaner cleaner;
+  EXPECT_EQ(cleaner.Clean("  a   b\t\nc  "), "a b c");
+  EXPECT_EQ(cleaner.Clean("   "), "");
+  EXPECT_EQ(cleaner.Clean("123 !!"), "");
+}
+
+TEST(CleanerTest, OptionsAreHonoured) {
+  CleanerOptions opt;
+  opt.lowercase = false;
+  opt.strip_digits = false;
+  opt.strip_symbols = false;
+  Cleaner cleaner(opt);
+  EXPECT_EQ(cleaner.Clean("Mix 2 cups!"), "Mix 2 cups!");
+}
+
+TEST(CleanerTest, KeepUnderscorePreservesPhraseTokens) {
+  CleanerOptions opt;
+  opt.keep_underscore = true;
+  Cleaner cleaner(opt);
+  EXPECT_EQ(cleaner.Clean("red_lentil"), "red_lentil");
+  EXPECT_EQ(Cleaner().Clean("red_lentil"), "red lentil");
+}
+
+// ---- Lemmatizer ----
+
+class LemmatizerRuleTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(LemmatizerRuleTest, LemmatizesWord) {
+  const Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.Lemmatize(GetParam().first), GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuffixRules, LemmatizerRuleTest,
+    ::testing::Values(
+        // plural nouns
+        std::pair("onions", "onion"), std::pair("berries", "berry"),
+        std::pair("dishes", "dish"), std::pair("presses", "press"),
+        std::pair("tomatoes", "tomato"), std::pair("boxes", "box"),
+        // -ing forms
+        std::pair("boiling", "boil"), std::pair("chopping", "chop"),
+        std::pair("baking", "bake"),
+        // -ed forms
+        std::pair("boiled", "boil"), std::pair("chopped", "chop"),
+        std::pair("dried", "dry"), std::pair("baked", "bake"),
+        // irregulars / invariants
+        std::pair("leaves", "leaf"), std::pair("couscous", "couscous"),
+        std::pair("molasses", "molasses"), std::pair("dice", "die"),
+        // too short / no rule applies
+        std::pair("mix", "mix"), std::pair("stir", "stir"),
+        std::pair("is", "is")));
+
+TEST(LemmatizerTest, LemmatizeTextAppliesPerWord) {
+  const Lemmatizer lemmatizer;
+  EXPECT_EQ(lemmatizer.LemmatizeText("chopped onions boiling"),
+            "chop onion boil");
+}
+
+// ---- Tokenizer ----
+
+TEST(TokenizerTest, PhraseModeJoinsWithUnderscore) {
+  const Tokenizer tokenizer;  // defaults: phrase mode + lemmatize
+  EXPECT_EQ(tokenizer.TokenizeEvent("Red Lentils"),
+            (std::vector<std::string>{"red_lentil"}));
+}
+
+TEST(TokenizerTest, WordModeSplits) {
+  TokenizerOptions opt;
+  opt.mode = TokenMode::kWord;
+  const Tokenizer tokenizer(opt);
+  EXPECT_EQ(tokenizer.TokenizeEvent("Red Lentils"),
+            (std::vector<std::string>{"red", "lentil"}));
+}
+
+TEST(TokenizerTest, EmptyEventYieldsNoTokens) {
+  const Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.TokenizeEvent("123 !!").empty());
+}
+
+TEST(TokenizerTest, EventsPreserveOrder) {
+  const Tokenizer tokenizer;
+  const std::vector<std::string> events{"olive oil", "Onions", "stir",
+                                        "saucepan"};
+  EXPECT_EQ(tokenizer.TokenizeEvents(events),
+            (std::vector<std::string>{"olive_oil", "onion", "stir",
+                                      "saucepan"}));
+}
+
+TEST(TokenizerTest, LemmatizationCanBeDisabled) {
+  TokenizerOptions opt;
+  opt.lemmatize = false;
+  const Tokenizer tokenizer(opt);
+  EXPECT_EQ(tokenizer.TokenizeEvent("chopped onions"),
+            (std::vector<std::string>{"chopped_onions"}));
+}
+
+// ---- Vocabulary ----
+
+TEST(VocabularyTest, SpecialTokensOccupyFirstIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), 5u);
+  EXPECT_EQ(vocab.Token(vocab.pad_id()), kPadToken);
+  EXPECT_EQ(vocab.Token(vocab.unk_id()), kUnkToken);
+  EXPECT_EQ(vocab.Token(vocab.cls_id()), kClsToken);
+  EXPECT_EQ(vocab.Token(vocab.sep_id()), kSepToken);
+  EXPECT_EQ(vocab.Token(vocab.mask_id()), kMaskToken);
+  EXPECT_EQ(vocab.num_special_tokens(), 5u);
+}
+
+TEST(VocabularyTest, AddCountsFrequency) {
+  Vocabulary vocab;
+  const int32_t id = vocab.Add("onion");
+  EXPECT_EQ(vocab.Add("onion"), id);
+  EXPECT_EQ(vocab.Frequency(id), 2);
+  EXPECT_TRUE(vocab.Contains("onion"));
+  EXPECT_FALSE(vocab.Contains("garlic"));
+}
+
+TEST(VocabularyTest, LookupFallsBackToUnk) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("nope"), vocab.unk_id());
+  Vocabulary no_specials(/*with_special_tokens=*/false);
+  EXPECT_EQ(no_specials.Lookup("nope"), -1);
+}
+
+TEST(VocabularyTest, PrunedDropsRareAndSortsByFrequency) {
+  Vocabulary vocab;
+  for (int i = 0; i < 5; ++i) vocab.Add("common");
+  for (int i = 0; i < 2; ++i) vocab.Add("middling");
+  vocab.Add("rare");
+  Vocabulary pruned = vocab.Pruned(2);
+  EXPECT_EQ(pruned.size(), 5u + 2u);
+  EXPECT_FALSE(pruned.Contains("rare"));
+  // Most frequent token gets the first non-special id.
+  EXPECT_EQ(pruned.Token(static_cast<int32_t>(pruned.num_special_tokens())),
+            "common");
+  EXPECT_EQ(pruned.Frequency(
+                static_cast<int32_t>(pruned.num_special_tokens())),
+            5);
+}
+
+TEST(VocabularyTest, EncodeMapsUnknownToUnk) {
+  Vocabulary vocab;
+  vocab.Add("stir");
+  const auto ids = vocab.Encode({"stir", "whisk"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.Token(ids[0]), "stir");
+  EXPECT_EQ(ids[1], vocab.unk_id());
+}
+
+TEST(VocabularyTest, SerializeRoundTrip) {
+  Vocabulary vocab;
+  for (int i = 0; i < 3; ++i) vocab.Add("onion");
+  vocab.Add("garlic");
+  auto restored = Vocabulary::Deserialize(vocab.Serialize(), true);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), vocab.size());
+  EXPECT_EQ(restored->Frequency(restored->Lookup("onion")), 3);
+}
+
+TEST(VocabularyTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Vocabulary::Deserialize("token-without-frequency", true).ok());
+  EXPECT_FALSE(Vocabulary::Deserialize("a\tnot-a-number", true).ok());
+}
+
+TEST(VocabularyTest, DecodeInvertsEncode) {
+  Vocabulary vocab;
+  vocab.Add("stir");
+  vocab.Add("heat");
+  const std::vector<std::string> tokens{"stir", "heat", "stir"};
+  EXPECT_EQ(vocab.Decode(vocab.Encode(tokens)), tokens);
+}
+
+}  // namespace
+}  // namespace cuisine::text

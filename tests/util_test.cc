@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace cuisine::util {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(Status::OK(), st);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_NE(st.ToString().find("bad thing"), std::string::npos);
+}
+
+TEST(StatusTest, DistinctFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.ValueOrDie(), StatusException);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CUISINE_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowStaysBelow) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextBelow(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextIntIsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleDiscreteFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.SampleDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(23);
+  AliasSampler sampler({2.0, 1.0, 1.0});
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 40000, 0.25, 0.02);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentlySeeded) {
+  Rng a(31);
+  Rng child = a.Split();
+  // The child must not replay the parent's stream.
+  Rng b(31);
+  b.NextU64();  // advance to where child was created
+  EXPECT_NE(child.NextU64(), b.NextU64());
+}
+
+// ---- string_util ----
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("MiXeD 42!"), "mixed 42!");
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("recipe", "rec"));
+  EXPECT_FALSE(StartsWith("re", "rec"));
+  EXPECT_TRUE(EndsWith("baking", "ing"));
+  EXPECT_FALSE(EndsWith("ing", "baking"));
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatDouble(57.696, 2), "57.70");
+  EXPECT_EQ(FormatWithCommas(118071), "118,071");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithCommas(42), "42");
+}
+
+// ---- CSV ----
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][0], "a,b");
+  EXPECT_EQ(table->rows[0][1], "say \"hi\"");
+  EXPECT_EQ(table->rows[0][2], "line\nbreak");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("\"oops").ok());
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"", "second\nline", "x"},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cuisine_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "hello,world\n").ok());
+  auto content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello,world\n");
+  EXPECT_FALSE(ReadFile(path + ".does-not-exist").ok());
+}
+
+// ---- ThreadPool ----
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), 8, [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SerialFallbackForTinyN) {
+  std::vector<int> hits(3, 0);
+  ParallelFor(hits.size(), 1, [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
+
+}  // namespace
+}  // namespace cuisine::util
