@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cc.o"
+  "CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cc.o.d"
+  "ablation_imbalance"
+  "ablation_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_rnn_cell.cc" "bench/CMakeFiles/ablation_rnn_cell.dir/ablation_rnn_cell.cc.o" "gcc" "bench/CMakeFiles/ablation_rnn_cell.dir/ablation_rnn_cell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cuisine_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cuisine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/recipedb/CMakeFiles/cuisine_recipedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cuisine_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cuisine_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cuisine_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cuisine_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rnn_cell.dir/ablation_rnn_cell.cc.o"
+  "CMakeFiles/ablation_rnn_cell.dir/ablation_rnn_cell.cc.o.d"
+  "ablation_rnn_cell"
+  "ablation_rnn_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rnn_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

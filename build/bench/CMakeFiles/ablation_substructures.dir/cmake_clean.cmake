@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_substructures.dir/ablation_substructures.cc.o"
+  "CMakeFiles/ablation_substructures.dir/ablation_substructures.cc.o.d"
+  "ablation_substructures"
+  "ablation_substructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_substructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

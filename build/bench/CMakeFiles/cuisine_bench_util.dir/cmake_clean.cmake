@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cuisine_bench_util.dir/bench_util.cc.o.d"
+  "libcuisine_bench_util.a"
+  "libcuisine_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_feature_frequency.dir/fig_feature_frequency.cc.o"
+  "CMakeFiles/fig_feature_frequency.dir/fig_feature_frequency.cc.o.d"
+  "fig_feature_frequency"
+  "fig_feature_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_feature_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_loss_curves.dir/fig_loss_curves.cc.o"
+  "CMakeFiles/fig_loss_curves.dir/fig_loss_curves.cc.o.d"
+  "fig_loss_curves"
+  "fig_loss_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_loss_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

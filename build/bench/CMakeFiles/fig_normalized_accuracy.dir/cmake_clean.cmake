@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_normalized_accuracy.dir/fig_normalized_accuracy.cc.o"
+  "CMakeFiles/fig_normalized_accuracy.dir/fig_normalized_accuracy.cc.o.d"
+  "fig_normalized_accuracy"
+  "fig_normalized_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_normalized_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sample_dataset.dir/table1_sample_dataset.cc.o"
+  "CMakeFiles/table1_sample_dataset.dir/table1_sample_dataset.cc.o.d"
+  "table1_sample_dataset"
+  "table1_sample_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sample_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

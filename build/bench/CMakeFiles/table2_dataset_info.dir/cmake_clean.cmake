@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dataset_info.dir/table2_dataset_info.cc.o"
+  "CMakeFiles/table2_dataset_info.dir/table2_dataset_info.cc.o.d"
+  "table2_dataset_info"
+  "table2_dataset_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dataset_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

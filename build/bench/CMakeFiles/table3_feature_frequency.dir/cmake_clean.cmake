@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_feature_frequency.dir/table3_feature_frequency.cc.o"
+  "CMakeFiles/table3_feature_frequency.dir/table3_feature_frequency.cc.o.d"
+  "table3_feature_frequency"
+  "table3_feature_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_feature_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_explorer.dir/cuisine_explorer.cpp.o"
+  "CMakeFiles/cuisine_explorer.dir/cuisine_explorer.cpp.o.d"
+  "cuisine_explorer"
+  "cuisine_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_classifier_cli.dir/recipe_classifier_cli.cpp.o"
+  "CMakeFiles/recipe_classifier_cli.dir/recipe_classifier_cli.cpp.o.d"
+  "recipe_classifier_cli"
+  "recipe_classifier_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_classifier_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

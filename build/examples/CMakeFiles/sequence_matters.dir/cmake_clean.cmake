@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_matters.dir/sequence_matters.cpp.o"
+  "CMakeFiles/sequence_matters.dir/sequence_matters.cpp.o.d"
+  "sequence_matters"
+  "sequence_matters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_matters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

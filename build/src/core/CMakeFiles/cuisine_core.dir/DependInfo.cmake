@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cross_validation.cc" "src/core/CMakeFiles/cuisine_core.dir/cross_validation.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/cross_validation.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/cuisine_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/cuisine_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/cuisine_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cuisine_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/report.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/cuisine_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cuisine_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cuisine_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cuisine_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cuisine_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_core.dir/cross_validation.cc.o"
+  "CMakeFiles/cuisine_core.dir/cross_validation.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/experiment.cc.o"
+  "CMakeFiles/cuisine_core.dir/experiment.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/metrics.cc.o"
+  "CMakeFiles/cuisine_core.dir/metrics.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/pipeline.cc.o"
+  "CMakeFiles/cuisine_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/report.cc.o"
+  "CMakeFiles/cuisine_core.dir/report.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/trainer.cc.o"
+  "CMakeFiles/cuisine_core.dir/trainer.cc.o.d"
+  "libcuisine_core.a"
+  "libcuisine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cuisines.cc" "src/data/CMakeFiles/cuisine_data.dir/cuisines.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/cuisines.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/cuisine_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/cuisine_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/io.cc.o.d"
+  "/root/repo/src/data/recipe.cc" "src/data/CMakeFiles/cuisine_data.dir/recipe.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/recipe.cc.o.d"
+  "/root/repo/src/data/splitter.cc" "src/data/CMakeFiles/cuisine_data.dir/splitter.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/splitter.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/cuisine_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/word_lists.cc" "src/data/CMakeFiles/cuisine_data.dir/word_lists.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/word_lists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_data.dir/cuisines.cc.o"
+  "CMakeFiles/cuisine_data.dir/cuisines.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/generator.cc.o"
+  "CMakeFiles/cuisine_data.dir/generator.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/io.cc.o"
+  "CMakeFiles/cuisine_data.dir/io.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/recipe.cc.o"
+  "CMakeFiles/cuisine_data.dir/recipe.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/splitter.cc.o"
+  "CMakeFiles/cuisine_data.dir/splitter.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/stats.cc.o"
+  "CMakeFiles/cuisine_data.dir/stats.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/word_lists.cc.o"
+  "CMakeFiles/cuisine_data.dir/word_lists.cc.o.d"
+  "libcuisine_data.a"
+  "libcuisine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

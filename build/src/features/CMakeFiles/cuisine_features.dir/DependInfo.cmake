@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/hashing.cc" "src/features/CMakeFiles/cuisine_features.dir/hashing.cc.o" "gcc" "src/features/CMakeFiles/cuisine_features.dir/hashing.cc.o.d"
+  "/root/repo/src/features/sequence_encoder.cc" "src/features/CMakeFiles/cuisine_features.dir/sequence_encoder.cc.o" "gcc" "src/features/CMakeFiles/cuisine_features.dir/sequence_encoder.cc.o.d"
+  "/root/repo/src/features/sparse.cc" "src/features/CMakeFiles/cuisine_features.dir/sparse.cc.o" "gcc" "src/features/CMakeFiles/cuisine_features.dir/sparse.cc.o.d"
+  "/root/repo/src/features/vectorizer.cc" "src/features/CMakeFiles/cuisine_features.dir/vectorizer.cc.o" "gcc" "src/features/CMakeFiles/cuisine_features.dir/vectorizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

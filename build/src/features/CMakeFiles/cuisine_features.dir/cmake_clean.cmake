@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_features.dir/hashing.cc.o"
+  "CMakeFiles/cuisine_features.dir/hashing.cc.o.d"
+  "CMakeFiles/cuisine_features.dir/sequence_encoder.cc.o"
+  "CMakeFiles/cuisine_features.dir/sequence_encoder.cc.o.d"
+  "CMakeFiles/cuisine_features.dir/sparse.cc.o"
+  "CMakeFiles/cuisine_features.dir/sparse.cc.o.d"
+  "CMakeFiles/cuisine_features.dir/vectorizer.cc.o"
+  "CMakeFiles/cuisine_features.dir/vectorizer.cc.o.d"
+  "libcuisine_features.a"
+  "libcuisine_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

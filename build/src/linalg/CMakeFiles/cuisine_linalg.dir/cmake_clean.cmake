@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_linalg.dir/matrix.cc.o"
+  "CMakeFiles/cuisine_linalg.dir/matrix.cc.o.d"
+  "libcuisine_linalg.a"
+  "libcuisine_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

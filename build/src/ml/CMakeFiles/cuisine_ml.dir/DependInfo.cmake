@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cc" "src/ml/CMakeFiles/cuisine_ml.dir/adaboost.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/adaboost.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/cuisine_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/cuisine_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/cuisine_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/cuisine_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/cuisine_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/cuisine_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/cuisine_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cuisine_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cuisine_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_ml.dir/adaboost.cc.o"
+  "CMakeFiles/cuisine_ml.dir/adaboost.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/classifier.cc.o"
+  "CMakeFiles/cuisine_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/cuisine_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/cuisine_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/cuisine_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/cuisine_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/cuisine_ml.dir/random_forest.cc.o"
+  "CMakeFiles/cuisine_ml.dir/random_forest.cc.o.d"
+  "libcuisine_ml.a"
+  "libcuisine_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

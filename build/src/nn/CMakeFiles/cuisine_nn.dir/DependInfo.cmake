@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/cuisine_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/cuisine_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/cuisine_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/cuisine_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/cuisine_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/cuisine_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/serialization.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/cuisine_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/cuisine_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/cuisine_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cuisine_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_nn.dir/attention.cc.o"
+  "CMakeFiles/cuisine_nn.dir/attention.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/gru.cc.o"
+  "CMakeFiles/cuisine_nn.dir/gru.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/layers.cc.o"
+  "CMakeFiles/cuisine_nn.dir/layers.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/lstm.cc.o"
+  "CMakeFiles/cuisine_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/optimizer.cc.o"
+  "CMakeFiles/cuisine_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/serialization.cc.o"
+  "CMakeFiles/cuisine_nn.dir/serialization.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/tensor.cc.o"
+  "CMakeFiles/cuisine_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/cuisine_nn.dir/transformer.cc.o"
+  "CMakeFiles/cuisine_nn.dir/transformer.cc.o.d"
+  "libcuisine_nn.a"
+  "libcuisine_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

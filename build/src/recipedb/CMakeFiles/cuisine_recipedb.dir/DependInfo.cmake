@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recipedb/index.cc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/index.cc.o" "gcc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/index.cc.o.d"
+  "/root/repo/src/recipedb/pairing.cc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/pairing.cc.o" "gcc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/pairing.cc.o.d"
+  "/root/repo/src/recipedb/query.cc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/query.cc.o" "gcc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/query.cc.o.d"
+  "/root/repo/src/recipedb/store.cc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/store.cc.o" "gcc" "src/recipedb/CMakeFiles/cuisine_recipedb.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cuisine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cuisine_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

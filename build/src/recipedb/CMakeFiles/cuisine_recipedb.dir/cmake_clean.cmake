@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_recipedb.dir/index.cc.o"
+  "CMakeFiles/cuisine_recipedb.dir/index.cc.o.d"
+  "CMakeFiles/cuisine_recipedb.dir/pairing.cc.o"
+  "CMakeFiles/cuisine_recipedb.dir/pairing.cc.o.d"
+  "CMakeFiles/cuisine_recipedb.dir/query.cc.o"
+  "CMakeFiles/cuisine_recipedb.dir/query.cc.o.d"
+  "CMakeFiles/cuisine_recipedb.dir/store.cc.o"
+  "CMakeFiles/cuisine_recipedb.dir/store.cc.o.d"
+  "libcuisine_recipedb.a"
+  "libcuisine_recipedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_recipedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

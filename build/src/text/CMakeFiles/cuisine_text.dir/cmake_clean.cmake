@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_text.dir/cleaner.cc.o"
+  "CMakeFiles/cuisine_text.dir/cleaner.cc.o.d"
+  "CMakeFiles/cuisine_text.dir/lemmatizer.cc.o"
+  "CMakeFiles/cuisine_text.dir/lemmatizer.cc.o.d"
+  "CMakeFiles/cuisine_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cuisine_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/cuisine_text.dir/vocabulary.cc.o"
+  "CMakeFiles/cuisine_text.dir/vocabulary.cc.o.d"
+  "libcuisine_text.a"
+  "libcuisine_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

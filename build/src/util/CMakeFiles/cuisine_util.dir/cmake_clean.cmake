@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_util.dir/csv.cc.o"
+  "CMakeFiles/cuisine_util.dir/csv.cc.o.d"
+  "CMakeFiles/cuisine_util.dir/logging.cc.o"
+  "CMakeFiles/cuisine_util.dir/logging.cc.o.d"
+  "CMakeFiles/cuisine_util.dir/rng.cc.o"
+  "CMakeFiles/cuisine_util.dir/rng.cc.o.d"
+  "CMakeFiles/cuisine_util.dir/status.cc.o"
+  "CMakeFiles/cuisine_util.dir/status.cc.o.d"
+  "CMakeFiles/cuisine_util.dir/string_util.cc.o"
+  "CMakeFiles/cuisine_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cuisine_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cuisine_util.dir/thread_pool.cc.o.d"
+  "libcuisine_util.a"
+  "libcuisine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

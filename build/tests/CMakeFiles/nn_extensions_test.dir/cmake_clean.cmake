@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_extensions_test.dir/nn_extensions_test.cc.o"
+  "CMakeFiles/nn_extensions_test.dir/nn_extensions_test.cc.o.d"
+  "nn_extensions_test"
+  "nn_extensions_test.pdb"
+  "nn_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

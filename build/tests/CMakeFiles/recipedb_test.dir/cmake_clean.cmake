@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipedb_test.dir/recipedb_test.cc.o"
+  "CMakeFiles/recipedb_test.dir/recipedb_test.cc.o.d"
+  "recipedb_test"
+  "recipedb_test.pdb"
+  "recipedb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipedb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
