@@ -6,15 +6,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
-#include "core/experiment.h"
+#include "core/model.h"
 #include "core/pipeline.h"
 #include "core/report.h"
-#include "core/trainer.h"
 #include "data/splitter.h"
-#include "nn/gru.h"
-#include "nn/lstm.h"
 #include "text/tokenizer.h"
 
 int main() {
@@ -58,46 +56,53 @@ int main() {
   const auto train_x = encoder.EncodeAll(train.documents);
   const auto test_x = encoder.EncodeAll(test.documents);
 
+  // Same architecture knobs for both cells; only the gate arithmetic
+  // differs.
+  config.sequential.gru.embedding_dim = config.sequential.lstm.embedding_dim;
+  config.sequential.gru.hidden_size = config.sequential.lstm.hidden_size;
+  config.sequential.gru.num_layers = config.sequential.lstm.num_layers;
+
+  core::ModelContext context;
+  context.statistical = config.statistical;
+  context.sequential = config.sequential;
+
+  const core::ModelDataset train_ds{.sequences = &train_x,
+                                    .labels = &train.labels,
+                                    .vocab = &vocab};
+  const core::ModelDataset test_ds{.sequences = &test_x,
+                                   .labels = &test.labels,
+                                   .vocab = &vocab};
+
   TextTable table({"Cell", "Accuracy", "Test loss", "Parameters", "Train s"});
-  auto run = [&](const char* name, const core::SequenceForwardFn& forward,
-                 std::vector<nn::Tensor> params, int64_t num_params) {
-    const auto history = core::TrainSequenceClassifier(
-        forward, std::move(params), train_x, train.labels, {}, {},
-        config.sequential.lstm_train);
-    if (!history.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", name,
-                   history.status().ToString().c_str());
-      return;
+  const struct {
+    const char* key;
+    const char* row;
+  } cells[] = {{"lstm", "LSTM (paper)"}, {"gru", "GRU (extension)"}};
+  for (const auto& cell : cells) {
+    auto model_or = core::ModelRegistry::Instance().Create(cell.key, context);
+    if (!model_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cell.key,
+                   model_or.status().ToString().c_str());
+      return 1;
     }
-    const auto pred = core::PredictSequences(forward, test_x);
+    std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
+    core::FitOptions fit;
+    fit.num_workers = config.num_workers;
+    const auto status = model->Fit(train_ds, fit);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", cell.row,
+                   status.ToString().c_str());
+      continue;
+    }
+    const core::Predictions pred =
+        model->PredictBatch(test_ds, config.num_workers);
     const auto metrics = core::ComputeMetrics(test.labels, pred.labels,
                                               pred.probas, data::kNumCuisines);
-    table.AddRow({name, FormatPercent(metrics->accuracy),
+    table.AddRow({cell.row, FormatPercent(metrics->accuracy),
                   core::FormatFixed(metrics->log_loss, 2),
-                  std::to_string(num_params),
-                  core::FormatFixed(history->train_seconds, 1)});
-  };
-
-  nn::LstmConfig lstm_config = config.sequential.lstm;
-  lstm_config.vocab_size = static_cast<int64_t>(vocab.size());
-  nn::LstmClassifier lstm(lstm_config, data::kNumCuisines);
-  run("LSTM (paper)",
-      [&lstm](const features::EncodedSequence& s, bool t, util::Rng* r) {
-        return lstm.ForwardLogits(s, t, r);
-      },
-      lstm.Parameters(), lstm.NumParameters());
-
-  nn::GruConfig gru_config;
-  gru_config.vocab_size = static_cast<int64_t>(vocab.size());
-  gru_config.embedding_dim = lstm_config.embedding_dim;
-  gru_config.hidden_size = lstm_config.hidden_size;
-  gru_config.num_layers = lstm_config.num_layers;
-  nn::GruClassifier gru(gru_config, data::kNumCuisines);
-  run("GRU (extension)",
-      [&gru](const features::EncodedSequence& s, bool t, util::Rng* r) {
-        return gru.ForwardLogits(s, t, r);
-      },
-      gru.Parameters(), gru.NumParameters());
+                  std::to_string(model->NumParameters()),
+                  core::FormatFixed(model->history()->train_seconds, 1)});
+  }
 
   std::fputs(table.Render().c_str(), stdout);
   std::printf(

@@ -29,6 +29,7 @@ core::ExperimentConfig DefaultConfig(double default_scale) {
   core::ExperimentConfig config;
   config.generator.scale = EnvDouble("CUISINE_SCALE", default_scale);
   config.verbose = EnvFlag("CUISINE_VERBOSE");
+  config.num_workers = static_cast<size_t>(EnvInt("CUISINE_WORKERS", 0));
 
   // Compact transformer/LSTM dims: BERT-base is a GPU-scale model; the
   // mechanism (bidirectional self-attention + MLM pretraining) is what

@@ -18,6 +18,7 @@
 ///   CUISINE_NEURAL_EVAL    max sequences for neural evaluation
 ///   CUISINE_FULL=1         lift all caps and use scale 1.0 (slow!)
 ///   CUISINE_VERBOSE=1      per-model training logs
+///   CUISINE_WORKERS        engine worker threads (0 = hardware, default)
 
 namespace cuisine::benchutil {
 

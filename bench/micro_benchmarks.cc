@@ -1,10 +1,17 @@
 /// \file micro_benchmarks.cc
 /// \brief google-benchmark microbenches for the hot paths: tokenization,
-/// TF-IDF transform, sparse kernels, GEMM, LSTM steps, attention layers
-/// and corpus generation.
+/// TF-IDF transform, sparse kernels, GEMM, LSTM steps, attention layers,
+/// corpus generation and the engine's batched PredictBatch.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/model.h"
+#include "core/pipeline.h"
 #include "data/generator.h"
 #include "features/sequence_encoder.h"
 #include "features/vectorizer.h"
@@ -15,6 +22,8 @@
 #include "nn/transformer.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -183,6 +192,106 @@ void BM_TransformerTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransformerTrainStep)->Unit(benchmark::kMillisecond);
+
+// ---- Engine: batched-parallel vs single-thread PredictBatch ----
+
+struct PredictBatchFixture {
+  std::unique_ptr<core::Model> model;
+  std::vector<features::EncodedSequence> sequences;
+};
+
+/// A small fitted LSTM (one cheap epoch on a slice of the shared corpus)
+/// plus an inference set, built once and reused by every iteration.
+const PredictBatchFixture& PredictFixture() {
+  static const PredictBatchFixture& fixture = *[] {
+    auto* f = new PredictBatchFixture();
+    const auto& corpus = SharedCorpus();
+    const text::Tokenizer tokenizer;
+    const core::TokenizedCorpus tokenized =
+        core::TokenizeCorpus(corpus, tokenizer);
+    const text::Vocabulary vocab =
+        core::BuildSequenceVocabulary(tokenized.documents, 1, 4000);
+    const features::SequenceEncoder encoder(
+        &vocab, {.max_length = 32, .add_cls_sep = false});
+    f->sequences = encoder.EncodeAll(tokenized.documents);
+
+    core::ModelContext context;
+    context.sequential.lstm.embedding_dim = 32;
+    context.sequential.lstm.hidden_size = 32;
+    context.sequential.lstm.num_layers = 1;
+    context.sequential.lstm_train.epochs = 1;
+    f->model =
+        std::move(core::ModelRegistry::Instance().Create("lstm", context))
+            .MoveValueUnsafe();
+    const size_t n_train = std::min<size_t>(f->sequences.size(), 128);
+    const std::vector<features::EncodedSequence> train_x(
+        f->sequences.begin(), f->sequences.begin() + n_train);
+    const std::vector<int32_t> train_y(tokenized.labels.begin(),
+                                       tokenized.labels.begin() + n_train);
+    const core::ModelDataset train_ds{.sequences = &train_x,
+                                      .labels = &train_y,
+                                      .vocab = &vocab};
+    const auto status = f->model->Fit(train_ds, {});
+    if (!status.ok()) {
+      std::fprintf(stderr, "PredictBatch fixture Fit failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    if (f->sequences.size() > 512) f->sequences.resize(512);
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_PredictBatch(benchmark::State& state) {
+  const auto& fixture = PredictFixture();
+  const core::ModelDataset ds{.sequences = &fixture.sequences};
+  const size_t workers = state.range(0) == 0 ? util::HardwareThreads()
+                                             : static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model->PredictBatch(ds, workers));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture.sequences.size()));
+  state.counters["workers"] = static_cast<double>(workers);
+}
+// Arg 1 = single thread; Arg 0 = all hardware threads.
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+/// Times both modes back to back, checks bit-identity and emits one JSON
+/// line for scripted consumers (speedup is only meaningful on >1 core).
+void BM_PredictBatchSpeedup(benchmark::State& state) {
+  const auto& fixture = PredictFixture();
+  const core::ModelDataset ds{.sequences = &fixture.sequences};
+  const size_t hw = util::HardwareThreads();
+  double serial_s = 0.0, parallel_s = 0.0;
+  core::Predictions serial, parallel;
+  for (auto _ : state) {
+    util::Stopwatch w1;
+    serial = fixture.model->PredictBatch(ds, 1);
+    serial_s += w1.ElapsedSeconds();
+    util::Stopwatch w2;
+    parallel = fixture.model->PredictBatch(ds, hw);
+    parallel_s += w2.ElapsedSeconds();
+  }
+  const bool identical =
+      serial.labels == parallel.labels && serial.probas == parallel.probas;
+  const double speedup = serial_s / std::max(parallel_s, 1e-12);
+  state.counters["speedup"] = speedup;
+  state.counters["bit_identical"] = identical ? 1.0 : 0.0;
+  static bool emitted = false;
+  if (!emitted) {
+    emitted = true;
+    std::printf(
+        "{\"benchmark\":\"predict_batch_throughput\",\"sequences\":%zu,"
+        "\"hardware_threads\":%zu,\"single_thread_seconds\":%.6f,"
+        "\"parallel_seconds\":%.6f,\"speedup\":%.3f,"
+        "\"bit_identical\":%s}\n",
+        fixture.sequences.size(), hw, serial_s, parallel_s, speedup,
+        identical ? "true" : "false");
+  }
+}
+BENCHMARK(BM_PredictBatchSpeedup)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

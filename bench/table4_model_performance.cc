@@ -22,6 +22,9 @@ int main() {
   using cuisine::core::TextTable;
 
   auto config = cuisine::benchutil::DefaultConfig(/*default_scale=*/0.12);
+  // The exact Table IV roster, selected by registry key.
+  config.models = {"logreg", "naive_bayes", "svm", "random_forest",
+                   "lstm",   "bert",        "roberta"};
   cuisine::benchutil::PrintHeader("Table IV: performance metrics", config);
 
   cuisine::util::Stopwatch watch;

@@ -9,14 +9,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/model.h"
 #include "core/pipeline.h"
 #include "data/cuisines.h"
 #include "data/generator.h"
 #include "features/vectorizer.h"
-#include "ml/logistic_regression.h"
 #include "text/tokenizer.h"
 #include "util/string_util.h"
 
@@ -49,9 +50,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  ml::LogisticRegression model;
-  if (auto st = model.Fit(tfidf.TransformAll(tokenized.documents),
-                          tokenized.labels, data::kNumCuisines);
+  auto model_or =
+      core::ModelRegistry::Instance().Create("logreg", core::ModelContext{});
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
+  const features::CsrMatrix train_x = tfidf.TransformAll(tokenized.documents);
+  const core::ModelDataset train_ds{.tfidf = &train_x,
+                                    .labels = &tokenized.labels};
+  if (auto st = model->Fit(train_ds, {.num_classes = data::kNumCuisines});
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -68,14 +77,26 @@ int main(int argc, char** argv) {
     };
   }
 
+  // Batch every query through one PredictBatch call.
+  std::vector<std::string> kept;
+  std::vector<std::vector<std::string>> query_docs;
   for (const std::string& input : inputs) {
     const auto events = ParseEvents(input);
     if (events.empty()) {
       std::printf("\n(skipping empty recipe '%s')\n", input.c_str());
       continue;
     }
-    const auto proba =
-        model.PredictProba(tfidf.Transform(tokenizer.TokenizeEvents(events)));
+    kept.push_back(input);
+    query_docs.push_back(tokenizer.TokenizeEvents(events));
+  }
+  if (kept.empty()) return 0;
+  const features::CsrMatrix query_x = tfidf.TransformAll(query_docs);
+  const core::Predictions pred =
+      model->PredictBatch({.tfidf = &query_x});
+
+  for (size_t q = 0; q < kept.size(); ++q) {
+    const std::string& input = kept[q];
+    const std::vector<float>& proba = pred.probas[q];
     std::vector<int32_t> order(proba.size());
     for (size_t i = 0; i < order.size(); ++i) {
       order[i] = static_cast<int32_t>(i);

@@ -9,16 +9,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/model.h"
 #include "core/pipeline.h"
-#include "core/trainer.h"
 #include "data/generator.h"
 #include "features/sequence_encoder.h"
 #include "features/vectorizer.h"
 #include "ml/logistic_regression.h"
-#include "nn/transformer.h"
 #include "text/tokenizer.h"
 
 int main() {
@@ -69,38 +69,46 @@ int main() {
   }
   const double bag_acc = static_cast<double>(correct) / test_x.rows();
 
-  // --- Sequence view: a tiny transformer classifier ---
+  // --- Sequence view: a tiny transformer from the model registry ---
+  // "transformer" is the fine-tune-only classifier (no MLM stage); it
+  // trains with the bert_finetune recipe.
   const text::Vocabulary vocab =
       core::BuildSequenceVocabulary(train.documents, 1, 4000);
   const features::SequenceEncoder encoder(
       &vocab, {.max_length = 50, .add_cls_sep = true});
-  nn::TransformerConfig config;
-  config.vocab_size = static_cast<int64_t>(vocab.size());
-  config.max_length = 50;
-  config.d_model = 48;
-  config.num_heads = 4;
-  config.num_layers = 2;
-  config.d_ff = 96;
-  nn::TransformerClassifier model(config, 2);
-  const core::SequenceForwardFn forward =
-      [&model](const features::EncodedSequence& seq, bool training,
-               util::Rng* fwd_rng) {
-        return model.ForwardLogits(seq, training, fwd_rng);
-      };
-  core::NeuralTrainOptions train_options;
-  train_options.epochs = 6;
-  train_options.batch_size = 16;
-  train_options.learning_rate = 1e-3;
-  const auto train_x = encoder.EncodeAll(train.documents);
-  const auto history = core::TrainSequenceClassifier(
-      forward, model.Parameters(), train_x, train.labels, {}, {},
-      train_options);
-  if (!history.ok()) {
-    std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
+  core::ModelContext context;
+  context.num_classes = 2;
+  context.sequential.max_sequence_length = 48;  // +2 for [CLS]/[SEP]
+  context.sequential.transformer.d_model = 48;
+  context.sequential.transformer.num_heads = 4;
+  context.sequential.transformer.num_layers = 2;
+  context.sequential.transformer.d_ff = 96;
+  context.sequential.bert_finetune.epochs = 6;
+  context.sequential.bert_finetune.batch_size = 16;
+  context.sequential.bert_finetune.learning_rate = 1e-3;
+  auto model_or =
+      core::ModelRegistry::Instance().Create("transformer", context);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
     return 1;
   }
-  const auto pred =
-      core::PredictSequences(forward, encoder.EncodeAll(test.documents));
+  std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
+  const auto train_x = encoder.EncodeAll(train.documents);
+  const core::ModelDataset train_ds{.sequences = &train_x,
+                                    .labels = &train.labels,
+                                    .vocab = &vocab};
+  core::FitOptions fit;
+  fit.num_classes = 2;
+  const auto fit_status = model->Fit(train_ds, fit);
+  if (!fit_status.ok()) {
+    std::fprintf(stderr, "%s\n", fit_status.ToString().c_str());
+    return 1;
+  }
+  const auto test_seq = encoder.EncodeAll(test.documents);
+  const core::ModelDataset test_ds{.sequences = &test_seq,
+                                   .labels = &test.labels,
+                                   .vocab = &vocab};
+  const auto pred = model->PredictBatch(test_ds);
   correct = 0;
   for (size_t i = 0; i < pred.labels.size(); ++i) {
     if (pred.labels[i] == test.labels[i]) ++correct;

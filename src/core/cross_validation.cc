@@ -3,15 +3,65 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/engine.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace cuisine::core {
+
+namespace {
+
+/// One self-contained fold: fit the vectorizer and a fresh classifier on
+/// the training side, score the held-out side. Touches nothing shared.
+util::Result<ClassificationMetrics> RunFold(
+    const ClassifierFactory& factory,
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int32_t>& labels, const std::vector<int32_t>& fold_of,
+    int32_t fold, int32_t num_classes,
+    const features::TfidfOptions& tfidf_options) {
+  std::vector<std::vector<std::string>> train_docs, test_docs;
+  std::vector<int32_t> train_y, test_y;
+  for (size_t i = 0; i < documents.size(); ++i) {
+    if (fold_of[i] == fold) {
+      test_docs.push_back(documents[i]);
+      test_y.push_back(labels[i]);
+    } else {
+      train_docs.push_back(documents[i]);
+      train_y.push_back(labels[i]);
+    }
+  }
+  if (test_docs.empty() || train_docs.empty()) {
+    return util::Status::InvalidArgument(
+        "fold " + std::to_string(fold) + " is empty; reduce k");
+  }
+  // Per-fold vectorizer: no statistics leak from the test documents.
+  features::TfidfVectorizer tfidf(tfidf_options);
+  CUISINE_RETURN_NOT_OK(tfidf.Fit(train_docs));
+  std::unique_ptr<ml::SparseClassifier> model = factory();
+  CUISINE_RETURN_NOT_OK(
+      model->Fit(tfidf.TransformAll(train_docs), train_y, num_classes));
+
+  const features::CsrMatrix test_x = tfidf.TransformAll(test_docs);
+  std::vector<int32_t> preds;
+  std::vector<std::vector<float>> probas;
+  preds.reserve(test_x.rows());
+  for (size_t i = 0; i < test_x.rows(); ++i) {
+    probas.push_back(model->PredictProba(test_x.Row(i)));
+    preds.push_back(static_cast<int32_t>(
+        std::max_element(probas.back().begin(), probas.back().end()) -
+        probas.back().begin()));
+  }
+  return ComputeMetrics(test_y, preds, probas, num_classes);
+}
+
+}  // namespace
 
 util::Result<CrossValidationResult> CrossValidate(
     const ClassifierFactory& factory,
     const std::vector<std::vector<std::string>>& documents,
     const std::vector<int32_t>& labels, int32_t num_classes, int32_t k,
-    uint64_t seed, const features::TfidfOptions& tfidf_options) {
+    uint64_t seed, const features::TfidfOptions& tfidf_options,
+    size_t num_workers) {
   if (k < 2) return util::Status::InvalidArgument("k must be >= 2");
   if (documents.empty() || documents.size() != labels.size()) {
     return util::Status::InvalidArgument("documents/labels mismatch");
@@ -40,44 +90,23 @@ util::Result<CrossValidationResult> CrossValidate(
     }
   }
 
-  CrossValidationResult result;
-  for (int32_t fold = 0; fold < k; ++fold) {
-    std::vector<std::vector<std::string>> train_docs, test_docs;
-    std::vector<int32_t> train_y, test_y;
-    for (size_t i = 0; i < documents.size(); ++i) {
-      if (fold_of[i] == fold) {
-        test_docs.push_back(documents[i]);
-        test_y.push_back(labels[i]);
-      } else {
-        train_docs.push_back(documents[i]);
-        train_y.push_back(labels[i]);
-      }
-    }
-    if (test_docs.empty() || train_docs.empty()) {
-      return util::Status::InvalidArgument(
-          "fold " + std::to_string(fold) + " is empty; reduce k");
-    }
-    // Per-fold vectorizer: no statistics leak from the test documents.
-    features::TfidfVectorizer tfidf(tfidf_options);
-    CUISINE_RETURN_NOT_OK(tfidf.Fit(train_docs));
-    std::unique_ptr<ml::SparseClassifier> model = factory();
-    CUISINE_RETURN_NOT_OK(
-        model->Fit(tfidf.TransformAll(train_docs), train_y, num_classes));
+  // Folds are independent: run them fold-parallel, each writing its own
+  // slot, and surface the lowest-numbered failure deterministically.
+  std::vector<util::Result<ClassificationMetrics>> fold_results(
+      static_cast<size_t>(k),
+      util::Status::Internal("fold did not run"));
+  util::ParallelFor(
+      static_cast<size_t>(k), ResolveWorkerCount(num_workers),
+      [&](size_t fold) {
+        fold_results[fold] =
+            RunFold(factory, documents, labels, fold_of,
+                    static_cast<int32_t>(fold), num_classes, tfidf_options);
+      });
 
-    const features::CsrMatrix test_x = tfidf.TransformAll(test_docs);
-    std::vector<int32_t> preds;
-    std::vector<std::vector<float>> probas;
-    preds.reserve(test_x.rows());
-    for (size_t i = 0; i < test_x.rows(); ++i) {
-      probas.push_back(model->PredictProba(test_x.Row(i)));
-      preds.push_back(static_cast<int32_t>(
-          std::max_element(probas.back().begin(), probas.back().end()) -
-          probas.back().begin()));
-    }
-    CUISINE_ASSIGN_OR_RETURN(
-        ClassificationMetrics metrics,
-        ComputeMetrics(test_y, preds, probas, num_classes));
-    result.folds.push_back(metrics);
+  CrossValidationResult result;
+  for (auto& fold_result : fold_results) {
+    if (!fold_result.ok()) return fold_result.status();
+    result.folds.push_back(std::move(fold_result).MoveValueUnsafe());
   }
 
   double sum = 0.0, sum_sq = 0.0, f1_sum = 0.0;

@@ -19,7 +19,9 @@
 
 namespace cuisine::core {
 
-/// Creates a fresh, unfitted classifier per fold.
+/// Creates a fresh, unfitted classifier per fold. Must be safe to call
+/// from several fold threads at once (a plain "new classifier from
+/// options" closure is).
 using ClassifierFactory =
     std::function<std::unique_ptr<ml::SparseClassifier>()>;
 
@@ -31,12 +33,16 @@ struct CrossValidationResult {
   double mean_macro_f1 = 0.0;
 };
 
-/// Runs stratified k-fold CV over tokenized documents.
+/// Runs stratified k-fold CV over tokenized documents. Folds are
+/// independent, so they run fold-parallel across up to `num_workers`
+/// engine threads (0 = hardware concurrency); fold order and results are
+/// identical for any worker count.
 /// Returns InvalidArgument for k < 2, empty data or shape mismatches.
 util::Result<CrossValidationResult> CrossValidate(
     const ClassifierFactory& factory,
     const std::vector<std::vector<std::string>>& documents,
     const std::vector<int32_t>& labels, int32_t num_classes, int32_t k,
-    uint64_t seed, const features::TfidfOptions& tfidf_options = {});
+    uint64_t seed, const features::TfidfOptions& tfidf_options = {},
+    size_t num_workers = 1);
 
 }  // namespace cuisine::core

@@ -1,0 +1,60 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace cuisine::core {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ResolveWorkerCount(size_t requested) {
+  if (requested == 0) return util::HardwareThreads();
+  return std::max<size_t>(1, requested);
+}
+
+util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index) {
+  // Two mixing rounds decorrelate the (seed, step, index) lattice; the
+  // golden-ratio constants keep nearby coordinates far apart.
+  uint64_t h = Mix64(seed ^ (step + 0x9e3779b97f4a7c15ULL));
+  h = Mix64(h ^ (index + 0xd1b54a32d192ed03ULL));
+  return util::Rng(h);
+}
+
+void RunShards(size_t num_shards, const std::function<void(size_t)>& shard_fn) {
+  if (num_shards == 0) return;
+  if (num_shards == 1 || util::ThreadPool::OnWorkerThread()) {
+    for (size_t s = 0; s < num_shards; ++s) shard_fn(s);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    futures.push_back(util::SharedPool().Submit([s, &shard_fn] { shard_fn(s); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+
+/// \file engine.h
+/// \brief Execution primitives of the batched, thread-parallel
+/// inference/training engine.
+///
+/// Everything in core that fans work out over examples — `PredictBatch`,
+/// `EvaluateSequenceLoss`, the data-parallel trainer — goes through these
+/// helpers, which encode the engine's determinism contract (DESIGN.md):
+///
+///  1. Every example gets its own RNG stream derived from
+///     (seed, step, example index) — never from the worker that happens
+///     to run it.
+///  2. Per-example results (predictions, losses, gradients) are written
+///     to slots indexed by example and merged in ascending example
+///     order on the calling thread.
+///
+/// Together these make every engine entry point bit-identical for any
+/// worker count, including 1.
+
+namespace cuisine::core {
+
+/// Resolves a requested worker count: 0 means hardware concurrency,
+/// anything else is taken as-is (minimum 1).
+size_t ResolveWorkerCount(size_t requested);
+
+/// Deterministic RNG stream for one example. `step` is any monotonic
+/// phase discriminator (optimizer step, epoch, or 0 for inference) and
+/// `index` the example's position in the dataset — both independent of
+/// worker assignment, so streams are stable under any parallel schedule.
+util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index);
+
+/// Runs shard_fn(s) for s in [0, num_shards) on the shared thread pool
+/// and blocks until all shards complete. Shard s conventionally handles
+/// examples i with i % num_shards == s. Runs serially when num_shards
+/// is 1 or when already on a pool worker (nested parallelism). Rethrows
+/// the first exception after every shard has finished — no shard can
+/// still touch caller state once this returns or throws.
+void RunShards(size_t num_shards, const std::function<void(size_t)>& shard_fn);
+
+}  // namespace cuisine::core

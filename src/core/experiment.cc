@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "core/pipeline.h"
 #include "util/logging.h"
@@ -10,36 +12,6 @@
 namespace cuisine::core {
 
 namespace {
-
-/// Trains one statistical model and packages its test metrics.
-util::Result<ModelResult> RunStatisticalModel(
-    ml::SparseClassifier* model, const features::CsrMatrix& train_x,
-    const std::vector<int32_t>& train_y, const features::CsrMatrix& test_x,
-    const std::vector<int32_t>& test_y, int32_t num_classes, bool verbose) {
-  util::Stopwatch watch;
-  CUISINE_RETURN_NOT_OK(model->Fit(train_x, train_y, num_classes));
-  ModelResult result;
-  result.name = model->name();
-  result.train_seconds = watch.ElapsedSeconds();
-
-  const std::vector<std::vector<float>> probas =
-      ml::PredictProbaAll(*model, test_x);
-  std::vector<int32_t> preds;
-  preds.reserve(probas.size());
-  for (const auto& p : probas) {
-    preds.push_back(static_cast<int32_t>(
-        std::max_element(p.begin(), p.end()) - p.begin()));
-  }
-  CUISINE_ASSIGN_OR_RETURN(
-      result.metrics, ComputeMetrics(test_y, preds, probas, num_classes));
-  if (verbose) {
-    CUISINE_LOG(Info) << result.name << ": accuracy="
-                      << result.metrics.accuracy
-                      << " loss=" << result.metrics.log_loss << " ("
-                      << result.train_seconds << "s)";
-  }
-  return result;
-}
 
 /// Applies the order-destroying ablation: shuffles each document's
 /// tokens with a per-document deterministic stream.
@@ -61,6 +33,21 @@ std::vector<T> Capped(const std::vector<T>& v, size_t cap) {
 }
 
 }  // namespace
+
+std::vector<std::string> ExperimentConfig::ModelKeys() const {
+  if (!models.empty()) return models;
+  std::vector<std::string> keys;
+  if (run_statistical) {
+    keys = {"logreg", "naive_bayes", "svm",
+            statistical.use_adaboost ? "adaboost" : "random_forest"};
+  }
+  if (run_lstm) keys.push_back("lstm");
+  if (run_transformers) {
+    keys.push_back("bert");
+    keys.push_back("roberta");
+  }
+  return keys;
+}
 
 const ModelResult* ExperimentResult::Find(const std::string& name) const {
   for (const ModelResult& m : models) {
@@ -102,171 +89,149 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
                       << " test=" << test.size();
   }
 
-  // ---- Statistical models on TF-IDF rows ----
-  if (config_.run_statistical) {
+  // Instantiate the roster up front so only the representations the
+  // selected models actually consume get built.
+  ModelContext context;
+  context.num_classes = num_classes;
+  context.statistical = config_.statistical;
+  context.sequential = config_.sequential;
+  std::vector<std::unique_ptr<Model>> roster;
+  for (const std::string& key : config_.ModelKeys()) {
+    CUISINE_ASSIGN_OR_RETURN(
+        std::unique_ptr<Model> model,
+        ModelRegistry::Instance().Create(key, context));
+    roster.push_back(std::move(model));
+  }
+  bool need_tfidf = false, need_plain = false, need_cls = false;
+  for (const auto& model : roster) {
+    switch (model->input()) {
+      case ModelInput::kTfidf: need_tfidf = true; break;
+      case ModelInput::kSequence: need_plain = true; break;
+      case ModelInput::kSequenceClsSep: need_cls = true; break;
+    }
+  }
+
+  // ---- TF-IDF representation (statistical models) ----
+  features::CsrMatrix tfidf_train, tfidf_test;
+  if (need_tfidf) {
     features::TfidfVectorizer tfidf(config_.tfidf);
     CUISINE_RETURN_NOT_OK(tfidf.Fit(train.documents));
     result.num_tfidf_features = tfidf.num_features();
-    const features::CsrMatrix train_x = tfidf.TransformAll(train.documents);
-    const features::CsrMatrix test_x = tfidf.TransformAll(test.documents);
+    tfidf_train = tfidf.TransformAll(train.documents);
+    tfidf_test = tfidf.TransformAll(test.documents);
     if (config_.verbose) {
       CUISINE_LOG(Info) << "TF-IDF features: " << tfidf.num_features()
-                        << " sparsity=" << train_x.Sparsity();
-    }
-
-    ml::MultinomialNaiveBayes nb(config_.statistical.naive_bayes);
-    ml::LogisticRegression logreg(config_.statistical.logistic_regression);
-    ml::LinearSvm svm(config_.statistical.svm);
-    std::vector<ml::SparseClassifier*> models = {&logreg, &nb, &svm};
-    ml::RandomForest rf(config_.statistical.random_forest);
-    ml::AdaBoost ada(config_.statistical.adaboost);
-    if (config_.statistical.use_adaboost) {
-      models.push_back(&ada);
-    } else {
-      models.push_back(&rf);
-    }
-    for (ml::SparseClassifier* model : models) {
-      CUISINE_ASSIGN_OR_RETURN(
-          ModelResult mr,
-          RunStatisticalModel(model, train_x, train.labels, test_x,
-                              test.labels, num_classes, config_.verbose));
-      result.models.push_back(std::move(mr));
+                        << " sparsity=" << tfidf_train.Sparsity();
     }
   }
 
-  if (!config_.run_lstm && !config_.run_transformers) return result;
-
-  // ---- Sequential models on id sequences ----
+  // ---- Sequence representations (neural models) ----
   const SequentialModelOptions& seq_opt = config_.sequential;
-  std::vector<std::vector<std::string>> train_docs = train.documents;
-  std::vector<std::vector<std::string>> val_docs = validation.documents;
-  std::vector<std::vector<std::string>> test_docs = test.documents;
-  if (config_.shuffle_token_order) {
-    ShuffleDocuments(&train_docs, config_.split_seed + 1);
-    ShuffleDocuments(&val_docs, config_.split_seed + 2);
-    ShuffleDocuments(&test_docs, config_.split_seed + 3);
-  }
-
-  const text::Vocabulary vocab = BuildSequenceVocabulary(
-      train_docs, seq_opt.vocab_min_frequency, seq_opt.vocab_max_size);
-  result.sequence_vocab_size = vocab.size();
-  if (config_.verbose) {
-    CUISINE_LOG(Info) << "sequence vocabulary: " << vocab.size() << " tokens";
-  }
-
-  const auto train_y = Capped(train.labels, seq_opt.max_train_sequences);
-  const auto val_y = Capped(validation.labels, seq_opt.max_eval_sequences);
-  const auto test_y = Capped(test.labels, seq_opt.max_eval_sequences);
-  const auto train_docs_c = Capped(train_docs, seq_opt.max_train_sequences);
-  const auto val_docs_c = Capped(val_docs, seq_opt.max_eval_sequences);
-  const auto test_docs_c = Capped(test_docs, seq_opt.max_eval_sequences);
-
-  if (config_.run_lstm) {
-    const features::SequenceEncoder encoder(
-        &vocab, {.max_length = seq_opt.lstm_sequence_length,
-                 .add_cls_sep = false});
-    const auto train_x = encoder.EncodeAll(train_docs_c);
-    const auto val_x = encoder.EncodeAll(val_docs_c);
-    const auto test_x = encoder.EncodeAll(test_docs_c);
-
-    nn::LstmConfig lstm_config = seq_opt.lstm;
-    lstm_config.vocab_size = static_cast<int64_t>(vocab.size());
-    nn::LstmClassifier lstm(lstm_config, num_classes);
-    const SequenceForwardFn forward =
-        [&lstm](const features::EncodedSequence& seq, bool training,
-                util::Rng* rng) {
-          return lstm.ForwardLogits(seq, training, rng);
-        };
-    if (config_.verbose) {
-      CUISINE_LOG(Info) << "training LSTM (" << lstm.NumParameters()
-                        << " parameters, " << train_x.size() << " sequences)";
+  std::optional<text::Vocabulary> vocab;
+  std::vector<int32_t> train_y, val_y, test_y;
+  std::vector<features::EncodedSequence> plain_train, plain_val, plain_test;
+  std::vector<features::EncodedSequence> cls_train, cls_val, cls_test;
+  if (need_plain || need_cls) {
+    std::vector<std::vector<std::string>> train_docs = train.documents;
+    std::vector<std::vector<std::string>> val_docs = validation.documents;
+    std::vector<std::vector<std::string>> test_docs = test.documents;
+    if (config_.shuffle_token_order) {
+      ShuffleDocuments(&train_docs, config_.split_seed + 1);
+      ShuffleDocuments(&val_docs, config_.split_seed + 2);
+      ShuffleDocuments(&test_docs, config_.split_seed + 3);
     }
+
+    vocab = BuildSequenceVocabulary(train_docs, seq_opt.vocab_min_frequency,
+                                    seq_opt.vocab_max_size);
+    result.sequence_vocab_size = vocab->size();
+    if (config_.verbose) {
+      CUISINE_LOG(Info) << "sequence vocabulary: " << vocab->size()
+                        << " tokens";
+    }
+
+    train_y = Capped(train.labels, seq_opt.max_train_sequences);
+    val_y = Capped(validation.labels, seq_opt.max_eval_sequences);
+    test_y = Capped(test.labels, seq_opt.max_eval_sequences);
+    const auto train_docs_c = Capped(train_docs, seq_opt.max_train_sequences);
+    const auto val_docs_c = Capped(val_docs, seq_opt.max_eval_sequences);
+    const auto test_docs_c = Capped(test_docs, seq_opt.max_eval_sequences);
+
+    if (need_plain) {
+      const features::SequenceEncoder encoder(
+          &*vocab, {.max_length = seq_opt.lstm_sequence_length,
+                    .add_cls_sep = false});
+      plain_train = encoder.EncodeAll(train_docs_c);
+      plain_val = encoder.EncodeAll(val_docs_c);
+      plain_test = encoder.EncodeAll(test_docs_c);
+    }
+    if (need_cls) {
+      const features::SequenceEncoder encoder(
+          &*vocab, {.max_length = seq_opt.max_sequence_length + 2,
+                    .add_cls_sep = true});
+      cls_train = encoder.EncodeAll(train_docs_c);
+      cls_val = encoder.EncodeAll(val_docs_c);
+      cls_test = encoder.EncodeAll(test_docs_c);
+    }
+  }
+
+  // ---- Drive every model through the unified interface ----
+  for (const auto& model : roster) {
     ModelResult mr;
-    mr.name = "LSTM";
-    CUISINE_ASSIGN_OR_RETURN(
-        mr.history,
-        TrainSequenceClassifier(forward, lstm.Parameters(), train_x, train_y,
-                                val_x, val_y, seq_opt.lstm_train));
-    mr.train_seconds = mr.history.train_seconds;
-    const SequencePredictions pred = PredictSequences(forward, test_x);
+    mr.name = model->name();
+
+    ModelDataset train_ds, val_ds, test_ds;
+    const std::vector<int32_t>* test_labels = nullptr;
+    switch (model->input()) {
+      case ModelInput::kTfidf:
+        train_ds = {.tfidf = &tfidf_train, .labels = &train.labels};
+        test_ds = {.tfidf = &tfidf_test, .labels = &test.labels};
+        test_labels = &test.labels;
+        break;
+      case ModelInput::kSequence:
+        train_ds = {.sequences = &plain_train, .labels = &train_y,
+                    .vocab = &*vocab};
+        val_ds = {.sequences = &plain_val, .labels = &val_y, .vocab = &*vocab};
+        test_ds = {.sequences = &plain_test, .labels = &test_y,
+                   .vocab = &*vocab};
+        test_labels = &test_y;
+        break;
+      case ModelInput::kSequenceClsSep:
+        train_ds = {.sequences = &cls_train, .labels = &train_y,
+                    .vocab = &*vocab};
+        val_ds = {.sequences = &cls_val, .labels = &val_y, .vocab = &*vocab};
+        test_ds = {.sequences = &cls_test, .labels = &test_y,
+                   .vocab = &*vocab};
+        test_labels = &test_y;
+        break;
+    }
+
+    FitOptions fit;
+    fit.num_classes = num_classes;
+    fit.num_workers = config_.num_workers;
+    if (model->input() != ModelInput::kTfidf) fit.validation = &val_ds;
+    if (config_.verbose && model->input() != ModelInput::kTfidf) {
+      CUISINE_LOG(Info) << "training " << mr.name << " ("
+                        << train_ds.size() << " sequences)";
+    }
+
+    util::Stopwatch watch;
+    CUISINE_RETURN_NOT_OK(model->Fit(train_ds, fit));
+    mr.train_seconds = watch.ElapsedSeconds();
+
+    const Predictions pred = model->PredictBatch(test_ds, config_.num_workers);
     CUISINE_ASSIGN_OR_RETURN(
         mr.metrics,
-        ComputeMetrics(test_y, pred.labels, pred.probas, num_classes));
+        ComputeMetrics(*test_labels, pred.labels, pred.probas, num_classes));
+    if (const TrainHistory* history = model->history()) mr.history = *history;
+    if (const std::vector<double>* mlm = model->pretrain_loss()) {
+      mr.pretrain_loss = *mlm;
+    }
     if (config_.verbose) {
-      CUISINE_LOG(Info) << "LSTM: accuracy=" << mr.metrics.accuracy
-                        << " loss=" << mr.metrics.log_loss;
+      CUISINE_LOG(Info) << mr.name << ": accuracy=" << mr.metrics.accuracy
+                        << " loss=" << mr.metrics.log_loss << " ("
+                        << mr.train_seconds << "s)";
     }
     result.models.push_back(std::move(mr));
-  }
-
-  if (config_.run_transformers) {
-    const features::SequenceEncoder encoder(
-        &vocab, {.max_length = seq_opt.max_sequence_length + 2,
-                 .add_cls_sep = true});
-    const auto train_x = encoder.EncodeAll(train_docs_c);
-    const auto val_x = encoder.EncodeAll(val_docs_c);
-    const auto test_x = encoder.EncodeAll(test_docs_c);
-    // Pretraining sees train + validation text (labels unused).
-    std::vector<features::EncodedSequence> pretrain_x = train_x;
-    pretrain_x.insert(pretrain_x.end(), val_x.begin(), val_x.end());
-    pretrain_x = Capped(pretrain_x, seq_opt.max_pretrain_sequences);
-
-    struct Recipe {
-      const char* name;
-      const MlmOptions* pretrain;
-      const NeuralTrainOptions* finetune;
-      uint64_t seed_offset;
-    };
-    const Recipe recipes_to_run[] = {
-        {"BERT", &seq_opt.bert_pretrain, &seq_opt.bert_finetune, 0},
-        {"RoBERTa", &seq_opt.roberta_pretrain, &seq_opt.roberta_finetune, 1},
-    };
-    for (const Recipe& recipe : recipes_to_run) {
-      nn::TransformerConfig tf_config = seq_opt.transformer;
-      tf_config.vocab_size = static_cast<int64_t>(vocab.size());
-      tf_config.max_length = seq_opt.max_sequence_length + 2;
-      tf_config.seed += recipe.seed_offset;
-      nn::TransformerClassifier model(tf_config, num_classes);
-
-      ModelResult mr;
-      mr.name = recipe.name;
-      util::Stopwatch watch;
-      if (config_.verbose) {
-        CUISINE_LOG(Info) << "pretraining " << recipe.name << " ("
-                          << model.NumParameters() << " parameters, "
-                          << pretrain_x.size() << " sequences, "
-                          << recipe.pretrain->epochs << " MLM epochs)";
-      }
-      {
-        util::Rng head_rng(tf_config.seed + 7);
-        nn::MlmHead head(*model.encoder(), &head_rng);
-        CUISINE_ASSIGN_OR_RETURN(
-            mr.pretrain_loss,
-            PretrainMlm(model.encoder(), &head, pretrain_x, vocab,
-                        *recipe.pretrain));
-      }
-      const SequenceForwardFn forward =
-          [&model](const features::EncodedSequence& seq, bool training,
-                   util::Rng* rng) {
-            return model.ForwardLogits(seq, training, rng);
-          };
-      CUISINE_ASSIGN_OR_RETURN(
-          mr.history,
-          TrainSequenceClassifier(forward, model.Parameters(), train_x,
-                                  train_y, val_x, val_y, *recipe.finetune));
-      mr.train_seconds = watch.ElapsedSeconds();
-      const SequencePredictions pred = PredictSequences(forward, test_x);
-      CUISINE_ASSIGN_OR_RETURN(
-          mr.metrics,
-          ComputeMetrics(test_y, pred.labels, pred.probas, num_classes));
-      if (config_.verbose) {
-        CUISINE_LOG(Info) << recipe.name
-                          << ": accuracy=" << mr.metrics.accuracy
-                          << " loss=" << mr.metrics.log_loss << " ("
-                          << mr.train_seconds << "s)";
-      }
-      result.models.push_back(std::move(mr));
-    }
   }
   return result;
 }

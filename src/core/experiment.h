@@ -5,108 +5,23 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/model.h"
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/splitter.h"
 #include "features/vectorizer.h"
-#include "ml/adaboost.h"
-#include "ml/linear_svm.h"
-#include "ml/logistic_regression.h"
-#include "ml/naive_bayes.h"
-#include "ml/random_forest.h"
-#include "nn/lstm.h"
-#include "nn/transformer.h"
 #include "util/status.h"
 
 /// \file experiment.h
 /// \brief End-to-end reproduction of the paper's experiments (§VI):
 /// generate/accept a corpus, split 7:1:2, train every model of Table IV
 /// and report the paper's metrics.
+///
+/// Models are selected by registry key (core/model.h) — either an
+/// explicit `ExperimentConfig::models` list or the default roster derived
+/// from the family flags — and driven uniformly through `core::Model`.
 
 namespace cuisine::core {
-
-/// Options of the four statistical models.
-struct StatisticalModelOptions {
-  ml::NaiveBayesOptions naive_bayes;
-  ml::LogisticRegressionOptions logistic_regression;
-  ml::LinearSvmOptions svm;
-  ml::RandomForestOptions random_forest;
-  /// Replace the plain Random Forest row with AdaBoost over shallow
-  /// trees (the paper's "RF with AdaBoost" is ambiguous; the ablation
-  /// bench compares both).
-  bool use_adaboost = false;
-  ml::AdaBoostOptions adaboost;
-};
-
-/// Options of the sequential models (LSTM, BERT-style, RoBERTa-style).
-struct SequentialModelOptions {
-  /// Tokens fed to the transformer (plus [CLS]/[SEP]).
-  int32_t max_sequence_length = 48;
-  /// The LSTM reads a shorter window — the paper's stated limitation
-  /// ("LSTMs are limited by the number of words in the sequence").
-  int32_t lstm_sequence_length = 32;
-  int64_t vocab_min_frequency = 2;
-  size_t vocab_max_size = 8000;
-
-  nn::LstmConfig lstm;  // vocab_size filled by the runner
-  NeuralTrainOptions lstm_train{.epochs = 3,
-                                .batch_size = 16,
-                                .learning_rate = 2e-3,
-                                .weight_decay = 0.0,
-                                .clip_norm = 1.0,
-                                .warmup_fraction = 0.02,
-                                .seed = 41,
-                                .verbose = false};
-
-  nn::TransformerConfig transformer;  // vocab_size filled by the runner
-
-  /// BERT recipe: short static-masking MLM pretraining + fine-tune.
-  MlmOptions bert_pretrain{.epochs = 1,
-                           .batch_size = 16,
-                           .learning_rate = 1e-3,
-                           .weight_decay = 0.01,
-                           .clip_norm = 1.0,
-                           .warmup_fraction = 0.05,
-                           .mask_probability = 0.15,
-                           .dynamic_masking = false,
-                           .seed = 43,
-                           .verbose = false};
-  NeuralTrainOptions bert_finetune{.epochs = 4,
-                                   .batch_size = 16,
-                                   .learning_rate = 1e-3,
-                                   .weight_decay = 0.01,
-                                   .clip_norm = 1.0,
-                                   .warmup_fraction = 0.1,
-                                   .seed = 47,
-                                   .verbose = false};
-
-  /// RoBERTa recipe: "trained on longer sequences for more training
-  /// steps" — more MLM epochs with dynamic masking, longer fine-tune.
-  MlmOptions roberta_pretrain{.epochs = 3,
-                              .batch_size = 16,
-                              .learning_rate = 1e-3,
-                              .weight_decay = 0.01,
-                              .clip_norm = 1.0,
-                              .warmup_fraction = 0.05,
-                              .mask_probability = 0.15,
-                              .dynamic_masking = true,
-                              .seed = 53,
-                              .verbose = false};
-  NeuralTrainOptions roberta_finetune{.epochs = 6,
-                                      .batch_size = 16,
-                                      .learning_rate = 1e-3,
-                                      .weight_decay = 0.01,
-                                      .clip_norm = 1.0,
-                                      .warmup_fraction = 0.1,
-                                      .seed = 59,
-                                      .verbose = false};
-
-  /// CPU-budget caps (0 = use everything). Caps subsample the train /
-  /// pretrain / test sets for the *neural* models only.
-  size_t max_train_sequences = 0;
-  size_t max_pretrain_sequences = 0;
-  size_t max_eval_sequences = 0;
-};
 
 /// Full configuration of one experiment run.
 struct ExperimentConfig {
@@ -117,18 +32,30 @@ struct ExperimentConfig {
   StatisticalModelOptions statistical;
   SequentialModelOptions sequential;
 
+  /// Explicit model roster (registry keys, run in order). Empty = derive
+  /// the Table IV roster from the family flags below.
+  std::vector<std::string> models;
+
+  /// Engine workers for training and batched prediction (0 = hardware
+  /// concurrency). Results are bit-identical for any value.
+  size_t num_workers = 0;
+
   /// Ablations (§VII research questions).
   bool shuffle_token_order = false;  // destroy the order signal
   bool include_ingredients = true;
   bool include_processes = true;
   bool include_utensils = true;
 
-  /// Which model families to run.
+  /// Which model families the default roster includes (ignored when
+  /// `models` is set).
   bool run_statistical = true;
   bool run_lstm = true;
   bool run_transformers = true;
 
   bool verbose = true;
+
+  /// The registry keys this config resolves to.
+  std::vector<std::string> ModelKeys() const;
 };
 
 /// Result of one model run.

@@ -1,0 +1,433 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/engine.h"
+#include "ml/classifier.h"
+#include "nn/serialization.h"
+#include "util/logging.h"
+
+namespace cuisine::core {
+
+util::Status Model::Save(const std::string& /*path*/) const {
+  return util::Status::NotImplemented(name() +
+                                      " does not support checkpointing");
+}
+
+util::Status Model::Load(const std::string& /*path*/) {
+  return util::Status::NotImplemented(name() +
+                                      " does not support checkpointing");
+}
+
+namespace {
+
+util::Status ValidateSequenceDataset(const ModelDataset& data,
+                                     bool need_labels) {
+  if (data.sequences == nullptr) {
+    return util::Status::InvalidArgument("dataset has no encoded sequences");
+  }
+  if (need_labels &&
+      (data.labels == nullptr ||
+       data.labels->size() != data.sequences->size())) {
+    return util::Status::InvalidArgument("sequence/label count mismatch");
+  }
+  return util::Status::OK();
+}
+
+// ---- Statistical family ----
+
+/// Wraps an `ml::SparseClassifier` subclass behind the unified interface.
+/// Batched calls shard TF-IDF rows over the engine's shared pool; the
+/// fitted classifier is read-only during prediction, so shards share it.
+class SparseModelAdapter final : public Model {
+ public:
+  using Builder = std::function<std::unique_ptr<ml::SparseClassifier>()>;
+
+  explicit SparseModelAdapter(Builder builder)
+      : builder_(std::move(builder)), classifier_(builder_()) {}
+
+  std::string name() const override { return classifier_->name(); }
+  ModelInput input() const override { return ModelInput::kTfidf; }
+
+  util::Status Fit(const ModelDataset& train,
+                   const FitOptions& options) override {
+    if (train.tfidf == nullptr || train.labels == nullptr) {
+      return util::Status::InvalidArgument(name() +
+                                           " needs TF-IDF rows and labels");
+    }
+    // SparseClassifier::Fit is one-shot; rebuild for refits.
+    if (classifier_->fitted()) classifier_ = builder_();
+    return classifier_->Fit(*train.tfidf, *train.labels, options.num_classes);
+  }
+
+  Predictions PredictBatch(const ModelDataset& inputs,
+                           size_t num_workers) const override {
+    CUISINE_CHECK(inputs.tfidf != nullptr);
+    Predictions out;
+    out.probas = ml::PredictProbaAll(*classifier_, *inputs.tfidf,
+                                     ResolveWorkerCount(num_workers));
+    out.labels.reserve(out.probas.size());
+    for (const auto& p : out.probas) {
+      out.labels.push_back(static_cast<int32_t>(
+          std::max_element(p.begin(), p.end()) - p.begin()));
+    }
+    return out;
+  }
+
+  double EvaluateLoss(const ModelDataset& data,
+                      size_t num_workers) const override {
+    CUISINE_CHECK(data.tfidf != nullptr && data.labels != nullptr);
+    CUISINE_CHECK(data.labels->size() == data.tfidf->rows());
+    if (data.labels->empty()) return 0.0;
+    const Predictions pred = PredictBatch(data, num_workers);
+    double total = 0.0;
+    for (size_t i = 0; i < pred.probas.size(); ++i) {
+      const float p = std::max(pred.probas[i][(*data.labels)[i]], 1e-12f);
+      total += -std::log(static_cast<double>(p));
+    }
+    return total / static_cast<double>(pred.probas.size());
+  }
+
+ private:
+  Builder builder_;
+  std::unique_ptr<ml::SparseClassifier> classifier_;
+};
+
+// ---- Sequential family ----
+
+/// Shared machinery of the neural adapters: a forward closure plus the
+/// parameter handles it reads, driven through the engine's batched entry
+/// points. Subclasses build the network (lazily, in Fit — the vocabulary
+/// size comes from the dataset) and run their training recipe.
+class SequenceModelBase : public Model {
+ public:
+  Predictions PredictBatch(const ModelDataset& inputs,
+                           size_t num_workers) const override {
+    CUISINE_CHECK(forward_ != nullptr);
+    CUISINE_CHECK(inputs.sequences != nullptr);
+    return PredictSequences(forward_, *inputs.sequences, num_workers);
+  }
+
+  double EvaluateLoss(const ModelDataset& data,
+                      size_t num_workers) const override {
+    CUISINE_CHECK(forward_ != nullptr);
+    CUISINE_CHECK(data.sequences != nullptr && data.labels != nullptr);
+    return EvaluateSequenceLoss(forward_, *data.sequences, *data.labels,
+                                num_workers);
+  }
+
+  util::Status Save(const std::string& path) const override {
+    if (params_.empty()) {
+      return util::Status::FailedPrecondition(name() + ": Fit before Save");
+    }
+    return nn::SaveCheckpoint(params_, path);
+  }
+
+  util::Status Load(const std::string& path) override {
+    if (params_.empty()) {
+      return util::Status::FailedPrecondition(
+          name() + ": Fit before Load (Fit defines the architecture)");
+    }
+    return nn::LoadCheckpoint(path, &params_);
+  }
+
+  const TrainHistory* history() const override {
+    return params_.empty() ? nullptr : &history_;
+  }
+
+  int64_t NumParameters() const override {
+    int64_t n = 0;
+    for (const nn::Tensor& p : params_) n += static_cast<int64_t>(p.size());
+    return n;
+  }
+
+ protected:
+  /// Resolves a Fit call's training options against the recipe defaults.
+  static NeuralTrainOptions Resolved(NeuralTrainOptions recipe,
+                                     const FitOptions& fit) {
+    recipe.num_workers = fit.num_workers;
+    recipe.verbose = recipe.verbose || fit.verbose;
+    return recipe;
+  }
+
+  SequenceForwardFn forward_;
+  std::vector<nn::Tensor> params_;
+  TrainHistory history_;
+};
+
+/// LSTM / GRU behind the unified interface (both train with the
+/// `lstm_train` recipe; only the cell differs).
+class RecurrentModelAdapter final : public SequenceModelBase {
+ public:
+  enum class Cell { kLstm, kGru };
+
+  RecurrentModelAdapter(Cell cell, const ModelContext& context)
+      : cell_(cell), context_(context) {}
+
+  std::string name() const override {
+    return cell_ == Cell::kLstm ? "LSTM" : "GRU";
+  }
+  ModelInput input() const override { return ModelInput::kSequence; }
+
+  util::Status Fit(const ModelDataset& train,
+                   const FitOptions& options) override {
+    CUISINE_RETURN_NOT_OK(ValidateSequenceDataset(train, /*need_labels=*/true));
+    if (train.vocab == nullptr) {
+      return util::Status::InvalidArgument(name() +
+                                           " needs the sequence vocabulary");
+    }
+    const int64_t vocab_size = static_cast<int64_t>(train.vocab->size());
+    SequenceNetFactory make_replica;
+    if (cell_ == Cell::kLstm) {
+      nn::LstmConfig config = context_.sequential.lstm;
+      config.vocab_size = vocab_size;
+      make_replica = [config, classes = options.num_classes]() {
+        auto net = std::make_shared<nn::LstmClassifier>(config, classes);
+        return SequenceNet{
+            [net](const features::EncodedSequence& s, bool t, util::Rng* r) {
+              return net->ForwardLogits(s, t, r);
+            },
+            net->Parameters()};
+      };
+    } else {
+      nn::GruConfig config = context_.sequential.gru;
+      config.vocab_size = vocab_size;
+      make_replica = [config, classes = options.num_classes]() {
+        auto net = std::make_shared<nn::GruClassifier>(config, classes);
+        return SequenceNet{
+            [net](const features::EncodedSequence& s, bool t, util::Rng* r) {
+              return net->ForwardLogits(s, t, r);
+            },
+            net->Parameters()};
+      };
+    }
+    SequenceNet master = make_replica();
+    forward_ = master.forward;
+    params_ = master.params;
+
+    static const std::vector<features::EncodedSequence> kNoSequences;
+    static const std::vector<int32_t> kNoLabels;
+    const auto* val = options.validation;
+    CUISINE_ASSIGN_OR_RETURN(
+        history_,
+        TrainSequenceClassifier(
+            forward_, params_, *train.sequences, *train.labels,
+            val != nullptr ? *val->sequences : kNoSequences,
+            val != nullptr ? *val->labels : kNoLabels,
+            Resolved(context_.sequential.lstm_train, options), make_replica));
+    return util::Status::OK();
+  }
+
+ private:
+  Cell cell_;
+  ModelContext context_;
+};
+
+/// Transformer classifier with an optional MLM pretraining stage: the
+/// "transformer" (fine-tune only), "BERT" (static masking) and "RoBERTa"
+/// (dynamic masking, longer schedule) registry entries.
+class TransformerModelAdapter final : public SequenceModelBase {
+ public:
+  TransformerModelAdapter(std::string display_name, const ModelContext& context,
+                          const MlmOptions* pretrain,
+                          NeuralTrainOptions finetune, uint64_t seed_offset)
+      : display_name_(std::move(display_name)),
+        context_(context),
+        has_pretrain_(pretrain != nullptr),
+        pretrain_(pretrain != nullptr ? *pretrain : MlmOptions{}),
+        finetune_(std::move(finetune)),
+        seed_offset_(seed_offset) {}
+
+  std::string name() const override { return display_name_; }
+  ModelInput input() const override { return ModelInput::kSequenceClsSep; }
+
+  util::Status Fit(const ModelDataset& train,
+                   const FitOptions& options) override {
+    CUISINE_RETURN_NOT_OK(ValidateSequenceDataset(train, /*need_labels=*/true));
+    if (train.vocab == nullptr) {
+      return util::Status::InvalidArgument(name() +
+                                           " needs the sequence vocabulary");
+    }
+    nn::TransformerConfig config = context_.sequential.transformer;
+    config.vocab_size = static_cast<int64_t>(train.vocab->size());
+    config.max_length = context_.sequential.max_sequence_length + 2;
+    config.seed += seed_offset_;
+
+    auto model =
+        std::make_shared<nn::TransformerClassifier>(config, options.num_classes);
+    forward_ = [model](const features::EncodedSequence& s, bool t,
+                       util::Rng* r) { return model->ForwardLogits(s, t, r); };
+    params_ = model->Parameters();
+
+    if (has_pretrain_ && pretrain_.epochs > 0) {
+      // Pretraining sees train + validation text by default (labels
+      // unused), or an explicit unlabelled set via options.pretrain.
+      std::vector<features::EncodedSequence> pretrain_x;
+      if (options.pretrain != nullptr) {
+        CUISINE_RETURN_NOT_OK(
+            ValidateSequenceDataset(*options.pretrain, /*need_labels=*/false));
+        pretrain_x = *options.pretrain->sequences;
+      } else {
+        pretrain_x = *train.sequences;
+        if (options.validation != nullptr &&
+            options.validation->sequences != nullptr) {
+          pretrain_x.insert(pretrain_x.end(),
+                            options.validation->sequences->begin(),
+                            options.validation->sequences->end());
+        }
+      }
+      const size_t cap = context_.sequential.max_pretrain_sequences;
+      if (cap != 0 && pretrain_x.size() > cap) pretrain_x.resize(cap);
+
+      MlmOptions mlm = pretrain_;
+      mlm.num_workers = options.num_workers;
+      mlm.verbose = mlm.verbose || options.verbose;
+      const MlmNetFactory make_mlm_replica = [config]() {
+        MlmNet net;
+        net.encoder = std::make_unique<nn::TransformerEncoder>(config);
+        util::Rng head_rng(config.seed + 7);
+        net.head = std::make_unique<nn::MlmHead>(*net.encoder, &head_rng);
+        return net;
+      };
+      util::Rng head_rng(config.seed + 7);
+      nn::MlmHead head(*model->encoder(), &head_rng);
+      CUISINE_ASSIGN_OR_RETURN(
+          pretrain_loss_,
+          PretrainMlm(model->encoder(), &head, pretrain_x, *train.vocab, mlm,
+                      make_mlm_replica));
+    }
+
+    const SequenceNetFactory make_replica = [config,
+                                             classes = options.num_classes]() {
+      auto replica =
+          std::make_shared<nn::TransformerClassifier>(config, classes);
+      return SequenceNet{
+          [replica](const features::EncodedSequence& s, bool t, util::Rng* r) {
+            return replica->ForwardLogits(s, t, r);
+          },
+          replica->Parameters()};
+    };
+    static const std::vector<features::EncodedSequence> kNoSequences;
+    static const std::vector<int32_t> kNoLabels;
+    const auto* val = options.validation;
+    CUISINE_ASSIGN_OR_RETURN(
+        history_, TrainSequenceClassifier(
+                      forward_, params_, *train.sequences, *train.labels,
+                      val != nullptr ? *val->sequences : kNoSequences,
+                      val != nullptr ? *val->labels : kNoLabels,
+                      Resolved(finetune_, options), make_replica));
+    return util::Status::OK();
+  }
+
+  const std::vector<double>* pretrain_loss() const override {
+    return has_pretrain_ ? &pretrain_loss_ : nullptr;
+  }
+
+ private:
+  std::string display_name_;
+  ModelContext context_;
+  bool has_pretrain_;
+  MlmOptions pretrain_;
+  NeuralTrainOptions finetune_;
+  uint64_t seed_offset_;
+  std::vector<double> pretrain_loss_;
+};
+
+template <typename Classifier, typename Options>
+ModelFactory SparseFactory(Options StatisticalModelOptions::* options) {
+  return [options](const ModelContext& context) -> std::unique_ptr<Model> {
+    const Options opts = context.statistical.*options;
+    return std::make_unique<SparseModelAdapter>(
+        [opts]() { return std::make_unique<Classifier>(opts); });
+  };
+}
+
+void RegisterBuiltins(ModelRegistry* registry) {
+  registry->Register(
+      "logreg", SparseFactory<ml::LogisticRegression>(
+                    &StatisticalModelOptions::logistic_regression));
+  registry->Register("naive_bayes",
+                     SparseFactory<ml::MultinomialNaiveBayes>(
+                         &StatisticalModelOptions::naive_bayes));
+  registry->Register(
+      "svm", SparseFactory<ml::LinearSvm>(&StatisticalModelOptions::svm));
+  registry->Register("random_forest",
+                     SparseFactory<ml::RandomForest>(
+                         &StatisticalModelOptions::random_forest));
+  registry->Register(
+      "adaboost",
+      SparseFactory<ml::AdaBoost>(&StatisticalModelOptions::adaboost));
+
+  registry->Register("lstm", [](const ModelContext& context) {
+    return std::make_unique<RecurrentModelAdapter>(
+        RecurrentModelAdapter::Cell::kLstm, context);
+  });
+  registry->Register("gru", [](const ModelContext& context) {
+    return std::make_unique<RecurrentModelAdapter>(
+        RecurrentModelAdapter::Cell::kGru, context);
+  });
+  registry->Register("transformer", [](const ModelContext& context) {
+    // Fine-tune only (no MLM stage); uses the BERT fine-tuning recipe.
+    return std::make_unique<TransformerModelAdapter>(
+        "Transformer", context, nullptr, context.sequential.bert_finetune,
+        /*seed_offset=*/0);
+  });
+  registry->Register("bert", [](const ModelContext& context) {
+    return std::make_unique<TransformerModelAdapter>(
+        "BERT", context, &context.sequential.bert_pretrain,
+        context.sequential.bert_finetune, /*seed_offset=*/0);
+  });
+  registry->Register("roberta", [](const ModelContext& context) {
+    return std::make_unique<TransformerModelAdapter>(
+        "RoBERTa", context, &context.sequential.roberta_pretrain,
+        context.sequential.roberta_finetune, /*seed_offset=*/1);
+  });
+}
+
+}  // namespace
+
+ModelRegistry& ModelRegistry::Instance() {
+  static ModelRegistry* instance = [] {
+    auto* registry = new ModelRegistry();
+    RegisterBuiltins(registry);
+    return registry;
+  }();
+  return *instance;
+}
+
+void ModelRegistry::Register(const std::string& key, ModelFactory factory) {
+  for (auto& entry : entries_) {
+    if (entry.first == key) {
+      entry.second = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(factory));
+}
+
+util::Result<std::unique_ptr<Model>> ModelRegistry::Create(
+    const std::string& key, const ModelContext& context) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == key) return entry.second(context);
+  }
+  return util::Status::NotFound("no model registered under '" + key + "'");
+}
+
+bool ModelRegistry::Contains(const std::string& key) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ModelRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& entry : entries_) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,246 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/cuisines.h"
+#include "features/sequence_encoder.h"
+#include "features/sparse.h"
+#include "ml/adaboost.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+/// \file model.h
+/// \brief The unified model layer: every model of the paper — the TF-IDF
+/// statistical family and the sequential neural family — behind one
+/// `core::Model` interface, selectable by string through `ModelRegistry`.
+///
+/// Experiments, benches and examples no longer hand-wire
+/// `ml::SparseClassifier` calls or `SequenceForwardFn` closures; they
+/// build a `ModelDataset`, create models by registry key and drive
+/// `Fit` / `PredictBatch` / `EvaluateLoss`. All batched entry points run
+/// on the thread-parallel engine (core/engine.h) and are bit-identical
+/// for any worker count.
+
+namespace cuisine::core {
+
+/// Which representation a model consumes.
+enum class ModelInput {
+  kTfidf,            ///< sparse TF-IDF rows (statistical models)
+  kSequence,         ///< plain id sequences (LSTM / GRU)
+  kSequenceClsSep,   ///< [CLS] ... [SEP]-wrapped sequences (transformers)
+};
+
+/// \brief A non-owning view of one dataset in every representation a
+/// model might need. Build the representations once, point the views at
+/// them, and hand the same `ModelDataset` to every model — each adapter
+/// reads only the member matching its `input()`.
+struct ModelDataset {
+  const features::CsrMatrix* tfidf = nullptr;
+  const std::vector<features::EncodedSequence>* sequences = nullptr;
+  const std::vector<int32_t>* labels = nullptr;
+  /// Sequence vocabulary (required by MLM pretraining).
+  const text::Vocabulary* vocab = nullptr;
+
+  size_t size() const {
+    if (sequences != nullptr) return sequences->size();
+    if (tfidf != nullptr) return tfidf->rows();
+    return 0;
+  }
+};
+
+/// Batched predictions, row i corresponding to input i.
+using Predictions = SequencePredictions;
+
+/// Options of the four statistical models.
+struct StatisticalModelOptions {
+  ml::NaiveBayesOptions naive_bayes;
+  ml::LogisticRegressionOptions logistic_regression;
+  ml::LinearSvmOptions svm;
+  ml::RandomForestOptions random_forest;
+  /// Replace the plain Random Forest row with AdaBoost over shallow
+  /// trees (the paper's "RF with AdaBoost" is ambiguous; the ablation
+  /// bench compares both).
+  bool use_adaboost = false;
+  ml::AdaBoostOptions adaboost;
+};
+
+/// Options of the sequential models (LSTM, GRU, BERT-style,
+/// RoBERTa-style).
+struct SequentialModelOptions {
+  /// Tokens fed to the transformer (plus [CLS]/[SEP]).
+  int32_t max_sequence_length = 48;
+  /// The LSTM reads a shorter window — the paper's stated limitation
+  /// ("LSTMs are limited by the number of words in the sequence").
+  int32_t lstm_sequence_length = 32;
+  int64_t vocab_min_frequency = 2;
+  size_t vocab_max_size = 8000;
+
+  nn::LstmConfig lstm;  // vocab_size filled from the dataset vocabulary
+  nn::GruConfig gru;    // ditto; trains with lstm_train
+  NeuralTrainOptions lstm_train{.epochs = 3,
+                                .batch_size = 16,
+                                .learning_rate = 2e-3,
+                                .weight_decay = 0.0,
+                                .clip_norm = 1.0,
+                                .warmup_fraction = 0.02,
+                                .seed = 41,
+                                .verbose = false};
+
+  nn::TransformerConfig transformer;  // vocab_size filled from the vocab
+
+  /// BERT recipe: short static-masking MLM pretraining + fine-tune.
+  MlmOptions bert_pretrain{.epochs = 1,
+                           .batch_size = 16,
+                           .learning_rate = 1e-3,
+                           .weight_decay = 0.01,
+                           .clip_norm = 1.0,
+                           .warmup_fraction = 0.05,
+                           .mask_probability = 0.15,
+                           .dynamic_masking = false,
+                           .seed = 43,
+                           .verbose = false};
+  NeuralTrainOptions bert_finetune{.epochs = 4,
+                                   .batch_size = 16,
+                                   .learning_rate = 1e-3,
+                                   .weight_decay = 0.01,
+                                   .clip_norm = 1.0,
+                                   .warmup_fraction = 0.1,
+                                   .seed = 47,
+                                   .verbose = false};
+
+  /// RoBERTa recipe: "trained on longer sequences for more training
+  /// steps" — more MLM epochs with dynamic masking, longer fine-tune.
+  MlmOptions roberta_pretrain{.epochs = 3,
+                              .batch_size = 16,
+                              .learning_rate = 1e-3,
+                              .weight_decay = 0.01,
+                              .clip_norm = 1.0,
+                              .warmup_fraction = 0.05,
+                              .mask_probability = 0.15,
+                              .dynamic_masking = true,
+                              .seed = 53,
+                              .verbose = false};
+  NeuralTrainOptions roberta_finetune{.epochs = 6,
+                                      .batch_size = 16,
+                                      .learning_rate = 1e-3,
+                                      .weight_decay = 0.01,
+                                      .clip_norm = 1.0,
+                                      .warmup_fraction = 0.1,
+                                      .seed = 59,
+                                      .verbose = false};
+
+  /// CPU-budget caps (0 = use everything). Caps subsample the train /
+  /// pretrain / test sets for the *neural* models only.
+  size_t max_train_sequences = 0;
+  size_t max_pretrain_sequences = 0;
+  size_t max_eval_sequences = 0;
+};
+
+/// Per-call options of `Model::Fit`.
+struct FitOptions {
+  int32_t num_classes = data::kNumCuisines;
+  /// Data-parallel workers for training and batched evaluation
+  /// (0 = hardware concurrency). Bit-identical results for any value.
+  size_t num_workers = 1;
+  /// Optional labelled validation set (per-epoch loss curves).
+  const ModelDataset* validation = nullptr;
+  /// Optional unlabelled pretraining set (transformers only; defaults
+  /// to train + validation sequences when absent).
+  const ModelDataset* pretrain = nullptr;
+  bool verbose = false;
+};
+
+/// \brief One model of Table IV behind the unified interface.
+///
+/// Lifecycle: create via `ModelRegistry::Create`, `Fit` once, then
+/// `PredictBatch` / `EvaluateLoss` / `Save` freely. Neural adapters
+/// build their network lazily inside `Fit` (the vocabulary size comes
+/// from the dataset), so `Load` requires a prior `Fit`.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Display name, matching the paper's Table IV rows ("LogReg", ...).
+  virtual std::string name() const = 0;
+
+  /// The representation this model consumes.
+  virtual ModelInput input() const = 0;
+
+  /// Trains on the matching representation of `train`.
+  virtual util::Status Fit(const ModelDataset& train,
+                           const FitOptions& options) = 0;
+
+  /// Batched prediction over `inputs`, sharded across `num_workers`
+  /// threads (0 = hardware). Row order matches input order and is
+  /// bit-identical for any worker count. Requires a successful Fit.
+  virtual Predictions PredictBatch(const ModelDataset& inputs,
+                                   size_t num_workers = 1) const = 0;
+
+  /// Mean cross-entropy on a labelled set (same sharding contract).
+  virtual double EvaluateLoss(const ModelDataset& data,
+                              size_t num_workers = 1) const = 0;
+
+  /// Checkpointing. Neural adapters serialise their parameter tensors;
+  /// statistical adapters return NotImplemented (they retrain in
+  /// seconds and have no tensor state).
+  virtual util::Status Save(const std::string& path) const;
+  virtual util::Status Load(const std::string& path);
+
+  /// Fine-tuning curves (nullptr for models without epochs).
+  virtual const TrainHistory* history() const { return nullptr; }
+  /// MLM pretraining loss per epoch (nullptr outside transformers).
+  virtual const std::vector<double>* pretrain_loss() const { return nullptr; }
+  /// Trainable parameter count (0 for statistical models or before Fit).
+  virtual int64_t NumParameters() const { return 0; }
+};
+
+/// Everything a factory needs to build a model.
+struct ModelContext {
+  int32_t num_classes = data::kNumCuisines;
+  StatisticalModelOptions statistical;
+  SequentialModelOptions sequential;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<Model>(const ModelContext&)>;
+
+/// \brief Global name -> factory registry. The built-in keys are
+/// registered at static-init time:
+///   "logreg", "naive_bayes", "svm", "random_forest", "adaboost",
+///   "lstm", "gru", "transformer", "bert", "roberta"
+/// ("transformer" is the fine-tune-only classifier; "bert"/"roberta"
+/// add their MLM pretraining recipes.)
+class ModelRegistry {
+ public:
+  static ModelRegistry& Instance();
+
+  /// Registers (or replaces) a factory under `key`.
+  void Register(const std::string& key, ModelFactory factory);
+
+  /// Instantiates the model registered under `key`.
+  util::Result<std::unique_ptr<Model>> Create(const std::string& key,
+                                              const ModelContext& context) const;
+
+  bool Contains(const std::string& key) const;
+
+  /// All registered keys, sorted.
+  std::vector<std::string> Keys() const;
+
+ private:
+  ModelRegistry() = default;
+  std::vector<std::pair<std::string, ModelFactory>> entries_;
+};
+
+}  // namespace cuisine::core

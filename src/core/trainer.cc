@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/engine.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -11,24 +12,157 @@ namespace cuisine::core {
 
 namespace {
 
-/// One supervised step over [begin, end) of the shuffled order:
-/// accumulates gradients and returns the summed loss.
-double AccumulateBatch(const SequenceForwardFn& forward,
-                       const std::vector<features::EncodedSequence>& x,
-                       const std::vector<int32_t>& y,
-                       const std::vector<size_t>& order, size_t begin,
-                       size_t end, util::Rng* rng) {
-  double loss_sum = 0.0;
-  const float inv_batch = 1.0f / static_cast<float>(end - begin);
-  for (size_t i = begin; i < end; ++i) {
-    const size_t idx = order[i];
-    nn::Tensor logits = forward(x[idx], /*training=*/true, rng);
-    nn::Tensor loss = nn::CrossEntropy(logits, {y[idx]});
-    loss_sum += loss.item();
-    // Scale so the accumulated gradient is the batch mean.
-    nn::Scale(loss, inv_batch).Backward();
+/// One training replica of the generic data-parallel loop: a parameter
+/// list plus a closure that builds the scalar loss graph for one
+/// example. An undefined returned Tensor means "no signal, skip".
+struct TrainReplica {
+  std::vector<nn::Tensor> params;
+  std::function<nn::Tensor(size_t idx, util::Rng* rng)> loss;
+};
+
+struct LoopOptions {
+  int32_t epochs = 0;
+  int32_t batch_size = 0;
+  double learning_rate = 0.0;
+  double weight_decay = 0.0;
+  double clip_norm = 0.0;
+  double warmup_fraction = 0.0;
+  uint64_t seed = 0;
+  bool verbose = false;
+  const char* tag = "train";
+};
+
+/// The data-parallel mini-batch loop shared by supervised fine-tuning
+/// and MLM pretraining.
+///
+/// Determinism contract: each example draws from its own RNG stream
+/// keyed by (seed, optimizer step, example index) and backpropagates
+/// into a zeroed replica gradient which is snapshotted into a
+/// per-example buffer. Buffers are reduced into the master gradient in
+/// ascending batch order on the calling thread, so the floating-point
+/// addition sequence — and therefore the whole training trajectory — is
+/// identical for any number of workers.
+///
+/// replicas[0] is the master: the optimizer steps its parameters, and
+/// every other replica is overwritten from it before each batch's
+/// forward passes.
+util::Result<TrainHistory> RunDataParallel(
+    std::vector<TrainReplica> replicas, size_t n, const LoopOptions& loop,
+    const std::function<double()>& validation_loss) {
+  if (n == 0) return util::Status::InvalidArgument("empty training set");
+  if (loop.epochs <= 0 || loop.batch_size <= 0) {
+    return util::Status::InvalidArgument("bad train options");
   }
-  return loss_sum;
+  const size_t num_params = replicas[0].params.size();
+  for (const TrainReplica& rep : replicas) {
+    if (rep.params.size() != num_params) {
+      return util::Status::Internal("replica parameter count mismatch");
+    }
+  }
+
+  const auto batch = static_cast<size_t>(loop.batch_size);
+  const int64_t steps_per_epoch =
+      static_cast<int64_t>((n + batch - 1) / batch);
+  const int64_t total_steps = steps_per_epoch * loop.epochs;
+  nn::Adam optimizer(replicas[0].params, loop.learning_rate, 0.9, 0.999,
+                     1e-8, loop.weight_decay);
+  nn::WarmupLinearSchedule schedule(
+      loop.learning_rate,
+      std::max<int64_t>(1, static_cast<int64_t>(loop.warmup_fraction *
+                                                static_cast<double>(total_steps))),
+      total_steps);
+
+  // Broadcast master values into the replicas once up front (factories
+  // build architecture, not state).
+  auto sync_replicas = [&] {
+    for (size_t r = 1; r < replicas.size(); ++r) {
+      for (size_t p = 0; p < num_params; ++p) {
+        const nn::Tensor& src = replicas[0].params[p];
+        nn::Tensor& dst = replicas[r].params[p];
+        CUISINE_CHECK(src.size() == dst.size());
+        std::copy(src.data(), src.data() + src.size(), dst.data());
+      }
+    }
+  };
+  sync_replicas();
+
+  util::Rng shuffle_rng(loop.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Per-example gradient snapshots and losses, reused across batches.
+  std::vector<std::vector<std::vector<float>>> grad_buffers(
+      batch, std::vector<std::vector<float>>(num_params));
+  std::vector<double> example_loss(batch);
+  std::vector<char> example_active(batch);
+
+  TrainHistory history;
+  util::Stopwatch watch;
+  int64_t step = 0;
+  for (int32_t epoch = 0; epoch < loop.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(n, start + batch);
+      const size_t batch_n = end - start;
+      const float inv_batch = 1.0f / static_cast<float>(batch_n);
+      std::fill(example_active.begin(), example_active.end(), char{0});
+
+      const size_t shards = std::min(replicas.size(), batch_n);
+      RunShards(shards, [&](size_t shard) {
+        TrainReplica& rep = replicas[shard];
+        for (size_t b = shard; b < batch_n; b += shards) {
+          const size_t idx = order[start + b];
+          for (nn::Tensor& p : rep.params) p.ZeroGrad();
+          util::Rng rng = MakeExampleRng(loop.seed, static_cast<uint64_t>(step),
+                                         static_cast<uint64_t>(idx));
+          nn::Tensor loss = rep.loss(idx, &rng);
+          if (!loss.defined()) continue;
+          example_loss[b] = loss.item();
+          example_active[b] = 1;
+          // Scale so the reduced gradient is the batch mean.
+          nn::Scale(loss, inv_batch).Backward();
+          for (size_t p = 0; p < num_params; ++p) {
+            const std::vector<float>& g = rep.params[p].grad_vector();
+            grad_buffers[b][p].assign(g.begin(), g.end());
+          }
+        }
+      });
+
+      // Ordered reduce: example 0, then 1, ... regardless of which
+      // worker computed each — the fixed-order half of the contract.
+      for (nn::Tensor& p : replicas[0].params) p.ZeroGrad();
+      for (size_t b = 0; b < batch_n; ++b) {
+        if (!example_active[b]) continue;
+        epoch_loss += example_loss[b];
+        for (size_t p = 0; p < num_params; ++p) {
+          const std::vector<float>& src = grad_buffers[b][p];
+          std::vector<float>& dst = replicas[0].params[p].grad_vector();
+          for (size_t e = 0; e < src.size(); ++e) dst[e] += src[e];
+        }
+      }
+
+      if (loop.clip_norm > 0.0) optimizer.ClipGradNorm(loop.clip_norm);
+      optimizer.set_learning_rate(schedule.LearningRate(step++));
+      optimizer.Step();
+      sync_replicas();
+    }
+    history.train_loss.push_back(epoch_loss / static_cast<double>(n));
+    if (validation_loss) {
+      history.validation_loss.push_back(validation_loss());
+    }
+    if (loop.verbose) {
+      CUISINE_LOG(Info) << loop.tag << " epoch " << (epoch + 1) << "/"
+                        << loop.epochs
+                        << " train_loss=" << history.train_loss.back()
+                        << (history.validation_loss.empty()
+                                ? ""
+                                : " val_loss=" + std::to_string(
+                                      history.validation_loss.back()));
+    }
+  }
+  history.train_seconds = watch.ElapsedSeconds();
+  return history;
 }
 
 }  // namespace
@@ -38,7 +172,8 @@ util::Result<TrainHistory> TrainSequenceClassifier(
     const std::vector<features::EncodedSequence>& train_x,
     const std::vector<int32_t>& train_y,
     const std::vector<features::EncodedSequence>& val_x,
-    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options) {
+    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options,
+    const SequenceNetFactory& make_replica) {
   if (train_x.empty() || train_x.size() != train_y.size()) {
     return util::Status::InvalidArgument("bad training set");
   }
@@ -49,93 +184,96 @@ util::Result<TrainHistory> TrainSequenceClassifier(
     return util::Status::InvalidArgument("bad train options");
   }
 
-  const size_t n = train_x.size();
-  const auto batch = static_cast<size_t>(options.batch_size);
-  const int64_t steps_per_epoch =
-      static_cast<int64_t>((n + batch - 1) / batch);
-  const int64_t total_steps = steps_per_epoch * options.epochs;
-  nn::Adam optimizer(std::move(params), options.learning_rate, 0.9, 0.999,
-                     1e-8, options.weight_decay);
-  nn::WarmupLinearSchedule schedule(
-      options.learning_rate,
-      std::max<int64_t>(1, static_cast<int64_t>(options.warmup_fraction *
-                                                static_cast<double>(total_steps))),
-      total_steps);
+  size_t workers = ResolveWorkerCount(options.num_workers);
+  if (!make_replica) workers = 1;
+  workers = std::min(workers, static_cast<size_t>(options.batch_size));
 
-  util::Rng rng(options.seed);
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-
-  TrainHistory history;
-  util::Stopwatch watch;
-  int64_t step = 0;
-  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
-    rng.Shuffle(&order);
-    double epoch_loss = 0.0;
-    for (size_t start = 0; start < n; start += batch) {
-      const size_t end = std::min(n, start + batch);
-      optimizer.ZeroGrad();
-      epoch_loss +=
-          AccumulateBatch(forward, train_x, train_y, order, start, end, &rng);
-      if (options.clip_norm > 0.0) optimizer.ClipGradNorm(options.clip_norm);
-      optimizer.set_learning_rate(schedule.LearningRate(step++));
-      optimizer.Step();
-    }
-    history.train_loss.push_back(epoch_loss / static_cast<double>(n));
-    if (!val_x.empty()) {
-      history.validation_loss.push_back(
-          EvaluateSequenceLoss(forward, val_x, val_y));
-    }
-    if (options.verbose) {
-      CUISINE_LOG(Info) << "epoch " << (epoch + 1) << "/" << options.epochs
-                        << " train_loss=" << history.train_loss.back()
-                        << (val_x.empty()
-                                ? ""
-                                : " val_loss=" + std::to_string(
-                                      history.validation_loss.back()));
-    }
+  // Replica nets must outlive the loop; closures hold them by value.
+  std::vector<TrainReplica> replicas;
+  replicas.reserve(workers);
+  auto make_loss = [&train_x, &train_y](SequenceForwardFn fwd) {
+    return [fwd = std::move(fwd), &train_x, &train_y](
+               size_t idx, util::Rng* rng) -> nn::Tensor {
+      return nn::CrossEntropy(fwd(train_x[idx], /*training=*/true, rng),
+                              {train_y[idx]});
+    };
+  };
+  replicas.push_back({std::move(params), make_loss(forward)});
+  for (size_t r = 1; r < workers; ++r) {
+    SequenceNet net = make_replica();
+    std::vector<nn::Tensor> rep_params = std::move(net.params);
+    replicas.push_back({std::move(rep_params), make_loss(std::move(net.forward))});
   }
-  history.train_seconds = watch.ElapsedSeconds();
-  return history;
+
+  std::function<double()> validation;
+  if (!val_x.empty()) {
+    validation = [&forward, &val_x, &val_y, workers] {
+      return EvaluateSequenceLoss(forward, val_x, val_y, workers);
+    };
+  }
+
+  LoopOptions loop;
+  loop.epochs = options.epochs;
+  loop.batch_size = options.batch_size;
+  loop.learning_rate = options.learning_rate;
+  loop.weight_decay = options.weight_decay;
+  loop.clip_norm = options.clip_norm;
+  loop.warmup_fraction = options.warmup_fraction;
+  loop.seed = options.seed;
+  loop.verbose = options.verbose;
+  loop.tag = "train";
+  return RunDataParallel(std::move(replicas), train_x.size(), loop,
+                         validation);
 }
 
 double EvaluateSequenceLoss(const SequenceForwardFn& forward,
                             const std::vector<features::EncodedSequence>& x,
-                            const std::vector<int32_t>& y) {
+                            const std::vector<int32_t>& y,
+                            size_t num_workers) {
   CUISINE_CHECK(x.size() == y.size() && !x.empty());
-  util::Rng rng(0);  // unused: dropout is off in eval mode
+  std::vector<double> losses(x.size());
+  const size_t shards = std::min(ResolveWorkerCount(num_workers), x.size());
+  RunShards(shards, [&](size_t shard) {
+    util::Rng rng(0);  // unused: dropout is off in eval mode
+    for (size_t i = shard; i < x.size(); i += shards) {
+      nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+      losses[i] = nn::CrossEntropy(logits.Detach(), {y[i]}).item();
+    }
+  });
+  // Ordered sum: bit-identical for any worker count.
   double loss = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
-    loss += nn::CrossEntropy(logits.Detach(), {y[i]}).item();
-  }
+  for (double l : losses) loss += l;
   return loss / static_cast<double>(x.size());
 }
 
 SequencePredictions PredictSequences(
     const SequenceForwardFn& forward,
-    const std::vector<features::EncodedSequence>& x) {
+    const std::vector<features::EncodedSequence>& x, size_t num_workers) {
   SequencePredictions out;
-  out.labels.reserve(x.size());
-  out.probas.reserve(x.size());
-  util::Rng rng(0);
-  for (const auto& seq : x) {
-    nn::Tensor logits = forward(seq, /*training=*/false, &rng);
-    const auto k = static_cast<size_t>(logits.cols());
-    std::vector<float> proba(logits.data(), logits.data() + k);
-    // Softmax over the single row.
-    float mx = proba[0];
-    for (float v : proba) mx = std::max(mx, v);
-    float sum = 0.0f;
-    for (float& v : proba) {
-      v = std::exp(v - mx);
-      sum += v;
+  out.labels.assign(x.size(), 0);
+  out.probas.assign(x.size(), {});
+  if (x.empty()) return out;
+  const size_t shards = std::min(ResolveWorkerCount(num_workers), x.size());
+  RunShards(shards, [&](size_t shard) {
+    util::Rng rng(0);  // unused: dropout is off in eval mode
+    for (size_t i = shard; i < x.size(); i += shards) {
+      nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+      const auto k = static_cast<size_t>(logits.cols());
+      std::vector<float> proba(logits.data(), logits.data() + k);
+      // Softmax over the single row.
+      float mx = proba[0];
+      for (float v : proba) mx = std::max(mx, v);
+      float sum = 0.0f;
+      for (float& v : proba) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (float& v : proba) v /= sum;
+      out.labels[i] = static_cast<int32_t>(
+          std::max_element(proba.begin(), proba.end()) - proba.begin());
+      out.probas[i] = std::move(proba);
     }
-    for (float& v : proba) v /= sum;
-    out.labels.push_back(static_cast<int32_t>(
-        std::max_element(proba.begin(), proba.end()) - proba.begin()));
-    out.probas.push_back(std::move(proba));
-  }
+  });
   return out;
 }
 
@@ -189,12 +327,31 @@ MaskedExample MaskSequence(const features::EncodedSequence& seq,
   return out;
 }
 
+/// The scalar MLM loss graph for one example, or undefined when the
+/// example has no maskable token (e.g. bare [CLS][SEP]).
+nn::Tensor MlmExampleLoss(nn::TransformerEncoder* encoder, nn::MlmHead* head,
+                          MaskedExample ex, util::Rng* rng) {
+  if (std::none_of(ex.targets.begin(), ex.targets.end(),
+                   [](int32_t t) { return t >= 0; })) {
+    return {};
+  }
+  features::EncodedSequence masked;
+  masked.ids = std::move(ex.ids);
+  masked.length = static_cast<int32_t>(masked.ids.size());
+  masked.mask.assign(masked.ids.size(), 1);
+  const nn::Tensor hidden = encoder->Encode(masked, /*training=*/true, rng);
+  const nn::Tensor logits =
+      head->ForwardLogits(hidden, encoder->token_embedding().table());
+  return nn::CrossEntropy(logits, ex.targets);
+}
+
 }  // namespace
 
 util::Result<std::vector<double>> PretrainMlm(
     nn::TransformerEncoder* encoder, nn::MlmHead* head,
     const std::vector<features::EncodedSequence>& sequences,
-    const text::Vocabulary& vocab, const MlmOptions& options) {
+    const text::Vocabulary& vocab, const MlmOptions& options,
+    const MlmNetFactory& make_replica) {
   if (sequences.empty()) {
     return util::Status::InvalidArgument("no pretraining sequences");
   }
@@ -203,82 +360,69 @@ util::Result<std::vector<double>> PretrainMlm(
     return util::Status::InvalidArgument("bad MLM options");
   }
 
-  std::vector<nn::Tensor> params;
-  encoder->CollectParameters(&params);
-  head->CollectParameters(&params);
-  const size_t n = sequences.size();
-  const auto batch = static_cast<size_t>(options.batch_size);
-  const int64_t steps_per_epoch =
-      static_cast<int64_t>((n + batch - 1) / batch);
-  const int64_t total_steps = steps_per_epoch * options.epochs;
-  nn::Adam optimizer(std::move(params), options.learning_rate, 0.9, 0.999,
-                     1e-8, options.weight_decay);
-  nn::WarmupLinearSchedule schedule(
-      options.learning_rate,
-      std::max<int64_t>(1, static_cast<int64_t>(options.warmup_fraction *
-                                                static_cast<double>(total_steps))),
-      total_steps);
-
-  util::Rng rng(options.seed);
-  // Static masking (BERT) fixes each example's mask once; dynamic
-  // masking (RoBERTa) re-samples per epoch inside the loop below.
+  // Static masking (BERT) fixes each example's mask once, from a stream
+  // distinct from the shuffle stream; dynamic masking (RoBERTa)
+  // re-samples from the example's per-step stream inside the loss
+  // closure.
+  util::Rng mask_rng(options.seed ^ 0x6d61736b5f726e67ULL);
   std::vector<MaskedExample> static_masks;
   if (!options.dynamic_masking) {
-    static_masks.reserve(n);
+    static_masks.reserve(sequences.size());
     for (const auto& seq : sequences) {
       static_masks.push_back(
-          MaskSequence(seq, vocab, options.mask_probability, &rng));
+          MaskSequence(seq, vocab, options.mask_probability, &mask_rng));
     }
   }
 
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> epoch_losses;
-  int64_t step = 0;
-  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
-    rng.Shuffle(&order);
-    double epoch_loss = 0.0;
-    for (size_t start = 0; start < n; start += batch) {
-      const size_t end = std::min(n, start + batch);
-      optimizer.ZeroGrad();
-      const float inv_batch = 1.0f / static_cast<float>(end - start);
-      for (size_t i = start; i < end; ++i) {
-        const size_t idx = order[i];
-        MaskedExample ex =
-            options.dynamic_masking
-                ? MaskSequence(sequences[idx], vocab,
-                               options.mask_probability, &rng)
-                : static_masks[idx];
-        // Sequences with no maskable token (e.g. bare [CLS][SEP]) carry
-        // no MLM signal.
-        if (std::none_of(ex.targets.begin(), ex.targets.end(),
-                         [](int32_t t) { return t >= 0; })) {
-          continue;
-        }
-        features::EncodedSequence masked;
-        masked.ids = std::move(ex.ids);
-        masked.length = static_cast<int32_t>(masked.ids.size());
-        masked.mask.assign(masked.ids.size(), 1);
-        const nn::Tensor hidden =
-            encoder->Encode(masked, /*training=*/true, &rng);
-        const nn::Tensor logits = head->ForwardLogits(
-            hidden, encoder->token_embedding().table());
-        nn::Tensor loss = nn::CrossEntropy(logits, ex.targets);
-        epoch_loss += loss.item();
-        nn::Scale(loss, inv_batch).Backward();
-      }
-      if (options.clip_norm > 0.0) optimizer.ClipGradNorm(options.clip_norm);
-      optimizer.set_learning_rate(schedule.LearningRate(step++));
-      optimizer.Step();
-    }
-    epoch_losses.push_back(epoch_loss / static_cast<double>(n));
-    if (options.verbose) {
-      CUISINE_LOG(Info) << "MLM epoch " << (epoch + 1) << "/"
-                        << options.epochs
-                        << " loss=" << epoch_losses.back();
-    }
+  size_t workers = ResolveWorkerCount(options.num_workers);
+  if (!make_replica) workers = 1;
+  workers = std::min(workers, static_cast<size_t>(options.batch_size));
+
+  auto make_loss = [&](nn::TransformerEncoder* enc, nn::MlmHead* hd) {
+    return [&, enc, hd](size_t idx, util::Rng* rng) -> nn::Tensor {
+      MaskedExample ex =
+          options.dynamic_masking
+              ? MaskSequence(sequences[idx], vocab, options.mask_probability,
+                             rng)
+              : static_masks[idx];
+      return MlmExampleLoss(enc, hd, std::move(ex), rng);
+    };
+  };
+
+  std::vector<TrainReplica> replicas;
+  std::vector<MlmNet> replica_nets;  // keeps clone ownership alive
+  replicas.reserve(workers);
+  replica_nets.reserve(workers);
+  {
+    std::vector<nn::Tensor> params;
+    encoder->CollectParameters(&params);
+    head->CollectParameters(&params);
+    replicas.push_back({std::move(params), make_loss(encoder, head)});
   }
-  return epoch_losses;
+  for (size_t r = 1; r < workers; ++r) {
+    MlmNet net = make_replica();
+    std::vector<nn::Tensor> params;
+    net.encoder->CollectParameters(&params);
+    net.head->CollectParameters(&params);
+    replicas.push_back(
+        {std::move(params), make_loss(net.encoder.get(), net.head.get())});
+    replica_nets.push_back(std::move(net));
+  }
+
+  LoopOptions loop;
+  loop.epochs = options.epochs;
+  loop.batch_size = options.batch_size;
+  loop.learning_rate = options.learning_rate;
+  loop.weight_decay = options.weight_decay;
+  loop.clip_norm = options.clip_norm;
+  loop.warmup_fraction = options.warmup_fraction;
+  loop.seed = options.seed;
+  loop.verbose = options.verbose;
+  loop.tag = "MLM";
+  CUISINE_ASSIGN_OR_RETURN(
+      TrainHistory history,
+      RunDataParallel(std::move(replicas), sequences.size(), loop, nullptr));
+  return history.train_loss;
 }
 
 }  // namespace cuisine::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "features/sequence_encoder.h"
@@ -16,6 +17,14 @@
 /// \brief Training loops for the sequential models: supervised sequence
 /// classification (LSTM / transformer fine-tuning) and masked-language-
 /// model pretraining (the BERT/RoBERTa recipes of §V-F).
+///
+/// Both loops run on the data-parallel engine (core/engine.h): each
+/// mini-batch is sharded across `num_workers` threads, every worker runs
+/// forward/backward on its slice against its own network replica, and
+/// the per-example gradients are reduced in ascending example order
+/// before the AdamW step. Per-example RNG streams are derived from
+/// (seed, step, example index), so training is bit-identical for any
+/// worker count given a fixed seed (the determinism contract, DESIGN.md).
 
 namespace cuisine::core {
 
@@ -23,6 +32,20 @@ namespace cuisine::core {
 /// [1, num_classes] logits.
 using SequenceForwardFn = std::function<nn::Tensor(
     const features::EncodedSequence&, bool training, util::Rng*)>;
+
+/// A self-contained copy of a sequence classifier: forward closure plus
+/// the parameter tensors it reads. Replicas share nothing with the
+/// master network; the engine keeps their parameters in sync.
+struct SequenceNet {
+  SequenceForwardFn forward;
+  std::vector<nn::Tensor> params;
+};
+
+/// Builds a fresh network replica (same architecture; parameter values
+/// are overwritten by the engine before use). Must be safe to call from
+/// the training thread; the returned net is driven by one worker at a
+/// time. Passing nullptr restricts training to a single worker.
+using SequenceNetFactory = std::function<SequenceNet()>;
 
 struct NeuralTrainOptions {
   int32_t epochs = 4;
@@ -34,6 +57,10 @@ struct NeuralTrainOptions {
   /// Warmup fraction of total optimizer steps (linear schedule).
   double warmup_fraction = 0.1;
   uint64_t seed = 31;
+  /// Data-parallel workers per mini-batch (0 = hardware concurrency).
+  /// Results are bit-identical for any value; > 1 needs a replica
+  /// factory.
+  size_t num_workers = 1;
   bool verbose = false;
 };
 
@@ -45,28 +72,37 @@ struct TrainHistory {
 };
 
 /// Trains a sequence classifier with AdamW + warmup-linear decay.
-/// Gradients accumulate across `batch_size` sequences per step. Returns
-/// the loss history; `val_x` may be empty (no validation curve).
+/// Gradients accumulate across `batch_size` sequences per step, sharded
+/// over `options.num_workers` threads when `make_replica` is provided.
+/// Returns the loss history; `val_x` may be empty (no validation curve).
 util::Result<TrainHistory> TrainSequenceClassifier(
     const SequenceForwardFn& forward, std::vector<nn::Tensor> params,
     const std::vector<features::EncodedSequence>& train_x,
     const std::vector<int32_t>& train_y,
     const std::vector<features::EncodedSequence>& val_x,
-    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options);
+    const std::vector<int32_t>& val_y, const NeuralTrainOptions& options,
+    const SequenceNetFactory& make_replica = nullptr);
 
-/// Mean cross-entropy of the classifier on a labelled set.
+/// Mean cross-entropy of the classifier on a labelled set, sharded over
+/// `num_workers` threads (0 = hardware). The forward must be safe for
+/// concurrent read-only (eval mode) calls, which every model in nn/ is.
 double EvaluateSequenceLoss(const SequenceForwardFn& forward,
                             const std::vector<features::EncodedSequence>& x,
-                            const std::vector<int32_t>& y);
+                            const std::vector<int32_t>& y,
+                            size_t num_workers = 1);
 
 /// Predictions and probability rows for an evaluation set.
 struct SequencePredictions {
   std::vector<int32_t> labels;
   std::vector<std::vector<float>> probas;
 };
+
+/// Batched prediction, sharded over `num_workers` threads (0 =
+/// hardware). Output order matches the input order and is bit-identical
+/// for any worker count.
 SequencePredictions PredictSequences(
     const SequenceForwardFn& forward,
-    const std::vector<features::EncodedSequence>& x);
+    const std::vector<features::EncodedSequence>& x, size_t num_workers = 1);
 
 // ---- Masked-language-model pretraining ----
 
@@ -83,15 +119,27 @@ struct MlmOptions {
   /// epoch instead of fixing it once (BERT).
   bool dynamic_masking = false;
   uint64_t seed = 37;
+  /// Data-parallel workers per mini-batch (0 = hardware concurrency).
+  size_t num_workers = 1;
   bool verbose = false;
 };
 
+/// A replica of the MLM pretraining stack (encoder + tied head).
+struct MlmNet {
+  std::unique_ptr<nn::TransformerEncoder> encoder;
+  std::unique_ptr<nn::MlmHead> head;
+};
+using MlmNetFactory = std::function<MlmNet()>;
+
 /// Pretrains `encoder` (+ a tied-weight MLM head) on unlabelled
-/// sequences. Returns per-epoch MLM loss. The encoder is mutated in
-/// place; the head is discarded by callers after pretraining.
+/// sequences, data-parallel across `options.num_workers` when
+/// `make_replica` is provided. Returns per-epoch MLM loss. The encoder
+/// is mutated in place; the head is discarded by callers after
+/// pretraining.
 util::Result<std::vector<double>> PretrainMlm(
     nn::TransformerEncoder* encoder, nn::MlmHead* head,
     const std::vector<features::EncodedSequence>& sequences,
-    const text::Vocabulary& vocab, const MlmOptions& options);
+    const text::Vocabulary& vocab, const MlmOptions& options,
+    const MlmNetFactory& make_replica = nullptr);
 
 }  // namespace cuisine::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace cuisine::ml {
 
 int32_t SparseClassifier::Predict(const features::SparseVector& x) const {
@@ -39,20 +41,22 @@ util::Status SparseClassifier::ValidateFitInputs(
 }
 
 std::vector<int32_t> PredictAll(const SparseClassifier& model,
-                                const features::CsrMatrix& x) {
-  std::vector<int32_t> out;
-  out.reserve(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out.push_back(model.Predict(x.Row(i)));
+                                const features::CsrMatrix& x,
+                                size_t num_threads) {
+  std::vector<int32_t> out(x.rows());
+  if (num_threads == 0) num_threads = util::HardwareThreads();
+  util::ParallelFor(x.rows(), num_threads,
+                    [&](size_t i) { out[i] = model.Predict(x.Row(i)); });
   return out;
 }
 
 std::vector<std::vector<float>> PredictProbaAll(const SparseClassifier& model,
-                                                const features::CsrMatrix& x) {
-  std::vector<std::vector<float>> out;
-  out.reserve(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) {
-    out.push_back(model.PredictProba(x.Row(i)));
-  }
+                                                const features::CsrMatrix& x,
+                                                size_t num_threads) {
+  std::vector<std::vector<float>> out(x.rows());
+  if (num_threads == 0) num_threads = util::HardwareThreads();
+  util::ParallelFor(x.rows(), num_threads,
+                    [&](size_t i) { out[i] = model.PredictProba(x.Row(i)); });
   return out;
 }
 

@@ -54,12 +54,17 @@ class SparseClassifier {
   bool fitted_ = false;
 };
 
-/// Predicts every row of `x`.
+/// Predicts every row of `x`, sharded across up to `num_threads` workers
+/// (0 = hardware concurrency). Output order matches row order regardless
+/// of the thread count.
 std::vector<int32_t> PredictAll(const SparseClassifier& model,
-                                const features::CsrMatrix& x);
+                                const features::CsrMatrix& x,
+                                size_t num_threads = 1);
 
-/// Probability rows for every row of `x` (row-major, num_classes wide).
+/// Probability rows for every row of `x` (row-major, num_classes wide),
+/// with the same sharding contract as `PredictAll`.
 std::vector<std::vector<float>> PredictProbaAll(const SparseClassifier& model,
-                                                const features::CsrMatrix& x);
+                                                const features::CsrMatrix& x,
+                                                size_t num_threads = 1);
 
 }  // namespace cuisine::ml

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.h"
 #include "util/rng.h"
 
 /// \file tensor.h
@@ -62,22 +63,24 @@ class Tensor {
                        bool requires_grad = true);
 
   bool defined() const { return node_ != nullptr; }
-  int64_t rows() const { return node_->rows; }
-  int64_t cols() const { return node_->cols; }
-  size_t size() const { return node_->size(); }
-  bool requires_grad() const { return node_->requires_grad; }
+  int64_t rows() const { return checked_node()->rows; }
+  int64_t cols() const { return checked_node()->cols; }
+  size_t size() const { return checked_node()->size(); }
+  bool requires_grad() const { return checked_node()->requires_grad; }
 
-  float* data() { return node_->data.data(); }
-  const float* data() const { return node_->data.data(); }
-  float* grad() { return node_->grad.data(); }
-  const float* grad() const { return node_->grad.data(); }
-  std::vector<float>& grad_vector() { return node_->grad; }
+  float* data() { return checked_node()->data.data(); }
+  const float* data() const { return checked_node()->data.data(); }
+  float* grad() { return checked_node()->grad.data(); }
+  const float* grad() const { return checked_node()->grad.data(); }
+  std::vector<float>& grad_vector() { return checked_node()->grad; }
 
   float At(int64_t r, int64_t c) const {
-    return node_->data[r * node_->cols + c];
+    const internal::TensorNode* n = checked_node();
+    return n->data[r * n->cols + c];
   }
   float GradAt(int64_t r, int64_t c) const {
-    return node_->grad[r * node_->cols + c];
+    const internal::TensorNode* n = checked_node();
+    return n->grad[r * n->cols + c];
   }
   /// Scalar value of a 1x1 tensor.
   float item() const;
@@ -98,6 +101,13 @@ class Tensor {
       : node_(std::move(node)) {}
 
  private:
+  /// All accessors funnel through here so touching a default-constructed
+  /// (undefined) handle fails loudly instead of dereferencing null.
+  internal::TensorNode* checked_node() const {
+    CUISINE_CHECK(node_ != nullptr);
+    return node_.get();
+  }
+
   std::shared_ptr<internal::TensorNode> node_;
 };
 

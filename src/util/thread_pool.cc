@@ -6,11 +6,18 @@
 
 namespace cuisine::util {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] {
+      t_on_worker_thread = true;
+      WorkerLoop();
+    });
   }
 }
 
@@ -23,7 +30,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  // packaged_task transports any exception into the future, so a
+  // throwing task neither kills the worker nor strands a waiter.
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
   {
@@ -53,35 +64,44 @@ size_t HardwareThreads() {
   return n == 0 ? 1 : n;
 }
 
+ThreadPool& SharedPool() {
+  static ThreadPool* pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   num_threads = std::min(std::max<size_t>(1, num_threads), n);
-  if (num_threads == 1 || n == 1) {
+  // Serial fallback: trivial sizes, and nested calls from a pool worker
+  // (blocking a worker on tasks that need workers would deadlock once
+  // the pool is saturated).
+  if (num_threads == 1 || n == 1 || ThreadPool::OnWorkerThread()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
-    threads.emplace_back([&] {
+    futures.push_back(SharedPool().Submit([next, n, &fn] {
       for (;;) {
-        size_t i = next.fetch_add(1);
+        const size_t i = next->fetch_add(1);
         if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
+        fn(i);
       }
-    });
+    }));
   }
-  for (auto& th : threads) th.join();
+  // Wait for every task before rethrowing so no task can still be
+  // touching caller stack state when an exception propagates.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -12,9 +12,11 @@
 /// \file thread_pool.h
 /// \brief Fixed-size thread pool plus a ParallelFor convenience.
 ///
-/// Used by the random forest trainer (independent trees), the corpus
-/// generator and batched inference. Tasks must not throw; exceptions are
-/// surfaced through the returned futures.
+/// Used by the random forest trainer (independent trees), batched
+/// inference and the data-parallel training engine (core/engine.h).
+/// Tasks may throw: exceptions are captured and surfaced through the
+/// returned futures, never swallowed, and a throwing task can never
+/// wedge a worker thread or deadlock waiters.
 
 namespace cuisine::util {
 
@@ -28,10 +30,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns a future for its completion.
+  /// Enqueues a task; returns a future for its completion. If the task
+  /// throws, the exception is stored in the future (rethrown by
+  /// `future.get()`) and the worker thread keeps serving the queue.
   std::future<void> Submit(std::function<void()> fn);
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Number of worker threads in the pool.
+  size_t NumWorkers() const { return workers_.size(); }
+  size_t num_threads() const { return NumWorkers(); }
+
+  /// True when the calling thread is a pool worker (of *any* pool).
+  /// Parallel sections use this to fall back to serial execution instead
+  /// of blocking a worker on work that needs the same workers.
+  static bool OnWorkerThread();
 
  private:
   void WorkerLoop();
@@ -43,9 +54,16 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(i) for i in [0, n) across up to `num_threads` threads and blocks
-/// until all iterations complete. Falls back to serial execution when n or
-/// num_threads is small. Rethrows the first exception encountered.
+/// Process-wide shared pool sized to the hardware concurrency, created on
+/// first use. Shared by ParallelFor and the core inference/training
+/// engine so the process never oversubscribes threads.
+ThreadPool& SharedPool();
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` workers of the
+/// shared pool and blocks until all iterations complete. Falls back to
+/// serial execution when n or num_threads is small, or when called from
+/// a pool worker (nested parallelism). Rethrows the first exception
+/// encountered after every iteration has finished or been abandoned.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 

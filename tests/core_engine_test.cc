@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "text/vocabulary.h"
+
+/// \file core_engine_test.cc
+/// \brief Tests of the batched, thread-parallel inference/training
+/// engine and the model registry: engine primitives, registry round
+/// trips for every built-in model, batched-vs-sequential prediction
+/// equality, and the determinism contract (1 worker == N workers,
+/// bit for bit).
+
+namespace cuisine::core {
+namespace {
+
+// ---- Engine primitives ----
+
+TEST(EngineTest, ResolveWorkerCount) {
+  EXPECT_GE(ResolveWorkerCount(0), 1u);  // hardware concurrency
+  EXPECT_EQ(ResolveWorkerCount(1), 1u);
+  EXPECT_EQ(ResolveWorkerCount(5), 5u);
+}
+
+TEST(EngineTest, ExampleRngStreamsAreDeterministicAndDistinct) {
+  util::Rng a = MakeExampleRng(42, 3, 7);
+  util::Rng b = MakeExampleRng(42, 3, 7);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  // Neighbouring coordinates must give unrelated streams.
+  EXPECT_NE(MakeExampleRng(42, 3, 7).NextU64(),
+            MakeExampleRng(42, 3, 8).NextU64());
+  EXPECT_NE(MakeExampleRng(42, 3, 7).NextU64(),
+            MakeExampleRng(42, 4, 7).NextU64());
+  EXPECT_NE(MakeExampleRng(42, 3, 7).NextU64(),
+            MakeExampleRng(43, 3, 7).NextU64());
+}
+
+TEST(EngineTest, RunShardsCoversEveryShardAndRethrows) {
+  std::atomic<int> hits{0};
+  RunShards(7, [&](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 7);
+
+  std::atomic<int> completed{0};
+  EXPECT_THROW(RunShards(5,
+                         [&](size_t s) {
+                           if (s == 2) throw std::runtime_error("shard boom");
+                           ++completed;
+                         }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 4);
+}
+
+// ---- Shared tiny dataset ----
+
+/// Sixty 8-token documents over 3 classes; each class has a distinctive
+/// token set plus shared filler, so every model can learn the mapping.
+struct TinyData {
+  std::vector<std::vector<std::string>> train_docs, test_docs;
+  std::vector<int32_t> train_y, test_y;
+
+  features::TfidfVectorizer tfidf;
+  features::CsrMatrix tfidf_train, tfidf_test;
+
+  text::Vocabulary vocab;
+  std::vector<features::EncodedSequence> plain_train, plain_test;
+  std::vector<features::EncodedSequence> cls_train, cls_test;
+
+  TinyData()
+      : vocab(MakeVocab()) {
+    for (int i = 0; i < 60; ++i) {
+      const int32_t label = i % 3;
+      std::vector<std::string> doc;
+      for (int t = 0; t < 8; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 4 + t / 2)
+                          : "shared" + std::to_string((i + t) % 3));
+      }
+      if (i < 48) {
+        train_docs.push_back(std::move(doc));
+        train_y.push_back(label);
+      } else {
+        test_docs.push_back(std::move(doc));
+        test_y.push_back(label);
+      }
+    }
+    EXPECT_TRUE(tfidf.Fit(train_docs).ok());
+    tfidf_train = tfidf.TransformAll(train_docs);
+    tfidf_test = tfidf.TransformAll(test_docs);
+
+    const features::SequenceEncoder plain(
+        &vocab, {.max_length = 8, .add_cls_sep = false});
+    plain_train = plain.EncodeAll(train_docs);
+    plain_test = plain.EncodeAll(test_docs);
+    const features::SequenceEncoder cls(
+        &vocab, {.max_length = 10, .add_cls_sep = true});
+    cls_train = cls.EncodeAll(train_docs);
+    cls_test = cls.EncodeAll(test_docs);
+  }
+
+  static text::Vocabulary MakeVocab() {
+    std::vector<std::vector<std::string>> docs;
+    for (int label = 0; label < 3; ++label) {
+      std::vector<std::string> doc;
+      for (int t = 0; t < 8; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 4 + t / 2)
+                          : "shared" + std::to_string(t % 3));
+      }
+      docs.push_back(std::move(doc));
+    }
+    return BuildSequenceVocabulary(docs, 1, 1000);
+  }
+
+  ModelDataset TrainFor(ModelInput input) const {
+    switch (input) {
+      case ModelInput::kTfidf:
+        return {.tfidf = &tfidf_train, .labels = &train_y};
+      case ModelInput::kSequence:
+        return {.sequences = &plain_train, .labels = &train_y,
+                .vocab = &vocab};
+      case ModelInput::kSequenceClsSep:
+        return {.sequences = &cls_train, .labels = &train_y, .vocab = &vocab};
+    }
+    return {};
+  }
+
+  ModelDataset TestFor(ModelInput input) const {
+    switch (input) {
+      case ModelInput::kTfidf:
+        return {.tfidf = &tfidf_test, .labels = &test_y};
+      case ModelInput::kSequence:
+        return {.sequences = &plain_test, .labels = &test_y, .vocab = &vocab};
+      case ModelInput::kSequenceClsSep:
+        return {.sequences = &cls_test, .labels = &test_y, .vocab = &vocab};
+    }
+    return {};
+  }
+};
+
+const TinyData& Tiny() {
+  static const TinyData& data = *new TinyData();
+  return data;
+}
+
+/// Model context shrunk to test scale: one epoch everywhere, minimal
+/// dims, so all ten registered models train in well under a second.
+ModelContext TinyContext() {
+  ModelContext context;
+  context.num_classes = 3;
+  auto& seq = context.sequential;
+  seq.max_sequence_length = 8;  // cls encoder length 10
+  seq.lstm_sequence_length = 8;
+  seq.lstm = {.vocab_size = 0, .embedding_dim = 12, .hidden_size = 12,
+              .num_layers = 1, .dropout = 0.0f, .seed = 29};
+  seq.gru = {.vocab_size = 0, .embedding_dim = 12, .hidden_size = 12,
+             .num_layers = 1, .dropout = 0.0f, .seed = 61};
+  seq.lstm_train.epochs = 2;
+  seq.lstm_train.batch_size = 8;
+  seq.transformer = {.vocab_size = 0, .max_length = 10, .d_model = 16,
+                     .num_heads = 2, .num_layers = 1, .d_ff = 32,
+                     .dropout = 0.0f, .seed = 23};
+  seq.bert_pretrain.epochs = 1;
+  seq.bert_pretrain.batch_size = 8;
+  seq.bert_finetune.epochs = 1;
+  seq.bert_finetune.batch_size = 8;
+  seq.roberta_pretrain.epochs = 1;
+  seq.roberta_pretrain.batch_size = 8;
+  seq.roberta_finetune.epochs = 1;
+  seq.roberta_finetune.batch_size = 8;
+  context.statistical.random_forest.num_trees = 5;
+  context.statistical.adaboost.num_rounds = 5;
+  return context;
+}
+
+// ---- Registry ----
+
+TEST(ModelRegistryTest, ContainsTheBuiltinRoster) {
+  auto& registry = ModelRegistry::Instance();
+  for (const char* key :
+       {"logreg", "naive_bayes", "svm", "random_forest", "adaboost", "lstm",
+        "gru", "transformer", "bert", "roberta"}) {
+    EXPECT_TRUE(registry.Contains(key)) << key;
+  }
+  EXPECT_FALSE(registry.Contains("quantum_chef"));
+  EXPECT_FALSE(registry.Create("quantum_chef", ModelContext{}).ok());
+  EXPECT_GE(registry.Keys().size(), 10u);
+}
+
+TEST(ModelRegistryTest, RoundTripForEveryRegisteredModel) {
+  const TinyData& data = Tiny();
+  const ModelContext context = TinyContext();
+  for (const std::string& key : ModelRegistry::Instance().Keys()) {
+    SCOPED_TRACE(key);
+    auto model_or = ModelRegistry::Instance().Create(key, context);
+    ASSERT_TRUE(model_or.ok());
+    std::unique_ptr<Model> model = std::move(model_or).MoveValueUnsafe();
+    EXPECT_FALSE(model->name().empty());
+
+    FitOptions fit;
+    fit.num_classes = 3;
+    ASSERT_TRUE(model->Fit(data.TrainFor(model->input()), fit).ok());
+
+    const ModelDataset test = data.TestFor(model->input());
+    const Predictions pred = model->PredictBatch(test);
+    ASSERT_EQ(pred.labels.size(), data.test_y.size());
+    ASSERT_EQ(pred.probas.size(), data.test_y.size());
+    for (size_t i = 0; i < pred.labels.size(); ++i) {
+      EXPECT_GE(pred.labels[i], 0);
+      EXPECT_LT(pred.labels[i], 3);
+      ASSERT_EQ(pred.probas[i].size(), 3u);
+      float sum = 0.0f;
+      for (float p : pred.probas[i]) sum += p;
+      EXPECT_NEAR(sum, 1.0f, 1e-3f);
+    }
+    // AdaBoost saturates to p[y] == 1 on this separable toy set, so the
+    // mean negative log-likelihood can be exactly zero.
+    EXPECT_GE(model->EvaluateLoss(test), 0.0);
+
+    // Checkpoint round-trip: neural models serialise their parameters
+    // and predict identically after reload; statistical models report
+    // NotImplemented.
+    const std::string path =
+        ::testing::TempDir() + "/cuisine_model_" + key + ".ckpt";
+    const util::Status saved = model->Save(path);
+    if (model->input() == ModelInput::kTfidf) {
+      EXPECT_EQ(saved.code(), util::StatusCode::kNotImplemented);
+    } else {
+      ASSERT_TRUE(saved.ok());
+      ASSERT_TRUE(model->Load(path).ok());
+      const Predictions reloaded = model->PredictBatch(test);
+      EXPECT_EQ(pred.labels, reloaded.labels);
+      EXPECT_EQ(pred.probas, reloaded.probas);
+    }
+  }
+}
+
+TEST(ModelRegistryTest, CheckpointTransfersParametersBetweenInstances) {
+  const TinyData& data = Tiny();
+  const ModelContext context = TinyContext();
+  FitOptions fit;
+  fit.num_classes = 3;
+
+  auto first =
+      std::move(ModelRegistry::Instance().Create("lstm", context))
+          .MoveValueUnsafe();
+  ASSERT_TRUE(first->Fit(data.TrainFor(first->input()), fit).ok());
+  const std::string path = ::testing::TempDir() + "/cuisine_lstm_xfer.ckpt";
+  ASSERT_TRUE(first->Save(path).ok());
+
+  // A second instance trained under different seeds diverges, then
+  // converges exactly onto the first after loading its checkpoint.
+  ModelContext other = context;
+  other.sequential.lstm.seed += 1000;
+  other.sequential.lstm_train.seed += 1000;
+  auto second =
+      std::move(ModelRegistry::Instance().Create("lstm", other))
+          .MoveValueUnsafe();
+  ASSERT_TRUE(second->Fit(data.TrainFor(second->input()), fit).ok());
+
+  const ModelDataset test = data.TestFor(first->input());
+  ASSERT_TRUE(second->Load(path).ok());
+  const Predictions a = first->PredictBatch(test);
+  const Predictions b = second->PredictBatch(test);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.probas, b.probas);
+
+  // Load before Fit is rejected (Fit defines the architecture).
+  auto unfitted =
+      std::move(ModelRegistry::Instance().Create("lstm", context))
+          .MoveValueUnsafe();
+  EXPECT_EQ(unfitted->Load(path).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// ---- Batched == sequential ----
+
+TEST(EngineTest, PredictBatchMatchesSequentialPerItemPredictions) {
+  const TinyData& data = Tiny();
+  const ModelContext context = TinyContext();
+  FitOptions fit;
+  fit.num_classes = 3;
+  for (const char* key : {"logreg", "lstm"}) {
+    SCOPED_TRACE(key);
+    auto model = std::move(ModelRegistry::Instance().Create(key, context))
+                     .MoveValueUnsafe();
+    ASSERT_TRUE(model->Fit(data.TrainFor(model->input()), fit).ok());
+
+    const ModelDataset test = data.TestFor(model->input());
+    const Predictions batched = model->PredictBatch(test, /*num_workers=*/4);
+
+    for (size_t i = 0; i < data.test_y.size(); ++i) {
+      // One-element dataset: the sequential path.
+      features::CsrMatrix one_row;
+      std::vector<features::EncodedSequence> one_seq;
+      ModelDataset single;
+      if (model->input() == ModelInput::kTfidf) {
+        one_row = features::CsrMatrix(data.tfidf_test.cols());
+        one_row.AppendRow(data.tfidf_test.Row(i));
+        single.tfidf = &one_row;
+      } else {
+        one_seq.push_back(data.plain_test[i]);
+        single.sequences = &one_seq;
+      }
+      const Predictions item = model->PredictBatch(single, /*num_workers=*/1);
+      ASSERT_EQ(item.labels.size(), 1u);
+      EXPECT_EQ(item.labels[0], batched.labels[i]);
+      EXPECT_EQ(item.probas[0], batched.probas[i]);
+    }
+  }
+}
+
+// ---- Determinism: 1 worker == N workers ----
+
+TEST(EngineTest, TrainingLossesAreIdenticalForAnyWorkerCount) {
+  const TinyData& data = Tiny();
+  const ModelContext context = TinyContext();
+
+  auto train_with_workers = [&](size_t workers) {
+    auto model = std::move(ModelRegistry::Instance().Create("lstm", context))
+                     .MoveValueUnsafe();
+    FitOptions fit;
+    fit.num_classes = 3;
+    fit.num_workers = workers;
+    const ModelDataset val = data.TestFor(model->input());
+    fit.validation = &val;
+    EXPECT_TRUE(model->Fit(data.TrainFor(model->input()), fit).ok());
+    return model;
+  };
+
+  auto serial = train_with_workers(1);
+  auto parallel = train_with_workers(4);
+
+  ASSERT_NE(serial->history(), nullptr);
+  ASSERT_NE(parallel->history(), nullptr);
+  // Bit-identical loss curves: same FP addition order regardless of how
+  // examples were sharded across workers.
+  EXPECT_EQ(serial->history()->train_loss, parallel->history()->train_loss);
+  EXPECT_EQ(serial->history()->validation_loss,
+            parallel->history()->validation_loss);
+
+  const ModelDataset test = data.TestFor(serial->input());
+  const Predictions a = serial->PredictBatch(test, 1);
+  const Predictions b = parallel->PredictBatch(test, 4);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.probas, b.probas);
+  EXPECT_EQ(serial->EvaluateLoss(test, 1), parallel->EvaluateLoss(test, 4));
+}
+
+TEST(EngineTest, MlmPretrainingIsIdenticalForAnyWorkerCount) {
+  const TinyData& data = Tiny();
+  const ModelContext context = TinyContext();
+
+  auto pretrain_with_workers = [&](size_t workers) {
+    auto model = std::move(ModelRegistry::Instance().Create("bert", context))
+                     .MoveValueUnsafe();
+    FitOptions fit;
+    fit.num_classes = 3;
+    fit.num_workers = workers;
+    EXPECT_TRUE(model->Fit(data.TrainFor(model->input()), fit).ok());
+    return model;
+  };
+
+  auto serial = pretrain_with_workers(1);
+  auto parallel = pretrain_with_workers(3);
+  ASSERT_NE(serial->pretrain_loss(), nullptr);
+  ASSERT_NE(parallel->pretrain_loss(), nullptr);
+  EXPECT_EQ(*serial->pretrain_loss(), *parallel->pretrain_loss());
+  EXPECT_EQ(serial->history()->train_loss, parallel->history()->train_loss);
+}
+
+}  // namespace
+}  // namespace cuisine::core

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "util/csv.h"
 #include "util/rng.h"
@@ -269,6 +270,52 @@ TEST(ParallelForTest, SerialFallbackForTinyN) {
   std::vector<int> hits(3, 0);
   ParallelFor(hits.size(), 1, [&](size_t i) { hits[i] += 1; });
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPoolTest, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.NumWorkers(), 3u);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ThreadPool minimum(0);  // clamped to at least one worker
+  EXPECT_EQ(minimum.NumWorkers(), 1u);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWaiters) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still serve the queue.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();  // would hang on a wedged worker
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ParallelForTest, RethrowsAfterAllIterationsSettle) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      ParallelFor(64, 4,
+                  [&](size_t i) {
+                    if (i == 13) throw std::runtime_error("iteration boom");
+                    ++completed;
+                  }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ParallelForTest, NestedCallFallsBackToSerial) {
+  // A ParallelFor inside a pool worker must not wait on the same
+  // workers (classic nested-parallelism deadlock); it runs serially.
+  std::atomic<int> inner_total{0};
+  ParallelFor(4, 4, [&](size_t) {
+    EXPECT_TRUE(ThreadPool::OnWorkerThread());
+    ParallelFor(8, 4, [&](size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
 }
 
 TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
