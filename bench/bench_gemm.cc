@@ -1,0 +1,167 @@
+/// \file bench_gemm.cc
+/// \brief GFLOP/s sweep of the dense GEMM kernel family.
+///
+/// Times three kernels on the matrix shapes the models actually hit —
+/// classifier logits (batch x hidden x vocab), attention/projection blocks
+/// (seq x d_model x d_model) and square stress shapes up to 1024^3:
+///
+///   naive     the seed's branchy i-k-j triple loop (reference baseline)
+///   blocked   linalg::Gemm (packed panels + 4x16 register tile)
+///   parallel  linalg::GemmParallel at 1/2/4/8 pool workers
+///
+/// Emits one JSON object per (shape, kernel) line on stdout and writes the
+/// whole run to a JSON file (argv[1], default "BENCH_gemm.json"). Results
+/// include `hardware_threads`; on a single-core host the parallel rows
+/// measure sharding overhead, not speedup — see DESIGN.md "Dense kernels".
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+/// The seed repo's dense GEMM: branchy i-k-j with a zero-skip test on
+/// every A element. Kept here verbatim as the honest "before" baseline.
+void NaiveGemm(size_t m, size_t k, size_t n, const float* a, const float* b,
+               float* c) {
+  std::memset(c, 0, m * n * sizeof(float));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+struct Shape {
+  const char* label;  // what the shape models
+  size_t m, k, n;
+};
+
+struct Result {
+  std::string shape_label;
+  size_t m, k, n;
+  std::string kernel;
+  size_t workers;  // 0 for serial kernels
+  double gflops;
+  double seconds_per_call;
+};
+
+double Gflops(const Shape& s, double seconds) {
+  return 2.0 * static_cast<double>(s.m) * s.k * s.n / seconds / 1e9;
+}
+
+/// Times `fn` with a calibrated repeat count so each measurement spans at
+/// least ~200ms; returns best-of-3 seconds per call.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up + page-in
+  // Calibrate.
+  auto t0 = Clock::now();
+  fn();
+  double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  size_t reps = once > 0.2 ? 1 : static_cast<size_t>(0.2 / (once + 1e-9)) + 1;
+  double best = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) fn();
+    const double per =
+        std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+    if (per < best) best = per;
+  }
+  return best;
+}
+
+void PrintResult(const Result& r) {
+  std::printf(
+      "{\"shape\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
+      "\"kernel\": \"%s\", \"workers\": %zu, \"gflops\": %.3f, "
+      "\"seconds_per_call\": %.6g}\n",
+      r.shape_label.c_str(), r.m, r.k, r.n, r.kernel.c_str(), r.workers,
+      r.gflops, r.seconds_per_call);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+
+  const Shape shapes[] = {
+      // batch x hidden x vocab: classifier logits over the ingredient vocab.
+      {"batch_hidden_vocab", 128, 64, 4000},
+      // seq x d_model x d_model: per-step projections in LSTM/transformer.
+      {"seq_dmodel_dmodel_64", 50, 64, 64},
+      {"seq_dmodel_dmodel_128", 50, 128, 128},
+      // Square stress shapes (256^3 and 1024^3 are the acceptance gates).
+      {"square_256", 256, 256, 256},
+      {"square_512", 512, 512, 512},
+      {"square_1024", 1024, 1024, 1024},
+  };
+
+  std::vector<Result> results;
+  cuisine::util::Rng rng(42);
+
+  for (const Shape& s : shapes) {
+    cuisine::linalg::Matrix a(s.m, s.k), b(s.k, s.n), c(s.m, s.n);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = static_cast<float>(rng.NextGaussian());
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      b.data()[i] = static_cast<float>(rng.NextGaussian());
+    }
+
+    const double t_naive =
+        TimeIt([&] { NaiveGemm(s.m, s.k, s.n, a.data(), b.data(), c.data()); });
+    results.push_back({s.label, s.m, s.k, s.n, "naive", 0, Gflops(s, t_naive),
+                       t_naive});
+    PrintResult(results.back());
+
+    const double t_blocked = TimeIt([&] { cuisine::linalg::Gemm(a, b, &c); });
+    results.push_back({s.label, s.m, s.k, s.n, "blocked", 0,
+                       Gflops(s, t_blocked), t_blocked});
+    PrintResult(results.back());
+
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+      const double t_par =
+          TimeIt([&] { cuisine::linalg::GemmParallel(a, b, &c, workers); });
+      results.push_back({s.label, s.m, s.k, s.n, "parallel", workers,
+                         Gflops(s, t_par), t_par});
+      PrintResult(results.back());
+    }
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"gemm\",\n  \"hardware_threads\": %zu,\n",
+               cuisine::util::HardwareThreads());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                 "\"kernel\": \"%s\", \"workers\": %zu, \"gflops\": %.3f, "
+                 "\"seconds_per_call\": %.6g}%s\n",
+                 r.shape_label.c_str(), r.m, r.k, r.n, r.kernel.c_str(),
+                 r.workers, r.gflops, r.seconds_per_call,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

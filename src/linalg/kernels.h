@@ -1,0 +1,155 @@
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+/// \file kernels.h
+/// \brief The dense-math kernel layer: blocked GEMM family + vectorized
+/// elementwise kernels.
+///
+/// Every dense hot path in the system — linalg::Matrix products, the
+/// autograd MatMul forward/backward, activation loops in the LSTM/GRU/
+/// transformer stacks, softmax/log-sum-exp scoring in the classical
+/// models — funnels through this one layer, so a faster kernel here
+/// speeds up the whole Table IV model zoo at once. Future backends
+/// (quantized, batched-serving) plug in at this level.
+///
+/// Design notes (see DESIGN.md "Dense kernels" for the full story):
+///  * Raw-pointer API over tightly packed row-major buffers so both
+///    `linalg::Matrix` and `nn::Tensor` storage can call in directly.
+///  * GEMM is cache-blocked and register-tiled with packed A/B panels
+///    and a 4x16 microkernel written as plain `__restrict` loops with
+///    compile-time trip counts, so GCC/Clang auto-vectorize it to
+///    SSE/AVX/NEON without hand intrinsics.
+///  * No `-ffast-math`: kernels are deterministic, and the parallel
+///    GEMM is bit-identical for any worker count (each row of C is
+///    written by exactly one worker and every row's FLOP sequence is
+///    independent of the row partition).
+///  * Transcendentals use branch-free polynomial approximations
+///    (~2 ulp) whose loops vectorize; no libm calls in the hot loops.
+
+namespace cuisine::linalg {
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernel family (raw row-major pointers, no strides).
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n]; `accumulate` adds on top of C instead.
+void GemmKernel(size_t m, size_t k, size_t n, const float* a, const float* b,
+                float* c, bool accumulate);
+
+/// C[m,n] = A[k,m]^T * B[k,n]; `accumulate` adds on top of C instead.
+void GemmTransposeAKernel(size_t m, size_t k, size_t n, const float* a,
+                          const float* b, float* c, bool accumulate);
+
+/// C[m,n] = A[m,k] * B[n,k]^T; `accumulate` adds on top of C instead.
+void GemmTransposeBKernel(size_t m, size_t k, size_t n, const float* a,
+                          const float* b, float* c, bool accumulate);
+
+/// Row-sharded parallel C[m,n] = A[m,k] * B[k,n] on the shared pool.
+///
+/// Deterministic: rows of C are partitioned into `num_workers` contiguous
+/// ranges and each row is computed by exactly one worker with a FLOP
+/// sequence that does not depend on the partition, so the result is
+/// bit-identical to the serial kernel for any worker count.
+void GemmParallelKernel(size_t m, size_t k, size_t n, const float* a,
+                        const float* b, float* c, bool accumulate,
+                        size_t num_workers);
+
+// ---------------------------------------------------------------------------
+// Scalar transcendental helpers, written to auto-vectorize when inlined
+// into a loop (branch-free: clamps + polynomial + exponent bit-twiddling).
+// ---------------------------------------------------------------------------
+
+/// expf to ~2 ulp. Cephes-style: round x/ln2 via the 1.5*2^23 trick,
+/// degree-5 polynomial on the remainder, scale by 2^n through the
+/// exponent bits. Branch-free and loop-vectorizable.
+inline float ScalarExp(float x) {
+  constexpr float kLog2e = 1.44269504088896341f;
+  constexpr float kLn2Hi = 0.693359375f;
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23: float round-to-nearest
+  // Upper clamp must keep round(x * log2e) <= 127: 88.3762... sits exactly
+  // on the 127.5 rounding tie and would overflow the exponent bit-cast.
+  x = x < 88.37f ? x : 88.37f;
+  x = x > -87.3365478515625f ? x : -87.3365478515625f;
+  const float fn = (x * kLog2e + kMagic) - kMagic;
+  float r = x - fn * kLn2Hi;
+  r -= fn * kLn2Lo;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  const float y = p * r * r + r + 1.0f;
+  const auto n = static_cast<int32_t>(fn);
+  const float scale =
+      std::bit_cast<float>(static_cast<uint32_t>(n + 127) << 23);
+  return y * scale;
+}
+
+/// Logistic sigmoid 1 / (1 + e^-x) built on ScalarExp.
+inline float ScalarSigmoid(float x) { return 1.0f / (1.0f + ScalarExp(-x)); }
+
+/// tanh built on ScalarExp: sign(x) * (1 - t) / (1 + t), t = e^(-2|x|).
+inline float ScalarTanh(float x) {
+  const float ax = std::fabs(x);
+  const float t = ScalarExp(-2.0f * ax);
+  const float r = (1.0f - t) / (1.0f + t);
+  return std::copysign(r, x);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized elementwise kernels.
+// ---------------------------------------------------------------------------
+
+/// y[i] = exp(x[i]). In-place allowed (y may alias x).
+void VecExp(const float* x, float* y, size_t n);
+
+/// y[i] = tanh(x[i]). In-place allowed.
+void VecTanh(const float* x, float* y, size_t n);
+
+/// y[i] = sigmoid(x[i]). In-place allowed.
+void VecSigmoid(const float* x, float* y, size_t n);
+
+/// Multi-accumulator sum of a span (same 16-lane width as the GEMM
+/// microkernel panel, so the reduction vectorizes identically).
+float VecSum(const float* x, size_t n);
+
+/// Maximum of a non-empty span.
+float VecMax(const float* x, size_t n);
+
+/// Activation kinds supported by the fused bias kernels. Restricted to
+/// activations whose derivative is a function of the *output* (so fused
+/// autograd ops need not retain the pre-activation).
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+/// d act / d z expressed from the activation output y = act(z).
+inline float ActivationGradFromOutput(Activation act, float y) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0f;
+    case Activation::kRelu:
+      return y > 0.0f ? 1.0f : 0.0f;
+    case Activation::kSigmoid:
+      return y * (1.0f - y);
+    case Activation::kTanh:
+      return 1.0f - y * y;
+  }
+  return 1.0f;
+}
+
+/// Fused y[i,j] = act(x[i,j] + bias[j]) over a rows x cols block —
+/// one memory pass instead of a bias-add pass plus an activation pass.
+void AddBiasActivate(size_t rows, size_t cols, const float* x,
+                     const float* bias, float* y, Activation act);
+
+/// Fused y[i,j] = alpha * x[i,j] + bias[j] (attention score scaling +
+/// mask bias in one pass).
+void ScaleAddBias(size_t rows, size_t cols, float alpha, const float* x,
+                  const float* bias, float* y);
+
+}  // namespace cuisine::linalg

@@ -4,77 +4,62 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
+
 namespace cuisine::linalg {
 
-namespace {
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(b.rows() == a.cols());
+  *c = Matrix(a.rows(), b.cols());
+  GemmKernel(a.rows(), a.cols(), b.cols(), a.data(), b.data(), c->data(),
+             /*accumulate=*/false);
+}
 
-// Blocked inner kernel: accumulates C[i,:] += a_ik * B[k,:].
-// Row-major GEMM in i-k-j order keeps all three streams sequential.
-void GemmImpl(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(b.rows() == a.cols());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  GemmKernel(a.rows(), a.cols(), b.cols(), a.data(), b.data(), c->data(),
+             /*accumulate=*/true);
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(b.rows() == a.rows());
+  *c = Matrix(a.cols(), b.cols());
+  GemmTransposeAKernel(a.cols(), a.rows(), b.cols(), a.data(), b.data(),
+                       c->data(), /*accumulate=*/false);
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(b.cols() == a.cols());
+  *c = Matrix(a.rows(), b.rows());
+  GemmTransposeBKernel(a.rows(), a.cols(), b.rows(), a.data(), b.data(),
+                       c->data(), /*accumulate=*/false);
+}
+
+void GemmParallel(const Matrix& a, const Matrix& b, Matrix* c,
+                  size_t num_workers) {
+  assert(b.rows() == a.cols());
+  *c = Matrix(a.rows(), b.cols());
+  GemmParallelKernel(a.rows(), a.cols(), b.cols(), a.data(), b.data(),
+                     c->data(), /*accumulate=*/false, num_workers);
+}
+
+void GemmSparseRows(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
   assert(b.rows() == k);
-  if (!accumulate) {
-    *c = Matrix(m, n, 0.0f);
-  } else {
-    assert(c->rows() == m && c->cols() == n);
-  }
+  *c = Matrix(m, n, 0.0f);
   for (size_t i = 0; i < m; ++i) {
     const float* arow = a.Row(i);
     float* crow = c->Row(i);
     for (size_t kk = 0; kk < k; ++kk) {
       const float aik = arow[kk];
-      if (aik == 0.0f) continue;
+      if (aik == 0.0f) continue;  // the point of this variant
       const float* brow = b.Row(kk);
       for (size_t j = 0; j < n; ++j) {
         crow[j] += aik * brow[j];
       }
-    }
-  }
-}
-
-}  // namespace
-
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
-  GemmImpl(a, b, c, /*accumulate=*/false);
-}
-
-void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
-  GemmImpl(a, b, c, /*accumulate=*/true);
-}
-
-void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c) {
-  const size_t k = a.rows();
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  assert(b.rows() == k);
-  *c = Matrix(m, n, 0.0f);
-  for (size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.Row(kk);
-    const float* brow = b.Row(kk);
-    for (size_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) {
-        crow[j] += aki * brow[j];
-      }
-    }
-  }
-}
-
-void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c) {
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.rows();
-  assert(b.cols() == k);
-  *c = Matrix(m, n, 0.0f);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      crow[j] = Dot(arow, b.Row(j), k);
     }
   }
 }
@@ -84,17 +69,20 @@ void Axpy(float alpha, const float* x, float* y, size_t n) {
 }
 
 float Dot(const float* x, const float* y, size_t n) {
-  // Four partial sums so the compiler can keep independent FMA chains.
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  // Independent partial sums at the same 16-lane width as the GEMM
+  // microkernel panel, so the compiler emits the same vector FMA chains.
+  constexpr size_t kLanes = 16;
+  float acc[kLanes] = {0.0f};
   size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t u = 0; u < kLanes; ++u) acc[u] += x[i + u] * y[i + u];
   }
-  for (; i < n; ++i) s0 += x[i] * y[i];
-  return (s0 + s1) + (s2 + s3);
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += x[i] * y[i];
+  for (size_t w = kLanes / 2; w > 0; w /= 2) {
+    for (size_t u = 0; u < w; ++u) acc[u] += acc[u + w];
+  }
+  return acc[0] + tail;
 }
 
 float Norm2(const float* x, size_t n) {
@@ -107,23 +95,27 @@ void Scale(float alpha, float* x, size_t n) {
 
 void SoftmaxInPlace(float* x, size_t n) {
   if (n == 0) return;
-  float mx = x[0];
-  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
-  float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - mx);
-    sum += x[i];
-  }
-  const float inv = 1.0f / sum;
+  const float mx = VecMax(x, n);
+  for (size_t i = 0; i < n; ++i) x[i] = ScalarExp(x[i] - mx);
+  const float inv = 1.0f / VecSum(x, n);
   for (size_t i = 0; i < n; ++i) x[i] *= inv;
 }
 
 float LogSumExp(const float* x, size_t n) {
   if (n == 0) return -std::numeric_limits<float>::infinity();
-  float mx = x[0];
-  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  const float mx = VecMax(x, n);
+  constexpr size_t kLanes = 16;
+  float acc[kLanes] = {0.0f};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t u = 0; u < kLanes; ++u) acc[u] += ScalarExp(x[i + u] - mx);
+  }
   float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) sum += std::exp(x[i] - mx);
+  for (; i < n; ++i) sum += ScalarExp(x[i] - mx);
+  for (size_t w = kLanes / 2; w > 0; w /= 2) {
+    for (size_t u = 0; u < w; ++u) acc[u] += acc[u + w];
+  }
+  sum += acc[0];
   return mx + std::log(sum);
 }
 

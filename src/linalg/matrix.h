@@ -4,12 +4,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/kernels.h"
+
 /// \file matrix.h
 /// \brief Row-major dense float matrix and the blocked kernels built on it.
 ///
 /// This is deliberately small: just what the classical models and the
-/// autograd engine need (GEMM variants, row ops, reductions). All kernels
-/// are single-threaded; callers parallelise across batches/trees.
+/// autograd engine need (GEMM variants, row ops, reductions). The GEMM
+/// entry points are thin shape-checking wrappers over the shared kernel
+/// layer in kernels.h; `GemmParallel` shards rows across the process
+/// thread pool with bit-identical results for any worker count.
 
 namespace cuisine::linalg {
 
@@ -66,6 +70,20 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C = A * B with rows of C sharded over `num_workers` threads of the
+/// shared pool. Deterministic: bit-identical to `Gemm` for any worker
+/// count (each row of C is written by exactly one worker and the per-row
+/// FLOP order does not depend on the partition).
+void GemmParallel(const Matrix& a, const Matrix& b, Matrix* c,
+                  size_t num_workers);
+
+/// C = A * B for A whose rows are genuinely sparse (e.g. one-hot
+/// embedding rows): skips zero A entries instead of vectorizing. On
+/// dense data this branchy form is strictly slower than `Gemm` — the
+/// zero check defeats vectorization — so it exists only as an explicitly
+/// named opt-in for sparse inputs.
+void GemmSparseRows(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// y += alpha * x (vectors as raw spans of length n).
 void Axpy(float alpha, const float* x, float* y, size_t n);

@@ -11,7 +11,7 @@ namespace cuisine::ml {
 
 namespace {
 
-float Sigmoid(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+float Sigmoid(float z) { return linalg::ScalarSigmoid(z); }
 
 }  // namespace
 

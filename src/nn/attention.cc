@@ -34,9 +34,10 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
     const Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
     const Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
     const Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
-    // scores[i,j] = qh_i . kh_j / sqrt(dh) + mask_bias[j]
-    Tensor scores = Scale(MatMulTransposeB(qh, kh), scale);
-    scores = AddRowBroadcast(scores, mask_bias);
+    // scores[i,j] = qh_i . kh_j / sqrt(dh) + mask_bias[j], with the
+    // scale and mask-bias add fused into one pass over the score matrix.
+    const Tensor scores =
+        ScaleAddRowBroadcast(MatMulTransposeB(qh, kh), mask_bias, scale);
     Tensor attn = SoftmaxRows(scores);
     attn = attn_dropout_.Forward(attn, training, rng);
     heads.push_back(MatMul(attn, vh));

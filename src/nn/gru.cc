@@ -16,17 +16,24 @@ Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
   // r = sigma(W_r x + U_r h + b_r), z = sigma(W_z x + U_z h + b_z)
   // n = tanh(W_n x + r * (U_n h) + b_n)
   // h' = (1 - z) * n + z * h
+  using linalg::Activation;
   const Tensor xi = MatMul(x, w_input_);
   const Tensor hi = MatMul(h, w_hidden_);
-  const Tensor gates = AddRowBroadcast(Add(xi, hi), bias_);
-  const Tensor r = Sigmoid(SliceCols(gates, 0, hidden_size_));
-  const Tensor z = Sigmoid(SliceCols(gates, hidden_size_, hidden_size_));
+  const Tensor preact = Add(xi, hi);
+  // r and z gates fuse bias add + sigmoid into one pass per slice.
+  const Tensor r = AddRowBroadcastActivate(
+      SliceCols(preact, 0, hidden_size_), SliceCols(bias_, 0, hidden_size_),
+      Activation::kSigmoid);
+  const Tensor z = AddRowBroadcastActivate(
+      SliceCols(preact, hidden_size_, hidden_size_),
+      SliceCols(bias_, hidden_size_, hidden_size_), Activation::kSigmoid);
   // Candidate uses the reset gate on the *hidden* contribution only, so
-  // recompute that slice from its parts.
+  // recompute that slice from its parts (fused bias add + tanh).
   const Tensor xn = SliceCols(xi, 2 * hidden_size_, hidden_size_);
   const Tensor hn = SliceCols(hi, 2 * hidden_size_, hidden_size_);
   const Tensor bn = SliceCols(bias_, 2 * hidden_size_, hidden_size_);
-  const Tensor n = Tanh(AddRowBroadcast(Add(xn, Mul(r, hn)), bn));
+  const Tensor n = AddRowBroadcastActivate(Add(xn, Mul(r, hn)), bn,
+                                           Activation::kTanh);
   const Tensor one_minus_z = Sub(Tensor::Full(1, hidden_size_, 1.0f), z);
   return Add(Mul(one_minus_z, n), Mul(z, h));
 }

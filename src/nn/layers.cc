@@ -10,6 +10,10 @@ Tensor Linear::Forward(const Tensor& x) const {
   return AddRowBroadcast(MatMul(x, weight_), bias_);
 }
 
+Tensor Linear::ForwardActivate(const Tensor& x, linalg::Activation act) const {
+  return AddRowBroadcastActivate(MatMul(x, weight_), bias_, act);
+}
+
 void Linear::CollectParameters(std::vector<Tensor>* out) const {
   out->push_back(weight_);
   out->push_back(bias_);

@@ -19,6 +19,10 @@ class Linear final : public Module {
   /// x: [m, in] -> [m, out].
   Tensor Forward(const Tensor& x) const;
 
+  /// x: [m, in] -> act(x W + b), with the bias add and activation fused
+  /// into one pass (linalg::AddBiasActivate).
+  Tensor ForwardActivate(const Tensor& x, linalg::Activation act) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
   const Tensor& weight() const { return weight_; }

@@ -20,12 +20,19 @@ LstmCell::State LstmCell::InitialState() const {
 }
 
 LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
-  const Tensor gates = AddRowBroadcast(
-      Add(MatMul(x, w_input_), MatMul(state.h, w_hidden_)), bias_);
-  const Tensor i = Sigmoid(SliceCols(gates, 0, hidden_size_));
-  const Tensor f = Sigmoid(SliceCols(gates, hidden_size_, hidden_size_));
-  const Tensor g = Tanh(SliceCols(gates, 2 * hidden_size_, hidden_size_));
-  const Tensor o = Sigmoid(SliceCols(gates, 3 * hidden_size_, hidden_size_));
+  // Gate block order: i, f, g, o. Each gate fuses its bias add with its
+  // activation into one pass over the preactivation slice.
+  using linalg::Activation;
+  const Tensor preact = Add(MatMul(x, w_input_), MatMul(state.h, w_hidden_));
+  const auto gate = [&](int64_t block, Activation act) {
+    return AddRowBroadcastActivate(
+        SliceCols(preact, block * hidden_size_, hidden_size_),
+        SliceCols(bias_, block * hidden_size_, hidden_size_), act);
+  };
+  const Tensor i = gate(0, Activation::kSigmoid);
+  const Tensor f = gate(1, Activation::kSigmoid);
+  const Tensor g = gate(2, Activation::kTanh);
+  const Tensor o = gate(3, Activation::kSigmoid);
   const Tensor c = Add(Mul(f, state.c), Mul(i, g));
   const Tensor h = Mul(o, Tanh(c));
   return {h, c};

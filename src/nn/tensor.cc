@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "linalg/kernels.h"
 #include "util/logging.h"
 
 namespace cuisine::nn {
@@ -127,50 +128,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   CUISINE_CHECK(a.cols() == b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   auto out = NewResult(m, n, {a.node(), b.node()});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = out->data.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = ad[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bd + kk * n;
-      float* crow = cd + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  linalg::GemmKernel(m, k, n, a.data(), b.data(), out->data.data(),
+                     /*accumulate=*/false);
   if (out->requires_grad) {
     auto an = a.node(), bn = b.node();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on, m, k, n] {
       const float* g = on->grad.data();
       if (an->requires_grad) {
-        an->EnsureGrad();  // dA += dC * B^T
-        float* da = an->grad.data();
-        const float* bd2 = bn->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            float s = 0.0f;
-            const float* grow = g + i * n;
-            const float* brow = bd2 + kk * n;
-            for (int64_t j = 0; j < n; ++j) s += grow[j] * brow[j];
-            da[i * k + kk] += s;
-          }
-        }
+        an->EnsureGrad();  // dA += dC * B^T, a transpose-B GEMM shape
+        linalg::GemmTransposeBKernel(m, n, k, g, bn->data.data(),
+                                     an->grad.data(), /*accumulate=*/true);
       }
       if (bn->requires_grad) {
-        bn->EnsureGrad();  // dB += A^T * dC
-        float* db = bn->grad.data();
-        const float* ad2 = an->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = ad2[i * k + kk];
-            if (aik == 0.0f) continue;
-            float* dbrow = db + kk * n;
-            for (int64_t j = 0; j < n; ++j) dbrow[j] += aik * grow[j];
-          }
-        }
+        bn->EnsureGrad();  // dB += A^T * dC, a transpose-A GEMM shape
+        linalg::GemmTransposeAKernel(k, m, n, an->data.data(), g,
+                                     bn->grad.data(), /*accumulate=*/true);
       }
     };
   }
@@ -181,53 +154,22 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   CUISINE_CHECK(a.cols() == b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   auto out = NewResult(m, n, {a.node(), b.node()});
-  const float* ad = a.data();
-  const float* bd = b.data();
-  float* cd = out->data.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ad + i * k;
-    float* crow = cd + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = bd + j * k;
-      float s = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      crow[j] = s;
-    }
-  }
+  linalg::GemmTransposeBKernel(m, k, n, a.data(), b.data(), out->data.data(),
+                               /*accumulate=*/false);
   if (out->requires_grad) {
     auto an = a.node(), bn = b.node();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on, m, k, n] {
       const float* g = on->grad.data();
       if (an->requires_grad) {
-        an->EnsureGrad();  // dA += dC * B
-        float* da = an->grad.data();
-        const float* bd2 = bn->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          float* darow = da + i * k;
-          for (int64_t j = 0; j < n; ++j) {
-            const float gij = grow[j];
-            if (gij == 0.0f) continue;
-            const float* brow = bd2 + j * k;
-            for (int64_t kk = 0; kk < k; ++kk) darow[kk] += gij * brow[kk];
-          }
-        }
+        an->EnsureGrad();  // dA += dC * B, a plain GEMM shape
+        linalg::GemmKernel(m, n, k, g, bn->data.data(), an->grad.data(),
+                           /*accumulate=*/true);
       }
       if (bn->requires_grad) {
-        bn->EnsureGrad();  // dB += dC^T * A
-        float* db = bn->grad.data();
-        const float* ad2 = an->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          const float* arow = ad2 + i * k;
-          for (int64_t j = 0; j < n; ++j) {
-            const float gij = grow[j];
-            if (gij == 0.0f) continue;
-            float* dbrow = db + j * k;
-            for (int64_t kk = 0; kk < k; ++kk) dbrow[kk] += gij * arow[kk];
-          }
-        }
+        bn->EnsureGrad();  // dB += dC^T * A, a transpose-A GEMM shape
+        linalg::GemmTransposeAKernel(n, m, k, g, an->data.data(),
+                                     bn->grad.data(), /*accumulate=*/true);
       }
     };
   }
@@ -258,13 +200,8 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& row) {
   CUISINE_CHECK(row.rows() == 1 && row.cols() == x.cols());
   auto out = NewResult(x.rows(), x.cols(), {x.node(), row.node()});
   const int64_t n = x.cols();
-  const float* xd = x.data();
-  const float* rd = row.data();
-  for (int64_t i = 0; i < x.rows(); ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      out->data[i * n + j] = xd[i * n + j] + rd[j];
-    }
-  }
+  linalg::AddBiasActivate(x.rows(), n, x.data(), row.data(),
+                          out->data.data(), linalg::Activation::kIdentity);
   if (out->requires_grad) {
     auto xn = x.node(), rn = row.node();
     TensorNode* on = out.get();
@@ -369,11 +306,11 @@ Tensor Gelu(const Tensor& x) {
       x,
       [](float v) {
         const float inner = kGeluC * (v + 0.044715f * v * v * v);
-        return 0.5f * v * (1.0f + std::tanh(inner));
+        return 0.5f * v * (1.0f + linalg::ScalarTanh(inner));
       },
       [](float v, float) {
         const float inner = kGeluC * (v + 0.044715f * v * v * v);
-        const float t = std::tanh(inner);
+        const float t = linalg::ScalarTanh(inner);
         const float sech2 = 1.0f - t * t;
         const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
         return 0.5f * (1.0f + t) + 0.5f * v * sech2 * dinner;
@@ -382,14 +319,72 @@ Tensor Gelu(const Tensor& x) {
 
 Tensor Tanh(const Tensor& x) {
   return Elementwise(
-      x, [](float v) { return std::tanh(v); },
+      x, [](float v) { return linalg::ScalarTanh(v); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& x) {
   return Elementwise(
-      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      x, [](float v) { return linalg::ScalarSigmoid(v); },
       [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor AddRowBroadcastActivate(const Tensor& x, const Tensor& row,
+                               linalg::Activation act) {
+  CUISINE_CHECK(row.rows() == 1 && row.cols() == x.cols());
+  auto out = NewResult(x.rows(), x.cols(), {x.node(), row.node()});
+  const int64_t n = x.cols();
+  linalg::AddBiasActivate(x.rows(), n, x.data(), row.data(),
+                          out->data.data(), act);
+  if (out->requires_grad) {
+    auto xn = x.node(), rn = row.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, rn, on, n, act] {
+      if (xn->requires_grad) xn->EnsureGrad();
+      if (rn->requires_grad) rn->EnsureGrad();
+      for (int64_t i = 0; i < on->rows; ++i) {
+        const float* go = on->grad.data() + i * n;
+        const float* y = on->data.data() + i * n;
+        float* gx = xn->requires_grad ? xn->grad.data() + i * n : nullptr;
+        float* gr = rn->requires_grad ? rn->grad.data() : nullptr;
+        for (int64_t j = 0; j < n; ++j) {
+          const float d =
+              go[j] * linalg::ActivationGradFromOutput(act, y[j]);
+          if (gx != nullptr) gx[j] += d;
+          if (gr != nullptr) gr[j] += d;
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ScaleAddRowBroadcast(const Tensor& x, const Tensor& row, float alpha) {
+  CUISINE_CHECK(row.rows() == 1 && row.cols() == x.cols());
+  auto out = NewResult(x.rows(), x.cols(), {x.node(), row.node()});
+  const int64_t n = x.cols();
+  linalg::ScaleAddBias(x.rows(), n, alpha, x.data(), row.data(),
+                       out->data.data());
+  if (out->requires_grad) {
+    auto xn = x.node(), rn = row.node();
+    TensorNode* on = out.get();
+    out->backward_fn = [xn, rn, on, n, alpha] {
+      if (xn->requires_grad) {
+        xn->EnsureGrad();
+        for (size_t i = 0; i < on->size(); ++i) {
+          xn->grad[i] += alpha * on->grad[i];
+        }
+      }
+      if (rn->requires_grad) {
+        rn->EnsureGrad();
+        for (int64_t i = 0; i < on->rows; ++i) {
+          const float* go = on->grad.data() + i * n;
+          for (int64_t j = 0; j < n; ++j) rn->grad[j] += go[j];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
 }
 
 Tensor SoftmaxRows(const Tensor& x) {
@@ -398,14 +393,9 @@ Tensor SoftmaxRows(const Tensor& x) {
   for (int64_t i = 0; i < x.rows(); ++i) {
     const float* xrow = x.data() + i * n;
     float* orow = out->data.data() + i * n;
-    float mx = xrow[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xrow[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(xrow[j] - mx);
-      sum += orow[j];
-    }
-    const float inv = 1.0f / sum;
+    const float mx = linalg::VecMax(xrow, n);
+    for (int64_t j = 0; j < n; ++j) orow[j] = linalg::ScalarExp(xrow[j] - mx);
+    const float inv = 1.0f / linalg::VecSum(orow, n);
     for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
   }
   if (out->requires_grad) {
@@ -611,14 +601,9 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
   for (int64_t i = 0; i < logits.rows(); ++i) {
     const float* row = logits.data() + i * n;
     float* prow = probs->data() + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      prow[j] = std::exp(row[j] - mx);
-      sum += prow[j];
-    }
-    const float inv = 1.0f / sum;
+    const float mx = linalg::VecMax(row, n);
+    for (int64_t j = 0; j < n; ++j) prow[j] = linalg::ScalarExp(row[j] - mx);
+    const float inv = 1.0f / linalg::VecSum(prow, n);
     for (int64_t j = 0; j < n; ++j) prow[j] *= inv;
     if (targets[i] >= 0) {
       if (label_smoothing == 0.0f) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -122,6 +123,14 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 Tensor Add(const Tensor& a, const Tensor& b);
 /// X[m,n] + row[1,n] broadcast over rows (bias add / key mask add).
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& row);
+/// Fused act(X[m,n] + row[1,n]): one memory pass for the bias-add +
+/// activation pairs that dominate the LSTM/GRU gate math. Supports the
+/// linalg::Activation set (identity/relu/sigmoid/tanh), whose
+/// derivatives are functions of the output.
+Tensor AddRowBroadcastActivate(const Tensor& x, const Tensor& row,
+                               linalg::Activation act);
+/// Fused alpha * X[m,n] + row[1,n] (attention score scaling + mask bias).
+Tensor ScaleAddRowBroadcast(const Tensor& x, const Tensor& row, float alpha);
 /// Elementwise difference.
 Tensor Sub(const Tensor& a, const Tensor& b);
 /// Hadamard product.

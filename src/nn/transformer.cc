@@ -122,7 +122,8 @@ Tensor TransformerClassifier::ForwardLogits(
     util::Rng* rng) const {
   const Tensor hidden = encoder_.Encode(seq, training, rng);
   const Tensor cls = SliceRows(hidden, 0, 1);  // [CLS] position
-  Tensor pooled = Tanh(pooler_.Forward(cls));
+  // BERT-style pooler: fused linear + tanh over the [CLS] row.
+  Tensor pooled = pooler_.ForwardActivate(cls, linalg::Activation::kTanh);
   pooled = head_dropout_.Forward(pooled, training, rng);
   return head_.Forward(pooled);
 }

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "util/rng.h"
 
@@ -38,13 +40,16 @@ Matrix Reference(const Matrix& a, const Matrix& b, bool ta, bool tb) {
   return c;
 }
 
+/// Relative comparison: tol scales with the reference magnitude so deep
+/// reductions (large k) are judged fairly.
 void ExpectNear(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
   ASSERT_EQ(a.rows(), b.rows());
   ASSERT_EQ(a.cols(), b.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
     for (size_t j = 0; j < a.cols(); ++j) {
-      EXPECT_NEAR(a.At(i, j), b.At(i, j), tol) << "at (" << i << "," << j
-                                               << ")";
+      const float ref = b.At(i, j);
+      EXPECT_NEAR(a.At(i, j), ref, tol * std::max(1.0f, std::abs(ref)))
+          << "at (" << i << "," << j << ")";
     }
   }
 }
@@ -99,13 +104,153 @@ TEST_P(GemmTest, AccumulateAddsOnTop) {
   ExpectNear(c, expected);
 }
 
+// Shapes deliberately cross every blocking boundary of the packed
+// kernel: the 4x16 register tile (non-multiples of 4 and 16), the
+// 64-row / 512-col cache blocks, and the 256-deep k block.
 INSTANTIATE_TEST_SUITE_P(Shapes, GemmTest,
                          ::testing::Values(GemmShape{1, 1, 1},
                                            GemmShape{2, 3, 4},
                                            GemmShape{7, 5, 3},
                                            GemmShape{16, 16, 16},
                                            GemmShape{1, 31, 9},
-                                           GemmShape{33, 1, 17}));
+                                           GemmShape{33, 1, 17},
+                                           GemmShape{5, 7, 19},
+                                           GemmShape{67, 35, 21},
+                                           GemmShape{13, 300, 31},
+                                           GemmShape{70, 130, 530}));
+
+TEST(GemmParallelTest, BitIdenticalAcrossWorkerCounts) {
+  util::Rng rng(211);
+  const Matrix a = RandomMatrix(131, 70, &rng);
+  const Matrix b = RandomMatrix(70, 45, &rng);
+  Matrix serial;
+  Gemm(a, b, &serial);
+  for (size_t workers : {1u, 2u, 8u}) {
+    Matrix c;
+    GemmParallel(a, b, &c, workers);
+    ASSERT_EQ(c.rows(), serial.rows());
+    ASSERT_EQ(c.cols(), serial.cols());
+    for (size_t i = 0; i < c.size(); ++i) {
+      // Exact equality: the determinism contract, not a tolerance.
+      ASSERT_EQ(c.data()[i], serial.data()[i])
+          << "workers=" << workers << " flat index " << i;
+    }
+  }
+}
+
+TEST(GemmParallelTest, MatchesReferenceOnOddShape) {
+  util::Rng rng(213);
+  const Matrix a = RandomMatrix(97, 61, &rng);
+  const Matrix b = RandomMatrix(61, 37, &rng);
+  Matrix c;
+  GemmParallel(a, b, &c, 4);
+  ExpectNear(c, Reference(a, b, false, false));
+}
+
+TEST(GemmSparseRowsTest, MatchesDenseGemmOnOneHotRows) {
+  util::Rng rng(217);
+  const Matrix b = RandomMatrix(12, 9, &rng);
+  Matrix onehot(5, 12, 0.0f);  // one-hot rows: the intended input shape
+  for (size_t i = 0; i < 5; ++i) onehot.At(i, (i * 3) % 12) = 1.0f;
+  Matrix sparse, dense;
+  GemmSparseRows(onehot, b, &sparse);
+  Gemm(onehot, b, &dense);
+  ExpectNear(sparse, dense);
+}
+
+TEST(KernelAccumulateTest, AllVariantsAddOnTop) {
+  util::Rng rng(219);
+  const size_t m = 9, k = 21, n = 18;
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix at = RandomMatrix(k, m, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  const Matrix bt = RandomMatrix(n, k, &rng);
+
+  Matrix c(m, n, 0.5f);
+  GemmTransposeAKernel(m, k, n, at.data(), b.data(), c.data(), true);
+  Matrix want = Reference(at, b, true, false);
+  for (size_t i = 0; i < want.size(); ++i) want.data()[i] += 0.5f;
+  ExpectNear(c, want);
+
+  Matrix c2(m, n, -1.25f);
+  GemmTransposeBKernel(m, k, n, a.data(), bt.data(), c2.data(), true);
+  Matrix want2 = Reference(a, bt, false, true);
+  for (size_t i = 0; i < want2.size(); ++i) want2.data()[i] += -1.25f;
+  ExpectNear(c2, want2);
+}
+
+TEST(VecKernelTest, ExpTanhSigmoidTrackLibm) {
+  util::Rng rng(223);
+  std::vector<float> x(257);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.NextGaussian()) * 4.0f;
+  }
+  x[0] = 0.0f;
+  x[1] = -30.0f;  // deep saturation
+  x[2] = 30.0f;
+  std::vector<float> e(x.size()), t(x.size()), s(x.size());
+  VecExp(x.data(), e.data(), x.size());
+  VecTanh(x.data(), t.data(), x.size());
+  VecSigmoid(x.data(), s.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double xe = std::exp(static_cast<double>(x[i]));
+    EXPECT_NEAR(e[i], xe, 1e-6 * std::max(1.0, xe)) << "exp at " << x[i];
+    EXPECT_NEAR(t[i], std::tanh(static_cast<double>(x[i])), 1e-6)
+        << "tanh at " << x[i];
+    EXPECT_NEAR(s[i], 1.0 / (1.0 + std::exp(-static_cast<double>(x[i]))),
+                1e-6)
+        << "sigmoid at " << x[i];
+  }
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(VecKernelTest, ExpStaysFiniteAtExtremes) {
+  const float x[] = {-1000.0f, 1000.0f, 88.0f, -87.0f};
+  float y[4];
+  VecExp(x, y, 4);
+  for (float v : y) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+  }
+  EXPECT_LT(y[0], 1e-30f);
+  EXPECT_GT(y[1], 1e30f);
+}
+
+TEST(FusedKernelTest, AddBiasActivateMatchesUnfused) {
+  util::Rng rng(227);
+  const size_t rows = 5, cols = 33;
+  std::vector<float> x(rows * cols), bias(cols), y(rows * cols);
+  for (auto& v : x) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : bias) v = static_cast<float>(rng.NextGaussian());
+  const auto check = [&](Activation act, auto scalar) {
+    AddBiasActivate(rows, cols, x.data(), bias.data(), y.data(), act);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        EXPECT_NEAR(y[i * cols + j], scalar(x[i * cols + j] + bias[j]), 1e-6f)
+            << "(" << i << "," << j << ")";
+      }
+    }
+  };
+  check(Activation::kIdentity, [](float v) { return v; });
+  check(Activation::kRelu, [](float v) { return v > 0.0f ? v : 0.0f; });
+  check(Activation::kSigmoid,
+        [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  check(Activation::kTanh, [](float v) { return std::tanh(v); });
+}
+
+TEST(FusedKernelTest, ScaleAddBiasMatchesUnfused) {
+  util::Rng rng(229);
+  const size_t rows = 3, cols = 21;
+  std::vector<float> x(rows * cols), bias(cols), y(rows * cols);
+  for (auto& v : x) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : bias) v = static_cast<float>(rng.NextGaussian());
+  ScaleAddBias(rows, cols, 0.37f, x.data(), bias.data(), y.data());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      EXPECT_FLOAT_EQ(y[i * cols + j], 0.37f * x[i * cols + j] + bias[j]);
+    }
+  }
+}
 
 TEST(VectorOpsTest, DotHandlesRemainderLoop) {
   const float x[] = {1, 2, 3, 4, 5, 6, 7};

@@ -164,6 +164,90 @@ TEST(GradCheckTest, MatMulTransposeB) {
       RandomParams({{3, 4}, {5, 4}}, 22));
 }
 
+TEST(GradCheckTest, MatMulOddShapeCrossesKernelTiles) {
+  // 17x19 * 19x21 straddles the 4x16 register tile of the blocked GEMM
+  // that now runs both the forward and the backward accumulations.
+  GradCheck(
+      [](const std::vector<Tensor>& p) { return Sum(MatMul(p[0], p[1])); },
+      RandomParams({{17, 19}, {19, 21}}, 121));
+}
+
+TEST(GradCheckTest, MatMulTransposeBOddShapeCrossesKernelTiles) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        Tensor c = MatMulTransposeB(p[0], p[1]);
+        return Sum(Mul(c, c));
+      },
+      RandomParams({{6, 18}, {21, 18}}, 122));
+}
+
+TEST(GradCheckTest, AddRowBroadcastActivate) {
+  using linalg::Activation;
+  for (Activation act : {Activation::kIdentity, Activation::kSigmoid,
+                         Activation::kTanh}) {
+    GradCheck(
+        [act](const std::vector<Tensor>& p) {
+          Tensor y = AddRowBroadcastActivate(p[0], p[1], act);
+          return Sum(Mul(y, p[2]));
+        },
+        RandomParams({{4, 5}, {1, 5}, {4, 5}}, 123));
+  }
+}
+
+TEST(GradCheckTest, AddRowBroadcastActivateRelu) {
+  // Fixed values keep every preactivation away from relu's kink, where
+  // the central-difference numeric gradient is unreliable.
+  Tensor x = Tensor::FromData(2, 3, {1.0f, -2.0f, 0.5f, -0.75f, 2.0f, -1.5f},
+                              /*requires_grad=*/true);
+  Tensor b = Tensor::FromData(1, 3, {0.25f, -0.25f, 0.1f},
+                              /*requires_grad=*/true);
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        return Sum(AddRowBroadcastActivate(p[0], p[1],
+                                           linalg::Activation::kRelu));
+      },
+      {x, b});
+}
+
+TEST(GradCheckTest, ScaleAddRowBroadcast) {
+  GradCheck(
+      [](const std::vector<Tensor>& p) {
+        Tensor y = ScaleAddRowBroadcast(p[0], p[1], 0.37f);
+        return Sum(Mul(y, y));
+      },
+      RandomParams({{3, 7}, {1, 7}}, 124));
+}
+
+TEST(TensorTest, AddRowBroadcastActivateMatchesUnfused) {
+  util::Rng rng(125);
+  Tensor x = Tensor::Randn(5, 9, 1.0f, &rng, false);
+  Tensor b = Tensor::Randn(1, 9, 1.0f, &rng, false);
+  const Tensor fused =
+      AddRowBroadcastActivate(x, b, linalg::Activation::kSigmoid);
+  const Tensor unfused = Sigmoid(AddRowBroadcast(x, b));
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], unfused.data()[i], 1e-6f) << i;
+  }
+}
+
+TEST(TensorTest, MatMulOddShapeMatchesDoubleReference) {
+  util::Rng rng(126);
+  const int64_t m = 9, k = 33, n = 21;
+  Tensor a = Tensor::Randn(m, k, 1.0f, &rng, false);
+  Tensor b = Tensor::Randn(k, n, 1.0f, &rng, false);
+  Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        s += static_cast<double>(a.At(i, kk)) * b.At(kk, j);
+      }
+      EXPECT_NEAR(c.At(i, j), s, 1e-4 * std::max(1.0, std::abs(s)))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
 TEST(GradCheckTest, AddSubMulScale) {
   GradCheck(
       [](const std::vector<Tensor>& p) {
