@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification sweep: the default release suite, then the same
+# tests under ASan/UBSan (memory and UB bugs in the serialization and
+# fault-injection paths) and TSan (races in the parallel engine).
+#
+# Usage: scripts/check.sh [default|asan|tsan]...
+# With no arguments all three suites run, default first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+suites=("$@")
+if [ ${#suites[@]} -eq 0 ]; then
+  suites=(default asan tsan)
+fi
+
+for suite in "${suites[@]}"; do
+  echo "==== ${suite}: configure ===="
+  cmake --preset "${suite}"
+  echo "==== ${suite}: build ===="
+  cmake --build --preset "${suite}" -j "$(nproc)"
+  echo "==== ${suite}: test ===="
+  ctest --preset "${suite}" -j "$(nproc)"
+done
+
+echo "All suites passed: ${suites[*]}"

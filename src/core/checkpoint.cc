@@ -1,0 +1,339 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace cuisine::core {
+
+namespace {
+
+constexpr char kEnvelopeMagic[4] = {'C', 'S', 'C', 'P'};
+constexpr uint32_t kEnvelopeVersion = 1;
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".bin";
+constexpr size_t kStepDigits = 12;
+
+constexpr char kStateMagic[4] = {'C', 'S', 'T', 'S'};
+constexpr uint32_t kStateVersion = 1;
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+void AppendDoubleBits(std::string* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendValue(out, bits);
+}
+
+void AppendDoubleVector(std::string* out, const std::vector<double>& v) {
+  AppendValue(out, static_cast<uint64_t>(v.size()));
+  for (double d : v) AppendDoubleBits(out, d);
+}
+
+void AppendFloatVectors(std::string* out,
+                        const std::vector<std::vector<float>>& vs) {
+  AppendValue(out, static_cast<uint64_t>(vs.size()));
+  for (const auto& v : vs) {
+    AppendValue(out, static_cast<uint64_t>(v.size()));
+    AppendBytes(out, v.data(), v.size() * sizeof(float));
+  }
+}
+
+/// Bounded cursor shared by the envelope and train-state readers.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDoubleBits(double* value) {
+    uint64_t bits;
+    if (!Read(&bits)) return false;
+    std::memcpy(value, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool ReadDoubleVector(std::vector<double>* v) {
+    uint64_t count = 0;
+    if (!Read(&count) || count > remaining() / sizeof(uint64_t)) return false;
+    v->resize(count);
+    for (auto& d : *v) {
+      if (!ReadDoubleBits(&d)) return false;
+    }
+    return true;
+  }
+
+  bool ReadFloatVectors(std::vector<std::vector<float>>* vs) {
+    uint64_t count = 0;
+    // Each vector costs at least its 8-byte length field.
+    if (!Read(&count) || count > remaining() / sizeof(uint64_t)) return false;
+    vs->resize(count);
+    for (auto& v : *vs) {
+      uint64_t len = 0;
+      if (!Read(&len) || len > remaining() / sizeof(float)) return false;
+      v.resize(len);
+      std::memcpy(v.data(), bytes_.data() + pos_, len * sizeof(float));
+      pos_ += len * sizeof(float);
+    }
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint64_t len = 0;
+    if (!Read(&len) || len > remaining()) return false;
+    s->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---- CheckpointManager ----
+
+CheckpointManager::CheckpointManager(util::FileSystem* fs, std::string dir,
+                                     int32_t keep)
+    : fs_(fs), dir_(std::move(dir)), keep_(std::max(keep, 1)) {}
+
+std::string CheckpointManager::PathTo(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::string CheckpointManager::CheckpointFileName(uint64_t step) {
+  std::string digits = std::to_string(step);
+  if (digits.size() < kStepDigits) {
+    digits.insert(0, kStepDigits - digits.size(), '0');
+  }
+  return kCheckpointPrefix + digits + kCheckpointSuffix;
+}
+
+bool CheckpointManager::ParseCheckpointFileName(const std::string& name,
+                                                uint64_t* step) {
+  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kCheckpointSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    if (value > (std::numeric_limits<uint64_t>::max() - (c - '0')) / 10) {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *step = value;
+  return true;
+}
+
+std::string CheckpointManager::WrapPayload(uint64_t step,
+                                           const std::string& payload) {
+  std::string out;
+  AppendBytes(&out, kEnvelopeMagic, sizeof(kEnvelopeMagic));
+  AppendValue(&out, kEnvelopeVersion);
+  AppendValue(&out, step);
+  AppendValue(&out, static_cast<uint64_t>(payload.size()));
+  AppendValue(&out, util::Crc32c(payload.data(), payload.size()));
+  AppendValue(&out, util::Crc32c(out.data(), out.size()));
+  out += payload;
+  return out;
+}
+
+util::Status CheckpointManager::UnwrapPayload(const std::string& bytes,
+                                              uint64_t* step,
+                                              std::string* payload) {
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Read(&magic) ||
+      std::memcmp(magic, kEnvelopeMagic, sizeof(magic)) != 0) {
+    return util::Status::InvalidArgument("bad checkpoint envelope magic");
+  }
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kEnvelopeVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported checkpoint envelope version");
+  }
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0, header_crc = 0;
+  if (!reader.Read(step) || !reader.Read(&payload_size) ||
+      !reader.Read(&payload_crc) || !reader.Read(&header_crc)) {
+    return util::Status::InvalidArgument("truncated checkpoint envelope");
+  }
+  const size_t header_len = bytes.size() - reader.remaining() - sizeof(header_crc);
+  if (util::Crc32c(bytes.data(), header_len) != header_crc) {
+    return util::Status::InvalidArgument(
+        "checkpoint envelope header checksum mismatch");
+  }
+  if (payload_size != reader.remaining()) {
+    return util::Status::InvalidArgument(
+        "checkpoint payload is " + std::to_string(reader.remaining()) +
+        " bytes, envelope declares " + std::to_string(payload_size));
+  }
+  const char* data = bytes.data() + (bytes.size() - reader.remaining());
+  if (util::Crc32c(data, payload_size) != payload_crc) {
+    return util::Status::InvalidArgument(
+        "checkpoint payload checksum mismatch (corrupt or torn file)");
+  }
+  payload->assign(data, payload_size);
+  return util::Status::OK();
+}
+
+util::Status CheckpointManager::Init() { return fs_->CreateDirs(dir_); }
+
+util::Status CheckpointManager::Save(uint64_t step,
+                                     const std::string& payload) {
+  const std::string name = CheckpointFileName(step);
+  CUISINE_RETURN_NOT_OK(
+      fs_->WriteFileAtomic(PathTo(name), WrapPayload(step, payload)));
+  CUISINE_RETURN_NOT_OK(
+      fs_->WriteFileAtomic(PathTo(kCurrentFile), name + "\n"));
+
+  // Prune beyond the keep limit, oldest first. Pruning is best-effort:
+  // a failed remove costs disk space, not correctness.
+  CUISINE_ASSIGN_OR_RETURN(std::vector<std::string> entries, fs_->List(dir_));
+  std::vector<std::pair<uint64_t, std::string>> checkpoints;
+  for (const std::string& entry : entries) {
+    uint64_t s = 0;
+    if (ParseCheckpointFileName(entry, &s)) checkpoints.emplace_back(s, entry);
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  const size_t keep = static_cast<size_t>(keep_);
+  if (checkpoints.size() > keep) {
+    for (size_t i = 0; i + keep < checkpoints.size(); ++i) {
+      const util::Status removed = fs_->Remove(PathTo(checkpoints[i].second));
+      if (!removed.ok()) {
+        CUISINE_LOG(Warning) << "failed to prune checkpoint "
+                             << checkpoints[i].second << ": "
+                             << removed.ToString();
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<CheckpointManager::Loaded> CheckpointManager::LoadLatestValid(
+    const std::function<util::Status(const std::string&)>& deep_validate)
+    const {
+  auto entries = fs_->List(dir_);
+  if (!entries.ok()) {
+    if (entries.status().code() == util::StatusCode::kNotFound) {
+      return util::Status::NotFound("no checkpoint directory: " + dir_);
+    }
+    return entries.status();
+  }
+  std::vector<std::pair<uint64_t, std::string>> checkpoints;
+  for (const std::string& entry : *entries) {
+    uint64_t step = 0;
+    if (ParseCheckpointFileName(entry, &step)) {
+      checkpoints.emplace_back(step, entry);
+    }
+  }
+  // Newest first: recovery prefers the most recent state that verifies.
+  std::sort(checkpoints.rbegin(), checkpoints.rend());
+  for (const auto& [step, name] : checkpoints) {
+    auto verify = [&]() -> util::Result<Loaded> {
+      CUISINE_ASSIGN_OR_RETURN(std::string bytes, fs_->ReadFile(PathTo(name)));
+      Loaded loaded;
+      loaded.name = name;
+      CUISINE_RETURN_NOT_OK(
+          UnwrapPayload(bytes, &loaded.step, &loaded.payload));
+      if (loaded.step != step) {
+        return util::Status::InvalidArgument(
+            "checkpoint " + name + " declares step " +
+            std::to_string(loaded.step));
+      }
+      if (deep_validate) CUISINE_RETURN_NOT_OK(deep_validate(loaded.payload));
+      return loaded;
+    };
+    auto loaded = verify();
+    if (loaded.ok()) return loaded;
+    CUISINE_LOG(Warning) << "skipping invalid checkpoint " << PathTo(name)
+                         << ": " << loaded.status().ToString();
+  }
+  return util::Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+// ---- TrainState ----
+
+std::string SerializeTrainState(const TrainState& state) {
+  std::string out;
+  AppendBytes(&out, kStateMagic, sizeof(kStateMagic));
+  AppendValue(&out, kStateVersion);
+  AppendValue(&out, state.seed);
+  AppendValue(&out, state.step);
+  AppendValue(&out, state.epoch);
+  AppendValue(&out, state.batch_start);
+  AppendValue(&out, state.optimizer_step);
+  AppendDoubleBits(&out, state.epoch_loss);
+  AppendDoubleBits(&out, state.train_seconds);
+  AppendDoubleVector(&out, state.train_loss);
+  AppendDoubleVector(&out, state.validation_loss);
+  AppendValue(&out, static_cast<uint64_t>(state.model.size()));
+  out += state.model;
+  AppendFloatVectors(&out, state.adam_m);
+  AppendFloatVectors(&out, state.adam_v);
+  return out;
+}
+
+util::Status DeserializeTrainState(const std::string& bytes,
+                                   TrainState* state) {
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Read(&magic) ||
+      std::memcmp(magic, kStateMagic, sizeof(magic)) != 0) {
+    return util::Status::InvalidArgument("bad train-state magic");
+  }
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kStateVersion) {
+    return util::Status::InvalidArgument("unsupported train-state version");
+  }
+  TrainState parsed;
+  if (!reader.Read(&parsed.seed) || !reader.Read(&parsed.step) ||
+      !reader.Read(&parsed.epoch) || !reader.Read(&parsed.batch_start) ||
+      !reader.Read(&parsed.optimizer_step) ||
+      !reader.ReadDoubleBits(&parsed.epoch_loss) ||
+      !reader.ReadDoubleBits(&parsed.train_seconds) ||
+      !reader.ReadDoubleVector(&parsed.train_loss) ||
+      !reader.ReadDoubleVector(&parsed.validation_loss) ||
+      !reader.ReadString(&parsed.model) ||
+      !reader.ReadFloatVectors(&parsed.adam_m) ||
+      !reader.ReadFloatVectors(&parsed.adam_v)) {
+    return util::Status::InvalidArgument("truncated or malformed train state");
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument("trailing bytes in train state");
+  }
+  *state = std::move(parsed);
+  return util::Status::OK();
+}
+
+}  // namespace cuisine::core

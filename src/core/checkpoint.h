@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/fs.h"
+#include "util/status.h"
+
+/// \file checkpoint.h
+/// \brief Rotating, checksummed checkpoint storage and the serialized
+/// training state that makes crash recovery bit-identical.
+///
+/// Directory protocol (RocksDB MANIFEST/CURRENT style):
+///   ckpt-<step, zero-padded>.bin   rotating checkpoint files
+///   CURRENT                        name of the newest checkpoint + '\n'
+///
+/// Every checkpoint file is an envelope
+///   magic "CSCP" | uint32 version | uint64 step | uint64 payload size |
+///   uint32 CRC-32C(payload) | uint32 CRC-32C(header) | payload
+/// written with FileSystem::WriteFileAtomic, so a crash leaves either a
+/// complete checkpoint or none. Recovery does not trust CURRENT: it
+/// scans the directory newest-first and picks the first checkpoint that
+/// passes the envelope checksums (plus an optional caller-supplied deep
+/// validation), skipping corrupt or torn files with a logged warning.
+/// CURRENT is maintained for operators and external tooling.
+
+namespace cuisine::core {
+
+/// \brief Writes rotating keep-N checkpoints and recovers the newest
+/// valid one.
+class CheckpointManager {
+ public:
+  /// `fs` is not owned and must outlive the manager; `keep` is the
+  /// number of rotating checkpoints retained (>= 1).
+  CheckpointManager(util::FileSystem* fs, std::string dir, int32_t keep = 3);
+
+  /// Creates the checkpoint directory if missing.
+  util::Status Init();
+
+  /// Atomically writes `payload` as the checkpoint for `step`, updates
+  /// CURRENT, and prunes checkpoints beyond the keep limit.
+  util::Status Save(uint64_t step, const std::string& payload);
+
+  struct Loaded {
+    uint64_t step = 0;
+    std::string name;     ///< file name within the directory
+    std::string payload;  ///< checksum-verified payload bytes
+  };
+
+  /// Scans for the newest checkpoint whose envelope checksums pass and
+  /// (when provided) whose payload `deep_validate` accepts. Corrupt,
+  /// torn, or rejected files are skipped with a logged warning.
+  /// NotFound when no valid checkpoint exists.
+  util::Result<Loaded> LoadLatestValid(
+      const std::function<util::Status(const std::string&)>& deep_validate =
+          nullptr) const;
+
+  const std::string& dir() const { return dir_; }
+
+  // Envelope/naming primitives, exposed for tests and tooling.
+  static std::string CheckpointFileName(uint64_t step);
+  static bool ParseCheckpointFileName(const std::string& name, uint64_t* step);
+  static std::string WrapPayload(uint64_t step, const std::string& payload);
+  static util::Status UnwrapPayload(const std::string& bytes, uint64_t* step,
+                                    std::string* payload);
+
+ private:
+  std::string PathTo(const std::string& name) const;
+
+  util::FileSystem* fs_;
+  std::string dir_;
+  int32_t keep_;
+};
+
+/// \brief Everything the data-parallel training loop needs to resume a
+/// killed run bit-identically: model parameters, AdamW moments, the
+/// loop position, and the RNG seed the derived streams key off.
+///
+/// The shuffle RNG is not stored: its state after k epochs is replayed
+/// exactly by re-running k Fisher-Yates shuffles from the seed, and all
+/// per-example streams are stateless functions of (seed, step, index).
+struct TrainState {
+  uint64_t seed = 0;           ///< options.seed; a mismatch rejects the file
+  uint64_t step = 0;           ///< completed optimizer steps
+  int32_t epoch = 0;           ///< epoch the next batch belongs to
+  uint64_t batch_start = 0;    ///< dataset offset of the next batch
+  int64_t optimizer_step = 0;  ///< Adam's bias-correction counter
+  double epoch_loss = 0.0;     ///< loss accumulated so far in `epoch`
+  double train_seconds = 0.0;  ///< wall time consumed by previous runs
+  std::vector<double> train_loss;       ///< per-epoch history so far
+  std::vector<double> validation_loss;  ///< per-epoch history so far
+  std::string model;  ///< nn::SerializeTensors blob (v2, checksummed)
+  std::vector<std::vector<float>> adam_m, adam_v;
+};
+
+/// Serialises the state (doubles are stored as raw bits, so resume is
+/// exact, not merely close).
+std::string SerializeTrainState(const TrainState& state);
+
+/// Parses SerializeTrainState output with full bound checking; any
+/// truncation or malformed length returns InvalidArgument.
+util::Status DeserializeTrainState(const std::string& bytes,
+                                   TrainState* state);
+
+}  // namespace cuisine::core

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
+#include "core/checkpoint.h"
 #include "core/engine.h"
+#include "nn/serialization.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -30,6 +33,12 @@ struct LoopOptions {
   uint64_t seed = 0;
   bool verbose = false;
   const char* tag = "train";
+  // Crash safety (see NeuralTrainOptions for semantics).
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_steps = 0;
+  int32_t keep_checkpoints = 3;
+  int64_t stop_after_steps = 0;
+  util::FileSystem* fs = nullptr;
 };
 
 /// The data-parallel mini-batch loop shared by supervised fine-tuning
@@ -99,10 +108,101 @@ util::Result<TrainHistory> RunDataParallel(
   TrainHistory history;
   util::Stopwatch watch;
   int64_t step = 0;
+
+  // ---- Crash safety: recover the newest valid checkpoint, then write
+  // rotating checkpoints as training progresses (core/checkpoint.h).
+  std::unique_ptr<CheckpointManager> manager;
+  int32_t start_epoch = 0;
+  size_t resume_batch_start = 0;
+  double resume_epoch_loss = 0.0;
+  double seconds_base = 0.0;
+  if (!loop.checkpoint_dir.empty()) {
+    util::FileSystem* fs =
+        loop.fs != nullptr ? loop.fs : util::GetDefaultFileSystem();
+    manager = std::make_unique<CheckpointManager>(fs, loop.checkpoint_dir,
+                                                  loop.keep_checkpoints);
+    CUISINE_RETURN_NOT_OK(manager->Init());
+
+    // Structural validation beyond the envelope checksums: a checkpoint
+    // from a different seed or architecture must not be resumed.
+    auto validate = [&](const std::string& payload) -> util::Status {
+      TrainState st;
+      CUISINE_RETURN_NOT_OK(DeserializeTrainState(payload, &st));
+      if (st.seed != loop.seed) {
+        return util::Status::InvalidArgument("checkpoint seed mismatch");
+      }
+      if (st.epoch < 0 || st.epoch > loop.epochs || st.batch_start > n) {
+        return util::Status::InvalidArgument(
+            "checkpoint position out of range");
+      }
+      if (st.adam_m.size() != num_params || st.adam_v.size() != num_params) {
+        return util::Status::InvalidArgument(
+            "checkpoint optimizer state does not match the model");
+      }
+      for (size_t p = 0; p < num_params; ++p) {
+        if (st.adam_m[p].size() != replicas[0].params[p].size() ||
+            st.adam_v[p].size() != replicas[0].params[p].size()) {
+          return util::Status::InvalidArgument(
+              "checkpoint optimizer state does not match the model");
+        }
+      }
+      return util::Status::OK();
+    };
+    auto loaded = manager->LoadLatestValid(validate);
+    if (loaded.ok()) {
+      TrainState st;
+      CUISINE_RETURN_NOT_OK(DeserializeTrainState(loaded->payload, &st));
+      CUISINE_RETURN_NOT_OK(
+          nn::DeserializeTensors(st.model, &replicas[0].params));
+      CUISINE_RETURN_NOT_OK(optimizer.ImportState(
+          {st.optimizer_step, std::move(st.adam_m), std::move(st.adam_v)}));
+      step = static_cast<int64_t>(st.step);
+      start_epoch = st.epoch;
+      resume_batch_start = static_cast<size_t>(st.batch_start);
+      resume_epoch_loss = st.epoch_loss;
+      seconds_base = st.train_seconds;
+      history.train_loss = std::move(st.train_loss);
+      history.validation_loss = std::move(st.validation_loss);
+      sync_replicas();
+      CUISINE_LOG(Info) << loop.tag << ": resumed from "
+                        << loop.checkpoint_dir << "/" << loaded->name
+                        << " (step " << step << ", epoch " << start_epoch
+                        << ")";
+    } else if (loaded.status().code() != util::StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  // Snapshots the exact loop state; a resume from this state replays
+  // the remaining trajectory bit for bit.
+  auto save_checkpoint = [&](int32_t next_epoch, uint64_t next_batch_start,
+                             double epoch_loss_so_far) -> util::Status {
+    TrainState st;
+    st.seed = loop.seed;
+    st.step = static_cast<uint64_t>(step);
+    st.epoch = next_epoch;
+    st.batch_start = next_batch_start;
+    nn::AdamState adam = optimizer.ExportState();
+    st.optimizer_step = adam.step;
+    st.adam_m = std::move(adam.m);
+    st.adam_v = std::move(adam.v);
+    st.epoch_loss = epoch_loss_so_far;
+    st.train_seconds = seconds_base + watch.ElapsedSeconds();
+    st.train_loss = history.train_loss;
+    st.validation_loss = history.validation_loss;
+    st.model = nn::SerializeTensors(replicas[0].params);
+    return manager->Save(st.step, SerializeTrainState(st));
+  };
+
   for (int32_t epoch = 0; epoch < loop.epochs; ++epoch) {
     shuffle_rng.Shuffle(&order);
-    double epoch_loss = 0.0;
-    for (size_t start = 0; start < n; start += batch) {
+    // Completed epochs are skipped after the shuffle so the RNG stream
+    // (and therefore every later epoch's order) matches the
+    // uninterrupted run exactly.
+    if (epoch < start_epoch) continue;
+    double epoch_loss = epoch == start_epoch ? resume_epoch_loss : 0.0;
+    const size_t epoch_first = epoch == start_epoch ? resume_batch_start : 0;
+    for (size_t start = epoch_first; start < n; start += batch) {
       const size_t end = std::min(n, start + batch);
       const size_t batch_n = end - start;
       const float inv_batch = 1.0f / static_cast<float>(batch_n);
@@ -146,6 +246,17 @@ util::Result<TrainHistory> RunDataParallel(
       optimizer.set_learning_rate(schedule.LearningRate(step++));
       optimizer.Step();
       sync_replicas();
+
+      if (manager && loop.checkpoint_every_steps > 0 &&
+          step % loop.checkpoint_every_steps == 0) {
+        CUISINE_RETURN_NOT_OK(save_checkpoint(
+            epoch, std::min(start + batch, n), epoch_loss));
+      }
+      if (loop.stop_after_steps > 0 && step >= loop.stop_after_steps) {
+        // Simulated crash: abandon mid-run without a final checkpoint.
+        history.train_seconds = seconds_base + watch.ElapsedSeconds();
+        return history;
+      }
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(n));
     if (validation_loss) {
@@ -160,8 +271,11 @@ util::Result<TrainHistory> RunDataParallel(
                                 : " val_loss=" + std::to_string(
                                       history.validation_loss.back()));
     }
+    if (manager) {
+      CUISINE_RETURN_NOT_OK(save_checkpoint(epoch + 1, 0, 0.0));
+    }
   }
-  history.train_seconds = watch.ElapsedSeconds();
+  history.train_seconds = seconds_base + watch.ElapsedSeconds();
   return history;
 }
 
@@ -222,6 +336,11 @@ util::Result<TrainHistory> TrainSequenceClassifier(
   loop.seed = options.seed;
   loop.verbose = options.verbose;
   loop.tag = "train";
+  loop.checkpoint_dir = options.checkpoint_dir;
+  loop.checkpoint_every_steps = options.checkpoint_every_steps;
+  loop.keep_checkpoints = options.keep_checkpoints;
+  loop.stop_after_steps = options.stop_after_steps;
+  loop.fs = options.fs;
   return RunDataParallel(std::move(replicas), train_x.size(), loop,
                          validation);
 }
@@ -419,6 +538,11 @@ util::Result<std::vector<double>> PretrainMlm(
   loop.seed = options.seed;
   loop.verbose = options.verbose;
   loop.tag = "MLM";
+  loop.checkpoint_dir = options.checkpoint_dir;
+  loop.checkpoint_every_steps = options.checkpoint_every_steps;
+  loop.keep_checkpoints = options.keep_checkpoints;
+  loop.stop_after_steps = options.stop_after_steps;
+  loop.fs = options.fs;
   CUISINE_ASSIGN_OR_RETURN(
       TrainHistory history,
       RunDataParallel(std::move(replicas), sequences.size(), loop, nullptr));

@@ -5,11 +5,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "features/sequence_encoder.h"
 #include "nn/optimizer.h"
 #include "nn/tensor.h"
 #include "nn/transformer.h"
 #include "text/vocabulary.h"
+#include "util/fs.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -62,6 +65,28 @@ struct NeuralTrainOptions {
   /// factory.
   size_t num_workers = 1;
   bool verbose = false;
+
+  // ---- Crash safety (core/checkpoint.h) ----
+
+  /// When non-empty, rotating checkpoints (model parameters, AdamW
+  /// moments, loop position, RNG seed) are written here and the newest
+  /// valid one is resumed on startup. A resumed run finishes with
+  /// parameters bit-identical to the uninterrupted run — corrupt or
+  /// torn checkpoints are skipped with a logged warning.
+  std::string checkpoint_dir;
+  /// Additionally checkpoint every N optimizer steps (0 = only at
+  /// epoch boundaries, which are always checkpointed when a
+  /// checkpoint_dir is set).
+  int64_t checkpoint_every_steps = 0;
+  /// Rotating checkpoints retained in checkpoint_dir.
+  int32_t keep_checkpoints = 3;
+  /// Fault-injection hook: abandon the run — without a final
+  /// checkpoint, as a crash would — once the global optimizer step
+  /// count reaches this value (0 = run to completion).
+  int64_t stop_after_steps = 0;
+  /// Filesystem for checkpoint I/O (nullptr = the process-wide local
+  /// filesystem). Tests substitute a util::FaultInjectionFileSystem.
+  util::FileSystem* fs = nullptr;
 };
 
 /// Per-epoch loss curves (the paper's training/validation loss figures).
@@ -122,6 +147,13 @@ struct MlmOptions {
   /// Data-parallel workers per mini-batch (0 = hardware concurrency).
   size_t num_workers = 1;
   bool verbose = false;
+
+  // ---- Crash safety (same semantics as NeuralTrainOptions) ----
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_steps = 0;
+  int32_t keep_checkpoints = 3;
+  int64_t stop_after_steps = 0;
+  util::FileSystem* fs = nullptr;
 };
 
 /// A replica of the MLM pretraining stack (encoder + tied head).

@@ -63,29 +63,41 @@ util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text) {
   if (table.rows.empty()) return out;
   for (size_t row_idx = 1; row_idx < table.rows.size(); ++row_idx) {
     const auto& row = table.rows[row_idx];
+    // 1-based line number assuming one row per line (event texts carry
+    // no embedded newlines); the header is line 1.
+    const std::string where = "line " + std::to_string(row_idx + 1) + ": ";
     if (row.size() != 4) {
       return util::Status::InvalidArgument(
-          "recipe row " + std::to_string(row_idx) + " has " +
-          std::to_string(row.size()) + " fields, expected 4");
+          where + "expected 4 fields (id,continent,cuisine,events), got " +
+          std::to_string(row.size()));
     }
     Recipe rec;
     const std::string& id_str = row[0];
     auto [ptr, ec] = std::from_chars(id_str.data(),
                                      id_str.data() + id_str.size(), rec.id);
     if (ec != std::errc() || ptr != id_str.data() + id_str.size()) {
-      return util::Status::InvalidArgument("bad recipe id: " + id_str);
+      return util::Status::InvalidArgument(where + "bad recipe id field '" +
+                                           id_str + "'");
     }
     rec.cuisine_id = CuisineIdByName(row[2]);
     if (rec.cuisine_id < 0) {
-      return util::Status::InvalidArgument("unknown cuisine: " + row[2]);
+      return util::Status::InvalidArgument(where + "unknown cuisine field '" +
+                                           row[2] + "'");
     }
     if (!row[3].empty()) {
       for (const std::string& item : util::Split(row[3], '|')) {
         if (item.size() < 2 || item[1] != ':') {
-          return util::Status::InvalidArgument("bad event item: " + item);
+          return util::Status::InvalidArgument(
+              where + "bad event item '" + item + "' in events field '" +
+              row[3] + "'");
         }
-        CUISINE_ASSIGN_OR_RETURN(EventType type, TypeFromChar(item[0]));
-        rec.events.push_back({type, item.substr(2)});
+        auto type = TypeFromChar(item[0]);
+        if (!type.ok()) {
+          return util::Status::InvalidArgument(
+              where + type.status().message() + " in event item '" + item +
+              "'");
+        }
+        rec.events.push_back({*type, item.substr(2)});
       }
     }
     out.push_back(std::move(rec));
@@ -94,13 +106,16 @@ util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text) {
 }
 
 util::Status SaveRecipes(const std::vector<Recipe>& recipes,
-                         const std::string& path) {
+                         const std::string& path, util::FileSystem* fs) {
+  if (fs == nullptr) fs = util::GetDefaultFileSystem();
   CUISINE_ASSIGN_OR_RETURN(std::string text, WriteRecipesCsv(recipes));
-  return util::WriteFile(path, text);
+  return fs->WriteFileAtomic(path, text);
 }
 
-util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path) {
-  CUISINE_ASSIGN_OR_RETURN(std::string text, util::ReadFile(path));
+util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path,
+                                              util::FileSystem* fs) {
+  if (fs == nullptr) fs = util::GetDefaultFileSystem();
+  CUISINE_ASSIGN_OR_RETURN(std::string text, fs->ReadFile(path));
   return ReadRecipesCsv(text);
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "data/recipe.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 /// \file io.h
@@ -20,12 +21,17 @@ namespace cuisine::data {
 /// Serialises recipes to CSV text.
 util::Result<std::string> WriteRecipesCsv(const std::vector<Recipe>& recipes);
 
-/// Parses the WriteRecipesCsv format.
+/// Parses the WriteRecipesCsv format. Every parse error names the
+/// 1-based line number and the offending field; malformed input always
+/// returns a clean InvalidArgument, never crashes.
 util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text);
 
-/// Convenience: write/read via a file path.
+/// Convenience: write/read via a file path. `fs` defaults to the
+/// process-wide local filesystem; saving is atomic and durable.
 util::Status SaveRecipes(const std::vector<Recipe>& recipes,
-                         const std::string& path);
-util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path);
+                         const std::string& path,
+                         util::FileSystem* fs = nullptr);
+util::Result<std::vector<Recipe>> LoadRecipes(const std::string& path,
+                                              util::FileSystem* fs = nullptr);
 
 }  // namespace cuisine::data

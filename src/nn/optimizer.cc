@@ -101,6 +101,36 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step = step_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+util::Status Adam::ImportState(AdamState state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return util::Status::InvalidArgument(
+        "Adam state holds " + std::to_string(state.m.size()) +
+        " moment vectors, optimizer has " + std::to_string(params_.size()) +
+        " parameters");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (state.m[i].size() != params_[i].size() ||
+        state.v[i].size() != params_[i].size()) {
+      return util::Status::InvalidArgument(
+          "Adam state moment " + std::to_string(i) + " has " +
+          std::to_string(state.m[i].size()) + " elements, parameter has " +
+          std::to_string(params_[i].size()));
+    }
+  }
+  step_ = state.step;
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  return util::Status::OK();
+}
+
 WarmupLinearSchedule::WarmupLinearSchedule(double peak_lr,
                                            int64_t warmup_steps,
                                            int64_t total_steps)

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/status.h"
 
 /// \file optimizer.h
 /// \brief SGD / Adam / AdamW plus learning-rate schedules.
@@ -52,6 +53,14 @@ class Sgd final : public Optimizer {
   std::vector<std::vector<float>> velocity_;
 };
 
+/// Snapshot of Adam's mutable state (checkpointing): the step counter
+/// that drives bias correction plus the first/second moment estimates,
+/// one vector per parameter in construction order.
+struct AdamState {
+  int64_t step = 0;
+  std::vector<std::vector<float>> m, v;
+};
+
 /// \brief Adam (Kingma & Ba, 2015); AdamW when weight_decay > 0
 /// (decoupled decay, Loshchilov & Hutter, 2019).
 class Adam final : public Optimizer {
@@ -60,6 +69,16 @@ class Adam final : public Optimizer {
        double beta2 = 0.999, double epsilon = 1e-8,
        double weight_decay = 0.0);
   void Step() override;
+
+  /// Copies out the optimizer state for checkpointing.
+  AdamState ExportState() const;
+
+  /// Restores state captured by ExportState. The moment shapes must
+  /// match this optimizer's parameter list exactly (InvalidArgument
+  /// otherwise; the optimizer is left untouched on failure). Restoring
+  /// makes a resumed run's update sequence bit-identical to the
+  /// uninterrupted one.
+  util::Status ImportState(AdamState state);
 
  private:
   double beta1_, beta2_, epsilon_, weight_decay_;

@@ -1,15 +1,17 @@
 #include "nn/serialization.h"
 
 #include <cstring>
+#include <limits>
 
-#include "util/csv.h"
+#include "util/crc32c.h"
 
 namespace cuisine::nn {
 
 namespace {
 
 constexpr char kMagic[4] = {'C', 'S', 'N', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;  // no checksums; read-only support
+constexpr uint32_t kVersion = 2;
 
 void AppendBytes(std::string* out, const void* data, size_t n) {
   out->append(static_cast<const char*>(data), n);
@@ -27,26 +29,60 @@ class Reader {
 
   template <typename T>
   bool Read(T* value) {
-    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    if (sizeof(T) > remaining()) return false;
     std::memcpy(value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return true;
   }
 
   bool ReadFloats(float* dst, size_t count) {
+    if (count > remaining() / sizeof(float)) return false;
     const size_t n = count * sizeof(float);
-    if (pos_ + n > bytes_.size()) return false;
     std::memcpy(dst, bytes_.data() + pos_, n);
     pos_ += n;
     return true;
   }
 
+  const char* cursor() const { return bytes_.data() + pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
  private:
   const std::string& bytes_;
   size_t pos_ = 0;
 };
+
+/// Validates a declared shape against the model tensor and the bytes
+/// actually left in the buffer — before any allocation, so a corrupt or
+/// adversarial header cannot trigger an OOM.
+util::Status CheckTensorHeader(size_t index, int64_t rows, int64_t cols,
+                               const Tensor& model, size_t bytes_remaining) {
+  const std::string tag = "tensor " + std::to_string(index);
+  if (rows < 0 || cols < 0) {
+    return util::Status::InvalidArgument(tag + " has negative shape " +
+                                         std::to_string(rows) + "x" +
+                                         std::to_string(cols));
+  }
+  if (cols > 0 && rows > std::numeric_limits<int64_t>::max() / cols) {
+    return util::Status::InvalidArgument(tag + " shape overflows: " +
+                                         std::to_string(rows) + "x" +
+                                         std::to_string(cols));
+  }
+  const auto elements = static_cast<uint64_t>(rows * cols);
+  if (elements > bytes_remaining / sizeof(float)) {
+    return util::Status::InvalidArgument(
+        tag + " declares " + std::to_string(elements) +
+        " elements but only " + std::to_string(bytes_remaining) +
+        " bytes remain");
+  }
+  if (rows != model.rows() || cols != model.cols()) {
+    return util::Status::InvalidArgument(
+        tag + " shape mismatch: checkpoint " + std::to_string(rows) + "x" +
+        std::to_string(cols) + ", model " + std::to_string(model.rows()) +
+        "x" + std::to_string(model.cols()));
+  }
+  return util::Status::OK();
+}
 
 }  // namespace
 
@@ -55,9 +91,11 @@ std::string SerializeTensors(const std::vector<Tensor>& tensors) {
   AppendBytes(&out, kMagic, sizeof(kMagic));
   AppendValue(&out, kVersion);
   AppendValue(&out, static_cast<uint64_t>(tensors.size()));
+  AppendValue(&out, util::Crc32c(out.data(), out.size()));
   for (const Tensor& t : tensors) {
     AppendValue(&out, t.rows());
     AppendValue(&out, t.cols());
+    AppendValue(&out, util::Crc32c(t.data(), t.size() * sizeof(float)));
     AppendBytes(&out, t.data(), t.size() * sizeof(float));
   }
   return out;
@@ -71,11 +109,27 @@ util::Status DeserializeTensors(const std::string& bytes,
     return util::Status::InvalidArgument("bad checkpoint magic");
   }
   uint32_t version = 0;
-  if (!reader.Read(&version) || version != kVersion) {
+  if (!reader.Read(&version) ||
+      (version != kVersion && version != kVersionLegacy)) {
     return util::Status::InvalidArgument("unsupported checkpoint version");
   }
+  const bool checksummed = version == kVersion;
   uint64_t count = 0;
-  if (!reader.Read(&count) || count != tensors->size()) {
+  if (!reader.Read(&count)) {
+    return util::Status::InvalidArgument("truncated checkpoint header");
+  }
+  if (checksummed) {
+    // The header CRC covers magic | version | count (the bytes before it).
+    const size_t header_len = sizeof(kMagic) + sizeof(version) + sizeof(count);
+    uint32_t expected = 0;
+    if (!reader.Read(&expected)) {
+      return util::Status::InvalidArgument("truncated checkpoint header");
+    }
+    if (util::Crc32c(bytes.data(), header_len) != expected) {
+      return util::Status::InvalidArgument("checkpoint header checksum mismatch");
+    }
+  }
+  if (count != tensors->size()) {
     return util::Status::InvalidArgument(
         "checkpoint holds " + std::to_string(count) + " tensors, model has " +
         std::to_string(tensors->size()));
@@ -87,12 +141,19 @@ util::Status DeserializeTensors(const std::string& bytes,
     if (!reader.Read(&rows) || !reader.Read(&cols)) {
       return util::Status::InvalidArgument("truncated checkpoint header");
     }
+    uint32_t expected_crc = 0;
+    if (checksummed && !reader.Read(&expected_crc)) {
+      return util::Status::InvalidArgument("truncated checkpoint header");
+    }
     Tensor& t = (*tensors)[i];
-    if (rows != t.rows() || cols != t.cols()) {
+    CUISINE_RETURN_NOT_OK(
+        CheckTensorHeader(i, rows, cols, t, reader.remaining()));
+    if (checksummed &&
+        util::Crc32c(reader.cursor(), t.size() * sizeof(float)) !=
+            expected_crc) {
       return util::Status::InvalidArgument(
-          "tensor " + std::to_string(i) + " shape mismatch: checkpoint " +
-          std::to_string(rows) + "x" + std::to_string(cols) + ", model " +
-          std::to_string(t.rows()) + "x" + std::to_string(t.cols()));
+          "tensor " + std::to_string(i) +
+          " checksum mismatch (corrupt checkpoint)");
     }
     staged[i].resize(t.size());
     if (!reader.ReadFloats(staged[i].data(), t.size())) {
@@ -110,13 +171,16 @@ util::Status DeserializeTensors(const std::string& bytes,
 }
 
 util::Status SaveCheckpoint(const std::vector<Tensor>& tensors,
-                            const std::string& path) {
-  return util::WriteFile(path, SerializeTensors(tensors));
+                            const std::string& path, util::FileSystem* fs) {
+  if (fs == nullptr) fs = util::GetDefaultFileSystem();
+  return fs->WriteFileAtomic(path, SerializeTensors(tensors));
 }
 
 util::Status LoadCheckpoint(const std::string& path,
-                            std::vector<Tensor>* tensors) {
-  CUISINE_ASSIGN_OR_RETURN(std::string bytes, util::ReadFile(path));
+                            std::vector<Tensor>* tensors,
+                            util::FileSystem* fs) {
+  if (fs == nullptr) fs = util::GetDefaultFileSystem();
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, fs->ReadFile(path));
   return DeserializeTensors(bytes, tensors);
 }
 

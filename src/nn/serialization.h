@@ -4,34 +4,49 @@
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/fs.h"
 #include "util/status.h"
 
 /// \file serialization.h
-/// \brief Binary checkpointing of parameter tensors.
+/// \brief Binary checkpointing of parameter tensors (format v2,
+/// checksummed; v1 still loads).
 ///
-/// Format (little-endian):
-///   magic "CSNN" | uint32 version | uint64 tensor count |
-///   per tensor: int64 rows | int64 cols | rows*cols float32 values.
+/// Format v2 (little-endian):
+///   magic "CSNN" | uint32 version=2 | uint64 tensor count |
+///   uint32 CRC-32C over the preceding 16 header bytes |
+///   per tensor: int64 rows | int64 cols |
+///               uint32 CRC-32C over the payload | rows*cols float32.
+///
+/// Format v1 lacks both CRCs and is accepted read-only for backward
+/// compatibility.
 ///
 /// Loading restores values *into* an existing parameter list (the module
 /// tree defines the structure), with strict shape checking — mirroring
-/// how PyTorch state_dicts are applied to an instantiated model.
+/// how PyTorch state_dicts are applied to an instantiated model. Every
+/// declared count/shape is bound-checked against the byte length before
+/// any allocation, so an adversarial or corrupt header returns
+/// InvalidArgument instead of attempting a huge allocation, and any
+/// torn tail, truncation, or flipped bit fails the CRC check.
 
 namespace cuisine::nn {
 
-/// Serialises the tensors' values (not gradients) to a byte string.
+/// Serialises the tensors' values (not gradients) to a v2 byte string.
 std::string SerializeTensors(const std::vector<Tensor>& tensors);
 
-/// Restores values into `tensors` from SerializeTensors() output.
-/// Returns InvalidArgument on format or shape mismatch (and leaves the
-/// tensors untouched in that case).
+/// Restores values into `tensors` from SerializeTensors() output (v2)
+/// or a legacy v1 blob. Returns InvalidArgument on format, checksum, or
+/// shape mismatch (and leaves the tensors untouched in that case).
 util::Status DeserializeTensors(const std::string& bytes,
                                 std::vector<Tensor>* tensors);
 
-/// Checkpoint to / restore from a file.
+/// Checkpoint to / restore from a file. `fs` defaults to the
+/// process-wide local filesystem; saving is atomic and durable
+/// (FileSystem::WriteFileAtomic).
 util::Status SaveCheckpoint(const std::vector<Tensor>& tensors,
-                            const std::string& path);
+                            const std::string& path,
+                            util::FileSystem* fs = nullptr);
 util::Status LoadCheckpoint(const std::string& path,
-                            std::vector<Tensor>* tensors);
+                            std::vector<Tensor>* tensors,
+                            util::FileSystem* fs = nullptr);
 
 }  // namespace cuisine::nn

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32c.h
+/// \brief CRC-32C (Castagnoli) checksums for durable on-disk formats.
+///
+/// Every checksummed structure in the repo (checkpoint headers, tensor
+/// sections, checkpoint-manager envelopes) uses this polynomial — the
+/// same one RocksDB and leveldb use for their WAL/SST blocks — so a
+/// torn write, truncation, or flipped bit is detected at read time
+/// instead of being interpreted as data.
+
+namespace cuisine::util {
+
+/// CRC-32C of `n` bytes starting at `data`.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Extends a running CRC-32C with `n` more bytes; start from 0.
+/// `Crc32cExtend(Crc32c(a), b)` == `Crc32c(a + b)`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace cuisine::util

@@ -1,7 +1,6 @@
 #include "util/csv.h"
 
-#include <fstream>
-#include <sstream>
+#include "util/fs.h"
 
 namespace cuisine::util {
 
@@ -105,20 +104,11 @@ std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return GetDefaultFileSystem()->ReadFile(path);
 }
 
 Status WriteFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(contents.data(),
-            static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IOError("short write: " + path);
-  return Status::OK();
+  return GetDefaultFileSystem()->WriteFileAtomic(path, contents);
 }
 
 }  // namespace cuisine::util

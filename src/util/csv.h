@@ -25,10 +25,14 @@ Result<CsvTable> ParseCsv(const std::string& text);
 /// Serialises rows to CSV text, quoting fields when needed.
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
 
-/// Reads an entire file into a string.
+/// Reads an entire file into a string via the default FileSystem
+/// (util/fs.h). NotFound for a missing path; mid-read failures surface
+/// as IOError instead of a silently truncated result.
 Result<std::string> ReadFile(const std::string& path);
 
-/// Writes a string to a file (overwrites).
+/// Atomically and durably replaces a file's contents via the default
+/// FileSystem (write-to-temp + fsync + rename). A full or read-only
+/// disk returns IOError; it never silently succeeds.
 Status WriteFile(const std::string& path, const std::string& contents);
 
 }  // namespace cuisine::util

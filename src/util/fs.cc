@@ -1,0 +1,357 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <set>
+
+namespace cuisine::util {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// RAII file descriptor so every early return closes.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  /// Closes eagerly and reports failure (close can surface a deferred
+  /// write error on some filesystems).
+  bool Close() {
+    const int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+FileSystem* GetDefaultFileSystem() {
+  static LocalFileSystem* fs = new LocalFileSystem();
+  return fs;
+}
+
+Result<std::string> LocalFileSystem::ReadFile(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.get() < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(ErrnoMessage("cannot open for read", path));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("read failed", path));
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Status LocalFileSystem::WriteFileAtomic(const std::string& path,
+                                        const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (fd.get() < 0) {
+      return Status::IOError(ErrnoMessage("cannot open for write", tmp));
+    }
+    size_t written = 0;
+    while (written < contents.size()) {
+      const ssize_t n = ::write(fd.get(), contents.data() + written,
+                                contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::unlink(tmp.c_str());
+        return Status::IOError(ErrnoMessage("write failed", tmp));
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd.get()) != 0) {
+      ::unlink(tmp.c_str());
+      return Status::IOError(ErrnoMessage("fsync failed", tmp));
+    }
+    if (!fd.Close()) {
+      ::unlink(tmp.c_str());
+      return Status::IOError(ErrnoMessage("close failed", tmp));
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("rename failed", path));
+  }
+  // The rename itself must be durable: fsync the parent directory.
+  return Sync(ParentDir(path));
+}
+
+Status LocalFileSystem::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("rename source missing: " + from);
+    }
+    return Status::IOError(ErrnoMessage("rename failed", from + " -> " + to));
+  }
+  return Sync(ParentDir(to));
+}
+
+Status LocalFileSystem::Sync(const std::string& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.get() < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IOError(ErrnoMessage("cannot open for sync", path));
+  }
+  if (::fsync(fd.get()) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed", path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> LocalFileSystem::List(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Status::IOError(ErrnoMessage("cannot list", dir));
+  }
+  std::vector<std::string> names;
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status LocalFileSystem::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IOError(ErrnoMessage("remove failed", path));
+  }
+  return Status::OK();
+}
+
+Status LocalFileSystem::CreateDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("mkdir failed", prefix));
+    }
+  }
+  return Status::OK();
+}
+
+bool LocalFileSystem::Exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// ---- FaultInjectionFileSystem ----
+
+FaultInjectionFileSystem::FaultInjectionFileSystem(FileSystem* base,
+                                                   uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+Status FaultInjectionFileSystem::BeginOperation(const char* op,
+                                                const std::string& path) {
+  ++operations_;
+  if (fail_countdown_ == 0) {
+    fail_countdown_ = -1;
+    return Status::IOError(std::string("injected fault: ") + op + " " + path);
+  }
+  if (fail_countdown_ > 0) --fail_countdown_;
+  return Status::OK();
+}
+
+Result<std::string> FaultInjectionFileSystem::ReadFile(
+    const std::string& path) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("ReadFile", path));
+  const auto it = overlay_.find(path);
+  if (it != overlay_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("no such file (unsynced remove): " + path);
+    }
+    return *it->second;
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectionFileSystem::WriteFileAtomic(const std::string& path,
+                                                 const std::string& contents) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("WriteFileAtomic", path));
+  std::string payload = contents;
+  bool report_torn = false;
+  if (tear_next_write_) {
+    tear_next_write_ = false;
+    const size_t keep =
+        payload.empty() ? 0 : static_cast<size_t>(rng_.NextBelow(payload.size()));
+    payload.resize(keep);  // strict prefix: the write never completed
+    report_torn = true;
+  } else if (corrupt_next_write_) {
+    corrupt_next_write_ = false;
+    if (!payload.empty()) {
+      const size_t byte = static_cast<size_t>(rng_.NextBelow(payload.size()));
+      payload[byte] = static_cast<char>(
+          payload[byte] ^ static_cast<char>(1u << rng_.NextBelow(8)));
+    }
+  }
+  Status write_status;
+  if (buffered_) {
+    overlay_[path] = std::move(payload);
+  } else {
+    write_status = base_->WriteFileAtomic(path, payload);
+  }
+  if (report_torn) {
+    return Status::IOError("injected torn write: " + path);
+  }
+  return write_status;
+}
+
+Status FaultInjectionFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("Rename", from));
+  const auto it = overlay_.find(from);
+  if (it == overlay_.end() && !buffered_) {
+    return base_->Rename(from, to);
+  }
+  std::string contents;
+  if (it != overlay_.end()) {
+    if (!it->second.has_value()) {
+      return Status::NotFound("rename source missing: " + from);
+    }
+    contents = *it->second;
+  } else {
+    CUISINE_ASSIGN_OR_RETURN(contents, base_->ReadFile(from));
+  }
+  overlay_[to] = std::move(contents);
+  overlay_[from] = std::nullopt;
+  return Status::OK();
+}
+
+Status FaultInjectionFileSystem::Sync(const std::string& path) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("Sync", path));
+  const auto it = overlay_.find(path);
+  if (it == overlay_.end()) return base_->Sync(path);
+  Status st;
+  if (it->second.has_value()) {
+    st = base_->WriteFileAtomic(path, *it->second);
+  } else {
+    st = base_->Remove(path);
+    if (st.code() == StatusCode::kNotFound) st = Status::OK();
+  }
+  if (st.ok()) overlay_.erase(it);
+  return st;
+}
+
+Result<std::vector<std::string>> FaultInjectionFileSystem::List(
+    const std::string& dir) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("List", dir));
+  std::set<std::string> names;
+  auto listed = base_->List(dir);
+  if (listed.ok()) {
+    names.insert(listed->begin(), listed->end());
+  } else if (listed.status().code() != StatusCode::kNotFound) {
+    return listed.status();
+  }
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  bool any_overlay = false;
+  for (const auto& [path, contents] : overlay_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string name = path.substr(prefix.size());
+    if (name.find('/') != std::string::npos) continue;  // not a direct child
+    any_overlay = true;
+    if (contents.has_value()) {
+      names.insert(name);
+    } else {
+      names.erase(name);
+    }
+  }
+  if (!listed.ok() && !any_overlay) return listed.status();
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status FaultInjectionFileSystem::Remove(const std::string& path) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("Remove", path));
+  const auto it = overlay_.find(path);
+  if (buffered_ || it != overlay_.end()) {
+    const bool exists = it != overlay_.end() ? it->second.has_value()
+                                             : base_->Exists(path);
+    if (!exists) return Status::NotFound("no such file: " + path);
+    overlay_[path] = std::nullopt;
+    return Status::OK();
+  }
+  return base_->Remove(path);
+}
+
+Status FaultInjectionFileSystem::CreateDirs(const std::string& path) {
+  CUISINE_RETURN_NOT_OK(BeginOperation("CreateDirs", path));
+  return base_->CreateDirs(path);
+}
+
+bool FaultInjectionFileSystem::Exists(const std::string& path) {
+  const auto it = overlay_.find(path);
+  if (it != overlay_.end()) return it->second.has_value();
+  return base_->Exists(path);
+}
+
+Status FaultInjectionFileSystem::FlipRandomBit(const std::string& path) {
+  // Test helper: bypasses operation counting and armed faults.
+  std::string contents;
+  const auto it = overlay_.find(path);
+  if (it != overlay_.end() && it->second.has_value()) {
+    contents = *it->second;
+  } else {
+    CUISINE_ASSIGN_OR_RETURN(contents, base_->ReadFile(path));
+  }
+  if (contents.empty()) {
+    return Status::InvalidArgument("cannot corrupt empty file: " + path);
+  }
+  const size_t byte = static_cast<size_t>(rng_.NextBelow(contents.size()));
+  contents[byte] = static_cast<char>(
+      contents[byte] ^ static_cast<char>(1u << rng_.NextBelow(8)));
+  if (it != overlay_.end()) {
+    overlay_[path] = std::move(contents);
+    return Status::OK();
+  }
+  return base_->WriteFileAtomic(path, contents);
+}
+
+}  // namespace cuisine::util

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file fs.h
+/// \brief FileSystem abstraction with a durable local backend and a
+/// deterministic fault-injection decorator.
+///
+/// All durable state in the repo (recipe corpora, model checkpoints,
+/// the checkpoint-manager directory) goes through this interface so
+/// that crash-safety can be *tested*, not just hoped for. The design
+/// follows RocksDB's Env/FaultInjectionTestFS split:
+///
+///  - `LocalFileSystem` is the production backend. `WriteFileAtomic`
+///    uses the write-to-temp + fsync + rename + fsync-parent protocol,
+///    so a crash at any instant leaves either the old file or the new
+///    file — never a torn mix.
+///  - `FaultInjectionFileSystem` wraps any backend and injects the
+///    failure modes a real disk exhibits: failing the Nth operation,
+///    tearing a write at a byte offset, dropping data that was never
+///    synced (power loss), and flipping bits (silent corruption). All
+///    randomness comes from a seeded `Rng`, so every failure scenario
+///    replays exactly.
+///
+/// Paths are plain UTF-8 strings; directories use '/' separators.
+
+namespace cuisine::util {
+
+/// \brief Minimal filesystem interface for durable state.
+///
+/// Every operation returns `Status`/`Result` — implementations never
+/// throw. `NotFound` is reserved for missing paths; environmental
+/// failures (permissions, full disk, injected faults) are `IOError`.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Reads an entire file. NotFound if the path does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Durably replaces `path` with `contents` as a single atomic step:
+  /// concurrent readers and crash recovery see either the previous
+  /// complete file or the new complete file.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 const std::string& contents) = 0;
+
+  /// Atomically renames a file (POSIX rename semantics: replaces `to`).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Forces `path` (a file) to stable storage.
+  virtual Status Sync(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, sorted ascending.
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  /// Removes a file. NotFound if it does not exist.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Creates `path` and any missing parents (mkdir -p; OK if present).
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// True if `path` names an existing file or directory.
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// Process-wide `LocalFileSystem` used by the path-based convenience
+/// helpers (`util::ReadFile`, `data::LoadRecipes`, ...).
+FileSystem* GetDefaultFileSystem();
+
+/// \brief Production backend over the OS filesystem (POSIX).
+///
+/// Every syscall's result is checked; short writes, mid-read failures
+/// and close-time flush errors all surface as `IOError` instead of
+/// silently succeeding on a full or read-only disk.
+class LocalFileSystem final : public FileSystem {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         const std::string& contents) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Sync(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+};
+
+/// \brief Decorator that injects deterministic, replayable failures.
+///
+/// Fault scheduling is explicit: tests arm one of the modes below and
+/// the next matching operation misbehaves. The seeded RNG only decides
+/// *where* a tear or bit flip lands, so a scenario is fully described
+/// by (seed, arming sequence) and replays bit-for-bit.
+///
+/// Not thread-safe: the harness drives training from one thread.
+class FaultInjectionFileSystem final : public FileSystem {
+ public:
+  /// Wraps `base` (not owned; must outlive this decorator).
+  FaultInjectionFileSystem(FileSystem* base, uint64_t seed);
+
+  // ---- Fault scheduling ----
+
+  /// Arms a one-shot failure: after `countdown` more operations
+  /// succeed, the next one returns IOError without touching the
+  /// backend. Pass a negative value to disarm.
+  void FailAfterOperations(int64_t countdown) { fail_countdown_ = countdown; }
+
+  /// The next WriteFileAtomic persists only a strict prefix (length
+  /// drawn from the seeded RNG) at the *final* path and returns
+  /// IOError — the torn file a non-atomic writer would leave behind.
+  void TearNextWrite() { tear_next_write_ = true; }
+
+  /// The next WriteFileAtomic lands with one seeded bit flipped and
+  /// reports success: silent corruption that only checksums can catch.
+  void CorruptNextWrite() { corrupt_next_write_ = true; }
+
+  /// While buffered, writes/renames/removes live in a volatile overlay
+  /// until `Sync(path)` flushes them to the backend — modelling an OS
+  /// page cache that has not reached the platter.
+  void SetBuffered(bool buffered) { buffered_ = buffered; }
+
+  /// Simulated power loss: every unsynced (overlay) change vanishes.
+  void DropUnsyncedData() { overlay_.clear(); }
+
+  /// Flips one seeded bit of an existing file in place (test helper for
+  /// corrupting a checkpoint that was already written).
+  Status FlipRandomBit(const std::string& path);
+
+  /// Operations observed so far (successful or failed).
+  int64_t operation_count() const { return operations_; }
+
+  // ---- FileSystem ----
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         const std::string& contents) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Sync(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  /// Counts the operation and returns the armed injected failure, if any.
+  Status BeginOperation(const char* op, const std::string& path);
+
+  FileSystem* base_;
+  Rng rng_;
+  int64_t operations_ = 0;
+  int64_t fail_countdown_ = -1;
+  bool tear_next_write_ = false;
+  bool corrupt_next_write_ = false;
+  bool buffered_ = false;
+  /// Volatile (unsynced) state: contents, or nullopt for "removed".
+  std::map<std::string, std::optional<std::string>> overlay_;
+};
+
+}  // namespace cuisine::util

@@ -1,0 +1,670 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "nn/serialization.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "util/crc32c.h"
+#include "util/fs.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+/// \file checkpoint_test.cc
+/// \brief Crash-safety tests: the checksummed tensor format (v2 + legacy
+/// v1), adversarial/corrupt input hardening, the rotating
+/// CheckpointManager, and the acceptance scenario — training killed at
+/// an arbitrary step with the newest checkpoint corrupted resumes from
+/// the previous one and finishes bit-identical to an uninterrupted run.
+
+namespace cuisine::core {
+namespace {
+
+template <typename T>
+void Append(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/cuisine_ckpt_" + name;
+  util::LocalFileSystem fs;
+  EXPECT_TRUE(fs.CreateDirs(dir).ok());
+  auto entries = fs.List(dir);
+  if (entries.ok()) {
+    for (const auto& entry : *entries) fs.Remove(dir + "/" + entry);
+  }
+  return dir;
+}
+
+std::vector<nn::Tensor> MakeModel() {
+  return {nn::Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6}),
+          nn::Tensor::FromData(1, 2, {-0.5f, 7.25f})};
+}
+
+std::vector<nn::Tensor> MakeZeroModel() {
+  return {nn::Tensor::Zeros(2, 3), nn::Tensor::Zeros(1, 2)};
+}
+
+// ---- Tensor serialization: v2 + legacy v1 ----
+
+TEST(SerializationTest, V2RoundTrip) {
+  const std::vector<nn::Tensor> src = MakeModel();
+  std::vector<nn::Tensor> dst = MakeZeroModel();
+  ASSERT_TRUE(nn::DeserializeTensors(nn::SerializeTensors(src), &dst).ok());
+  EXPECT_EQ(nn::SerializeTensors(dst), nn::SerializeTensors(src));
+}
+
+TEST(SerializationTest, LegacyV1StillLoads) {
+  const std::vector<nn::Tensor> src = MakeModel();
+  // v1: magic | version=1 | count | per tensor rows/cols/floats, no CRCs.
+  std::string v1 = "CSNN";
+  Append(&v1, uint32_t{1});
+  Append(&v1, static_cast<uint64_t>(src.size()));
+  for (const nn::Tensor& t : src) {
+    Append(&v1, t.rows());
+    Append(&v1, t.cols());
+    v1.append(reinterpret_cast<const char*>(t.data()),
+              t.size() * sizeof(float));
+  }
+  std::vector<nn::Tensor> dst = MakeZeroModel();
+  ASSERT_TRUE(nn::DeserializeTensors(v1, &dst).ok());
+  EXPECT_EQ(nn::SerializeTensors(dst), nn::SerializeTensors(src));
+}
+
+TEST(SerializationTest, EveryTruncationFailsAndLeavesModelUntouched) {
+  const std::string blob = nn::SerializeTensors(MakeModel());
+  std::vector<nn::Tensor> dst = MakeZeroModel();
+  const std::string before = nn::SerializeTensors(dst);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    const util::Status status =
+        nn::DeserializeTensors(blob.substr(0, len), &dst);
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+        << "prefix length " << len;
+    EXPECT_EQ(nn::SerializeTensors(dst), before) << "prefix length " << len;
+  }
+  EXPECT_EQ(nn::DeserializeTensors(blob + "x", &dst).code(),
+            util::StatusCode::kInvalidArgument);  // trailing bytes
+}
+
+TEST(SerializationTest, EverySingleBitFlipIsDetected) {
+  const std::string blob = nn::SerializeTensors(MakeModel());
+  const std::string pristine = blob;
+  for (size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = pristine;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      std::vector<nn::Tensor> dst = MakeZeroModel();
+      EXPECT_FALSE(nn::DeserializeTensors(flipped, &dst).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(SerializationTest, AdversarialHeadersFailBeforeAllocating) {
+  // A huge declared tensor count with a *valid* header CRC: rejected on
+  // the count check, long before any per-tensor work.
+  std::string huge_count = "CSNN";
+  Append(&huge_count, uint32_t{2});
+  Append(&huge_count, ~uint64_t{0});
+  Append(&huge_count, util::Crc32c(huge_count.data(), huge_count.size()));
+  std::vector<nn::Tensor> dst = MakeZeroModel();
+  EXPECT_EQ(nn::DeserializeTensors(huge_count, &dst).code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Patch shape fields of an otherwise-valid blob (rows lives right
+  // after the 20-byte v2 header). None of these may attempt a huge
+  // allocation; all must return InvalidArgument.
+  const std::string blob = nn::SerializeTensors(MakeModel());
+  const size_t rows_off = 20, cols_off = 28;
+  auto patched = [&](int64_t rows, int64_t cols) {
+    std::string b = blob;
+    std::memcpy(b.data() + rows_off, &rows, sizeof(rows));
+    std::memcpy(b.data() + cols_off, &cols, sizeof(cols));
+    return b;
+  };
+  for (const auto& [rows, cols] :
+       std::vector<std::pair<int64_t, int64_t>>{
+           {-1, 3},                            // negative shape
+           {2, -3},                            // negative shape
+           {int64_t{1} << 62, 8},              // rows*cols overflows int64
+           {int64_t{1} << 31, int64_t{1} << 20},  // plausible product, no data
+           {1 << 20, 1 << 10}}) {              // bigger than remaining bytes
+    EXPECT_EQ(nn::DeserializeTensors(patched(rows, cols), &dst).code(),
+              util::StatusCode::kInvalidArgument)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(SerializationTest, TensorCountMismatchRejected) {
+  const std::string blob = nn::SerializeTensors(MakeModel());
+  std::vector<nn::Tensor> short_model = {nn::Tensor::Zeros(2, 3)};
+  EXPECT_EQ(nn::DeserializeTensors(blob, &short_model).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, FileCheckpointSurvivesFaultInjectionHonestly) {
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/11);
+  const std::string dir = TestDir("ser_fi");
+  const std::string path = dir + "/model.ckpt";
+
+  // An injected write failure surfaces as IOError.
+  fs.FailAfterOperations(0);
+  EXPECT_EQ(nn::SaveCheckpoint(MakeModel(), path, &fs).code(),
+            util::StatusCode::kIOError);
+
+  // A torn write is detected at load time by the checksums.
+  fs.TearNextWrite();
+  EXPECT_EQ(nn::SaveCheckpoint(MakeModel(), path, &fs).code(),
+            util::StatusCode::kIOError);
+  std::vector<nn::Tensor> dst = MakeZeroModel();
+  EXPECT_EQ(nn::LoadCheckpoint(path, &dst, &fs).code(),
+            util::StatusCode::kInvalidArgument);
+
+  // A clean save round-trips; a silent bit flip is then caught.
+  ASSERT_TRUE(nn::SaveCheckpoint(MakeModel(), path, &fs).ok());
+  ASSERT_TRUE(nn::LoadCheckpoint(path, &dst, &fs).ok());
+  EXPECT_EQ(nn::SerializeTensors(dst), nn::SerializeTensors(MakeModel()));
+  ASSERT_TRUE(fs.FlipRandomBit(path).ok());
+  EXPECT_EQ(nn::LoadCheckpoint(path, &dst, &fs).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+// ---- TrainState ----
+
+TrainState SampleState() {
+  TrainState st;
+  st.seed = 0xDEADBEEFCAFEF00Dull;
+  st.step = 17;
+  st.epoch = 2;
+  st.batch_start = 48;
+  st.optimizer_step = 17;
+  st.epoch_loss = 1.0 / 3.0;  // not exactly representable: bits must survive
+  st.train_seconds = 12.5;
+  st.train_loss = {0.9, 0.7 / 7.0};
+  st.validation_loss = {1.1};
+  st.model = nn::SerializeTensors(MakeModel());
+  st.adam_m = {{0.1f, 0.2f}, {}, {3.0f}};
+  st.adam_v = {{0.4f, 0.5f}, {0.25f}, {}};
+  return st;
+}
+
+TEST(TrainStateTest, RoundTripIsBitExact) {
+  const TrainState src = SampleState();
+  TrainState dst;
+  ASSERT_TRUE(DeserializeTrainState(SerializeTrainState(src), &dst).ok());
+  EXPECT_EQ(dst.seed, src.seed);
+  EXPECT_EQ(dst.step, src.step);
+  EXPECT_EQ(dst.epoch, src.epoch);
+  EXPECT_EQ(dst.batch_start, src.batch_start);
+  EXPECT_EQ(dst.optimizer_step, src.optimizer_step);
+  // Doubles are stored as raw bits: equality is exact, not approximate.
+  EXPECT_EQ(dst.epoch_loss, src.epoch_loss);
+  EXPECT_EQ(dst.train_seconds, src.train_seconds);
+  EXPECT_EQ(dst.train_loss, src.train_loss);
+  EXPECT_EQ(dst.validation_loss, src.validation_loss);
+  EXPECT_EQ(dst.model, src.model);
+  EXPECT_EQ(dst.adam_m, src.adam_m);
+  EXPECT_EQ(dst.adam_v, src.adam_v);
+}
+
+TEST(TrainStateTest, EveryTruncationAndTrailingByteRejected) {
+  const std::string blob = SerializeTrainState(SampleState());
+  TrainState st;
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_EQ(DeserializeTrainState(blob.substr(0, len), &st).code(),
+              util::StatusCode::kInvalidArgument)
+        << "prefix length " << len;
+  }
+  EXPECT_EQ(DeserializeTrainState(blob + "z", &st).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(TrainStateTest, MalformedLengthFieldsNeverOverAllocate) {
+  std::string blob = SerializeTrainState(SampleState());
+  // The train_loss vector length lives at a fixed offset: magic(4) +
+  // version(4) + seed(8) + step(8) + epoch(4) + batch_start(8) +
+  // optimizer_step(8) + epoch_loss(8) + train_seconds(8) = 60.
+  const uint64_t huge = ~uint64_t{0} / 2;
+  std::memcpy(blob.data() + 60, &huge, sizeof(huge));
+  TrainState st;
+  EXPECT_EQ(DeserializeTrainState(blob, &st).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+// ---- CheckpointManager ----
+
+TEST(CheckpointManagerTest, FileNamesRoundTrip) {
+  EXPECT_EQ(CheckpointManager::CheckpointFileName(7), "ckpt-000000000007.bin");
+  uint64_t step = 0;
+  EXPECT_TRUE(CheckpointManager::ParseCheckpointFileName(
+      "ckpt-000000000007.bin", &step));
+  EXPECT_EQ(step, 7u);
+  EXPECT_TRUE(CheckpointManager::ParseCheckpointFileName(
+      CheckpointManager::CheckpointFileName(123456789012ull), &step));
+  EXPECT_EQ(step, 123456789012ull);
+  for (const char* bad : {"CURRENT", "ckpt-.bin", "ckpt-12x4.bin",
+                          "ckpt-000000000001.tmp", "model.ckpt"}) {
+    EXPECT_FALSE(CheckpointManager::ParseCheckpointFileName(bad, &step))
+        << bad;
+  }
+}
+
+TEST(CheckpointManagerTest, EnvelopeDetectsEveryCorruption) {
+  const std::string wrapped = CheckpointManager::WrapPayload(42, "payload");
+  uint64_t step = 0;
+  std::string payload;
+  ASSERT_TRUE(CheckpointManager::UnwrapPayload(wrapped, &step, &payload).ok());
+  EXPECT_EQ(step, 42u);
+  EXPECT_EQ(payload, "payload");
+
+  for (size_t len = 0; len < wrapped.size(); ++len) {
+    EXPECT_FALSE(CheckpointManager::UnwrapPayload(wrapped.substr(0, len),
+                                                  &step, &payload)
+                     .ok())
+        << "prefix length " << len;
+  }
+  for (size_t byte = 0; byte < wrapped.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = wrapped;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_FALSE(
+          CheckpointManager::UnwrapPayload(flipped, &step, &payload).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(CheckpointManagerTest, RotationKeepsTheNewestN) {
+  util::LocalFileSystem fs;
+  CheckpointManager manager(&fs, TestDir("rotate"), /*keep=*/2);
+  ASSERT_TRUE(manager.Init().ok());
+  for (uint64_t step : {1, 2, 3, 4}) {
+    ASSERT_TRUE(manager.Save(step, "state-" + std::to_string(step)).ok());
+  }
+  auto entries = fs.List(manager.dir());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, (std::vector<std::string>{
+                          "CURRENT", "ckpt-000000000003.bin",
+                          "ckpt-000000000004.bin"}));
+  EXPECT_EQ(*fs.ReadFile(manager.dir() + "/CURRENT"),
+            "ckpt-000000000004.bin\n");
+}
+
+TEST(CheckpointManagerTest, LoadLatestSkipsCorruptFilesAndFallsBack) {
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/21);
+  CheckpointManager manager(&fs, TestDir("fallback"), /*keep=*/5);
+  ASSERT_TRUE(manager.Init().ok());
+  for (uint64_t step : {1, 2, 3}) {
+    ASSERT_TRUE(manager.Save(step, "state-" + std::to_string(step)).ok());
+  }
+  auto newest = manager.LoadLatestValid();
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(newest->step, 3u);
+  EXPECT_EQ(newest->payload, "state-3");
+
+  // Corrupting the newest checkpoint falls back to the previous one;
+  // corrupting everything yields NotFound, never a bad payload.
+  ASSERT_TRUE(
+      fs.FlipRandomBit(manager.dir() + "/" +
+                       CheckpointManager::CheckpointFileName(3))
+          .ok());
+  auto fallback = manager.LoadLatestValid();
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback->step, 2u);
+  EXPECT_EQ(fallback->payload, "state-2");
+  for (uint64_t step : {1, 2}) {
+    ASSERT_TRUE(fs.FlipRandomBit(manager.dir() + "/" +
+                                 CheckpointManager::CheckpointFileName(step))
+                    .ok());
+  }
+  EXPECT_EQ(manager.LoadLatestValid().status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(CheckpointManagerTest, DeepValidationRejectionFallsBack) {
+  util::LocalFileSystem fs;
+  CheckpointManager manager(&fs, TestDir("deep"), /*keep=*/5);
+  ASSERT_TRUE(manager.Init().ok());
+  ASSERT_TRUE(manager.Save(1, "good").ok());
+  ASSERT_TRUE(manager.Save(2, "poison").ok());
+  auto loaded = manager.LoadLatestValid([](const std::string& payload) {
+    return payload == "poison"
+               ? util::Status::InvalidArgument("rejected by validator")
+               : util::Status::OK();
+  });
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->step, 1u);
+}
+
+TEST(CheckpointManagerTest, StepMismatchBetweenNameAndEnvelopeIsRejected) {
+  util::LocalFileSystem fs;
+  CheckpointManager manager(&fs, TestDir("mismatch"), /*keep=*/5);
+  ASSERT_TRUE(manager.Init().ok());
+  // A file claiming step 9 in its name but step 5 in its envelope (e.g.
+  // a bad manual copy) must not be trusted.
+  ASSERT_TRUE(fs.WriteFileAtomic(
+                    manager.dir() + "/" +
+                        CheckpointManager::CheckpointFileName(9),
+                    CheckpointManager::WrapPayload(5, "imposter"))
+                  .ok());
+  EXPECT_EQ(manager.LoadLatestValid().status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(CheckpointManagerTest, MissingDirectoryIsNotFound) {
+  util::LocalFileSystem fs;
+  CheckpointManager manager(&fs, TestDir("ghost") + "/never_created");
+  EXPECT_EQ(manager.LoadLatestValid().status().code(),
+            util::StatusCode::kNotFound);
+}
+
+// ---- Acceptance: kill + corrupt + fallback + bit-identical resume ----
+
+constexpr int64_t kVocab = 8;
+constexpr int64_t kDim = 4;
+constexpr int64_t kClasses = 3;
+constexpr uint64_t kNetSeed = 999;
+
+/// Tiny but real classifier exercising the full training surface:
+/// embedding gather, mean pooling, dropout (per-example RNG streams),
+/// and a linear head.
+SequenceNet MakeTinyNet() {
+  util::Rng rng(kNetSeed);
+  nn::Tensor table = nn::Tensor::Randn(kVocab, kDim, 0.2f, &rng);
+  nn::Tensor w = nn::Tensor::Xavier(kDim, kClasses, &rng);
+  nn::Tensor b = nn::Tensor::Zeros(1, kClasses, /*requires_grad=*/true);
+  SequenceNet net;
+  net.params = {table, w, b};
+  net.forward = [table, w, b](const features::EncodedSequence& seq,
+                              bool training, util::Rng* rng) -> nn::Tensor {
+    const auto len = static_cast<size_t>(seq.length);
+    const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + len);
+    nn::Tensor states = nn::EmbeddingGather(table, ids);
+    nn::Tensor pool = nn::Tensor::Full(1, static_cast<int64_t>(len),
+                                       1.0f / static_cast<float>(len));
+    nn::Tensor pooled =
+        nn::DropoutOp(nn::MatMul(pool, states), 0.1f, training, rng);
+    return nn::AddRowBroadcast(nn::MatMul(pooled, w), b);
+  };
+  return net;
+}
+
+struct TinyTask {
+  std::vector<features::EncodedSequence> x;
+  std::vector<int32_t> y;
+
+  TinyTask() {
+    for (int i = 0; i < 24; ++i) {
+      const int32_t label = i % 3;
+      features::EncodedSequence seq;
+      seq.ids = {label * 2, label * 2 + 1, static_cast<int32_t>(6 + i % 2)};
+      seq.mask = {1, 1, 1};
+      seq.length = 3;
+      x.push_back(std::move(seq));
+      y.push_back(label);
+    }
+  }
+};
+
+NeuralTrainOptions TinyOptions() {
+  NeuralTrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;  // 24 examples -> 6 steps/epoch, 18 total
+  options.learning_rate = 0.05;
+  options.seed = 123;
+  options.num_workers = 1;
+  return options;
+}
+
+/// Trains a fresh tiny net and returns (history status, final parameter
+/// bytes via out-param).
+util::Result<TrainHistory> TrainTiny(const TinyTask& task,
+                                     const NeuralTrainOptions& options,
+                                     std::string* final_params) {
+  SequenceNet net = MakeTinyNet();
+  auto history = TrainSequenceClassifier(net.forward, net.params, task.x,
+                                         task.y, {}, {}, options);
+  // The Tensor handles share state with the trained parameters, so the
+  // final values are visible here even though params were passed in.
+  if (history.ok() && final_params != nullptr) {
+    *final_params = nn::SerializeTensors(net.params);
+  }
+  return history;
+}
+
+TEST(CrashRecoveryTest, KilledRunWithCorruptLatestResumesBitIdentical) {
+  const TinyTask task;
+
+  // Run A: the uninterrupted reference trajectory.
+  std::string params_a;
+  auto hist_a = TrainTiny(task, TinyOptions(), &params_a);
+  ASSERT_TRUE(hist_a.ok()) << hist_a.status().ToString();
+  ASSERT_EQ(hist_a->train_loss.size(), 3u);
+
+  // Run B: checkpoint every step, killed at a randomized step (>= 2 so
+  // a previous checkpoint exists to fall back to, < 18 so the kill is
+  // mid-run).
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/77);
+  NeuralTrainOptions options = TinyOptions();
+  options.checkpoint_dir = TestDir("acceptance");
+  options.checkpoint_every_steps = 1;
+  options.keep_checkpoints = 3;
+  options.fs = &fs;
+  util::Rng pick(2026);
+  const int64_t kill_step = 2 + static_cast<int64_t>(pick.NextBelow(16));
+  options.stop_after_steps = kill_step;
+  auto hist_b = TrainTiny(task, options, nullptr);
+  ASSERT_TRUE(hist_b.ok()) << hist_b.status().ToString();
+
+  // Deliberately corrupt the newest checkpoint — one flipped bit.
+  const std::string newest =
+      options.checkpoint_dir + "/" +
+      CheckpointManager::CheckpointFileName(static_cast<uint64_t>(kill_step));
+  ASSERT_TRUE(fs.Exists(newest));
+  ASSERT_TRUE(fs.FlipRandomBit(newest).ok());
+
+  // Run C: recovery must skip the corrupt file, fall back to step
+  // kill_step - 1, replay the tail, and land bit-identical to run A.
+  options.stop_after_steps = 0;
+  std::string params_c;
+  auto hist_c = TrainTiny(task, options, &params_c);
+  ASSERT_TRUE(hist_c.ok()) << hist_c.status().ToString();
+  EXPECT_EQ(params_c, params_a);
+  EXPECT_EQ(hist_c->train_loss, hist_a->train_loss);
+}
+
+TEST(CrashRecoveryTest, AllCheckpointsCorruptMeansCleanRestartFromScratch) {
+  const TinyTask task;
+  std::string params_a;
+  auto hist_a = TrainTiny(task, TinyOptions(), &params_a);
+  ASSERT_TRUE(hist_a.ok());
+
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/78);
+  NeuralTrainOptions options = TinyOptions();
+  options.checkpoint_dir = TestDir("all_corrupt");
+  options.checkpoint_every_steps = 1;
+  options.keep_checkpoints = 2;
+  options.stop_after_steps = 5;
+  options.fs = &fs;
+  ASSERT_TRUE(TrainTiny(task, options, nullptr).ok());
+  auto entries = fs.List(options.checkpoint_dir);
+  ASSERT_TRUE(entries.ok());
+  int corrupted = 0;
+  for (const std::string& entry : *entries) {
+    uint64_t step = 0;
+    if (CheckpointManager::ParseCheckpointFileName(entry, &step)) {
+      ASSERT_TRUE(
+          fs.FlipRandomBit(options.checkpoint_dir + "/" + entry).ok());
+      ++corrupted;
+    }
+  }
+  ASSERT_EQ(corrupted, 2);
+
+  // Nothing valid to resume: the run restarts from step 0 and — because
+  // the trajectory is a pure function of the seed — still matches A.
+  options.stop_after_steps = 0;
+  std::string params_c;
+  auto hist_c = TrainTiny(task, options, &params_c);
+  ASSERT_TRUE(hist_c.ok()) << hist_c.status().ToString();
+  EXPECT_EQ(params_c, params_a);
+  EXPECT_EQ(hist_c->train_loss, hist_a->train_loss);
+}
+
+TEST(CrashRecoveryTest, SeedMismatchRejectsForeignCheckpoints) {
+  const TinyTask task;
+  util::LocalFileSystem local;
+  NeuralTrainOptions options = TinyOptions();
+  options.checkpoint_dir = TestDir("seed_mismatch");
+  options.checkpoint_every_steps = 1;
+  options.stop_after_steps = 4;
+  options.fs = &local;
+  ASSERT_TRUE(TrainTiny(task, options, nullptr).ok());
+
+  // A run with a different seed must not resume those checkpoints: its
+  // result has to equal its own uninterrupted trajectory.
+  NeuralTrainOptions other = TinyOptions();
+  other.seed = 321;
+  std::string params_fresh;
+  ASSERT_TRUE(TrainTiny(task, other, &params_fresh).ok());
+  other.checkpoint_dir = options.checkpoint_dir;
+  other.fs = &local;
+  std::string params_resumed;
+  ASSERT_TRUE(TrainTiny(task, other, &params_resumed).ok());
+  EXPECT_EQ(params_resumed, params_fresh);
+}
+
+TEST(CrashRecoveryTest, InjectedSaveFailuresSurfaceAsIOError) {
+  const TinyTask task;
+  util::LocalFileSystem local;
+
+  // Torn checkpoint write: training reports the IOError, never hides it.
+  {
+    util::FaultInjectionFileSystem fs(&local, /*seed=*/79);
+    NeuralTrainOptions options = TinyOptions();
+    options.checkpoint_dir = TestDir("torn_save");
+    options.checkpoint_every_steps = 1;
+    options.fs = &fs;
+    fs.TearNextWrite();
+    auto history = TrainTiny(task, options, nullptr);
+    EXPECT_EQ(history.status().code(), util::StatusCode::kIOError);
+  }
+
+  // Failure while opening the checkpoint directory at startup.
+  {
+    util::FaultInjectionFileSystem fs(&local, /*seed=*/80);
+    NeuralTrainOptions options = TinyOptions();
+    options.checkpoint_dir = TestDir("init_fail");
+    options.checkpoint_every_steps = 1;
+    options.fs = &fs;
+    fs.FailAfterOperations(0);
+    auto history = TrainTiny(task, options, nullptr);
+    EXPECT_EQ(history.status().code(), util::StatusCode::kIOError);
+  }
+}
+
+// ---- MLM pretraining resume ----
+
+struct MlmFixture {
+  std::vector<std::vector<std::string>> docs;
+  text::Vocabulary vocab;
+  std::vector<features::EncodedSequence> sequences;
+
+  static std::vector<std::vector<std::string>> MakeDocs() {
+    std::vector<std::vector<std::string>> docs;
+    for (int i = 0; i < 12; ++i) {
+      std::vector<std::string> doc;
+      for (int t = 0; t < 5; ++t) {
+        doc.push_back("tok" + std::to_string((i + t) % 7));
+      }
+      docs.push_back(std::move(doc));
+    }
+    return docs;
+  }
+
+  MlmFixture()
+      : docs(MakeDocs()), vocab(BuildSequenceVocabulary(docs, 1, 1000)) {
+    const features::SequenceEncoder encoder(
+        &vocab, {.max_length = 8, .add_cls_sep = true});
+    sequences = encoder.EncodeAll(docs);
+  }
+};
+
+struct MlmStack {
+  std::unique_ptr<nn::TransformerEncoder> encoder;
+  std::unique_ptr<nn::MlmHead> head;
+
+  std::string ParamBytes() const {
+    std::vector<nn::Tensor> params;
+    encoder->CollectParameters(&params);
+    head->CollectParameters(&params);
+    return nn::SerializeTensors(params);
+  }
+};
+
+MlmStack MakeMlmStack(const text::Vocabulary& vocab) {
+  nn::TransformerConfig config;
+  config.vocab_size = static_cast<int64_t>(vocab.size());
+  config.max_length = 8;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.d_ff = 16;
+  config.dropout = 0.0f;
+  config.seed = 71;
+  MlmStack stack;
+  stack.encoder = std::make_unique<nn::TransformerEncoder>(config);
+  util::Rng head_rng(72);
+  stack.head = std::make_unique<nn::MlmHead>(*stack.encoder, &head_rng);
+  return stack;
+}
+
+TEST(CrashRecoveryTest, MlmPretrainingResumesBitIdentical) {
+  const MlmFixture data;
+  MlmOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;  // 12 sequences -> 3 steps/epoch, 6 total
+  options.seed = 91;
+  options.num_workers = 1;
+
+  MlmStack reference = MakeMlmStack(data.vocab);
+  auto loss_a = PretrainMlm(reference.encoder.get(), reference.head.get(),
+                            data.sequences, data.vocab, options);
+  ASSERT_TRUE(loss_a.ok()) << loss_a.status().ToString();
+
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/81);
+  options.checkpoint_dir = TestDir("mlm");
+  options.checkpoint_every_steps = 1;
+  options.fs = &fs;
+  options.stop_after_steps = 4;
+  MlmStack killed = MakeMlmStack(data.vocab);
+  ASSERT_TRUE(PretrainMlm(killed.encoder.get(), killed.head.get(),
+                          data.sequences, data.vocab, options)
+                  .ok());
+  ASSERT_TRUE(
+      fs.FlipRandomBit(options.checkpoint_dir + "/" +
+                       CheckpointManager::CheckpointFileName(4))
+          .ok());
+
+  options.stop_after_steps = 0;
+  MlmStack resumed = MakeMlmStack(data.vocab);
+  auto loss_c = PretrainMlm(resumed.encoder.get(), resumed.head.get(),
+                            data.sequences, data.vocab, options);
+  ASSERT_TRUE(loss_c.ok()) << loss_c.status().ToString();
+  EXPECT_EQ(*loss_c, *loss_a);
+  EXPECT_EQ(resumed.ParamBytes(), reference.ParamBytes());
+}
+
+}  // namespace
+}  // namespace cuisine::core

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "data/cuisines.h"
 #include "data/generator.h"
@@ -12,6 +14,7 @@
 #include "data/stats.h"
 #include "data/word_lists.h"
 #include "text/tokenizer.h"
+#include "util/rng.h"
 
 namespace cuisine::data {
 namespace {
@@ -395,6 +398,92 @@ TEST(IoTest, EmptyCorpusRoundTrips) {
   const auto restored = ReadRecipesCsv(*csv);
   ASSERT_TRUE(restored.ok());
   EXPECT_TRUE(restored->empty());
+}
+
+TEST(IoTest, ParseErrorsNameTheLineAndOffendingField) {
+  const std::string header = "id,continent,cuisine,events\n";
+  struct Case {
+    const char* row;
+    const char* expect_line;
+    const char* expect_field;
+  };
+  // The header is line 1, so the first data row is line 2.
+  for (const Case& c : std::vector<Case>{
+           {"oops,European,Italian,i:basil", "line 2", "'oops'"},
+           {"7,European,Atlantis,i:basil", "line 2", "'Atlantis'"},
+           {"7,European,Italian,basil", "line 2", "'basil'"},
+           {"7,European,Italian,x:basil", "line 2", "'x:basil'"},
+           {"7,European,Italian", "line 2", "got 3"}}) {
+    const auto parsed = ReadRecipesCsv(header + c.row + "\n");
+    ASSERT_FALSE(parsed.ok()) << c.row;
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find(c.expect_line),
+              std::string::npos)
+        << parsed.status().ToString();
+    EXPECT_NE(parsed.status().message().find(c.expect_field),
+              std::string::npos)
+        << parsed.status().ToString();
+  }
+
+  // A later bad row reports its own line number.
+  const auto parsed = ReadRecipesCsv(
+      header + "1,European,Italian,i:basil\n2,Asian,Thai,p:stir\n3,bad\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 4"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(IoTest, RandomDelimiterMutationsNeverCrash) {
+  // Property test: deleting or duplicating structural characters in a
+  // valid export must always yield a clean Status (usually an error,
+  // sometimes a still-valid parse) — never a crash or unchecked throw.
+  std::vector<Recipe> recipes;
+  for (int i = 0; i < 6; ++i) {
+    Recipe r;
+    r.id = i;
+    r.cuisine_id = i % static_cast<int32_t>(kNumCuisines);
+    r.events = {{EventType::kIngredient, "red lentil"},
+                {EventType::kProcess, "stir"},
+                {EventType::kUtensil, "saucepan"}};
+    recipes.push_back(std::move(r));
+  }
+  const auto csv = WriteRecipesCsv(recipes);
+  ASSERT_TRUE(csv.ok());
+
+  util::Rng rng(20260806);
+  int parsed_ok = 0, parsed_error = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = *csv;
+    // 1-3 random deletions or duplications of , | : or newline.
+    const int edits = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int e = 0; e < edits; ++e) {
+      std::vector<size_t> positions;
+      for (size_t i = 0; i < mutated.size(); ++i) {
+        const char c = mutated[i];
+        if (c == ',' || c == '|' || c == ':' || c == '\n') {
+          positions.push_back(i);
+        }
+      }
+      if (positions.empty()) break;
+      const size_t pos = positions[rng.NextBelow(positions.size())];
+      if (rng.NextBool(0.5)) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated.insert(pos, 1, mutated[pos]);
+      }
+    }
+    const auto result = ReadRecipesCsv(mutated);
+    if (result.ok()) {
+      ++parsed_ok;
+    } else {
+      ++parsed_error;
+      EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // The corpus is structured enough that most mutations are caught.
+  EXPECT_GT(parsed_error, 0);
+  EXPECT_EQ(parsed_ok + parsed_error, 500);
 }
 
 }  // namespace

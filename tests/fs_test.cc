@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/crc32c.h"
+#include "util/csv.h"
+#include "util/fs.h"
+
+/// \file fs_test.cc
+/// \brief FileSystem layer tests: CRC-32C vectors, the durable local
+/// backend, and every injected failure mode of the fault-injection
+/// decorator (fail-Nth-op, torn write, silent bit flip, dropped
+/// unsynced data) — each must surface as a clean non-OK Status.
+
+namespace cuisine::util {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/cuisine_fs_" + name;
+  LocalFileSystem fs;
+  EXPECT_TRUE(fs.CreateDirs(dir).ok());
+  // Start from a clean slate: stale files would leak between runs.
+  auto entries = fs.List(dir);
+  if (entries.ok()) {
+    for (const auto& entry : *entries) fs.Remove(dir + "/" + entry);
+  }
+  return dir;
+}
+
+// ---- CRC-32C ----
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical check value for CRC-32C: crc("123456789").
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes, from the iSCSI test vectors (RFC 3720 B.4).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string a = "sequentially structured ";
+  const std::string b = "recipes";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a.data(), a.size()), b.data(), b.size()),
+            Crc32c((a + b).data(), a.size() + b.size()));
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  std::string data = "checkpoint payload";
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data.data(), data.size()), base)
+          << "byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+}
+
+// ---- LocalFileSystem ----
+
+TEST(LocalFileSystemTest, WriteReadRoundTrip) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("roundtrip");
+  const std::string path = dir + "/data.bin";
+  const std::string payload = "hello\0world" + std::string(1000, 'x');
+  ASSERT_TRUE(fs.WriteFileAtomic(path, payload).ok());
+  auto read = fs.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, payload);
+  EXPECT_TRUE(fs.Exists(path));
+  // Overwrite replaces wholesale.
+  ASSERT_TRUE(fs.WriteFileAtomic(path, "short").ok());
+  EXPECT_EQ(*fs.ReadFile(path), "short");
+}
+
+TEST(LocalFileSystemTest, AtomicWriteLeavesNoTempFile) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("notemp");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/file.bin", "contents").ok());
+  auto entries = fs.List(dir);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, std::vector<std::string>{"file.bin"});
+}
+
+TEST(LocalFileSystemTest, MissingPathsAreNotFound) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("missing");
+  EXPECT_EQ(fs.ReadFile(dir + "/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.Remove(dir + "/nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.Sync(dir + "/nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.List(dir + "/not_a_dir").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(fs.Exists(dir + "/nope"));
+}
+
+TEST(LocalFileSystemTest, ListIsSorted) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("sorted");
+  for (const char* name : {"b.txt", "a.txt", "c.txt"}) {
+    ASSERT_TRUE(fs.WriteFileAtomic(dir + "/" + name, name).ok());
+  }
+  auto entries = fs.List(dir);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries,
+            (std::vector<std::string>{"a.txt", "b.txt", "c.txt"}));
+}
+
+TEST(LocalFileSystemTest, RenameReplacesTarget) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("rename");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/from", "new").ok());
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/to", "old").ok());
+  ASSERT_TRUE(fs.Rename(dir + "/from", dir + "/to").ok());
+  EXPECT_FALSE(fs.Exists(dir + "/from"));
+  EXPECT_EQ(*fs.ReadFile(dir + "/to"), "new");
+  EXPECT_EQ(fs.Rename(dir + "/ghost", dir + "/to").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LocalFileSystemTest, CreateDirsIsRecursiveAndIdempotent) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("mkdirs") + "/a/b/c";
+  ASSERT_TRUE(fs.CreateDirs(dir).ok());
+  EXPECT_TRUE(fs.Exists(dir));
+  EXPECT_TRUE(fs.CreateDirs(dir).ok());  // already exists: still OK
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/leaf", "x").ok());
+  EXPECT_TRUE(fs.Exists(dir + "/leaf"));
+}
+
+TEST(LocalFileSystemTest, WriteIntoMissingDirectoryIsIOError) {
+  LocalFileSystem fs;
+  const std::string dir = TestDir("nodir");
+  EXPECT_EQ(fs.WriteFileAtomic(dir + "/ghost_dir/file", "x").code(),
+            StatusCode::kIOError);
+}
+
+// ---- FaultInjectionFileSystem ----
+
+TEST(FaultInjectionTest, PassesThroughWhenNoFaultIsArmed) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/1);
+  const std::string dir = TestDir("fi_pass");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/a", "payload").ok());
+  EXPECT_EQ(*fs.ReadFile(dir + "/a"), "payload");
+  EXPECT_EQ(fs.operation_count(), 2);
+}
+
+TEST(FaultInjectionTest, FailsTheNthOperation) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/2);
+  const std::string dir = TestDir("fi_nth");
+  // Countdown 2: two operations succeed, the third fails, later ones
+  // succeed again (one-shot arming).
+  fs.FailAfterOperations(2);
+  EXPECT_TRUE(fs.WriteFileAtomic(dir + "/a", "1").ok());
+  EXPECT_TRUE(fs.WriteFileAtomic(dir + "/b", "2").ok());
+  const Status failed = fs.WriteFileAtomic(dir + "/c", "3");
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  EXPECT_NE(failed.message().find("injected"), std::string::npos);
+  EXPECT_FALSE(fs.Exists(dir + "/c"));  // the backend was never touched
+  EXPECT_TRUE(fs.WriteFileAtomic(dir + "/c", "3").ok());
+}
+
+TEST(FaultInjectionTest, InjectedFailureHitsReadsToo) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/3);
+  const std::string dir = TestDir("fi_read");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/a", "payload").ok());
+  fs.FailAfterOperations(0);
+  EXPECT_EQ(fs.ReadFile(dir + "/a").status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(fs.ReadFile(dir + "/a").ok());
+}
+
+TEST(FaultInjectionTest, TornWriteLeavesAStrictPrefixAndReportsIOError) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/4);
+  const std::string dir = TestDir("fi_torn");
+  const std::string payload(256, 'A');
+  fs.TearNextWrite();
+  EXPECT_EQ(fs.WriteFileAtomic(dir + "/torn", payload).code(),
+            StatusCode::kIOError);
+  auto on_disk = fs.ReadFile(dir + "/torn");
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_LT(on_disk->size(), payload.size());
+  EXPECT_EQ(*on_disk, payload.substr(0, on_disk->size()));
+  // Replayability: the same seed tears at the same offset.
+  FaultInjectionFileSystem replay(&base, /*seed=*/4);
+  replay.TearNextWrite();
+  EXPECT_FALSE(replay.WriteFileAtomic(dir + "/torn2", payload).ok());
+  EXPECT_EQ(fs.ReadFile(dir + "/torn")->size(),
+            replay.ReadFile(dir + "/torn2")->size());
+}
+
+TEST(FaultInjectionTest, CorruptNextWriteFlipsExactlyOneBitSilently) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/5);
+  const std::string dir = TestDir("fi_flip");
+  const std::string payload(64, '\0');
+  fs.CorruptNextWrite();
+  // Silent corruption: the write itself reports success.
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/bits", payload).ok());
+  auto on_disk = fs.ReadFile(dir + "/bits");
+  ASSERT_TRUE(on_disk.ok());
+  ASSERT_EQ(on_disk->size(), payload.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>((*on_disk)[i]) ^
+                         static_cast<unsigned char>(payload[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST(FaultInjectionTest, FlipRandomBitCorruptsAnExistingFile) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/6);
+  const std::string dir = TestDir("fi_flip_existing");
+  const std::string payload = "immutable checkpoint bytes";
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/f", payload).ok());
+  ASSERT_TRUE(fs.FlipRandomBit(dir + "/f").ok());
+  EXPECT_NE(*fs.ReadFile(dir + "/f"), payload);
+}
+
+TEST(FaultInjectionTest, DroppedUnsyncedDataVanishesButSyncedSurvives) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/7);
+  const std::string dir = TestDir("fi_unsynced");
+  fs.SetBuffered(true);
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/durable", "synced").ok());
+  ASSERT_TRUE(fs.Sync(dir + "/durable").ok());
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/volatile", "in page cache").ok());
+  // Both are visible before the crash...
+  EXPECT_TRUE(fs.Exists(dir + "/durable"));
+  EXPECT_TRUE(fs.Exists(dir + "/volatile"));
+  auto listed = fs.List(dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"durable", "volatile"}));
+  // ...power loss: only the synced file survives.
+  fs.DropUnsyncedData();
+  EXPECT_TRUE(fs.Exists(dir + "/durable"));
+  EXPECT_FALSE(fs.Exists(dir + "/volatile"));
+  EXPECT_EQ(fs.ReadFile(dir + "/volatile").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(*fs.ReadFile(dir + "/durable"), "synced");
+}
+
+TEST(FaultInjectionTest, BufferedOverwriteRevertsToLastDurableContents) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/8);
+  const std::string dir = TestDir("fi_revert");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/f", "v1").ok());  // durable
+  fs.SetBuffered(true);
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/f", "v2").ok());  // volatile
+  EXPECT_EQ(*fs.ReadFile(dir + "/f"), "v2");
+  fs.DropUnsyncedData();
+  EXPECT_EQ(*fs.ReadFile(dir + "/f"), "v1");
+}
+
+TEST(FaultInjectionTest, BufferedRemoveIsUndoneByPowerLoss) {
+  LocalFileSystem base;
+  FaultInjectionFileSystem fs(&base, /*seed=*/9);
+  const std::string dir = TestDir("fi_remove");
+  ASSERT_TRUE(fs.WriteFileAtomic(dir + "/f", "keep me").ok());
+  fs.SetBuffered(true);
+  ASSERT_TRUE(fs.Remove(dir + "/f").ok());
+  EXPECT_FALSE(fs.Exists(dir + "/f"));
+  fs.DropUnsyncedData();
+  EXPECT_EQ(*fs.ReadFile(dir + "/f"), "keep me");
+  // A synced remove, by contrast, is durable.
+  fs.SetBuffered(true);
+  ASSERT_TRUE(fs.Remove(dir + "/f").ok());
+  ASSERT_TRUE(fs.Sync(dir + "/f").ok());
+  fs.DropUnsyncedData();
+  EXPECT_FALSE(fs.Exists(dir + "/f"));
+}
+
+TEST(UtilFileHelpersTest, WriteFileSurfacesIOErrorOnBadTarget) {
+  // The csv.h helpers now route through the durable FileSystem: a
+  // target in a missing directory fails loudly instead of silently.
+  EXPECT_EQ(WriteFile(TestDir("helper") + "/ghost/f.csv", "x").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cuisine::util

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <iterator>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
@@ -53,6 +55,66 @@ TEST(ResultTest, HoldsError) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   EXPECT_THROW(r.ValueOrDie(), StatusException);
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughConstructionAndToString) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kIOError,
+      StatusCode::kNotImplemented, StatusCode::kFailedPrecondition,
+      StatusCode::kInternal};
+  std::set<std::string> renderings;
+  for (StatusCode code : codes) {
+    const Status st(code, "ctx");
+    EXPECT_EQ(st.code(), code);
+    EXPECT_EQ(st.ok(), code == StatusCode::kOk);
+    EXPECT_EQ(st, Status(code, "ctx"));
+    EXPECT_NE(st, Status(code, "other"));
+    // Each code has a distinct, non-empty human-readable name.
+    EXPECT_FALSE(st.ToString().empty());
+    renderings.insert(st.ToString());
+  }
+  EXPECT_EQ(renderings.size(), std::size(codes));
+}
+
+TEST(ResultTest, SupportsMoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  std::unique_ptr<int> owned = std::move(r).ValueOrDie();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+
+  Result<std::unique_ptr<int>> err(Status::NotFound("gone"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_THROW(err.ValueOrDie(), StatusException);
+}
+
+TEST(ResultTest, AssignOrReturnMacroMovesAndPropagates) {
+  // Success path: the value is moved through, exactly once.
+  auto through = [](Result<std::unique_ptr<int>> r) -> Result<int> {
+    CUISINE_ASSIGN_OR_RETURN(std::unique_ptr<int> value, std::move(r));
+    return *value;
+  };
+  Result<int> ok = through(std::make_unique<int>(11));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 11);
+
+  // Error path: the status propagates untouched, code and message.
+  Result<int> propagated = through(Status::IOError("disk on fire"));
+  ASSERT_FALSE(propagated.ok());
+  EXPECT_EQ(propagated.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(propagated.status().message(), "disk on fire");
+}
+
+TEST(ResultTest, ReturnNotOkMacroOnlyPropagatesFailures) {
+  auto run = [](Status st) -> Status {
+    CUISINE_RETURN_NOT_OK(st);
+    return Status::AlreadyExists("fell through");
+  };
+  EXPECT_EQ(run(Status::OK()).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(run(Status::Internal("boom")).code(), StatusCode::kInternal);
 }
 
 TEST(ResultTest, OkStatusIsRejected) {
