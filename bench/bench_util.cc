@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/instrumentation.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace cuisine::benchutil {
 
@@ -26,6 +28,7 @@ bool EnvFlag(const char* name) {
 }
 
 core::ExperimentConfig DefaultConfig(double default_scale) {
+  util::SetTelemetryEnabled(EnvFlag("CUISINE_TELEMETRY"));
   core::ExperimentConfig config;
   config.generator.scale = EnvDouble("CUISINE_SCALE", default_scale);
   config.verbose = EnvFlag("CUISINE_VERBOSE");
@@ -71,6 +74,16 @@ void PrintHeader(const std::string& bench_name,
       config.sequential.max_train_sequences,
       config.sequential.max_pretrain_sequences,
       config.sequential.max_eval_sequences);
+}
+
+void ExportMetrics(const std::string& bench_name) {
+  const std::string path = "METRICS_" + bench_name + ".json";
+  const util::Status status = core::WriteMetricsJsonFile(path);
+  if (!status.ok()) {
+    CUISINE_LOG(Warning) << "metrics export failed: " << status.message();
+    return;
+  }
+  std::printf("telemetry snapshot -> %s\n", path.c_str());
 }
 
 }  // namespace cuisine::benchutil

@@ -35,4 +35,9 @@ core::ExperimentConfig DefaultConfig(double default_scale);
 void PrintHeader(const std::string& bench_name,
                  const core::ExperimentConfig& config);
 
+/// Writes the process-wide telemetry snapshot (counters, gauges,
+/// histogram percentiles) to METRICS_<bench_name>.json next to the
+/// bench's own BENCH_*.json output. Call once at the end of a bench.
+void ExportMetrics(const std::string& bench_name);
+
 }  // namespace cuisine::benchutil

@@ -103,5 +103,6 @@ int main() {
   for (const Check& c : checks) {
     std::printf("  [%s] %s\n", c.ok ? "ok" : "MISS", c.description);
   }
+  cuisine::benchutil::ExportMetrics("table4_model_performance");
   return 0;
 }

@@ -3,6 +3,12 @@
 # tests under ASan/UBSan (memory and UB bugs in the serialization and
 # fault-injection paths) and TSan (races in the parallel engine).
 #
+# The tsan suite additionally re-runs telemetry_test on its own — the
+# lock-free metrics registry is the code most likely to regress under
+# concurrency — and the default suite finishes with a bench smoke run
+# that exports a metrics snapshot and validates the JSON parses with
+# the expected keys.
+#
 # Usage: scripts/check.sh [default|asan|tsan]...
 # With no arguments all three suites run, default first.
 set -euo pipefail
@@ -20,6 +26,17 @@ for suite in "${suites[@]}"; do
   cmake --build --preset "${suite}" -j "$(nproc)"
   echo "==== ${suite}: test ===="
   ctest --preset "${suite}" -j "$(nproc)"
+
+  if [ "${suite}" = "tsan" ]; then
+    echo "==== ${suite}: telemetry race pass ===="
+    ./build-tsan/tests/telemetry_test
+  fi
+
+  if [ "${suite}" = "default" ]; then
+    echo "==== ${suite}: telemetry bench smoke ===="
+    # Exits non-zero if the exported metrics snapshot fails validation.
+    ./build/bench/bench_telemetry --smoke
+  fi
 done
 
 echo "All suites passed: ${suites[*]}"

@@ -7,10 +7,35 @@
 
 #include "util/crc32c.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/telemetry.h"
 
 namespace cuisine::core {
 
 namespace {
+
+/// Checkpoint metrics, resolved once. Save/restore run at most every few
+/// optimizer steps, so unconditional timing is free at this granularity.
+struct CheckpointMetrics {
+  util::Counter* saves =
+      util::MetricsRegistry::Instance().GetCounter("checkpoint.saves");
+  util::Counter* bytes_written =
+      util::MetricsRegistry::Instance().GetCounter("checkpoint.bytes_written");
+  util::Counter* pruned =
+      util::MetricsRegistry::Instance().GetCounter("checkpoint.pruned");
+  util::Counter* corrupt_skipped =
+      util::MetricsRegistry::Instance().GetCounter(
+          "checkpoint.corrupt_skipped");
+  util::Histogram* save_ms =
+      util::MetricsRegistry::Instance().GetHistogram("checkpoint.save_ms");
+  util::Histogram* restore_ms =
+      util::MetricsRegistry::Instance().GetHistogram("checkpoint.restore_ms");
+};
+
+CheckpointMetrics& Metrics() {
+  static CheckpointMetrics* metrics = new CheckpointMetrics();
+  return *metrics;
+}
 
 constexpr char kEnvelopeMagic[4] = {'C', 'S', 'C', 'P'};
 constexpr uint32_t kEnvelopeVersion = 1;
@@ -211,11 +236,17 @@ util::Status CheckpointManager::Init() { return fs_->CreateDirs(dir_); }
 
 util::Status CheckpointManager::Save(uint64_t step,
                                      const std::string& payload) {
+  CUISINE_TRACE_SPAN("checkpoint.save");
+  util::Stopwatch watch;
   const std::string name = CheckpointFileName(step);
-  CUISINE_RETURN_NOT_OK(
-      fs_->WriteFileAtomic(PathTo(name), WrapPayload(step, payload)));
+  const std::string wrapped = WrapPayload(step, payload);
+  const size_t wrapped_size = wrapped.size();
+  CUISINE_RETURN_NOT_OK(fs_->WriteFileAtomic(PathTo(name), wrapped));
   CUISINE_RETURN_NOT_OK(
       fs_->WriteFileAtomic(PathTo(kCurrentFile), name + "\n"));
+  CheckpointMetrics& metrics = Metrics();
+  metrics.saves->Add();
+  metrics.bytes_written->Add(wrapped_size);
 
   // Prune beyond the keep limit, oldest first. Pruning is best-effort:
   // a failed remove costs disk space, not correctness.
@@ -230,19 +261,24 @@ util::Status CheckpointManager::Save(uint64_t step,
   if (checkpoints.size() > keep) {
     for (size_t i = 0; i + keep < checkpoints.size(); ++i) {
       const util::Status removed = fs_->Remove(PathTo(checkpoints[i].second));
-      if (!removed.ok()) {
+      if (removed.ok()) {
+        metrics.pruned->Add();
+      } else {
         CUISINE_LOG(Warning) << "failed to prune checkpoint "
                              << checkpoints[i].second << ": "
                              << removed.ToString();
       }
     }
   }
+  metrics.save_ms->Observe(watch.ElapsedMillis());
   return util::Status::OK();
 }
 
 util::Result<CheckpointManager::Loaded> CheckpointManager::LoadLatestValid(
     const std::function<util::Status(const std::string&)>& deep_validate)
     const {
+  CUISINE_TRACE_SPAN("checkpoint.restore");
+  util::Stopwatch watch;
   auto entries = fs_->List(dir_);
   if (!entries.ok()) {
     if (entries.status().code() == util::StatusCode::kNotFound) {
@@ -275,7 +311,11 @@ util::Result<CheckpointManager::Loaded> CheckpointManager::LoadLatestValid(
       return loaded;
     };
     auto loaded = verify();
-    if (loaded.ok()) return loaded;
+    if (loaded.ok()) {
+      Metrics().restore_ms->Observe(watch.ElapsedMillis());
+      return loaded;
+    }
+    Metrics().corrupt_skipped->Add();
     CUISINE_LOG(Warning) << "skipping invalid checkpoint " << PathTo(name)
                          << ": " << loaded.status().ToString();
   }

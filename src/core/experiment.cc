@@ -8,6 +8,7 @@
 #include "core/pipeline.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 
 namespace cuisine::core {
 
@@ -215,10 +216,17 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
     }
 
     util::Stopwatch watch;
-    CUISINE_RETURN_NOT_OK(model->Fit(train_ds, fit));
+    {
+      CUISINE_TRACE_SPAN("experiment.fit");
+      CUISINE_RETURN_NOT_OK(model->Fit(train_ds, fit));
+    }
     mr.train_seconds = watch.ElapsedSeconds();
 
-    const Predictions pred = model->PredictBatch(test_ds, config_.num_workers);
+    Predictions pred;
+    {
+      CUISINE_TRACE_SPAN("experiment.predict");
+      pred = model->PredictBatch(test_ds, config_.num_workers);
+    }
     CUISINE_ASSIGN_OR_RETURN(
         mr.metrics,
         ComputeMetrics(*test_labels, pred.labels, pred.probas, num_classes));

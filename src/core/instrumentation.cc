@@ -1,0 +1,205 @@
+#include "core/instrumentation.h"
+
+#include <cctype>
+#include <cstddef>
+
+#include "util/fs.h"
+
+namespace cuisine::core {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader: validates syntax and collects
+/// object keys. No value tree is built — validation is all the callers
+/// need, and it keeps the repo dependency-free.
+class JsonChecker {
+ public:
+  JsonChecker(const std::string& text, std::vector<std::string>* keys)
+      : text_(text), keys_(keys) {}
+
+  util::Status Check() {
+    CUISINE_RETURN_NOT_OK(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return util::Status::OK();
+  }
+
+ private:
+  util::Status Fail(const std::string& what) const {
+    return util::Status::InvalidArgument("metrics JSON: " + what +
+                                         " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status String(std::string* out) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        if (out != nullptr) *out = std::move(s);
+        return util::Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+        s.push_back('?');  // decoded value is irrelevant for validation
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("control character in string");
+      }
+      s.push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  util::Status Number() {
+    // [-] int [frac] [exp] — digits validated, value discarded.
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return Fail("expected digits");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return Fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) return Fail("expected exponent digits");
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return Fail("bad literal");
+      ++pos_;
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Value(int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      if (Eat('}')) return util::Status::OK();
+      for (;;) {
+        std::string key;
+        CUISINE_RETURN_NOT_OK(String(&key));
+        if (keys_ != nullptr) keys_->push_back(std::move(key));
+        if (!Eat(':')) return Fail("expected ':'");
+        CUISINE_RETURN_NOT_OK(Value(depth + 1));
+        if (Eat(',')) continue;
+        if (Eat('}')) return util::Status::OK();
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Eat(']')) return util::Status::OK();
+      for (;;) {
+        CUISINE_RETURN_NOT_OK(Value(depth + 1));
+        if (Eat(',')) continue;
+        if (Eat(']')) return util::Status::OK();
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return String(nullptr);
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  std::vector<std::string>* keys_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MetricsSnapshotJson() {
+  return util::MetricsRegistry::Instance().Snapshot().ToJson();
+}
+
+util::Status WriteMetricsJsonFile(const std::string& path) {
+  return util::GetDefaultFileSystem()->WriteFileAtomic(path,
+                                                       MetricsSnapshotJson());
+}
+
+util::Status ValidateMetricsJson(
+    const std::string& json, const std::vector<std::string>& required_keys) {
+  std::vector<std::string> keys;
+  CUISINE_RETURN_NOT_OK(JsonChecker(json, &keys).Check());
+  for (const std::string& required : required_keys) {
+    bool found = false;
+    for (const std::string& key : keys) {
+      if (key == required) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return util::Status::InvalidArgument("metrics JSON: missing key \"" +
+                                           required + "\"");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/telemetry.h"
+
+/// \file instrumentation.h
+/// \brief Process-level instrumentation on top of util/telemetry.h:
+/// JSON snapshot export for benches and experiments, and a
+/// dependency-free validator for the exported format.
+///
+/// Benches call `WriteMetricsJsonFile` after a run so every BENCH_*.json
+/// has a metrics sidecar; scripts/check.sh re-reads the sidecar through
+/// `ValidateMetricsJson` to catch export regressions.
+
+namespace cuisine::core {
+
+/// Serialises the current registry snapshot (util/telemetry.h) to JSON.
+std::string MetricsSnapshotJson();
+
+/// Atomically writes `MetricsSnapshotJson()` to `path`.
+util::Status WriteMetricsJsonFile(const std::string& path);
+
+/// Validates that `json` parses as a JSON value (full syntax check:
+/// objects, arrays, strings with escapes, numbers, literals) and that
+/// every name in `required_keys` appears as an object key somewhere in
+/// the document. Returns InvalidArgument with a position on failure.
+util::Status ValidateMetricsJson(const std::string& json,
+                                 const std::vector<std::string>& required_keys);
+
+}  // namespace cuisine::core

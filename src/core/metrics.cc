@@ -66,19 +66,25 @@ util::Result<ClassificationMetrics> ComputeMetrics(
   for (int32_t c = 0; c < num_classes; ++c) correct += cm.TruePositives(c);
   m.accuracy = static_cast<double>(correct) / static_cast<double>(cm.total());
 
-  // Macro averages over classes present in y_true.
+  // Macro averages over the union of classes seen in y_true or y_pred
+  // (sklearn's label set). A class absent from y_true but predicted
+  // (fp > 0) still has precision 0 and must stay in the denominator —
+  // skipping it rewarded models for spraying predictions onto
+  // never-seen classes.
   int32_t present = 0;
   double precision_sum = 0.0, recall_sum = 0.0, f1_sum = 0.0;
   for (int32_t c = 0; c < num_classes; ++c) {
     const int64_t tp = cm.TruePositives(c);
     const int64_t fp = cm.FalsePositives(c);
     const int64_t fn = cm.FalseNegatives(c);
-    if (tp + fn == 0) continue;  // class absent from y_true
+    if (tp + fn == 0 && fp == 0) continue;  // absent from both sides
     ++present;
     const double precision =
         tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
                     : 0.0;
-    const double recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+    const double recall =
+        tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                    : 0.0;
     precision_sum += precision;
     recall_sum += recall;
     if (precision + recall > 0.0) {

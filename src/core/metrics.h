@@ -48,8 +48,10 @@ struct ClassificationMetrics {
 
 /// Computes all metrics. `probas` is row-major [n x num_classes]; rows
 /// need not be perfectly normalised (they are renormalised for the loss).
-/// Classes absent from y_true are skipped in the macro averages
-/// (sklearn's default behaviour the paper inherited).
+/// Macro averages run over the union of classes seen in y_true or
+/// y_pred (sklearn's default behaviour the paper inherited): a class
+/// that is only predicted contributes precision/recall/F1 of 0, and
+/// classes absent from both are skipped.
 util::Result<ClassificationMetrics> ComputeMetrics(
     const std::vector<int32_t>& y_true, const std::vector<int32_t>& y_pred,
     const std::vector<std::vector<float>>& probas, int32_t num_classes);

@@ -8,6 +8,8 @@
 #include "ml/classifier.h"
 #include "nn/serialization.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/telemetry.h"
 
 namespace cuisine::core {
 
@@ -65,6 +67,20 @@ class SparseModelAdapter final : public Model {
   Predictions PredictBatch(const ModelDataset& inputs,
                            size_t num_workers) const override {
     CUISINE_CHECK(inputs.tfidf != nullptr);
+    // Same engine.predict_* metrics as the sequential path
+    // (core/trainer.cc), so batched prediction is observable uniformly
+    // across the model zoo.
+    CUISINE_TRACE_SPAN("engine.predict");
+    util::Stopwatch watch;
+    auto& registry = util::MetricsRegistry::Instance();
+    static util::Counter* const batches =
+        registry.GetCounter("engine.predict_batches");
+    static util::Counter* const examples =
+        registry.GetCounter("engine.predict_examples");
+    static util::Histogram* const latency =
+        registry.GetHistogram("engine.predict_ms");
+    batches->Add();
+    examples->Add(inputs.tfidf->rows());
     Predictions out;
     out.probas = ml::PredictProbaAll(*classifier_, *inputs.tfidf,
                                      ResolveWorkerCount(num_workers));
@@ -73,6 +89,7 @@ class SparseModelAdapter final : public Model {
       out.labels.push_back(static_cast<int32_t>(
           std::max_element(p.begin(), p.end()) - p.begin()));
     }
+    latency->Observe(watch.ElapsedMillis());
     return out;
   }
 

@@ -10,10 +10,42 @@
 #include "nn/serialization.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 
 namespace cuisine::core {
 
 namespace {
+
+/// Engine/trainer metrics (DESIGN.md "Observability"), resolved once.
+/// Counters and latency histograms are always live; they cost one clock
+/// pair per *batch*, which is noise next to a forward/backward pass.
+struct EngineMetrics {
+  util::Counter* train_steps =
+      util::MetricsRegistry::Instance().GetCounter("train.steps");
+  util::Counter* train_examples =
+      util::MetricsRegistry::Instance().GetCounter("train.examples");
+  util::Histogram* train_step_ms =
+      util::MetricsRegistry::Instance().GetHistogram("train.step_ms");
+  util::Gauge* train_epoch_loss =
+      util::MetricsRegistry::Instance().GetGauge("train.epoch_loss");
+  util::Counter* predict_batches =
+      util::MetricsRegistry::Instance().GetCounter("engine.predict_batches");
+  util::Counter* predict_examples =
+      util::MetricsRegistry::Instance().GetCounter("engine.predict_examples");
+  util::Histogram* predict_ms =
+      util::MetricsRegistry::Instance().GetHistogram("engine.predict_ms");
+  util::Counter* eval_batches =
+      util::MetricsRegistry::Instance().GetCounter("engine.eval_batches");
+  util::Counter* eval_examples =
+      util::MetricsRegistry::Instance().GetCounter("engine.eval_examples");
+  util::Histogram* eval_ms =
+      util::MetricsRegistry::Instance().GetHistogram("engine.eval_ms");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* metrics = new EngineMetrics();
+  return *metrics;
+}
 
 /// One training replica of the generic data-parallel loop: a parameter
 /// list plus a closure that builds the scalar loss graph for one
@@ -203,6 +235,8 @@ util::Result<TrainHistory> RunDataParallel(
     double epoch_loss = epoch == start_epoch ? resume_epoch_loss : 0.0;
     const size_t epoch_first = epoch == start_epoch ? resume_batch_start : 0;
     for (size_t start = epoch_first; start < n; start += batch) {
+      CUISINE_TRACE_SPAN("train.step");
+      util::Stopwatch step_watch;
       const size_t end = std::min(n, start + batch);
       const size_t batch_n = end - start;
       const float inv_batch = 1.0f / static_cast<float>(batch_n);
@@ -247,6 +281,11 @@ util::Result<TrainHistory> RunDataParallel(
       optimizer.Step();
       sync_replicas();
 
+      EngineMetrics& metrics = Metrics();
+      metrics.train_steps->Add();
+      metrics.train_examples->Add(batch_n);
+      metrics.train_step_ms->Observe(step_watch.ElapsedMillis());
+
       if (manager && loop.checkpoint_every_steps > 0 &&
           step % loop.checkpoint_every_steps == 0) {
         CUISINE_RETURN_NOT_OK(save_checkpoint(
@@ -259,6 +298,7 @@ util::Result<TrainHistory> RunDataParallel(
       }
     }
     history.train_loss.push_back(epoch_loss / static_cast<double>(n));
+    Metrics().train_epoch_loss->Set(history.train_loss.back());
     if (validation_loss) {
       history.validation_loss.push_back(validation_loss());
     }
@@ -350,6 +390,11 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
                             const std::vector<int32_t>& y,
                             size_t num_workers) {
   CUISINE_CHECK(x.size() == y.size() && !x.empty());
+  CUISINE_TRACE_SPAN("engine.eval");
+  util::Stopwatch watch;
+  EngineMetrics& metrics = Metrics();
+  metrics.eval_batches->Add();
+  metrics.eval_examples->Add(x.size());
   std::vector<double> losses(x.size());
   const size_t shards = std::min(ResolveWorkerCount(num_workers), x.size());
   RunShards(shards, [&](size_t shard) {
@@ -362,6 +407,7 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
   // Ordered sum: bit-identical for any worker count.
   double loss = 0.0;
   for (double l : losses) loss += l;
+  metrics.eval_ms->Observe(watch.ElapsedMillis());
   return loss / static_cast<double>(x.size());
 }
 
@@ -372,6 +418,11 @@ SequencePredictions PredictSequences(
   out.labels.assign(x.size(), 0);
   out.probas.assign(x.size(), {});
   if (x.empty()) return out;
+  CUISINE_TRACE_SPAN("engine.predict");
+  util::Stopwatch watch;
+  EngineMetrics& metrics = Metrics();
+  metrics.predict_batches->Add();
+  metrics.predict_examples->Add(x.size());
   const size_t shards = std::min(ResolveWorkerCount(num_workers), x.size());
   RunShards(shards, [&](size_t shard) {
     util::Rng rng(0);  // unused: dropout is off in eval mode
@@ -393,6 +444,7 @@ SequencePredictions PredictSequences(
       out.probas[i] = std::move(proba);
     }
   });
+  metrics.predict_ms->Observe(watch.ElapsedMillis());
   return out;
 }
 

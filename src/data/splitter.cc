@@ -9,8 +9,13 @@ namespace cuisine::data {
 
 util::Result<DataSplit> StratifiedSplit(const std::vector<Recipe>& recipes,
                                         SplitRatios ratios, uint64_t seed) {
-  if (ratios.train <= 0.0 || ratios.validation < 0.0 || ratios.test <= 0.0) {
-    return util::Status::InvalidArgument("split ratios must be positive");
+  if (ratios.train <= 0.0 || ratios.test <= 0.0) {
+    return util::Status::InvalidArgument(
+        "train and test split ratios must be positive");
+  }
+  if (ratios.validation < 0.0) {
+    return util::Status::InvalidArgument(
+        "validation split ratio must be non-negative");
   }
   const double sum = ratios.train + ratios.validation + ratios.test;
   if (std::abs(sum - 1.0) > 1e-6) {
@@ -32,9 +37,22 @@ util::Result<DataSplit> StratifiedSplit(const std::vector<Recipe>& recipes,
   for (auto& bucket : by_class) {
     rng.Shuffle(&bucket);
     const size_t n = bucket.size();
-    const auto n_train = static_cast<size_t>(std::llround(n * ratios.train));
-    const auto n_val =
-        static_cast<size_t>(std::llround(n * ratios.validation));
+    // Rounding train and validation independently can consume the whole
+    // bucket for small classes (n=2 at 0.5/0.3/0.2 rounds to 1+1),
+    // leaving the class unrepresented in test. Clamp each count to what
+    // remains, then give one example back to test if rounding ate it.
+    size_t n_train =
+        std::min<size_t>(static_cast<size_t>(std::llround(n * ratios.train)),
+                         n);
+    size_t n_val = std::min<size_t>(
+        static_cast<size_t>(std::llround(n * ratios.validation)), n - n_train);
+    if (n > 0 && n_train + n_val == n) {
+      if (n_val > 0) {
+        --n_val;
+      } else {
+        --n_train;
+      }
+    }
     for (size_t i = 0; i < n; ++i) {
       if (i < n_train) {
         split.train.push_back(bucket[i]);

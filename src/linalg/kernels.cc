@@ -2,13 +2,36 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace cuisine::linalg {
 
 namespace {
+
+/// GEMM counters, resolved once. FLOPs are credited at the public entry
+/// points (one relaxed add per call, never per tile), so the parallel
+/// kernel counts its work exactly once.
+struct GemmMetrics {
+  util::Counter* calls =
+      util::MetricsRegistry::Instance().GetCounter("gemm.calls");
+  util::Counter* flops =
+      util::MetricsRegistry::Instance().GetCounter("gemm.flops");
+};
+
+GemmMetrics& Metrics() {
+  static GemmMetrics* metrics = new GemmMetrics();
+  return *metrics;
+}
+
+void CountGemm(size_t m, size_t k, size_t n) {
+  GemmMetrics& metrics = Metrics();
+  metrics.calls->Add();
+  metrics.flops->Add(2 * static_cast<uint64_t>(m) * k * n);
+}
 
 // Register tile: each microkernel call produces a kMR x kNR block of C
 // from packed panels. kNR = 16 floats spans full SSE/AVX/AVX-512 vectors;
@@ -100,6 +123,58 @@ inline void MicroKernel(size_t kc, const float* __restrict ap,
   }
 }
 
+/// Tracing floor: GEMM spans are recorded only for calls of at least
+/// this many FLOPs. The per-timestep RNN products (a few thousand FLOPs,
+/// ~microseconds) would otherwise spend more time in clock reads than
+/// the <5% telemetry overhead budget allows; the pack/microkernel spans
+/// exist to profile the *large* products where blocking matters.
+constexpr uint64_t kTraceMinFlops = uint64_t{1} << 20;
+
+/// Span histograms for the traced GEMM stages, resolved once.
+struct GemmSpans {
+  util::Histogram* kernel =
+      util::MetricsRegistry::Instance().GetHistogram("span.gemm.kernel");
+  util::Histogram* pack =
+      util::MetricsRegistry::Instance().GetHistogram("span.gemm.pack");
+  util::Histogram* microkernel =
+      util::MetricsRegistry::Instance().GetHistogram("span.gemm.microkernel");
+};
+
+GemmSpans& Spans() {
+  static GemmSpans* spans = new GemmSpans();
+  return *spans;
+}
+
+/// Whether spans should be recorded for an (m, k, n) product.
+bool TraceGemm(size_t m, size_t k, size_t n) {
+  return util::TelemetryEnabled() &&
+         2 * static_cast<uint64_t>(m) * k * n >= kTraceMinFlops;
+}
+
+/// Manual scoped timer for the in-kernel stages: unlike TraceSpan it is
+/// armed per call site *and* per problem size, so untraced GEMMs pay a
+/// single branch.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(util::Histogram* hist, bool armed)
+      : hist_(armed ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedStageTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  util::Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Blocked driver over the row range [row_begin, row_end). The per-row
 /// FLOP sequence (k-blocks in order, depth in order within each block,
 /// one C update per k-block) depends only on (m, k, n), never on the row
@@ -116,6 +191,8 @@ void GemmBlocked(size_t m, size_t k, size_t n, const float* a, const float* b,
     }
     return;
   }
+  const bool traced = TraceGemm(m, k, n);
+  ScopedStageTimer kernel_span(Spans().kernel, traced);
   const size_t lda = kTransA ? m : k;
   const size_t ldb = kTransB ? k : n;
   std::vector<float> apack(kMC * kKC);
@@ -124,11 +201,18 @@ void GemmBlocked(size_t m, size_t k, size_t n, const float* a, const float* b,
     const size_t nc = std::min(kNC, n - j0);
     for (size_t p0 = 0; p0 < k; p0 += kKC) {
       const size_t kc = std::min(kKC, k - p0);
-      PackB<kTransB>(b, ldb, p0, j0, kc, nc, bpack.data());
+      {
+        ScopedStageTimer pack_span(Spans().pack, traced);
+        PackB<kTransB>(b, ldb, p0, j0, kc, nc, bpack.data());
+      }
       const bool overwrite = p0 == 0 && !accumulate;
       for (size_t i0 = row_begin; i0 < row_end; i0 += kMC) {
         const size_t mc = std::min(kMC, row_end - i0);
-        PackA<kTransA>(a, lda, i0, p0, mc, kc, apack.data());
+        {
+          ScopedStageTimer pack_span(Spans().pack, traced);
+          PackA<kTransA>(a, lda, i0, p0, mc, kc, apack.data());
+        }
+        ScopedStageTimer micro_span(Spans().microkernel, traced);
         for (size_t jr = 0; jr < nc; jr += kNR) {
           const size_t nr = std::min(kNR, nc - jr);
           const float* bpanel = bpack.data() + (jr / kNR) * kc * kNR;
@@ -157,22 +241,26 @@ void GemmBlocked(size_t m, size_t k, size_t n, const float* a, const float* b,
 
 void GemmKernel(size_t m, size_t k, size_t n, const float* a, const float* b,
                 float* c, bool accumulate) {
+  CountGemm(m, k, n);
   GemmBlocked<false, false>(m, k, n, a, b, c, accumulate, 0, m);
 }
 
 void GemmTransposeAKernel(size_t m, size_t k, size_t n, const float* a,
                           const float* b, float* c, bool accumulate) {
+  CountGemm(m, k, n);
   GemmBlocked<true, false>(m, k, n, a, b, c, accumulate, 0, m);
 }
 
 void GemmTransposeBKernel(size_t m, size_t k, size_t n, const float* a,
                           const float* b, float* c, bool accumulate) {
+  CountGemm(m, k, n);
   GemmBlocked<false, true>(m, k, n, a, b, c, accumulate, 0, m);
 }
 
 void GemmParallelKernel(size_t m, size_t k, size_t n, const float* a,
                         const float* b, float* c, bool accumulate,
                         size_t num_workers) {
+  CountGemm(m, k, n);
   num_workers = std::max<size_t>(1, num_workers);
   // Not worth a dispatch below ~one row panel per worker.
   if (num_workers == 1 || m < 2 * kMR) {

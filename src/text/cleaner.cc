@@ -1,42 +1,103 @@
 #include "text/cleaner.h"
 
-#include <cctype>
+#include <cstddef>
 
 namespace cuisine::text {
+
+namespace {
+
+// Locale-free ASCII classifiers. The std::is* functions take the
+// current C locale into account and have undefined behaviour for
+// values outside unsigned char/EOF, which made the old byte loop
+// treat UTF-8 continuation bytes as "alphabetic" under some locales
+// and as symbols under others ("jalapeño" -> "jalape o").
+bool IsAsciiAlpha(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+bool IsAsciiDigit(unsigned char c) { return c >= '0' && c <= '9'; }
+
+bool IsAsciiSpace(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+bool IsContinuation(unsigned char c) { return (c & 0xC0) == 0x80; }
+
+// Length of a UTF-8 sequence from its lead byte; 0 if the byte cannot
+// start a valid sequence (continuation bytes, overlong leads C0/C1,
+// out-of-range F5..FF).
+size_t SequenceLength(unsigned char lead) {
+  if (lead < 0x80) return 1;
+  if (lead < 0xC2) return 0;
+  if (lead < 0xE0) return 2;
+  if (lead < 0xF0) return 3;
+  if (lead < 0xF5) return 4;
+  return 0;
+}
+
+}  // namespace
 
 std::string Cleaner::Clean(std::string_view s) const {
   std::string out;
   out.reserve(s.size());
   bool last_was_space = true;  // suppress leading space
-  for (char raw : s) {
-    unsigned char c = static_cast<unsigned char>(raw);
-    char mapped;
-    if (std::isalpha(c)) {
-      mapped = options_.lowercase
-                   ? static_cast<char>(std::tolower(c))
-                   : static_cast<char>(c);
-    } else if (std::isdigit(c)) {
-      if (options_.strip_digits) {
+  auto emit_space = [&] {
+    if (!last_was_space) {
+      out.push_back(' ');
+      last_was_space = true;
+    }
+  };
+  size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      char mapped;
+      if (IsAsciiAlpha(c)) {
+        mapped = options_.lowercase && c >= 'A' && c <= 'Z'
+                     ? static_cast<char>(c - 'A' + 'a')
+                     : static_cast<char>(c);
+      } else if (IsAsciiDigit(c)) {
+        mapped = options_.strip_digits ? ' ' : static_cast<char>(c);
+      } else if (c == '_' && options_.keep_underscore) {
+        mapped = '_';
+      } else if (IsAsciiSpace(c)) {
         mapped = ' ';
       } else {
-        mapped = static_cast<char>(c);
+        mapped = options_.strip_symbols ? ' ' : static_cast<char>(c);
       }
-    } else if (raw == '_' && options_.keep_underscore) {
-      mapped = '_';
-    } else if (std::isspace(c)) {
-      mapped = ' ';
-    } else {
-      mapped = options_.strip_symbols ? ' ' : static_cast<char>(c);
-    }
-    if (mapped == ' ') {
-      if (!last_was_space) {
-        out.push_back(' ');
-        last_was_space = true;
+      if (mapped == ' ') {
+        emit_space();
+      } else {
+        out.push_back(mapped);
+        last_was_space = false;
       }
-    } else {
-      out.push_back(mapped);
-      last_was_space = false;
+      ++i;
+      continue;
     }
+    // Multi-byte sequence: decode its extent and keep the whole
+    // codepoint as a word character, so accented ingredient names
+    // survive strip_symbols intact instead of being shredded
+    // byte-by-byte.
+    const size_t len = SequenceLength(c);
+    bool valid = len > 0 && i + len <= s.size();
+    for (size_t k = 1; valid && k < len; ++k) {
+      valid = IsContinuation(static_cast<unsigned char>(s[i + k]));
+    }
+    if (!valid) {
+      // Stray byte outside any valid sequence: treat like a symbol.
+      if (options_.strip_symbols) {
+        emit_space();
+      } else {
+        out.push_back(s[i]);
+        last_was_space = false;
+      }
+      ++i;
+      continue;
+    }
+    out.append(s.substr(i, len));
+    last_was_space = false;
+    i += len;
   }
   if (!out.empty() && out.back() == ' ') out.pop_back();
   return out;

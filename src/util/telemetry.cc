@@ -1,0 +1,313 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace cuisine::util {
+
+namespace {
+
+std::atomic<bool> g_telemetry_enabled{false};
+
+thread_local int t_span_depth = 0;
+
+/// %.17g round-trips every double; trailing-zero trimming keeps the JSON
+/// readable without losing precision for the values we emit.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void SetTelemetryEnabled(bool enabled) {
+  g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TelemetryEnabled() {
+  return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+// ---- Gauge ----
+
+void Gauge::Set(double v) {
+  bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// ---- Histogram ----
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  // A malformed bound list would silently misroute observations; fail
+  // loudly at registration instead.
+  bool ascending = !bounds_.empty();
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ascending = ascending && bounds_[i] > bounds_[i - 1];
+  }
+  if (!ascending) {
+    std::fprintf(stderr,
+                 "telemetry: histogram bounds must be non-empty ascending\n");
+    std::abort();
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  double b = 0.001;  // 1us
+  for (int i = 0; i < 27; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value, so a value exactly on a bound lands in that
+  // bucket (inclusive upper edges, as documented in the header).
+  const size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Double accumulation through a CAS loop; relaxed is fine because the
+  // sum is only read by snapshots, never used for synchronisation.
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t desired =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value);
+    if (sum_bits_.compare_exchange_weak(observed, desired,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based), then walk the buckets.
+  const auto rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // Linear interpolation inside bucket i.
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsSnapshot ----
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, counters[i].first);
+    out += ": " + std::to_string(counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, gauges[i].first);
+    out += ": " + FormatDouble(gauges[i].second);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"p50\": " + FormatDouble(h.p50);
+    out += ", \"p95\": " + FormatDouble(h.p95);
+    out += ", \"p99\": " + FormatDouble(h.p99);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+// ---- MetricsRegistry ----
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map nodes give the stable addresses the pointer-caching
+  // contract promises; less<> enables string_view lookups.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  // Leaked singleton: metrics may be recorded from worker threads that
+  // outlive static destruction order.
+  static Impl* impl = new Impl();
+  return impl;
+}
+
+const MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->counters.find(name);
+  if (it == i->counters.end()) {
+    it = i->counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->gauges.find(name);
+  if (it == i->gauges.end()) {
+    it = i->gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBoundsMs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  auto it = i->histograms.find(name);
+  if (it == i->histograms.end()) {
+    it = i->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const Impl* i = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(i->mu);
+  snap.counters.reserve(i->counters.size());
+  for (const auto& [name, c] : i->counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(i->gauges.size());
+  for (const auto& [name, g] : i->gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(i->histograms.size());
+  for (const auto& [name, h] : i->histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->Percentile(0.50);
+    hs.p95 = h->Percentile(0.95);
+    hs.p99 = h->Percentile(0.99);
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAllValues() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mu);
+  for (auto& [name, c] : i->counters) c->Reset();
+  for (auto& [name, g] : i->gauges) g->Reset();
+  for (auto& [name, h] : i->histograms) h->Reset();
+}
+
+// ---- TraceSpan ----
+
+TraceSpan::TraceSpan(const char* name, Histogram* hist)
+    : name_(name), hist_(hist), active_(TelemetryEnabled()) {
+  if (!active_) return;
+  ++t_span_depth;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  --t_span_depth;
+  if (hist_ == nullptr) {
+    hist_ = MetricsRegistry::Instance().GetHistogram(std::string("span.") +
+                                                     name_);
+  }
+  hist_->Observe(ms);
+}
+
+int TraceSpan::Depth() { return t_span_depth; }
+
+}  // namespace cuisine::util

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file telemetry.h
+/// \brief Process-wide, thread-safe metrics: monotonic counters, gauges,
+/// fixed-bucket latency histograms and RAII trace spans.
+///
+/// The observability substrate every layer reports into (DESIGN.md
+/// "Observability"): the training engine (steps, examples, epoch loss),
+/// the checkpoint manager (write/restore latency, corrupt skips), the
+/// GEMM kernels (FLOPs, pack spans) and the thread pool (queue depth,
+/// task wait). Design rules:
+///
+///  * Hot-path updates are lock-free: counters and histogram buckets are
+///    relaxed atomics, gauges are an atomic bit-cast double. The registry
+///    mutex is taken only at registration time; call sites cache the
+///    returned pointers (they are stable for the process lifetime).
+///  * Trace spans are gated twice: `CUISINE_TELEMETRY_NO_SPANS` compiles
+///    the macro out entirely, and at runtime a disabled process pays one
+///    relaxed atomic load per span.
+///  * Recording never perturbs model math: no RNG draws, no FP
+///    reordering — engine outputs are bit-identical with telemetry on or
+///    off (locked in by telemetry_test.cc).
+///
+/// Naming convention: lowercase dotted paths, `subsystem.metric`
+/// (`train.steps`, `checkpoint.save_ms`, `gemm.flops`); span histograms
+/// are registered as `span.<name>` with millisecond buckets.
+
+namespace cuisine::util {
+
+/// Runtime master switch for the *timed* instruments (spans, thread-pool
+/// wait timing). Counters and explicitly recorded histograms are always
+/// live — a relaxed add is too cheap to gate. Default: disabled.
+void SetTelemetryEnabled(bool enabled);
+bool TelemetryEnabled();
+
+/// \brief Monotonic counter. All operations are relaxed atomics.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins gauge holding a double (bit-cast through a
+/// 64-bit atomic, so torn reads are impossible).
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// \brief Fixed-bucket histogram with lock-free observation.
+///
+/// Bucket i counts observations <= bounds[i]; one implicit overflow
+/// bucket catches the rest. Percentiles interpolate linearly inside the
+/// winning bucket, which is exact enough for latency monitoring with
+/// geometric bounds (each estimate is within one bucket width).
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, including the trailing overflow bucket
+  /// (size() == bounds().size() + 1).
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+  /// Default geometric latency bounds in milliseconds: 0.001ms .. ~66s,
+  /// one bucket per factor of two (27 bounds).
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // bit-cast double, CAS-accumulated
+};
+
+/// Point-in-time copy of every registered metric, safe to serialize
+/// while the process keeps recording.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, p50, p95, p99}, ...}}.
+  std::string ToJson() const;
+};
+
+/// \brief Name -> metric registry. Get* registers on first use and
+/// returns a pointer that stays valid for the process lifetime, so hot
+/// paths resolve their metrics once (typically into a static) and then
+/// never touch the registry lock again.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Default bounds: Histogram::DefaultLatencyBoundsMs().
+  Histogram* GetHistogram(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Sorted-by-name snapshot of everything registered so far.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric value; registrations (and cached pointers)
+  /// survive. For tests and bench phase boundaries.
+  void ResetAllValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl* impl();         // lazily constructed, never destroyed
+  const Impl* impl() const;
+};
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+/// \brief RAII span: measures the wall time between construction and
+/// destruction and records it into a `span.<name>` millisecond
+/// histogram. When telemetry is disabled at runtime the constructor is a
+/// single relaxed load. Nesting is tracked per thread (for tests and
+/// future structured tracing).
+class TraceSpan {
+ public:
+  /// `hist` is the cached `span.<name>` histogram (see the macro below);
+  /// passing nullptr resolves it through the registry (slow path).
+  explicit TraceSpan(const char* name, Histogram* hist = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Current nesting depth of active spans on this thread.
+  static int Depth();
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cuisine::util
+
+// Two-level paste so __LINE__ expands before concatenation.
+#define CUISINE_TELEMETRY_CONCAT_(a, b) a##b
+#define CUISINE_TELEMETRY_CONCAT(a, b) CUISINE_TELEMETRY_CONCAT_(a, b)
+
+/// Statement-scope trace span: `CUISINE_TRACE_SPAN("gemm.pack");` times
+/// the rest of the enclosing block. The `span.<name>` histogram is
+/// resolved once per call site into a function-local static, so steady
+/// state costs two clock reads when telemetry is enabled and one relaxed
+/// load when it is not. Define CUISINE_TELEMETRY_NO_SPANS to compile
+/// every span out.
+#ifdef CUISINE_TELEMETRY_NO_SPANS
+#define CUISINE_TRACE_SPAN(name) ((void)0)
+#else
+#define CUISINE_TRACE_SPAN(name)                                            \
+  static ::cuisine::util::Histogram* const CUISINE_TELEMETRY_CONCAT(        \
+      cuisine_span_hist_, __LINE__) =                                       \
+      ::cuisine::util::MetricsRegistry::Instance().GetHistogram(            \
+          std::string("span.") + (name));                                   \
+  ::cuisine::util::TraceSpan CUISINE_TELEMETRY_CONCAT(cuisine_span_,        \
+                                                      __LINE__)(            \
+      (name), CUISINE_TELEMETRY_CONCAT(cuisine_span_hist_, __LINE__))
+#endif

@@ -2,12 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "util/telemetry.h"
 
 namespace cuisine::util {
 
 namespace {
 thread_local bool t_on_worker_thread = false;
+
+/// Pool metrics, resolved once. Queue depth is sampled under the pool
+/// mutex (already held on both push and pop); task wait is only timed
+/// when telemetry is enabled, so the disabled path adds one relaxed
+/// load per Submit.
+struct PoolMetrics {
+  Counter* tasks = MetricsRegistry::Instance().GetCounter("threadpool.tasks");
+  Gauge* queue_depth =
+      MetricsRegistry::Instance().GetGauge("threadpool.queue_depth");
+  Histogram* task_wait_ms =
+      MetricsRegistry::Instance().GetHistogram("threadpool.task_wait_ms");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -33,6 +53,19 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  PoolMetrics& metrics = Metrics();
+  metrics.tasks->Add();
+  if (TelemetryEnabled()) {
+    // Wrap to measure queue residency (enqueue -> first instruction).
+    const auto enqueued = std::chrono::steady_clock::now();
+    fn = [enqueued, inner = std::move(fn)] {
+      Metrics().task_wait_ms->Observe(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - enqueued)
+              .count());
+      inner();
+    };
+  }
   // packaged_task transports any exception into the future, so a
   // throwing task neither kills the worker nor strands a waiter.
   std::packaged_task<void()> task(std::move(fn));
@@ -40,6 +73,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
+    metrics.queue_depth->Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_one();
   return fut;
@@ -54,6 +88,7 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      Metrics().queue_depth->Set(static_cast<double>(tasks_.size()));
     }
     task();
   }

@@ -52,13 +52,30 @@ TEST(MetricsTest, LogLossMatchesHandValue) {
 }
 
 TEST(MetricsTest, AbsentClassesAreSkippedInMacroAverages) {
-  // Class 2 never appears in y_true; macro averages over classes 0, 1.
+  // Class 2 appears in neither y_true nor y_pred; macro averages run
+  // over classes 0, 1 only.
   const std::vector<int32_t> y_true{0, 1};
   const std::vector<int32_t> y_pred{0, 1};
   auto m = ComputeMetrics(y_true, y_pred, {}, 3);
   ASSERT_TRUE(m.ok());
   EXPECT_NEAR(m->macro_precision, 1.0, 1e-9);
   EXPECT_NEAR(m->macro_recall, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PredictedOnlyClassesCountTowardMacroAverages) {
+  // Class 1 never appears in y_true but is predicted once: sklearn's
+  // union-of-labels convention keeps it in the macro denominator with
+  // precision/recall/F1 of 0. Skipping it used to report macro
+  // precision 1.0 here — a free pass for spraying predictions onto
+  // classes the test set does not contain.
+  const std::vector<int32_t> y_true{0, 0};
+  const std::vector<int32_t> y_pred{0, 1};
+  auto m = ComputeMetrics(y_true, y_pred, {}, 3);
+  ASSERT_TRUE(m.ok());
+  // class 0: precision 1, recall 1/2, f1 2/3; class 1: all 0.
+  EXPECT_NEAR(m->macro_precision, 0.5, 1e-9);
+  EXPECT_NEAR(m->macro_recall, 0.25, 1e-9);
+  EXPECT_NEAR(m->macro_f1, 1.0 / 3.0, 1e-9);
 }
 
 TEST(MetricsTest, RejectsBadInputs) {

@@ -283,6 +283,34 @@ TEST(SplitterTest, RejectsBadRatios) {
   EXPECT_FALSE(StratifiedSplit(recipes, {0.0, 0.5, 0.5}, 1).ok());
 }
 
+TEST(SplitterTest, SmallClassesStillReachTheTestPartition) {
+  // n=2 at 0.5/0.3/0.2 used to round train and validation to 1+1,
+  // consuming the whole bucket and leaving every class absent from the
+  // test partition.
+  const auto recipes = TinyCorpus(2);
+  const auto split = StratifiedSplit(recipes, {0.5, 0.3, 0.2}, 3);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->total(), recipes.size());
+  std::vector<int> test_per_class(kNumCuisines, 0);
+  for (size_t i : split->test) ++test_per_class[recipes[i].cuisine_id];
+  for (int c : test_per_class) EXPECT_GE(c, 1);
+}
+
+TEST(SplitterTest, ZeroValidationRatioIsLegalNegativeIsNot) {
+  const auto recipes = TinyCorpus(10);
+  const auto split = StratifiedSplit(recipes, {0.8, 0.0, 0.2}, 11);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->validation.empty());
+  EXPECT_FALSE(split->test.empty());
+
+  // -0.1 sums to 1.0 with the others, so only the sign check can catch
+  // it — and its message must name validation, not claim all ratios
+  // "must be positive" (zero validation is fine).
+  const auto bad = StratifiedSplit(recipes, {0.9, -0.1, 0.2}, 11);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("validation"), std::string::npos);
+}
+
 TEST(SplitterTest, RejectsOutOfRangeLabels) {
   std::vector<Recipe> recipes = TinyCorpus(2);
   recipes[0].cuisine_id = 99;

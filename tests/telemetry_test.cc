@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instrumentation.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "text/vocabulary.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+/// \file telemetry_test.cc
+/// \brief Tests of the metrics registry (counters, gauges, histograms)
+/// under concurrency, trace-span semantics, the JSON snapshot export +
+/// validator round trip, and the determinism contract: engine outputs
+/// are bit-identical with telemetry enabled or disabled.
+
+namespace cuisine {
+namespace {
+
+using util::Counter;
+using util::Gauge;
+using util::Histogram;
+using util::MetricsRegistry;
+using util::TraceSpan;
+
+/// Restores the global telemetry switch on scope exit so tests can
+/// flip it freely.
+struct TelemetryGuard {
+  explicit TelemetryGuard(bool enabled) : prev(util::TelemetryEnabled()) {
+    util::SetTelemetryEnabled(enabled);
+  }
+  ~TelemetryGuard() { util::SetTelemetryEnabled(prev); }
+  bool prev;
+};
+
+// ---- Counters / gauges ----
+
+TEST(TelemetryTest, CounterIsExactUnderParallelFor) {
+  Counter* c = MetricsRegistry::Instance().GetCounter("test.concurrent_adds");
+  c->Reset();
+  constexpr size_t kWorkers = 8, kTasks = 64, kAddsPerTask = 1000;
+  util::ParallelFor(kTasks, kWorkers, [&](size_t) {
+    for (size_t j = 0; j < kAddsPerTask; ++j) c->Add();
+  });
+  EXPECT_EQ(c->value(), kTasks * kAddsPerTask);
+  c->Add(41);
+  EXPECT_EQ(c->value(), kTasks * kAddsPerTask + 41);
+}
+
+TEST(TelemetryTest, RegistryReturnsStablePointers) {
+  auto& registry = MetricsRegistry::Instance();
+  Counter* a = registry.GetCounter("test.stable");
+  Counter* b = registry.GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test.stable")),
+            static_cast<void*>(a));  // separate namespaces per kind
+}
+
+TEST(TelemetryTest, GaugeHoldsDoublesExactly) {
+  Gauge* g = MetricsRegistry::Instance().GetGauge("test.gauge");
+  g->Set(0.1);
+  EXPECT_EQ(g->value(), 0.1);
+  g->Set(-1234.5678);
+  EXPECT_EQ(g->value(), -1234.5678);
+  g->Reset();
+  EXPECT_EQ(g->value(), 0.0);
+}
+
+// ---- Histograms ----
+
+TEST(TelemetryTest, HistogramCountSumAndBucketsUnderParallelFor) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.concurrent_hist", std::vector<double>{1.0, 2.0, 4.0, 8.0});
+  h->Reset();
+  constexpr size_t kTasks = 64, kObsPerTask = 500;
+  util::ParallelFor(kTasks, 8, [&](size_t i) {
+    for (size_t j = 0; j < kObsPerTask; ++j) {
+      h->Observe(static_cast<double>((i + j) % 10));  // 0..9, mean 4.5
+    }
+  });
+  const uint64_t total = kTasks * kObsPerTask;
+  EXPECT_EQ(h->count(), total);
+  // Every (i + j) % 10 residue appears exactly total/10 times, so the
+  // sum is exact even though it is accumulated by CAS from 8 threads.
+  EXPECT_DOUBLE_EQ(h->sum(), 4.5 * static_cast<double>(total));
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, total);
+  // values 9 land past the last bound -> overflow bucket.
+  EXPECT_EQ(h->BucketCounts().back(), total / 10);
+}
+
+TEST(TelemetryTest, HistogramPercentilesAreOrderedAndBracketed) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.percentiles", std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80,
+                                              90, 100});
+  h->Reset();
+  for (int v = 1; v <= 100; ++v) h->Observe(static_cast<double>(v));
+  const double p50 = h->Percentile(0.50);
+  const double p95 = h->Percentile(0.95);
+  const double p99 = h->Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Interpolated estimates stay within the winning bucket.
+  EXPECT_GE(p50, 40.0);
+  EXPECT_LE(p50, 60.0);
+  EXPECT_GE(p95, 90.0);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_EQ(h->Percentile(0.0), h->Percentile(0.0));  // no NaN
+  Histogram* empty =
+      MetricsRegistry::Instance().GetHistogram("test.empty_hist");
+  empty->Reset();
+  EXPECT_EQ(empty->Percentile(0.5), 0.0);
+}
+
+TEST(TelemetryTest, DefaultLatencyBoundsAreStrictlyAscending) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsMs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---- Trace spans ----
+
+TEST(TelemetryTest, SpanNestingDepthTracksScopes) {
+  TelemetryGuard guard(true);
+  EXPECT_EQ(TraceSpan::Depth(), 0);
+  {
+    CUISINE_TRACE_SPAN("test.outer");
+    EXPECT_EQ(TraceSpan::Depth(), 1);
+    {
+      CUISINE_TRACE_SPAN("test.inner");
+      EXPECT_EQ(TraceSpan::Depth(), 2);
+    }
+    EXPECT_EQ(TraceSpan::Depth(), 1);
+  }
+  EXPECT_EQ(TraceSpan::Depth(), 0);
+  Histogram* outer =
+      MetricsRegistry::Instance().GetHistogram("span.test.outer");
+  EXPECT_GE(outer->count(), 1u);
+}
+
+TEST(TelemetryTest, DisabledSpansRecordNothing) {
+  TelemetryGuard guard(false);
+  Histogram* h = MetricsRegistry::Instance().GetHistogram("span.test.off");
+  h->Reset();
+  {
+    CUISINE_TRACE_SPAN("test.off");
+    EXPECT_EQ(TraceSpan::Depth(), 0);  // disabled spans do not nest
+  }
+  EXPECT_EQ(h->count(), 0u);
+}
+
+// ---- Snapshot / JSON export ----
+
+TEST(TelemetryTest, SnapshotJsonRoundTripsThroughValidator) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test.snapshot_counter")->Add(7);
+  registry.GetGauge("test.snapshot_gauge")->Set(2.5);
+  registry.GetHistogram("test.snapshot_hist")->Observe(1.5);
+
+  const std::string json = core::MetricsSnapshotJson();
+  EXPECT_TRUE(core::ValidateMetricsJson(
+                  json, {"counters", "gauges", "histograms",
+                         "test.snapshot_counter", "test.snapshot_gauge",
+                         "test.snapshot_hist", "p50", "p95", "p99"})
+                  .ok());
+}
+
+TEST(TelemetryTest, ValidatorRejectsMalformedJsonAndMissingKeys) {
+  EXPECT_FALSE(core::ValidateMetricsJson("{\"a\": ", {}).ok());
+  EXPECT_FALSE(core::ValidateMetricsJson("{\"a\": 1,}", {}).ok());
+  EXPECT_FALSE(core::ValidateMetricsJson("not json", {}).ok());
+  EXPECT_TRUE(core::ValidateMetricsJson("{\"a\": [1, 2.5, \"x\\n\"]}", {"a"})
+                  .ok());
+  EXPECT_FALSE(
+      core::ValidateMetricsJson("{\"a\": 1}", {"a", "missing"}).ok());
+}
+
+TEST(TelemetryTest, WriteMetricsJsonFileProducesValidFile) {
+  MetricsRegistry::Instance().GetCounter("test.file_counter")->Add();
+  const std::string path = ::testing::TempDir() + "/cuisine_metrics.json";
+  ASSERT_TRUE(core::WriteMetricsJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(core::ValidateMetricsJson(
+                  buffer.str(), {"counters", "test.file_counter"})
+                  .ok());
+}
+
+TEST(TelemetryTest, ResetAllValuesZeroesButKeepsRegistrations) {
+  auto& registry = MetricsRegistry::Instance();
+  Counter* c = registry.GetCounter("test.reset_me");
+  c->Add(5);
+  registry.ResetAllValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("test.reset_me"), c);
+}
+
+// ---- Engine wiring + determinism contract ----
+
+/// Thirty 6-token docs over 3 classes, mirroring the core_engine_test
+/// harness at smaller scale.
+struct TinyCorpus {
+  std::vector<std::vector<std::string>> train_docs, test_docs;
+  std::vector<int32_t> train_y, test_y;
+  text::Vocabulary vocab;
+  std::vector<features::EncodedSequence> seq_train, seq_test;
+  features::TfidfVectorizer tfidf;
+  features::CsrMatrix tfidf_train, tfidf_test;
+
+  TinyCorpus() : vocab(MakeVocab()) {
+    for (int i = 0; i < 30; ++i) {
+      const int32_t label = i % 3;
+      std::vector<std::string> doc;
+      for (int t = 0; t < 6; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 3 + t / 2)
+                          : "shared" + std::to_string((i + t) % 3));
+      }
+      if (i < 24) {
+        train_docs.push_back(std::move(doc));
+        train_y.push_back(label);
+      } else {
+        test_docs.push_back(std::move(doc));
+        test_y.push_back(label);
+      }
+    }
+    const features::SequenceEncoder enc(&vocab,
+                                        {.max_length = 6, .add_cls_sep = false});
+    seq_train = enc.EncodeAll(train_docs);
+    seq_test = enc.EncodeAll(test_docs);
+    EXPECT_TRUE(tfidf.Fit(train_docs).ok());
+    tfidf_train = tfidf.TransformAll(train_docs);
+    tfidf_test = tfidf.TransformAll(test_docs);
+  }
+
+  static text::Vocabulary MakeVocab() {
+    std::vector<std::vector<std::string>> docs;
+    for (int label = 0; label < 3; ++label) {
+      std::vector<std::string> doc;
+      for (int t = 0; t < 6; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 3 + t / 2)
+                          : "shared" + std::to_string(t % 3));
+      }
+      docs.push_back(std::move(doc));
+    }
+    return core::BuildSequenceVocabulary(docs, 1, 1000);
+  }
+};
+
+core::ModelContext TinyContext() {
+  core::ModelContext context;
+  context.num_classes = 3;
+  auto& seq = context.sequential;
+  seq.max_sequence_length = 6;
+  seq.lstm_sequence_length = 6;
+  seq.lstm = {.vocab_size = 0, .embedding_dim = 8, .hidden_size = 8,
+              .num_layers = 1, .dropout = 0.0f, .seed = 29};
+  seq.lstm_train.epochs = 2;
+  seq.lstm_train.batch_size = 8;
+  return context;
+}
+
+/// Fit + predict `key` from a cold model instance; returns the probas.
+std::vector<std::vector<float>> TrainAndPredict(const std::string& key,
+                                                const TinyCorpus& data) {
+  auto model_or = core::ModelRegistry::Instance().Create(key, TinyContext());
+  EXPECT_TRUE(model_or.ok());
+  std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
+  core::FitOptions fit;
+  fit.num_classes = 3;
+  core::ModelDataset train, test;
+  if (model->input() == core::ModelInput::kTfidf) {
+    train = {.tfidf = &data.tfidf_train, .labels = &data.train_y};
+    test = {.tfidf = &data.tfidf_test, .labels = &data.test_y};
+  } else {
+    train = {.sequences = &data.seq_train, .labels = &data.train_y,
+             .vocab = &data.vocab};
+    test = {.sequences = &data.seq_test, .labels = &data.test_y,
+            .vocab = &data.vocab};
+  }
+  EXPECT_TRUE(model->Fit(train, fit).ok());
+  return model->PredictBatch(test).probas;
+}
+
+TEST(TelemetryDeterminismTest, OutputsBitIdenticalWithTelemetryOnAndOff) {
+  const TinyCorpus data;
+  for (const char* key : {"lstm", "logreg"}) {
+    SCOPED_TRACE(key);
+    std::vector<std::vector<float>> off, on;
+    {
+      TelemetryGuard guard(false);
+      off = TrainAndPredict(key, data);
+    }
+    {
+      TelemetryGuard guard(true);
+      on = TrainAndPredict(key, data);
+    }
+    EXPECT_EQ(off, on);  // float-exact, element for element
+  }
+}
+
+TEST(TelemetryDeterminismTest, EngineCountersAdvanceDuringTraining) {
+  const TinyCorpus data;
+  auto& registry = MetricsRegistry::Instance();
+  Counter* steps = registry.GetCounter("train.steps");
+  Counter* predict_batches = registry.GetCounter("engine.predict_batches");
+  Counter* predict_examples = registry.GetCounter("engine.predict_examples");
+  const uint64_t steps_before = steps->value();
+  const uint64_t batches_before = predict_batches->value();
+  const uint64_t examples_before = predict_examples->value();
+
+  TrainAndPredict("lstm", data);    // sequential path
+  TrainAndPredict("logreg", data);  // sparse adapter path
+
+  EXPECT_GT(steps->value(), steps_before);
+  EXPECT_GE(predict_batches->value(), batches_before + 2);
+  EXPECT_GE(predict_examples->value(),
+            examples_before + 2 * data.test_y.size());
+}
+
+}  // namespace
+}  // namespace cuisine

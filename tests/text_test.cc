@@ -31,6 +31,36 @@ TEST(CleanerTest, OptionsAreHonoured) {
   EXPECT_EQ(cleaner.Clean("Mix 2 cups!"), "Mix 2 cups!");
 }
 
+TEST(CleanerTest, Utf8CodepointsSurviveStripSymbols) {
+  // Multi-byte UTF-8 sequences are word characters, not symbols: the
+  // old byte-wise std::isalpha loop shredded accented ingredient names
+  // ("jalape\xC3\xB1o" -> "jalape o") depending on the C locale.
+  Cleaner cleaner;
+  EXPECT_EQ(cleaner.Clean("jalape\xC3\xB1o"), "jalape\xC3\xB1o");
+  EXPECT_EQ(cleaner.Clean("2 Cr\xC3\xA8me fra\xC3\xAE"
+                          "che!"),
+            "cr\xC3\xA8me fra\xC3\xAE"
+            "che");
+  EXPECT_EQ(cleaner.Clean("\xC5\x93ufs"), "\xC5\x93ufs");  // 2-byte oe
+  // 3-byte (CJK) and 4-byte (emoji) sequences survive atomically too.
+  EXPECT_EQ(cleaner.Clean("\xE8\xB1\x86\xE8\x85\x90 tofu"),
+            "\xE8\xB1\x86\xE8\x85\x90 tofu");
+  EXPECT_EQ(cleaner.Clean("\xF0\x9F\x8C\xB6 pepper"),
+            "\xF0\x9F\x8C\xB6 pepper");
+}
+
+TEST(CleanerTest, InvalidUtf8BytesAreTreatedAsSymbols) {
+  Cleaner cleaner;
+  // Stray continuation byte, overlong lead, and a truncated sequence at
+  // end of input all strip like any other symbol.
+  EXPECT_EQ(cleaner.Clean("a\x80z"), "a z");
+  EXPECT_EQ(cleaner.Clean("a\xC0\xAFz"), "a z");
+  EXPECT_EQ(cleaner.Clean("salt\xC3"), "salt");
+  CleanerOptions keep;
+  keep.strip_symbols = false;
+  EXPECT_EQ(Cleaner(keep).Clean("a\x80z"), "a\x80z");
+}
+
 TEST(CleanerTest, KeepUnderscorePreservesPhraseTokens) {
   CleanerOptions opt;
   opt.keep_underscore = true;
