@@ -36,25 +36,19 @@ int main() {
   const auto split =
       data::StratifiedSplit(corpus, config.ratios, config.split_seed);
   if (!split.ok()) return 1;
-  auto train = core::GatherCorpus(tokenized, split->train);
-  auto test = core::GatherCorpus(tokenized, split->test);
-  if (train.documents.size() > max_train) {
-    train.documents.resize(max_train);
-    train.labels.resize(max_train);
-  }
-  if (test.documents.size() > max_eval) {
-    test.documents.resize(max_eval);
-    test.labels.resize(max_eval);
-  }
+  core::CorpusSlice train = core::GatherCorpus(tokenized, split->train);
+  core::CorpusSlice test = core::GatherCorpus(tokenized, split->test);
+  train.Truncate(max_train);
+  test.Truncate(max_eval);
 
   const text::Vocabulary vocab = core::BuildSequenceVocabulary(
-      train.documents, config.sequential.vocab_min_frequency,
+      train, config.sequential.vocab_min_frequency,
       config.sequential.vocab_max_size);
   const features::SequenceEncoder encoder(
       &vocab, {.max_length = config.sequential.lstm_sequence_length,
                .add_cls_sep = false});
-  const auto train_x = encoder.EncodeAll(train.documents);
-  const auto test_x = encoder.EncodeAll(test.documents);
+  const auto train_x = encoder.EncodeAll(train);
+  const auto test_x = encoder.EncodeAll(test);
 
   // Same architecture knobs for both cells; only the gate arithmetic
   // differs.
@@ -67,10 +61,10 @@ int main() {
   context.sequential = config.sequential;
 
   const core::ModelDataset train_ds{.sequences = &train_x,
-                                    .labels = &train.labels,
+                                    .labels = &train.labels(),
                                     .vocab = &vocab};
   const core::ModelDataset test_ds{.sequences = &test_x,
-                                   .labels = &test.labels,
+                                   .labels = &test.labels(),
                                    .vocab = &vocab};
 
   TextTable table({"Cell", "Accuracy", "Test loss", "Parameters", "Train s"});
@@ -96,7 +90,7 @@ int main() {
     }
     const core::Predictions pred =
         model->PredictBatch(test_ds, config.num_workers);
-    const auto metrics = core::ComputeMetrics(test.labels, pred.labels,
+    const auto metrics = core::ComputeMetrics(test.labels(), pred.labels,
                                               pred.probas, data::kNumCuisines);
     table.AddRow({cell.row, FormatPercent(metrics->accuracy),
                   core::FormatFixed(metrics->log_loss, 2),

@@ -1,0 +1,329 @@
+/// \file bench_pipeline.cc
+/// \brief End-to-end preprocessing throughput: the seed-era string
+/// pipeline vs the fused, interned id pipeline (DESIGN.md §12).
+///
+/// "Preprocessing" is everything between raw recipes and model-ready
+/// tensors: clean→tokenize→lemmatize, split gather, sequence-vocabulary
+/// construction, TF-IDF fit+transform and fixed-length id encoding.
+/// Two end-to-end variants are measured over the same corpus and split:
+///
+///   - strings: the seed behaviour, replicated inline — documents as
+///     vector<vector<string>>, deep-copy gathers, and every downstream
+///     stage re-hashing token strings
+///   - fused:   text::Preprocessor emitting interned ids, zero-copy
+///     CorpusSlice gathers, and id-array remaps downstream
+///
+/// plus tokenize-only rows for both (and a parallel-tokenize row, which
+/// only helps on multi-core hosts). Outputs are cross-checked for
+/// bit-identity before any number is reported. Writes
+/// BENCH_pipeline.json (+ METRICS_bench_pipeline.json). `--smoke` runs
+/// a tiny corpus for the sanitizer gate in scripts/check.sh.
+///
+/// Acceptance: fused end-to-end preprocessing >= 3x the string baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "data/splitter.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "text/tokenizer.h"
+#include "util/stopwatch.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+using namespace cuisine;
+
+namespace {
+
+constexpr int64_t kVocabMinFreq = 1;
+constexpr size_t kVocabMaxSize = 4000;
+constexpr int32_t kSequenceLength = 64;
+
+/// The seed-era TokenizeCorpus: one vector<string> per recipe,
+/// per-token heap allocations throughout.
+struct StringCorpus {
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int32_t> labels;
+};
+
+StringCorpus TokenizeStrings(const std::vector<data::Recipe>& recipes,
+                             const text::Tokenizer& tokenizer) {
+  StringCorpus out;
+  out.documents.reserve(recipes.size());
+  out.labels.reserve(recipes.size());
+  for (const data::Recipe& rec : recipes) {
+    std::vector<std::string> tokens;
+    for (const data::RecipeEvent& ev : rec.events) {
+      for (std::string& tok : tokenizer.TokenizeEvent(ev.text)) {
+        tokens.push_back(std::move(tok));
+      }
+    }
+    out.documents.push_back(std::move(tokens));
+    out.labels.push_back(rec.cuisine_id);
+  }
+  return out;
+}
+
+/// The seed-era GatherCorpus: deep copy of every selected document.
+StringCorpus GatherStrings(const StringCorpus& corpus,
+                           const std::vector<size_t>& indices) {
+  StringCorpus out;
+  out.documents.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (size_t i : indices) {
+    out.documents.push_back(corpus.documents[i]);
+    out.labels.push_back(corpus.labels[i]);
+  }
+  return out;
+}
+
+/// Model-ready tensors; also the bit-identity witness between variants.
+struct PipelineOutput {
+  size_t vocab_size = 0;
+  features::CsrMatrix tfidf_train, tfidf_test;
+  std::vector<features::EncodedSequence> seq_train, seq_test;
+};
+
+PipelineOutput RunStringPipeline(const std::vector<data::Recipe>& recipes,
+                                 const text::Tokenizer& tokenizer,
+                                 const data::DataSplit& split) {
+  const StringCorpus corpus = TokenizeStrings(recipes, tokenizer);
+  const StringCorpus train = GatherStrings(corpus, split.train);
+  const StringCorpus test = GatherStrings(corpus, split.test);
+  PipelineOutput out;
+  const text::Vocabulary vocab = core::BuildSequenceVocabulary(
+      train.documents, kVocabMinFreq, kVocabMaxSize);
+  out.vocab_size = vocab.size();
+  features::TfidfVectorizer tfidf;
+  if (!tfidf.Fit(train.documents).ok()) std::abort();
+  out.tfidf_train = tfidf.TransformAll(train.documents);
+  out.tfidf_test = tfidf.TransformAll(test.documents);
+  const features::SequenceEncoder encoder(
+      &vocab, {.max_length = kSequenceLength, .add_cls_sep = false});
+  out.seq_train = encoder.EncodeAll(train.documents);
+  out.seq_test = encoder.EncodeAll(test.documents);
+  return out;
+}
+
+PipelineOutput RunFusedPipeline(const std::vector<data::Recipe>& recipes,
+                                const text::Tokenizer& tokenizer,
+                                const data::DataSplit& split,
+                                size_t num_workers) {
+  const core::TokenizedCorpus corpus =
+      core::TokenizeCorpus(recipes, tokenizer, {.num_workers = num_workers});
+  const core::CorpusSlice train = core::GatherCorpus(corpus, split.train);
+  const core::CorpusSlice test = core::GatherCorpus(corpus, split.test);
+  PipelineOutput out;
+  const text::Vocabulary vocab =
+      core::BuildSequenceVocabulary(train, kVocabMinFreq, kVocabMaxSize);
+  out.vocab_size = vocab.size();
+  features::TfidfVectorizer tfidf;
+  if (!tfidf.Fit(train).ok()) std::abort();
+  out.tfidf_train = tfidf.TransformAll(train);
+  out.tfidf_test = tfidf.TransformAll(test);
+  const features::SequenceEncoder encoder(
+      &vocab, {.max_length = kSequenceLength, .add_cls_sep = false});
+  out.seq_train = encoder.EncodeAll(train);
+  out.seq_test = encoder.EncodeAll(test);
+  return out;
+}
+
+bool CsrEqual(const features::CsrMatrix& a, const features::CsrMatrix& b) {
+  if (a.rows() != b.rows()) return false;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    if (a.Row(i) != b.Row(i)) return false;
+  }
+  return true;
+}
+
+bool SequencesEqual(const std::vector<features::EncodedSequence>& a,
+                    const std::vector<features::EncodedSequence>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ids != b[i].ids || a[i].mask != b[i].mask ||
+        a[i].length != b[i].length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Timing {
+  std::string variant;
+  double seconds = 0.0;  // best of `iters`
+  double recipes_per_s = 0.0;
+  double tokens_per_s = 0.0;
+};
+
+template <typename Fn>
+Timing Measure(const std::string& variant, size_t iters, size_t num_recipes,
+               size_t num_tokens, Fn&& fn) {
+  double best = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    util::Stopwatch watch;
+    fn();
+    const double s = watch.ElapsedSeconds();
+    if (i == 0 || s < best) best = s;
+  }
+  return {variant, best, static_cast<double>(num_recipes) / best,
+          static_cast<double>(num_tokens) / best};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  data::GeneratorOptions gen;
+  gen.scale = benchutil::EnvDouble("CUISINE_SCALE", smoke ? 0.002 : 0.05);
+  const size_t iters =
+      static_cast<size_t>(benchutil::EnvInt("CUISINE_ITERS", smoke ? 1 : 5));
+  const auto recipes = data::RecipeDbGenerator(gen).Generate();
+  const text::Tokenizer tokenizer;
+  const auto split_or = data::StratifiedSplit(recipes, {}, /*seed=*/42);
+  if (!split_or.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 split_or.status().ToString().c_str());
+    return 1;
+  }
+  const data::DataSplit& split = *split_or;
+
+  // Reference outputs, also used for the bit-identity cross-checks.
+  const StringCorpus strings = TokenizeStrings(recipes, tokenizer);
+  const core::TokenizedCorpus serial =
+      core::TokenizeCorpus(recipes, tokenizer, {.num_workers = 1});
+  const core::TokenizedCorpus parallel =
+      core::TokenizeCorpus(recipes, tokenizer, {.num_workers = 0});
+
+  // --- Bit-identity: fused == legacy strings, parallel == serial ---
+  if (serial.size() != strings.documents.size() ||
+      serial.labels != strings.labels) {
+    std::fprintf(stderr, "FAIL: fused corpus shape/labels mismatch\n");
+    return 1;
+  }
+  for (size_t i = 0; i < serial.size(); ++i) {
+    if (serial.DecodeDoc(i) != strings.documents[i]) {
+      std::fprintf(stderr, "FAIL: fused tokens differ at doc %zu\n", i);
+      return 1;
+    }
+  }
+  if (parallel.token_ids != serial.token_ids ||
+      parallel.offsets != serial.offsets ||
+      parallel.labels != serial.labels ||
+      parallel.table.size() != serial.table.size()) {
+    std::fprintf(stderr, "FAIL: parallel tokenization not bit-identical\n");
+    return 1;
+  }
+  const PipelineOutput legacy_out =
+      RunStringPipeline(recipes, tokenizer, split);
+  const PipelineOutput fused_out =
+      RunFusedPipeline(recipes, tokenizer, split, /*num_workers=*/1);
+  if (legacy_out.vocab_size != fused_out.vocab_size ||
+      !CsrEqual(legacy_out.tfidf_train, fused_out.tfidf_train) ||
+      !CsrEqual(legacy_out.tfidf_test, fused_out.tfidf_test) ||
+      !SequencesEqual(legacy_out.seq_train, fused_out.seq_train) ||
+      !SequencesEqual(legacy_out.seq_test, fused_out.seq_test)) {
+    std::fprintf(stderr, "FAIL: fused pipeline outputs differ from legacy\n");
+    return 1;
+  }
+
+  const size_t num_tokens = serial.num_tokens();
+  std::printf("bench_pipeline: %zu recipes, %zu tokens, %zu distinct "
+              "(intern table %.1f KiB, %zu hardware threads)\n",
+              recipes.size(), num_tokens, serial.table.size(),
+              static_cast<double>(serial.table.arena_bytes()) / 1024.0,
+              util::HardwareThreads());
+
+  std::vector<Timing> rows;
+  rows.push_back(
+      Measure("tokenize_strings", iters, recipes.size(), num_tokens, [&] {
+        const StringCorpus c = TokenizeStrings(recipes, tokenizer);
+        if (c.documents.size() != recipes.size()) std::abort();
+      }));
+  rows.push_back(
+      Measure("tokenize_fused", iters, recipes.size(), num_tokens, [&] {
+        const auto c =
+            core::TokenizeCorpus(recipes, tokenizer, {.num_workers = 1});
+        if (c.size() != recipes.size()) std::abort();
+      }));
+  rows.push_back(
+      Measure("tokenize_parallel", iters, recipes.size(), num_tokens, [&] {
+        const auto c =
+            core::TokenizeCorpus(recipes, tokenizer, {.num_workers = 0});
+        if (c.size() != recipes.size()) std::abort();
+      }));
+  rows.push_back(
+      Measure("end_to_end_strings", iters, recipes.size(), num_tokens, [&] {
+        const PipelineOutput out = RunStringPipeline(recipes, tokenizer, split);
+        if (out.vocab_size == 0) std::abort();
+      }));
+  rows.push_back(
+      Measure("end_to_end_fused", iters, recipes.size(), num_tokens, [&] {
+        const PipelineOutput out =
+            RunFusedPipeline(recipes, tokenizer, split, /*num_workers=*/0);
+        if (out.vocab_size == 0) std::abort();
+      }));
+
+  const double tokenize_base = rows[0].seconds;
+  const double e2e_base = rows[3].seconds;
+  auto baseline_for = [&](const std::string& variant) {
+    return variant.rfind("tokenize", 0) == 0 ? tokenize_base : e2e_base;
+  };
+  for (const Timing& r : rows) {
+    std::printf("%-20s %8.4fs  %10.0f recipes/s  %12.0f tokens/s  %5.2fx\n",
+                r.variant.c_str(), r.seconds, r.recipes_per_s, r.tokens_per_s,
+                baseline_for(r.variant) / r.seconds);
+  }
+
+  const double e2e_speedup = e2e_base / rows[4].seconds;
+  std::printf("fused end-to-end speedup over string baseline: %.2fx "
+              "(acceptance: >= 3x)\n",
+              e2e_speedup);
+
+  FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_pipeline.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pipeline_preprocessing\",\n");
+  std::fprintf(f, "  \"num_recipes\": %zu,\n", recipes.size());
+  std::fprintf(f, "  \"num_tokens\": %zu,\n", num_tokens);
+  std::fprintf(f, "  \"intern_table_size\": %zu,\n", serial.table.size());
+  std::fprintf(f, "  \"intern_arena_bytes\": %zu,\n",
+               serial.table.arena_bytes());
+  std::fprintf(f, "  \"acceptance_speedup\": 3.0,\n");
+  std::fprintf(f, "  \"end_to_end_speedup\": %.3f,\n", e2e_speedup);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Timing& r = rows[i];
+    std::fprintf(f,
+                 "    {\"variant\": \"%s\", \"seconds\": %.6g, "
+                 "\"recipes_per_s\": %.6g, \"tokens_per_s\": %.6g, "
+                 "\"speedup_vs_baseline\": %.3f}%s\n",
+                 r.variant.c_str(), r.seconds, r.recipes_per_s, r.tokens_per_s,
+                 baseline_for(r.variant) / r.seconds,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_pipeline.json\n");
+
+  benchutil::ExportMetrics("bench_pipeline");
+
+  if (!smoke && e2e_speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: fused speedup %.2fx below 3x acceptance\n",
+                 e2e_speedup);
+    return 1;
+  }
+  return 0;
+}

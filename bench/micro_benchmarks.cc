@@ -209,11 +209,11 @@ const PredictBatchFixture& PredictFixture() {
     const text::Tokenizer tokenizer;
     const core::TokenizedCorpus tokenized =
         core::TokenizeCorpus(corpus, tokenizer);
-    const text::Vocabulary vocab =
-        core::BuildSequenceVocabulary(tokenized.documents, 1, 4000);
+    const core::CorpusSlice all = core::CorpusSlice::All(tokenized);
+    const text::Vocabulary vocab = core::BuildSequenceVocabulary(all, 1, 4000);
     const features::SequenceEncoder encoder(
         &vocab, {.max_length = 32, .add_cls_sep = false});
-    f->sequences = encoder.EncodeAll(tokenized.documents);
+    f->sequences = encoder.EncodeAll(all);
 
     core::ModelContext context;
     context.sequential.lstm.embedding_dim = 32;

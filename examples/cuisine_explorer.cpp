@@ -26,13 +26,14 @@ int main() {
   const text::Tokenizer tokenizer;
   const core::TokenizedCorpus tokenized =
       core::TokenizeCorpus(corpus, tokenizer);
+  const core::CorpusSlice all = core::CorpusSlice::All(tokenized);
 
   features::TfidfVectorizer tfidf;
-  if (auto st = tfidf.Fit(tokenized.documents); !st.ok()) {
+  if (auto st = tfidf.Fit(all); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const auto x = tfidf.TransformAll(tokenized.documents);
+  const auto x = tfidf.TransformAll(all);
 
   // Dense per-cuisine centroids in TF-IDF space.
   const size_t d = tfidf.num_features();

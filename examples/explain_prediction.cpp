@@ -62,13 +62,14 @@ int main() {
   const text::Tokenizer tokenizer;
   const core::TokenizedCorpus tokenized =
       core::TokenizeCorpus(corpus, tokenizer);
+  const core::CorpusSlice all = core::CorpusSlice::All(tokenized);
   features::TfidfVectorizer tfidf;
-  if (auto st = tfidf.Fit(tokenized.documents); !st.ok()) {
+  if (auto st = tfidf.Fit(all); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   ml::LogisticRegression model;
-  if (auto st = model.Fit(tfidf.TransformAll(tokenized.documents),
+  if (auto st = model.Fit(tfidf.TransformAll(all),
                           tokenized.labels, data::kNumCuisines);
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

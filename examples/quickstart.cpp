@@ -48,12 +48,12 @@ int main() {
   // 4. TF-IDF features + logistic regression (the paper's best
   //    statistical model).
   features::TfidfVectorizer tfidf;
-  if (auto st = tfidf.Fit(train.documents); !st.ok()) {
+  if (auto st = tfidf.Fit(train); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   ml::LogisticRegression model;
-  if (auto st = model.Fit(tfidf.TransformAll(train.documents), train.labels,
+  if (auto st = model.Fit(tfidf.TransformAll(train), train.labels(),
                           data::kNumCuisines);
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -61,14 +61,14 @@ int main() {
   }
 
   // 5. Evaluate on the held-out test split.
-  const auto test_x = tfidf.TransformAll(test.documents);
+  const auto test_x = tfidf.TransformAll(test);
   std::vector<int32_t> preds;
   std::vector<std::vector<float>> probas;
   for (size_t i = 0; i < test_x.rows(); ++i) {
     probas.push_back(model.PredictProba(test_x.Row(i)));
     preds.push_back(model.Predict(test_x.Row(i)));
   }
-  const auto metrics = core::ComputeMetrics(test.labels, preds, probas,
+  const auto metrics = core::ComputeMetrics(test.labels(), preds, probas,
                                             data::kNumCuisines);
   std::printf("test accuracy: %.2f%%  log-loss: %.3f  macro-F1: %.3f\n",
               metrics->accuracy * 100.0, metrics->log_loss,

@@ -44,9 +44,10 @@ int main(int argc, char** argv) {
   const text::Tokenizer tokenizer;
   const core::TokenizedCorpus tokenized =
       core::TokenizeCorpus(corpus, tokenizer);
+  const core::CorpusSlice all = core::CorpusSlice::All(tokenized);
 
   features::TfidfVectorizer tfidf;
-  if (auto st = tfidf.Fit(tokenized.documents); !st.ok()) {
+  if (auto st = tfidf.Fit(all); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
-  const features::CsrMatrix train_x = tfidf.TransformAll(tokenized.documents);
+  const features::CsrMatrix train_x = tfidf.TransformAll(all);
   const core::ModelDataset train_ds{.tfidf = &train_x,
                                     .labels = &tokenized.labels};
   if (auto st = model->Fit(train_ds, {.num_classes = data::kNumCuisines});

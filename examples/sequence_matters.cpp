@@ -52,28 +52,27 @@ int main() {
   util::Rng rng(7);
   rng.Shuffle(&indices);
   const size_t n_train = n * 8 / 10;
-  core::TokenizedCorpus train = core::GatherCorpus(
+  const core::CorpusSlice train = core::GatherCorpus(
       tokenized, {indices.begin(), indices.begin() + n_train});
-  core::TokenizedCorpus test = core::GatherCorpus(
+  const core::CorpusSlice test = core::GatherCorpus(
       tokenized, {indices.begin() + n_train, indices.end()});
 
   // --- Bag-of-words view: logistic regression on TF-IDF ---
   features::TfidfVectorizer tfidf;
-  (void)tfidf.Fit(train.documents);
+  (void)tfidf.Fit(train);
   ml::LogisticRegression logreg;
-  (void)logreg.Fit(tfidf.TransformAll(train.documents), train.labels, 2);
+  (void)logreg.Fit(tfidf.TransformAll(train), train.labels(), 2);
   int correct = 0;
-  const auto test_x = tfidf.TransformAll(test.documents);
+  const auto test_x = tfidf.TransformAll(test);
   for (size_t i = 0; i < test_x.rows(); ++i) {
-    if (logreg.Predict(test_x.Row(i)) == test.labels[i]) ++correct;
+    if (logreg.Predict(test_x.Row(i)) == test.labels()[i]) ++correct;
   }
   const double bag_acc = static_cast<double>(correct) / test_x.rows();
 
   // --- Sequence view: a tiny transformer from the model registry ---
   // "transformer" is the fine-tune-only classifier (no MLM stage); it
   // trains with the bert_finetune recipe.
-  const text::Vocabulary vocab =
-      core::BuildSequenceVocabulary(train.documents, 1, 4000);
+  const text::Vocabulary vocab = core::BuildSequenceVocabulary(train, 1, 4000);
   const features::SequenceEncoder encoder(
       &vocab, {.max_length = 50, .add_cls_sep = true});
   core::ModelContext context;
@@ -93,9 +92,9 @@ int main() {
     return 1;
   }
   std::unique_ptr<core::Model> model = std::move(model_or).MoveValueUnsafe();
-  const auto train_x = encoder.EncodeAll(train.documents);
+  const auto train_x = encoder.EncodeAll(train);
   const core::ModelDataset train_ds{.sequences = &train_x,
-                                    .labels = &train.labels,
+                                    .labels = &train.labels(),
                                     .vocab = &vocab};
   core::FitOptions fit;
   fit.num_classes = 2;
@@ -104,14 +103,14 @@ int main() {
     std::fprintf(stderr, "%s\n", fit_status.ToString().c_str());
     return 1;
   }
-  const auto test_seq = encoder.EncodeAll(test.documents);
+  const auto test_seq = encoder.EncodeAll(test);
   const core::ModelDataset test_ds{.sequences = &test_seq,
-                                   .labels = &test.labels,
+                                   .labels = &test.labels(),
                                    .vocab = &vocab};
   const auto pred = model->PredictBatch(test_ds);
   correct = 0;
   for (size_t i = 0; i < pred.labels.size(); ++i) {
-    if (pred.labels[i] == test.labels[i]) ++correct;
+    if (pred.labels[i] == test.labels()[i]) ++correct;
   }
   const double seq_acc = static_cast<double>(correct) / pred.labels.size();
 

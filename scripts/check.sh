@@ -5,9 +5,13 @@
 #
 # The tsan suite additionally re-runs telemetry_test on its own — the
 # lock-free metrics registry is the code most likely to regress under
-# concurrency — and the default suite finishes with a bench smoke run
-# that exports a metrics snapshot and validates the JSON parses with
-# the expected keys.
+# concurrency — plus core_test, whose parallel-tokenization determinism
+# test exercises the sharded interner under the race detector. The asan
+# suite re-runs the preprocessing-adjacent tests explicitly (interning
+# arenas, string_view lifetimes and id remaps are where lifetime bugs
+# would live). The default suite finishes with bench smoke runs that
+# export metrics snapshots and validate their JSON, including the
+# bench_pipeline bit-identity cross-checks.
 #
 # Usage: scripts/check.sh [default|asan|tsan]...
 # With no arguments all three suites run, default first.
@@ -30,12 +34,27 @@ for suite in "${suites[@]}"; do
   if [ "${suite}" = "tsan" ]; then
     echo "==== ${suite}: telemetry race pass ===="
     ./build-tsan/tests/telemetry_test
+    echo "==== ${suite}: parallel tokenization race pass ===="
+    # Parallel-intern determinism (2 and 8 workers) under TSan.
+    ./build-tsan/tests/core_test --gtest_filter='PipelineTest.*'
+  fi
+
+  if [ "${suite}" = "asan" ]; then
+    echo "==== ${suite}: interned-corpus lifetime pass ===="
+    # Arena views, fused preprocessor buffers and id-remap paths.
+    ./build-asan/tests/text_test
+    ./build-asan/tests/features_test
+    ./build-asan/tests/core_test
   fi
 
   if [ "${suite}" = "default" ]; then
     echo "==== ${suite}: telemetry bench smoke ===="
     # Exits non-zero if the exported metrics snapshot fails validation.
     ./build/bench/bench_telemetry --smoke
+    echo "==== ${suite}: preprocessing pipeline smoke ===="
+    # Cross-checks fused == legacy tokens and parallel == serial ids
+    # before timing; exits non-zero on any mismatch.
+    ./build/bench/bench_pipeline --smoke
   fi
 done
 

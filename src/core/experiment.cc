@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -8,30 +9,66 @@
 #include "core/pipeline.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 #include "util/telemetry.h"
 
 namespace cuisine::core {
 
 namespace {
 
-/// Applies the order-destroying ablation: shuffles each document's
-/// tokens with a per-document deterministic stream.
-void ShuffleDocuments(std::vector<std::vector<std::string>>* documents,
-                      uint64_t seed) {
-  util::Rng rng(seed);
-  for (auto& doc : *documents) {
-    util::Rng child = rng.Split();
-    child.Shuffle(&doc);
-  }
-}
+/// Attributes engine activity to one Table-IV row: snapshots the
+/// registry's engine/train/gemm counters around a model's fit+predict
+/// and republishes the deltas as `model.<key>.<counter>` counters, so
+/// METRICS_*.json breaks work down per registry model. Wall times land
+/// in `model.<key>.fit_ms` / `model.<key>.predict_ms` histograms.
+class ScopedModelMetrics {
+ public:
+  explicit ScopedModelMetrics(const std::string& key)
+      : key_(key), before_(CounterValues()) {}
 
-/// Deterministic cap: keeps the first `cap` items (inputs are already
-/// shuffled by the stratified splitter).
-template <typename T>
-std::vector<T> Capped(const std::vector<T>& v, size_t cap) {
-  if (cap == 0 || v.size() <= cap) return v;
-  return std::vector<T>(v.begin(), v.begin() + cap);
-}
+  ~ScopedModelMetrics() {
+    auto& registry = util::MetricsRegistry::Instance();
+    for (const auto& [name, value] : CounterValues()) {
+      auto it = before_.find(name);
+      const uint64_t prior = it == before_.end() ? 0 : it->second;
+      if (value > prior) {
+        registry.GetCounter("model." + key_ + "." + name)->Add(value - prior);
+      }
+    }
+  }
+
+  void ObserveFitSeconds(double seconds) {
+    util::MetricsRegistry::Instance()
+        .GetHistogram("model." + key_ + ".fit_ms")
+        ->Observe(seconds * 1000.0);
+  }
+
+  void ObservePredictSeconds(double seconds) {
+    util::MetricsRegistry::Instance()
+        .GetHistogram("model." + key_ + ".predict_ms")
+        ->Observe(seconds * 1000.0);
+  }
+
+ private:
+  static std::map<std::string, uint64_t> CounterValues() {
+    std::map<std::string, uint64_t> values;
+    for (const auto& [name, value] :
+         util::MetricsRegistry::Instance().Snapshot().counters) {
+      // Only engine-side activity is attributable to a single model;
+      // (skip the model.* counters themselves to avoid re-attribution).
+      if (util::StartsWith(name, "engine.") ||
+          util::StartsWith(name, "train.") ||
+          util::StartsWith(name, "gemm.") ||
+          util::StartsWith(name, "threadpool.")) {
+        values.emplace(name, value);
+      }
+    }
+    return values;
+  }
+
+  std::string key_;
+  std::map<std::string, uint64_t> before_;
+};
 
 }  // namespace
 
@@ -70,15 +107,18 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
     const std::vector<data::Recipe>& recipes, int32_t num_classes) const {
   const text::Tokenizer tokenizer;
   const TokenizedCorpus corpus =
-      TokenizeCorpus(recipes, tokenizer, config_.include_ingredients,
-                     config_.include_processes, config_.include_utensils);
+      TokenizeCorpus(recipes, tokenizer,
+                     {.include_ingredients = config_.include_ingredients,
+                      .include_processes = config_.include_processes,
+                      .include_utensils = config_.include_utensils,
+                      .num_workers = config_.num_workers});
 
   CUISINE_ASSIGN_OR_RETURN(
       data::DataSplit split,
       data::StratifiedSplit(recipes, config_.ratios, config_.split_seed));
-  TokenizedCorpus train = GatherCorpus(corpus, split.train);
-  TokenizedCorpus validation = GatherCorpus(corpus, split.validation);
-  TokenizedCorpus test = GatherCorpus(corpus, split.test);
+  const CorpusSlice train = GatherCorpus(corpus, split.train);
+  const CorpusSlice validation = GatherCorpus(corpus, split.validation);
+  const CorpusSlice test = GatherCorpus(corpus, split.test);
 
   ExperimentResult result;
   result.train_size = train.size();
@@ -96,8 +136,9 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
   context.num_classes = num_classes;
   context.statistical = config_.statistical;
   context.sequential = config_.sequential;
+  const std::vector<std::string> keys = config_.ModelKeys();
   std::vector<std::unique_ptr<Model>> roster;
-  for (const std::string& key : config_.ModelKeys()) {
+  for (const std::string& key : keys) {
     CUISINE_ASSIGN_OR_RETURN(
         std::unique_ptr<Model> model,
         ModelRegistry::Instance().Create(key, context));
@@ -115,11 +156,12 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
   // ---- TF-IDF representation (statistical models) ----
   features::CsrMatrix tfidf_train, tfidf_test;
   if (need_tfidf) {
+    CUISINE_TRACE_SPAN("experiment.vectorize");
     features::TfidfVectorizer tfidf(config_.tfidf);
-    CUISINE_RETURN_NOT_OK(tfidf.Fit(train.documents));
+    CUISINE_RETURN_NOT_OK(tfidf.Fit(train));
     result.num_tfidf_features = tfidf.num_features();
-    tfidf_train = tfidf.TransformAll(train.documents);
-    tfidf_test = tfidf.TransformAll(test.documents);
+    tfidf_train = tfidf.TransformAll(train);
+    tfidf_test = tfidf.TransformAll(test);
     if (config_.verbose) {
       CUISINE_LOG(Info) << "TF-IDF features: " << tfidf.num_features()
                         << " sparsity=" << tfidf_train.Sparsity();
@@ -129,20 +171,22 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
   // ---- Sequence representations (neural models) ----
   const SequentialModelOptions& seq_opt = config_.sequential;
   std::optional<text::Vocabulary> vocab;
-  std::vector<int32_t> train_y, val_y, test_y;
   std::vector<features::EncodedSequence> plain_train, plain_val, plain_test;
   std::vector<features::EncodedSequence> cls_train, cls_val, cls_test;
+  CorpusSlice train_seq = train;
+  CorpusSlice val_seq = validation;
+  CorpusSlice test_seq = test;
   if (need_plain || need_cls) {
-    std::vector<std::vector<std::string>> train_docs = train.documents;
-    std::vector<std::vector<std::string>> val_docs = validation.documents;
-    std::vector<std::vector<std::string>> test_docs = test.documents;
+    CUISINE_TRACE_SPAN("experiment.encode");
     if (config_.shuffle_token_order) {
-      ShuffleDocuments(&train_docs, config_.split_seed + 1);
-      ShuffleDocuments(&val_docs, config_.split_seed + 2);
-      ShuffleDocuments(&test_docs, config_.split_seed + 3);
+      train_seq.ShuffleDocs(config_.split_seed + 1);
+      val_seq.ShuffleDocs(config_.split_seed + 2);
+      test_seq.ShuffleDocs(config_.split_seed + 3);
     }
 
-    vocab = BuildSequenceVocabulary(train_docs, seq_opt.vocab_min_frequency,
+    // Vocabulary from the (uncapped) training slice; shuffling does not
+    // change token frequencies, so this matches the unshuffled build.
+    vocab = BuildSequenceVocabulary(train_seq, seq_opt.vocab_min_frequency,
                                     seq_opt.vocab_max_size);
     result.sequence_vocab_size = vocab->size();
     if (config_.verbose) {
@@ -150,33 +194,35 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
                         << " tokens";
     }
 
-    train_y = Capped(train.labels, seq_opt.max_train_sequences);
-    val_y = Capped(validation.labels, seq_opt.max_eval_sequences);
-    test_y = Capped(test.labels, seq_opt.max_eval_sequences);
-    const auto train_docs_c = Capped(train_docs, seq_opt.max_train_sequences);
-    const auto val_docs_c = Capped(val_docs, seq_opt.max_eval_sequences);
-    const auto test_docs_c = Capped(test_docs, seq_opt.max_eval_sequences);
+    if (seq_opt.max_train_sequences > 0) {
+      train_seq.Truncate(seq_opt.max_train_sequences);
+    }
+    if (seq_opt.max_eval_sequences > 0) {
+      val_seq.Truncate(seq_opt.max_eval_sequences);
+      test_seq.Truncate(seq_opt.max_eval_sequences);
+    }
 
     if (need_plain) {
       const features::SequenceEncoder encoder(
           &*vocab, {.max_length = seq_opt.lstm_sequence_length,
                     .add_cls_sep = false});
-      plain_train = encoder.EncodeAll(train_docs_c);
-      plain_val = encoder.EncodeAll(val_docs_c);
-      plain_test = encoder.EncodeAll(test_docs_c);
+      plain_train = encoder.EncodeAll(train_seq);
+      plain_val = encoder.EncodeAll(val_seq);
+      plain_test = encoder.EncodeAll(test_seq);
     }
     if (need_cls) {
       const features::SequenceEncoder encoder(
           &*vocab, {.max_length = seq_opt.max_sequence_length + 2,
                     .add_cls_sep = true});
-      cls_train = encoder.EncodeAll(train_docs_c);
-      cls_val = encoder.EncodeAll(val_docs_c);
-      cls_test = encoder.EncodeAll(test_docs_c);
+      cls_train = encoder.EncodeAll(train_seq);
+      cls_val = encoder.EncodeAll(val_seq);
+      cls_test = encoder.EncodeAll(test_seq);
     }
   }
 
   // ---- Drive every model through the unified interface ----
-  for (const auto& model : roster) {
+  for (size_t model_index = 0; model_index < roster.size(); ++model_index) {
+    const auto& model = roster[model_index];
     ModelResult mr;
     mr.name = model->name();
 
@@ -184,25 +230,27 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
     const std::vector<int32_t>* test_labels = nullptr;
     switch (model->input()) {
       case ModelInput::kTfidf:
-        train_ds = {.tfidf = &tfidf_train, .labels = &train.labels};
-        test_ds = {.tfidf = &tfidf_test, .labels = &test.labels};
-        test_labels = &test.labels;
+        train_ds = {.tfidf = &tfidf_train, .labels = &train.labels()};
+        test_ds = {.tfidf = &tfidf_test, .labels = &test.labels()};
+        test_labels = &test.labels();
         break;
       case ModelInput::kSequence:
-        train_ds = {.sequences = &plain_train, .labels = &train_y,
+        train_ds = {.sequences = &plain_train, .labels = &train_seq.labels(),
                     .vocab = &*vocab};
-        val_ds = {.sequences = &plain_val, .labels = &val_y, .vocab = &*vocab};
-        test_ds = {.sequences = &plain_test, .labels = &test_y,
+        val_ds = {.sequences = &plain_val, .labels = &val_seq.labels(),
+                  .vocab = &*vocab};
+        test_ds = {.sequences = &plain_test, .labels = &test_seq.labels(),
                    .vocab = &*vocab};
-        test_labels = &test_y;
+        test_labels = &test_seq.labels();
         break;
       case ModelInput::kSequenceClsSep:
-        train_ds = {.sequences = &cls_train, .labels = &train_y,
+        train_ds = {.sequences = &cls_train, .labels = &train_seq.labels(),
                     .vocab = &*vocab};
-        val_ds = {.sequences = &cls_val, .labels = &val_y, .vocab = &*vocab};
-        test_ds = {.sequences = &cls_test, .labels = &test_y,
+        val_ds = {.sequences = &cls_val, .labels = &val_seq.labels(),
+                  .vocab = &*vocab};
+        test_ds = {.sequences = &cls_test, .labels = &test_seq.labels(),
                    .vocab = &*vocab};
-        test_labels = &test_y;
+        test_labels = &test_seq.labels();
         break;
     }
 
@@ -215,18 +263,22 @@ util::Result<ExperimentResult> ExperimentRunner::RunOnCorpus(
                         << train_ds.size() << " sequences)";
     }
 
+    ScopedModelMetrics attribution(keys[model_index]);
     util::Stopwatch watch;
     {
       CUISINE_TRACE_SPAN("experiment.fit");
       CUISINE_RETURN_NOT_OK(model->Fit(train_ds, fit));
     }
     mr.train_seconds = watch.ElapsedSeconds();
+    attribution.ObserveFitSeconds(mr.train_seconds);
 
+    util::Stopwatch predict_watch;
     Predictions pred;
     {
       CUISINE_TRACE_SPAN("experiment.predict");
       pred = model->PredictBatch(test_ds, config_.num_workers);
     }
+    attribution.ObservePredictSeconds(predict_watch.ElapsedSeconds());
     CUISINE_ASSIGN_OR_RETURN(
         mr.metrics,
         ComputeMetrics(*test_labels, pred.labels, pred.probas, num_classes));

@@ -1,49 +1,147 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <string_view>
+
+#include "text/preprocessor.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
 
 namespace cuisine::core {
 
-TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
-                               const text::Tokenizer& tokenizer) {
-  return TokenizeCorpus(recipes, tokenizer, true, true, true);
+namespace {
+
+bool KeepEvent(const data::RecipeEvent& ev, const TokenizeOptions& options) {
+  switch (ev.type) {
+    case data::EventType::kIngredient:
+      return options.include_ingredients;
+    case data::EventType::kProcess:
+      return options.include_processes;
+    case data::EventType::kUtensil:
+      return options.include_utensils;
+  }
+  return false;
 }
+
+/// Tokenizes recipes [begin, end) into `*out` (appending).
+void TokenizeRange(const std::vector<data::Recipe>& recipes, size_t begin,
+                   size_t end, const text::TokenizerOptions& tokenizer_options,
+                   const TokenizeOptions& options, text::InternedCorpus* out) {
+  text::Preprocessor preprocessor(tokenizer_options);
+  for (size_t i = begin; i < end; ++i) {
+    const data::Recipe& rec = recipes[i];
+    for (const data::RecipeEvent& ev : rec.events) {
+      if (!KeepEvent(ev, options)) continue;
+      preprocessor.ProcessEvent(ev.text, &out->table, &out->token_ids);
+    }
+    out->offsets.push_back(out->token_ids.size());
+    out->labels.push_back(rec.cuisine_id);
+  }
+}
+
+}  // namespace
 
 TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
                                const text::Tokenizer& tokenizer,
-                               bool include_ingredients,
-                               bool include_processes, bool include_utensils) {
+                               const TokenizeOptions& options) {
+  static util::Counter* const recipes_counter =
+      util::MetricsRegistry::Instance().GetCounter("preprocess.recipes");
+  static util::Counter* const tokens_counter =
+      util::MetricsRegistry::Instance().GetCounter("preprocess.tokens");
+  static util::Counter* const intern_hits_counter =
+      util::MetricsRegistry::Instance().GetCounter("preprocess.intern_hits");
+  CUISINE_TRACE_SPAN("preprocess.tokenize");
+
+  const size_t num_workers =
+      options.num_workers == 0 ? util::HardwareThreads() : options.num_workers;
+
   TokenizedCorpus out;
-  out.documents.reserve(recipes.size());
-  out.labels.reserve(recipes.size());
-  for (const data::Recipe& rec : recipes) {
-    std::vector<std::string> tokens;
-    for (const data::RecipeEvent& ev : rec.events) {
-      const bool keep =
-          (ev.type == data::EventType::kIngredient && include_ingredients) ||
-          (ev.type == data::EventType::kProcess && include_processes) ||
-          (ev.type == data::EventType::kUtensil && include_utensils);
-      if (!keep) continue;
-      for (std::string& tok : tokenizer.TokenizeEvent(ev.text)) {
-        tokens.push_back(std::move(tok));
+  if (num_workers <= 1 || recipes.size() < 2) {
+    out.offsets.reserve(recipes.size() + 1);
+    out.labels.reserve(recipes.size());
+    TokenizeRange(recipes, 0, recipes.size(), tokenizer.options(), options,
+                  &out);
+  } else {
+    // Contiguous shards, one local intern table each. Merging the local
+    // tables in shard order reproduces the corpus-wide first-appearance
+    // id assignment exactly (TokenTable::MergeFrom preserves donor
+    // insertion order), so the result is bit-identical to serial for
+    // any worker count.
+    const size_t shards = std::min(num_workers, recipes.size());
+    std::vector<text::InternedCorpus> locals(shards);
+    util::ParallelFor(shards, num_workers, [&](size_t s) {
+      const size_t begin = s * recipes.size() / shards;
+      const size_t end = (s + 1) * recipes.size() / shards;
+      TokenizeRange(recipes, begin, end, tokenizer.options(), options,
+                    &locals[s]);
+    });
+
+    size_t total_tokens = 0;
+    for (const auto& local : locals) total_tokens += local.num_tokens();
+    out.token_ids.reserve(total_tokens);
+    out.offsets.reserve(recipes.size() + 1);
+    out.labels.reserve(recipes.size());
+    std::vector<int32_t> remap;
+    for (const auto& local : locals) {
+      out.table.MergeFrom(local.table, &remap);
+      for (size_t d = 0; d < local.size(); ++d) {
+        for (int32_t id : local.Doc(d)) {
+          out.token_ids.push_back(remap[static_cast<size_t>(id)]);
+        }
+        out.offsets.push_back(out.token_ids.size());
+        out.labels.push_back(local.labels[d]);
       }
     }
-    out.documents.push_back(std::move(tokens));
-    out.labels.push_back(rec.cuisine_id);
   }
+
+  recipes_counter->Add(recipes.size());
+  tokens_counter->Add(out.num_tokens());
+  // Every token occurrence beyond a token's first sighting hit the
+  // intern table instead of allocating a fresh string.
+  intern_hits_counter->Add(out.num_tokens() - out.table.size());
   return out;
 }
 
-TokenizedCorpus GatherCorpus(const TokenizedCorpus& corpus,
-                             const std::vector<size_t>& indices) {
-  TokenizedCorpus out;
-  out.documents.reserve(indices.size());
-  out.labels.reserve(indices.size());
-  for (size_t i : indices) {
-    out.documents.push_back(corpus.documents[i]);
-    out.labels.push_back(corpus.labels[i]);
+CorpusSlice GatherCorpus(const TokenizedCorpus& corpus,
+                         const std::vector<size_t>& indices) {
+  return CorpusSlice(&corpus, indices);
+}
+
+text::Vocabulary BuildSequenceVocabulary(const CorpusSlice& train_slice,
+                                         int64_t min_frequency,
+                                         size_t max_size) {
+  const text::TokenTable& table = train_slice.table();
+  std::vector<int64_t> freq(table.size(), 0);
+  for (size_t i = 0; i < train_slice.size(); ++i) {
+    for (int32_t id : train_slice.Doc(i)) ++freq[static_cast<size_t>(id)];
   }
-  return out;
+
+  struct Entry {
+    std::string_view token;
+    int64_t freq;
+  };
+  std::vector<Entry> kept;
+  for (size_t id = 0; id < table.size(); ++id) {
+    if (freq[id] >= min_frequency && freq[id] > 0) {
+      kept.push_back({table.View(static_cast<int32_t>(id)), freq[id]});
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Entry& a, const Entry& b) {
+    if (a.freq != b.freq) return a.freq > b.freq;
+    return a.token < b.token;
+  });
+
+  text::Vocabulary vocab(/*with_special_tokens=*/true);
+  size_t cap = kept.size();
+  if (max_size > 0 && kept.size() + vocab.num_special_tokens() > max_size) {
+    cap = max_size > vocab.num_special_tokens()
+              ? max_size - vocab.num_special_tokens()
+              : 0;
+  }
+  for (size_t i = 0; i < cap; ++i) {
+    vocab.AddWithFrequency(kept[i].token, kept[i].freq);
+  }
+  return vocab;
 }
 
 text::Vocabulary BuildSequenceVocabulary(
@@ -54,17 +152,13 @@ text::Vocabulary BuildSequenceVocabulary(
   text::Vocabulary pruned = counting.Pruned(min_frequency);
   if (max_size == 0 || pruned.size() <= max_size) return pruned;
   // Pruned() orders non-special tokens by descending frequency, so a cap
-  // keeps the most frequent ones: round-trip the survivors.
-  std::string serialized;
+  // keeps the most frequent ones.
+  text::Vocabulary vocab(/*with_special_tokens=*/true);
   for (size_t id = pruned.num_special_tokens(); id < max_size; ++id) {
     const auto token_id = static_cast<int32_t>(id);
-    serialized += pruned.Token(token_id);
-    serialized += '\t';
-    serialized += std::to_string(pruned.Frequency(token_id));
-    serialized += '\n';
+    vocab.AddWithFrequency(pruned.Token(token_id), pruned.Frequency(token_id));
   }
-  return *text::Vocabulary::Deserialize(serialized,
-                                        /*with_special_tokens=*/true);
+  return vocab;
 }
 
 }  // namespace cuisine::core

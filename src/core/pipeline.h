@@ -6,8 +6,7 @@
 
 #include "data/recipe.h"
 #include "data/splitter.h"
-#include "features/sequence_encoder.h"
-#include "features/vectorizer.h"
+#include "text/corpus.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 
@@ -15,34 +14,52 @@
 /// \brief The paper's preprocessing pipeline (§IV): clean -> tokenize ->
 /// lemmatize, then either TF-IDF rows (statistical models) or id
 /// sequences (sequential models).
+///
+/// Since the interned-corpus refactor (DESIGN.md §12) the tokenized
+/// corpus is a flat id stream over a `text::TokenTable` and splits are
+/// zero-copy `CorpusSlice` views. Tokenization can run thread-parallel
+/// with bit-identical output to serial: recipes are sharded
+/// contiguously, each shard interns into a local table, and shard
+/// tables are merged in order (first-appearance ids are preserved
+/// corpus-wide, so the result is invariant to the worker count).
 
 namespace cuisine::core {
 
-/// A tokenized corpus: one token sequence and one label per recipe.
-struct TokenizedCorpus {
-  std::vector<std::vector<std::string>> documents;
-  std::vector<int32_t> labels;
+/// A tokenized corpus: flat interned token ids + one label per recipe.
+using TokenizedCorpus = text::InternedCorpus;
 
-  size_t size() const { return documents.size(); }
+/// Zero-copy view of one split of a tokenized corpus.
+using CorpusSlice = text::CorpusSlice;
+
+/// Options for TokenizeCorpus.
+struct TokenizeOptions {
+  /// Substructure ablations (paper §V-C): which event types to keep.
+  bool include_ingredients = true;
+  bool include_processes = true;
+  bool include_utensils = true;
+  /// Worker threads for tokenization: 1 = serial, 0 = all hardware
+  /// threads. Output is bit-identical for every setting.
+  size_t num_workers = 1;
 };
 
 /// Tokenizes every recipe's ordered event sequence.
 TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
-                               const text::Tokenizer& tokenizer);
-
-/// Tokenizes only the selected substructures (ablation support).
-TokenizedCorpus TokenizeCorpus(const std::vector<data::Recipe>& recipes,
                                const text::Tokenizer& tokenizer,
-                               bool include_ingredients, bool include_processes,
-                               bool include_utensils);
+                               const TokenizeOptions& options = {});
 
-/// View of one split of a tokenized corpus (copies the selected docs).
-TokenizedCorpus GatherCorpus(const TokenizedCorpus& corpus,
-                             const std::vector<size_t>& indices);
+/// View of one split of a tokenized corpus (no token copies).
+CorpusSlice GatherCorpus(const TokenizedCorpus& corpus,
+                         const std::vector<size_t>& indices);
 
-/// Builds the sequential-model vocabulary from training documents only:
+/// Builds the sequential-model vocabulary from the training slice only:
 /// special tokens + tokens with frequency >= min_frequency, capped at
-/// max_size (0 = uncapped) by descending frequency.
+/// max_size (0 = uncapped) by descending frequency (ties lexicographic).
+text::Vocabulary BuildSequenceVocabulary(const CorpusSlice& train_slice,
+                                         int64_t min_frequency,
+                                         size_t max_size);
+
+/// Legacy string-token overload (exercised by tests and tools that still
+/// hold `vector<vector<string>>` documents). Identical selection rule.
 text::Vocabulary BuildSequenceVocabulary(
     const std::vector<std::vector<std::string>>& train_documents,
     int64_t min_frequency, size_t max_size);

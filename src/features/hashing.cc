@@ -43,10 +43,51 @@ SparseVector FeatureHasher::Transform(
   return out;
 }
 
+SparseVector FeatureHasher::Transform(std::span<const int32_t> ids,
+                                      const text::TokenTable& table) const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(ids.size());
+  for (int32_t id : ids) {
+    const std::string_view tok = table.View(id);
+    const int32_t bucket = Bucket(tok);
+    const float sign =
+        options_.alternate_sign && (Fnv1a(tok, 0x9e3779b9) & 1) ? -1.0f : 1.0f;
+    entries.push_back({bucket, sign});
+  }
+  SparseVector out = SparseVector::FromUnsorted(std::move(entries));
+  if (options_.l2_normalize) out.L2Normalize();
+  return out;
+}
+
 CsrMatrix FeatureHasher::TransformAll(
     const std::vector<std::vector<std::string>>& documents) const {
   CsrMatrix m(static_cast<size_t>(options_.num_buckets));
   for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+CsrMatrix FeatureHasher::TransformAll(const text::CorpusSlice& slice) const {
+  const text::TokenTable& table = slice.table();
+  // Hash each distinct token once, then stream documents through the
+  // precomputed (bucket, sign) cache.
+  std::vector<SparseEntry> cache(table.size());
+  for (size_t id = 0; id < table.size(); ++id) {
+    const std::string_view tok = table.View(static_cast<int32_t>(id));
+    const float sign =
+        options_.alternate_sign && (Fnv1a(tok, 0x9e3779b9) & 1) ? -1.0f : 1.0f;
+    cache[id] = {Bucket(tok), sign};
+  }
+  CsrMatrix m(static_cast<size_t>(options_.num_buckets));
+  std::vector<SparseEntry> entries;
+  for (size_t i = 0; i < slice.size(); ++i) {
+    const auto doc = slice.Doc(i);
+    entries.clear();
+    entries.reserve(doc.size());
+    for (int32_t id : doc) entries.push_back(cache[static_cast<size_t>(id)]);
+    SparseVector row = SparseVector::FromUnsorted(entries);
+    if (options_.l2_normalize) row.L2Normalize();
+    m.AppendRow(row);
+  }
   return m;
 }
 

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "features/sparse.h"
+#include "text/corpus.h"
 
 /// \file hashing.h
 /// \brief Feature-hashing vectorizer (the "hashing trick").
@@ -34,9 +36,18 @@ class FeatureHasher {
   /// Maps a tokenized document to a sparse row (no fitting needed).
   SparseVector Transform(const std::vector<std::string>& tokens) const;
 
+  /// Id-path Transform: hashes each id's token bytes from `table`.
+  /// Identical output to hashing the token strings directly.
+  SparseVector Transform(std::span<const int32_t> ids,
+                         const text::TokenTable& table) const;
+
   /// Maps a corpus.
   CsrMatrix TransformAll(
       const std::vector<std::vector<std::string>>& documents) const;
+
+  /// Maps an interned slice, hashing each distinct token exactly once
+  /// (per-table-id bucket/sign cache) instead of once per occurrence.
+  CsrMatrix TransformAll(const text::CorpusSlice& slice) const;
 
   /// The bucket a token hashes to (for tests/diagnostics).
   int32_t Bucket(std::string_view token) const;

@@ -45,11 +45,68 @@ EncodedSequence SequenceEncoder::Encode(
   return out;
 }
 
+std::vector<int32_t> SequenceEncoder::BuildRemap(
+    const text::TokenTable& table) const {
+  std::vector<int32_t> remap(table.size());
+  for (size_t id = 0; id < table.size(); ++id) {
+    remap[id] = vocab_->Lookup(table.View(static_cast<int32_t>(id)));
+  }
+  return remap;
+}
+
+EncodedSequence SequenceEncoder::EncodeIds(
+    std::span<const int32_t> ids, std::span<const int32_t> remap) const {
+  const int32_t max_len = options_.max_length;
+  EncodedSequence out;
+  out.ids.reserve(max_len);
+
+  auto vocab_id = [&](int32_t table_id) {
+    // Ids past the remap belong to tokens interned after the remap was
+    // built — unseen by the vocabulary, so [UNK].
+    return static_cast<size_t>(table_id) < remap.size()
+               ? remap[static_cast<size_t>(table_id)]
+               : vocab_->unk_id();
+  };
+
+  if (options_.add_cls_sep) {
+    out.ids.push_back(vocab_->cls_id());
+    const int32_t budget = max_len - 2;  // room for [CLS] and [SEP]
+    for (int32_t id : ids) {
+      if (static_cast<int32_t>(out.ids.size()) - 1 >= budget) break;
+      out.ids.push_back(vocab_id(id));
+    }
+    out.ids.push_back(vocab_->sep_id());
+  } else {
+    for (int32_t id : ids) {
+      if (static_cast<int32_t>(out.ids.size()) >= max_len) break;
+      out.ids.push_back(vocab_id(id));
+    }
+    if (out.ids.empty()) out.ids.push_back(vocab_->unk_id());
+  }
+
+  out.length = static_cast<int32_t>(out.ids.size());
+  out.ids.resize(max_len, vocab_->pad_id());
+  out.mask.assign(max_len, 0);
+  std::fill(out.mask.begin(), out.mask.begin() + out.length, 1);
+  return out;
+}
+
 std::vector<EncodedSequence> SequenceEncoder::EncodeAll(
     const std::vector<std::vector<std::string>>& documents) const {
   std::vector<EncodedSequence> out;
   out.reserve(documents.size());
   for (const auto& doc : documents) out.push_back(Encode(doc));
+  return out;
+}
+
+std::vector<EncodedSequence> SequenceEncoder::EncodeAll(
+    const text::CorpusSlice& slice) const {
+  const std::vector<int32_t> remap = BuildRemap(slice.table());
+  std::vector<EncodedSequence> out;
+  out.reserve(slice.size());
+  for (size_t i = 0; i < slice.size(); ++i) {
+    out.push_back(EncodeIds(slice.Doc(i), remap));
+  }
   return out;
 }
 

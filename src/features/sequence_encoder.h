@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "text/corpus.h"
 #include "text/vocabulary.h"
 
 /// \file sequence_encoder.h
@@ -42,9 +44,22 @@ class SequenceEncoder {
   /// Encodes one tokenized recipe.
   EncodedSequence Encode(const std::vector<std::string>& tokens) const;
 
+  /// Precomputes the table-id → vocab-id remap for `table`:
+  /// remap[table_id] = vocab id of that token ([UNK] when absent).
+  /// Encoding then needs no hashing at all.
+  std::vector<int32_t> BuildRemap(const text::TokenTable& table) const;
+
+  /// Encodes one interned document through a remap from BuildRemap.
+  /// Identical output to Encode over the decoded token strings.
+  EncodedSequence EncodeIds(std::span<const int32_t> ids,
+                            std::span<const int32_t> remap) const;
+
   /// Encodes a corpus.
   std::vector<EncodedSequence> EncodeAll(
       const std::vector<std::vector<std::string>>& documents) const;
+
+  /// Encodes an interned slice (builds the remap once).
+  std::vector<EncodedSequence> EncodeAll(const text::CorpusSlice& slice) const;
 
   int32_t max_length() const { return options_.max_length; }
   const text::Vocabulary& vocabulary() const { return *vocab_; }

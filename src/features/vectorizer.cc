@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -47,6 +48,59 @@ util::Status CountVectorizer::Fit(
   return util::Status::OK();
 }
 
+util::Status CountVectorizer::Fit(const text::CorpusSlice& slice) {
+  if (fitted_) {
+    return util::Status::FailedPrecondition("CountVectorizer already fitted");
+  }
+  const text::TokenTable& table = slice.table();
+  // Document frequencies over table ids: one stamp/df slot per distinct
+  // token, no hashing inside the document loop.
+  std::vector<int64_t> df(table.size(), 0);
+  std::vector<uint32_t> stamp(table.size(), 0);
+  for (size_t i = 0; i < slice.size(); ++i) {
+    const uint32_t cur = static_cast<uint32_t>(i) + 1;
+    for (int32_t id : slice.Doc(i)) {
+      auto& s = stamp[static_cast<size_t>(id)];
+      if (s != cur) {
+        s = cur;
+        ++df[static_cast<size_t>(id)];
+      }
+    }
+  }
+  // Select features with the same (df desc, token lex asc) order as the
+  // string path, so both fits produce identical feature columns.
+  struct Entry {
+    std::string_view token;
+    int64_t df;
+    int32_t table_id;
+  };
+  std::vector<Entry> selected;
+  for (size_t id = 0; id < table.size(); ++id) {
+    if (df[id] >= options_.min_document_frequency) {
+      selected.push_back({table.View(static_cast<int32_t>(id)), df[id],
+                          static_cast<int32_t>(id)});
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.df != b.df) return a.df > b.df;
+              return a.token < b.token;
+            });
+  if (options_.max_features > 0 &&
+      selected.size() > static_cast<size_t>(options_.max_features)) {
+    selected.resize(static_cast<size_t>(options_.max_features));
+  }
+  id_to_feature_.assign(table.size(), -1);
+  for (const Entry& e : selected) {
+    const int32_t feature = vocab_.Add(e.token);
+    doc_freq_.push_back(e.df);
+    id_to_feature_[static_cast<size_t>(e.table_id)] = feature;
+  }
+  num_documents_ = static_cast<int64_t>(slice.size());
+  fitted_ = true;
+  return util::Status::OK();
+}
+
 SparseVector CountVectorizer::Transform(
     const std::vector<std::string>& tokens) const {
   std::vector<SparseEntry> entries;
@@ -59,10 +113,31 @@ SparseVector CountVectorizer::Transform(
   return SparseVector::FromUnsorted(std::move(entries));
 }
 
+SparseVector CountVectorizer::Transform(std::span<const int32_t> ids) const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(ids.size());
+  for (int32_t id : ids) {
+    // Ids past the fit-time table size are tokens first seen after the
+    // fit — unknown by definition, like a failed vocab lookup.
+    const int32_t feature = static_cast<size_t>(id) < id_to_feature_.size()
+                                ? id_to_feature_[static_cast<size_t>(id)]
+                                : -1;
+    if (feature < 0) continue;
+    entries.push_back({feature, 1.0f});
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
 CsrMatrix CountVectorizer::TransformAll(
     const std::vector<std::vector<std::string>>& documents) const {
   CsrMatrix m(num_features());
   for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+CsrMatrix CountVectorizer::TransformAll(const text::CorpusSlice& slice) const {
+  CsrMatrix m(num_features());
+  for (size_t i = 0; i < slice.size(); ++i) m.AppendRow(Transform(slice.Doc(i)));
   return m;
 }
 
@@ -84,9 +159,21 @@ util::Status TfidfVectorizer::Fit(
   return util::Status::OK();
 }
 
-SparseVector TfidfVectorizer::Transform(
-    const std::vector<std::string>& tokens) const {
-  SparseVector counts = counts_.Transform(tokens);
+util::Status TfidfVectorizer::Fit(const text::CorpusSlice& slice) {
+  CUISINE_RETURN_NOT_OK(counts_.Fit(slice));
+  const auto n = static_cast<double>(counts_.num_fitted_documents());
+  idf_.resize(counts_.num_features());
+  for (size_t i = 0; i < idf_.size(); ++i) {
+    const auto df = static_cast<double>(
+        counts_.DocumentFrequency(static_cast<int32_t>(i)));
+    double idf = options_.smooth_idf ? std::log((1.0 + n) / (1.0 + df)) + 1.0
+                                     : std::log(n / df) + 1.0;
+    idf_[i] = static_cast<float>(idf);
+  }
+  return util::Status::OK();
+}
+
+SparseVector TfidfVectorizer::Reweight(SparseVector counts) const {
   std::vector<SparseEntry> entries;
   entries.reserve(counts.nnz());
   for (const SparseEntry& e : counts.entries()) {
@@ -98,10 +185,25 @@ SparseVector TfidfVectorizer::Transform(
   return out;
 }
 
+SparseVector TfidfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  return Reweight(counts_.Transform(tokens));
+}
+
+SparseVector TfidfVectorizer::Transform(std::span<const int32_t> ids) const {
+  return Reweight(counts_.Transform(ids));
+}
+
 CsrMatrix TfidfVectorizer::TransformAll(
     const std::vector<std::vector<std::string>>& documents) const {
   CsrMatrix m(num_features());
   for (const auto& doc : documents) m.AppendRow(Transform(doc));
+  return m;
+}
+
+CsrMatrix TfidfVectorizer::TransformAll(const text::CorpusSlice& slice) const {
+  CsrMatrix m(num_features());
+  for (size_t i = 0; i < slice.size(); ++i) m.AppendRow(Transform(slice.Doc(i)));
   return m;
 }
 

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "features/sparse.h"
+#include "text/corpus.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
@@ -16,6 +18,12 @@
 /// frequency yet less meaningful words". Fit learns the vocabulary and
 /// document frequencies on the training split only; Transform maps any
 /// split through the frozen statistics (no leakage).
+///
+/// Two equivalent input paths exist: the legacy string-token path and
+/// the interned id path (DESIGN.md §12), where fitting is a stamp-array
+/// frequency count over table ids and transforming is a table-id →
+/// feature-id remap with no hashing. Both produce identical rows for
+/// the same token stream.
 
 namespace cuisine::features {
 
@@ -36,12 +44,21 @@ class CountVectorizer {
   /// Learns the feature vocabulary from tokenized documents.
   util::Status Fit(const std::vector<std::vector<std::string>>& documents);
 
+  /// Learns the feature vocabulary from an interned corpus slice and
+  /// builds the table-id → feature-id remap used by the id Transform.
+  util::Status Fit(const text::CorpusSlice& slice);
+
   /// Maps one document to a sparse count row. Unknown tokens are dropped.
   SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Id-path Transform: `ids` must be ids of the token table the
+  /// vectorizer was fitted on. Requires Fit(CorpusSlice).
+  SparseVector Transform(std::span<const int32_t> ids) const;
 
   /// Maps a corpus to a CSR matrix.
   CsrMatrix TransformAll(
       const std::vector<std::vector<std::string>>& documents) const;
+  CsrMatrix TransformAll(const text::CorpusSlice& slice) const;
 
   bool fitted() const { return fitted_; }
   size_t num_features() const { return vocab_.size(); }
@@ -54,6 +71,9 @@ class CountVectorizer {
   VectorizerOptions options_;
   text::Vocabulary vocab_{/*with_special_tokens=*/false};
   std::vector<int64_t> doc_freq_;
+  /// id_to_feature_[table_id] = feature column, or -1 when the token was
+  /// pruned. Populated only by Fit(CorpusSlice).
+  std::vector<int32_t> id_to_feature_;
   int64_t num_documents_ = 0;
   bool fitted_ = false;
 };
@@ -77,11 +97,14 @@ class TfidfVectorizer {
   explicit TfidfVectorizer(TfidfOptions options = {});
 
   util::Status Fit(const std::vector<std::vector<std::string>>& documents);
+  util::Status Fit(const text::CorpusSlice& slice);
 
   SparseVector Transform(const std::vector<std::string>& tokens) const;
+  SparseVector Transform(std::span<const int32_t> ids) const;
 
   CsrMatrix TransformAll(
       const std::vector<std::vector<std::string>>& documents) const;
+  CsrMatrix TransformAll(const text::CorpusSlice& slice) const;
 
   bool fitted() const { return counts_.fitted(); }
   size_t num_features() const { return counts_.num_features(); }
@@ -90,6 +113,9 @@ class TfidfVectorizer {
   float Idf(int32_t i) const { return idf_[i]; }
 
  private:
+  /// Reweights a count row by idf (and tf/normalisation options).
+  SparseVector Reweight(SparseVector counts) const;
+
   TfidfOptions options_;
   CountVectorizer counts_;
   std::vector<float> idf_;

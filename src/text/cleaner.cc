@@ -40,6 +40,13 @@ size_t SequenceLength(unsigned char lead) {
 
 std::string Cleaner::Clean(std::string_view s) const {
   std::string out;
+  CleanInto(s, &out);
+  return out;
+}
+
+void Cleaner::CleanInto(std::string_view s, std::string* out_ptr) const {
+  std::string& out = *out_ptr;
+  out.clear();
   out.reserve(s.size());
   bool last_was_space = true;  // suppress leading space
   auto emit_space = [&] {
@@ -100,7 +107,6 @@ std::string Cleaner::Clean(std::string_view s) const {
     i += len;
   }
   if (!out.empty() && out.back() == ' ') out.pop_back();
-  return out;
 }
 
 }  // namespace cuisine::text

@@ -32,6 +32,10 @@ class Cleaner {
   /// Returns the cleaned text with single-space separated word characters.
   std::string Clean(std::string_view s) const;
 
+  /// Clears `*out` and writes the cleaned text into it, reusing its
+  /// capacity — the allocation-free form used by text::Preprocessor.
+  void CleanInto(std::string_view s, std::string* out) const;
+
   const CleanerOptions& options() const { return options_; }
 
  private:

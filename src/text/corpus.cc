@@ -1,0 +1,69 @@
+#include "text/corpus.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace cuisine::text {
+
+std::vector<std::string> InternedCorpus::DecodeDoc(size_t i) const {
+  const auto ids = Doc(i);
+  std::vector<std::string> tokens;
+  tokens.reserve(ids.size());
+  for (int32_t id : ids) tokens.emplace_back(table.View(id));
+  return tokens;
+}
+
+CorpusSlice::CorpusSlice(const InternedCorpus* corpus,
+                         std::vector<size_t> indices)
+    : corpus_(corpus), indices_(std::move(indices)) {
+  labels_.reserve(indices_.size());
+  for (size_t idx : indices_) labels_.push_back(corpus_->labels[idx]);
+}
+
+CorpusSlice CorpusSlice::All(const InternedCorpus& corpus) {
+  std::vector<size_t> indices(corpus.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  return CorpusSlice(&corpus, std::move(indices));
+}
+
+void CorpusSlice::Truncate(size_t n) {
+  if (n >= size()) return;
+  indices_.resize(n);
+  labels_.resize(n);
+  if (!owned_offsets_.empty()) {
+    owned_offsets_.resize(n + 1);
+    owned_ids_.resize(owned_offsets_.back());
+  }
+}
+
+void CorpusSlice::ShuffleDocs(uint64_t seed) {
+  std::vector<int32_t> ids;
+  std::vector<size_t> offsets{0};
+  ids.reserve(num_tokens());
+  offsets.reserve(size() + 1);
+  util::Rng rng(seed);
+  // One child stream per document, drawn in slice order — the same
+  // draw sequence the legacy string-based ShuffleDocuments used, and
+  // Rng::Shuffle permutes by size alone, so shuffling ids yields the
+  // identical token order.
+  std::vector<int32_t> doc;
+  for (size_t i = 0; i < size(); ++i) {
+    const auto span = Doc(i);
+    doc.assign(span.begin(), span.end());
+    util::Rng child = rng.Split();
+    child.Shuffle(&doc);
+    ids.insert(ids.end(), doc.begin(), doc.end());
+    offsets.push_back(ids.size());
+  }
+  owned_ids_ = std::move(ids);
+  owned_offsets_ = std::move(offsets);
+}
+
+size_t CorpusSlice::num_tokens() const {
+  size_t total = 0;
+  for (size_t i = 0; i < size(); ++i) total += Doc(i).size();
+  return total;
+}
+
+}  // namespace cuisine::text

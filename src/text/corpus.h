@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/token_table.h"
+
+/// \file corpus.h
+/// \brief Flat, interned corpus representation (DESIGN.md §12).
+///
+/// One contiguous `token_ids` array plus per-document offsets replaces
+/// the seed-era `vector<vector<string>>`: every downstream stage
+/// (vocabulary construction, TF-IDF, hashing, sequence encoding) reads
+/// id spans and resolves strings through the shared `TokenTable` only
+/// when a human needs them. Splits are `CorpusSlice` index views — no
+/// token bytes are ever copied after interning.
+
+namespace cuisine::text {
+
+/// \brief Tokenized corpus: interner + flat id stream + labels.
+struct InternedCorpus {
+  TokenTable table;
+  std::vector<int32_t> token_ids;
+  /// Document i spans token_ids[offsets[i], offsets[i+1]).
+  /// Always size() + 1 entries, offsets[0] == 0.
+  std::vector<size_t> offsets{0};
+  std::vector<int32_t> labels;
+
+  size_t size() const { return labels.size(); }
+  size_t num_tokens() const { return token_ids.size(); }
+
+  std::span<const int32_t> Doc(size_t i) const {
+    return {token_ids.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+
+  /// Appends one document (ids must already be interned in `table`).
+  void AppendDoc(std::span<const int32_t> ids, int32_t label) {
+    token_ids.insert(token_ids.end(), ids.begin(), ids.end());
+    offsets.push_back(token_ids.size());
+    labels.push_back(label);
+  }
+
+  /// Token strings of document i (display/tests; allocates).
+  std::vector<std::string> DecodeDoc(size_t i) const;
+};
+
+/// \brief Index view of a subset of an `InternedCorpus`.
+///
+/// Replaces the seed's deep-copying GatherCorpus: a slice stores row
+/// indices plus a gathered label vector (so model datasets can point at
+/// it), and resolves documents through the parent corpus. The
+/// order-destroying ablation (`ShuffleDocs`) materializes an owned id
+/// copy; everything else stays zero-copy.
+class CorpusSlice {
+ public:
+  CorpusSlice() = default;
+  CorpusSlice(const InternedCorpus* corpus, std::vector<size_t> indices);
+
+  /// A slice covering every document of `corpus`, in order.
+  static CorpusSlice All(const InternedCorpus& corpus);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Ids of the slice's i-th document.
+  std::span<const int32_t> Doc(size_t i) const {
+    if (!owned_offsets_.empty()) {
+      return {owned_ids_.data() + owned_offsets_[i],
+              owned_offsets_[i + 1] - owned_offsets_[i]};
+    }
+    return corpus_->Doc(indices_[i]);
+  }
+
+  /// Gathered labels, aligned with Doc(i). Stable address for the
+  /// lifetime of the slice (model datasets point at it).
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  const TokenTable& table() const { return corpus_->table; }
+  const InternedCorpus& corpus() const { return *corpus_; }
+
+  /// Index of the slice's i-th document in the parent corpus.
+  size_t corpus_index(size_t i) const { return indices_[i]; }
+
+  /// Keeps only the first n documents.
+  void Truncate(size_t n);
+
+  /// Order-destroying ablation: copies every document's ids into owned
+  /// storage and shuffles each with a per-document deterministic stream
+  /// (one child RNG per document, drawn in slice order).
+  void ShuffleDocs(uint64_t seed);
+
+  /// Total tokens across the slice.
+  size_t num_tokens() const;
+
+ private:
+  const InternedCorpus* corpus_ = nullptr;
+  std::vector<size_t> indices_;
+  std::vector<int32_t> labels_;
+  // Owned storage, populated by ShuffleDocs only.
+  std::vector<int32_t> owned_ids_;
+  std::vector<size_t> owned_offsets_;
+};
+
+}  // namespace cuisine::text

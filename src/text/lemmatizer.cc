@@ -35,64 +35,91 @@ Lemmatizer::Lemmatizer() {
 }
 
 std::string Lemmatizer::Lemmatize(std::string_view word) const {
-  std::string w(word);
-  if (w.size() < 3) return w;
+  std::string out;
+  LemmatizeAppend(word, &out);
+  return out;
+}
+
+void Lemmatizer::LemmatizeAppend(std::string_view w, std::string* out) const {
+  if (w.size() < 3) {
+    out->append(w);
+    return;
+  }
 
   auto it = irregular_.find(w);
-  if (it != irregular_.end()) return it->second;
+  if (it != irregular_.end()) {
+    out->append(it->second);
+    return;
+  }
 
   using util::EndsWith;
 
   // Plural noun rules.
   if (EndsWith(w, "ies") && w.size() > 4) {
-    return w.substr(0, w.size() - 3) + "y";  // berries -> berry
+    out->append(w.substr(0, w.size() - 3));  // berries -> berry
+    out->push_back('y');
+    return;
   }
   if (EndsWith(w, "sses")) {
-    return w.substr(0, w.size() - 2);  // presses -> press
+    out->append(w.substr(0, w.size() - 2));  // presses -> press
+    return;
   }
   if (EndsWith(w, "shes") || EndsWith(w, "ches") || EndsWith(w, "xes") ||
       EndsWith(w, "zes")) {
-    return w.substr(0, w.size() - 2);  // dishes -> dish
+    out->append(w.substr(0, w.size() - 2));  // dishes -> dish
+    return;
   }
   if (EndsWith(w, "oes") && w.size() > 4) {
-    return w.substr(0, w.size() - 2);  // heroes -> hero
+    out->append(w.substr(0, w.size() - 2));  // heroes -> hero
+    return;
   }
   if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
       !EndsWith(w, "is") && w.size() > 3) {
-    return w.substr(0, w.size() - 1);  // onions -> onion
+    out->append(w.substr(0, w.size() - 1));  // onions -> onion
+    return;
   }
 
   // Verb participle rules (applied after plural rules).
   if (EndsWith(w, "ing") && w.size() > 5) {
-    std::string stem = w.substr(0, w.size() - 3);
+    std::string_view stem = w.substr(0, w.size() - 3);
     // doubled consonant: chopping -> chop
     if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
         !IsVowel(stem.back())) {
-      return stem.substr(0, stem.size() - 1);
+      out->append(stem.substr(0, stem.size() - 1));
+      return;
     }
     // restore silent e: baking -> bake (consonant-vowel-consonant stem end)
     if (stem.size() >= 3 && !IsVowel(stem.back()) &&
         IsVowel(stem[stem.size() - 2]) && !IsVowel(stem[stem.size() - 3])) {
-      return stem + "e";
+      out->append(stem);
+      out->push_back('e');
+      return;
     }
-    return stem;  // boiling -> boil
+    out->append(stem);  // boiling -> boil
+    return;
   }
   if (EndsWith(w, "ed") && w.size() > 4) {
-    std::string stem = w.substr(0, w.size() - 2);
+    std::string_view stem = w.substr(0, w.size() - 2);
     if (stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2] &&
         !IsVowel(stem.back())) {
-      return stem.substr(0, stem.size() - 1);  // chopped -> chop
+      out->append(stem.substr(0, stem.size() - 1));  // chopped -> chop
+      return;
     }
     if (stem.back() == 'i') {
-      return stem.substr(0, stem.size() - 1) + "y";  // dried -> dry
+      out->append(stem.substr(0, stem.size() - 1));  // dried -> dry
+      out->push_back('y');
+      return;
     }
     if (stem.size() >= 3 && !IsVowel(stem.back()) &&
         IsVowel(stem[stem.size() - 2]) && !IsVowel(stem[stem.size() - 3])) {
-      return stem + "e";  // baked -> bake
+      out->append(stem);  // baked -> bake
+      out->push_back('e');
+      return;
     }
-    return stem;  // boiled -> boil
+    out->append(stem);  // boiled -> boil
+    return;
   }
-  return w;
+  out->append(w);
 }
 
 std::string Lemmatizer::LemmatizeText(std::string_view text) const {

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/string_util.h"
 
 /// \file lemmatizer.h
 /// \brief Rule-based English lemmatizer for culinary vocabulary.
@@ -24,11 +27,18 @@ class Lemmatizer {
   /// Returns the lemma for a single lower-case word.
   std::string Lemmatize(std::string_view word) const;
 
+  /// Appends the lemma of `word` to `*out` without intermediate
+  /// allocations (irregular lookup is a heterogeneous string_view
+  /// probe). Used by the fused text::Preprocessor hot path.
+  void LemmatizeAppend(std::string_view word, std::string* out) const;
+
   /// Lemmatizes every whitespace-separated word in `text`.
   std::string LemmatizeText(std::string_view text) const;
 
  private:
-  std::unordered_map<std::string, std::string> irregular_;
+  std::unordered_map<std::string, std::string, util::TransparentStringHash,
+                     std::equal_to<>>
+      irregular_;
 };
 
 }  // namespace cuisine::text

@@ -1,0 +1,64 @@
+#include "text/preprocessor.h"
+
+namespace cuisine::text {
+
+Preprocessor::Preprocessor(TokenizerOptions options)
+    : options_(options), cleaner_(options.cleaner) {}
+
+void Preprocessor::ProcessEvent(std::string_view event, TokenTable* table,
+                                std::vector<int32_t>* out) {
+  if (table != memo_table_) {
+    memo_.clear();
+    memo_table_ = table;
+  }
+  const auto it = memo_.find(event);
+  if (it != memo_.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+    return;
+  }
+  const size_t first = out->size();
+  ProcessEventUncached(event, table, out);
+  if (memo_.size() < kMemoCap) {
+    memo_.emplace(std::string(event),
+                  std::vector<int32_t>(out->begin() +
+                                           static_cast<std::ptrdiff_t>(first),
+                                       out->end()));
+  }
+}
+
+void Preprocessor::ProcessEventUncached(std::string_view event,
+                                        TokenTable* table,
+                                        std::vector<int32_t>* out) {
+  cleaner_.CleanInto(event, &clean_buf_);
+  if (clean_buf_.empty()) return;
+
+  // Cleaned text is single-space separated with no leading/trailing
+  // space, so words are delimited by exactly one ' '.
+  const std::string_view cleaned = clean_buf_;
+  const bool phrase = options_.mode == TokenMode::kPhrase;
+  token_buf_.clear();
+  size_t start = 0;
+  while (start <= cleaned.size()) {
+    size_t end = cleaned.find(' ', start);
+    if (end == std::string_view::npos) end = cleaned.size();
+    const std::string_view word = cleaned.substr(start, end - start);
+    if (phrase) {
+      if (start != 0) token_buf_.push_back('_');
+      if (options_.lemmatize) {
+        lemmatizer_.LemmatizeAppend(word, &token_buf_);
+      } else {
+        token_buf_.append(word);
+      }
+    } else if (options_.lemmatize) {
+      token_buf_.clear();
+      lemmatizer_.LemmatizeAppend(word, &token_buf_);
+      out->push_back(table->Intern(token_buf_));
+    } else {
+      out->push_back(table->Intern(word));
+    }
+    start = end + 1;
+  }
+  if (phrase) out->push_back(table->Intern(token_buf_));
+}
+
+}  // namespace cuisine::text

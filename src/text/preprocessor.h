@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/cleaner.h"
+#include "text/lemmatizer.h"
+#include "text/token_table.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+/// \file preprocessor.h
+/// \brief Fused clean→split→lemmatize→intern pass (DESIGN.md §12).
+///
+/// `Preprocessor` collapses the legacy `Cleaner::Clean` +
+/// `SplitWhitespace` + per-word `Lemmatizer::Lemmatize` +
+/// `util::Join` chain into a single pass that reuses two member
+/// buffers and emits interned ids directly — no per-token heap
+/// allocation on the steady-state path. Its output is contractually
+/// identical to `Tokenizer::TokenizeEvent` followed by interning each
+/// token (text_test asserts this property over randomized UTF-8).
+///
+/// Instances are NOT thread-safe (they carry scratch buffers); give
+/// each worker its own Preprocessor.
+
+namespace cuisine::text {
+
+/// \brief Single-pass, allocation-free event tokenizer emitting ids.
+class Preprocessor {
+ public:
+  explicit Preprocessor(TokenizerOptions options = {});
+
+  /// Tokenizes one event phrase, interning each resulting token into
+  /// `*table` and appending its id to `*out`. Equivalent to interning
+  /// `Tokenizer(options).TokenizeEvent(event)` in order.
+  void ProcessEvent(std::string_view event, TokenTable* table,
+                    std::vector<int32_t>* out);
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  void ProcessEventUncached(std::string_view event, TokenTable* table,
+                            std::vector<int32_t>* out);
+
+  TokenizerOptions options_;
+  Cleaner cleaner_;
+  Lemmatizer lemmatizer_;
+  std::string clean_buf_;  // cleaned event text
+  std::string token_buf_;  // lemmatized word or joined phrase
+
+  /// Event text -> interned ids. Corpora repeat event strings heavily
+  /// (RecipeDB draws from a closed ingredient/process/utensil set), so
+  /// repeat events skip clean+lemmatize+intern entirely. Ids are only
+  /// valid for the table they were interned into, so the memo resets
+  /// when a different table is passed.
+  std::unordered_map<std::string, std::vector<int32_t>,
+                     util::TransparentStringHash, std::equal_to<>>
+      memo_;
+  const TokenTable* memo_table_ = nullptr;
+
+  /// Memo growth cap; beyond this, events are processed uncached. Far
+  /// above any realistic distinct-event count, just a guard against
+  /// unbounded memory on adversarial streams.
+  static constexpr size_t kMemoCap = 1 << 20;
+};
+
+}  // namespace cuisine::text

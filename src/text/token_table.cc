@@ -1,0 +1,61 @@
+#include "text/token_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cuisine::text {
+
+TokenTable::TokenTable(const TokenTable& other) {
+  views_.reserve(other.views_.size());
+  index_.reserve(other.index_.size());
+  for (std::string_view token : other.views_) {
+    std::string_view stored = Store(token);
+    index_.emplace(stored, static_cast<int32_t>(views_.size()));
+    views_.push_back(stored);
+  }
+}
+
+TokenTable& TokenTable::operator=(const TokenTable& other) {
+  if (this != &other) *this = TokenTable(other);
+  return *this;
+}
+
+std::string_view TokenTable::Store(std::string_view token) {
+  if (token.size() > chunk_cap_ - chunk_used_ || chunks_.empty()) {
+    const size_t cap = std::max(kChunkBytes, token.size());
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_used_ = 0;
+    chunk_cap_ = cap;
+    arena_bytes_ += cap;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, token.data(), token.size());
+  chunk_used_ += token.size();
+  return {dst, token.size()};
+}
+
+int32_t TokenTable::Intern(std::string_view token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  std::string_view stored = Store(token);
+  const auto id = static_cast<int32_t>(views_.size());
+  views_.push_back(stored);
+  index_.emplace(stored, id);
+  return id;
+}
+
+int32_t TokenTable::Find(std::string_view token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void TokenTable::MergeFrom(const TokenTable& other,
+                           std::vector<int32_t>* remap) {
+  remap->clear();
+  remap->reserve(other.size());
+  for (std::string_view token : other.views_) {
+    remap->push_back(Intern(token));
+  }
+}
+
+}  // namespace cuisine::text

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file token_table.h
+/// \brief Append-only string interner with stable int32 ids.
+///
+/// The corpus hot path (DESIGN.md §12) stores every token exactly once:
+/// token bytes live in chunked arena storage (pointers never move, so
+/// handed-out `string_view`s stay valid for the table's lifetime), ids
+/// are assigned densely in first-appearance order, and lookup is one
+/// hash probe over a `string_view` key — no per-call allocation.
+///
+/// Determinism contract: ids depend only on the sequence of distinct
+/// tokens passed to `Intern`, so two tables fed the same token stream
+/// are identical. `MergeFrom` preserves the donor's insertion order,
+/// which is what makes sharded parallel interning bit-identical to
+/// serial (core/pipeline.cc).
+
+namespace cuisine::text {
+
+/// \brief Arena-backed token <-> id bijection.
+class TokenTable {
+ public:
+  TokenTable() = default;
+  TokenTable(TokenTable&&) = default;
+  TokenTable& operator=(TokenTable&&) = default;
+  /// Deep copy: re-interns every token (same ids, fresh arena).
+  TokenTable(const TokenTable& other);
+  TokenTable& operator=(const TokenTable& other);
+
+  /// Id of `token`, interning it on first sight. Ids are dense,
+  /// starting at 0, in first-appearance order.
+  int32_t Intern(std::string_view token);
+
+  /// Id of `token`, or -1 when absent. Never allocates.
+  int32_t Find(std::string_view token) const;
+
+  /// Token bytes for an id. Valid for the lifetime of the table.
+  /// Requires 0 <= id < size().
+  std::string_view View(int32_t id) const { return views_[size_t(id)]; }
+
+  /// Number of distinct tokens.
+  size_t size() const { return views_.size(); }
+
+  /// Bytes of token storage held by the arena (capacity, not just used).
+  size_t arena_bytes() const { return arena_bytes_; }
+
+  /// Interns every token of `other` in id order and fills
+  /// `(*remap)[other_id] = id-in-this-table`. The ordered merge rule:
+  /// tokens unseen by this table get fresh ids in the donor's insertion
+  /// order, which keeps sharded interning bit-identical to serial.
+  void MergeFrom(const TokenTable& other, std::vector<int32_t>* remap);
+
+ private:
+  /// Copies `token` into the arena and returns a stable view of it.
+  std::string_view Store(std::string_view token);
+
+  static constexpr size_t kChunkBytes = size_t{1} << 16;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = 0;    // bytes used in chunks_.back()
+  size_t chunk_cap_ = 0;     // capacity of chunks_.back()
+  size_t arena_bytes_ = 0;   // total allocated arena bytes
+  std::vector<std::string_view> views_;
+  std::unordered_map<std::string_view, int32_t> index_;
+};
+
+}  // namespace cuisine::text

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 
 #include "util/string_util.h"
 
@@ -21,7 +22,7 @@ Vocabulary::Vocabulary(bool with_special_tokens) {
 }
 
 int32_t Vocabulary::Add(std::string_view token) {
-  auto it = index_.find(std::string(token));
+  auto it = index_.find(token);
   if (it != index_.end()) {
     ++freq_[static_cast<size_t>(it->second)];
     return it->second;
@@ -33,18 +34,36 @@ int32_t Vocabulary::Add(std::string_view token) {
   return id;
 }
 
+int32_t Vocabulary::AddWithFrequency(std::string_view token,
+                                     int64_t frequency) {
+  auto it = index_.find(token);
+  if (it != index_.end()) {
+    freq_[static_cast<size_t>(it->second)] = frequency;
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  freq_.push_back(frequency);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
 void Vocabulary::AddAll(const std::vector<std::string>& tokens) {
   for (const auto& t : tokens) Add(t);
 }
 
+void Vocabulary::AddAll(std::span<const std::string_view> tokens) {
+  for (std::string_view t : tokens) Add(t);
+}
+
 int32_t Vocabulary::Lookup(std::string_view token) const {
-  auto it = index_.find(std::string(token));
+  auto it = index_.find(token);
   if (it != index_.end()) return it->second;
   return has_special_tokens() ? unk_id() : -1;
 }
 
 bool Vocabulary::Contains(std::string_view token) const {
-  return index_.count(std::string(token)) > 0;
+  return index_.find(token) != index_.end();
 }
 
 const std::string& Vocabulary::Token(int32_t id) const {
@@ -72,8 +91,7 @@ Vocabulary Vocabulary::Pruned(int64_t min_frequency) const {
     return *a.token < *b.token;
   });
   for (const auto& e : kept) {
-    int32_t id = out.Add(*e.token);
-    out.freq_[static_cast<size_t>(id)] = e.freq;
+    out.AddWithFrequency(*e.token, e.freq);
   }
   return out;
 }
@@ -83,6 +101,17 @@ std::vector<int32_t> Vocabulary::Encode(
   std::vector<int32_t> ids;
   ids.reserve(tokens.size());
   for (const auto& t : tokens) {
+    int32_t id = Lookup(t);
+    if (id >= 0) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<int32_t> Vocabulary::Encode(
+    std::span<const std::string_view> tokens) const {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (std::string_view t : tokens) {
     int32_t id = Lookup(t);
     if (id >= 0) ids.push_back(id);
   }
@@ -108,25 +137,33 @@ std::string Vocabulary::Serialize() const {
   return out;
 }
 
-util::Result<Vocabulary> Vocabulary::Deserialize(const std::string& text,
+util::Result<Vocabulary> Vocabulary::Deserialize(std::string_view text,
                                                  bool with_special_tokens) {
   Vocabulary vocab(with_special_tokens);
-  for (std::string_view line : util::Split(text, '\n')) {
-    line = util::Trim(line);
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Tolerate CRLF line endings; token bytes themselves are preserved.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
-    auto parts = util::Split(line, '\t');
-    if (parts.size() != 2) {
+    const size_t tab = line.rfind('\t');
+    if (tab == std::string_view::npos) {
       return util::Status::InvalidArgument("bad vocabulary line: " +
                                            std::string(line));
     }
+    const std::string_view token = line.substr(0, tab);
+    const std::string_view freq_text = line.substr(tab + 1);
     int64_t freq = 0;
-    try {
-      freq = std::stoll(parts[1]);
-    } catch (const std::exception&) {
-      return util::Status::InvalidArgument("bad frequency: " + parts[1]);
+    auto [end, ec] = std::from_chars(
+        freq_text.data(), freq_text.data() + freq_text.size(), freq);
+    if (ec != std::errc{} || end != freq_text.data() + freq_text.size()) {
+      return util::Status::InvalidArgument("bad frequency: " +
+                                           std::string(freq_text));
     }
-    int32_t id = vocab.Add(parts[0]);
-    vocab.freq_[static_cast<size_t>(id)] = freq;
+    vocab.AddWithFrequency(token, freq);
   }
   return vocab;
 }

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
+#include "util/string_util.h"
 
 /// \file vocabulary.h
 /// \brief Token <-> id mapping with frequency tracking and special tokens.
@@ -36,10 +39,18 @@ class Vocabulary {
   /// Returns the token id.
   int32_t Add(std::string_view token);
 
+  /// Adds `token` with an explicit observation count, creating it if
+  /// unseen and overwriting its frequency otherwise. Returns the id.
+  /// This is how pruned/capped vocabularies are rebuilt without
+  /// re-observing every occurrence.
+  int32_t AddWithFrequency(std::string_view token, int64_t frequency);
+
   /// Adds every token in the sequence.
   void AddAll(const std::vector<std::string>& tokens);
+  void AddAll(std::span<const std::string_view> tokens);
 
   /// Id of `token`, or the [UNK] id when absent (or -1 without specials).
+  /// Never allocates (heterogeneous string_view probe).
   int32_t Lookup(std::string_view token) const;
 
   /// True if `token` is present.
@@ -71,6 +82,7 @@ class Vocabulary {
   /// Encodes tokens to ids, mapping unseen tokens to [UNK] (which requires
   /// special tokens; otherwise unseen tokens are dropped).
   std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const;
+  std::vector<int32_t> Encode(std::span<const std::string_view> tokens) const;
 
   /// Decodes ids back to token strings.
   std::vector<std::string> Decode(const std::vector<int32_t>& ids) const;
@@ -78,12 +90,15 @@ class Vocabulary {
   /// Serialises to "token\tfrequency" lines.
   std::string Serialize() const;
 
-  /// Parses the Serialize() format.
-  static util::Result<Vocabulary> Deserialize(const std::string& text,
+  /// Parses the Serialize() format. Tokens may contain internal
+  /// whitespace and arbitrary UTF-8; only '\t' and '\n' are structural.
+  static util::Result<Vocabulary> Deserialize(std::string_view text,
                                               bool with_special_tokens);
 
  private:
-  std::unordered_map<std::string, int32_t> index_;
+  std::unordered_map<std::string, int32_t, util::TransparentStringHash,
+                     std::equal_to<>>
+      index_;
   std::vector<std::string> tokens_;
   std::vector<int64_t> freq_;
   size_t num_special_ = 0;

@@ -34,4 +34,17 @@ std::string FormatDouble(double v, int digits);
 /// Formats an integer with thousands separators ("118,071").
 std::string FormatWithCommas(long long v);
 
+/// Transparent hasher enabling `std::string_view` lookups in
+/// `unordered_map<std::string, V>` without constructing a temporary
+/// string (pair with `std::equal_to<>`).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 }  // namespace cuisine::util

@@ -6,6 +6,7 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "core/trainer.h"
+#include "data/generator.h"
 #include "nn/layers.h"
 #include "nn/lstm.h"
 
@@ -135,7 +136,7 @@ TEST(PipelineTest, TokenizeCorpusPreservesOrderAndLabels) {
   const text::Tokenizer tokenizer;
   const TokenizedCorpus corpus = TokenizeCorpus(recipes, tokenizer);
   ASSERT_EQ(corpus.size(), 1u);
-  EXPECT_EQ(corpus.documents[0],
+  EXPECT_EQ(corpus.DecodeDoc(0),
             (std::vector<std::string>{"red_lentil", "stir", "saucepan"}));
   EXPECT_EQ(corpus.labels[0], 3);
 }
@@ -147,22 +148,75 @@ TEST(PipelineTest, SubstructureFiltering) {
                      {data::EventType::kUtensil, "pan"}})};
   const text::Tokenizer tokenizer;
   const TokenizedCorpus only_proc =
-      TokenizeCorpus(recipes, tokenizer, false, true, false);
-  EXPECT_EQ(only_proc.documents[0], (std::vector<std::string>{"stir"}));
+      TokenizeCorpus(recipes, tokenizer, {.include_ingredients = false,
+                                          .include_processes = true,
+                                          .include_utensils = false});
+  EXPECT_EQ(only_proc.DecodeDoc(0), (std::vector<std::string>{"stir"}));
   const TokenizedCorpus no_utensils =
-      TokenizeCorpus(recipes, tokenizer, true, true, false);
-  EXPECT_EQ(no_utensils.documents[0],
+      TokenizeCorpus(recipes, tokenizer, {.include_utensils = false});
+  EXPECT_EQ(no_utensils.DecodeDoc(0),
             (std::vector<std::string>{"onion", "stir"}));
 }
 
 TEST(PipelineTest, GatherCorpusSelects) {
   TokenizedCorpus corpus;
-  corpus.documents = {{"a"}, {"b"}, {"c"}};
-  corpus.labels = {0, 1, 2};
-  const TokenizedCorpus picked = GatherCorpus(corpus, {2, 0});
+  corpus.AppendDoc(std::vector<int32_t>{corpus.table.Intern("a")}, 0);
+  corpus.AppendDoc(std::vector<int32_t>{corpus.table.Intern("b")}, 1);
+  corpus.AppendDoc(std::vector<int32_t>{corpus.table.Intern("c")}, 2);
+  const CorpusSlice picked = GatherCorpus(corpus, {2, 0});
   ASSERT_EQ(picked.size(), 2u);
-  EXPECT_EQ(picked.documents[0], (std::vector<std::string>{"c"}));
-  EXPECT_EQ(picked.labels[1], 0);
+  ASSERT_EQ(picked.Doc(0).size(), 1u);
+  EXPECT_EQ(picked.table().View(picked.Doc(0)[0]), "c");
+  EXPECT_EQ(picked.labels()[1], 0);
+}
+
+TEST(PipelineTest, ParallelTokenizeBitIdenticalAcrossWorkerCounts) {
+  // A corpus large enough that shard boundaries fall mid-vocabulary:
+  // many recipes share tokens, so first-appearance ids depend on the
+  // merge rule being exactly corpus-ordered.
+  data::GeneratorOptions options;
+  options.scale = 0.002;
+  const auto recipes = data::RecipeDbGenerator(options).Generate();
+  ASSERT_GT(recipes.size(), 16u);
+  const text::Tokenizer tokenizer;
+  const TokenizedCorpus serial =
+      TokenizeCorpus(recipes, tokenizer, {.num_workers = 1});
+  for (size_t workers : {2u, 8u}) {
+    const TokenizedCorpus parallel =
+        TokenizeCorpus(recipes, tokenizer, {.num_workers = workers});
+    ASSERT_EQ(parallel.token_ids, serial.token_ids) << workers << " workers";
+    ASSERT_EQ(parallel.offsets, serial.offsets);
+    ASSERT_EQ(parallel.labels, serial.labels);
+    ASSERT_EQ(parallel.table.size(), serial.table.size());
+    for (size_t id = 0; id < serial.table.size(); ++id) {
+      ASSERT_EQ(parallel.table.View(static_cast<int32_t>(id)),
+                serial.table.View(static_cast<int32_t>(id)));
+    }
+  }
+}
+
+TEST(PipelineTest, SliceVocabularyMatchesStringVocabulary) {
+  data::GeneratorOptions options;
+  options.scale = 0.001;
+  const auto recipes = data::RecipeDbGenerator(options).Generate();
+  const text::Tokenizer tokenizer;
+  const TokenizedCorpus corpus = TokenizeCorpus(recipes, tokenizer);
+  const CorpusSlice all = CorpusSlice::All(corpus);
+  std::vector<std::vector<std::string>> docs;
+  for (size_t i = 0; i < corpus.size(); ++i) docs.push_back(corpus.DecodeDoc(i));
+  for (const auto& [min_freq, cap] : std::vector<std::pair<int64_t, size_t>>{
+           {1, 0}, {2, 0}, {1, 50}, {3, 20}}) {
+    const text::Vocabulary from_ids =
+        BuildSequenceVocabulary(all, min_freq, cap);
+    const text::Vocabulary from_strings =
+        BuildSequenceVocabulary(docs, min_freq, cap);
+    ASSERT_EQ(from_ids.size(), from_strings.size());
+    for (size_t id = 0; id < from_ids.size(); ++id) {
+      const auto token_id = static_cast<int32_t>(id);
+      ASSERT_EQ(from_ids.Token(token_id), from_strings.Token(token_id));
+      ASSERT_EQ(from_ids.Frequency(token_id), from_strings.Frequency(token_id));
+    }
+  }
 }
 
 TEST(PipelineTest, SequenceVocabularyMinFrequencyAndCap) {

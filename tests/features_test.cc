@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "features/hashing.h"
 #include "features/sequence_encoder.h"
 #include "features/sparse.h"
 #include "features/vectorizer.h"
+#include "text/corpus.h"
 
 namespace cuisine::features {
 namespace {
@@ -296,6 +298,98 @@ TEST_F(SequenceEncoderTest, EncodeAllMatchesEncode) {
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0].ids, enc.Encode({"stir"}).ids);
   EXPECT_EQ(batch[1].length, 2);
+}
+
+// ---- Id-path vs string-path equivalence (DESIGN.md §12) ----
+//
+// Every feature stage has two entry points: the legacy
+// vector<vector<string>> path and the interned CorpusSlice path. The
+// refactor's contract is that both produce identical output; these
+// tests pin it on a corpus with repeats, unknowns and an empty doc.
+
+class IdPathTest : public ::testing::Test {
+ protected:
+  IdPathTest() {
+    for (const auto& doc : docs_) {
+      std::vector<int32_t> ids;
+      ids.reserve(doc.size());
+      for (const auto& tok : doc) ids.push_back(corpus_.table.Intern(tok));
+      corpus_.AppendDoc(ids, 0);
+    }
+    slice_ = std::make_unique<text::CorpusSlice>(
+        text::CorpusSlice::All(corpus_));
+  }
+
+  const Docs docs_{{"stir", "heat", "stir", "garlic"},
+                   {"heat", "bake"},
+                   {},
+                   {"garlic", "garlic", "rare_token"},
+                   {"stir", "heat"}};
+  text::InternedCorpus corpus_;
+  std::unique_ptr<text::CorpusSlice> slice_;
+};
+
+TEST_F(IdPathTest, CountVectorizerMatchesStringPath) {
+  for (const int32_t max_features : {0, 3}) {
+    VectorizerOptions opt;
+    opt.min_document_frequency = 2;
+    opt.max_features = max_features;
+    CountVectorizer by_string(opt), by_ids(opt);
+    ASSERT_TRUE(by_string.Fit(docs_).ok());
+    ASSERT_TRUE(by_ids.Fit(*slice_).ok());
+    ASSERT_EQ(by_ids.vocabulary().size(), by_string.vocabulary().size());
+    for (int32_t id = 0;
+         id < static_cast<int32_t>(by_string.vocabulary().size()); ++id) {
+      EXPECT_EQ(by_ids.vocabulary().Token(id),
+                by_string.vocabulary().Token(id));
+    }
+    const CsrMatrix a = by_string.TransformAll(docs_);
+    const CsrMatrix b = by_ids.TransformAll(*slice_);
+    ASSERT_EQ(a.rows(), b.rows());
+    for (size_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.Row(r), b.Row(r));
+  }
+}
+
+TEST_F(IdPathTest, TfidfVectorizerMatchesStringPath) {
+  TfidfVectorizer by_string, by_ids;
+  ASSERT_TRUE(by_string.Fit(docs_).ok());
+  ASSERT_TRUE(by_ids.Fit(*slice_).ok());
+  const CsrMatrix a = by_string.TransformAll(docs_);
+  const CsrMatrix b = by_ids.TransformAll(*slice_);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (size_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.Row(r), b.Row(r));
+  // Single-doc id Transform against its string twin.
+  EXPECT_EQ(by_ids.Transform(corpus_.Doc(0)), by_string.Transform(docs_[0]));
+}
+
+TEST_F(IdPathTest, FeatureHasherMatchesStringPath) {
+  FeatureHasherOptions opt;
+  opt.num_buckets = 64;
+  const FeatureHasher hasher(opt);
+  const CsrMatrix a = hasher.TransformAll(docs_);
+  const CsrMatrix b = hasher.TransformAll(*slice_);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (size_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.Row(r), b.Row(r));
+  EXPECT_EQ(hasher.Transform(corpus_.Doc(3), corpus_.table),
+            hasher.Transform(docs_[3]));
+}
+
+TEST_F(IdPathTest, SequenceEncoderMatchesStringPath) {
+  text::Vocabulary vocab;
+  vocab.Add("stir");
+  vocab.Add("heat");
+  vocab.Add("garlic");  // "bake"/"rare_token" stay unknown
+  for (const bool cls : {false, true}) {
+    const SequenceEncoder enc(&vocab, {.max_length = 6, .add_cls_sep = cls});
+    const auto by_ids = enc.EncodeAll(*slice_);
+    ASSERT_EQ(by_ids.size(), docs_.size());
+    for (size_t i = 0; i < docs_.size(); ++i) {
+      const EncodedSequence want = enc.Encode(docs_[i]);
+      EXPECT_EQ(by_ids[i].ids, want.ids) << "doc " << i << " cls " << cls;
+      EXPECT_EQ(by_ids[i].mask, want.mask) << "doc " << i;
+      EXPECT_EQ(by_ids[i].length, want.length) << "doc " << i;
+    }
+  }
 }
 
 }  // namespace

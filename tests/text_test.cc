@@ -2,8 +2,11 @@
 
 #include "text/cleaner.h"
 #include "text/lemmatizer.h"
+#include "text/preprocessor.h"
+#include "text/token_table.h"
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/rng.h"
 
 namespace cuisine::text {
 namespace {
@@ -218,6 +221,187 @@ TEST(VocabularyTest, DecodeInvertsEncode) {
   vocab.Add("heat");
   const std::vector<std::string> tokens{"stir", "heat", "stir"};
   EXPECT_EQ(vocab.Decode(vocab.Encode(tokens)), tokens);
+}
+
+TEST(VocabularyTest, DeserializeRoundTripsWhitespaceAndUtf8Tokens) {
+  // Tokens may legally contain internal spaces, tabs and multi-byte
+  // UTF-8; the tab-separated format splits on the LAST tab only.
+  Vocabulary vocab;
+  vocab.Add("crème fraîche");
+  vocab.Add("paneer\ttikka");
+  vocab.Add(" leading and trailing ");
+  for (int i = 0; i < 4; ++i) vocab.Add("普洱茶");
+  auto restored = Vocabulary::Deserialize(vocab.Serialize(), true);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), vocab.size());
+  for (int32_t id = 0; id < static_cast<int32_t>(vocab.size()); ++id) {
+    EXPECT_EQ(restored->Token(id), vocab.Token(id)) << "id " << id;
+    EXPECT_EQ(restored->Frequency(id), vocab.Frequency(id)) << "id " << id;
+  }
+}
+
+TEST(VocabularyTest, SpanOverloadsMatchStringOverloads) {
+  const std::vector<std::string> words{"stir", "heat", "stir", "chop"};
+  std::vector<std::string_view> views(words.begin(), words.end());
+
+  Vocabulary by_string, by_span;
+  by_string.AddAll(words);
+  by_span.AddAll(std::span<const std::string_view>(views));
+  ASSERT_EQ(by_span.size(), by_string.size());
+  for (int32_t id = 0; id < static_cast<int32_t>(by_string.size()); ++id) {
+    EXPECT_EQ(by_span.Token(id), by_string.Token(id));
+    EXPECT_EQ(by_span.Frequency(id), by_string.Frequency(id));
+  }
+
+  const std::vector<std::string> query{"heat", "unseen", "chop"};
+  std::vector<std::string_view> query_views(query.begin(), query.end());
+  EXPECT_EQ(by_span.Encode(std::span<const std::string_view>(query_views)),
+            by_string.Encode(query));
+}
+
+TEST(TokenTableTest, InternAssignsDenseFirstAppearanceIds) {
+  TokenTable table;
+  EXPECT_EQ(table.Intern("stir"), 0);
+  EXPECT_EQ(table.Intern("heat"), 1);
+  EXPECT_EQ(table.Intern("stir"), 0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.View(0), "stir");
+  EXPECT_EQ(table.View(1), "heat");
+  EXPECT_EQ(table.Find("heat"), 1);
+  EXPECT_EQ(table.Find("absent"), -1);
+}
+
+TEST(TokenTableTest, ArenaSurvivesManyTokensAndViewsStayStable) {
+  TokenTable table;
+  // Enough bytes to force multiple 64 KiB arena chunks.
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 20000; ++i) {
+    tokens.push_back("token_with_some_padding_" + std::to_string(i));
+  }
+  std::vector<std::string_view> early_views;
+  for (const auto& tok : tokens) {
+    const int32_t id = table.Intern(tok);
+    if (id < 100) early_views.push_back(table.View(id));
+  }
+  EXPECT_EQ(table.size(), tokens.size());
+  EXPECT_GT(table.arena_bytes(), size_t{1} << 17);
+  for (size_t i = 0; i < early_views.size(); ++i) {
+    EXPECT_EQ(early_views[i], tokens[i]);  // no dangling after growth
+  }
+}
+
+TEST(TokenTableTest, OversizedTokenGetsItsOwnChunk) {
+  TokenTable table;
+  const std::string big(200000, 'x');
+  const int32_t id = table.Intern(big);
+  EXPECT_EQ(table.View(id), big);
+  EXPECT_EQ(table.Intern("small"), id + 1);
+}
+
+TEST(TokenTableTest, MergeFromPreservesDonorInsertionOrder) {
+  TokenTable base;
+  base.Intern("a");
+  base.Intern("b");
+  TokenTable donor;
+  donor.Intern("b");  // already known to base
+  donor.Intern("c");  // fresh: must get the next base id
+  donor.Intern("a");
+  donor.Intern("d");
+  std::vector<int32_t> remap;
+  base.MergeFrom(donor, &remap);
+  ASSERT_EQ(remap.size(), 4u);
+  EXPECT_EQ(remap[0], 1);  // b
+  EXPECT_EQ(remap[1], 2);  // c — first fresh donor token
+  EXPECT_EQ(remap[2], 0);  // a
+  EXPECT_EQ(remap[3], 3);  // d
+  EXPECT_EQ(base.size(), 4u);
+  EXPECT_EQ(base.View(2), "c");
+  EXPECT_EQ(base.View(3), "d");
+}
+
+TEST(TokenTableTest, CopyIsDeepAndIdStable) {
+  TokenTable table;
+  table.Intern("stir");
+  table.Intern("heat");
+  TokenTable copy(table);
+  table.Intern("chop");  // mutating the original must not affect copy
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.View(0), "stir");
+  EXPECT_EQ(copy.Find("heat"), 1);
+  EXPECT_EQ(copy.Find("chop"), -1);
+  EXPECT_EQ(copy.Intern("chop"), 2);
+}
+
+namespace {
+
+/// Random byte soup: ASCII letters/digits/punctuation, spaces, valid
+/// multi-byte UTF-8 and deliberately invalid bytes — everything the
+/// cleaner has defined behaviour for.
+std::string RandomEventText(util::Rng* rng) {
+  static const std::vector<std::string> pieces{
+      "stir",   "Fry",  "  ",   "\t", "99",  "sauté", "普洱", "-",
+      "onions", "ing",  "ies",  "…",  "\xff", "\xc3",  " ",   "_",
+      "tossed", "mixes", "Ω",   "!",  "a",   "BAKED", "oes",  "\n"};
+  std::string out;
+  const size_t n = rng->NextBelow(12);
+  for (size_t i = 0; i < n; ++i) {
+    out += pieces[rng->NextBelow(pieces.size())];
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(PreprocessorTest, MatchesLegacyPipelineOverRandomizedInput) {
+  util::Rng rng(20260808);
+  for (const TokenMode mode : {TokenMode::kPhrase, TokenMode::kWord}) {
+    for (const bool lemmatize : {true, false}) {
+      TokenizerOptions options;
+      options.mode = mode;
+      options.lemmatize = lemmatize;
+      const Tokenizer legacy(options);
+      Preprocessor fused(options);
+      TokenTable table;
+      std::vector<int32_t> ids;
+      std::vector<std::string> expected;
+      for (int i = 0; i < 500; ++i) {
+        const std::string event = RandomEventText(&rng);
+        for (const std::string& tok : legacy.TokenizeEvent(event)) {
+          expected.push_back(tok);
+        }
+        fused.ProcessEvent(event, &table, &ids);
+      }
+      ASSERT_EQ(ids.size(), expected.size())
+          << "mode=" << static_cast<int>(mode) << " lemmatize=" << lemmatize;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(table.View(ids[i]), expected[i]) << "token " << i;
+      }
+    }
+  }
+}
+
+TEST(PreprocessorTest, MemoizedRepeatEventsMatchFirstPass) {
+  Preprocessor fused{{}};
+  TokenTable table;
+  std::vector<int32_t> first, repeat;
+  fused.ProcessEvent("Chopped Onions", &table, &first);
+  for (int i = 0; i < 3; ++i) {
+    repeat.clear();
+    fused.ProcessEvent("Chopped Onions", &table, &repeat);
+    EXPECT_EQ(repeat, first);
+  }
+  EXPECT_EQ(table.size(), 1u);  // phrase mode: one token, interned once
+}
+
+TEST(PreprocessorTest, MemoResetsWhenTableChanges) {
+  Preprocessor fused{{}};
+  TokenTable a, b;
+  std::vector<int32_t> ids_a, ids_b;
+  fused.ProcessEvent("stir fry", &a, &ids_a);
+  fused.ProcessEvent("stir fry", &b, &ids_b);  // must intern into b
+  ASSERT_EQ(ids_b.size(), ids_a.size());
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.View(ids_b[0]), a.View(ids_a[0]));
 }
 
 }  // namespace
