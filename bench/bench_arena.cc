@@ -1,0 +1,356 @@
+/// \file bench_arena.cc
+/// \brief Throughput + allocation gate for the arena-backed step memory
+/// (nn/arena.h, DESIGN.md "Memory arenas and graph reuse").
+///
+/// Measures training steps/s and batched-prediction time for the LSTM
+/// and transformer classifiers on the plain-heap path (use_arena=false)
+/// versus the arena path (the default), and counts heap allocations via
+/// the linked operator-new counter (util/alloc_hook.h):
+///
+///  * training: the delta method — allocs(train 2n examples) minus
+///    allocs(train n examples), one epoch each, same batch size. Every
+///    per-call setup allocation (replica wiring, grad buffers, loss
+///    closures, history rows) appears in both runs and cancels, so the
+///    delta is exactly `n extra examples x allocs-per-example`.
+///  * prediction: a warmed PredictSequencesInto call into reused caller
+///    storage, counted directly.
+///
+/// Gates (exit non-zero on violation): the arena path must perform ZERO
+/// steady-state allocations for train and predict on both models, and
+/// LSTM training must reach the acceptance speedup over the heap path.
+/// Writes BENCH_arena.json; `--smoke` shortens the windows and relaxes
+/// the speedup gate to "not slower" (timing on loaded CI machines is
+/// too noisy to gate 1.3x on millisecond windows).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/instrumentation.h"
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "nn/lstm.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "util/alloc_hook.h"
+#include "util/rng.h"
+#include "util/telemetry.h"
+
+namespace {
+
+using cuisine::core::NeuralTrainOptions;
+using cuisine::core::PredictSequencesInto;
+using cuisine::core::SequenceForwardFn;
+using cuisine::core::SequencePredictions;
+using cuisine::core::TrainSequenceClassifier;
+using cuisine::features::EncodedSequence;
+
+constexpr int32_t kNumClasses = 3;
+constexpr int64_t kVocab = 512;
+constexpr int32_t kSeqLen = 24;
+
+/// Deterministic synthetic corpus: `n` sequences of kSeqLen ids drawn
+/// from a label-dependent slice of the vocabulary (content is irrelevant
+/// to the measurement; determinism keeps heap/arena runs comparable).
+void MakeCorpus(size_t n, uint64_t seed,
+                std::vector<EncodedSequence>* x, std::vector<int32_t>* y) {
+  cuisine::util::Rng rng(seed);
+  x->clear();
+  y->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<int32_t>(i % kNumClasses);
+    EncodedSequence seq;
+    seq.length = kSeqLen;
+    seq.mask.assign(kSeqLen, 1);
+    seq.ids.resize(kSeqLen);
+    for (int32_t t = 0; t < kSeqLen; ++t) {
+      seq.ids[t] = static_cast<int32_t>(
+          2 + rng.NextBelow(static_cast<uint64_t>(kVocab - 2)));
+    }
+    x->push_back(std::move(seq));
+    y->push_back(label);
+  }
+}
+
+/// A model under test: forward closure, live parameter handles and a
+/// snapshot of the initial values so every timed run starts from the
+/// same state (restoring is a memcpy, not an allocation).
+struct Net {
+  SequenceForwardFn forward;
+  std::vector<cuisine::nn::Tensor> params;
+  std::vector<std::vector<float>> init;
+
+  void Snapshot() {
+    init.resize(params.size());
+    for (size_t p = 0; p < params.size(); ++p) {
+      init[p].assign(params[p].data(), params[p].data() + params[p].size());
+    }
+  }
+  void Restore() {
+    for (size_t p = 0; p < params.size(); ++p) {
+      std::copy(init[p].begin(), init[p].end(), params[p].data());
+    }
+  }
+};
+
+Net MakeLstmNet() {
+  cuisine::nn::LstmConfig config;
+  config.vocab_size = kVocab;
+  config.embedding_dim = 32;
+  config.hidden_size = 32;
+  config.num_layers = 2;
+  config.dropout = 0.1f;
+  config.seed = 29;
+  auto net = std::make_shared<cuisine::nn::LstmClassifier>(config, kNumClasses);
+  Net out;
+  out.forward = [net](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+    return net->ForwardLogits(s, t, r);
+  };
+  out.params = net->Parameters();
+  out.Snapshot();
+  return out;
+}
+
+Net MakeTransformerNet() {
+  cuisine::nn::TransformerConfig config;
+  config.vocab_size = kVocab;
+  config.max_length = kSeqLen;
+  config.d_model = 32;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.d_ff = 64;
+  config.dropout = 0.1f;
+  config.seed = 23;
+  auto net =
+      std::make_shared<cuisine::nn::TransformerClassifier>(config, kNumClasses);
+  Net out;
+  out.forward = [net](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+    return net->ForwardLogits(s, t, r);
+  };
+  out.params = net->Parameters();
+  out.Snapshot();
+  return out;
+}
+
+NeuralTrainOptions TrainOptions(bool use_arena) {
+  NeuralTrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.num_workers = 1;  // the zero-alloc contract is per worker
+  options.use_arena = use_arena;
+  return options;
+}
+
+void TrainOnce(Net* net, const std::vector<EncodedSequence>& x,
+               const std::vector<int32_t>& y, bool use_arena) {
+  net->Restore();
+  static const std::vector<EncodedSequence> kNoX;
+  static const std::vector<int32_t> kNoY;
+  auto history = TrainSequenceClassifier(net->forward, net->params, x, y,
+                                         kNoX, kNoY, TrainOptions(use_arena));
+  if (!history.ok()) std::abort();
+}
+
+/// Best-of-3 seconds per call, with a calibrated repeat count so each
+/// measurement spans at least `window` seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn, double window) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up: arena high-water, thread-local scratch, page-in
+  auto t0 = Clock::now();
+  fn();
+  const double once =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const size_t reps =
+      once > window ? 1 : static_cast<size_t>(window / (once + 1e-9)) + 1;
+  double best = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) fn();
+    const double per =
+        std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+    best = std::min(best, per);
+  }
+  return best;
+}
+
+struct Row {
+  std::string workload;
+  double steps_per_s_heap = 0.0;
+  double steps_per_s_arena = 0.0;
+  double speedup = 0.0;
+  int64_t steady_allocs_heap = 0;
+  int64_t steady_allocs_arena = 0;
+};
+
+int64_t CountAllocs(const std::function<void()>& fn) {
+  const uint64_t before = cuisine::util::AllocationCount();
+  fn();
+  return static_cast<int64_t>(cuisine::util::AllocationCount() - before);
+}
+
+/// Steady-state allocations per *run* of the extra `n` examples:
+/// allocs(train on 2n) - allocs(train on n). Zero iff the per-example
+/// hot loop is allocation-free.
+int64_t TrainSteadyAllocs(Net* net, const std::vector<EncodedSequence>& x2n,
+                          const std::vector<int32_t>& y2n, bool use_arena) {
+  const size_t n = x2n.size() / 2;
+  const std::vector<EncodedSequence> xn(x2n.begin(),
+                                        x2n.begin() + static_cast<long>(n));
+  const std::vector<int32_t> yn(y2n.begin(), y2n.begin() + static_cast<long>(n));
+  // Warm everything that allocates once per process/thread (arena slabs,
+  // thread-local scratch) so it cancels identically.
+  TrainOnce(net, x2n, y2n, use_arena);
+  const int64_t small = CountAllocs([&] { TrainOnce(net, xn, yn, use_arena); });
+  const int64_t big = CountAllocs([&] { TrainOnce(net, x2n, y2n, use_arena); });
+  return big - small;
+}
+
+Row MeasureTrain(const char* workload, Net* net,
+                 const std::vector<EncodedSequence>& x,
+                 const std::vector<int32_t>& y, double window) {
+  Row row;
+  row.workload = workload;
+  const auto steps = static_cast<double>((x.size() + 15) / 16);
+  const double heap =
+      TimeIt([&] { TrainOnce(net, x, y, /*use_arena=*/false); }, window);
+  const double arena =
+      TimeIt([&] { TrainOnce(net, x, y, /*use_arena=*/true); }, window);
+  row.steps_per_s_heap = steps / heap;
+  row.steps_per_s_arena = steps / arena;
+  row.speedup = heap / arena;
+  row.steady_allocs_heap = TrainSteadyAllocs(net, x, y, /*use_arena=*/false);
+  row.steady_allocs_arena = TrainSteadyAllocs(net, x, y, /*use_arena=*/true);
+  return row;
+}
+
+Row MeasurePredict(const char* workload, Net* net,
+                   const std::vector<EncodedSequence>& x, double window) {
+  Row row;
+  row.workload = workload;
+  SequencePredictions out;
+  const auto run = [&](bool use_arena) {
+    PredictSequencesInto(net->forward, x, /*num_workers=*/1, use_arena, &out);
+  };
+  const double heap = TimeIt([&] { run(false); }, window);
+  const double arena = TimeIt([&] { run(true); }, window);
+  // "Steps" for prediction = batches; one call is one batch.
+  row.steps_per_s_heap = 1.0 / heap;
+  row.steps_per_s_arena = 1.0 / arena;
+  row.speedup = heap / arena;
+  run(false);  // warm heap-path buffers
+  row.steady_allocs_heap = CountAllocs([&] { run(false); });
+  run(true);
+  row.steady_allocs_arena = CountAllocs([&] { run(true); });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_arena.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  cuisine::benchutil::InitTraceFromEnv();
+  // The acceptance speedup for LSTM training; smoke runs on millisecond
+  // windows where only "not slower" is stable enough to gate.
+  const double speedup_gate = smoke ? 1.0 : 1.3;
+  const double window = smoke ? 0.05 : 0.5;
+  const size_t n_train = smoke ? 64 : 256;
+  const size_t n_predict = smoke ? 64 : 256;
+  std::printf("== arena step-memory bench%s ==\n", smoke ? " (smoke)" : "");
+
+  std::vector<EncodedSequence> train_x, predict_x;
+  std::vector<int32_t> train_y, predict_y;
+  MakeCorpus(n_train, /*seed=*/17, &train_x, &train_y);
+  MakeCorpus(n_predict, /*seed=*/18, &predict_x, &predict_y);
+
+  Net lstm = MakeLstmNet();
+  Net transformer = MakeTransformerNet();
+
+  std::vector<Row> rows;
+  rows.push_back(MeasureTrain("lstm_train", &lstm, train_x, train_y, window));
+  rows.push_back(MeasureTrain("transformer_train", &transformer, train_x,
+                              train_y, window));
+  rows.push_back(MeasurePredict("lstm_predict", &lstm, predict_x, window));
+  rows.push_back(
+      MeasurePredict("transformer_predict", &transformer, predict_x, window));
+
+  for (const Row& r : rows) {
+    std::printf(
+        "%-20s heap %8.2f/s  arena %8.2f/s  speedup %5.2fx  "
+        "steady allocs heap=%lld arena=%lld\n",
+        r.workload.c_str(), r.steps_per_s_heap, r.steps_per_s_arena, r.speedup,
+        static_cast<long long>(r.steady_allocs_heap),
+        static_cast<long long>(r.steady_allocs_arena));
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"arena_step_memory\",\n");
+  std::fprintf(f, "  \"lstm_train_speedup_gate\": %.2f,\n", speedup_gate);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"steps_per_s_heap\": %.6g, "
+                 "\"steps_per_s_arena\": %.6g, \"speedup\": %.3f, "
+                 "\"steady_state_allocs_heap\": %lld, "
+                 "\"steady_state_allocs_arena\": %lld}%s\n",
+                 r.workload.c_str(), r.steps_per_s_heap, r.steps_per_s_arena,
+                 r.speedup, static_cast<long long>(r.steady_allocs_heap),
+                 static_cast<long long>(r.steady_allocs_arena),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // Metrics sidecar must carry the arena instruments.
+  cuisine::benchutil::ExportMetrics("bench_arena");
+  const cuisine::util::Status valid = cuisine::core::ValidateMetricsJson(
+      cuisine::core::MetricsSnapshotJson(),
+      {"counters", "gauges", "arena.resets", "arena.fallback_heap_allocs",
+       "arena.bytes_reserved", "arena.bytes_used"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "metrics snapshot failed validation: %s\n",
+                 std::string(valid.message()).c_str());
+    return 1;
+  }
+
+  // ---- Gates ----
+  bool ok = true;
+  for (const Row& r : rows) {
+    if (r.steady_allocs_arena != 0) {
+      std::fprintf(stderr, "GATE FAILED: %s arena steady-state allocs = %lld "
+                           "(want 0)\n",
+                   r.workload.c_str(),
+                   static_cast<long long>(r.steady_allocs_arena));
+      ok = false;
+    }
+  }
+  if (rows[0].speedup < speedup_gate) {
+    std::fprintf(stderr,
+                 "GATE FAILED: lstm_train speedup %.3fx < gate %.2fx\n",
+                 rows[0].speedup, speedup_gate);
+    ok = false;
+  }
+  if (ok) std::printf("all gates passed\n");
+  return ok ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/instrumentation.h"
 #include "util/logging.h"
@@ -27,8 +28,37 @@ bool EnvFlag(const char* name) {
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
+bool InitTraceFromEnv() {
+  const char* path = std::getenv("CUISINE_TRACE_FILE");
+  if (path == nullptr || *path == '\0') return false;
+  // Spans only record while telemetry is on; tracing implies it.
+  util::SetTelemetryEnabled(true);
+  // 1M events ≈ 40 MB resident — enough for every span of a default-
+  // scale bench; overflow is counted, not reallocated.
+  util::ResetTraceEvents(1 << 20);
+  util::SetTraceEventsEnabled(true);
+  return true;
+}
+
+void MaybeExportTrace() {
+  const char* path = std::getenv("CUISINE_TRACE_FILE");
+  if (path == nullptr || *path == '\0' || !util::TraceEventsEnabled()) return;
+  util::SetTraceEventsEnabled(false);
+  const util::Status status = core::WriteTraceJsonFile(path);
+  if (!status.ok()) {
+    CUISINE_LOG(Warning) << "trace export failed: " << status.message();
+    return;
+  }
+  const uint64_t dropped = util::TraceEventsDropped();
+  std::printf("trace events -> %s%s\n", path,
+              dropped == 0
+                  ? ""
+                  : (" (" + std::to_string(dropped) + " dropped)").c_str());
+}
+
 core::ExperimentConfig DefaultConfig(double default_scale) {
   util::SetTelemetryEnabled(EnvFlag("CUISINE_TELEMETRY"));
+  InitTraceFromEnv();
   core::ExperimentConfig config;
   config.generator.scale = EnvDouble("CUISINE_SCALE", default_scale);
   config.verbose = EnvFlag("CUISINE_VERBOSE");
@@ -81,9 +111,10 @@ void ExportMetrics(const std::string& bench_name) {
   const util::Status status = core::WriteMetricsJsonFile(path);
   if (!status.ok()) {
     CUISINE_LOG(Warning) << "metrics export failed: " << status.message();
-    return;
+  } else {
+    std::printf("telemetry snapshot -> %s\n", path.c_str());
   }
-  std::printf("telemetry snapshot -> %s\n", path.c_str());
+  MaybeExportTrace();
 }
 
 }  // namespace cuisine::benchutil

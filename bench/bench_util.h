@@ -19,6 +19,9 @@
 ///   CUISINE_FULL=1         lift all caps and use scale 1.0 (slow!)
 ///   CUISINE_VERBOSE=1      per-model training logs
 ///   CUISINE_WORKERS        engine worker threads (0 = hardware, default)
+///   CUISINE_TRACE_FILE     write a chrome://tracing JSON of all spans
+///                          recorded during the run to this path
+///                          (implies CUISINE_TELEMETRY)
 
 namespace cuisine::benchutil {
 
@@ -37,7 +40,19 @@ void PrintHeader(const std::string& bench_name,
 
 /// Writes the process-wide telemetry snapshot (counters, gauges,
 /// histogram percentiles) to METRICS_<bench_name>.json next to the
-/// bench's own BENCH_*.json output. Call once at the end of a bench.
+/// bench's own BENCH_*.json output, and — when CUISINE_TRACE_FILE
+/// requested span capture — the chrome://tracing JSON of the recorded
+/// spans to that path. Call once at the end of a bench.
 void ExportMetrics(const std::string& bench_name);
+
+/// Reads CUISINE_TRACE_FILE; when set, enables telemetry + trace-event
+/// capture sized for a bench run. Called by DefaultConfig, so benches
+/// get span tracing by exporting one variable. Returns whether tracing
+/// is active.
+bool InitTraceFromEnv();
+
+/// Writes the captured spans to the CUISINE_TRACE_FILE path (no-op when
+/// tracing is inactive). Called by ExportMetrics.
+void MaybeExportTrace();
 
 }  // namespace cuisine::benchutil

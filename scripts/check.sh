@@ -37,6 +37,10 @@ for suite in "${suites[@]}"; do
     echo "==== ${suite}: parallel tokenization race pass ===="
     # Parallel-intern determinism (2 and 8 workers) under TSan.
     ./build-tsan/tests/core_test --gtest_filter='PipelineTest.*'
+    echo "==== ${suite}: arena multi-worker race pass ===="
+    # Per-worker arenas in sharded training/prediction under TSan; the
+    # bit-identity tests drive 3- and 4-worker runs over both models.
+    ./build-tsan/tests/nn_arena_test --gtest_filter='Models/ArenaBitIdentityTest.*'
   fi
 
   if [ "${suite}" = "asan" ]; then
@@ -45,6 +49,10 @@ for suite in "${suites[@]}"; do
     ./build-asan/tests/text_test
     ./build-asan/tests/features_test
     ./build-asan/tests/core_test
+    echo "==== ${suite}: tensor arena lifetime pass ===="
+    # Bump-allocated autograd nodes, slab consolidation on Reset, scope
+    # save/restore — the places a lifetime bug in the arena would live.
+    ./build-asan/tests/nn_arena_test
   fi
 
   if [ "${suite}" = "default" ]; then
@@ -55,6 +63,10 @@ for suite in "${suites[@]}"; do
     # Cross-checks fused == legacy tokens and parallel == serial ids
     # before timing; exits non-zero on any mismatch.
     ./build/bench/bench_pipeline --smoke
+    echo "==== ${suite}: arena bench smoke ===="
+    # Exits non-zero if any warmed arena step still heap-allocates
+    # (steady_state_allocs > 0) or the arena path is slower than heap.
+    ./build/bench/bench_arena --smoke
   fi
 done
 

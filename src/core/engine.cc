@@ -23,8 +23,9 @@ uint64_t Mix64(uint64_t x) {
 }  // namespace
 
 size_t ResolveWorkerCount(size_t requested) {
-  if (requested == 0) return util::HardwareThreads();
-  return std::max<size_t>(1, requested);
+  const size_t resolved = requested == 0 ? util::HardwareThreads()
+                                         : std::max<size_t>(1, requested);
+  return util::CapWorkers(resolved);
 }
 
 util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index) {
@@ -35,7 +36,7 @@ util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index) {
   return util::Rng(h);
 }
 
-void RunShards(size_t num_shards, const std::function<void(size_t)>& shard_fn) {
+void RunShards(size_t num_shards, util::FunctionRef<void(size_t)> shard_fn) {
   if (num_shards == 0) return;
   if (num_shards == 1 || util::ThreadPool::OnWorkerThread()) {
     for (size_t s = 0; s < num_shards; ++s) shard_fn(s);
@@ -44,7 +45,9 @@ void RunShards(size_t num_shards, const std::function<void(size_t)>& shard_fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
-    futures.push_back(util::SharedPool().Submit([s, &shard_fn] { shard_fn(s); }));
+    // The view is copied into the task; the underlying callable lives in
+    // the caller's frame, which outlives the blocking waits below.
+    futures.push_back(util::SharedPool().Submit([s, shard_fn] { shard_fn(s); }));
   }
   std::exception_ptr first_error;
   for (auto& fut : futures) {

@@ -2,9 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 
 #include "util/rng.h"
+#include "util/small_function.h"
 
 /// \file engine.h
 /// \brief Execution primitives of the batched, thread-parallel
@@ -27,7 +27,9 @@
 namespace cuisine::core {
 
 /// Resolves a requested worker count: 0 means hardware concurrency,
-/// anything else is taken as-is (minimum 1).
+/// anything else is taken as-is (minimum 1). When the opt-in adaptive
+/// worker heuristic is enabled (util::ConfigureAdaptiveWorkers), the
+/// result is additionally capped by the observed thread-pool backlog.
 size_t ResolveWorkerCount(size_t requested);
 
 /// Deterministic RNG stream for one example. `step` is any monotonic
@@ -41,7 +43,9 @@ util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index);
 /// examples i with i % num_shards == s. Runs serially when num_shards
 /// is 1 or when already on a pool worker (nested parallelism). Rethrows
 /// the first exception after every shard has finished — no shard can
-/// still touch caller state once this returns or throws.
-void RunShards(size_t num_shards, const std::function<void(size_t)>& shard_fn);
+/// still touch caller state once this returns or throws. Takes a
+/// non-owning callable view: the single-shard fast path stays
+/// allocation-free (no std::function wrap per call).
+void RunShards(size_t num_shards, util::FunctionRef<void(size_t)> shard_fn);
 
 }  // namespace cuisine::core

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
 
 #include "util/fs.h"
 
@@ -180,6 +181,33 @@ std::string MetricsSnapshotJson() {
 util::Status WriteMetricsJsonFile(const std::string& path) {
   return util::GetDefaultFileSystem()->WriteFileAtomic(path,
                                                        MetricsSnapshotJson());
+}
+
+std::string TraceEventsJson(const std::vector<util::TraceEvent>& events) {
+  // Complete events ("ph": "X") with microsecond timestamps — the subset
+  // of the Chrome Trace Event format that chrome://tracing and Perfetto
+  // both render without a metadata preamble. Span names are identifier-
+  // like literals (see telemetry.h naming convention), so no escaping is
+  // required beyond what AppendJsonString-style emission would do; keep
+  // the emitter dependency-free with snprintf.
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const util::TraceEvent& ev = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                  i == 0 ? "" : ",", ev.name == nullptr ? "" : ev.name,
+                  ev.ts_us, ev.dur_us, ev.tid);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+util::Status WriteTraceJsonFile(const std::string& path) {
+  return util::GetDefaultFileSystem()->WriteFileAtomic(
+      path, TraceEventsJson(util::CollectTraceEvents()));
 }
 
 util::Status ValidateMetricsJson(

@@ -30,4 +30,12 @@ util::Status WriteMetricsJsonFile(const std::string& path);
 util::Status ValidateMetricsJson(const std::string& json,
                                  const std::vector<std::string>& required_keys);
 
+/// Serialises trace events (util/telemetry.h) to the Chrome Trace Event
+/// format — `{"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid",
+/// "tid"}, ...]}` — loadable in chrome://tracing and Perfetto.
+std::string TraceEventsJson(const std::vector<util::TraceEvent>& events);
+
+/// Atomically writes `TraceEventsJson(CollectTraceEvents())` to `path`.
+util::Status WriteTraceJsonFile(const std::string& path);
+
 }  // namespace cuisine::core

@@ -7,6 +7,7 @@
 
 #include "core/checkpoint.h"
 #include "core/engine.h"
+#include "nn/arena.h"
 #include "nn/serialization.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -71,7 +72,21 @@ struct LoopOptions {
   int32_t keep_checkpoints = 3;
   int64_t stop_after_steps = 0;
   util::FileSystem* fs = nullptr;
+  bool use_arena = true;
 };
+
+/// Runs `body` inside the calling thread's arena scope (the per-worker
+/// bump arena, reset when the scope closes) or plainly on the heap.
+/// Nothing built by `body` may escape it when `use_arena` is set.
+template <typename Body>
+void RunInStepScope(bool use_arena, const Body& body) {
+  if (use_arena) {
+    nn::ArenaScope scope(nn::ThreadLocalArena());
+    body();
+  } else {
+    body();
+  }
+}
 
 /// The data-parallel mini-batch loop shared by supervised fine-tuning
 /// and MLM pretraining.
@@ -247,19 +262,25 @@ util::Result<TrainHistory> RunDataParallel(
         TrainReplica& rep = replicas[shard];
         for (size_t b = shard; b < batch_n; b += shards) {
           const size_t idx = order[start + b];
-          for (nn::Tensor& p : rep.params) p.ZeroGrad();
-          util::Rng rng = MakeExampleRng(loop.seed, static_cast<uint64_t>(step),
-                                         static_cast<uint64_t>(idx));
-          nn::Tensor loss = rep.loss(idx, &rng);
-          if (!loss.defined()) continue;
-          example_loss[b] = loss.item();
-          example_active[b] = 1;
-          // Scale so the reduced gradient is the batch mean.
-          nn::Scale(loss, inv_batch).Backward();
-          for (size_t p = 0; p < num_params; ++p) {
-            const std::vector<float>& g = rep.params[p].grad_vector();
-            grad_buffers[b][p].assign(g.begin(), g.end());
-          }
+          // One arena epoch per example: the whole forward/backward
+          // graph is recycled when the scope closes. Only plain floats
+          // (loss value, grad snapshots) leave the scope.
+          RunInStepScope(loop.use_arena, [&] {
+            for (nn::Tensor& p : rep.params) p.ZeroGrad();
+            util::Rng rng = MakeExampleRng(loop.seed,
+                                           static_cast<uint64_t>(step),
+                                           static_cast<uint64_t>(idx));
+            nn::Tensor loss = rep.loss(idx, &rng);
+            if (!loss.defined()) return;
+            example_loss[b] = loss.item();
+            example_active[b] = 1;
+            // Scale so the reduced gradient is the batch mean.
+            nn::Scale(loss, inv_batch).Backward();
+            for (size_t p = 0; p < num_params; ++p) {
+              const auto& g = rep.params[p].grad_vector();
+              grad_buffers[b][p].assign(g.begin(), g.end());
+            }
+          });
         }
       });
 
@@ -271,7 +292,7 @@ util::Result<TrainHistory> RunDataParallel(
         epoch_loss += example_loss[b];
         for (size_t p = 0; p < num_params; ++p) {
           const std::vector<float>& src = grad_buffers[b][p];
-          std::vector<float>& dst = replicas[0].params[p].grad_vector();
+          auto& dst = replicas[0].params[p].grad_vector();
           for (size_t e = 0; e < src.size(); ++e) dst[e] += src[e];
         }
       }
@@ -361,8 +382,9 @@ util::Result<TrainHistory> TrainSequenceClassifier(
 
   std::function<double()> validation;
   if (!val_x.empty()) {
-    validation = [&forward, &val_x, &val_y, workers] {
-      return EvaluateSequenceLoss(forward, val_x, val_y, workers);
+    validation = [&forward, &val_x, &val_y, workers, &options] {
+      return EvaluateSequenceLoss(forward, val_x, val_y, workers,
+                                  options.use_arena);
     };
   }
 
@@ -381,6 +403,7 @@ util::Result<TrainHistory> TrainSequenceClassifier(
   loop.keep_checkpoints = options.keep_checkpoints;
   loop.stop_after_steps = options.stop_after_steps;
   loop.fs = options.fs;
+  loop.use_arena = options.use_arena;
   return RunDataParallel(std::move(replicas), train_x.size(), loop,
                          validation);
 }
@@ -388,7 +411,7 @@ util::Result<TrainHistory> TrainSequenceClassifier(
 double EvaluateSequenceLoss(const SequenceForwardFn& forward,
                             const std::vector<features::EncodedSequence>& x,
                             const std::vector<int32_t>& y,
-                            size_t num_workers) {
+                            size_t num_workers, bool use_arena) {
   CUISINE_CHECK(x.size() == y.size() && !x.empty());
   CUISINE_TRACE_SPAN("engine.eval");
   util::Stopwatch watch;
@@ -400,8 +423,10 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
   RunShards(shards, [&](size_t shard) {
     util::Rng rng(0);  // unused: dropout is off in eval mode
     for (size_t i = shard; i < x.size(); i += shards) {
-      nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
-      losses[i] = nn::CrossEntropy(logits.Detach(), {y[i]}).item();
+      RunInStepScope(use_arena, [&] {
+        nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+        losses[i] = nn::CrossEntropy(logits.Detach(), {y[i]}).item();
+      });
     }
   });
   // Ordered sum: bit-identical for any worker count.
@@ -411,13 +436,13 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
   return loss / static_cast<double>(x.size());
 }
 
-SequencePredictions PredictSequences(
-    const SequenceForwardFn& forward,
-    const std::vector<features::EncodedSequence>& x, size_t num_workers) {
-  SequencePredictions out;
-  out.labels.assign(x.size(), 0);
-  out.probas.assign(x.size(), {});
-  if (x.empty()) return out;
+void PredictSequencesInto(const SequenceForwardFn& forward,
+                          const std::vector<features::EncodedSequence>& x,
+                          size_t num_workers, bool use_arena,
+                          SequencePredictions* out) {
+  out->labels.resize(x.size());
+  out->probas.resize(x.size());
+  if (x.empty()) return;
   CUISINE_TRACE_SPAN("engine.predict");
   util::Stopwatch watch;
   EngineMetrics& metrics = Metrics();
@@ -427,24 +452,34 @@ SequencePredictions PredictSequences(
   RunShards(shards, [&](size_t shard) {
     util::Rng rng(0);  // unused: dropout is off in eval mode
     for (size_t i = shard; i < x.size(); i += shards) {
-      nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
-      const auto k = static_cast<size_t>(logits.cols());
-      std::vector<float> proba(logits.data(), logits.data() + k);
-      // Softmax over the single row.
-      float mx = proba[0];
-      for (float v : proba) mx = std::max(mx, v);
-      float sum = 0.0f;
-      for (float& v : proba) {
-        v = std::exp(v - mx);
-        sum += v;
-      }
-      for (float& v : proba) v /= sum;
-      out.labels[i] = static_cast<int32_t>(
-          std::max_element(proba.begin(), proba.end()) - proba.begin());
-      out.probas[i] = std::move(proba);
+      RunInStepScope(use_arena, [&] {
+        nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+        const auto k = static_cast<size_t>(logits.cols());
+        // Reuse the caller's row; softmax in place over the single row.
+        std::vector<float>& proba = out->probas[i];
+        proba.assign(logits.data(), logits.data() + k);
+        float mx = proba[0];
+        for (float v : proba) mx = std::max(mx, v);
+        float sum = 0.0f;
+        for (float& v : proba) {
+          v = std::exp(v - mx);
+          sum += v;
+        }
+        for (float& v : proba) v /= sum;
+        out->labels[i] = static_cast<int32_t>(
+            std::max_element(proba.begin(), proba.end()) - proba.begin());
+      });
     }
   });
   metrics.predict_ms->Observe(watch.ElapsedMillis());
+}
+
+SequencePredictions PredictSequences(
+    const SequenceForwardFn& forward,
+    const std::vector<features::EncodedSequence>& x, size_t num_workers,
+    bool use_arena) {
+  SequencePredictions out;
+  PredictSequencesInto(forward, x, num_workers, use_arena, &out);
   return out;
 }
 
@@ -458,11 +493,11 @@ struct MaskedExample {
   std::vector<int32_t> targets;
 };
 
-MaskedExample MaskSequence(const features::EncodedSequence& seq,
-                           const text::Vocabulary& vocab, double mask_prob,
-                           util::Rng* rng) {
+void MaskSequenceInto(const features::EncodedSequence& seq,
+                      const text::Vocabulary& vocab, double mask_prob,
+                      util::Rng* rng, MaskedExample* out_ptr) {
   const auto length = static_cast<size_t>(seq.length);
-  MaskedExample out;
+  MaskedExample& out = *out_ptr;
   out.ids.assign(seq.ids.begin(), seq.ids.begin() + length);
   out.targets.assign(length, -1);
   bool any = false;
@@ -495,19 +530,28 @@ MaskedExample MaskSequence(const features::EncodedSequence& seq,
       }
     }
   }
+}
+
+MaskedExample MaskSequence(const features::EncodedSequence& seq,
+                           const text::Vocabulary& vocab, double mask_prob,
+                           util::Rng* rng) {
+  MaskedExample out;
+  MaskSequenceInto(seq, vocab, mask_prob, rng, &out);
   return out;
 }
 
 /// The scalar MLM loss graph for one example, or undefined when the
 /// example has no maskable token (e.g. bare [CLS][SEP]).
 nn::Tensor MlmExampleLoss(nn::TransformerEncoder* encoder, nn::MlmHead* head,
-                          MaskedExample ex, util::Rng* rng) {
+                          const MaskedExample& ex, util::Rng* rng) {
   if (std::none_of(ex.targets.begin(), ex.targets.end(),
                    [](int32_t t) { return t >= 0; })) {
     return {};
   }
-  features::EncodedSequence masked;
-  masked.ids = std::move(ex.ids);
+  // Thread-local scratch sequence (plain int buffers — safe to persist
+  // across arena scopes, keeps capacity across examples).
+  static thread_local features::EncodedSequence masked;
+  masked.ids.assign(ex.ids.begin(), ex.ids.end());
   masked.length = static_cast<int32_t>(masked.ids.size());
   masked.mask.assign(masked.ids.size(), 1);
   const nn::Tensor hidden = encoder->Encode(masked, /*training=*/true, rng);
@@ -551,12 +595,15 @@ util::Result<std::vector<double>> PretrainMlm(
 
   auto make_loss = [&](nn::TransformerEncoder* enc, nn::MlmHead* hd) {
     return [&, enc, hd](size_t idx, util::Rng* rng) -> nn::Tensor {
-      MaskedExample ex =
-          options.dynamic_masking
-              ? MaskSequence(sequences[idx], vocab, options.mask_probability,
-                             rng)
-              : static_masks[idx];
-      return MlmExampleLoss(enc, hd, std::move(ex), rng);
+      if (options.dynamic_masking) {
+        // Thread-local scratch: re-masked in place each step, no
+        // per-example vector churn.
+        static thread_local MaskedExample scratch;
+        MaskSequenceInto(sequences[idx], vocab, options.mask_probability,
+                         rng, &scratch);
+        return MlmExampleLoss(enc, hd, scratch, rng);
+      }
+      return MlmExampleLoss(enc, hd, static_masks[idx], rng);
     };
   };
 
@@ -595,6 +642,7 @@ util::Result<std::vector<double>> PretrainMlm(
   loop.keep_checkpoints = options.keep_checkpoints;
   loop.stop_after_steps = options.stop_after_steps;
   loop.fs = options.fs;
+  loop.use_arena = options.use_arena;
   CUISINE_ASSIGN_OR_RETURN(
       TrainHistory history,
       RunDataParallel(std::move(replicas), sequences.size(), loop, nullptr));

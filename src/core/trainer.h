@@ -87,6 +87,13 @@ struct NeuralTrainOptions {
   /// Filesystem for checkpoint I/O (nullptr = the process-wide local
   /// filesystem). Tests substitute a util::FaultInjectionFileSystem.
   util::FileSystem* fs = nullptr;
+
+  /// Arena-backed step memory (nn/arena.h): each example's autograd
+  /// graph is built in a per-worker bump arena recycled after the
+  /// example, making steady-state steps allocation-free. The training
+  /// trajectory is bit-identical either way; disable only to compare
+  /// against the plain-heap path.
+  bool use_arena = true;
 };
 
 /// Per-epoch loss curves (the paper's training/validation loss figures).
@@ -114,7 +121,7 @@ util::Result<TrainHistory> TrainSequenceClassifier(
 double EvaluateSequenceLoss(const SequenceForwardFn& forward,
                             const std::vector<features::EncodedSequence>& x,
                             const std::vector<int32_t>& y,
-                            size_t num_workers = 1);
+                            size_t num_workers = 1, bool use_arena = true);
 
 /// Predictions and probability rows for an evaluation set.
 struct SequencePredictions {
@@ -127,7 +134,16 @@ struct SequencePredictions {
 /// for any worker count.
 SequencePredictions PredictSequences(
     const SequenceForwardFn& forward,
-    const std::vector<features::EncodedSequence>& x, size_t num_workers = 1);
+    const std::vector<features::EncodedSequence>& x, size_t num_workers = 1,
+    bool use_arena = true);
+
+/// As PredictSequences, but writes into caller-owned storage whose
+/// buffers are reused across calls: a warmed caller (same batch shape)
+/// repredicting with `use_arena` performs zero heap allocations.
+void PredictSequencesInto(const SequenceForwardFn& forward,
+                          const std::vector<features::EncodedSequence>& x,
+                          size_t num_workers, bool use_arena,
+                          SequencePredictions* out);
 
 // ---- Masked-language-model pretraining ----
 
@@ -154,6 +170,9 @@ struct MlmOptions {
   int32_t keep_checkpoints = 3;
   int64_t stop_after_steps = 0;
   util::FileSystem* fs = nullptr;
+
+  /// Arena-backed step memory (same semantics as NeuralTrainOptions).
+  bool use_arena = true;
 };
 
 /// A replica of the MLM pretraining stack (encoder + tied head).

@@ -195,8 +195,15 @@ void GemmBlocked(size_t m, size_t k, size_t n, const float* a, const float* b,
   ScopedStageTimer kernel_span(Spans().kernel, traced);
   const size_t lda = kTransA ? m : k;
   const size_t ldb = kTransB ? k : n;
-  std::vector<float> apack(kMC * kKC);
-  std::vector<float> bpack(kKC * kNC);
+  // Pack buffers are sized by the blocking constants, never by the
+  // operands, so one lazily-grown buffer per thread serves every call —
+  // GEMM is allocation-free in steady state (the training hot-loop
+  // contract, nn/arena.h). Packed panels are fully (re)written before
+  // each use, so reuse cannot leak values between calls.
+  static thread_local std::vector<float> apack;
+  static thread_local std::vector<float> bpack;
+  if (apack.size() < kMC * kKC) apack.resize(kMC * kKC);
+  if (bpack.size() < kKC * kNC) bpack.resize(kKC * kNC);
   for (size_t j0 = 0; j0 < n; j0 += kNC) {
     const size_t nc = std::min(kNC, n - j0);
     for (size_t p0 = 0; p0 < k; p0 += kKC) {

@@ -1,0 +1,143 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+
+#include "util/telemetry.h"
+
+namespace cuisine::nn {
+
+namespace {
+
+/// Arena telemetry (DESIGN.md "Observability"), resolved once. Gauges
+/// are updated at Reset (epoch boundaries), never in the bump path.
+struct ArenaMetrics {
+  util::Gauge* bytes_reserved =
+      util::MetricsRegistry::Instance().GetGauge("arena.bytes_reserved");
+  util::Gauge* bytes_used =
+      util::MetricsRegistry::Instance().GetGauge("arena.bytes_used");
+  util::Counter* resets =
+      util::MetricsRegistry::Instance().GetCounter("arena.resets");
+  util::Counter* fallback_heap_allocs =
+      util::MetricsRegistry::Instance().GetCounter(
+          "arena.fallback_heap_allocs");
+};
+
+ArenaMetrics& Metrics() {
+  static ArenaMetrics* metrics = new ArenaMetrics();
+  return *metrics;
+}
+
+size_t AlignUp(size_t n, size_t alignment) {
+  return (n + alignment - 1) & ~(alignment - 1);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+thread_local TensorArena* t_current_arena = nullptr;
+
+}  // namespace
+
+namespace internal {
+void CountFallbackHeapAlloc() { Metrics().fallback_heap_allocs->Add(); }
+}  // namespace internal
+
+TensorArena::TensorArena(size_t initial_slab_bytes)
+    : next_slab_bytes_(std::max<size_t>(initial_slab_bytes, kAlignment)) {}
+
+TensorArena::~TensorArena() {
+  CUISINE_CHECK(live_nodes_ == 0);
+}
+
+void TensorArena::AddSlab(size_t min_bytes) {
+  Slab slab;
+  slab.capacity = std::max(NextPow2(min_bytes), next_slab_bytes_);
+  // Over-allocate by one alignment unit so the bump base can always be
+  // rounded up to a cache-line boundary.
+  slab.memory = std::make_unique<unsigned char[]>(slab.capacity + kAlignment);
+  bytes_reserved_ += slab.capacity;
+  next_slab_bytes_ = slab.capacity * 2;  // geometric growth
+  slabs_.push_back(std::move(slab));
+  current_slab_ = slabs_.size() - 1;
+  offset_ = 0;
+}
+
+void* TensorArena::Allocate(size_t bytes) {
+  bytes = AlignUp(std::max<size_t>(bytes, 1), kAlignment);
+  if (slabs_.empty()) AddSlab(bytes);
+  Slab* slab = &slabs_[current_slab_];
+  if (offset_ + bytes > slab->capacity) {
+    // Try the next pre-existing slab before reserving fresh memory.
+    if (current_slab_ + 1 < slabs_.size()) {
+      ++current_slab_;
+      offset_ = 0;
+      slab = &slabs_[current_slab_];
+      if (offset_ + bytes > slab->capacity) {
+        AddSlab(bytes);
+        slab = &slabs_[current_slab_];
+      }
+    } else {
+      AddSlab(bytes);
+      slab = &slabs_[current_slab_];
+    }
+  }
+  const auto base = reinterpret_cast<uintptr_t>(slab->memory.get());
+  unsigned char* p = slab->memory.get() +
+                     (AlignUp(base, kAlignment) - base) + offset_;
+  offset_ += bytes;
+  bytes_used_ += bytes;
+  return p;
+}
+
+void TensorArena::Reset() {
+  // A live node would keep pointers into memory this Reset recycles;
+  // that is a scope-escape bug at the call site, so fail loudly here
+  // rather than corrupting the next epoch.
+  CUISINE_CHECK(live_nodes_ == 0);
+  high_water_ = std::max(high_water_, bytes_used_);
+  if (slabs_.size() > 1) {
+    // The epoch overflowed the first slab: consolidate to one slab
+    // covering the high-water mark so the steady state never chains.
+    slabs_.clear();
+    bytes_reserved_ = 0;
+    next_slab_bytes_ = NextPow2(high_water_);
+    AddSlab(high_water_);
+  }
+  ArenaMetrics& metrics = Metrics();
+  metrics.bytes_used->Set(static_cast<double>(bytes_used_));
+  metrics.bytes_reserved->Set(static_cast<double>(bytes_reserved_));
+  metrics.resets->Add();
+  ++resets_;
+  current_slab_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+TensorArena* CurrentArena() { return t_current_arena; }
+
+ArenaScope::ArenaScope(TensorArena* arena)
+    : arena_(arena), previous_(t_current_arena) {
+  CUISINE_CHECK(arena != nullptr);
+  // Same-arena nesting would Reset() live outer-scope memory on inner
+  // exit; distinct arenas may nest freely.
+  CUISINE_CHECK(previous_ != arena);
+  t_current_arena = arena;
+}
+
+ArenaScope::~ArenaScope() {
+  t_current_arena = previous_;
+  arena_->Reset();
+}
+
+TensorArena* ThreadLocalArena() {
+  // Leaked per thread deliberately: pool workers live for the process
+  // lifetime, and keeping the arena warm across PredictBatch / training
+  // calls is the whole point of high-water reuse.
+  thread_local TensorArena* arena = new TensorArena();
+  return arena;
+}
+
+}  // namespace cuisine::nn

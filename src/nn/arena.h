@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+/// \file arena.h
+/// \brief Bump-allocated tensor memory with epoch-based reuse
+/// (DESIGN.md §13 "Memory arenas and graph reuse").
+///
+/// Every training step and every batched-inference example rebuilds the
+/// same autograd graph shape. `TensorArena` exploits that: all node and
+/// buffer allocations inside an `ArenaScope` are bump-allocated from
+/// cache-line-aligned slabs, and a single `Reset()` at scope exit
+/// recycles the whole graph at the cost of one pointer store. After a
+/// warm-up step the arena holds one slab sized to the step's high-water
+/// mark, so steady-state steps perform **zero** heap allocations in the
+/// forward/backward path.
+///
+/// Ownership rules (enforced, not advisory):
+///  * An arena never frees individual allocations; memory is reclaimed
+///    wholesale by `Reset()`.
+///  * Every `TensorNode` created while an arena is current registers
+///    with it; `Reset()` CHECK-fails if any node is still alive, turning
+///    a dangling `Tensor` handle that escaped its scope into a loud
+///    abort instead of silent cross-step corruption.
+///  * Arenas are thread-confined: one thread builds, uses, and resets.
+///    Per-worker arenas (`ThreadLocalArena`) keep the data-parallel
+///    engine race-free and bit-identical for any worker count.
+///
+/// The heap path stays the default: with no arena current (parameters,
+/// tests, any code outside a scope), `ArenaAllocator` forwards to
+/// `operator new` and counts the allocation in
+/// `arena.fallback_heap_allocs`.
+
+namespace cuisine::nn {
+
+/// \brief Cache-line-aligned bump allocator with epoch reuse.
+class TensorArena {
+ public:
+  static constexpr size_t kDefaultSlabBytes = 1 << 20;  // 1 MiB
+  static constexpr size_t kAlignment = 64;              // cache line
+
+  explicit TensorArena(size_t initial_slab_bytes = kDefaultSlabBytes);
+  ~TensorArena();
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `kAlignment`. Never fails: a new
+  /// slab (geometrically grown) is chained when the current one is full.
+  void* Allocate(size_t bytes);
+
+  /// Recycles all memory for the next epoch. CHECK-fails if any
+  /// TensorNode created from this arena is still alive. When the epoch
+  /// overflowed into multiple slabs, they are consolidated into one slab
+  /// covering the high-water mark, so the next epoch bumps through a
+  /// single contiguous block without any heap traffic.
+  void Reset();
+
+  /// Node lifetime tracking (see ownership rules above).
+  void NoteNodeCreated() { ++live_nodes_; }
+  void NoteNodeDestroyed() { --live_nodes_; }
+  int64_t live_nodes() const { return live_nodes_; }
+
+  /// Bytes handed out since the last Reset.
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total slab capacity currently reserved.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  /// Largest bytes_used() seen at any Reset.
+  size_t high_water_bytes() const { return high_water_; }
+  /// Completed epochs.
+  uint64_t resets() const { return resets_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<unsigned char[]> memory;
+    size_t capacity = 0;
+  };
+
+  /// Appends a slab of at least `min_bytes` and makes it current.
+  void AddSlab(size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  size_t current_slab_ = 0;  // slab being bumped
+  size_t offset_ = 0;        // bump offset within the current slab
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t high_water_ = 0;
+  uint64_t resets_ = 0;
+  int64_t live_nodes_ = 0;
+  size_t next_slab_bytes_;  // geometric growth cursor
+};
+
+/// The calling thread's current arena (nullptr = heap mode). Set by
+/// ArenaScope; tensor ops read it once per node creation.
+TensorArena* CurrentArena();
+
+/// \brief RAII scope: makes `arena` current for the calling thread and
+/// `Reset()`s it on exit (restoring the previous current arena, which
+/// must not be the same arena — same-arena nesting would recycle live
+/// memory mid-use and is CHECK-rejected).
+class ArenaScope {
+ public:
+  explicit ArenaScope(TensorArena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  TensorArena* arena_;
+  TensorArena* previous_;
+};
+
+/// A per-thread arena that persists for the thread's lifetime, so
+/// repeated step/predict scopes on one thread (including pool workers)
+/// reuse the same warmed slab across calls.
+TensorArena* ThreadLocalArena();
+
+namespace internal {
+/// Heap-path accounting for ArenaAllocator (kept out of the template so
+/// the counter is resolved once).
+void CountFallbackHeapAlloc();
+}  // namespace internal
+
+/// \brief STL allocator over an optional arena. With a null arena it
+/// forwards to `operator new`/`delete` (the default heap path); with an
+/// arena, deallocate is a no-op (reclamation happens at Reset).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(TensorArena* arena = nullptr) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes));
+    }
+    internal::CountFallbackHeapAlloc();
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by Reset().
+  }
+
+  /// Default-construction of trivial elements (float/int buffers) is
+  /// skipped: every tensor op fully overwrites its output, so the
+  /// value-initialisation pass vector::resize would otherwise run is
+  /// pure waste on the hot path. Value/copy construction (assign, fill,
+  /// push_back) is unaffected.
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0 &&
+                  std::is_trivially_default_constructible_v<U>) {
+      // intentionally left uninitialised
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+
+  TensorArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  TensorArena* arena_;
+};
+
+}  // namespace cuisine::nn

@@ -28,7 +28,12 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
   const Tensor v = value_.Forward(x);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-  std::vector<Tensor> heads;
+  // Thread-local scratch (keeps capacity across calls). Not re-entered
+  // while in use — no nested attention call happens inside the loop —
+  // and emptied before return so no arena-node handle outlives the
+  // caller's ArenaScope.
+  static thread_local std::vector<Tensor> heads;
+  heads.clear();
   heads.reserve(num_heads_);
   for (int64_t h = 0; h < num_heads_; ++h) {
     const Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
@@ -42,7 +47,9 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
     attn = attn_dropout_.Forward(attn, training, rng);
     heads.push_back(MatMul(attn, vh));
   }
-  return output_.Forward(ConcatCols(heads));
+  Tensor out = output_.Forward(ConcatCols(heads));
+  heads.clear();
+  return out;
 }
 
 void MultiHeadSelfAttention::CollectParameters(

@@ -69,10 +69,13 @@ Tensor GruClassifier::ForwardLogits(const features::EncodedSequence& seq,
                                     bool training, util::Rng* rng) const {
   const auto length = static_cast<size_t>(seq.length);
   CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
-  const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
-  const Tensor embedded = embedding_.Forward(ids);
+  const Tensor embedded = embedding_.Forward(
+      std::span<const int32_t>(seq.ids.data(), length));
 
-  std::vector<Tensor> states;
+  // Thread-local scratch (see LstmClassifier::ForwardLogits): emptied
+  // before return so no arena-node handle outlives the caller's scope.
+  static thread_local std::vector<Tensor> states;
+  states.clear();
   states.reserve(cells_.size());
   for (const auto& cell : cells_) states.push_back(cell->InitialState());
   for (size_t t = 0; t < length; ++t) {
@@ -84,7 +87,9 @@ Tensor GruClassifier::ForwardLogits(const features::EncodedSequence& seq,
     }
   }
   const Tensor dropped = dropout_.Forward(states.back(), training, rng);
-  return head_.Forward(dropped);
+  Tensor logits = head_.Forward(dropped);
+  states.clear();
+  return logits;
 }
 
 void GruClassifier::CollectParameters(std::vector<Tensor>* out) const {

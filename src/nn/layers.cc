@@ -23,7 +23,7 @@ Embedding::Embedding(int64_t vocab_size, int64_t dim, util::Rng* rng,
                      float stddev)
     : table_(Tensor::Randn(vocab_size, dim, stddev, rng)) {}
 
-Tensor Embedding::Forward(const std::vector<int32_t>& ids) const {
+Tensor Embedding::Forward(std::span<const int32_t> ids) const {
   return EmbeddingGather(table_, ids);
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 
 #include "nn/module.h"
 #include "nn/tensor.h"
@@ -40,7 +42,10 @@ class Embedding final : public Module {
             float stddev = 0.02f);
 
   /// ids -> [len(ids), dim].
-  Tensor Forward(const std::vector<int32_t>& ids) const;
+  Tensor Forward(std::span<const int32_t> ids) const;
+  Tensor Forward(std::initializer_list<int32_t> ids) const {
+    return Forward(std::span<const int32_t>(ids.begin(), ids.size()));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

@@ -69,11 +69,15 @@ Tensor LstmClassifier::ForwardLogits(const features::EncodedSequence& seq,
                                      bool training, util::Rng* rng) const {
   const auto length = static_cast<size_t>(seq.length);
   CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
-  const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
-  const Tensor embedded = embedding_.Forward(ids);
+  const Tensor embedded = embedding_.Forward(
+      std::span<const int32_t>(seq.ids.data(), length));
 
-  // Stacked left-to-right pass; dropout between layers.
-  std::vector<LstmCell::State> states;
+  // Stacked left-to-right pass; dropout between layers. The state
+  // scratch is thread-local (keeps capacity, no per-call allocation)
+  // and must be emptied before returning: its tensors reference graph
+  // nodes owned by the caller's ArenaScope.
+  static thread_local std::vector<LstmCell::State> states;
+  states.clear();
   states.reserve(cells_.size());
   for (const auto& cell : cells_) states.push_back(cell->InitialState());
   Tensor top_hidden;
@@ -87,7 +91,9 @@ Tensor LstmClassifier::ForwardLogits(const features::EncodedSequence& seq,
     top_hidden = states.back().h;
   }
   const Tensor dropped = dropout_.Forward(top_hidden, training, rng);
-  return head_.Forward(dropped);
+  Tensor logits = head_.Forward(dropped);
+  states.clear();
+  return logits;
 }
 
 void LstmClassifier::CollectParameters(std::vector<Tensor>* out) const {

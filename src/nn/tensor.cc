@@ -1,8 +1,9 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
+#include <utility>
 
 #include "linalg/kernels.h"
 #include "util/logging.h"
@@ -13,12 +14,18 @@ namespace {
 
 using internal::TensorNode;
 
+/// Creates a node in the current storage mode (arena if a scope is
+/// active, heap otherwise). `data` is sized but deliberately left
+/// uninitialised (see ArenaAllocator::construct) — every op writes all
+/// of its output; factories that expose raw nodes fill explicitly.
 std::shared_ptr<TensorNode> NewNode(int64_t rows, int64_t cols,
                                     bool requires_grad) {
-  auto node = std::make_shared<TensorNode>();
+  TensorArena* arena = CurrentArena();
+  auto node = std::allocate_shared<TensorNode>(
+      ArenaAllocator<TensorNode>(arena), arena);
   node->rows = rows;
   node->cols = cols;
-  node->data.assign(static_cast<size_t>(rows * cols), 0.0f);
+  node->data.resize(static_cast<size_t>(rows * cols));
   node->requires_grad = requires_grad;
   return node;
 }
@@ -39,7 +46,9 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 }  // namespace
 
 Tensor Tensor::Zeros(int64_t rows, int64_t cols, bool requires_grad) {
-  return Tensor(NewNode(rows, cols, requires_grad));
+  auto node = NewNode(rows, cols, requires_grad);
+  std::fill(node->data.begin(), node->data.end(), 0.0f);
+  return Tensor(std::move(node));
 }
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float fill,
@@ -53,7 +62,7 @@ Tensor Tensor::FromData(int64_t rows, int64_t cols, std::vector<float> values,
                         bool requires_grad) {
   CUISINE_CHECK(static_cast<int64_t>(values.size()) == rows * cols);
   auto node = NewNode(rows, cols, requires_grad);
-  node->data = std::move(values);
+  node->data.assign(values.begin(), values.end());
   return Tensor(std::move(node));
 }
 
@@ -84,23 +93,47 @@ float Tensor::item() const {
 
 void Tensor::ZeroGrad() {
   CUISINE_CHECK(node_ != nullptr);
-  node_->grad.assign(node_->data.size(), 0.0f);
+  if (node_->grad.size() == node_->data.size()) {
+    // Keep-capacity path: once sized, repeated ZeroGrad never touches
+    // the allocator (verified by the bench_arena allocation counter).
+    std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
+  } else {
+    node_->grad.assign(node_->data.size(), 0.0f);
+  }
 }
+
+namespace {
+
+/// Process-wide visit-epoch for Backward(). A fresh epoch per sweep
+/// makes `visit_mark != epoch` mean "unvisited" with no clearing pass,
+/// and stays correct when graphs are built on pool worker threads
+/// (thread-local counters could collide across threads; one atomic
+/// cannot).
+std::atomic<uint64_t> g_backward_epoch{0};
+
+}  // namespace
 
 void Tensor::Backward() {
   CUISINE_CHECK(node_ && node_->size() == 1);
-  // Iterative post-order DFS to get a reverse topological order.
-  std::vector<TensorNode*> order;
-  std::unordered_set<TensorNode*> visited;
-  std::vector<std::pair<TensorNode*, size_t>> stack;
+  const uint64_t mark =
+      g_backward_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Iterative post-order DFS to get a reverse topological order. The
+  // scratch vectors hold raw pointers only for the duration of this
+  // call and keep their capacity across calls, so steady-state sweeps
+  // never allocate.
+  static thread_local std::vector<TensorNode*> order;
+  static thread_local std::vector<std::pair<TensorNode*, size_t>> stack;
+  order.clear();
+  stack.clear();
   stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
+  node_->visit_mark = mark;
   while (!stack.empty()) {
     auto& [node, child] = stack.back();
     if (child < node->parents.size()) {
       TensorNode* parent = node->parents[child].get();
       ++child;
-      if (parent->requires_grad && visited.insert(parent).second) {
+      if (parent->requires_grad && parent->visit_mark != mark) {
+        parent->visit_mark = mark;
         stack.emplace_back(parent, 0);
       }
     } else {
@@ -118,11 +151,17 @@ void Tensor::Backward() {
 Tensor Tensor::Detach() const {
   CUISINE_CHECK(node_ != nullptr);
   auto node = NewNode(node_->rows, node_->cols, false);
-  node->data = node_->data;
+  node->data.assign(node_->data.begin(), node_->data.end());
   return Tensor(std::move(node));
 }
 
 // ---- Operations ----
+//
+// Backward closures capture only raw node pointers and scalars (they
+// must fit TrivialFunction's inline buffer): ownership of parents flows
+// through `out->parents`, and op caches needed by backward live in the
+// output node's own aux/iaux buffers, so closures stay trivially
+// copyable and graph construction never heap-allocates under an arena.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CUISINE_CHECK(a.cols() == b.rows());
@@ -131,7 +170,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   linalg::GemmKernel(m, k, n, a.data(), b.data(), out->data.data(),
                      /*accumulate=*/false);
   if (out->requires_grad) {
-    auto an = a.node(), bn = b.node();
+    TensorNode* an = a.node().get();
+    TensorNode* bn = b.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on, m, k, n] {
       const float* g = on->grad.data();
@@ -157,7 +197,8 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   linalg::GemmTransposeBKernel(m, k, n, a.data(), b.data(), out->data.data(),
                                /*accumulate=*/false);
   if (out->requires_grad) {
-    auto an = a.node(), bn = b.node();
+    TensorNode* an = a.node().get();
+    TensorNode* bn = b.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on, m, k, n] {
       const float* g = on->grad.data();
@@ -183,10 +224,11 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   for (size_t i = 0; i < out->size(); ++i) out->data[i] = ad[i] + bd[i];
   if (out->requires_grad) {
-    auto an = a.node(), bn = b.node();
+    TensorNode* an = a.node().get();
+    TensorNode* bn = b.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on] {
-      for (const auto& p : {an, bn}) {
+      for (TensorNode* p : {an, bn}) {
         if (!p->requires_grad) continue;
         p->EnsureGrad();
         for (size_t i = 0; i < on->size(); ++i) p->grad[i] += on->grad[i];
@@ -203,7 +245,8 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& row) {
   linalg::AddBiasActivate(x.rows(), n, x.data(), row.data(),
                           out->data.data(), linalg::Activation::kIdentity);
   if (out->requires_grad) {
-    auto xn = x.node(), rn = row.node();
+    TensorNode* xn = x.node().get();
+    TensorNode* rn = row.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, rn, on, n] {
       if (xn->requires_grad) {
@@ -234,7 +277,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* bd = b.data();
   for (size_t i = 0; i < out->size(); ++i) out->data[i] = ad[i] * bd[i];
   if (out->requires_grad) {
-    auto an = a.node(), bn = b.node();
+    TensorNode* an = a.node().get();
+    TensorNode* bn = b.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [an, bn, on] {
       if (an->requires_grad) {
@@ -259,7 +303,7 @@ Tensor Scale(const Tensor& x, float alpha) {
   const float* xd = x.data();
   for (size_t i = 0; i < out->size(); ++i) out->data[i] = alpha * xd[i];
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on, alpha] {
       xn->EnsureGrad();
@@ -281,7 +325,7 @@ Tensor Elementwise(const Tensor& x, Forward fwd, Backward bwd) {
   const float* xd = x.data();
   for (size_t i = 0; i < out->size(); ++i) out->data[i] = fwd(xd[i]);
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on, bwd] {
       xn->EnsureGrad();
@@ -337,7 +381,8 @@ Tensor AddRowBroadcastActivate(const Tensor& x, const Tensor& row,
   linalg::AddBiasActivate(x.rows(), n, x.data(), row.data(),
                           out->data.data(), act);
   if (out->requires_grad) {
-    auto xn = x.node(), rn = row.node();
+    TensorNode* xn = x.node().get();
+    TensorNode* rn = row.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, rn, on, n, act] {
       if (xn->requires_grad) xn->EnsureGrad();
@@ -366,7 +411,8 @@ Tensor ScaleAddRowBroadcast(const Tensor& x, const Tensor& row, float alpha) {
   linalg::ScaleAddBias(x.rows(), n, alpha, x.data(), row.data(),
                        out->data.data());
   if (out->requires_grad) {
-    auto xn = x.node(), rn = row.node();
+    TensorNode* xn = x.node().get();
+    TensorNode* rn = row.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, rn, on, n, alpha] {
       if (xn->requires_grad) {
@@ -399,7 +445,7 @@ Tensor SoftmaxRows(const Tensor& x) {
     for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
   }
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on, n] {
       xn->EnsureGrad();
@@ -423,7 +469,7 @@ Tensor SliceRows(const Tensor& x, int64_t start, int64_t len) {
   std::copy(x.data() + start * n, x.data() + (start + len) * n,
             out->data.begin());
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on, start, n] {
       xn->EnsureGrad();
@@ -443,7 +489,7 @@ Tensor SliceCols(const Tensor& x, int64_t start, int64_t len) {
               out->data.begin() + i * len);
   }
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on, start, n, len] {
       xn->EnsureGrad();
@@ -468,6 +514,7 @@ Tensor ConcatCols(const std::vector<Tensor>& xs) {
     rg = rg || x.requires_grad();
   }
   auto out = NewNode(m, total, rg);
+  if (rg) out->parents.reserve(xs.size());
   int64_t offset = 0;
   for (const Tensor& x : xs) {
     const int64_t n = x.cols();
@@ -480,10 +527,10 @@ Tensor ConcatCols(const std::vector<Tensor>& xs) {
   }
   if (rg) {
     TensorNode* on = out.get();
-    auto parents = out->parents;
-    out->backward_fn = [on, parents, m, total] {
+    // The backward walks on->parents directly; no captured copy needed.
+    out->backward_fn = [on, m, total] {
       int64_t off = 0;
-      for (const auto& p : parents) {
+      for (const auto& p : on->parents) {
         const int64_t n = p->cols;
         if (p->requires_grad) {
           p->EnsureGrad();
@@ -511,6 +558,7 @@ Tensor ConcatRows(const std::vector<Tensor>& xs) {
     rg = rg || x.requires_grad();
   }
   auto out = NewNode(total, n, rg);
+  if (rg) out->parents.reserve(xs.size());
   int64_t row = 0;
   for (const Tensor& x : xs) {
     std::copy(x.data(), x.data() + x.size(), out->data.begin() + row * n);
@@ -519,10 +567,9 @@ Tensor ConcatRows(const std::vector<Tensor>& xs) {
   }
   if (rg) {
     TensorNode* on = out.get();
-    auto parents = out->parents;
-    out->backward_fn = [on, parents, n] {
+    out->backward_fn = [on, n] {
       int64_t r = 0;
-      for (const auto& p : parents) {
+      for (const auto& p : on->parents) {
         if (p->requires_grad) {
           p->EnsureGrad();
           const float* go = on->grad.data() + r * n;
@@ -535,7 +582,7 @@ Tensor ConcatRows(const std::vector<Tensor>& xs) {
   return Tensor(std::move(out));
 }
 
-Tensor EmbeddingGather(const Tensor& table, const std::vector<int32_t>& ids) {
+Tensor EmbeddingGather(const Tensor& table, std::span<const int32_t> ids) {
   const int64_t dim = table.cols();
   const auto len = static_cast<int64_t>(ids.size());
   CUISINE_CHECK(len >= 1);
@@ -548,12 +595,14 @@ Tensor EmbeddingGather(const Tensor& table, const std::vector<int32_t>& ids) {
               out->data.begin() + i * dim);
   }
   if (out->requires_grad) {
-    auto tn = table.node();
+    out->iaux.assign(ids.begin(), ids.end());  // backward reads the ids
+    TensorNode* tn = table.node().get();
     TensorNode* on = out.get();
-    out->backward_fn = [tn, on, ids, dim] {
+    out->backward_fn = [tn, on, dim] {
       tn->EnsureGrad();
-      for (size_t i = 0; i < ids.size(); ++i) {
-        float* gt = tn->grad.data() + static_cast<int64_t>(ids[i]) * dim;
+      for (size_t i = 0; i < on->iaux.size(); ++i) {
+        float* gt =
+            tn->grad.data() + static_cast<int64_t>(on->iaux[i]) * dim;
         const float* go = on->grad.data() + static_cast<int64_t>(i) * dim;
         for (int64_t j = 0; j < dim; ++j) gt[j] += go[j];
       }
@@ -568,7 +617,7 @@ Tensor Sum(const Tensor& x) {
   for (size_t i = 0; i < x.size(); ++i) s += x.data()[i];
   out->data[0] = s;
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
     out->backward_fn = [xn, on] {
       xn->EnsureGrad();
@@ -583,7 +632,7 @@ Tensor Mean(const Tensor& x) {
   return Scale(Sum(x), 1.0f / static_cast<float>(x.size()));
 }
 
-Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+Tensor CrossEntropy(const Tensor& logits, std::span<const int32_t> targets,
                     float label_smoothing) {
   CUISINE_CHECK(static_cast<int64_t>(targets.size()) == logits.rows());
   CUISINE_CHECK(label_smoothing >= 0.0f && label_smoothing < 1.0f);
@@ -595,12 +644,13 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
   }
   CUISINE_CHECK(active > 0);
   auto out = NewResult(1, 1, {logits.node()});
-  // Cache per-row softmax for the backward pass.
-  auto probs = std::make_shared<std::vector<float>>(logits.size());
+  // Per-row softmax cached in the output node for the backward pass.
+  out->aux.resize(logits.size());
+  float* probs = out->aux.data();
   double loss = 0.0;
   for (int64_t i = 0; i < logits.rows(); ++i) {
     const float* row = logits.data() + i * n;
-    float* prow = probs->data() + i * n;
+    float* prow = probs + i * n;
     const float mx = linalg::VecMax(row, n);
     for (int64_t j = 0; j < n; ++j) prow[j] = linalg::ScalarExp(row[j] - mx);
     const float inv = 1.0f / linalg::VecSum(prow, n);
@@ -622,18 +672,21 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
   }
   out->data[0] = static_cast<float>(loss / static_cast<double>(active));
   if (out->requires_grad) {
-    auto ln = logits.node();
+    out->iaux.assign(targets.begin(), targets.end());
+    TensorNode* ln = logits.node().get();
     TensorNode* on = out.get();
-    out->backward_fn = [ln, on, probs, targets, n, active, label_smoothing] {
+    out->backward_fn = [ln, on, n, active, label_smoothing] {
       ln->EnsureGrad();
       const float g = on->grad[0] / static_cast<float>(active);
       const float uniform = label_smoothing / static_cast<float>(n);
+      const int32_t* tg = on->iaux.data();
+      const float* pr = on->aux.data();
       for (int64_t i = 0; i < ln->rows; ++i) {
-        if (targets[i] < 0) continue;
-        const float* prow = probs->data() + i * n;
+        if (tg[i] < 0) continue;
+        const float* prow = pr + i * n;
         float* grow = ln->grad.data() + i * n;
         for (int64_t j = 0; j < n; ++j) {
-          const float q = uniform + (j == targets[i]
+          const float q = uniform + (j == tg[i]
                                          ? 1.0f - label_smoothing
                                          : 0.0f);
           grow[j] += g * (prow[j] - q);
@@ -650,9 +703,12 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   CUISINE_CHECK(gamma.rows() == 1 && gamma.cols() == n);
   CUISINE_CHECK(beta.rows() == 1 && beta.cols() == n);
   auto out = NewResult(x.rows(), n, {x.node(), gamma.node(), beta.node()});
-  // Cache normalised activations and inverse stddevs for backward.
-  auto xhat = std::make_shared<std::vector<float>>(x.size());
-  auto inv_std = std::make_shared<std::vector<float>>(x.rows());
+  // Normalised activations and inverse stddevs cached in the output
+  // node for backward.
+  out->aux.resize(x.size());
+  out->aux2.resize(static_cast<size_t>(x.rows()));
+  float* xhat = out->aux.data();
+  float* inv_std = out->aux2.data();
   for (int64_t i = 0; i < x.rows(); ++i) {
     const float* row = x.data() + i * n;
     float mean = 0.0f;
@@ -665,8 +721,8 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
     var /= static_cast<float>(n);
     const float istd = 1.0f / std::sqrt(var + epsilon);
-    (*inv_std)[i] = istd;
-    float* xh = xhat->data() + i * n;
+    inv_std[i] = istd;
+    float* xh = xhat + i * n;
     float* orow = out->data.data() + i * n;
     for (int64_t j = 0; j < n; ++j) {
       xh[j] = (row[j] - mean) * istd;
@@ -674,12 +730,14 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
   }
   if (out->requires_grad) {
-    auto xn = x.node(), gn = gamma.node(), bn = beta.node();
+    TensorNode* xn = x.node().get();
+    TensorNode* gn = gamma.node().get();
+    TensorNode* bn = beta.node().get();
     TensorNode* on = out.get();
-    out->backward_fn = [xn, gn, bn, on, xhat, inv_std, n] {
+    out->backward_fn = [xn, gn, bn, on, n] {
       for (int64_t i = 0; i < on->rows; ++i) {
         const float* go = on->grad.data() + i * n;
-        const float* xh = xhat->data() + i * n;
+        const float* xh = on->aux.data() + i * n;
         if (gn->requires_grad) {
           gn->EnsureGrad();
           bn->EnsureGrad();
@@ -700,7 +758,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           }
           const float inv_n = 1.0f / static_cast<float>(n);
           float* gx = xn->grad.data() + i * n;
-          const float istd = (*inv_std)[i];
+          const float istd = on->aux2[i];
           for (int64_t j = 0; j < n; ++j) {
             const float dxh = go[j] * gn->data[j];
             gx[j] += istd * (dxh - sum_d * inv_n - xh[j] * sum_dx * inv_n);
@@ -716,19 +774,22 @@ Tensor DropoutOp(const Tensor& x, float p, bool training, util::Rng* rng) {
   if (!training || p <= 0.0f) return x;
   CUISINE_CHECK(p < 1.0f);
   auto out = NewResult(x.rows(), x.cols(), {x.node()});
-  auto mask = std::make_shared<std::vector<float>>(x.size());
+  // The kept/dropped mask lives in the output node for backward.
+  out->aux.resize(x.size());
+  float* mask = out->aux.data();
   const float scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < x.size(); ++i) {
-    (*mask)[i] = rng->NextBool(p) ? 0.0f : scale;
-    out->data[i] = x.data()[i] * (*mask)[i];
+    mask[i] = rng->NextBool(p) ? 0.0f : scale;
+    out->data[i] = x.data()[i] * mask[i];
   }
   if (out->requires_grad) {
-    auto xn = x.node();
+    TensorNode* xn = x.node().get();
     TensorNode* on = out.get();
-    out->backward_fn = [xn, on, mask] {
+    out->backward_fn = [xn, on] {
       xn->EnsureGrad();
+      const float* m = on->aux.data();
       for (size_t i = 0; i < on->size(); ++i) {
-        xn->grad[i] += on->grad[i] * (*mask)[i];
+        xn->grad[i] += on->grad[i] * m[i];
       }
     };
   }

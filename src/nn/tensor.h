@@ -1,14 +1,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "linalg/kernels.h"
+#include "nn/arena.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/small_function.h"
 
 /// \file tensor.h
 /// \brief Tape-based reverse-mode autograd over 2-D float tensors.
@@ -20,20 +23,69 @@
 /// runs the tape in reverse topological order. Models process one
 /// sequence at a time and accumulate parameter gradients across a
 /// mini-batch, so the graph stays small and 2-D throughout.
+///
+/// Storage is arena-aware (nn/arena.h): a node created while an
+/// `ArenaScope` is active bump-allocates itself and all of its buffers
+/// from that arena and is recycled wholesale at scope exit; with no
+/// scope active (the default — parameters, tests, ad-hoc math) every
+/// buffer lives on the heap exactly as before. A node's storage mode is
+/// fixed at creation, so parameter gradients allocated outside any scope
+/// persist across arena epochs.
 
 namespace cuisine::nn {
 
 namespace internal {
 
+struct TensorNode;
+
+/// Arena-aware buffer types. With a null arena these behave exactly like
+/// the plain std::vector members they replaced.
+using FloatBuf = std::vector<float, ArenaAllocator<float>>;
+using IntBuf = std::vector<int32_t, ArenaAllocator<int32_t>>;
+using NodeList =
+    std::vector<std::shared_ptr<TensorNode>,
+                ArenaAllocator<std::shared_ptr<TensorNode>>>;
+
 struct TensorNode {
+  explicit TensorNode(TensorArena* arena_in)
+      : arena(arena_in),
+        data(ArenaAllocator<float>(arena_in)),
+        grad(ArenaAllocator<float>(arena_in)),
+        aux(ArenaAllocator<float>(arena_in)),
+        aux2(ArenaAllocator<float>(arena_in)),
+        iaux(ArenaAllocator<int32_t>(arena_in)),
+        parents(ArenaAllocator<std::shared_ptr<TensorNode>>(arena_in)) {
+    if (arena != nullptr) arena->NoteNodeCreated();
+  }
+  ~TensorNode() {
+    if (arena != nullptr) arena->NoteNodeDestroyed();
+  }
+  TensorNode(const TensorNode&) = delete;
+  TensorNode& operator=(const TensorNode&) = delete;
+
+  /// Owning arena (nullptr = heap mode). Fixed at creation.
+  TensorArena* arena;
   int64_t rows = 0;
   int64_t cols = 0;
-  std::vector<float> data;
-  std::vector<float> grad;  // allocated lazily, same size as data
+  FloatBuf data;
+  FloatBuf grad;  // allocated lazily, same size as data
+  /// Op-owned backward caches (softmax probs, layer-norm stats, dropout
+  /// masks, gather indices) living in the node's own storage mode, so
+  /// the backward closures capture only raw pointers and scalars.
+  FloatBuf aux;
+  FloatBuf aux2;
+  IntBuf iaux;
   bool requires_grad = false;
-  /// Adds this node's contribution to its parents' grads.
-  std::function<void()> backward_fn;
-  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Visit stamp for Backward(): nodes whose stamp equals the sweep's
+  /// epoch have been enqueued. Epochs are process-unique, so no
+  /// clearing pass is ever needed.
+  uint64_t visit_mark = 0;
+  /// Adds this node's contribution to its parents' grads. Inline
+  /// storage: closures are trivially-copyable pointer/scalar captures
+  /// (ownership flows through `parents`), so graph construction never
+  /// heap-allocates for the tape.
+  util::TrivialFunction<64> backward_fn;
+  NodeList parents;
 
   size_t size() const { return data.size(); }
   void EnsureGrad() {
@@ -73,7 +125,7 @@ class Tensor {
   const float* data() const { return checked_node()->data.data(); }
   float* grad() { return checked_node()->grad.data(); }
   const float* grad() const { return checked_node()->grad.data(); }
-  std::vector<float>& grad_vector() { return checked_node()->grad; }
+  internal::FloatBuf& grad_vector() { return checked_node()->grad; }
 
   float At(int64_t r, int64_t c) const {
     const internal::TensorNode* n = checked_node();
@@ -86,7 +138,9 @@ class Tensor {
   /// Scalar value of a 1x1 tensor.
   float item() const;
 
-  /// Zeroes (and allocates) the gradient buffer.
+  /// Zeroes the gradient buffer (allocating it on first use; the buffer
+  /// keeps its capacity afterwards, so steady-state calls never touch
+  /// the allocator).
   void ZeroGrad();
 
   /// Reverse-mode sweep from this (scalar) tensor; seeds d(this)=1.
@@ -158,7 +212,12 @@ Tensor ConcatRows(const std::vector<Tensor>& xs);
 
 /// Gathers rows of `table[vocab, dim]` by ids -> [len(ids), dim].
 /// Backward scatter-adds into the table rows.
-Tensor EmbeddingGather(const Tensor& table, const std::vector<int32_t>& ids);
+Tensor EmbeddingGather(const Tensor& table, std::span<const int32_t> ids);
+inline Tensor EmbeddingGather(const Tensor& table,
+                              std::initializer_list<int32_t> ids) {
+  return EmbeddingGather(table,
+                         std::span<const int32_t>(ids.begin(), ids.size()));
+}
 
 /// Mean of all elements -> 1x1.
 Tensor Mean(const Tensor& x);
@@ -169,8 +228,15 @@ Tensor Sum(const Tensor& x);
 /// Rows with target < 0 are ignored (the MLM convention).
 /// `label_smoothing` (in [0, 1)) mixes the one-hot target with the
 /// uniform distribution: target' = (1-eps)*onehot + eps/num_classes.
-Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+Tensor CrossEntropy(const Tensor& logits, std::span<const int32_t> targets,
                     float label_smoothing = 0.0f);
+inline Tensor CrossEntropy(const Tensor& logits,
+                           std::initializer_list<int32_t> targets,
+                           float label_smoothing = 0.0f) {
+  return CrossEntropy(
+      logits, std::span<const int32_t>(targets.begin(), targets.size()),
+      label_smoothing);
+}
 
 /// Row-wise layer normalisation with learned gain/bias (1xN each).
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,

@@ -77,17 +77,26 @@ Tensor TransformerEncoder::Encode(const features::EncodedSequence& seq,
   const auto length = static_cast<size_t>(seq.length);
   CUISINE_CHECK(length >= 1 && length <= seq.ids.size());
   CUISINE_CHECK(static_cast<int64_t>(length) <= config_.max_length);
-  std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + length);
-  std::vector<int32_t> positions(length);
-  for (size_t i = 0; i < length; ++i) {
-    positions[i] = static_cast<int32_t>(i);
+  // Position ids are always 0..n-1: grow-only thread-local scratch, so
+  // steady-state calls neither allocate nor rewrite it.
+  static thread_local std::vector<int32_t> positions;
+  if (positions.size() < length) {
+    const auto old_size = positions.size();
+    positions.resize(length);
+    for (size_t i = old_size; i < length; ++i) {
+      positions[i] = static_cast<int32_t>(i);
+    }
   }
-  Tensor x = Add(token_embedding_.Forward(ids),
-                 position_embedding_.Forward(positions));
+  Tensor x = Add(
+      token_embedding_.Forward(std::span<const int32_t>(seq.ids.data(), length)),
+      position_embedding_.Forward(
+          std::span<const int32_t>(positions.data(), length)));
   x = embed_norm_.Forward(x);
   x = embed_dropout_.Forward(x, training, rng);
-  const Tensor mask_bias =
-      MaskBias(std::vector<int32_t>(length, 1));
+  // Sequences are trimmed to their real length above, so every position
+  // is live and the additive mask is identically zero — bit-identical
+  // to MaskBias(all-ones) without building the mask vector.
+  const Tensor mask_bias = Tensor::Zeros(1, static_cast<int64_t>(length));
   for (const auto& layer : layers_) {
     x = layer->Forward(x, mask_bias, training, rng);
   }

@@ -1,0 +1,106 @@
+#include "util/alloc_hook.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+/// Counting replacements for the global allocation functions. The
+/// replaceability of `::operator new` is guaranteed by the standard
+/// ([new.delete]); every overload funnels into the two counters so
+/// `AllocationCount()` sees make_shared, vector growth, std::function
+/// boxing — everything.
+///
+/// Kept out of any build that also interposes the allocator (ASan/TSan):
+/// see alloc_hook.h.
+
+namespace cuisine::util {
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_deallocs{0};
+
+void* CountedAlloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  g_deallocs.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+uint64_t AllocationCount() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+uint64_t DeallocationCount() {
+  return g_deallocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace cuisine::util
+
+void* operator new(std::size_t size) {
+  return cuisine::util::CountedAlloc(size, alignof(std::max_align_t));
+}
+
+void* operator new[](std::size_t size) {
+  return cuisine::util::CountedAlloc(size, alignof(std::max_align_t));
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return cuisine::util::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return cuisine::util::CountedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return cuisine::util::CountedAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return cuisine::util::CountedAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { cuisine::util::CountedFree(p); }
+void operator delete[](void* p) noexcept { cuisine::util::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  cuisine::util::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  cuisine::util::CountedFree(p);
+}

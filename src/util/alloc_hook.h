@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file alloc_hook.h
+/// \brief Process-wide heap-allocation counter for allocation-free-path
+/// verification (bench_arena, nn_arena_test).
+///
+/// Linking `cuisine_alloc_hook` replaces the global `operator new` /
+/// `operator delete` families with counting wrappers around malloc/free.
+/// The counters are relaxed atomics, so the hook is thread-safe and adds
+/// one fetch_add per allocation — negligible against the allocation
+/// itself, and zero cost on the paths being proven allocation-free.
+///
+/// Deliberately a separate static library: only the binaries that assert
+/// on allocation counts link it. Production binaries, the test suite at
+/// large and the sanitizer builds keep the stock (or sanitizer-
+/// interposed) allocator. Under ASan/TSan the replacement would fight
+/// the sanitizer's own interposition, so callers gate strict zero-alloc
+/// assertions off when sanitizers are active.
+
+namespace cuisine::util {
+
+/// Number of global operator-new calls (all overloads) since process
+/// start. Monotonic; compute deltas around the region of interest.
+uint64_t AllocationCount();
+
+/// Number of global operator-delete calls since process start.
+uint64_t DeallocationCount();
+
+}  // namespace cuisine::util

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+/// \file small_function.h
+/// \brief Allocation-free callable wrappers for hot paths.
+///
+/// `std::function` heap-allocates any callable larger than its small
+/// buffer (~2 pointers on libstdc++), which makes it unusable in the
+/// zero-allocation training loop (DESIGN.md "Memory arenas"): every
+/// autograd node carries a backward closure, and every batch passes a
+/// shard closure to the engine. The two wrappers here cover those cases
+/// without ever touching the heap:
+///
+///  * `FunctionRef<Sig>`: a non-owning view of a callable, two pointers
+///    wide. The referenced callable must outlive the view — use it for
+///    synchronous call-through parameters (e.g. `RunShards`), never for
+///    storage.
+///  * `TrivialFunction<Capacity>`: an owning `void()` callable stored
+///    inline in a fixed buffer. Restricted to trivially copyable,
+///    trivially destructible closures (raw pointers and scalars), which
+///    is exactly what the autograd backward lambdas capture.
+
+namespace cuisine::util {
+
+template <typename Sig>
+class FunctionRef;
+
+/// \brief Non-owning reference to any callable with signature R(Args...).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+/// \brief Owning `void()` callable stored inline (never heap-allocates).
+///
+/// Capacity is a hard compile-time bound: assigning a closure larger
+/// than `Capacity` bytes, or one that is not trivially copyable and
+/// destructible, fails to compile rather than silently falling back to
+/// the heap.
+template <size_t Capacity>
+class TrivialFunction {
+ public:
+  TrivialFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, TrivialFunction>>>
+  TrivialFunction(F f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(F) <= Capacity,
+                  "closure exceeds TrivialFunction capacity");
+    static_assert(alignof(F) <= alignof(std::max_align_t));
+    static_assert(std::is_trivially_copyable_v<F> &&
+                      std::is_trivially_destructible_v<F>,
+                  "TrivialFunction requires trivial closures "
+                  "(capture raw pointers and scalars only)");
+    ::new (static_cast<void*>(buf_)) F(f);
+    invoke_ = [](const void* p) { (*static_cast<const F*>(p))(); };
+  }
+
+  void operator()() const { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void reset() { invoke_ = nullptr; }
+
+ private:
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  void (*invoke_)(const void*) = nullptr;
+};
+
+}  // namespace cuisine::util

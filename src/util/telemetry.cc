@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstddef>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -14,6 +15,55 @@ namespace {
 std::atomic<bool> g_telemetry_enabled{false};
 
 thread_local int t_span_depth = 0;
+
+// ---- Trace-event capture ----
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Fill-once event buffer: slots are claimed with one relaxed fetch_add,
+/// so concurrent spans never contend on a lock or reallocate. Collection
+/// happens after the measured workload has quiesced (end of a bench), so
+/// no publish protocol beyond the claim counter is needed.
+struct TraceState {
+  std::mutex mu;  // guards reset/collect, not the recording hot path
+  std::vector<TraceEvent> events;
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint32_t> next_tid{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& Trace() {
+  // Leaked: spans may complete on worker threads during static teardown.
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+/// Small dense thread id (0, 1, 2, ...) assigned on first span per
+/// thread — chrome://tracing groups rows by tid, and dense ids keep the
+/// view compact (std::thread::id would make one lane per historic id).
+uint32_t TraceTid() {
+  thread_local uint32_t tid =
+      Trace().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void RecordTraceEvent(const char* name,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end) {
+  TraceState& st = Trace();
+  const size_t slot = st.next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= st.events.size()) {
+    st.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& ev = st.events[slot];
+  ev.name = name;
+  ev.ts_us = std::chrono::duration<double, std::micro>(start - st.epoch).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  ev.tid = TraceTid();
+}
 
 /// %.17g round-trips every double; trailing-zero trimming keeps the JSON
 /// readable without losing precision for the values we emit.
@@ -52,6 +102,35 @@ void SetTelemetryEnabled(bool enabled) {
 
 bool TelemetryEnabled() {
   return g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEventsEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceEventsEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void ResetTraceEvents(size_t capacity) {
+  TraceState& st = Trace();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.events.assign(capacity, TraceEvent{});
+  st.next.store(0, std::memory_order_relaxed);
+  st.dropped.store(0, std::memory_order_relaxed);
+  st.epoch = std::chrono::steady_clock::now();
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  TraceState& st = Trace();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const size_t n =
+      std::min(st.next.load(std::memory_order_relaxed), st.events.size());
+  return {st.events.begin(), st.events.begin() + static_cast<ptrdiff_t>(n)};
+}
+
+uint64_t TraceEventsDropped() {
+  return Trace().dropped.load(std::memory_order_relaxed);
 }
 
 // ---- Gauge ----
@@ -296,16 +375,18 @@ TraceSpan::TraceSpan(const char* name, Histogram* hist)
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
   const double ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start_)
-          .count();
+      std::chrono::duration<double, std::milli>(end - start_).count();
   --t_span_depth;
   if (hist_ == nullptr) {
     hist_ = MetricsRegistry::Instance().GetHistogram(std::string("span.") +
                                                      name_);
   }
   hist_->Observe(ms);
+  if (g_trace_enabled.load(std::memory_order_relaxed)) {
+    RecordTraceEvent(name_, start_, end);
+  }
 }
 
 int TraceSpan::Depth() { return t_span_depth; }

@@ -150,6 +150,37 @@ class MetricsRegistry {
 // Trace spans
 // ---------------------------------------------------------------------------
 
+/// \brief One completed span captured for trace export: name (a
+/// process-lifetime string literal — span call sites pass `const char*`
+/// literals), start offset and duration in microseconds relative to the
+/// buffer's reset point, and a small dense per-thread id.
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+};
+
+/// Opt-in trace-event capture on top of the span machinery. When
+/// enabled, every completed TraceSpan additionally appends a TraceEvent
+/// to a preallocated fill-once buffer (one relaxed fetch_add per span;
+/// events past the capacity are counted as dropped, never reallocated —
+/// recording stays allocation-free and can't perturb the measured
+/// workload). Collect the buffer at the end of a run and serialize with
+/// core::WriteTraceJsonFile for chrome://tracing / Perfetto.
+void SetTraceEventsEnabled(bool enabled);
+bool TraceEventsEnabled();
+/// Clears captured events, restarts the time origin and (re)allocates
+/// the buffer to `capacity` events. Not thread-safe against concurrent
+/// span recording — call between workloads.
+void ResetTraceEvents(size_t capacity);
+/// The events recorded since the last reset, in completion order. Call
+/// after the traced workload has quiesced (concurrently completing
+/// spans may be returned partially written).
+std::vector<TraceEvent> CollectTraceEvents();
+/// Events discarded because the buffer was full since the last reset.
+uint64_t TraceEventsDropped();
+
 /// \brief RAII span: measures the wall time between construction and
 /// destruction and records it into a `span.<name>` millisecond
 /// histogram. When telemetry is disabled at runtime the constructor is a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 
 #include "util/telemetry.h"
@@ -28,7 +29,66 @@ PoolMetrics& Metrics() {
   static PoolMetrics* metrics = new PoolMetrics();
   return *metrics;
 }
+
+/// Adaptive worker-count state. The EWMA tracks the backlog each Submit
+/// found ahead of its task; a backlog stuck at ~0 means the pool drains
+/// as fast as work arrives and extra workers only add queueing overhead.
+struct AdaptiveState {
+  std::mutex mu;
+  AdaptiveWorkerOptions options;
+  double backlog_ewma = 0.0;
+  uint64_t samples = 0;
+};
+
+AdaptiveState& Adaptive() {
+  static AdaptiveState* state = new AdaptiveState();
+  return *state;
+}
+
+/// Fast-path gate so disabled (default) Submits pay one relaxed load.
+std::atomic<bool> g_adaptive_enabled{false};
+
+void RecordBacklogSample(size_t backlog) {
+  if (!g_adaptive_enabled.load(std::memory_order_relaxed)) return;
+  AdaptiveState& st = Adaptive();
+  std::lock_guard<std::mutex> lock(st.mu);
+  constexpr double kAlpha = 0.125;  // ~8-sample memory
+  st.backlog_ewma +=
+      kAlpha * (static_cast<double>(backlog) - st.backlog_ewma);
+  ++st.samples;
+}
 }  // namespace
+
+void ConfigureAdaptiveWorkers(const AdaptiveWorkerOptions& options) {
+  AdaptiveState& st = Adaptive();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.options = options;
+  st.backlog_ewma = 0.0;
+  st.samples = 0;
+  g_adaptive_enabled.store(options.enabled, std::memory_order_relaxed);
+}
+
+AdaptiveWorkerOptions GetAdaptiveWorkerOptions() {
+  AdaptiveState& st = Adaptive();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.options;
+}
+
+size_t CapWorkers(size_t requested) {
+  requested = std::max<size_t>(1, requested);
+  if (requested == 1 ||
+      !g_adaptive_enabled.load(std::memory_order_relaxed)) {
+    return requested;
+  }
+  AdaptiveState& st = Adaptive();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.options.enabled || st.samples < st.options.min_samples) {
+    return requested;
+  }
+  // A backlog sustained at B keeps ~B+1 tasks usefully in flight.
+  const auto cap = static_cast<size_t>(std::ceil(st.backlog_ewma)) + 1;
+  return std::clamp<size_t>(cap, 1, requested);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -70,11 +130,14 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   // throwing task neither kills the worker nor strands a waiter.
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
+  size_t backlog;
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
+    backlog = tasks_.size() - 1;  // tasks queued ahead of this one
     metrics.queue_depth->Set(static_cast<double>(tasks_.size()));
   }
+  RecordBacklogSample(backlog);
   cv_.notify_one();
   return fut;
 }

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -58,6 +59,32 @@ class ThreadPool {
 /// first use. Shared by ParallelFor and the core inference/training
 /// engine so the process never oversubscribes threads.
 ThreadPool& SharedPool();
+
+/// \brief Opt-in adaptive worker-count heuristic driven by the shared
+/// pool's observed queue backlog (the `threadpool.queue_depth` signal).
+///
+/// On hosts where submitted tasks are drained as fast as they arrive
+/// (queue depth stays ~0 — e.g. a single-core container, or shard
+/// bodies so short the pool never backs up), fanning a batch out over
+/// many workers only buys queueing overhead. When enabled, CapWorkers()
+/// limits a requested worker count to roughly the backlog the pool has
+/// actually been sustaining; until `min_samples` submissions have been
+/// observed, the requested count passes through unchanged.
+struct AdaptiveWorkerOptions {
+  bool enabled = false;
+  /// Submissions to observe before the cap takes effect.
+  uint64_t min_samples = 64;
+};
+
+/// Installs the heuristic configuration (replacing the previous one)
+/// and resets the backlog statistics.
+void ConfigureAdaptiveWorkers(const AdaptiveWorkerOptions& options);
+AdaptiveWorkerOptions GetAdaptiveWorkerOptions();
+
+/// Applies the adaptive cap to a requested worker count. Identity when
+/// the heuristic is disabled (the default), warming up, or the cap
+/// exceeds the request. Never returns 0.
+size_t CapWorkers(size_t requested);
 
 /// Runs fn(i) for i in [0, n) across up to `num_threads` workers of the
 /// shared pool and blocks until all iterations complete. Falls back to

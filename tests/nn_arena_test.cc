@@ -1,0 +1,364 @@
+#include "nn/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "nn/lstm.h"
+#include "nn/serialization.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "util/alloc_hook.h"
+#include "util/rng.h"
+
+/// \file nn_arena_test.cc
+/// \brief Arena-backed step memory (DESIGN.md §13): allocator unit
+/// behaviour, ownership-rule enforcement, allocation-freedom of warmed
+/// hot loops, and the load-bearing acceptance property — training and
+/// prediction with the arena are byte-identical to the plain-heap path
+/// for the real models (LSTM + transformer), including a resume from a
+/// mid-run checkpoint.
+
+// Strict allocation-count assertions are meaningless under ASan/TSan:
+// the sanitizer interposes the allocator and adds bookkeeping
+// allocations of its own. The bit-identity and enforcement tests run
+// everywhere.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CUISINE_SANITIZER_BUILD 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CUISINE_SANITIZER_BUILD 1
+#endif
+#endif
+
+namespace cuisine {
+namespace {
+
+using core::NeuralTrainOptions;
+using core::PredictSequencesInto;
+using core::SequenceForwardFn;
+using core::SequenceNet;
+using core::SequenceNetFactory;
+using core::SequencePredictions;
+using core::TrainHistory;
+using core::TrainSequenceClassifier;
+using features::EncodedSequence;
+
+// ---- TensorArena unit behaviour ----
+
+TEST(TensorArenaTest, AllocationsAreCacheLineAligned) {
+  nn::TensorArena arena(/*initial_slab_bytes=*/256);
+  for (size_t bytes : {1u, 7u, 63u, 64u, 65u, 200u}) {
+    void* p = arena.Allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % nn::TensorArena::kAlignment, 0u)
+        << bytes;
+  }
+}
+
+TEST(TensorArenaTest, GrowsThenConsolidatesToHighWaterOnReset) {
+  nn::TensorArena arena(/*initial_slab_bytes=*/128);
+  // Overflow the first slab several times.
+  for (int i = 0; i < 8; ++i) arena.Allocate(100);
+  EXPECT_GE(arena.bytes_used(), 8u * 100u);
+  const size_t used = arena.bytes_used();
+  arena.Reset();
+  EXPECT_EQ(arena.resets(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.high_water_bytes(), used);
+  // Consolidated: the same epoch now fits without growing reserved.
+  const size_t reserved = arena.bytes_reserved();
+  EXPECT_GE(reserved, used);
+  for (int i = 0; i < 8; ++i) arena.Allocate(100);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(TensorArenaTest, ResetWithLiveNodesAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        nn::TensorArena arena;
+        nn::ArenaScope scope(&arena);
+        // The handle outlives the scope: Reset must refuse loudly.
+        nn::Tensor leaked = nn::Tensor::Zeros(2, 2);
+        nn::Tensor* escape = new nn::Tensor(leaked);
+        (void)escape;
+      },
+      "live");
+}
+
+TEST(TensorArenaTest, SameArenaNestingAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        nn::TensorArena arena;
+        nn::ArenaScope outer(&arena);
+        nn::ArenaScope inner(&arena);
+      },
+      "");
+}
+
+TEST(ArenaScopeTest, NodesPickUpCurrentArenaAndScopesRestore) {
+  nn::TensorArena arena;
+  EXPECT_EQ(nn::CurrentArena(), nullptr);
+  {
+    nn::ArenaScope scope(&arena);
+    EXPECT_EQ(nn::CurrentArena(), &arena);
+    nn::Tensor x = nn::Tensor::Zeros(4, 4);
+    EXPECT_EQ(x.node()->arena, &arena);
+    EXPECT_GT(arena.live_nodes(), 0);
+    // Distinct-arena nesting is allowed and restores on exit.
+    nn::TensorArena inner_arena;
+    {
+      nn::ArenaScope inner(&inner_arena);
+      EXPECT_EQ(nn::CurrentArena(), &inner_arena);
+    }
+    EXPECT_EQ(nn::CurrentArena(), &arena);
+  }
+  EXPECT_EQ(nn::CurrentArena(), nullptr);
+  EXPECT_EQ(arena.live_nodes(), 0);
+  EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(ArenaScopeTest, HeapModeOutsideScopesIsUnchanged) {
+  nn::Tensor x = nn::Tensor::Full(2, 3, 1.5f);
+  EXPECT_EQ(x.node()->arena, nullptr);
+  nn::Tensor y = nn::Scale(x, 2.0f);
+  EXPECT_FLOAT_EQ(y.At(1, 2), 3.0f);
+}
+
+// ---- Shared tiny-but-real workloads ----
+
+constexpr int64_t kVocab = 32;
+constexpr int32_t kClasses = 3;
+constexpr int32_t kSeqLen = 8;
+
+void MakeCorpus(size_t n, uint64_t seed, std::vector<EncodedSequence>* x,
+                std::vector<int32_t>* y) {
+  util::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    EncodedSequence seq;
+    seq.length = kSeqLen;
+    seq.mask.assign(kSeqLen, 1);
+    for (int32_t t = 0; t < kSeqLen; ++t) {
+      seq.ids.push_back(static_cast<int32_t>(
+          2 + rng.NextBelow(static_cast<uint64_t>(kVocab - 2))));
+    }
+    x->push_back(std::move(seq));
+    y->push_back(static_cast<int32_t>(i % kClasses));
+  }
+}
+
+SequenceNetFactory LstmFactory() {
+  nn::LstmConfig config;
+  config.vocab_size = kVocab;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 2;
+  config.dropout = 0.1f;
+  config.seed = 29;
+  return [config]() {
+    auto net = std::make_shared<nn::LstmClassifier>(config, kClasses);
+    return SequenceNet{
+        [net](const EncodedSequence& s, bool t, util::Rng* r) {
+          return net->ForwardLogits(s, t, r);
+        },
+        net->Parameters()};
+  };
+}
+
+SequenceNetFactory TransformerFactory() {
+  nn::TransformerConfig config;
+  config.vocab_size = kVocab;
+  config.max_length = kSeqLen;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.d_ff = 16;
+  config.dropout = 0.1f;
+  config.seed = 23;
+  return [config]() {
+    auto net = std::make_shared<nn::TransformerClassifier>(config, kClasses);
+    return SequenceNet{
+        [net](const EncodedSequence& s, bool t, util::Rng* r) {
+          return net->ForwardLogits(s, t, r);
+        },
+        net->Parameters()};
+  };
+}
+
+NeuralTrainOptions BaseOptions(bool use_arena, size_t num_workers) {
+  NeuralTrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.learning_rate = 0.01;
+  options.seed = 123;
+  options.num_workers = num_workers;
+  options.use_arena = use_arena;
+  return options;
+}
+
+/// Trains a fresh net from `factory`; returns serialized final params.
+std::string TrainToBytes(const SequenceNetFactory& factory,
+                         const std::vector<EncodedSequence>& x,
+                         const std::vector<int32_t>& y,
+                         const NeuralTrainOptions& options,
+                         TrainHistory* history_out = nullptr) {
+  SequenceNet net = factory();
+  auto history = TrainSequenceClassifier(net.forward, net.params, x, y, x, y,
+                                         options, factory);
+  EXPECT_TRUE(history.ok()) << history.status().ToString();
+  if (history_out != nullptr && history.ok()) *history_out = *history;
+  return nn::SerializeTensors(net.params);
+}
+
+class ArenaBitIdentityTest
+    : public ::testing::TestWithParam<
+          std::pair<const char*, SequenceNetFactory (*)()>> {};
+
+TEST_P(ArenaBitIdentityTest, TrainingMatchesHeapByteForByte) {
+  std::vector<EncodedSequence> x;
+  std::vector<int32_t> y;
+  MakeCorpus(24, /*seed=*/7, &x, &y);
+  const SequenceNetFactory factory = GetParam().second();
+
+  TrainHistory heap_hist, arena_hist;
+  const std::string heap_params = TrainToBytes(
+      factory, x, y, BaseOptions(/*use_arena=*/false, 1), &heap_hist);
+  const std::string arena_params = TrainToBytes(
+      factory, x, y, BaseOptions(/*use_arena=*/true, 1), &arena_hist);
+  ASSERT_EQ(heap_params, arena_params);
+  EXPECT_EQ(heap_hist.train_loss, arena_hist.train_loss);
+  EXPECT_EQ(heap_hist.validation_loss, arena_hist.validation_loss);
+
+  // Sharded execution with per-worker arenas must land on the same
+  // bytes as both serial paths (the determinism contract).
+  const std::string sharded_params =
+      TrainToBytes(factory, x, y, BaseOptions(/*use_arena=*/true, 3));
+  EXPECT_EQ(sharded_params, heap_params);
+}
+
+TEST_P(ArenaBitIdentityTest, PredictionMatchesHeapBitForBit) {
+  std::vector<EncodedSequence> x;
+  std::vector<int32_t> y;
+  MakeCorpus(20, /*seed=*/11, &x, &y);
+  const SequenceNet net = GetParam().second()();
+
+  const SequencePredictions heap = core::PredictSequences(
+      net.forward, x, /*num_workers=*/1, /*use_arena=*/false);
+  const SequencePredictions arena = core::PredictSequences(
+      net.forward, x, /*num_workers=*/1, /*use_arena=*/true);
+  // Multi-worker arena prediction: per-worker arenas, same bits. Also
+  // the TSan target for the arena path (scripts/check.sh).
+  const SequencePredictions sharded = core::PredictSequences(
+      net.forward, x, /*num_workers=*/4, /*use_arena=*/true);
+
+  ASSERT_EQ(heap.labels, arena.labels);
+  ASSERT_EQ(heap.labels, sharded.labels);
+  ASSERT_EQ(heap.probas.size(), arena.probas.size());
+  for (size_t i = 0; i < heap.probas.size(); ++i) {
+    ASSERT_EQ(heap.probas[i].size(), arena.probas[i].size());
+    EXPECT_EQ(0, std::memcmp(heap.probas[i].data(), arena.probas[i].data(),
+                             heap.probas[i].size() * sizeof(float)))
+        << "row " << i;
+    EXPECT_EQ(0, std::memcmp(heap.probas[i].data(), sharded.probas[i].data(),
+                             heap.probas[i].size() * sizeof(float)))
+        << "row " << i;
+  }
+
+  // PredictSequencesInto into warmed caller storage returns the same
+  // values again (buffer reuse must not leak state between calls).
+  SequencePredictions reused;
+  PredictSequencesInto(net.forward, x, 1, /*use_arena=*/true, &reused);
+  PredictSequencesInto(net.forward, x, 1, /*use_arena=*/true, &reused);
+  EXPECT_EQ(reused.labels, heap.labels);
+  EXPECT_EQ(reused.probas, heap.probas);
+}
+
+TEST_P(ArenaBitIdentityTest, ResumeFromMidRunCheckpointMatchesHeap) {
+  std::vector<EncodedSequence> x;
+  std::vector<int32_t> y;
+  MakeCorpus(16, /*seed=*/13, &x, &y);
+  const SequenceNetFactory factory = GetParam().second();
+
+  // Reference: uninterrupted heap-path run (4 examples/batch x 16
+  // examples x 2 epochs = 8 optimizer steps).
+  const std::string heap_params =
+      TrainToBytes(factory, x, y, BaseOptions(/*use_arena=*/false, 1));
+
+  // Arena run killed at step 3, then resumed to completion.
+  NeuralTrainOptions options = BaseOptions(/*use_arena=*/true, 1);
+  options.checkpoint_dir = ::testing::TempDir() + "/cuisine_arena_resume_" +
+                           std::string(GetParam().first);
+  options.checkpoint_every_steps = 1;
+  options.stop_after_steps = 3;
+  (void)TrainToBytes(factory, x, y, options);
+  options.stop_after_steps = 0;
+  const std::string resumed_params = TrainToBytes(factory, x, y, options);
+  EXPECT_EQ(resumed_params, heap_params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, ArenaBitIdentityTest,
+    ::testing::Values(std::make_pair("lstm", &LstmFactory),
+                      std::make_pair("transformer", &TransformerFactory)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+// ---- Allocation-freedom (skipped under sanitizers) ----
+
+#ifndef CUISINE_SANITIZER_BUILD
+
+TEST(ArenaAllocationTest, RepeatedZeroGradDoesNotReallocate) {
+  nn::Tensor w = nn::Tensor::Full(8, 8, 1.0f, /*requires_grad=*/true);
+  w.ZeroGrad();  // first call allocates the grad buffer
+  const uint64_t before = util::AllocationCount();
+  for (int i = 0; i < 100; ++i) w.ZeroGrad();
+  EXPECT_EQ(util::AllocationCount(), before);
+}
+
+TEST(ArenaAllocationTest, WarmedForwardBackwardIsAllocationFree) {
+  SequenceNet net = LstmFactory()();
+  std::vector<EncodedSequence> x;
+  std::vector<int32_t> y;
+  MakeCorpus(4, /*seed=*/5, &x, &y);
+
+  auto step = [&] {
+    nn::ArenaScope scope(nn::ThreadLocalArena());
+    for (nn::Tensor& p : net.params) p.ZeroGrad();
+    util::Rng rng(9);
+    nn::Tensor loss =
+        nn::CrossEntropy(net.forward(x[0], /*training=*/true, &rng), {y[0]});
+    loss.Backward();
+  };
+  step();  // warm: arena high-water, grad buffers, thread-local scratch
+  step();
+  const uint64_t before = util::AllocationCount();
+  for (int i = 0; i < 10; ++i) step();
+  EXPECT_EQ(util::AllocationCount(), before);
+}
+
+TEST(ArenaAllocationTest, WarmedPredictIntoIsAllocationFree) {
+  const SequenceNet net = TransformerFactory()();
+  std::vector<EncodedSequence> x;
+  std::vector<int32_t> y;
+  MakeCorpus(8, /*seed=*/6, &x, &y);
+
+  SequencePredictions out;
+  PredictSequencesInto(net.forward, x, 1, /*use_arena=*/true, &out);
+  PredictSequencesInto(net.forward, x, 1, /*use_arena=*/true, &out);
+  const uint64_t before = util::AllocationCount();
+  PredictSequencesInto(net.forward, x, 1, /*use_arena=*/true, &out);
+  EXPECT_EQ(util::AllocationCount(), before);
+}
+
+#endif  // CUISINE_SANITIZER_BUILD
+
+}  // namespace
+}  // namespace cuisine

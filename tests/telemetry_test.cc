@@ -208,6 +208,71 @@ TEST(TelemetryTest, ResetAllValuesZeroesButKeepsRegistrations) {
   EXPECT_EQ(registry.GetCounter("test.reset_me"), c);
 }
 
+// ---- Trace-event capture + chrome://tracing export ----
+
+TEST(TraceEventsTest, CapturesCompletedSpansInCompletionOrder) {
+  TelemetryGuard guard(true);
+  util::ResetTraceEvents(/*capacity=*/8);
+  util::SetTraceEventsEnabled(true);
+  {
+    CUISINE_TRACE_SPAN("unit.outer");
+    { CUISINE_TRACE_SPAN("unit.inner"); }
+  }
+  util::SetTraceEventsEnabled(false);
+  const std::vector<util::TraceEvent> events = util::CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // The inner span completes first; the outer starts earlier and covers
+  // the inner's duration.
+  EXPECT_STREQ(events[0].name, "unit.inner");
+  EXPECT_STREQ(events[1].name, "unit.outer");
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].dur_us, events[0].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(util::TraceEventsDropped(), 0u);
+}
+
+TEST(TraceEventsTest, OverflowDropsInsteadOfGrowing) {
+  TelemetryGuard guard(true);
+  util::ResetTraceEvents(/*capacity=*/2);
+  util::SetTraceEventsEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    CUISINE_TRACE_SPAN("unit.drop");
+  }
+  util::SetTraceEventsEnabled(false);
+  EXPECT_EQ(util::CollectTraceEvents().size(), 2u);
+  EXPECT_EQ(util::TraceEventsDropped(), 3u);
+}
+
+TEST(TraceEventsTest, DisabledCaptureRecordsNothing) {
+  TelemetryGuard guard(true);
+  util::ResetTraceEvents(/*capacity=*/4);
+  ASSERT_FALSE(util::TraceEventsEnabled());
+  { CUISINE_TRACE_SPAN("unit.untracked"); }
+  EXPECT_TRUE(util::CollectTraceEvents().empty());
+}
+
+TEST(TraceEventsTest, WriteTraceJsonFileEmitsChromeTraceFormat) {
+  TelemetryGuard guard(true);
+  util::ResetTraceEvents(/*capacity=*/8);
+  util::SetTraceEventsEnabled(true);
+  { CUISINE_TRACE_SPAN("unit.export"); }
+  util::SetTraceEventsEnabled(false);
+
+  const std::string path = ::testing::TempDir() + "/cuisine_trace.json";
+  ASSERT_TRUE(core::WriteTraceJsonFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  // Well-formed JSON carrying the chrome://tracing complete-event keys.
+  EXPECT_TRUE(core::ValidateMetricsJson(
+                  json, {"traceEvents", "name", "ph", "ts", "dur", "tid"})
+                  .ok());
+  EXPECT_NE(json.find("\"unit.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
 // ---- Engine wiring + determinism contract ----
 
 /// Thirty 6-token docs over 3 classes, mirroring the core_engine_test

@@ -382,5 +382,47 @@ TEST(ParallelForTest, NestedCallFallsBackToSerial) {
 
 TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
 
+TEST(AdaptiveWorkersTest, CapFollowsObservedBacklog) {
+  // Disabled (default): pure passthrough.
+  ConfigureAdaptiveWorkers({});
+  EXPECT_EQ(CapWorkers(8), 8u);
+
+  AdaptiveWorkerOptions options;
+  options.enabled = true;
+  options.min_samples = 16;
+  ConfigureAdaptiveWorkers(options);
+  // Warming up: fewer than min_samples observations, passthrough.
+  EXPECT_EQ(CapWorkers(8), 8u);
+
+  ThreadPool pool(2);
+  // Drained-as-fast-as-it-arrives regime: every Submit finds an empty
+  // queue, so the backlog EWMA stays at zero and one worker suffices.
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([] {}).get();
+  }
+  EXPECT_EQ(CapWorkers(8), 1u);
+  EXPECT_EQ(CapWorkers(1), 1u);  // never below one
+
+  // Saturated regime: block both workers, pile up a deep queue, and the
+  // EWMA should climb enough to stop capping a modest request.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 2; ++i) {
+    futures.push_back(pool.Submit([gate] { gate.wait(); }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  release.set_value();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(CapWorkers(8), 8u);
+  EXPECT_GT(CapWorkers(64), 1u);
+
+  // Restore the process default for the rest of the suite.
+  ConfigureAdaptiveWorkers({});
+  EXPECT_EQ(CapWorkers(8), 8u);
+}
+
 }  // namespace
 }  // namespace cuisine::util
