@@ -1,0 +1,356 @@
+/// \file bench_service.cc
+/// \brief Latency + resilience gate for the fault-tolerant inference
+/// service (core/service.h, DESIGN.md "Serving and degradation").
+///
+/// Two phases over a real two-tier ladder (tiny LSTM primary, naive
+/// Bayes fallback) trained on a deterministic synthetic corpus:
+///
+///  * **nominal** — sequential requests, no deadline, injector
+///    disarmed. Gates: every response served by the primary, ZERO
+///    sheds, and predictions bit-identical to calling the engine's
+///    PredictBatch directly (the service must be a transparent wrapper
+///    when nothing goes wrong).
+///  * **chaos soak** — concurrent clients, mixed deadlines, the seeded
+///    FaultInjector armed with transient failures and latency spikes.
+///    Gates: 100% response rate (every request ends in OK or an
+///    explicit ResourceExhausted / DeadlineExceeded / Unavailable — no
+///    hangs, no stray exceptions) and every degraded response is tagged
+///    with the tier that served it.
+///
+/// Writes BENCH_service.json with nominal p50/p95/p99 latency and the
+/// soak's shed/degrade/retry counts. `--smoke` shrinks both phases for
+/// the sanitizer suites (the TSan run is the data-race gate); `--chaos`
+/// lengthens the soak and injects harder.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/instrumentation.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "core/service.h"
+#include "features/sequence_encoder.h"
+#include "features/vectorizer.h"
+#include "text/vocabulary.h"
+#include "util/stopwatch.h"
+#include "util/telemetry.h"
+
+namespace {
+
+using cuisine::core::FitOptions;
+using cuisine::core::InferenceResponse;
+using cuisine::core::InferenceService;
+using cuisine::core::Model;
+using cuisine::core::ModelContext;
+using cuisine::core::ModelDataset;
+using cuisine::core::ModelRegistry;
+using cuisine::core::Predictions;
+using cuisine::core::ServiceOptions;
+using cuisine::core::ServiceTier;
+
+constexpr int32_t kNumClasses = 3;
+
+/// Deterministic synthetic corpus with a token vocabulary, so both the
+/// TF-IDF and the sequence representations can be built from it.
+struct Corpus {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  cuisine::text::Vocabulary vocab;
+  std::vector<cuisine::features::EncodedSequence> sequences;
+  cuisine::features::TfidfVectorizer tfidf;
+  cuisine::features::CsrMatrix tfidf_rows;
+
+  explicit Corpus(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto label = static_cast<int32_t>(i % kNumClasses);
+      std::vector<std::string> doc;
+      for (int t = 0; t < 8; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 4 + t / 2)
+                          : "shared" + std::to_string((i + t) % 3));
+      }
+      docs.push_back(std::move(doc));
+      labels.push_back(label);
+    }
+    vocab = cuisine::core::BuildSequenceVocabulary(docs, 1, 1000);
+    const cuisine::features::SequenceEncoder encoder(
+        &vocab, {.max_length = 8, .add_cls_sep = false});
+    sequences = encoder.EncodeAll(docs);
+    if (!tfidf.Fit(docs).ok()) std::abort();
+    tfidf_rows = tfidf.TransformAll(docs);
+  }
+
+  ModelDataset Dataset() const {
+    return {.tfidf = &tfidf_rows, .sequences = &sequences, .labels = &labels,
+            .vocab = &vocab};
+  }
+};
+
+ModelContext TinyContext() {
+  ModelContext context;
+  context.num_classes = kNumClasses;
+  auto& seq = context.sequential;
+  seq.lstm_sequence_length = 8;
+  seq.lstm = {.vocab_size = 0, .embedding_dim = 8, .hidden_size = 8,
+              .num_layers = 1, .dropout = 0.0f, .seed = 29};
+  seq.lstm_train.epochs = 1;
+  seq.lstm_train.batch_size = 8;
+  return context;
+}
+
+std::unique_ptr<Model> FitModel(const char* key, const Corpus& corpus) {
+  auto model =
+      std::move(ModelRegistry::Instance().Create(key, TinyContext()))
+          .MoveValueUnsafe();
+  FitOptions fit;
+  fit.num_classes = kNumClasses;
+  if (!model->Fit(corpus.Dataset(), fit).ok()) std::abort();
+  return model;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t rank = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+struct SoakCounts {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> unexpected{0};  // stray codes or exceptions
+  std::atomic<uint64_t> untagged_degraded{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool chaos = false;
+  const char* out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  cuisine::benchutil::InitTraceFromEnv();
+  std::printf("== inference service bench%s%s ==\n",
+              smoke ? " (smoke)" : "", chaos ? " (chaos)" : "");
+
+  const size_t n_nominal = smoke ? 30 : 200;
+  const size_t soak_threads = 4;
+  const size_t soak_per_thread = (smoke ? 25 : 150) * (chaos ? 2 : 1);
+
+  const Corpus corpus(smoke ? 24 : 60);
+  const ModelDataset dataset = corpus.Dataset();
+  const std::unique_ptr<Model> lstm = FitModel("lstm", corpus);
+  const std::unique_ptr<Model> bayes = FitModel("naive_bayes", corpus);
+  const std::vector<ServiceTier> ladder = {{"lstm", lstm.get()},
+                                           {"naive_bayes", bayes.get()}};
+
+  bool ok = true;
+
+  // ---- Phase 1: nominal load (injector disarmed, no deadlines). ----
+  cuisine::util::Counter* shed_counter =
+      cuisine::util::MetricsRegistry::Instance().GetCounter("service.shed");
+  const uint64_t sheds_before = shed_counter->value();
+  const Predictions direct = lstm->PredictBatch(dataset, /*num_workers=*/2);
+  std::vector<double> nominal_latencies;
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    InferenceService service(ladder, options);
+    for (size_t i = 0; i < n_nominal; ++i) {
+      const InferenceResponse response = service.Predict(dataset);
+      if (!response.status.ok() || response.degraded) {
+        std::fprintf(stderr, "GATE FAILED: nominal request %zu -> %s (%s)\n",
+                     i, response.status.ToString().c_str(),
+                     response.served_by.c_str());
+        ok = false;
+        break;
+      }
+      if (response.predictions.labels != direct.labels ||
+          response.predictions.probas != direct.probas) {
+        std::fprintf(stderr,
+                     "GATE FAILED: nominal request %zu not bit-identical to "
+                     "direct PredictBatch\n",
+                     i);
+        ok = false;
+        break;
+      }
+      nominal_latencies.push_back(response.latency_ms);
+    }
+  }
+  const uint64_t nominal_sheds = shed_counter->value() - sheds_before;
+  if (nominal_sheds != 0) {
+    std::fprintf(stderr, "GATE FAILED: %llu sheds at nominal load (want 0)\n",
+                 static_cast<unsigned long long>(nominal_sheds));
+    ok = false;
+  }
+  const double p50 = Percentile(nominal_latencies, 0.50);
+  const double p95 = Percentile(nominal_latencies, 0.95);
+  const double p99 = Percentile(nominal_latencies, 0.99);
+  std::printf("nominal: %zu requests, p50 %.3fms p95 %.3fms p99 %.3fms, "
+              "sheds %llu\n",
+              nominal_latencies.size(), p50, p95, p99,
+              static_cast<unsigned long long>(nominal_sheds));
+
+  // ---- Phase 2: chaos soak (armed injector, concurrent clients). ----
+  SoakCounts counts;
+  cuisine::util::Stopwatch soak_watch;
+  {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.max_concurrent = 2;
+    options.queue_capacity = 4;
+    options.retry_attempts = 3;
+    options.retry_backoff.initial_delay_ms = 0.1;
+    options.retry_backoff.max_delay_ms = 1.0;
+    options.breaker.cooldown_ms = 5.0;
+    // The injector draws once per row/shard, so per-batch fault odds
+    // compound: ~50 draws/request here. 0.005 ≈ one-in-five batches.
+    options.fault_injection = {
+        .failure_probability = chaos ? 0.005 : 0.002,
+        .latency_spike_probability = chaos ? 0.001 : 0.0005,
+        .latency_spike_ms = 1.0,
+        .seed = 0xc4a05ULL};
+    InferenceService service(ladder, options);
+
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < soak_threads; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = 0; i < soak_per_thread; ++i) {
+          // Mixed traffic: unconstrained, generous, and tight deadlines.
+          const double deadline_ms =
+              i % 3 == 0 ? -1.0 : (i % 3 == 1 ? 250.0 : 5.0);
+          try {
+            const InferenceResponse response =
+                service.Predict(dataset, deadline_ms);
+            counts.retries.fetch_add(response.retries);
+            if (response.status.ok()) {
+              counts.ok.fetch_add(1);
+              if (response.degraded) {
+                counts.degraded.fetch_add(1);
+                if (response.served_by.empty() || response.tier_index == 0) {
+                  counts.untagged_degraded.fetch_add(1);
+                }
+              }
+            } else {
+              switch (response.status.code()) {
+                case cuisine::util::StatusCode::kResourceExhausted:
+                  counts.shed.fetch_add(1);
+                  break;
+                case cuisine::util::StatusCode::kDeadlineExceeded:
+                  counts.deadline.fetch_add(1);
+                  break;
+                case cuisine::util::StatusCode::kUnavailable:
+                  counts.unavailable.fetch_add(1);
+                  break;
+                default:
+                  counts.unexpected.fetch_add(1);
+              }
+            }
+          } catch (...) {
+            counts.unexpected.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  const double soak_seconds = soak_watch.ElapsedMillis() / 1000.0;
+  const uint64_t total = soak_threads * soak_per_thread;
+  const uint64_t answered = counts.ok + counts.shed + counts.deadline +
+                            counts.unavailable;
+  std::printf(
+      "soak: %llu requests in %.2fs (%.0f/s): ok %llu (degraded %llu), "
+      "shed %llu, deadline %llu, unavailable %llu, retries %llu\n",
+      static_cast<unsigned long long>(total), soak_seconds,
+      static_cast<double>(total) / soak_seconds,
+      static_cast<unsigned long long>(counts.ok.load()),
+      static_cast<unsigned long long>(counts.degraded.load()),
+      static_cast<unsigned long long>(counts.shed.load()),
+      static_cast<unsigned long long>(counts.deadline.load()),
+      static_cast<unsigned long long>(counts.unavailable.load()),
+      static_cast<unsigned long long>(counts.retries.load()));
+
+  if (answered != total || counts.unexpected.load() != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: response rate %llu/%llu with %llu unexpected "
+                 "outcomes (want 100%% explicit responses)\n",
+                 static_cast<unsigned long long>(answered),
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(counts.unexpected.load()));
+    ok = false;
+  }
+  if (counts.untagged_degraded.load() != 0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %llu degraded responses without a tier tag\n",
+                 static_cast<unsigned long long>(
+                     counts.untagged_degraded.load()));
+    ok = false;
+  }
+
+  // ---- Report ----
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"inference_service\",\n");
+  std::fprintf(f, "  \"nominal\": {\"requests\": %zu, \"latency_ms_p50\": "
+                  "%.6g, \"latency_ms_p95\": %.6g, \"latency_ms_p99\": %.6g, "
+                  "\"sheds\": %llu},\n",
+               nominal_latencies.size(), p50, p95, p99,
+               static_cast<unsigned long long>(nominal_sheds));
+  std::fprintf(
+      f,
+      "  \"soak\": {\"requests\": %llu, \"served\": %llu, \"degraded\": "
+      "%llu, \"shed\": %llu, \"deadline_exceeded\": %llu, \"unavailable\": "
+      "%llu, \"retries\": %llu, \"seconds\": %.3f}\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(counts.ok.load()),
+      static_cast<unsigned long long>(counts.degraded.load()),
+      static_cast<unsigned long long>(counts.shed.load()),
+      static_cast<unsigned long long>(counts.deadline.load()),
+      static_cast<unsigned long long>(counts.unavailable.load()),
+      static_cast<unsigned long long>(counts.retries.load()), soak_seconds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // Metrics sidecar must carry the service instruments.
+  cuisine::benchutil::ExportMetrics("bench_service");
+  const cuisine::util::Status valid = cuisine::core::ValidateMetricsJson(
+      cuisine::core::MetricsSnapshotJson(),
+      {"counters", "gauges", "service.requests", "service.served",
+       "service.retries", "service.latency_ms"});
+  if (!valid.ok()) {
+    std::fprintf(stderr, "metrics snapshot failed validation: %s\n",
+                 std::string(valid.message()).c_str());
+    return 1;
+  }
+
+  if (ok) std::printf("all gates passed\n");
+  return ok ? 0 : 1;
+}

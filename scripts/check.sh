@@ -11,7 +11,10 @@
 # arenas, string_view lifetimes and id remaps are where lifetime bugs
 # would live). The default suite finishes with bench smoke runs that
 # export metrics snapshots and validate their JSON, including the
-# bench_pipeline bit-identity cross-checks.
+# bench_pipeline bit-identity cross-checks. The tsan suite ends with a
+# chaos pass: the bench_service soak with the fault injector armed and
+# concurrent clients under the race detector, gating 100% explicit
+# responses and zero sheds at nominal load.
 #
 # Usage: scripts/check.sh [default|asan|tsan]...
 # With no arguments all three suites run, default first.
@@ -41,6 +44,11 @@ for suite in "${suites[@]}"; do
     # Per-worker arenas in sharded training/prediction under TSan; the
     # bit-identity tests drive 3- and 4-worker runs over both models.
     ./build-tsan/tests/nn_arena_test --gtest_filter='Models/ArenaBitIdentityTest.*'
+    echo "==== ${suite}: service chaos pass ===="
+    # Admission queue, circuit breakers and injected faults with four
+    # concurrent clients under TSan; gates zero sheds at nominal load
+    # and an explicit response for every soak request.
+    ./build-tsan/bench/bench_service --smoke --chaos
   fi
 
   if [ "${suite}" = "asan" ]; then
@@ -67,6 +75,10 @@ for suite in "${suites[@]}"; do
     # Exits non-zero if any warmed arena step still heap-allocates
     # (steady_state_allocs > 0) or the arena path is slower than heap.
     ./build/bench/bench_arena --smoke
+    echo "==== ${suite}: inference service smoke ===="
+    # Nominal bit-identity vs direct PredictBatch, zero sheds, and a
+    # short fault-injected soak with 100% explicit responses.
+    ./build/bench/bench_service --smoke
   fi
 done
 

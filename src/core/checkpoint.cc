@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/backoff.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -26,6 +27,8 @@ struct CheckpointMetrics {
   util::Counter* corrupt_skipped =
       util::MetricsRegistry::Instance().GetCounter(
           "checkpoint.corrupt_skipped");
+  util::Counter* save_retries =
+      util::MetricsRegistry::Instance().GetCounter("checkpoint.save_retries");
   util::Histogram* save_ms =
       util::MetricsRegistry::Instance().GetHistogram("checkpoint.save_ms");
   util::Histogram* restore_ms =
@@ -142,11 +145,44 @@ class Reader {
 // ---- CheckpointManager ----
 
 CheckpointManager::CheckpointManager(util::FileSystem* fs, std::string dir,
-                                     int32_t keep)
-    : fs_(fs), dir_(std::move(dir)), keep_(std::max(keep, 1)) {}
+                                     int32_t keep, int32_t save_attempts)
+    : fs_(fs),
+      dir_(std::move(dir)),
+      keep_(std::max(keep, 1)),
+      save_attempts_(std::max(save_attempts, 1)) {}
 
 std::string CheckpointManager::PathTo(const std::string& name) const {
   return dir_ + "/" + name;
+}
+
+util::Status CheckpointManager::WriteWithRetry(const std::string& path,
+                                               const std::string& data) const {
+  // A failed checkpoint write usually means a transient condition (disk
+  // pressure, a hiccuping network mount) that a short, bounded backoff
+  // outlives; surfacing it immediately would abort hours of training
+  // for a fault that clears in milliseconds. The schedule is seeded, so
+  // fault-injection tests replay identical delays.
+  util::Backoff backoff({.initial_delay_ms = 1.0,
+                         .multiplier = 2.0,
+                         .max_delay_ms = 50.0,
+                         .jitter = 0.5},
+                        /*seed=*/0xc4ec9017ULL);
+  util::Status status = util::Status::OK();
+  for (int32_t attempt = 0; attempt < save_attempts_; ++attempt) {
+    if (attempt > 0) {
+      Metrics().save_retries->Add();
+      util::SleepForMillis(backoff.NextDelayMs());
+    }
+    status = fs_->WriteFileAtomic(path, data);
+    if (status.ok()) return status;
+    if (attempt + 1 < save_attempts_) {
+      CUISINE_LOG(Warning) << "checkpoint write " << path << " attempt "
+                           << (attempt + 1) << "/" << save_attempts_
+                           << " failed (" << status.ToString()
+                           << "), retrying";
+    }
+  }
+  return status;
 }
 
 std::string CheckpointManager::CheckpointFileName(uint64_t step) {
@@ -241,9 +277,8 @@ util::Status CheckpointManager::Save(uint64_t step,
   const std::string name = CheckpointFileName(step);
   const std::string wrapped = WrapPayload(step, payload);
   const size_t wrapped_size = wrapped.size();
-  CUISINE_RETURN_NOT_OK(fs_->WriteFileAtomic(PathTo(name), wrapped));
-  CUISINE_RETURN_NOT_OK(
-      fs_->WriteFileAtomic(PathTo(kCurrentFile), name + "\n"));
+  CUISINE_RETURN_NOT_OK(WriteWithRetry(PathTo(name), wrapped));
+  CUISINE_RETURN_NOT_OK(WriteWithRetry(PathTo(kCurrentFile), name + "\n"));
   CheckpointMetrics& metrics = Metrics();
   metrics.saves->Add();
   metrics.bytes_written->Add(wrapped_size);

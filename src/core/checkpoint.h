@@ -33,8 +33,13 @@ namespace cuisine::core {
 class CheckpointManager {
  public:
   /// `fs` is not owned and must outlive the manager; `keep` is the
-  /// number of rotating checkpoints retained (>= 1).
-  CheckpointManager(util::FileSystem* fs, std::string dir, int32_t keep = 3);
+  /// number of rotating checkpoints retained (>= 1). `save_attempts` is
+  /// the number of times each checkpoint write is attempted before the
+  /// error surfaces (>= 1): transient filesystem failures are retried
+  /// with bounded exponential backoff (util/backoff.h), counted by
+  /// `checkpoint.save_retries`. Set 1 to surface every fault unretried.
+  CheckpointManager(util::FileSystem* fs, std::string dir, int32_t keep = 3,
+                    int32_t save_attempts = 3);
 
   /// Creates the checkpoint directory if missing.
   util::Status Init();
@@ -68,10 +73,14 @@ class CheckpointManager {
 
  private:
   std::string PathTo(const std::string& name) const;
+  /// WriteFileAtomic with up to `save_attempts_` tries and backoff.
+  util::Status WriteWithRetry(const std::string& path,
+                              const std::string& data) const;
 
   util::FileSystem* fs_;
   std::string dir_;
   int32_t keep_;
+  int32_t save_attempts_;
 };
 
 /// \brief Everything the data-parallel training loop needs to resume a

@@ -5,6 +5,7 @@
 #include <future>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 
 namespace cuisine::core {
@@ -44,10 +45,18 @@ void RunShards(size_t num_shards, util::FunctionRef<void(size_t)> shard_fn) {
   }
   std::vector<std::future<void>> futures;
   futures.reserve(num_shards);
+  // Propagate the caller's cancellation/fault context (util/deadline.h):
+  // a shard of a deadlined request observes the same token on a pool
+  // worker as it would inline. The context's referents live in the
+  // caller's frame, which outlives the blocking waits below.
+  const util::ExecContext context = util::CurrentExecContext();
   for (size_t s = 0; s < num_shards; ++s) {
     // The view is copied into the task; the underlying callable lives in
     // the caller's frame, which outlives the blocking waits below.
-    futures.push_back(util::SharedPool().Submit([s, shard_fn] { shard_fn(s); }));
+    futures.push_back(util::SharedPool().Submit([s, shard_fn, context] {
+      util::ExecContextScope scope(context);
+      shard_fn(s);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& fut : futures) {

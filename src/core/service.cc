@@ -1,0 +1,365 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace cuisine::core {
+
+namespace {
+
+/// Service metrics, resolved once (telemetry.h registry contract).
+struct ServiceMetrics {
+  util::Counter* requests =
+      util::MetricsRegistry::Instance().GetCounter("service.requests");
+  util::Counter* served =
+      util::MetricsRegistry::Instance().GetCounter("service.served");
+  util::Counter* shed =
+      util::MetricsRegistry::Instance().GetCounter("service.shed");
+  util::Counter* deadline_exceeded = util::MetricsRegistry::Instance().GetCounter(
+      "service.deadline_exceeded");
+  util::Counter* degraded =
+      util::MetricsRegistry::Instance().GetCounter("service.degraded");
+  util::Counter* retries =
+      util::MetricsRegistry::Instance().GetCounter("service.retries");
+  util::Counter* breaker_skips =
+      util::MetricsRegistry::Instance().GetCounter("service.breaker_skips");
+  util::Counter* deadline_skips =
+      util::MetricsRegistry::Instance().GetCounter("service.deadline_skips");
+  util::Counter* tier_failures =
+      util::MetricsRegistry::Instance().GetCounter("service.tier_failures");
+  util::Counter* unavailable =
+      util::MetricsRegistry::Instance().GetCounter("service.unavailable");
+  util::Histogram* latency_ms =
+      util::MetricsRegistry::Instance().GetHistogram("service.latency_ms");
+  util::Gauge* queue_depth =
+      util::MetricsRegistry::Instance().GetGauge("service.queue_depth");
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics* metrics = new ServiceMetrics();
+  return *metrics;
+}
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII release of one execution slot.
+class SlotGuard {
+ public:
+  SlotGuard(std::mutex* mu, std::condition_variable* cv, size_t* in_flight)
+      : mu_(mu), cv_(cv), in_flight_(in_flight) {}
+  ~SlotGuard() {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      --*in_flight_;
+    }
+    cv_->notify_one();
+  }
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+  std::condition_variable* cv_;
+  size_t* in_flight_;
+};
+
+}  // namespace
+
+InferenceService::InferenceService(std::vector<ServiceTier> tiers,
+                                   ServiceOptions options)
+    : tiers_(std::move(tiers)),
+      options_(std::move(options)),
+      injector_(options_.fault_injection) {
+  CUISINE_CHECK(!tiers_.empty());
+  for (const ServiceTier& tier : tiers_) {
+    CUISINE_CHECK(tier.model != nullptr);
+  }
+  options_.max_concurrent = std::max<size_t>(1, options_.max_concurrent);
+  options_.retry_attempts = std::max<size_t>(1, options_.retry_attempts);
+  options_.breaker.window = std::max<size_t>(1, options_.breaker.window);
+  options_.latency_window = std::max<size_t>(1, options_.latency_window);
+  tier_states_.resize(tiers_.size());
+  if (options_.adaptive_workers) {
+    util::AdaptiveWorkerOptions adaptive = options_.adaptive;
+    adaptive.enabled = true;
+    util::ConfigureAdaptiveWorkers(adaptive);
+  }
+}
+
+double InferenceService::NowMs() const {
+  return options_.now_ms ? options_.now_ms() : SteadyNowMs();
+}
+
+double InferenceService::TierP95Locked(size_t tier_index) const {
+  const std::deque<double>& window = tier_states_[tier_index].latencies_ms;
+  if (window.empty()) return 0.0;
+  // Nearest-rank p95 over the rolling window; the window is small
+  // (default 64), so the copy + partial sort is cheap and under-lock.
+  std::vector<double> sorted(window.begin(), window.end());
+  const size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<size_t>(0.95 * static_cast<double>(sorted.size())));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<ptrdiff_t>(rank), sorted.end());
+  return sorted[rank];
+}
+
+InferenceService::TierAdmission InferenceService::AdmitTier(size_t tier_index,
+                                                            double now) {
+  TierState& tier = tier_states_[tier_index];
+  switch (tier.state) {
+    case BreakerState::kClosed:
+      return TierAdmission::kAllow;
+    case BreakerState::kOpen:
+      if (now - tier.opened_at_ms >= options_.breaker.cooldown_ms) {
+        tier.state = BreakerState::kHalfOpen;
+        tier.probe_in_flight = true;
+        return TierAdmission::kProbe;
+      }
+      return TierAdmission::kSkip;
+    case BreakerState::kHalfOpen:
+      if (!tier.probe_in_flight) {
+        tier.probe_in_flight = true;
+        return TierAdmission::kProbe;
+      }
+      return TierAdmission::kSkip;
+  }
+  return TierAdmission::kSkip;
+}
+
+void InferenceService::RecordOutcome(size_t tier_index, bool failed,
+                                     bool was_probe, double now,
+                                     double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TierState& tier = tier_states_[tier_index];
+  if (was_probe) tier.probe_in_flight = false;
+
+  tier.outcomes.push_back(failed);
+  if (failed) ++tier.failures_in_window;
+  while (tier.outcomes.size() > options_.breaker.window) {
+    if (tier.outcomes.front()) --tier.failures_in_window;
+    tier.outcomes.pop_front();
+  }
+  if (!failed && latency_ms >= 0.0) {
+    tier.latencies_ms.push_back(latency_ms);
+    while (tier.latencies_ms.size() > options_.latency_window) {
+      tier.latencies_ms.pop_front();
+    }
+  }
+
+  if (tier.state == BreakerState::kHalfOpen) {
+    if (was_probe) {
+      if (failed) {
+        // Probe failed: reopen and restart the cooldown.
+        tier.state = BreakerState::kOpen;
+        tier.opened_at_ms = now;
+      } else {
+        // Probe succeeded: close and forget the failure history — the
+        // stale window must not instantly re-trip the breaker.
+        tier.state = BreakerState::kClosed;
+        tier.outcomes.clear();
+        tier.failures_in_window = 0;
+      }
+    }
+    return;
+  }
+  if (tier.state == BreakerState::kClosed &&
+      tier.outcomes.size() >= options_.breaker.min_samples) {
+    const double ratio = static_cast<double>(tier.failures_in_window) /
+                         static_cast<double>(tier.outcomes.size());
+    if (ratio >= options_.breaker.failure_ratio) {
+      tier.state = BreakerState::kOpen;
+      tier.opened_at_ms = now;
+    }
+  }
+}
+
+InferenceService::BreakerState InferenceService::breaker_state(
+    size_t tier_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tier_states_[tier_index].state;
+}
+
+InferenceResponse InferenceService::Predict(const ModelDataset& inputs,
+                                            double deadline_ms) {
+  ServiceMetrics& metrics = Metrics();
+  metrics.requests->Add();
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const double start_ms = SteadyNowMs();
+  const util::Deadline deadline = deadline_ms < 0.0
+                                      ? util::Deadline::Infinite()
+                                      : util::Deadline::AfterMillis(deadline_ms);
+  InferenceResponse response;
+  const auto finish = [&](util::Status status) -> InferenceResponse {
+    response.status = std::move(status);
+    response.latency_ms = SteadyNowMs() - start_ms;
+    metrics.latency_ms->Observe(response.latency_ms);
+    return response;
+  };
+
+  // --- Admission: take an execution slot or shed. ---
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_flight_ >= options_.max_concurrent) {
+      if (queued_ >= options_.queue_capacity) {
+        metrics.shed->Add();
+        lock.unlock();
+        return finish(util::Status::ResourceExhausted(
+            "admission queue full (" + std::to_string(options_.queue_capacity) +
+            " waiting)"));
+      }
+      ++queued_;
+      metrics.queue_depth->Set(static_cast<double>(queued_));
+      bool got_slot;
+      if (deadline.infinite()) {
+        slot_available_.wait(
+            lock, [&] { return in_flight_ < options_.max_concurrent; });
+        got_slot = true;
+      } else {
+        got_slot = slot_available_.wait_until(
+            lock, deadline.time_point(),
+            [&] { return in_flight_ < options_.max_concurrent; });
+      }
+      --queued_;
+      metrics.queue_depth->Set(static_cast<double>(queued_));
+      if (!got_slot) {
+        metrics.deadline_exceeded->Add();
+        lock.unlock();
+        return finish(
+            util::Status::DeadlineExceeded("deadline expired in queue"));
+      }
+    }
+    ++in_flight_;
+  }
+  SlotGuard slot(&mu_, &slot_available_, &in_flight_);
+
+  // --- The degradation ladder. ---
+  util::CancellationToken token(deadline);
+  util::Backoff backoff(options_.retry_backoff,
+                        options_.retry_seed + request_id);
+  bool saw_deadline = false;
+
+  for (size_t t = 0; t < tiers_.size(); ++t) {
+    if (token.ShouldStop()) {
+      saw_deadline = true;
+      break;
+    }
+
+    // Breaker admission and deadline-aware skipping, under one lock.
+    bool was_probe = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const double now = NowMs();
+      const TierAdmission admission = AdmitTier(t, now);
+      if (admission == TierAdmission::kSkip) {
+        lock.unlock();
+        metrics.breaker_skips->Add();
+        ++response.tiers_skipped;
+        continue;
+      }
+      was_probe = admission == TierAdmission::kProbe;
+      // Skip a tier whose typical (p95) latency no longer fits the
+      // remaining budget — but never skip the last rung: a degraded
+      // answer that might miss the deadline beats a guaranteed miss.
+      if (options_.deadline_aware_degrade && !deadline.infinite() &&
+          t + 1 < tiers_.size() && !was_probe) {
+        const double p95 = TierP95Locked(t);
+        if (p95 > 0.0 && deadline.remaining_millis() < p95) {
+          lock.unlock();
+          metrics.deadline_skips->Add();
+          ++response.tiers_skipped;
+          continue;
+        }
+      }
+    }
+
+    // Attempt loop: transient faults retry on this tier with backoff;
+    // anything else fails the tier.
+    bool tier_failed = false;
+    for (size_t attempt = 0; attempt < options_.retry_attempts; ++attempt) {
+      if (token.ShouldStop()) {
+        saw_deadline = true;
+        break;
+      }
+      const double attempt_start_ms = SteadyNowMs();
+      try {
+        util::ExecContext context;
+        context.cancel = &token;
+        context.faults = &injector_;
+        util::ExecContextScope scope(context);
+        Predictions predictions =
+            tiers_[t].model->PredictBatch(inputs, options_.num_workers);
+        const double tier_latency = SteadyNowMs() - attempt_start_ms;
+        RecordOutcome(t, /*failed=*/false, was_probe, NowMs(), tier_latency);
+        response.predictions = std::move(predictions);
+        response.served_by = tiers_[t].name;
+        response.tier_index = t;
+        response.degraded = t > 0;
+        metrics.served->Add();
+        if (response.degraded) metrics.degraded->Add();
+        // Per-tier counters are dynamic names; the registry memoises
+        // them, and a serve already paid for a full engine batch.
+        util::MetricsRegistry::Instance()
+            .GetCounter("service.served_by." + tiers_[t].name)
+            ->Add();
+        return finish(util::Status::OK());
+      } catch (const util::CancelledError&) {
+        // Deadline fired mid-compute: not the tier's fault, no outcome
+        // is recorded against its breaker.
+        saw_deadline = true;
+        break;
+      } catch (const util::InjectedFaultError&) {
+        ++response.retries;
+        metrics.retries->Add();
+        if (attempt + 1 >= options_.retry_attempts) {
+          tier_failed = true;
+          break;
+        }
+        const double delay = backoff.NextDelayMs();
+        if (!deadline.infinite() && deadline.remaining_millis() <= delay) {
+          // The wait alone would blow the budget; stop retrying here.
+          saw_deadline = true;
+          break;
+        }
+        util::SleepForMillis(delay);
+      } catch (const std::exception&) {
+        tier_failed = true;
+        break;
+      }
+    }
+    if (saw_deadline) {
+      if (was_probe) {
+        // Release the probe slot without judging the tier.
+        std::lock_guard<std::mutex> lock(mu_);
+        tier_states_[t].probe_in_flight = false;
+      }
+      break;
+    }
+    if (tier_failed) {
+      RecordOutcome(t, /*failed=*/true, was_probe, NowMs(),
+                    /*latency_ms=*/-1.0);
+      metrics.tier_failures->Add();
+      ++response.tiers_skipped;
+    }
+  }
+
+  if (saw_deadline || token.ShouldStop()) {
+    metrics.deadline_exceeded->Add();
+    return finish(util::Status::DeadlineExceeded("deadline expired serving"));
+  }
+  metrics.unavailable->Add();
+  return finish(util::Status::Unavailable(
+      "no tier available (all " + std::to_string(tiers_.size()) +
+      " tripped or failed)"));
+}
+
+}  // namespace cuisine::core

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "util/backoff.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+/// \file service.h
+/// \brief Fault-tolerant inference serving on top of the model layer
+/// (DESIGN.md "Serving and degradation").
+///
+/// `InferenceService` wraps a *degradation ladder* of fitted models —
+/// primary first, each fallback cheaper than the last (e.g. roberta ->
+/// lstm -> naive_bayes) — and gives batch prediction production failure
+/// semantics:
+///
+///  - **Deadlines.** Every request may carry a deadline; it is threaded
+///    through the parallel engine as a `CancellationToken`
+///    (util/deadline.h) so in-flight shards stop between examples and
+///    the caller gets `kDeadlineExceeded` instead of a late answer.
+///  - **Admission control.** A bounded queue in front of a fixed number
+///    of execution slots. When the queue is full the *newest* request is
+///    shed immediately with `kResourceExhausted` — rejecting fast under
+///    overload beats queueing work that will miss its deadline anyway.
+///  - **Circuit breakers.** Each tier keeps a rolling window of
+///    outcomes; too many failures open the breaker and requests skip
+///    straight to the next tier until a cooldown passes, after which one
+///    half-open probe decides whether to close it again.
+///  - **Graceful degradation.** A request falls down the ladder when a
+///    tier is tripped, fails hard, or — with a deadline — when the
+///    tier's observed p95 latency no longer fits the remaining budget.
+///    Responses are tagged with the tier that served them.
+///  - **Retries.** Transient faults (`InjectedFaultError`) are retried
+///    on the same tier with seeded exponential backoff + jitter
+///    (util/backoff.h) before the tier is declared failed.
+///
+/// The nominal path is bit-identical to calling
+/// `primary->PredictBatch(inputs, num_workers)` directly: with no
+/// deadline and a disarmed injector, cancellation checks are single
+/// thread-local loads and no code touches the computed values.
+
+namespace cuisine::core {
+
+/// One rung of the degradation ladder. The model is non-owning and must
+/// be fitted and outlive the service.
+struct ServiceTier {
+  std::string name;
+  const Model* model = nullptr;
+};
+
+/// Rolling-window circuit breaker parameters (per tier).
+struct CircuitBreakerOptions {
+  /// Outcomes remembered per tier.
+  size_t window = 16;
+  /// No tripping before this many outcomes are in the window.
+  size_t min_samples = 4;
+  /// Open when failures / window_size reaches this fraction.
+  double failure_ratio = 0.5;
+  /// Milliseconds an open breaker waits before allowing one half-open
+  /// probe request through.
+  double cooldown_ms = 1000.0;
+};
+
+struct ServiceOptions {
+  /// Execution slots: requests running the engine concurrently.
+  size_t max_concurrent = 2;
+  /// Waiting slots behind the execution slots; a request arriving with
+  /// the queue full is shed (reject-newest).
+  size_t queue_capacity = 8;
+  /// Engine workers per request (0 = hardware concurrency).
+  size_t num_workers = 1;
+
+  /// Attempts per tier (>= 1); attempts after the first only happen on
+  /// transient (injected) faults and wait on the backoff schedule.
+  size_t retry_attempts = 3;
+  util::BackoffOptions retry_backoff{.initial_delay_ms = 0.5,
+                                     .multiplier = 2.0,
+                                     .max_delay_ms = 20.0,
+                                     .jitter = 0.5};
+  uint64_t retry_seed = 0x7e77e77e7ULL;
+
+  CircuitBreakerOptions breaker;
+
+  /// Skip a tier (except the last) when the request's remaining budget
+  /// is below the tier's observed p95 latency.
+  bool deadline_aware_degrade = true;
+  /// Rolling latency samples per tier feeding the p95 estimate.
+  size_t latency_window = 64;
+
+  /// Opt-in adaptive worker capping (PR 7): forwards these options to
+  /// `util::ConfigureAdaptiveWorkers` at construction. Results stay
+  /// bit-identical — the cap only changes how many shards run.
+  bool adaptive_workers = false;
+  util::AdaptiveWorkerOptions adaptive;
+
+  /// Chaos engineering: armed probabilities make the engine's
+  /// per-example loops throw transient faults / stall on spikes. The
+  /// default (all zero) never fires.
+  util::FaultInjectorOptions fault_injection;
+
+  /// Breaker clock in milliseconds, injectable for deterministic state
+  /// machine tests. Defaults to the steady clock.
+  std::function<double()> now_ms;
+};
+
+/// The outcome of one `Predict` call. `predictions` is only meaningful
+/// when `status.ok()`.
+struct InferenceResponse {
+  util::Status status = util::Status::OK();
+  Predictions predictions;
+  /// Name of the tier that served the request (empty if none did).
+  std::string served_by;
+  /// Index into the ladder (0 = primary). Meaningful when status.ok().
+  size_t tier_index = 0;
+  /// True when a fallback tier (index > 0) served the request.
+  bool degraded = false;
+  /// Transient-fault retries consumed across all tiers.
+  size_t retries = 0;
+  /// Tiers skipped or failed before the serving tier.
+  size_t tiers_skipped = 0;
+  double latency_ms = 0.0;
+};
+
+/// \brief Thread-safe serving front-end over a degradation ladder.
+///
+/// All coordination state (admission queue, breakers, latency windows)
+/// lives behind one mutex with short critical sections; the engine runs
+/// outside it. Telemetry: `service.requests/served/shed/
+/// deadline_exceeded/degraded/retries/breaker_skips/deadline_skips/
+/// tier_failures/unavailable` counters, `service.latency_ms` histogram,
+/// `service.queue_depth` gauge, and `service.served_by.<tier>` per-tier
+/// counters.
+class InferenceService {
+ public:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// `tiers` is the ladder, primary first; must be non-empty, every
+  /// model fitted. CHECK-fails on an empty ladder or null model.
+  InferenceService(std::vector<ServiceTier> tiers, ServiceOptions options);
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Serves one batch. `deadline_ms` < 0 means no deadline. Blocks in
+  /// the admission queue when all execution slots are busy; sheds when
+  /// the queue is full.
+  InferenceResponse Predict(const ModelDataset& inputs,
+                            double deadline_ms = -1.0);
+
+  /// The chaos injector armed with `options.fault_injection` (always
+  /// present; disarmed by default). Tests re-seed it via Reset().
+  util::FaultInjector& fault_injector() { return injector_; }
+
+  /// Introspection for tests.
+  BreakerState breaker_state(size_t tier_index) const;
+  size_t tier_count() const { return tiers_.size(); }
+  const std::string& tier_name(size_t tier_index) const {
+    return tiers_[tier_index].name;
+  }
+
+ private:
+  struct TierState {
+    BreakerState state = BreakerState::kClosed;
+    /// Rolling outcomes, true = failure (bounded by breaker.window).
+    std::deque<bool> outcomes;
+    size_t failures_in_window = 0;
+    double opened_at_ms = 0.0;
+    bool probe_in_flight = false;
+    /// Rolling successful-serve latencies (bounded by latency_window).
+    std::deque<double> latencies_ms;
+  };
+
+  /// Admission decision for one tier; made under mu_.
+  enum class TierAdmission { kAllow, kProbe, kSkip };
+  TierAdmission AdmitTier(size_t tier_index, double now);
+  void RecordOutcome(size_t tier_index, bool failed, bool was_probe,
+                     double now, double latency_ms);
+  double TierP95Locked(size_t tier_index) const;
+
+  double NowMs() const;
+
+  std::vector<ServiceTier> tiers_;
+  ServiceOptions options_;
+  util::FaultInjector injector_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_available_;
+  size_t in_flight_ = 0;
+  size_t queued_ = 0;
+  std::vector<TierState> tier_states_;
+  /// Per-request retry schedules are seeded from retry_seed + this
+  /// counter, so each request replays its own deterministic backoff.
+  std::atomic<uint64_t> next_request_id_{0};
+};
+
+}  // namespace cuisine::core

@@ -9,6 +9,8 @@
 #include "core/engine.h"
 #include "nn/arena.h"
 #include "nn/serialization.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/telemetry.h"
@@ -70,6 +72,7 @@ struct LoopOptions {
   std::string checkpoint_dir;
   int64_t checkpoint_every_steps = 0;
   int32_t keep_checkpoints = 3;
+  int32_t checkpoint_save_attempts = 3;
   int64_t stop_after_steps = 0;
   util::FileSystem* fs = nullptr;
   bool use_arena = true;
@@ -166,8 +169,9 @@ util::Result<TrainHistory> RunDataParallel(
   if (!loop.checkpoint_dir.empty()) {
     util::FileSystem* fs =
         loop.fs != nullptr ? loop.fs : util::GetDefaultFileSystem();
-    manager = std::make_unique<CheckpointManager>(fs, loop.checkpoint_dir,
-                                                  loop.keep_checkpoints);
+    manager = std::make_unique<CheckpointManager>(
+        fs, loop.checkpoint_dir, loop.keep_checkpoints,
+        loop.checkpoint_save_attempts);
     CUISINE_RETURN_NOT_OK(manager->Init());
 
     // Structural validation beyond the envelope checksums: a checkpoint
@@ -401,6 +405,7 @@ util::Result<TrainHistory> TrainSequenceClassifier(
   loop.checkpoint_dir = options.checkpoint_dir;
   loop.checkpoint_every_steps = options.checkpoint_every_steps;
   loop.keep_checkpoints = options.keep_checkpoints;
+  loop.checkpoint_save_attempts = options.checkpoint_save_attempts;
   loop.stop_after_steps = options.stop_after_steps;
   loop.fs = options.fs;
   loop.use_arena = options.use_arena;
@@ -423,6 +428,8 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
   RunShards(shards, [&](size_t shard) {
     util::Rng rng(0);  // unused: dropout is off in eval mode
     for (size_t i = shard; i < x.size(); i += shards) {
+      util::ThrowIfCancelled("engine.eval");
+      util::MaybeInjectFault("engine.eval");
       RunInStepScope(use_arena, [&] {
         nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
         losses[i] = nn::CrossEntropy(logits.Detach(), {y[i]}).item();
@@ -452,6 +459,12 @@ void PredictSequencesInto(const SequenceForwardFn& forward,
   RunShards(shards, [&](size_t shard) {
     util::Rng rng(0);  // unused: dropout is off in eval mode
     for (size_t i = shard; i < x.size(); i += shards) {
+      // Cancellation/chaos checkpoints (util/deadline.h): a deadlined
+      // request stops burning cores between examples, and an armed
+      // FaultInjector exercises the service's retry path. Both are a
+      // thread-local load when no request context is installed.
+      util::ThrowIfCancelled("engine.predict");
+      util::MaybeInjectFault("engine.predict");
       RunInStepScope(use_arena, [&] {
         nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
         const auto k = static_cast<size_t>(logits.cols());
@@ -640,6 +653,7 @@ util::Result<std::vector<double>> PretrainMlm(
   loop.checkpoint_dir = options.checkpoint_dir;
   loop.checkpoint_every_steps = options.checkpoint_every_steps;
   loop.keep_checkpoints = options.keep_checkpoints;
+  loop.checkpoint_save_attempts = options.checkpoint_save_attempts;
   loop.stop_after_steps = options.stop_after_steps;
   loop.fs = options.fs;
   loop.use_arena = options.use_arena;

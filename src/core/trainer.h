@@ -80,6 +80,10 @@ struct NeuralTrainOptions {
   int64_t checkpoint_every_steps = 0;
   /// Rotating checkpoints retained in checkpoint_dir.
   int32_t keep_checkpoints = 3;
+  /// Attempts per checkpoint write (>= 1): transient filesystem faults
+  /// are retried with bounded backoff before aborting training. 1
+  /// surfaces every fault unretried (fault-injection tests rely on it).
+  int32_t checkpoint_save_attempts = 3;
   /// Fault-injection hook: abandon the run — without a final
   /// checkpoint, as a crash would — once the global optimizer step
   /// count reaches this value (0 = run to completion).
@@ -168,6 +172,7 @@ struct MlmOptions {
   std::string checkpoint_dir;
   int64_t checkpoint_every_steps = 0;
   int32_t keep_checkpoints = 3;
+  int32_t checkpoint_save_attempts = 3;
   int64_t stop_after_steps = 0;
   util::FileSystem* fs = nullptr;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/deadline.h"
+#include "util/fault_injector.h"
 #include "util/thread_pool.h"
 
 namespace cuisine::ml {
@@ -45,8 +47,11 @@ std::vector<int32_t> PredictAll(const SparseClassifier& model,
                                 size_t num_threads) {
   std::vector<int32_t> out(x.rows());
   if (num_threads == 0) num_threads = util::HardwareThreads();
-  util::ParallelFor(x.rows(), num_threads,
-                    [&](size_t i) { out[i] = model.Predict(x.Row(i)); });
+  util::ParallelFor(x.rows(), num_threads, [&](size_t i) {
+    util::ThrowIfCancelled("ml.predict");
+    util::MaybeInjectFault("engine.predict");
+    out[i] = model.Predict(x.Row(i));
+  });
   return out;
 }
 
@@ -55,8 +60,11 @@ std::vector<std::vector<float>> PredictProbaAll(const SparseClassifier& model,
                                                 size_t num_threads) {
   std::vector<std::vector<float>> out(x.rows());
   if (num_threads == 0) num_threads = util::HardwareThreads();
-  util::ParallelFor(x.rows(), num_threads,
-                    [&](size_t i) { out[i] = model.PredictProba(x.Row(i)); });
+  util::ParallelFor(x.rows(), num_threads, [&](size_t i) {
+    util::ThrowIfCancelled("ml.predict");
+    util::MaybeInjectFault("engine.predict");
+    out[i] = model.PredictProba(x.Row(i));
+  });
   return out;
 }
 

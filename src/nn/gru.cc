@@ -1,5 +1,6 @@
 #include "nn/gru.h"
 
+#include "util/deadline.h"
 #include "util/logging.h"
 
 namespace cuisine::nn {
@@ -79,6 +80,12 @@ Tensor GruClassifier::ForwardLogits(const features::EncodedSequence& seq,
   states.reserve(cells_.size());
   for (const auto& cell : cells_) states.push_back(cell->InitialState());
   for (size_t t = 0; t < length; ++t) {
+    // Cooperative cancellation checkpoint: empty the scratch *before*
+    // throwing so no state tensor outlives the unwinding ArenaScope.
+    if (t != 0 && util::CancellationRequested()) {
+      states.clear();
+      throw util::CancelledError("gru.forward");
+    }
     Tensor input = SliceRows(embedded, static_cast<int64_t>(t), 1);
     for (size_t l = 0; l < cells_.size(); ++l) {
       if (l > 0) input = dropout_.Forward(input, training, rng);

@@ -1,5 +1,6 @@
 #include "nn/transformer.h"
 
+#include "util/deadline.h"
 #include "util/logging.h"
 
 namespace cuisine::nn {
@@ -98,6 +99,9 @@ Tensor TransformerEncoder::Encode(const features::EncodedSequence& seq,
   // to MaskBias(all-ones) without building the mask vector.
   const Tensor mask_bias = Tensor::Zeros(1, static_cast<int64_t>(length));
   for (const auto& layer : layers_) {
+    // Cooperative cancellation checkpoint between layers; all scratch
+    // here is local, so a plain throw unwinds cleanly.
+    util::ThrowIfCancelled("transformer.encode");
     x = layer->Forward(x, mask_bias, training, rng);
   }
   return x;

@@ -1,29 +1,55 @@
 #include "text/preprocessor.h"
 
+#include "util/telemetry.h"
+
 namespace cuisine::text {
 
-Preprocessor::Preprocessor(TokenizerOptions options)
-    : options_(options), cleaner_(options.cleaner) {}
+namespace {
+util::Counter* MemoEvictions() {
+  static util::Counter* counter =
+      util::MetricsRegistry::Instance().GetCounter("preprocess.memo_evictions");
+  return counter;
+}
+}  // namespace
+
+Preprocessor::Preprocessor(TokenizerOptions options, size_t memo_capacity)
+    : options_(options), cleaner_(options.cleaner),
+      memo_capacity_(memo_capacity) {}
 
 void Preprocessor::ProcessEvent(std::string_view event, TokenTable* table,
                                 std::vector<int32_t>* out) {
+  if (memo_capacity_ == 0) {
+    ProcessEventUncached(event, table, out);
+    return;
+  }
   if (table != memo_table_) {
     memo_.clear();
+    lru_.clear();
     memo_table_ = table;
   }
   const auto it = memo_.find(event);
   if (it != memo_.end()) {
-    out->insert(out->end(), it->second.begin(), it->second.end());
+    // Hit: replay the ids and move the entry to the recency front.
+    out->insert(out->end(), it->second.ids.begin(), it->second.ids.end());
+    lru_.splice(lru_.begin(), lru_, it->second.lru_slot);
     return;
   }
   const size_t first = out->size();
   ProcessEventUncached(event, table, out);
-  if (memo_.size() < kMemoCap) {
-    memo_.emplace(std::string(event),
-                  std::vector<int32_t>(out->begin() +
-                                           static_cast<std::ptrdiff_t>(first),
-                                       out->end()));
+  if (memo_.size() >= memo_capacity_) {
+    // Evict the least-recently-used event to stay within the bound.
+    memo_.erase(*lru_.back());
+    lru_.pop_back();
+    MemoEvictions()->Add();
   }
+  const auto inserted = memo_.emplace(
+      std::string(event),
+      MemoEntry{std::vector<int32_t>(
+                    out->begin() + static_cast<std::ptrdiff_t>(first),
+                    out->end()),
+                lru_.end()});
+  lru_.push_front(&inserted.first->first);
+  inserted.first->second.lru_slot = lru_.begin();
 }
 
 void Preprocessor::ProcessEventUncached(std::string_view event,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,7 +32,15 @@ namespace cuisine::text {
 /// \brief Single-pass, allocation-free event tokenizer emitting ids.
 class Preprocessor {
  public:
-  explicit Preprocessor(TokenizerOptions options = {});
+  /// Default memo bound: far above any realistic distinct-event count
+  /// (RecipeDB draws events from a closed set), so steady-state corpora
+  /// never evict; it exists to bound memory on adversarial streams.
+  static constexpr size_t kDefaultMemoCapacity = 1 << 20;
+
+  /// `memo_capacity` bounds the event→ids memo (LRU eviction beyond it,
+  /// counted by `preprocess.memo_evictions`); 0 disables memoisation.
+  explicit Preprocessor(TokenizerOptions options = {},
+                        size_t memo_capacity = kDefaultMemoCapacity);
 
   /// Tokenizes one event phrase, interning each resulting token into
   /// `*table` and appending its id to `*out`. Equivalent to interning
@@ -40,6 +49,10 @@ class Preprocessor {
                     std::vector<int32_t>* out);
 
   const TokenizerOptions& options() const { return options_; }
+
+  /// Memoised distinct events (tests and capacity tuning).
+  size_t memo_size() const { return memo_.size(); }
+  size_t memo_capacity() const { return memo_capacity_; }
 
  private:
   void ProcessEventUncached(std::string_view event, TokenTable* table,
@@ -51,20 +64,26 @@ class Preprocessor {
   std::string clean_buf_;  // cleaned event text
   std::string token_buf_;  // lemmatized word or joined phrase
 
-  /// Event text -> interned ids. Corpora repeat event strings heavily
-  /// (RecipeDB draws from a closed ingredient/process/utensil set), so
-  /// repeat events skip clean+lemmatize+intern entirely. Ids are only
-  /// valid for the table they were interned into, so the memo resets
-  /// when a different table is passed.
-  std::unordered_map<std::string, std::vector<int32_t>,
-                     util::TransparentStringHash, std::equal_to<>>
-      memo_;
-  const TokenTable* memo_table_ = nullptr;
+  /// One memoised event: its interned ids plus its slot in the recency
+  /// list (most-recently-used at the front).
+  struct MemoEntry {
+    std::vector<int32_t> ids;
+    std::list<const std::string*>::iterator lru_slot;
+  };
 
-  /// Memo growth cap; beyond this, events are processed uncached. Far
-  /// above any realistic distinct-event count, just a guard against
-  /// unbounded memory on adversarial streams.
-  static constexpr size_t kMemoCap = 1 << 20;
+  /// Event text -> interned ids, LRU-bounded at memo_capacity_. Corpora
+  /// repeat event strings heavily (RecipeDB draws from a closed
+  /// ingredient/process/utensil set), so repeat events skip
+  /// clean+lemmatize+intern entirely. Ids are only valid for the table
+  /// they were interned into, so the memo resets when a different table
+  /// is passed. The recency list stores pointers into the map's keys,
+  /// which unordered_map keeps stable across rehash.
+  std::unordered_map<std::string, MemoEntry, util::TransparentStringHash,
+                     std::equal_to<>>
+      memo_;
+  std::list<const std::string*> lru_;
+  size_t memo_capacity_;
+  const TokenTable* memo_table_ = nullptr;
 };
 
 }  // namespace cuisine::text

@@ -1,0 +1,30 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace cuisine::util {
+
+double Backoff::NextDelayMs() {
+  if (attempts_ == 0) {
+    next_delay_ms_ = options_.initial_delay_ms;
+  } else {
+    next_delay_ms_ =
+        std::min(next_delay_ms_ * options_.multiplier, options_.max_delay_ms);
+  }
+  ++attempts_;
+  double delay = std::min(next_delay_ms_, options_.max_delay_ms);
+  if (options_.jitter > 0.0) {
+    const double low = std::clamp(1.0 - options_.jitter, 0.0, 1.0);
+    delay *= low + (1.0 - low) * rng_.NextDouble();
+  }
+  return delay;
+}
+
+void SleepForMillis(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace cuisine::util

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.h"
+
+/// \file backoff.h
+/// \brief Bounded exponential backoff with seeded jitter.
+///
+/// Shared by every retry loop in the repo — the checkpoint manager's
+/// transient-write retries and the inference service's per-tier attempt
+/// loop. Jitter draws from a seeded `Rng`, so a retry schedule is a pure
+/// function of (options, seed): fault-injection tests replay the exact
+/// same delays every run.
+
+namespace cuisine::util {
+
+struct BackoffOptions {
+  /// Delay before the first retry.
+  double initial_delay_ms = 1.0;
+  /// Growth factor per retry.
+  double multiplier = 2.0;
+  /// Upper bound on any single delay.
+  double max_delay_ms = 100.0;
+  /// Jitter fraction in [0, 1]: each delay is scaled by a uniform draw
+  /// from [1 - jitter, 1]. 0 disables jitter entirely (no RNG draw), so
+  /// schedules without jitter are identical across seeds.
+  double jitter = 0.5;
+};
+
+/// \brief One retry schedule: call NextDelayMs() after each failure.
+class Backoff {
+ public:
+  Backoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// The delay to wait before the next retry, in milliseconds.
+  double NextDelayMs();
+
+  /// Retries handed out so far.
+  int attempts() const { return attempts_; }
+
+  /// Restarts the schedule (the RNG keeps advancing: schedules stay
+  /// decorrelated across resets).
+  void Reset() {
+    attempts_ = 0;
+    next_delay_ms_ = 0.0;
+  }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int attempts_ = 0;
+  double next_delay_ms_ = 0.0;
+};
+
+/// Blocks the calling thread for `ms` milliseconds (no-op when <= 0).
+void SleepForMillis(double ms);
+
+}  // namespace cuisine::util

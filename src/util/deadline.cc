@@ -1,0 +1,47 @@
+#include "util/deadline.h"
+
+#include <cmath>
+
+namespace cuisine::util {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local ExecContext t_exec_context;
+
+}  // namespace
+
+Deadline Deadline::AfterMillis(double ms) {
+  if (!std::isfinite(ms) || ms >= 9.0e12) return Infinite();  // ~285 years
+  return Deadline(NowNs() + static_cast<int64_t>(ms * 1e6));
+}
+
+bool Deadline::expired() const {
+  return deadline_ns_ != kInfiniteNs && NowNs() >= deadline_ns_;
+}
+
+double Deadline::remaining_millis() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(deadline_ns_ - NowNs()) * 1e-6;
+}
+
+std::chrono::steady_clock::time_point Deadline::time_point() const {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(deadline_ns_));
+}
+
+const ExecContext& CurrentExecContext() { return t_exec_context; }
+
+ExecContextScope::ExecContextScope(const ExecContext& context)
+    : previous_(t_exec_context) {
+  t_exec_context = context;
+}
+
+ExecContextScope::~ExecContextScope() { t_exec_context = previous_; }
+
+}  // namespace cuisine::util

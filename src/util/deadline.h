@@ -1,0 +1,148 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+/// \file deadline.h
+/// \brief Request deadlines and cooperative cancellation for the serving
+/// path (DESIGN.md "Serving and degradation").
+///
+/// A `Deadline` is a fixed point on the steady clock; a
+/// `CancellationToken` couples one with an explicit cancel flag. The
+/// token is threaded through the parallel engine by `ExecContextScope`:
+/// `core::RunShards` and `util::ParallelFor` snapshot the caller's
+/// context and reinstall it inside every pool task, so a worker running
+/// a shard of a cancelled request observes the same token as the thread
+/// that submitted it.
+///
+/// Cancellation is cooperative and exception-based: hot loops call
+/// `CancellationRequested()` (two loads when no token is installed) or
+/// `ThrowIfCancelled()` at natural safe points — between examples in the
+/// engine loops, between timesteps in the recurrent cells, between
+/// layers in the transformer — and a cancelled computation unwinds with
+/// `CancelledError` before burning further cores. Code that installs no
+/// token (all of training, the experiment runner, direct engine calls)
+/// pays one thread-local load per check and can never be cancelled.
+
+namespace cuisine::util {
+
+/// \brief A fixed instant on the steady clock, or "never".
+class Deadline {
+ public:
+  /// Default-constructed deadlines never expire.
+  Deadline() : deadline_ns_(kInfiniteNs) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `ms` milliseconds from now (clamped to "never" for
+  /// non-finite or absurd inputs).
+  static Deadline AfterMillis(double ms);
+
+  bool infinite() const { return deadline_ns_ == kInfiniteNs; }
+  bool expired() const;
+
+  /// Milliseconds until expiry: negative when past, +infinity when the
+  /// deadline is infinite.
+  double remaining_millis() const;
+
+  /// The deadline as a steady-clock time point (for cv wait_until).
+  /// Requires !infinite().
+  std::chrono::steady_clock::time_point time_point() const;
+
+ private:
+  static constexpr int64_t kInfiniteNs = std::numeric_limits<int64_t>::max();
+  explicit Deadline(int64_t ns) : deadline_ns_(ns) {}
+
+  int64_t deadline_ns_;  ///< steady-clock nanoseconds since epoch
+};
+
+/// \brief Explicit-cancel flag plus an optional deadline.
+///
+/// `ShouldStop()` is the check hot loops use: it latches the flag the
+/// first time the deadline is observed expired, so steady-state checks
+/// after cancellation are a single relaxed load with no clock read.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(Deadline deadline) : deadline_(deadline) {}
+
+  /// Requests cancellation (idempotent, thread-safe).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called or the deadline was observed expired.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when work on behalf of this token should stop: explicitly
+  /// cancelled, or past the deadline.
+  bool ShouldStop() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_.expired()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by cancellation checkpoints when the current token requests a
+/// stop; the service maps it to kDeadlineExceeded / kCancelled.
+struct CancelledError : public std::runtime_error {
+  explicit CancelledError(const char* where)
+      : std::runtime_error(std::string("cancelled at ") + where) {}
+};
+
+class FaultInjector;  // util/fault_injector.h
+
+/// \brief The per-request execution context the engine propagates into
+/// pool workers: a cancellation token and an optional fault injector
+/// (both non-owning; the request that installed them outlives every
+/// shard, because RunShards/ParallelFor block until all tasks finish).
+struct ExecContext {
+  CancellationToken* cancel = nullptr;
+  FaultInjector* faults = nullptr;
+
+  bool empty() const { return cancel == nullptr && faults == nullptr; }
+};
+
+/// The calling thread's current context (empty by default).
+const ExecContext& CurrentExecContext();
+
+/// \brief RAII installer for the thread's ExecContext; restores the
+/// previous context on destruction (contexts nest).
+class ExecContextScope {
+ public:
+  explicit ExecContextScope(const ExecContext& context);
+  ~ExecContextScope();
+
+  ExecContextScope(const ExecContextScope&) = delete;
+  ExecContextScope& operator=(const ExecContextScope&) = delete;
+
+ private:
+  ExecContext previous_;
+};
+
+/// True when the thread's current token requests a stop. One
+/// thread-local load when no token is installed.
+inline bool CancellationRequested() {
+  const ExecContext& ctx = CurrentExecContext();
+  return ctx.cancel != nullptr && ctx.cancel->ShouldStop();
+}
+
+/// Cancellation checkpoint: throws CancelledError when the current token
+/// requests a stop. `where` names the call site for the error message.
+inline void ThrowIfCancelled(const char* where) {
+  if (CancellationRequested()) throw CancelledError(where);
+}
+
+}  // namespace cuisine::util

@@ -1,0 +1,62 @@
+#include "util/fault_injector.h"
+
+#include "util/backoff.h"
+#include "util/deadline.h"
+#include "util/telemetry.h"
+
+namespace cuisine::util {
+
+namespace {
+
+struct FaultMetrics {
+  Counter* failures =
+      MetricsRegistry::Instance().GetCounter("faults.injected_failures");
+  Counter* spikes =
+      MetricsRegistry::Instance().GetCounter("faults.injected_spikes");
+};
+
+FaultMetrics& Metrics() {
+  static FaultMetrics* metrics = new FaultMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+void FaultInjector::MaybeInject(const char* site) {
+  const FaultInjectorOptions& opt = options_;
+  if (opt.failure_probability <= 0.0 && opt.latency_spike_probability <= 0.0) {
+    return;
+  }
+  draws_.fetch_add(1, std::memory_order_relaxed);
+  double fail_draw = 1.0, spike_draw = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opt.failure_probability > 0.0) fail_draw = rng_.NextDouble();
+    if (opt.latency_spike_probability > 0.0) spike_draw = rng_.NextDouble();
+  }
+  if (spike_draw < opt.latency_spike_probability) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().spikes->Add();
+    SleepForMillis(opt.latency_spike_ms);
+  }
+  if (fail_draw < opt.failure_probability) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().failures->Add();
+    throw InjectedFaultError(site);
+  }
+}
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+  draws_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+  spikes_.store(0, std::memory_order_relaxed);
+}
+
+void MaybeInjectFault(const char* site) {
+  FaultInjector* injector = CurrentExecContext().faults;
+  if (injector != nullptr) injector->MaybeInject(site);
+}
+
+}  // namespace cuisine::util

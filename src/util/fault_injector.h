@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+/// \file fault_injector.h
+/// \brief Seeded fault injection for the compute path.
+///
+/// PR 3's `FaultInjectionFileSystem` made filesystem failures testable;
+/// this extends the same philosophy to compute: a `FaultInjector`
+/// installed in the thread's `ExecContext` (util/deadline.h) makes the
+/// engine's per-example loops probabilistically throw transient errors
+/// and stall on latency spikes, all driven by one seeded `Rng`. The
+/// inference service's retry/degradation machinery is exercised against
+/// these faults in `service_test` and soaked under TSan by
+/// `bench_service --chaos`.
+///
+/// Single-threaded runs replay bit-for-bit from the seed. Multi-worker
+/// runs draw from the same stream under a mutex, so *which* example hits
+/// a fault depends on scheduling — the overall fault *rate* and the
+/// decision sequence stay deterministic, which is what the chaos gates
+/// measure. The injector never fires when `failure_probability` and
+/// `latency_spike_probability` are both 0, and a null injector (the
+/// default everywhere) costs one thread-local load per call site.
+
+namespace cuisine::util {
+
+/// Transient, retryable failure raised by an armed injector. The service
+/// maps it to kUnavailable and retries with backoff; anything else
+/// escaping a model is treated as a hard tier failure.
+struct InjectedFaultError : public std::runtime_error {
+  explicit InjectedFaultError(const std::string& site)
+      : std::runtime_error("injected transient fault at " + site) {}
+};
+
+struct FaultInjectorOptions {
+  /// Probability that a MaybeInject call throws InjectedFaultError.
+  double failure_probability = 0.0;
+  /// Probability that a MaybeInject call sleeps for latency_spike_ms.
+  double latency_spike_probability = 0.0;
+  /// Duration of an injected latency spike.
+  double latency_spike_ms = 2.0;
+  uint64_t seed = 0x5ca1ab1eULL;
+};
+
+/// \brief Seeded compute-path fault source. Thread-safe; install via
+/// ExecContext (engine loops) or call MaybeInject directly (service).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Draws once from the seeded stream: may sleep (latency spike), may
+  /// throw InjectedFaultError (task failure), usually does neither.
+  /// `site` labels the call site in the error message and telemetry.
+  void MaybeInject(const char* site);
+
+  /// Re-arms the injector with a fresh seed and zeroed counts.
+  void Reset(uint64_t seed);
+
+  uint64_t draws() const { return draws_.load(std::memory_order_relaxed); }
+  uint64_t injected_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_spikes() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  FaultInjectorOptions options_;
+  std::mutex mu_;  // guards rng_
+  Rng rng_;
+  std::atomic<uint64_t> draws_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> spikes_{0};
+};
+
+/// Consults the thread's current ExecContext injector: no-op (one
+/// thread-local load) when none is installed.
+void MaybeInjectFault(const char* site);
+
+}  // namespace cuisine::util

@@ -25,6 +25,13 @@ enum class StatusCode {
   kNotImplemented,
   kFailedPrecondition,
   kInternal,
+  // Serving-path codes (core/service.h): a request that blew its budget,
+  // one shed by admission control, one cancelled by the caller, and one
+  // no tier of the degradation ladder could answer.
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation: OK or a code plus message.
@@ -62,6 +69,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

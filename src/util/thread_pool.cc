@@ -6,6 +6,7 @@
 #include <cmath>
 #include <exception>
 
+#include "util/deadline.h"
 #include "util/telemetry.h"
 
 namespace cuisine::util {
@@ -179,10 +180,16 @@ void ParallelFor(size_t n, size_t num_threads,
     return;
   }
   auto next = std::make_shared<std::atomic<size_t>>(0);
+  // Propagate the caller's cancellation/fault context into the workers:
+  // a shard of a cancelled request must observe the same token as the
+  // thread that submitted it (the caller outlives every task — this
+  // function blocks until all futures resolve).
+  const ExecContext context = CurrentExecContext();
   std::vector<std::future<void>> futures;
   futures.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
-    futures.push_back(SharedPool().Submit([next, n, &fn] {
+    futures.push_back(SharedPool().Submit([next, n, &fn, context] {
+      ExecContextScope scope(context);
       for (;;) {
         const size_t i = next->fetch_add(1);
         if (i >= n) return;

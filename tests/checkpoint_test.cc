@@ -16,6 +16,7 @@
 #include "util/fs.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/telemetry.h"
 
 /// \file checkpoint_test.cc
 /// \brief Crash-safety tests: the checksummed tensor format (v2 + legacy
@@ -548,12 +549,15 @@ TEST(CrashRecoveryTest, InjectedSaveFailuresSurfaceAsIOError) {
   const TinyTask task;
   util::LocalFileSystem local;
 
-  // Torn checkpoint write: training reports the IOError, never hides it.
+  // Torn checkpoint write: training reports the IOError, never hides
+  // it. save_attempts is pinned to 1 — the default retry policy would
+  // absorb this one-shot fault (see SaveRetriesAbsorbTransientFault).
   {
     util::FaultInjectionFileSystem fs(&local, /*seed=*/79);
     NeuralTrainOptions options = TinyOptions();
     options.checkpoint_dir = TestDir("torn_save");
     options.checkpoint_every_steps = 1;
+    options.checkpoint_save_attempts = 1;
     options.fs = &fs;
     fs.TearNextWrite();
     auto history = TrainTiny(task, options, nullptr);
@@ -571,6 +575,34 @@ TEST(CrashRecoveryTest, InjectedSaveFailuresSurfaceAsIOError) {
     auto history = TrainTiny(task, options, nullptr);
     EXPECT_EQ(history.status().code(), util::StatusCode::kIOError);
   }
+}
+
+TEST(CrashRecoveryTest, SaveRetriesAbsorbTransientFault) {
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, /*seed=*/81);
+  const std::string dir = TestDir("save_retry");
+
+  // A one-shot torn write is absorbed by the default retry policy: the
+  // save succeeds, the retry is counted, and the rewritten checkpoint
+  // verifies end to end.
+  CheckpointManager manager(&fs, dir, /*keep=*/3, /*save_attempts=*/3);
+  ASSERT_TRUE(manager.Init().ok());
+  util::Counter* retries =
+      util::MetricsRegistry::Instance().GetCounter("checkpoint.save_retries");
+  const uint64_t retries_before = retries->value();
+  fs.TearNextWrite();
+  ASSERT_TRUE(manager.Save(7, "payload-bytes").ok());
+  EXPECT_GE(retries->value() - retries_before, 1u);
+  auto loaded = manager.LoadLatestValid();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->step, 7u);
+  EXPECT_EQ(loaded->payload, "payload-bytes");
+
+  // save_attempts = 1 disables the retry: the same fault surfaces.
+  CheckpointManager strict(&fs, dir, /*keep=*/3, /*save_attempts=*/1);
+  fs.TearNextWrite();
+  EXPECT_EQ(strict.Save(8, "more-bytes").code(),
+            util::StatusCode::kIOError);
 }
 
 // ---- MLM pretraining resume ----

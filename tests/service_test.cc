@@ -1,0 +1,579 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "core/service.h"
+#include "features/sequence_encoder.h"
+#include "text/vocabulary.h"
+#include "util/backoff.h"
+#include "util/deadline.h"
+#include "util/fault_injector.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+/// \file service_test.cc
+/// \brief Tests of the fault-tolerant inference service and its
+/// util-layer building blocks: deadlines/cancellation tokens, seeded
+/// backoff, the compute-path fault injector, admission control and
+/// load shedding, the per-tier circuit breaker state machine, retry
+/// semantics, graceful degradation down the ladder, and the
+/// cancellation-safety property — a deadline-aborted PredictBatch
+/// leaves no trace and the next request is bit-identical to a fresh
+/// run.
+
+namespace cuisine::core {
+namespace {
+
+// ---- util building blocks ----
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const util::Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 1e12);
+  EXPECT_TRUE(util::Deadline::AfterMillis(
+                  std::numeric_limits<double>::infinity())
+                  .infinite());
+}
+
+TEST(DeadlineTest, ExpiresAndReportsRemaining) {
+  const util::Deadline d = util::Deadline::AfterMillis(30.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0.0);
+  EXPECT_LE(d.remaining_millis(), 30.0);
+  const util::Deadline past = util::Deadline::AfterMillis(0.0);
+  util::SleepForMillis(1.0);
+  EXPECT_TRUE(past.expired());
+  EXPECT_LT(past.remaining_millis(), 0.0);
+}
+
+TEST(CancellationTokenTest, LatchesDeadlineAndExplicitCancel) {
+  util::CancellationToken explicit_token;
+  EXPECT_FALSE(explicit_token.ShouldStop());
+  explicit_token.Cancel();
+  EXPECT_TRUE(explicit_token.ShouldStop());
+
+  util::CancellationToken deadline_token(util::Deadline::AfterMillis(0.0));
+  util::SleepForMillis(1.0);
+  EXPECT_TRUE(deadline_token.ShouldStop());
+  EXPECT_TRUE(deadline_token.cancelled());  // latched
+}
+
+TEST(CancellationTokenTest, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(util::CancellationRequested());
+  util::CancellationToken token;
+  token.Cancel();
+  {
+    util::ExecContext context;
+    context.cancel = &token;
+    util::ExecContextScope scope(context);
+    EXPECT_TRUE(util::CancellationRequested());
+    EXPECT_THROW(util::ThrowIfCancelled("test"), util::CancelledError);
+  }
+  EXPECT_FALSE(util::CancellationRequested());
+}
+
+TEST(BackoffTest, JitterFreeScheduleIsExactDoublingWithCap) {
+  util::Backoff backoff({.initial_delay_ms = 1.0,
+                         .multiplier = 2.0,
+                         .max_delay_ms = 5.0,
+                         .jitter = 0.0},
+                        /*seed=*/1);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 5.0);
+  EXPECT_EQ(backoff.attempts(), 5);
+  backoff.Reset();
+  EXPECT_DOUBLE_EQ(backoff.NextDelayMs(), 1.0);
+}
+
+TEST(BackoffTest, JitteredScheduleIsSeedDeterministicAndBounded) {
+  const util::BackoffOptions options{.initial_delay_ms = 2.0,
+                                     .multiplier = 2.0,
+                                     .max_delay_ms = 100.0,
+                                     .jitter = 0.5};
+  util::Backoff a(options, /*seed=*/77);
+  util::Backoff b(options, /*seed=*/77);
+  double nominal = 2.0;
+  for (int i = 0; i < 6; ++i) {
+    const double da = a.NextDelayMs();
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());  // replayable
+    EXPECT_GE(da, nominal * 0.5 - 1e-9);    // within the jitter band
+    EXPECT_LE(da, nominal + 1e-9);
+    nominal = std::min(nominal * 2.0, 100.0);
+  }
+}
+
+TEST(FaultInjectorTest, CertainFailureAlwaysThrowsAndCounts) {
+  util::FaultInjector injector({.failure_probability = 1.0, .seed = 5});
+  EXPECT_THROW(injector.MaybeInject("test"), util::InjectedFaultError);
+  EXPECT_EQ(injector.injected_failures(), 1u);
+  EXPECT_EQ(injector.draws(), 1u);
+  injector.Reset(/*seed=*/6);
+  EXPECT_EQ(injector.injected_failures(), 0u);
+}
+
+TEST(FaultInjectorTest, DisarmedInjectorNeverFires) {
+  util::FaultInjector injector({});
+  for (int i = 0; i < 1000; ++i) injector.MaybeInject("test");
+  EXPECT_EQ(injector.injected_failures(), 0u);
+  EXPECT_EQ(injector.injected_spikes(), 0u);
+  EXPECT_EQ(injector.draws(), 0u);  // early-out before the RNG
+  // The free function is a no-op without an installed context.
+  util::MaybeInjectFault("test");
+}
+
+TEST(FaultInjectorTest, SeededFailureRateIsReproducible) {
+  const util::FaultInjectorOptions options{.failure_probability = 0.3,
+                                           .seed = 99};
+  const auto count_failures = [&] {
+    util::FaultInjector injector(options);
+    uint64_t failures = 0;
+    for (int i = 0; i < 500; ++i) {
+      try {
+        injector.MaybeInject("test");
+      } catch (const util::InjectedFaultError&) {
+        ++failures;
+      }
+    }
+    return failures;
+  };
+  const uint64_t first = count_failures();
+  EXPECT_EQ(first, count_failures());  // bit-for-bit replay
+  EXPECT_GT(first, 100u);              // ~150 expected
+  EXPECT_LT(first, 200u);
+}
+
+// ---- Fake model for service-level failure semantics ----
+
+/// Shared, test-controlled behaviour of a FakeModel tier.
+struct FakeBehavior {
+  std::atomic<int> calls{0};
+  /// Throw InjectedFaultError for the first N calls (transient).
+  std::atomic<int> fail_transient_first{0};
+  /// Throw std::runtime_error on every call (hard tier failure).
+  std::atomic<bool> fail_hard{false};
+  /// Milliseconds to sleep inside PredictBatch.
+  std::atomic<int> sleep_ms{0};
+  /// Block until released (admission tests).
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gated = false;
+  int32_t label = 0;
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      gated = false;
+    }
+    gate_cv.notify_all();
+  }
+};
+
+class FakeModel : public Model {
+ public:
+  FakeModel(std::string name, FakeBehavior* behavior)
+      : name_(std::move(name)), behavior_(behavior) {}
+
+  std::string name() const override { return name_; }
+  ModelInput input() const override { return ModelInput::kTfidf; }
+  util::Status Fit(const ModelDataset&, const FitOptions&) override {
+    return util::Status::OK();
+  }
+  double EvaluateLoss(const ModelDataset&, size_t) const override {
+    return 0.0;
+  }
+
+  Predictions PredictBatch(const ModelDataset& inputs,
+                           size_t /*num_workers*/) const override {
+    behavior_->calls.fetch_add(1);
+    {
+      std::unique_lock<std::mutex> lock(behavior_->gate_mu);
+      behavior_->gate_cv.wait(lock, [&] { return !behavior_->gated; });
+    }
+    if (behavior_->sleep_ms.load() > 0) {
+      util::SleepForMillis(behavior_->sleep_ms.load());
+    }
+    util::ThrowIfCancelled("fake.predict");
+    util::MaybeInjectFault("engine.predict");
+    if (behavior_->fail_transient_first.load() > 0) {
+      behavior_->fail_transient_first.fetch_sub(1);
+      throw util::InjectedFaultError("fake.predict");
+    }
+    if (behavior_->fail_hard.load()) {
+      throw std::runtime_error("fake hard failure");
+    }
+    Predictions out;
+    const size_t n = std::max<size_t>(1, inputs.size());
+    out.labels.assign(n, behavior_->label);
+    out.probas.assign(n, {1.0f});
+    return out;
+  }
+
+ private:
+  std::string name_;
+  FakeBehavior* behavior_;
+};
+
+/// A two-tier fixture: primary + fallback FakeModels with their own
+/// behaviours, plus a manual breaker clock.
+struct FakeLadder {
+  FakeBehavior primary_behavior;
+  FakeBehavior fallback_behavior;
+  FakeModel primary{"primary", &primary_behavior};
+  FakeModel fallback{"fallback", &fallback_behavior};
+  std::shared_ptr<double> clock = std::make_shared<double>(0.0);
+
+  FakeLadder() { fallback_behavior.label = 1; }
+
+  ServiceOptions Options() {
+    ServiceOptions options;
+    options.max_concurrent = 1;
+    options.queue_capacity = 4;
+    options.retry_attempts = 3;
+    options.retry_backoff.initial_delay_ms = 0.1;
+    options.retry_backoff.max_delay_ms = 0.5;
+    options.breaker.window = 4;
+    options.breaker.min_samples = 2;
+    options.breaker.failure_ratio = 0.5;
+    options.breaker.cooldown_ms = 1000.0;
+    options.now_ms = [clock = clock] { return *clock; };
+    return options;
+  }
+
+  std::vector<ServiceTier> Tiers() {
+    return {{"primary", &primary}, {"fallback", &fallback}};
+  }
+};
+
+TEST(InferenceServiceTest, ServesFromPrimaryAndTagsTier) {
+  FakeLadder ladder;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+  const ModelDataset inputs;
+  const InferenceResponse response = service.Predict(inputs);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.served_by, "primary");
+  EXPECT_EQ(response.tier_index, 0u);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.retries, 0u);
+  EXPECT_EQ(response.predictions.labels, std::vector<int32_t>{0});
+  EXPECT_EQ(ladder.fallback_behavior.calls.load(), 0);
+}
+
+TEST(InferenceServiceTest, ShedsNewestWhenQueueFull) {
+  FakeLadder ladder;
+  ServiceOptions options = ladder.Options();
+  options.max_concurrent = 1;
+  options.queue_capacity = 0;  // no waiting room: busy == shed
+  InferenceService service(ladder.Tiers(), options);
+
+  {
+    std::lock_guard<std::mutex> lock(ladder.primary_behavior.gate_mu);
+    ladder.primary_behavior.gated = true;
+  }
+  std::thread blocked([&] {
+    const InferenceResponse r = service.Predict(ModelDataset{});
+    EXPECT_TRUE(r.status.ok());
+  });
+  // Wait until the blocked request holds the execution slot.
+  while (ladder.primary_behavior.calls.load() == 0) {
+    std::this_thread::yield();
+  }
+  const InferenceResponse shed = service.Predict(ModelDataset{});
+  EXPECT_EQ(shed.status.code(), util::StatusCode::kResourceExhausted);
+  ladder.primary_behavior.Release();
+  blocked.join();
+}
+
+TEST(InferenceServiceTest, DeadlineExpiresWhileQueued) {
+  FakeLadder ladder;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+  {
+    std::lock_guard<std::mutex> lock(ladder.primary_behavior.gate_mu);
+    ladder.primary_behavior.gated = true;
+  }
+  std::thread blocked([&] {
+    const InferenceResponse r = service.Predict(ModelDataset{});
+    EXPECT_TRUE(r.status.ok());
+  });
+  while (ladder.primary_behavior.calls.load() == 0) {
+    std::this_thread::yield();
+  }
+  const InferenceResponse late =
+      service.Predict(ModelDataset{}, /*deadline_ms=*/20.0);
+  EXPECT_EQ(late.status.code(), util::StatusCode::kDeadlineExceeded);
+  ladder.primary_behavior.Release();
+  blocked.join();
+}
+
+TEST(InferenceServiceTest, RetriesTransientFaultsWithBackoff) {
+  FakeLadder ladder;
+  ladder.primary_behavior.fail_transient_first = 2;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+  const InferenceResponse response = service.Predict(ModelDataset{});
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.served_by, "primary");
+  EXPECT_EQ(response.retries, 2u);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(ladder.primary_behavior.calls.load(), 3);
+}
+
+TEST(InferenceServiceTest, DegradesToFallbackOnHardFailure) {
+  FakeLadder ladder;
+  ladder.primary_behavior.fail_hard = true;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+  const InferenceResponse response = service.Predict(ModelDataset{});
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.served_by, "fallback");
+  EXPECT_EQ(response.tier_index, 1u);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.tiers_skipped, 1u);
+  EXPECT_EQ(response.predictions.labels, std::vector<int32_t>{1});
+}
+
+TEST(InferenceServiceTest, AllTiersDownReturnsUnavailable) {
+  FakeLadder ladder;
+  ladder.primary_behavior.fail_hard = true;
+  ladder.fallback_behavior.fail_hard = true;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+  const InferenceResponse response = service.Predict(ModelDataset{});
+  EXPECT_EQ(response.status.code(), util::StatusCode::kUnavailable);
+}
+
+TEST(InferenceServiceTest, BreakerOpensSkipsCoolsDownAndRecloses) {
+  FakeLadder ladder;
+  ladder.primary_behavior.fail_hard = true;
+  ServiceOptions options = ladder.Options();
+  options.retry_attempts = 1;  // one hard failure per request
+  InferenceService service(ladder.Tiers(), options);
+
+  // Two hard failures fill min_samples at 100% failure ratio: open.
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());  // degraded
+  EXPECT_EQ(service.breaker_state(0), InferenceService::BreakerState::kClosed);
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  EXPECT_EQ(service.breaker_state(0), InferenceService::BreakerState::kOpen);
+  const int calls_when_opened = ladder.primary_behavior.calls.load();
+
+  // While open (cooldown not elapsed) the primary is skipped entirely.
+  const InferenceResponse skipped = service.Predict(ModelDataset{});
+  ASSERT_TRUE(skipped.status.ok());
+  EXPECT_EQ(skipped.served_by, "fallback");
+  EXPECT_EQ(ladder.primary_behavior.calls.load(), calls_when_opened);
+
+  // After the cooldown, one half-open probe goes through; the primary
+  // is healthy again, so the probe closes the breaker.
+  ladder.primary_behavior.fail_hard = false;
+  *ladder.clock += 1500.0;
+  const InferenceResponse probe = service.Predict(ModelDataset{});
+  ASSERT_TRUE(probe.status.ok());
+  EXPECT_EQ(probe.served_by, "primary");
+  EXPECT_EQ(service.breaker_state(0), InferenceService::BreakerState::kClosed);
+}
+
+TEST(InferenceServiceTest, FailedProbeReopensBreaker) {
+  FakeLadder ladder;
+  ladder.primary_behavior.fail_hard = true;
+  ServiceOptions options = ladder.Options();
+  options.retry_attempts = 1;
+  InferenceService service(ladder.Tiers(), options);
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  ASSERT_EQ(service.breaker_state(0), InferenceService::BreakerState::kOpen);
+
+  // Probe fails: straight back to open, cooldown restarted.
+  *ladder.clock += 1500.0;
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  EXPECT_EQ(service.breaker_state(0), InferenceService::BreakerState::kOpen);
+  const int calls_after_probe = ladder.primary_behavior.calls.load();
+  EXPECT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  EXPECT_EQ(ladder.primary_behavior.calls.load(), calls_after_probe);
+}
+
+TEST(InferenceServiceTest, DeadlineAwareDegradeSkipsSlowTier) {
+  FakeLadder ladder;
+  ladder.primary_behavior.sleep_ms = 40;
+  InferenceService service(ladder.Tiers(), ladder.Options());
+
+  // Teach the service the primary's latency profile.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Predict(ModelDataset{}).status.ok());
+  }
+  util::Counter* skips = util::MetricsRegistry::Instance().GetCounter(
+      "service.deadline_skips");
+  const uint64_t skips_before = skips->value();
+
+  // 10ms of budget cannot fit a ~40ms p95: degrade without trying.
+  const InferenceResponse response =
+      service.Predict(ModelDataset{}, /*deadline_ms=*/10.0);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.served_by, "fallback");
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(skips->value() - skips_before, 1u);
+}
+
+TEST(InferenceServiceTest, ServiceInjectorDrivesRetries) {
+  FakeLadder ladder;
+  ServiceOptions options = ladder.Options();
+  options.retry_attempts = 10;
+  options.fault_injection = {.failure_probability = 0.5, .seed = 11};
+  InferenceService service(ladder.Tiers(), options);
+  size_t total_retries = 0;
+  for (int i = 0; i < 20; ++i) {
+    const InferenceResponse response = service.Predict(ModelDataset{});
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    total_retries += response.retries;
+  }
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_EQ(service.fault_injector().injected_failures(), total_retries);
+}
+
+// ---- Real-engine tests: bit-identity and cancellation safety ----
+
+/// Tiny labelled corpus matching core_engine_test's TinyData shape.
+struct RealFixture {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  text::Vocabulary vocab;
+  std::vector<features::EncodedSequence> sequences;
+
+  RealFixture() {
+    for (int i = 0; i < 24; ++i) {
+      const int32_t label = i % 3;
+      std::vector<std::string> doc;
+      for (int t = 0; t < 8; ++t) {
+        doc.push_back(t % 2 == 0
+                          ? "class" + std::to_string(label * 4 + t / 2)
+                          : "shared" + std::to_string((i + t) % 3));
+      }
+      docs.push_back(std::move(doc));
+      labels.push_back(label);
+    }
+    vocab = BuildSequenceVocabulary(docs, 1, 1000);
+    const features::SequenceEncoder encoder(
+        &vocab, {.max_length = 8, .add_cls_sep = false});
+    sequences = encoder.EncodeAll(docs);
+  }
+
+  ModelDataset Dataset() const {
+    return {.sequences = &sequences, .labels = &labels, .vocab = &vocab};
+  }
+};
+
+ModelContext RealContext() {
+  ModelContext context;
+  context.num_classes = 3;
+  auto& seq = context.sequential;
+  seq.lstm_sequence_length = 8;
+  seq.lstm = {.vocab_size = 0, .embedding_dim = 8, .hidden_size = 8,
+              .num_layers = 2, .dropout = 0.0f, .seed = 29};
+  seq.lstm_train.epochs = 1;
+  seq.lstm_train.batch_size = 8;
+  return context;
+}
+
+std::unique_ptr<Model> FitTinyLstm(const RealFixture& fixture) {
+  auto model = std::move(ModelRegistry::Instance().Create(
+                             "lstm", RealContext()))
+                   .MoveValueUnsafe();
+  FitOptions fit;
+  fit.num_classes = 3;
+  EXPECT_TRUE(model->Fit(fixture.Dataset(), fit).ok());
+  return model;
+}
+
+TEST(InferenceServiceTest, NominalPathIsBitIdenticalToDirectEngineCall) {
+  const RealFixture fixture;
+  const std::unique_ptr<Model> model = FitTinyLstm(fixture);
+  const ModelDataset dataset = fixture.Dataset();
+  const Predictions direct = model->PredictBatch(dataset, /*num_workers=*/2);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  InferenceService service({{"lstm", model.get()}}, options);
+  const InferenceResponse response = service.Predict(dataset);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.predictions.labels, direct.labels);
+  EXPECT_EQ(response.predictions.probas, direct.probas);  // bit-equal floats
+}
+
+TEST(InferenceServiceTest, AdaptiveWorkersKeepBitIdentity) {
+  const RealFixture fixture;
+  const std::unique_ptr<Model> model = FitTinyLstm(fixture);
+  const ModelDataset dataset = fixture.Dataset();
+  const Predictions direct = model->PredictBatch(dataset, /*num_workers=*/4);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.adaptive_workers = true;
+  options.adaptive.min_samples = 1;
+  InferenceService service({{"lstm", model.get()}}, options);
+  InferenceResponse response;
+  for (int i = 0; i < 3; ++i) {  // let the backlog EWMA engage
+    response = service.Predict(dataset);
+    ASSERT_TRUE(response.status.ok());
+  }
+  EXPECT_EQ(response.predictions.labels, direct.labels);
+  EXPECT_EQ(response.predictions.probas, direct.probas);
+  util::ConfigureAdaptiveWorkers({});  // restore the global default
+}
+
+TEST(InferenceServiceTest,
+     CancelledBatchLeavesNoTraceAndNextRunIsBitIdentical) {
+  const RealFixture fixture;
+  const std::unique_ptr<Model> model = FitTinyLstm(fixture);
+  const ModelDataset dataset = fixture.Dataset();
+  const Predictions baseline = model->PredictBatch(dataset, /*num_workers=*/2);
+
+  for (int round = 0; round < 3; ++round) {
+    // A pre-cancelled token aborts the batch at the first checkpoint —
+    // no partial Predictions object escapes, arena scopes unwind, and
+    // the thread-local recurrent scratch is cleared.
+    util::CancellationToken token;
+    token.Cancel();
+    util::ExecContext context;
+    context.cancel = &token;
+    bool cancelled = false;
+    try {
+      util::ExecContextScope scope(context);
+      (void)model->PredictBatch(dataset, /*num_workers=*/2);
+    } catch (const util::CancelledError&) {
+      cancelled = true;
+    }
+    EXPECT_TRUE(cancelled);
+
+    // The very next uncancelled run must be byte-equal to a fresh one:
+    // cancellation poisoned nothing.
+    const Predictions after = model->PredictBatch(dataset, /*num_workers=*/2);
+    ASSERT_EQ(after.labels, baseline.labels) << "round " << round;
+    ASSERT_EQ(after.probas, baseline.probas) << "round " << round;
+  }
+}
+
+TEST(InferenceServiceTest, ExpiredDeadlineOnServiceReturnsDeadlineExceeded) {
+  const RealFixture fixture;
+  const std::unique_ptr<Model> model = FitTinyLstm(fixture);
+  ServiceOptions options;
+  InferenceService service({{"lstm", model.get()}}, options);
+  const InferenceResponse response =
+      service.Predict(fixture.Dataset(), /*deadline_ms=*/0.0);
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  // The service stays healthy for the next, unhurried request.
+  const InferenceResponse ok = service.Predict(fixture.Dataset());
+  EXPECT_TRUE(ok.status.ok());
+}
+
+}  // namespace
+}  // namespace cuisine::core

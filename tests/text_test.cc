@@ -7,6 +7,7 @@
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace cuisine::text {
 namespace {
@@ -402,6 +403,48 @@ TEST(PreprocessorTest, MemoResetsWhenTableChanges) {
   ASSERT_EQ(ids_b.size(), ids_a.size());
   EXPECT_EQ(b.size(), 1u);
   EXPECT_EQ(b.View(ids_b[0]), a.View(ids_a[0]));
+}
+
+TEST(PreprocessorTest, MemoEvictsLeastRecentlyUsedAtCapacity) {
+  Preprocessor fused({}, /*memo_capacity=*/2);
+  TokenTable table;
+  util::Counter* evictions = util::MetricsRegistry::Instance().GetCounter(
+      "preprocess.memo_evictions");
+  const uint64_t evictions_before = evictions->value();
+
+  std::vector<int32_t> alpha_ids, beta_ids, scratch;
+  fused.ProcessEvent("chopped onions", &table, &alpha_ids);
+  fused.ProcessEvent("diced garlic", &table, &beta_ids);
+  EXPECT_EQ(fused.memo_size(), 2u);
+
+  // A hit refreshes recency, so the untouched entry is the victim.
+  fused.ProcessEvent("chopped onions", &table, &scratch);
+  fused.ProcessEvent("minced ginger", &table, &scratch);
+  EXPECT_EQ(fused.memo_size(), 2u);
+  EXPECT_EQ(evictions->value() - evictions_before, 1u);
+
+  // The evicted event reprocesses to the same ids (same table, so the
+  // interned ids are stable) and re-enters the memo, evicting again.
+  std::vector<int32_t> beta_again;
+  fused.ProcessEvent("diced garlic", &table, &beta_again);
+  EXPECT_EQ(beta_again, beta_ids);
+  EXPECT_EQ(evictions->value() - evictions_before, 2u);
+}
+
+TEST(PreprocessorTest, ZeroCapacityDisablesMemoButStaysCorrect) {
+  Preprocessor unmemoised({}, /*memo_capacity=*/0);
+  Preprocessor memoised{{}};
+  TokenTable table_a, table_b;
+  std::vector<int32_t> ids_a, ids_b;
+  for (int i = 0; i < 3; ++i) {
+    unmemoised.ProcessEvent("sliced red peppers", &table_a, &ids_a);
+    memoised.ProcessEvent("sliced red peppers", &table_b, &ids_b);
+  }
+  EXPECT_EQ(unmemoised.memo_size(), 0u);
+  ASSERT_EQ(ids_a.size(), ids_b.size());
+  for (size_t i = 0; i < ids_a.size(); ++i) {
+    EXPECT_EQ(table_a.View(ids_a[i]), table_b.View(ids_b[i]));
+  }
 }
 
 }  // namespace
