@@ -1,0 +1,327 @@
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "core/service.h"
+#include "features/sequence_encoder.h"
+#include "testing/harness.h"
+#include "testing/oracles.h"
+#include "text/vocabulary.h"
+#include "util/fs.h"
+#include "util/rng.h"
+#include "util/telemetry.h"
+
+/// \file soak_driver.cc
+/// \brief Long-run chaos soak over the whole pipeline (DESIGN.md §15).
+///
+/// Each round, keyed by a seed derived from --seed, runs
+///   1. the full fuzz-property sweep (hostile CSV / UTF-8 / serialized
+///      bytes against every parser surface),
+///   2. every differential oracle once — including the chaos
+///      train/kill/corrupt/resume oracle,
+///   3. a driver-owned checkpoint chaos segment: rotate checkpoints
+///      through a fault-injecting filesystem, flip a bit in the newest
+///      one, and demand recovery falls back to the previous step,
+///   4. a burst of inference-service traffic against a persistent
+///      fitted model,
+/// then asserts process-wide telemetry invariants: the arena never fell
+/// back to the heap, `checkpoint.corrupt_skipped` grew by at most the
+/// number of corruptions this driver injected, every histogram's bucket
+/// counts sum to its observation count with p50 <= p95 <= p99, and
+/// CURRENT names an on-disk checkpoint that unwraps cleanly.
+///
+/// Any violation prints the failing detail plus a one-line
+///   REPLAY: soak_driver --seed=0x<round seed> --rounds=1
+/// and exits 1; re-running with that seed reproduces the round exactly.
+///
+/// Flags: --rounds=N (default 5), --seed=0x... (default 0xS0AK),
+/// --smoke (2 rounds, small trial counts — the sanitizer-gate setting).
+
+namespace cuisine {
+namespace {
+
+struct SoakConfig {
+  int rounds = 5;
+  uint64_t seed = 0x50A4D51BULL;
+  bool smoke = false;
+};
+
+uint64_t g_round_seed = 0;
+
+[[noreturn]] void FailRound(const std::string& what) {
+  std::fprintf(stderr, "SOAK FAILURE: %s\n", what.c_str());
+  std::fprintf(stderr, "REPLAY: soak_driver --seed=0x%016" PRIx64 " --rounds=1\n",
+               g_round_seed);
+  std::exit(1);
+}
+
+void Check(bool ok, const std::string& what) {
+  if (!ok) FailRound(what);
+}
+
+// ---- Persistent service fixture (mirrors the service oracle's tiny
+// separable corpus; fitted once, hit with traffic every round). ----
+
+struct ServiceFixture {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  text::Vocabulary vocab;
+  std::unique_ptr<features::SequenceEncoder> encoder;
+  std::vector<features::EncodedSequence> sequences;
+  std::unique_ptr<core::Model> model;
+  std::unique_ptr<core::InferenceService> service;
+
+  core::ModelDataset Dataset() const {
+    return core::ModelDataset{
+        .sequences = &sequences, .labels = &labels, .vocab = &vocab};
+  }
+};
+
+std::unique_ptr<ServiceFixture> BuildServiceFixture(uint64_t seed) {
+  util::Rng rng(seed);
+  auto fx = std::make_unique<ServiceFixture>();
+  for (int i = 0; i < 24; ++i) {
+    const int32_t label = i % 3;
+    std::vector<std::string> doc;
+    for (int t = 0; t < 8; ++t) {
+      doc.push_back(t % 2 == 0 ? "class" + std::to_string(label * 4 + t / 2)
+                               : "shared" + std::to_string((i + t) % 3));
+    }
+    fx->docs.push_back(std::move(doc));
+    fx->labels.push_back(label);
+  }
+  fx->vocab = core::BuildSequenceVocabulary(fx->docs, 1, 1000);
+  fx->encoder = std::make_unique<features::SequenceEncoder>(
+      &fx->vocab, features::SequenceEncoderOptions{.max_length = 8,
+                                                   .add_cls_sep = false});
+  fx->sequences = fx->encoder->EncodeAll(fx->docs);
+
+  core::ModelContext context;
+  context.num_classes = 3;
+  auto& seq = context.sequential;
+  seq.lstm_sequence_length = 8;
+  seq.lstm.embedding_dim = 8;
+  seq.lstm.hidden_size = 8;
+  seq.lstm.num_layers = 1;
+  seq.lstm.dropout = 0.0f;
+  seq.lstm.seed = rng.NextU64();
+  seq.lstm_train.epochs = 1;
+  seq.lstm_train.batch_size = 8;
+  seq.lstm_train.seed = rng.NextU64();
+  auto created = core::ModelRegistry::Instance().Create("lstm", context);
+  Check(created.ok(), "service fixture: " + created.status().ToString());
+  fx->model = std::move(created).MoveValueUnsafe();
+  core::FitOptions fit;
+  fit.num_classes = 3;
+  const util::Status fitted = fx->model->Fit(fx->Dataset(), fit);
+  Check(fitted.ok(), "service fixture fit: " + fitted.ToString());
+
+  core::ServiceOptions options;
+  options.num_workers = 2;
+  fx->service = std::make_unique<core::InferenceService>(
+      std::vector<core::ServiceTier>{{"lstm", fx->model.get()}}, options);
+  return fx;
+}
+
+// ---- Round segments ----
+
+void RunFuzzSweep(uint64_t round_seed, int trials) {
+  for (const testing::NamedProperty& property :
+       testing::AllFuzzProperties()) {
+    const int n = std::strcmp(property.name, "FuzzCurrentFile") == 0
+                      ? std::min(trials, 4)
+                      : trials;
+    const testing::FuzzResult result =
+        testing::RunFuzz(property.name, property.fn, round_seed, n);
+    if (!result.ok) FailRound(result.message);
+  }
+}
+
+void RunOracleSweep(uint64_t round_seed) {
+  for (const testing::NamedProperty& oracle : testing::AllOracles()) {
+    const testing::FuzzResult result =
+        testing::RunFuzz(oracle.name, oracle.fn, round_seed, 1);
+    if (!result.ok) FailRound(result.message);
+  }
+}
+
+/// Rotates checkpoints through a fault-injecting filesystem, corrupts
+/// the newest, and demands recovery skips exactly it. Returns the
+/// number of corruptions injected (for the corrupt_skipped invariant).
+int RunCheckpointChaos(uint64_t round_seed) {
+  util::LocalFileSystem local;
+  const std::string dir =
+      "/tmp/cuisine_fuzz/soak_ckpt_" + std::to_string(round_seed);
+  Check(local.CreateDirs(dir).ok(), "soak scratch dir");
+  if (auto entries = local.List(dir); entries.ok()) {
+    for (const auto& entry : *entries) local.Remove(dir + "/" + entry);
+  }
+  util::FaultInjectionFileSystem fs(&local, round_seed);
+  core::CheckpointManager manager(&fs, dir, /*keep=*/3);
+  Check(manager.Init().ok(), "checkpoint chaos: Init");
+
+  util::Rng rng(round_seed);
+  const uint64_t last = 4 + rng.NextBelow(4);  // steps 1..last, keep 3
+  for (uint64_t step = 1; step <= last; ++step) {
+    const util::Status saved =
+        manager.Save(step, "payload for step " + std::to_string(step));
+    Check(saved.ok(), "checkpoint chaos: Save: " + saved.ToString());
+  }
+
+  // Healthy state first: CURRENT must name an on-disk checkpoint whose
+  // envelope unwraps to the newest step.
+  auto current = manager.ReadCurrent();
+  Check(current.ok(), "checkpoint chaos: ReadCurrent after saves: " +
+                          current.status().ToString());
+  Check(*current == core::CheckpointManager::CheckpointFileName(last),
+        "CURRENT names '" + *current + "', expected the newest checkpoint");
+  auto bytes = fs.ReadFile(dir + "/" + *current);
+  Check(bytes.ok(), "checkpoint named by CURRENT is not readable");
+  uint64_t step = 0;
+  std::string payload;
+  const util::Status unwrapped =
+      core::CheckpointManager::UnwrapPayload(*bytes, &step, &payload);
+  Check(unwrapped.ok() && step == last,
+        "checkpoint named by CURRENT does not unwrap to the newest step");
+
+  // Flip one bit in the newest checkpoint: recovery must fall back to
+  // `last - 1` and count exactly the file we damaged as skipped.
+  const util::Status flipped = fs.FlipRandomBit(dir + "/" + *current);
+  Check(flipped.ok(), "checkpoint chaos: FlipRandomBit");
+  auto loaded = manager.LoadLatestValid();
+  Check(loaded.ok(), "recovery found no valid checkpoint after one flip: " +
+                         loaded.status().ToString());
+  Check(loaded->step == last - 1,
+        "recovery returned step " + std::to_string(loaded->step) +
+            ", expected fallback to " + std::to_string(last - 1));
+  Check(loaded->payload == "payload for step " + std::to_string(last - 1),
+        "recovered payload does not match what was saved");
+
+  // A subsequent save heals CURRENT: it must again name a valid file.
+  const util::Status healed = manager.Save(last + 1, "healed");
+  Check(healed.ok(), "checkpoint chaos: healing Save");
+  current = manager.ReadCurrent();
+  Check(current.ok() &&
+            *current == core::CheckpointManager::CheckpointFileName(last + 1),
+        "CURRENT does not name the healing checkpoint");
+  return 1;
+}
+
+void RunServiceTraffic(ServiceFixture* fx, int requests) {
+  for (int i = 0; i < requests; ++i) {
+    const core::InferenceResponse response = fx->service->Predict(fx->Dataset());
+    Check(response.status.ok(),
+          "service request failed: " + response.status.ToString());
+    Check(response.served_by == "lstm" && !response.degraded,
+          "nominal service request was degraded or shed");
+    Check(response.predictions.labels.size() == fx->labels.size(),
+          "service returned the wrong number of predictions");
+  }
+}
+
+void CheckTelemetryInvariants(uint64_t corrupt_skipped_before,
+                              int injected_corruptions) {
+  util::MetricsRegistry& registry = util::MetricsRegistry::Instance();
+  const uint64_t skipped =
+      registry.GetCounter("checkpoint.corrupt_skipped")->value();
+  Check(skipped >= corrupt_skipped_before &&
+            skipped - corrupt_skipped_before <=
+                static_cast<uint64_t>(injected_corruptions),
+        "checkpoint.corrupt_skipped grew by " +
+            std::to_string(skipped - corrupt_skipped_before) +
+            " but only " + std::to_string(injected_corruptions) +
+            " corruptions were injected this round");
+
+  const util::MetricsSnapshot snapshot = registry.Snapshot();
+  for (const util::HistogramSnapshot& hist : snapshot.histograms) {
+    Check(hist.p50 <= hist.p95 && hist.p95 <= hist.p99,
+          "histogram '" + hist.name + "' has non-monotone percentiles");
+    const util::Histogram* h = registry.GetHistogram(hist.name);
+    uint64_t bucket_sum = 0;
+    for (const uint64_t b : h->BucketCounts()) bucket_sum += b;
+    // The process is quiesced between rounds, so the bucket total must
+    // reconcile exactly with the observation count.
+    Check(bucket_sum == h->count(),
+          "histogram '" + hist.name + "' buckets sum to " +
+              std::to_string(bucket_sum) + " but count() is " +
+              std::to_string(h->count()));
+  }
+}
+
+int Run(const SoakConfig& config) {
+  util::SetTelemetryEnabled(true);
+  std::printf("soak_driver: rounds=%d seed=0x%016" PRIx64 "%s\n",
+              config.rounds, config.seed, config.smoke ? " (smoke)" : "");
+
+  std::unique_ptr<ServiceFixture> fixture = BuildServiceFixture(config.seed);
+  util::MetricsRegistry& registry = util::MetricsRegistry::Instance();
+
+  util::Rng derive(config.seed);
+  const int fuzz_trials = config.smoke ? 6 : 25;
+  const int requests = config.smoke ? 4 : 16;
+  for (int round = 0; round < config.rounds; ++round) {
+    g_round_seed = derive.NextU64();
+    const uint64_t skipped_before =
+        registry.GetCounter("checkpoint.corrupt_skipped")->value();
+
+    RunFuzzSweep(g_round_seed, fuzz_trials);
+    RunOracleSweep(g_round_seed);
+    // The resume oracle injects exactly one corruption per trial; the
+    // chaos segment below injects one more.
+    int injected = 1;
+    injected += RunCheckpointChaos(g_round_seed);
+
+    // The service's predict path is arena-backed end to end, so this
+    // segment must not add a single heap-fallback allocation. (The
+    // process-lifetime total is nonzero by design: the arena-vs-heap
+    // oracle's heap leg counts every allocation as a fallback.)
+    util::Counter* fallbacks =
+        registry.GetCounter("arena.fallback_heap_allocs");
+    const uint64_t fallbacks_before = fallbacks->value();
+    RunServiceTraffic(fixture.get(), requests);
+    Check(fallbacks->value() == fallbacks_before,
+          "arena-backed inference fell back to the heap " +
+              std::to_string(fallbacks->value() - fallbacks_before) +
+              " times during service traffic");
+
+    CheckTelemetryInvariants(skipped_before, injected);
+
+    std::printf("round %d/%d ok (seed=0x%016" PRIx64 ")\n", round + 1,
+                config.rounds, g_round_seed);
+  }
+  std::printf("soak_driver: all %d rounds passed\n", config.rounds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::SoakConfig config;
+  config.seed = 0x50A4D51BULL;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      config.rounds = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 0);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      config.smoke = true;
+      config.rounds = 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: soak_driver [--rounds=N] [--seed=0x...] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (config.rounds < 1) config.rounds = 1;
+  return cuisine::Run(config);
+}

@@ -14,7 +14,10 @@
 # bench_pipeline bit-identity cross-checks. The tsan suite ends with a
 # chaos pass: the bench_service soak with the fault injector armed and
 # concurrent clients under the race detector, gating 100% explicit
-# responses and zero sheds at nominal load.
+# responses and zero sheds at nominal load. Every suite additionally
+# runs a fixed-seed fuzz + differential-oracle + checkpoint-chaos soak
+# (soak_driver --smoke); failures print a REPLAY seed that reproduces
+# the round byte-for-byte.
 #
 # Usage: scripts/check.sh [default|asan|tsan]...
 # With no arguments all three suites run, default first.
@@ -49,6 +52,12 @@ for suite in "${suites[@]}"; do
     # concurrent clients under TSan; gates zero sheds at nominal load
     # and an explicit response for every soak request.
     ./build-tsan/bench/bench_service --smoke --chaos
+    echo "==== ${suite}: fuzz + chaos soak (tsan) ===="
+    # Fixed-seed fuzz sweep, differential oracles (incl. 2- and 8-worker
+    # tokenization), checkpoint corruption and service traffic under the
+    # race detector. Prints "REPLAY: soak_driver --seed=0x..." on any
+    # violation; replaying that seed reproduces the failing round.
+    ./build-tsan/bench/soak_driver --smoke
   fi
 
   if [ "${suite}" = "asan" ]; then
@@ -61,6 +70,12 @@ for suite in "${suites[@]}"; do
     # Bump-allocated autograd nodes, slab consolidation on Reset, scope
     # save/restore — the places a lifetime bug in the arena would live.
     ./build-asan/tests/nn_arena_test
+    echo "==== ${suite}: fuzz + chaos soak (asan) ===="
+    # The hostile-input fuzz surfaces (ill-formed UTF-8, truncated
+    # envelopes, bit-flipped checkpoints) under the memory sanitizer —
+    # exactly where an over-read would hide. Replay seed printed on
+    # failure.
+    ./build-asan/bench/soak_driver --smoke
   fi
 
   if [ "${suite}" = "default" ]; then
@@ -79,6 +94,13 @@ for suite in "${suites[@]}"; do
     # Nominal bit-identity vs direct PredictBatch, zero sheds, and a
     # short fault-injected soak with 100% explicit responses.
     ./build/bench/bench_service --smoke
+    echo "==== ${suite}: fuzz + chaos soak smoke ===="
+    # Fixed-seed fuzz sweep over every parser surface + differential
+    # oracles + checkpoint corruption + service traffic, with telemetry
+    # invariants checked each round. Prints a REPLAY seed and exits
+    # non-zero on any violation (the fuller fixed-seed sweep runs in
+    # every suite's ctest pass via testing_test).
+    ./build/bench/soak_driver --smoke
   fi
 done
 

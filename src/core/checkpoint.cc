@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 #include "util/backoff.h"
@@ -355,6 +356,44 @@ util::Result<CheckpointManager::Loaded> CheckpointManager::LoadLatestValid(
                          << ": " << loaded.status().ToString();
   }
   return util::Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+util::Result<std::string> CheckpointManager::ReadCurrent() const {
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, fs_->ReadFile(PathTo(kCurrentFile)));
+  // Expected shape: "<ckpt-name>\n", exactly one line. Anything else is
+  // the debris of a torn write or corruption; reject with the byte
+  // offset where the content stopped making sense.
+  if (bytes.empty()) {
+    return util::Status::InvalidArgument("CURRENT is empty (byte offset 0)");
+  }
+  std::string_view view = bytes;
+  const size_t newline = view.find('\n');
+  if (newline == std::string_view::npos) {
+    return util::Status::InvalidArgument(
+        "CURRENT is truncated: no trailing newline (byte offset " +
+        std::to_string(bytes.size()) + ")");
+  }
+  if (newline + 1 != bytes.size()) {
+    return util::Status::InvalidArgument(
+        "CURRENT has trailing bytes after the checkpoint name (byte offset " +
+        std::to_string(newline + 1) + ")");
+  }
+  const std::string name(view.substr(0, newline));
+  for (size_t i = 0; i < name.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    if (c < 0x20 || c == 0x7f) {
+      return util::Status::InvalidArgument(
+          "CURRENT contains a control byte (byte offset " + std::to_string(i) +
+          ")");
+    }
+  }
+  uint64_t step = 0;
+  if (!ParseCheckpointFileName(name, &step)) {
+    return util::Status::InvalidArgument(
+        "CURRENT names '" + name +
+        "', which is not a valid checkpoint file name (byte offset 0)");
+  }
+  return name;
 }
 
 // ---- TrainState ----

@@ -62,6 +62,15 @@ class CheckpointManager {
       const std::function<util::Status(const std::string&)>& deep_validate =
           nullptr) const;
 
+  /// Parses the CURRENT file and returns the checkpoint file name it
+  /// points at. Recovery never trusts CURRENT (see LoadLatestValid);
+  /// this is the operator/tooling accessor, hardened against the
+  /// garbage a torn write or bit flip leaves behind: truncation, extra
+  /// lines, embedded NULs or a malformed name all return
+  /// InvalidArgument with the offending byte offset — never a CHECK
+  /// failure or over-read. NotFound when CURRENT does not exist.
+  util::Result<std::string> ReadCurrent() const;
+
   const std::string& dir() const { return dir_; }
 
   // Envelope/naming primitives, exposed for tests and tooling.

@@ -103,6 +103,12 @@ double InferenceService::TierP95Locked(size_t tier_index) const {
   if (window.empty()) return 0.0;
   // Nearest-rank p95 over the rolling window; the window is small
   // (default 64), so the copy + partial sort is cheap and under-lock.
+  // NOTE: this is deliberately a *different* percentile definition from
+  // util::Histogram::Percentile (bucket-interpolated, clamped at the
+  // last finite edge): degradation decisions want an actual recent
+  // sample, monitoring wants a cheap lock-free estimate. The two are
+  // reconciled — same rank rule, estimates within one bucket width —
+  // by telemetry_test's PercentileDefinitionsReconcile.
   std::vector<double> sorted(window.begin(), window.end());
   const size_t rank =
       std::min(sorted.size() - 1,

@@ -64,11 +64,16 @@ util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text) {
   for (size_t row_idx = 1; row_idx < table.rows.size(); ++row_idx) {
     const auto& row = table.rows[row_idx];
     // 1-based line number assuming one row per line (event texts carry
-    // no embedded newlines); the header is line 1.
-    const std::string where = "line " + std::to_string(row_idx + 1) + ": ";
+    // no embedded newlines); the header is line 1. ParseCsv counts rows
+    // identically for LF, CRLF and bare-CR files, so these positions
+    // hold for all three line-ending styles.
+    const std::string where = "line " + std::to_string(row_idx + 1);
+    const auto at = [&where](size_t field) {
+      return where + ", field " + std::to_string(field + 1) + ": ";
+    };
     if (row.size() != 4) {
       return util::Status::InvalidArgument(
-          where + "expected 4 fields (id,continent,cuisine,events), got " +
+          where + ": expected 4 fields (id,continent,cuisine,events), got " +
           std::to_string(row.size()));
     }
     Recipe rec;
@@ -76,25 +81,25 @@ util::Result<std::vector<Recipe>> ReadRecipesCsv(const std::string& text) {
     auto [ptr, ec] = std::from_chars(id_str.data(),
                                      id_str.data() + id_str.size(), rec.id);
     if (ec != std::errc() || ptr != id_str.data() + id_str.size()) {
-      return util::Status::InvalidArgument(where + "bad recipe id field '" +
+      return util::Status::InvalidArgument(at(0) + "bad recipe id field '" +
                                            id_str + "'");
     }
     rec.cuisine_id = CuisineIdByName(row[2]);
     if (rec.cuisine_id < 0) {
-      return util::Status::InvalidArgument(where + "unknown cuisine field '" +
+      return util::Status::InvalidArgument(at(2) + "unknown cuisine field '" +
                                            row[2] + "'");
     }
     if (!row[3].empty()) {
       for (const std::string& item : util::Split(row[3], '|')) {
         if (item.size() < 2 || item[1] != ':') {
           return util::Status::InvalidArgument(
-              where + "bad event item '" + item + "' in events field '" +
+              at(3) + "bad event item '" + item + "' in events field '" +
               row[3] + "'");
         }
         auto type = TypeFromChar(item[0]);
         if (!type.ok()) {
           return util::Status::InvalidArgument(
-              where + type.status().message() + " in event item '" + item +
+              at(3) + type.status().message() + " in event item '" + item +
               "'");
         }
         rec.events.push_back({*type, item.substr(2)});

@@ -1,0 +1,271 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+
+namespace cuisine::testing {
+
+namespace {
+
+/// Ill-formed UTF-8 exhibits, one per class of damage real scrapes
+/// carry. Each is a complete byte string to splice into a fragment.
+const std::vector<std::string>& IllFormedUtf8() {
+  static const std::vector<std::string>* exhibits =
+      new std::vector<std::string>{
+          "\x80",              // lone continuation byte
+          "\xC2",              // truncated 2-byte lead
+          "\xE2\x82",          // truncated 3-byte sequence
+          "\xF0\x9F\x8D",      // truncated 4-byte sequence (emoji cut short)
+          "\xC0\xAF",          // overlong '/' (classic filter bypass)
+          "\xC1\xBF",          // overlong lead C1
+          "\xE0\x80\x80",      // overlong NUL (3 bytes)
+          "\xE0\x9F\xBF",      // overlong 3-byte (< U+0800)
+          "\xF0\x80\x80\x80",  // overlong 4-byte
+          "\xF0\x8F\xBF\xBF",  // overlong 4-byte (< U+10000)
+          "\xED\xA0\x80",      // UTF-16 high surrogate half
+          "\xED\xBF\xBF",      // UTF-16 low surrogate half
+          "\xF4\x90\x80\x80",  // first codepoint past U+10FFFF
+          "\xF5\x80\x80\x80",  // lead byte out of range
+          "\xFE",              // never-valid byte
+          "\xFF",              // never-valid byte
+      };
+  return *exhibits;
+}
+
+/// Well-formed multi-byte exhibits (accented ingredients, CJK, emoji) —
+/// the text the cleaner must pass through intact.
+const std::vector<std::string>& WellFormedUtf8() {
+  static const std::vector<std::string>* exhibits =
+      new std::vector<std::string>{
+          "jalape\xC3\xB1o", "cr\xC3\xA8me", "\xC5\x9Bliwka",
+          "\xE9\xBA\xBB\xE5\xA9\x86\xE8\xB1\x86\xE8\x85\x90",
+          "\xF0\x9F\x8D\x9C", "\xE2\x82\xAC", "\xED\x9F\xBF",  // U+D7FF
+          "\xEE\x80\x80",                                      // U+E000
+          "\xF4\x8F\xBF\xBF",                                  // U+10FFFF
+      };
+  return *exhibits;
+}
+
+void AppendRandomAsciiWord(util::Rng* rng, std::string* out) {
+  const size_t len = 1 + rng->NextBelow(8);
+  for (size_t i = 0; i < len; ++i) {
+    out->push_back(static_cast<char>('a' + rng->NextBelow(26)));
+  }
+}
+
+}  // namespace
+
+std::string WithLineEndings(std::string_view lf_text, LineEnding ending) {
+  if (ending == LineEnding::kLf) return std::string(lf_text);
+  std::string out;
+  out.reserve(lf_text.size() + lf_text.size() / 8);
+  for (char c : lf_text) {
+    if (c == '\n') {
+      out.append(ending == LineEnding::kCrLf ? "\r\n" : "\r");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string HostileText(util::Rng* rng, size_t max_len) {
+  return HostileTextWithout(rng, max_len, {});
+}
+
+std::string HostileTextWithout(util::Rng* rng, size_t max_len,
+                               std::string_view forbidden) {
+  std::string out;
+  const size_t target = rng->NextBelow(max_len + 1);
+  while (out.size() < target) {
+    switch (rng->NextBelow(8)) {
+      case 0:
+      case 1:
+      case 2:
+        AppendRandomAsciiWord(rng, &out);
+        break;
+      case 3: {
+        const auto& ok = WellFormedUtf8();
+        out += ok[rng->NextBelow(ok.size())];
+        break;
+      }
+      case 4: {
+        const auto& bad = IllFormedUtf8();
+        out += bad[rng->NextBelow(bad.size())];
+        break;
+      }
+      case 5: {
+        // Structural / control bytes: quotes, delimiters, NUL, DEL.
+        static constexpr char kStructural[] = {',', '"', '\'', '|', ':',
+                                               '\t', '\n', '\r', '\0', '\x7f'};
+        out.push_back(kStructural[rng->NextBelow(sizeof(kStructural))]);
+        break;
+      }
+      case 6:
+        out.push_back(' ');
+        break;
+      default:
+        out.push_back(static_cast<char>(rng->NextBelow(256)));
+        break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  if (!forbidden.empty()) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](char c) {
+                               return forbidden.find(c) !=
+                                      std::string_view::npos;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+namespace {
+
+void ApplyCsvMutation(std::string& out, size_t pos, util::Rng* rng) {
+  switch (rng->NextBelow(9)) {
+    case 0:  // flip a structural byte in place
+      out[pos] = ",\"\n\r|:"[rng->NextBelow(6)];
+      break;
+    case 1:  // inject a quote (unbalances quoting state)
+      out.insert(pos, 1, '"');
+      break;
+    case 2:  // inject a NUL
+      out.insert(pos, 1, '\0');
+      break;
+    case 3: {  // splice an ill-formed UTF-8 run
+      const auto& bad = IllFormedUtf8();
+      out.insert(pos, bad[rng->NextBelow(bad.size())]);
+      break;
+    }
+    case 4: {  // duplicate a random span
+      const size_t len = 1 + rng->NextBelow(std::min<size_t>(16, out.size()));
+      const size_t start = rng->NextBelow(out.size() - len + 1);
+      out.insert(pos, out.substr(start, len));
+      break;
+    }
+    case 5: {  // drop a random span
+      const size_t len = 1 + rng->NextBelow(std::min<size_t>(16, out.size()));
+      const size_t start = rng->NextBelow(out.size() - len + 1);
+      out.erase(start, len);
+      break;
+    }
+    case 6:  // truncate mid-record
+      out.resize(pos);
+      break;
+    case 7:  // rewrite line endings wholesale
+      out = WithLineEndings(out, rng->NextBool(0.5) ? LineEnding::kCrLf
+                                                    : LineEnding::kCr);
+      break;
+    default:  // flip one random byte
+      out[pos] = static_cast<char>(out[pos] ^
+                                   static_cast<char>(1 + rng->NextBelow(255)));
+      break;
+  }
+}
+
+}  // namespace
+
+std::string MutateCsv(std::string_view text, util::Rng* rng) {
+  if (text.empty()) return HostileText(rng, 32);
+  // A drawn mutation can be the identity (overwriting a comma with a
+  // comma, re-terminating an already-CRLF file); redraw until the
+  // output actually differs so no fuzz trial re-parses unmutated input.
+  std::string out(text);
+  do {
+    out.assign(text);
+    ApplyCsvMutation(out, rng->NextBelow(out.size()), rng);
+  } while (out == text);
+  return out;
+}
+
+std::string MutateBytes(std::string_view bytes, util::Rng* rng) {
+  std::string out(bytes);
+  if (out.empty()) {
+    out.push_back(static_cast<char>(rng->NextBelow(256)));
+    return out;
+  }
+  switch (rng->NextBelow(5)) {
+    case 0: {  // flip 1–8 random bits
+      const size_t flips = 1 + rng->NextBelow(8);
+      for (size_t i = 0; i < flips; ++i) {
+        const size_t pos = rng->NextBelow(out.size());
+        out[pos] = static_cast<char>(
+            out[pos] ^ static_cast<char>(1u << rng->NextBelow(8)));
+      }
+      break;
+    }
+    case 1:  // truncate
+      out.resize(rng->NextBelow(out.size()));
+      break;
+    case 2: {  // extend with junk
+      const size_t extra = 1 + rng->NextBelow(32);
+      for (size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<char>(rng->NextBelow(256)));
+      }
+      break;
+    }
+    case 3: {  // zero a run (models a hole left by a torn write)
+      const size_t len = 1 + rng->NextBelow(std::min<size_t>(16, out.size()));
+      const size_t start = rng->NextBelow(out.size() - len + 1);
+      bool all_zero = true;
+      for (size_t i = 0; i < len; ++i) {
+        all_zero = all_zero && out[start + i] == '\0';
+        out[start + i] = '\0';
+      }
+      if (all_zero) {  // run was already zero: guarantee a change
+        out[start] = '\x01';
+      }
+      break;
+    }
+    default: {  // splice random bytes at a random offset
+      const size_t len = 1 + rng->NextBelow(16);
+      std::string junk;
+      for (size_t i = 0; i < len; ++i) {
+        junk.push_back(static_cast<char>(rng->NextBelow(256)));
+      }
+      out.insert(rng->NextBelow(out.size() + 1), junk);
+      break;
+    }
+  }
+  return out;
+}
+
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    const auto lead = static_cast<unsigned char>(s[i]);
+    size_t len;
+    if (lead < 0x80) {
+      len = 1;
+    } else if (lead >= 0xC2 && lead < 0xE0) {
+      len = 2;
+    } else if (lead >= 0xE0 && lead < 0xF0) {
+      len = 3;
+    } else if (lead >= 0xF0 && lead < 0xF5) {
+      len = 4;
+    } else {
+      return false;
+    }
+    if (i + len > s.size()) return false;
+    if (len >= 2) {
+      const auto second = static_cast<unsigned char>(s[i + 1]);
+      bool ok;
+      switch (lead) {
+        case 0xE0: ok = second >= 0xA0 && second <= 0xBF; break;
+        case 0xED: ok = second >= 0x80 && second <= 0x9F; break;
+        case 0xF0: ok = second >= 0x90 && second <= 0xBF; break;
+        case 0xF4: ok = second >= 0x80 && second <= 0x8F; break;
+        default: ok = (second & 0xC0) == 0x80; break;
+      }
+      if (!ok) return false;
+    }
+    for (size_t k = 2; k < len; ++k) {
+      if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+}  // namespace cuisine::testing

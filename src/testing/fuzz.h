@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file fuzz.h
+/// \brief Seeded, structure-aware input mutators for the fuzz harness
+/// (DESIGN.md §15).
+///
+/// Everything here is a pure function of the `util::Rng` it draws from,
+/// so a trial is fully described by one 64-bit seed: the harness prints
+/// the seed on failure and re-running the same property with that seed
+/// replays the identical byte stream. Two mutation families:
+///
+///  - *Text/structural* mutators aimed at the CSV and text layers:
+///    hostile strings mixing valid UTF-8 with the ill-formed sequences
+///    real scraped recipe text contains (lone continuation bytes,
+///    truncated leads, overlong encodings, surrogate halves, NULs),
+///    line-ending rewrites (LF / CRLF / bare CR) and CSV structure
+///    edits (quote injection, delimiter churn, truncation).
+///  - *Byte-level* corruption for binary blobs (vocabulary files,
+///    checkpoint envelopes, tensor snapshots): bit flips, truncation,
+///    junk extension, zero runs — the damage the
+///    `FaultInjectionFileSystem` models at the filesystem layer,
+///    reproduced here for in-memory targets.
+
+namespace cuisine::testing {
+
+/// Line-ending styles a CSV file can arrive in.
+enum class LineEnding { kLf, kCrLf, kCr };
+
+/// Rewrites every row terminator of `lf_text` (canonical "\n"-separated
+/// text with no CR/LF bytes inside fields) to `ending`.
+std::string WithLineEndings(std::string_view lf_text, LineEnding ending);
+
+/// A hostile text fragment: words of ASCII/UTF-8 interleaved with
+/// ill-formed sequences (overlong, surrogate, out-of-range, lone
+/// continuation, truncated lead), control bytes, NULs, quotes and
+/// delimiters. At most `max_len` bytes.
+std::string HostileText(util::Rng* rng, size_t max_len);
+
+/// As HostileText but guaranteed free of the bytes in `forbidden`
+/// (structural delimiters a specific format cannot round-trip).
+std::string HostileTextWithout(util::Rng* rng, size_t max_len,
+                               std::string_view forbidden);
+
+/// One seeded structural mutation of CSV text: flip/insert/delete a
+/// structural byte (comma, quote, newline), inject a NUL or an
+/// ill-formed UTF-8 run, duplicate or drop a random span, rewrite line
+/// endings, or truncate mid-record. Always returns a changed string
+/// (unless `text` is empty, where it returns junk).
+std::string MutateCsv(std::string_view text, util::Rng* rng);
+
+/// One seeded byte-level corruption of a binary blob: a 1–8 bit flip,
+/// a truncation, an extension with junk, a zeroed run, or a splice of
+/// random bytes at a random offset. Always differs from `bytes` unless
+/// `bytes` is empty.
+std::string MutateBytes(std::string_view bytes, util::Rng* rng);
+
+/// True iff `s` is well-formed UTF-8 (no overlong encodings, surrogate
+/// halves, codepoints past U+10FFFF, or truncated sequences). The
+/// oracle for text::Cleaner's strip_symbols contract.
+bool IsValidUtf8(std::string_view s);
+
+}  // namespace cuisine::testing

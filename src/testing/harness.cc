@@ -1,0 +1,66 @@
+#include "testing/harness.h"
+
+#include <array>
+#include <cstdio>
+
+#include "testing/properties.h"
+#include "util/rng.h"
+
+namespace cuisine::testing {
+
+namespace {
+
+std::string HexSeed(uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+FuzzResult RunOne(std::string_view name, const FuzzProperty& property,
+                  uint64_t trial_seed, int trials_before) {
+  FuzzResult result;
+  result.trials_run = trials_before + 1;
+  const util::Status status = property(trial_seed);
+  if (status.ok()) return result;
+  result.ok = false;
+  result.failing_seed = trial_seed;
+  result.message = std::string(name) + " failed: " + status.ToString() +
+                   "\nreplay: " + std::string(name) +
+                   " seed=" + HexSeed(trial_seed);
+  return result;
+}
+
+}  // namespace
+
+FuzzResult RunFuzz(std::string_view name, const FuzzProperty& property,
+                   uint64_t base_seed, int trials) {
+  util::Rng derive(base_seed);
+  FuzzResult result;
+  for (int trial = 0; trial < trials; ++trial) {
+    result = RunOne(name, property, derive.NextU64(), trial);
+    if (!result.ok) return result;
+  }
+  return result;
+}
+
+FuzzResult ReplayFuzz(std::string_view name, const FuzzProperty& property,
+                      uint64_t seed) {
+  return RunOne(name, property, seed, 0);
+}
+
+std::span<const NamedProperty> AllFuzzProperties() {
+  static constexpr std::array<NamedProperty, 8> kProperties{{
+      {"FuzzCsvParser", FuzzCsvParser},
+      {"FuzzRecipesCsv", FuzzRecipesCsv},
+      {"FuzzCleaner", FuzzCleaner},
+      {"FuzzTokenizer", FuzzTokenizer},
+      {"FuzzVocabulary", FuzzVocabulary},
+      {"FuzzCheckpointEnvelope", FuzzCheckpointEnvelope},
+      {"FuzzTensorSnapshot", FuzzTensorSnapshot},
+      {"FuzzCurrentFile", FuzzCurrentFile},
+  }};
+  return kProperties;
+}
+
+}  // namespace cuisine::testing

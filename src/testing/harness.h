@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+/// \file harness.h
+/// \brief Deterministic fuzz driver with seed replay (DESIGN.md §15).
+///
+/// A *property* is a pure function `Status(uint64_t seed)`: it derives
+/// every random choice from the seed, exercises one pipeline surface,
+/// and returns OK (behaved) or an error describing the bug. The driver
+/// sweeps trial seeds derived from a base seed and stops at the first
+/// failure, whose report embeds the exact trial seed — re-running the
+/// property with that one seed reproduces the identical failure, which
+/// is what makes a fuzz finding debuggable instead of an anecdote.
+///
+/// The per-surface properties live in properties.h; the differential
+/// oracles in oracles.h are properties too (they just cost more per
+/// trial). tests/testing_test.cc runs both through this driver, and
+/// bench/soak_driver.cc re-runs the sweep every soak round.
+
+namespace cuisine::testing {
+
+/// Outcome of one fuzz sweep.
+struct FuzzResult {
+  bool ok = true;
+  int trials_run = 0;
+  /// Seed of the first failing trial (valid when !ok). Passing this
+  /// seed straight back to the property replays the failure.
+  uint64_t failing_seed = 0;
+  /// Human-readable report: the property name, the failing status and
+  /// a replay line. Empty when ok.
+  std::string message;
+};
+
+using FuzzProperty = std::function<util::Status(uint64_t seed)>;
+
+/// Derives `trials` independent trial seeds from `base_seed` (SplitMix64
+/// stream, so trial i is stable across runs and platforms) and runs
+/// `property` on each. Stops at the first failure.
+FuzzResult RunFuzz(std::string_view name, const FuzzProperty& property,
+                   uint64_t base_seed, int trials);
+
+/// Re-runs a single trial seed (the replay workflow).
+FuzzResult ReplayFuzz(std::string_view name, const FuzzProperty& property,
+                      uint64_t seed);
+
+/// A named single-seed property, so drivers can sweep the whole
+/// registry without naming each surface.
+struct NamedProperty {
+  const char* name;
+  util::Status (*fn)(uint64_t seed);
+};
+
+/// Every registered fuzz property (the per-surface ones from
+/// properties.h). Differential oracles are listed separately by
+/// oracles.h — they are orders of magnitude more expensive per trial.
+std::span<const NamedProperty> AllFuzzProperties();
+
+}  // namespace cuisine::testing

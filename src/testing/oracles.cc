@@ -1,0 +1,375 @@
+#include "testing/oracles.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "core/service.h"
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "nn/serialization.h"
+#include "nn/tensor.h"
+#include "testing/fuzz.h"
+#include "text/preprocessor.h"
+#include "text/token_table.h"
+#include "text/tokenizer.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace cuisine::testing {
+
+namespace {
+
+using util::Status;
+
+Status Fail(const std::string& what) { return Status::Internal(what); }
+
+/// Seed-unique scratch directory under /tmp, emptied before use.
+util::Result<std::string> ScratchDir(const std::string& name, uint64_t seed) {
+  util::LocalFileSystem local;
+  const std::string dir =
+      "/tmp/cuisine_fuzz/" + name + "_" + std::to_string(seed);
+  CUISINE_RETURN_NOT_OK(local.CreateDirs(dir));
+  if (auto entries = local.List(dir); entries.ok()) {
+    for (const auto& entry : *entries) {
+      CUISINE_RETURN_NOT_OK(local.Remove(dir + "/" + entry));
+    }
+  }
+  return dir;
+}
+
+/// Event phrases that bait the lemmatizer's suffix rules ("-ies" ->
+/// "-y"), where the planted test-only perturbation diverges.
+constexpr std::array<const char*, 8> kLemmaBait = {
+    "berries",  "cherries", "curries",  "anchovies",
+    "chillies", "pastries", "gravies",  "parties"};
+
+std::string BaitedEvent(util::Rng* rng) {
+  switch (rng->NextBelow(3)) {
+    case 0:
+      return kLemmaBait[rng->NextBelow(kLemmaBait.size())];
+    case 1:
+      return std::string(kLemmaBait[rng->NextBelow(kLemmaBait.size())]) +
+             " " + kLemmaBait[rng->NextBelow(kLemmaBait.size())];
+    default:
+      return HostileText(rng, 60);
+  }
+}
+
+// ---- Tiny real training fixture (mirrors checkpoint_test's tiny net:
+// embedding gather -> mean pool -> dropout -> linear head, 24 examples,
+// 3 classes) so the training oracles exercise the full engine without a
+// gtest dependency. ----
+
+constexpr int64_t kVocab = 8;
+constexpr int64_t kDim = 4;
+constexpr int64_t kClasses = 3;
+
+core::SequenceNet MakeTinyNet(uint64_t net_seed) {
+  util::Rng rng(net_seed);
+  nn::Tensor table = nn::Tensor::Randn(kVocab, kDim, 0.2f, &rng);
+  nn::Tensor w = nn::Tensor::Xavier(kDim, kClasses, &rng);
+  nn::Tensor b = nn::Tensor::Zeros(1, kClasses, /*requires_grad=*/true);
+  core::SequenceNet net;
+  net.params = {table, w, b};
+  net.forward = [table, w, b](const features::EncodedSequence& seq,
+                              bool training, util::Rng* rng) -> nn::Tensor {
+    const auto len = static_cast<size_t>(seq.length);
+    const std::vector<int32_t> ids(seq.ids.begin(), seq.ids.begin() + len);
+    nn::Tensor states = nn::EmbeddingGather(table, ids);
+    nn::Tensor pool = nn::Tensor::Full(1, static_cast<int64_t>(len),
+                                       1.0f / static_cast<float>(len));
+    nn::Tensor pooled =
+        nn::DropoutOp(nn::MatMul(pool, states), 0.1f, training, rng);
+    return nn::AddRowBroadcast(nn::MatMul(pooled, w), b);
+  };
+  return net;
+}
+
+struct TinyTask {
+  std::vector<features::EncodedSequence> x;
+  std::vector<int32_t> y;
+
+  TinyTask() {
+    for (int i = 0; i < 24; ++i) {
+      const int32_t label = i % 3;
+      features::EncodedSequence seq;
+      seq.ids = {label * 2, label * 2 + 1, static_cast<int32_t>(6 + i % 2)};
+      seq.mask = {1, 1, 1};
+      seq.length = 3;
+      x.push_back(std::move(seq));
+      y.push_back(label);
+    }
+  }
+};
+
+core::NeuralTrainOptions TinyOptions(uint64_t train_seed) {
+  core::NeuralTrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;  // 24 examples -> 6 steps/epoch, 12 total
+  options.learning_rate = 0.05;
+  options.seed = train_seed;
+  options.num_workers = 1;
+  return options;
+}
+
+/// Trains a fresh tiny net; returns the final parameter bytes through
+/// `final_params`.
+util::Result<core::TrainHistory> TrainTiny(
+    uint64_t net_seed, const TinyTask& task,
+    const core::NeuralTrainOptions& options, std::string* final_params) {
+  core::SequenceNet net = MakeTinyNet(net_seed);
+  auto history = core::TrainSequenceClassifier(net.forward, net.params,
+                                               task.x, task.y, {}, {}, options);
+  if (history.ok() && final_params != nullptr) {
+    *final_params = nn::SerializeTensors(net.params);
+  }
+  return history;
+}
+
+}  // namespace
+
+Status CheckIdVsStringPreprocessing(uint64_t seed) {
+  util::Rng rng(seed);
+  text::TokenizerOptions options;
+  options.mode = rng.NextBool(0.5) ? text::TokenMode::kPhrase
+                                   : text::TokenMode::kWord;
+  options.lemmatize = true;  // the lemma rules are where fusion can drift
+
+  std::vector<std::string> events;
+  for (int i = 0; i < 32; ++i) events.push_back(BaitedEvent(&rng));
+  // Repeats exercise the preprocessor's LRU memo replay path too.
+  const size_t unique = events.size();
+  for (int i = 0; i < 8; ++i) {
+    events.push_back(events[rng.NextBelow(unique)]);
+  }
+
+  const text::Tokenizer tokenizer(options);
+  text::Preprocessor preprocessor(options);
+  text::TokenTable table;
+  std::vector<int32_t> ids;
+  for (size_t e = 0; e < events.size(); ++e) {
+    const std::vector<std::string> expected =
+        tokenizer.TokenizeEvent(events[e]);
+    ids.clear();
+    preprocessor.ProcessEvent(events[e], &table, &ids);
+    if (ids.size() != expected.size()) {
+      return Fail("event " + std::to_string(e) + ": id path emitted " +
+                  std::to_string(ids.size()) + " tokens, string path " +
+                  std::to_string(expected.size()));
+    }
+    for (size_t t = 0; t < ids.size(); ++t) {
+      if (table.View(ids[t]) != expected[t]) {
+        return Fail("event " + std::to_string(e) + " token " +
+                    std::to_string(t) + ": id path '" +
+                    std::string(table.View(ids[t])) + "' != string path '" +
+                    expected[t] + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckParallelTokenizeDeterminism(uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<data::Recipe> recipes(12 + rng.NextBelow(12));
+  int64_t next_id = 1;
+  for (auto& recipe : recipes) {
+    recipe.id = next_id++;
+    recipe.cuisine_id = static_cast<int32_t>(rng.NextBelow(26));
+    const size_t events = 1 + rng.NextBelow(6);
+    for (size_t e = 0; e < events; ++e) {
+      recipe.events.push_back({static_cast<data::EventType>(rng.NextBelow(3)),
+                               BaitedEvent(&rng)});
+    }
+  }
+
+  const text::Tokenizer tokenizer;
+  const core::TokenizedCorpus serial =
+      core::TokenizeCorpus(recipes, tokenizer, {.num_workers = 1});
+  for (const size_t workers : {size_t{2}, size_t{8}}) {
+    const core::TokenizedCorpus parallel =
+        core::TokenizeCorpus(recipes, tokenizer, {.num_workers = workers});
+    if (parallel.token_ids != serial.token_ids ||
+        parallel.offsets != serial.offsets ||
+        parallel.labels != serial.labels) {
+      return Fail(std::to_string(workers) +
+                  "-worker tokenization diverged from serial");
+    }
+    if (parallel.table.size() != serial.table.size()) {
+      return Fail(std::to_string(workers) + "-worker interner has " +
+                  std::to_string(parallel.table.size()) + " tokens, serial " +
+                  std::to_string(serial.table.size()));
+    }
+    for (size_t id = 0; id < serial.table.size(); ++id) {
+      if (parallel.table.View(static_cast<int32_t>(id)) !=
+          serial.table.View(static_cast<int32_t>(id))) {
+        return Fail("interner id " + std::to_string(id) +
+                    " names different tokens across worker counts");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckArenaVsHeapTraining(uint64_t seed) {
+  util::Rng rng(seed);
+  const uint64_t net_seed = rng.NextU64();
+  const uint64_t train_seed = rng.NextU64();
+  const TinyTask task;
+
+  core::NeuralTrainOptions arena = TinyOptions(train_seed);
+  arena.use_arena = true;
+  std::string params_arena;
+  auto hist_arena = TrainTiny(net_seed, task, arena, &params_arena);
+  if (!hist_arena.ok()) return hist_arena.status();
+
+  core::NeuralTrainOptions heap = TinyOptions(train_seed);
+  heap.use_arena = false;
+  std::string params_heap;
+  auto hist_heap = TrainTiny(net_seed, task, heap, &params_heap);
+  if (!hist_heap.ok()) return hist_heap.status();
+
+  if (params_arena != params_heap) {
+    return Fail("arena and heap training produced different parameters");
+  }
+  if (hist_arena->train_loss != hist_heap->train_loss) {
+    return Fail("arena and heap training produced different loss curves");
+  }
+  return Status::OK();
+}
+
+Status CheckResumeVsStraightRun(uint64_t seed) {
+  util::Rng rng(seed);
+  const uint64_t net_seed = rng.NextU64();
+  const uint64_t train_seed = rng.NextU64();
+  const TinyTask task;
+
+  std::string params_straight;
+  auto hist_straight =
+      TrainTiny(net_seed, task, TinyOptions(train_seed), &params_straight);
+  if (!hist_straight.ok()) return hist_straight.status();
+
+  CUISINE_ASSIGN_OR_RETURN(const std::string dir,
+                           ScratchDir("resume", seed));
+  util::LocalFileSystem local;
+  util::FaultInjectionFileSystem fs(&local, seed);
+  core::NeuralTrainOptions options = TinyOptions(train_seed);
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_steps = 1;
+  options.keep_checkpoints = 3;
+  options.fs = &fs;
+  // 12 total steps; kill in [2, 11] so a previous checkpoint exists and
+  // the kill is mid-run.
+  const auto kill_step = static_cast<int64_t>(2 + rng.NextBelow(10));
+  options.stop_after_steps = kill_step;
+  auto hist_killed = TrainTiny(net_seed, task, options, nullptr);
+  if (!hist_killed.ok()) return hist_killed.status();
+
+  // Bit-flip the newest checkpoint: recovery must fall back one step.
+  const std::string newest =
+      dir + "/" +
+      core::CheckpointManager::CheckpointFileName(
+          static_cast<uint64_t>(kill_step));
+  if (!fs.Exists(newest)) {
+    return Fail("expected checkpoint missing after kill: " + newest);
+  }
+  CUISINE_RETURN_NOT_OK(fs.FlipRandomBit(newest));
+
+  options.stop_after_steps = 0;
+  std::string params_resumed;
+  auto hist_resumed = TrainTiny(net_seed, task, options, &params_resumed);
+  if (!hist_resumed.ok()) return hist_resumed.status();
+
+  if (params_resumed != params_straight) {
+    return Fail("resumed run's parameters differ from the straight run");
+  }
+  if (hist_resumed->train_loss != hist_straight->train_loss) {
+    return Fail("resumed run's loss history differs from the straight run");
+  }
+  return Status::OK();
+}
+
+Status CheckServiceVsDirectPredict(uint64_t seed) {
+  util::Rng rng(seed);
+
+  // Tiny separable corpus (mirrors service_test's RealFixture).
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 24; ++i) {
+    const int32_t label = i % 3;
+    std::vector<std::string> doc;
+    for (int t = 0; t < 8; ++t) {
+      doc.push_back(t % 2 == 0 ? "class" + std::to_string(label * 4 + t / 2)
+                               : "shared" + std::to_string((i + t) % 3));
+    }
+    docs.push_back(std::move(doc));
+    labels.push_back(label);
+  }
+  const text::Vocabulary vocab = core::BuildSequenceVocabulary(docs, 1, 1000);
+  const features::SequenceEncoder encoder(
+      &vocab, {.max_length = 8, .add_cls_sep = false});
+  const std::vector<features::EncodedSequence> sequences =
+      encoder.EncodeAll(docs);
+  const core::ModelDataset dataset{
+      .sequences = &sequences, .labels = &labels, .vocab = &vocab};
+
+  core::ModelContext context;
+  context.num_classes = 3;
+  auto& seq = context.sequential;
+  seq.lstm_sequence_length = 8;
+  seq.lstm.embedding_dim = 8;
+  seq.lstm.hidden_size = 8;
+  seq.lstm.num_layers = 1;
+  seq.lstm.dropout = 0.0f;
+  seq.lstm.seed = rng.NextU64();
+  seq.lstm_train.epochs = 1;
+  seq.lstm_train.batch_size = 8;
+  seq.lstm_train.seed = rng.NextU64();
+
+  auto created = core::ModelRegistry::Instance().Create("lstm", context);
+  if (!created.ok()) return created.status();
+  const std::unique_ptr<core::Model> model = std::move(created).MoveValueUnsafe();
+  core::FitOptions fit;
+  fit.num_classes = 3;
+  CUISINE_RETURN_NOT_OK(model->Fit(dataset, fit));
+
+  const core::Predictions direct =
+      model->PredictBatch(dataset, /*num_workers=*/2);
+
+  core::ServiceOptions service_options;
+  service_options.num_workers = 2;
+  core::InferenceService service({{"lstm", model.get()}}, service_options);
+  const core::InferenceResponse response = service.Predict(dataset);
+  if (!response.status.ok()) return response.status;
+  if (response.served_by != "lstm" || response.degraded) {
+    return Fail("nominal request did not serve from the primary tier");
+  }
+  if (response.predictions.labels != direct.labels) {
+    return Fail("service labels differ from direct PredictBatch");
+  }
+  if (response.predictions.probas != direct.probas) {
+    return Fail("service probability rows are not bit-identical to direct "
+                "PredictBatch");
+  }
+  return Status::OK();
+}
+
+std::span<const NamedProperty> AllOracles() {
+  static constexpr std::array<NamedProperty, 5> kOracles{{
+      {"CheckIdVsStringPreprocessing", CheckIdVsStringPreprocessing},
+      {"CheckParallelTokenizeDeterminism", CheckParallelTokenizeDeterminism},
+      {"CheckArenaVsHeapTraining", CheckArenaVsHeapTraining},
+      {"CheckResumeVsStraightRun", CheckResumeVsStraightRun},
+      {"CheckServiceVsDirectPredict", CheckServiceVsDirectPredict},
+  }};
+  return kOracles;
+}
+
+}  // namespace cuisine::testing

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "testing/harness.h"
+#include "util/status.h"
+
+/// \file oracles.h
+/// \brief Differential oracles: paired implementations that must agree
+/// byte-for-byte (DESIGN.md §15).
+///
+/// The repo carries several deliberate implementation pairs — a fused
+/// fast path next to a simple reference, a parallel path next to a
+/// serial one, a resumed run next to a straight one. Each oracle feeds
+/// both sides the same seeded input and demands *byte equality* (token
+/// bytes, serialized tensors, float probabilities), not approximate
+/// agreement: the repo's determinism contract says the pairs are
+/// interchangeable, so any divergence is a real bug.
+///
+/// Every oracle has the fuzz-property signature `Status(uint64_t seed)`
+/// and runs under RunFuzz; they cost far more per trial than the
+/// properties in properties.h (some train a model), so sweeps use small
+/// trial counts.
+///
+/// Self-test: `Preprocessor::SetTestOnlyLemmaPerturbation(true)` plants
+/// a real divergence in the fused id path only; with it enabled,
+/// CheckIdVsStringPreprocessing MUST fail and name a replay seed
+/// (tests/testing_test.cc asserts this), proving the oracle can catch
+/// what it claims to catch.
+
+namespace cuisine::testing {
+
+/// Fused id path (text::Preprocessor + TokenTable) vs the reference
+/// string path (text::Tokenizer): per-event decoded tokens must be
+/// identical over hostile text and "-ies" lemma bait.
+util::Status CheckIdVsStringPreprocessing(uint64_t seed);
+
+/// core::TokenizeCorpus at 1, 2 and 8 workers: identical token ids,
+/// offsets, labels and interner contents (the shard-merge determinism
+/// contract).
+util::Status CheckParallelTokenizeDeterminism(uint64_t seed);
+
+/// Arena-backed vs plain-heap training of a tiny real classifier:
+/// byte-identical final parameters and loss history.
+util::Status CheckArenaVsHeapTraining(uint64_t seed);
+
+/// A run killed at a seeded step with its newest checkpoint bit-flipped,
+/// then resumed, vs the uninterrupted run: byte-identical final
+/// parameters and loss history.
+util::Status CheckResumeVsStraightRun(uint64_t seed);
+
+/// core::InferenceService on its nominal path vs calling the primary
+/// model's PredictBatch directly: identical labels and bit-identical
+/// probability rows.
+util::Status CheckServiceVsDirectPredict(uint64_t seed);
+
+/// Every oracle, named for sweep drivers (soak_driver, testing_test).
+std::span<const NamedProperty> AllOracles();
+
+}  // namespace cuisine::testing

@@ -1,0 +1,431 @@
+#include "testing/properties.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "data/cuisines.h"
+#include "data/io.h"
+#include "data/recipe.h"
+#include "nn/serialization.h"
+#include "nn/tensor.h"
+#include "testing/fuzz.h"
+#include "text/cleaner.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/csv.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace cuisine::testing {
+
+namespace {
+
+using util::Status;
+
+Status Fail(const std::string& what) { return Status::Internal(what); }
+
+/// A Status is "clean" when the surface either accepted the input or
+/// rejected it with InvalidArgument; any other code (or a crash before
+/// we get here) is a harness failure.
+Status ExpectClean(const Status& status, const char* surface) {
+  if (status.ok() || status.code() == util::StatusCode::kInvalidArgument) {
+    return Status::OK();
+  }
+  return Fail(std::string(surface) + " returned unexpected status: " +
+              status.ToString());
+}
+
+std::string LowercaseWords(util::Rng* rng, size_t max_words) {
+  std::string out;
+  const size_t words = 1 + rng->NextBelow(max_words);
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) out.push_back(' ');
+    const size_t len = 1 + rng->NextBelow(6);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status FuzzCsvParser(uint64_t seed) {
+  util::Rng rng(seed);
+
+  // Round-trip: arbitrary byte fields (quotes, CR/LF, NUL, ill-formed
+  // UTF-8) must come back exactly after WriteCsv's quoting.
+  std::vector<std::vector<std::string>> rows(1 + rng.NextBelow(6));
+  for (auto& row : rows) {
+    row.resize(1 + rng.NextBelow(5));
+    for (auto& field : row) field = HostileText(&rng, 24);
+  }
+  const std::string text = util::WriteCsv(rows);
+  auto parsed = util::ParseCsv(text);
+  if (!parsed.ok()) {
+    return Fail("round-trip parse failed: " + parsed.status().ToString());
+  }
+  if (parsed->rows != rows) return Fail("round-trip changed the table");
+
+  // Line-ending equivalence: the same logical table serialized with LF,
+  // CRLF and bare-CR terminators must parse identically. Fields must be
+  // CR/LF-free for the terminator rewrite to be well defined.
+  std::vector<std::vector<std::string>> flat(1 + rng.NextBelow(5));
+  for (auto& row : flat) {
+    row.resize(1 + rng.NextBelow(4));
+    for (auto& field : row) field = HostileTextWithout(&rng, 16, "\r\n");
+  }
+  const std::string lf = util::WriteCsv(flat);
+  for (const LineEnding ending :
+       {LineEnding::kLf, LineEnding::kCrLf, LineEnding::kCr}) {
+    auto variant = util::ParseCsv(WithLineEndings(lf, ending));
+    if (!variant.ok()) {
+      return Fail("line-ending variant failed to parse: " +
+                  variant.status().ToString());
+    }
+    if (variant->rows != flat) {
+      return Fail("line-ending variant parsed to a different table");
+    }
+  }
+
+  // Structural mutations: never crash, never a status other than OK /
+  // InvalidArgument.
+  std::string mutated = text;
+  for (int round = 0; round < 3; ++round) {
+    mutated = MutateCsv(mutated, &rng);
+    CUISINE_RETURN_NOT_OK(
+        ExpectClean(util::ParseCsv(mutated).status(), "ParseCsv"));
+  }
+  return Status::OK();
+}
+
+Status FuzzRecipesCsv(uint64_t seed) {
+  util::Rng rng(seed);
+
+  // A random valid corpus round-trips exactly (compare re-serialized
+  // bytes: Recipe has no operator==).
+  std::vector<data::Recipe> recipes(1 + rng.NextBelow(5));
+  for (auto& recipe : recipes) {
+    recipe.id = static_cast<int64_t>(rng.NextBelow(1000000));
+    recipe.cuisine_id = static_cast<int32_t>(rng.NextBelow(data::kNumCuisines));
+    const size_t events = rng.NextBelow(6);
+    for (size_t e = 0; e < events; ++e) {
+      recipe.events.push_back(
+          {static_cast<data::EventType>(rng.NextBelow(3)),
+           LowercaseWords(&rng, 3)});
+    }
+  }
+  auto text = data::WriteRecipesCsv(recipes);
+  if (!text.ok()) return Fail("WriteRecipesCsv: " + text.status().ToString());
+  for (const LineEnding ending :
+       {LineEnding::kLf, LineEnding::kCrLf, LineEnding::kCr}) {
+    auto parsed = data::ReadRecipesCsv(WithLineEndings(*text, ending));
+    if (!parsed.ok()) {
+      return Fail("round-trip parse failed: " + parsed.status().ToString());
+    }
+    auto reserialized = data::WriteRecipesCsv(*parsed);
+    if (!reserialized.ok() || *reserialized != *text) {
+      return Fail("round-trip changed the corpus");
+    }
+  }
+
+  // A planted error (unknown cuisine on a seed-chosen row) must be
+  // reported at the same "line N, field 3" position for all three
+  // line-ending styles.
+  std::vector<std::vector<std::string>> rows{
+      {"id", "continent", "cuisine", "events"}};
+  const size_t nrows = 2 + rng.NextBelow(4);
+  const size_t bad = rng.NextBelow(nrows);
+  for (size_t i = 0; i < nrows; ++i) {
+    const data::CuisineInfo& info =
+        data::GetCuisine(static_cast<int32_t>(rng.NextBelow(data::kNumCuisines)));
+    rows.push_back({std::to_string(i + 1), data::ContinentName(info.continent),
+                    i == bad ? "Atlantis" : info.name, "i:rice|p:stir"});
+  }
+  const std::string bad_lf = util::WriteCsv(rows);
+  const std::string expected_at =
+      "line " + std::to_string(bad + 2) + ", field 3";
+  std::string first_message;
+  for (const LineEnding ending :
+       {LineEnding::kLf, LineEnding::kCrLf, LineEnding::kCr}) {
+    auto parsed = data::ReadRecipesCsv(WithLineEndings(bad_lf, ending));
+    if (parsed.ok()) return Fail("planted bad cuisine was accepted");
+    const std::string& message = parsed.status().message();
+    if (message.find(expected_at) == std::string::npos) {
+      return Fail("error lacks position '" + expected_at + "': " + message);
+    }
+    if (first_message.empty()) {
+      first_message = message;
+    } else if (message != first_message) {
+      return Fail("error message differs across line endings: '" +
+                  first_message + "' vs '" + message + "'");
+    }
+  }
+
+  // Mutations: clean Status, never a crash.
+  std::string mutated = *text;
+  for (int round = 0; round < 3; ++round) {
+    mutated = MutateCsv(mutated, &rng);
+    CUISINE_RETURN_NOT_OK(
+        ExpectClean(data::ReadRecipesCsv(mutated).status(), "ReadRecipesCsv"));
+  }
+  return Status::OK();
+}
+
+Status FuzzCleaner(uint64_t seed) {
+  util::Rng rng(seed);
+  const text::Cleaner cleaner;  // paper defaults: strip digits + symbols
+  const std::string input = HostileText(&rng, 200);
+  const std::string cleaned = cleaner.Clean(input);
+
+  if (cleaner.Clean(cleaned) != cleaned) {
+    return Fail("Clean is not idempotent on: '" + cleaned + "'");
+  }
+  if (!cleaned.empty() &&
+      (cleaned.front() == ' ' || cleaned.back() == ' ')) {
+    return Fail("cleaned text has an edge space: '" + cleaned + "'");
+  }
+  if (cleaned.find("  ") != std::string::npos) {
+    return Fail("cleaned text has a double space: '" + cleaned + "'");
+  }
+  // Under strip_symbols every ill-formed byte sequence must be treated
+  // as a symbol, so the output is well-formed UTF-8 whose ASCII part is
+  // lower-case letters and single spaces only.
+  if (!IsValidUtf8(cleaned)) {
+    return Fail("cleaned text is not valid UTF-8");
+  }
+  for (const char c : cleaned) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x80 && c != ' ' && (c < 'a' || c > 'z')) {
+      return Fail(std::string("unexpected ASCII byte survived cleaning: ") +
+                  std::to_string(b));
+    }
+  }
+  return Status::OK();
+}
+
+Status FuzzTokenizer(uint64_t seed) {
+  util::Rng rng(seed);
+  text::TokenizerOptions options;
+  options.mode = rng.NextBool(0.5) ? text::TokenMode::kPhrase
+                                   : text::TokenMode::kWord;
+  options.lemmatize = rng.NextBool(0.5);
+  const text::Tokenizer tokenizer(options);
+
+  std::vector<std::string> events(1 + rng.NextBelow(5));
+  for (auto& event : events) event = HostileText(&rng, 80);
+
+  std::vector<std::string> concatenated;
+  for (const auto& event : events) {
+    for (auto& token : tokenizer.TokenizeEvent(event)) {
+      if (token.empty()) return Fail("empty token emitted");
+      if (token.find(' ') != std::string::npos) {
+        return Fail("token contains a space: '" + token + "'");
+      }
+      concatenated.push_back(std::move(token));
+    }
+  }
+  if (tokenizer.TokenizeEvents(events) != concatenated) {
+    return Fail("TokenizeEvents != concatenated TokenizeEvent calls");
+  }
+  return Status::OK();
+}
+
+Status FuzzVocabulary(uint64_t seed) {
+  util::Rng rng(seed);
+  const bool specials = rng.NextBool(0.5);
+  text::Vocabulary vocab(specials);
+  const size_t distinct = 1 + rng.NextBelow(20);
+  for (size_t i = 0; i < distinct; ++i) {
+    // '\n' is the only structural byte a token cannot carry (a tab is
+    // fine: Deserialize splits on the *last* tab of the line).
+    std::string token = HostileTextWithout(&rng, 12, "\n");
+    if (token.empty()) token = "tok" + std::to_string(i);
+    const size_t observations = 1 + rng.NextBelow(4);
+    for (size_t o = 0; o < observations; ++o) vocab.Add(token);
+  }
+
+  const std::string serialized = vocab.Serialize();
+  auto loaded = text::Vocabulary::Deserialize(serialized, specials);
+  if (!loaded.ok()) {
+    return Fail("round-trip Deserialize failed: " + loaded.status().ToString());
+  }
+  if (loaded->Serialize() != serialized) {
+    return Fail("round-trip changed the vocabulary");
+  }
+
+  // Byte-level corruption: clean InvalidArgument naming the line, or an
+  // accidental still-valid file — never a crash.
+  std::string mutated = serialized;
+  for (int round = 0; round < 2; ++round) {
+    mutated = MutateBytes(mutated, &rng);
+    auto result = text::Vocabulary::Deserialize(mutated, specials);
+    CUISINE_RETURN_NOT_OK(ExpectClean(result.status(), "Deserialize"));
+    if (!result.ok() && result.status().message().find("vocabulary line") ==
+                            std::string::npos) {
+      return Fail("error lacks a line position: " +
+                  result.status().ToString());
+    }
+  }
+
+  // A planted bad line is reported with its exact 1-based number.
+  size_t lines = 0;
+  for (const char c : serialized) lines += c == '\n' ? 1 : 0;
+  auto planted = text::Vocabulary::Deserialize(
+      serialized + "no tab on this line\n", specials);
+  if (planted.ok()) return Fail("planted tab-less line was accepted");
+  const std::string expected =
+      "vocabulary line " + std::to_string(lines + 1) + " ";
+  if (planted.status().message().find(expected) == std::string::npos) {
+    return Fail("planted error lacks '" + expected + "': " +
+                planted.status().ToString());
+  }
+  return Status::OK();
+}
+
+Status FuzzCheckpointEnvelope(uint64_t seed) {
+  util::Rng rng(seed);
+  const uint64_t step = rng.NextBelow(1u << 20);
+  const std::string payload = HostileText(&rng, 64);
+  const std::string envelope = core::CheckpointManager::WrapPayload(
+      step, payload);
+
+  uint64_t out_step = 0;
+  std::string out_payload;
+  CUISINE_RETURN_NOT_OK(core::CheckpointManager::UnwrapPayload(
+      envelope, &out_step, &out_payload));
+  if (out_step != step || out_payload != payload) {
+    return Fail("envelope round-trip changed step or payload");
+  }
+
+  // Corruption: either the CRC rejects it, or (e.g. junk appended past
+  // the declared size) the decode is byte-identical to the original.
+  std::string mutated = envelope;
+  for (int round = 0; round < 2; ++round) {
+    mutated = MutateBytes(mutated, &rng);
+    const Status status = core::CheckpointManager::UnwrapPayload(
+        mutated, &out_step, &out_payload);
+    CUISINE_RETURN_NOT_OK(ExpectClean(status, "UnwrapPayload"));
+    if (status.ok() && (out_step != step || out_payload != payload)) {
+      return Fail("corrupted envelope decoded to different contents");
+    }
+  }
+
+  // TrainState decoding must never crash on corrupted bytes (it has no
+  // checksum of its own — the envelope provides integrity — but bound
+  // checking must hold regardless).
+  core::TrainState state;
+  state.seed = rng.NextU64();
+  state.step = rng.NextBelow(100);
+  state.train_loss = {rng.NextDouble(), rng.NextDouble()};
+  state.model = HostileText(&rng, 32);
+  std::string state_bytes = core::SerializeTrainState(state);
+  core::TrainState decoded;
+  CUISINE_RETURN_NOT_OK(core::DeserializeTrainState(state_bytes, &decoded));
+  if (core::SerializeTrainState(decoded) != state_bytes) {
+    return Fail("TrainState round-trip changed the bytes");
+  }
+  for (int round = 0; round < 2; ++round) {
+    state_bytes = MutateBytes(state_bytes, &rng);
+    core::TrainState scratch;
+    CUISINE_RETURN_NOT_OK(ExpectClean(
+        core::DeserializeTrainState(state_bytes, &scratch),
+        "DeserializeTrainState"));
+  }
+  return Status::OK();
+}
+
+Status FuzzTensorSnapshot(uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<nn::Tensor> src;
+  std::vector<nn::Tensor> dst;
+  const size_t count = 1 + rng.NextBelow(3);
+  for (size_t t = 0; t < count; ++t) {
+    const auto tensor_rows = static_cast<int64_t>(1 + rng.NextBelow(4));
+    const auto tensor_cols = static_cast<int64_t>(1 + rng.NextBelow(5));
+    src.push_back(nn::Tensor::Randn(tensor_rows, tensor_cols, 1.0f, &rng));
+    dst.push_back(nn::Tensor::Zeros(tensor_rows, tensor_cols));
+  }
+  const std::string blob = nn::SerializeTensors(src);
+  const std::string untouched = nn::SerializeTensors(dst);
+
+  std::string mutated = blob;
+  for (int round = 0; round < 3; ++round) {
+    mutated = MutateBytes(mutated, &rng);
+    const Status status = nn::DeserializeTensors(mutated, &dst);
+    CUISINE_RETURN_NOT_OK(ExpectClean(status, "DeserializeTensors"));
+    if (!status.ok() && nn::SerializeTensors(dst) != untouched) {
+      return Fail("failed deserialize modified the destination tensors");
+    }
+    if (status.ok()) break;  // rare valid decode: dst changed by design
+  }
+  return Status::OK();
+}
+
+Status FuzzCurrentFile(uint64_t seed) {
+  util::LocalFileSystem local;
+  util::Rng rng(seed);
+  const std::string dir =
+      "/tmp/cuisine_fuzz/current_" + std::to_string(seed);
+  CUISINE_RETURN_NOT_OK(local.CreateDirs(dir));
+  if (auto entries = local.List(dir); entries.ok()) {
+    for (const auto& entry : *entries) {
+      CUISINE_RETURN_NOT_OK(local.Remove(dir + "/" + entry));
+    }
+  }
+
+  util::FaultInjectionFileSystem fs(&local, seed);
+  core::CheckpointManager manager(&fs, dir, /*keep=*/3, /*save_attempts=*/1);
+  CUISINE_RETURN_NOT_OK(manager.Init());
+  CUISINE_RETURN_NOT_OK(manager.Save(1, "alpha"));
+  CUISINE_RETURN_NOT_OK(manager.Save(2, "beta"));
+  auto current = manager.ReadCurrent();
+  if (!current.ok() ||
+      *current != core::CheckpointManager::CheckpointFileName(2)) {
+    return Fail("pristine CURRENT did not name the newest checkpoint");
+  }
+
+  // Damage CURRENT one of three ways, all seeded.
+  const std::string current_path = dir + "/CURRENT";
+  switch (rng.NextBelow(3)) {
+    case 0:
+      CUISINE_RETURN_NOT_OK(fs.FlipRandomBit(current_path));
+      break;
+    case 1: {  // torn write: a strict prefix survives
+      auto contents = local.ReadFile(current_path);
+      if (!contents.ok()) return contents.status();
+      CUISINE_RETURN_NOT_OK(local.WriteFileAtomic(
+          current_path, contents->substr(0, rng.NextBelow(contents->size()))));
+      break;
+    }
+    default:  // garbage rewrite
+      CUISINE_RETURN_NOT_OK(
+          local.WriteFileAtomic(current_path, HostileText(&rng, 40)));
+      break;
+  }
+
+  // The hardened parse: OK (damage may still form a plausible name) or
+  // InvalidArgument with an offset — never a crash or another code.
+  auto damaged = manager.ReadCurrent();
+  if (!damaged.ok() &&
+      damaged.status().code() != util::StatusCode::kInvalidArgument) {
+    return Fail("damaged CURRENT returned unexpected status: " +
+                damaged.status().ToString());
+  }
+  if (!damaged.ok() &&
+      damaged.status().message().find("offset") == std::string::npos) {
+    return Fail("damaged CURRENT error lacks a byte offset: " +
+                damaged.status().ToString());
+  }
+
+  // Recovery never trusted CURRENT in the first place.
+  auto loaded = manager.LoadLatestValid();
+  if (!loaded.ok() || loaded->step != 2 || loaded->payload != "beta") {
+    return Fail("LoadLatestValid no longer recovers after CURRENT damage");
+  }
+  return Status::OK();
+}
+
+}  // namespace cuisine::testing

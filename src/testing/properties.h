@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+/// \file properties.h
+/// \brief Per-surface fuzz properties for the harness (DESIGN.md §15).
+///
+/// Each function is one deterministic trial: it derives a hostile input
+/// from the seed via the mutators in fuzz.h, feeds it to one parsing /
+/// text surface, and checks that surface's contract — round-trips are
+/// exact, mutated input returns a clean Status (never crashes or
+/// over-reads), line-ending styles are equivalent, error messages carry
+/// the promised positions. OK means the contract held for this seed.
+///
+/// Run them through RunFuzz (harness.h), which sweeps derived trial
+/// seeds and prints the failing one for replay.
+
+namespace cuisine::testing {
+
+/// util::ParseCsv / WriteCsv: write→parse round-trip over arbitrary
+/// byte fields, LF/CRLF/bare-CR equivalence, and no-crash + clean
+/// Status over structural mutations.
+util::Status FuzzCsvParser(uint64_t seed);
+
+/// data::ReadRecipesCsv / WriteRecipesCsv: round-trip of a random valid
+/// corpus, identical parses and identical "line N, field M" error
+/// positions across all three line-ending styles, and clean Status over
+/// mutations.
+util::Status FuzzRecipesCsv(uint64_t seed);
+
+/// text::Cleaner: idempotence, single-space separation with no edge
+/// spaces, and — under strip_symbols — well-formed UTF-8 output even
+/// when the input splices overlong encodings, surrogate halves and
+/// truncated sequences.
+util::Status FuzzCleaner(uint64_t seed);
+
+/// text::Tokenizer: tokens are never empty, contain no separator
+/// (' ' in word mode), and TokenizeEvents equals the concatenation of
+/// per-event TokenizeEvent calls.
+util::Status FuzzTokenizer(uint64_t seed);
+
+/// text::Vocabulary::Serialize / Deserialize: exact round-trip over
+/// hostile tokens, clean InvalidArgument naming "vocabulary line" on
+/// byte-level corruption, and a planted bad line is reported with its
+/// correct 1-based number.
+util::Status FuzzVocabulary(uint64_t seed);
+
+/// core::CheckpointManager::WrapPayload / UnwrapPayload and
+/// DeserializeTrainState: corruption is always detected (CRC) or the
+/// decode is byte-identical to the original; never a crash.
+util::Status FuzzCheckpointEnvelope(uint64_t seed);
+
+/// nn::SerializeTensors / DeserializeTensors: a failed decode leaves
+/// the destination tensors byte-identical to their prior state.
+util::Status FuzzTensorSnapshot(uint64_t seed);
+
+/// core::CheckpointManager::ReadCurrent against a CURRENT file hit by
+/// seeded bit flips / truncation / garbage rewrites: ok or
+/// InvalidArgument, and LoadLatestValid still recovers the newest
+/// intact checkpoint regardless.
+util::Status FuzzCurrentFile(uint64_t seed);
+
+}  // namespace cuisine::testing

@@ -36,6 +36,21 @@ size_t SequenceLength(unsigned char lead) {
   return 0;
 }
 
+// Valid range of the *second* byte given the lead (Unicode Table 3-7).
+// Plain continuation checks accept overlong encodings (E0 80 80 for
+// NUL), UTF-16 surrogate halves (ED A0 80) and codepoints past U+10FFFF
+// (F4 90 80 80) — all ill-formed byte sequences that must be treated as
+// stray symbols, not smuggled through as word characters.
+bool ValidSecondByte(unsigned char lead, unsigned char second) {
+  switch (lead) {
+    case 0xE0: return second >= 0xA0 && second <= 0xBF;  // no overlong
+    case 0xED: return second >= 0x80 && second <= 0x9F;  // no surrogates
+    case 0xF0: return second >= 0x90 && second <= 0xBF;  // no overlong
+    case 0xF4: return second >= 0x80 && second <= 0x8F;  // <= U+10FFFF
+    default: return IsContinuation(second);
+  }
+}
+
 }  // namespace
 
 std::string Cleaner::Clean(std::string_view s) const {
@@ -88,7 +103,10 @@ void Cleaner::CleanInto(std::string_view s, std::string* out_ptr) const {
     // byte-by-byte.
     const size_t len = SequenceLength(c);
     bool valid = len > 0 && i + len <= s.size();
-    for (size_t k = 1; valid && k < len; ++k) {
+    if (valid && len > 1) {
+      valid = ValidSecondByte(c, static_cast<unsigned char>(s[i + 1]));
+    }
+    for (size_t k = 2; valid && k < len; ++k) {
       valid = IsContinuation(static_cast<unsigned char>(s[i + k]));
     }
     if (!valid) {

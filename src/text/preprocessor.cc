@@ -10,7 +10,18 @@ util::Counter* MemoEvictions() {
       util::MetricsRegistry::Instance().GetCounter("preprocess.memo_evictions");
   return counter;
 }
+
+/// Test-only fault plant (see header). Plain bool: single-threaded use.
+bool g_test_only_lemma_perturbation = false;
 }  // namespace
+
+void Preprocessor::SetTestOnlyLemmaPerturbation(bool enabled) {
+  g_test_only_lemma_perturbation = enabled;
+}
+
+bool Preprocessor::TestOnlyLemmaPerturbation() {
+  return g_test_only_lemma_perturbation;
+}
 
 Preprocessor::Preprocessor(TokenizerOptions options, size_t memo_capacity)
     : options_(options), cleaner_(options.cleaner),
@@ -62,6 +73,19 @@ void Preprocessor::ProcessEventUncached(std::string_view event,
   // space, so words are delimited by exactly one ' '.
   const std::string_view cleaned = clean_buf_;
   const bool phrase = options_.mode == TokenMode::kPhrase;
+  // Planted divergence (test-only, see header): "-ies" lemmas come out
+  // "-ie" instead of "-y" on this path only, so the differential
+  // oracles have a real bug to catch in their self-tests.
+  const bool perturb =
+      g_test_only_lemma_perturbation && options_.lemmatize;
+  const auto lemma_append = [&](std::string_view word, std::string* buf) {
+    lemmatizer_.LemmatizeAppend(word, buf);
+    if (perturb && util::EndsWith(word, "ies") && !buf->empty() &&
+        buf->back() == 'y') {
+      buf->back() = 'i';
+      buf->push_back('e');
+    }
+  };
   token_buf_.clear();
   size_t start = 0;
   while (start <= cleaned.size()) {
@@ -71,13 +95,13 @@ void Preprocessor::ProcessEventUncached(std::string_view event,
     if (phrase) {
       if (start != 0) token_buf_.push_back('_');
       if (options_.lemmatize) {
-        lemmatizer_.LemmatizeAppend(word, &token_buf_);
+        lemma_append(word, &token_buf_);
       } else {
         token_buf_.append(word);
       }
     } else if (options_.lemmatize) {
       token_buf_.clear();
-      lemmatizer_.LemmatizeAppend(word, &token_buf_);
+      lemma_append(word, &token_buf_);
       out->push_back(table->Intern(token_buf_));
     } else {
       out->push_back(table->Intern(word));

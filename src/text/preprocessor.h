@@ -54,6 +54,15 @@ class Preprocessor {
   size_t memo_size() const { return memo_.size(); }
   size_t memo_capacity() const { return memo_capacity_; }
 
+  /// TEST-ONLY: plants a divergence in the fused path — lemmas that end
+  /// in 'y' via the "-ies" rule come out as "-ie" instead, while the
+  /// reference Tokenizer path is untouched. Exists so the differential
+  /// oracles (src/testing/oracles.h) can prove they catch a real
+  /// id-vs-string divergence and report its replay seed. Never enable
+  /// outside tests; process-global, not thread-safe.
+  static void SetTestOnlyLemmaPerturbation(bool enabled);
+  static bool TestOnlyLemmaPerturbation();
+
  private:
   void ProcessEventUncached(std::string_view event, TokenTable* table,
                             std::vector<int32_t>* out);

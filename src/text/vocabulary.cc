@@ -141,18 +141,33 @@ util::Result<Vocabulary> Vocabulary::Deserialize(std::string_view text,
                                                  bool with_special_tokens) {
   Vocabulary vocab(with_special_tokens);
   size_t pos = 0;
+  size_t line_number = 0;  // 1-based, counted below
   while (pos <= text.size()) {
+    const size_t line_start = pos;
     size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
+    ++line_number;
+    // Every parse error names the 1-based line and the byte offset of
+    // the line start, so a corrupt vocabulary file (fuzzers produce
+    // plenty) is diagnosable without re-deriving positions by hand.
+    const auto fail = [&](const std::string& what) {
+      // Truncate the quoted line: corrupt files can make one "line"
+      // megabytes long, and the status message should stay readable.
+      constexpr size_t kMaxQuoted = 64;
+      std::string quoted(line.substr(0, kMaxQuoted));
+      if (line.size() > kMaxQuoted) quoted += "...";
+      return util::Status::InvalidArgument(
+          "vocabulary line " + std::to_string(line_number) + " (byte offset " +
+          std::to_string(line_start) + "): " + what + " in '" + quoted + "'");
+    };
     // Tolerate CRLF line endings; token bytes themselves are preserved.
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
     const size_t tab = line.rfind('\t');
     if (tab == std::string_view::npos) {
-      return util::Status::InvalidArgument("bad vocabulary line: " +
-                                           std::string(line));
+      return fail("missing '\\t' between token and frequency");
     }
     const std::string_view token = line.substr(0, tab);
     const std::string_view freq_text = line.substr(tab + 1);
@@ -160,8 +175,10 @@ util::Result<Vocabulary> Vocabulary::Deserialize(std::string_view text,
     auto [end, ec] = std::from_chars(
         freq_text.data(), freq_text.data() + freq_text.size(), freq);
     if (ec != std::errc{} || end != freq_text.data() + freq_text.size()) {
-      return util::Status::InvalidArgument("bad frequency: " +
-                                           std::string(freq_text));
+      return fail("bad frequency '" + std::string(freq_text) + "'");
+    }
+    if (freq < 0) {
+      return fail("negative frequency " + std::to_string(freq));
     }
     vocab.AddWithFrequency(token, freq);
   }

@@ -92,6 +92,9 @@ class Vocabulary {
 
   /// Parses the Serialize() format. Tokens may contain internal
   /// whitespace and arbitrary UTF-8; only '\t' and '\n' are structural.
+  /// Malformed input (missing tab, non-numeric or negative frequency)
+  /// returns InvalidArgument naming the 1-based line and its byte
+  /// offset — never CHECK-fails or reads out of bounds.
   static util::Result<Vocabulary> Deserialize(std::string_view text,
                                               bool with_special_tokens);
 

@@ -56,6 +56,13 @@ Result<CsvTable> ParseCsv(const std::string& text) {
         ++i;
         break;
       case '\r':
+        // Row terminator: either the CR of a CRLF pair or a bare CR
+        // (classic-Mac line endings). Treating CR as plain noise glued
+        // bare-CR files into one giant row and silently dropped
+        // mid-field CRs, which also shifted every downstream 1-based
+        // line number.
+        end_row();
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
         ++i;
         break;
       case '\n':

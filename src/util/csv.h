@@ -20,6 +20,8 @@ struct CsvTable {
 };
 
 /// Parses CSV text. Returns InvalidArgument on unterminated quotes.
+/// Rows may end in "\n", "\r\n" or bare "\r" (mixed freely); inside a
+/// quoted field all three byte sequences are preserved verbatim.
 Result<CsvTable> ParseCsv(const std::string& text);
 
 /// Serialises rows to CSV text, quoting fields when needed.

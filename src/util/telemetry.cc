@@ -217,9 +217,16 @@ double Histogram::Percentile(double q) const {
       seen += counts[i];
       continue;
     }
-    // Linear interpolation inside bucket i.
+    // The overflow bucket has no finite upper edge: interpolating past
+    // the last bound invents latencies no observation ever had (the old
+    // `bounds.back() * 2` heuristic reported up to 2x the largest
+    // finite edge). Report the last finite edge instead — the estimate
+    // is clamped, and callers know anything at bounds().back() means
+    // "at least this".
+    if (i == bounds_.size()) return bounds_.back();
+    // Linear interpolation inside finite bucket i.
     const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+    const double hi = bounds_[i];
     const double frac =
         static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
     return lo + (hi - lo) * frac;

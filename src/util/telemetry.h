@@ -79,6 +79,17 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
   /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  ///
+  /// Definition (locked in by telemetry_test and the soak driver's
+  /// invariant checks): the target rank is the nearest-rank index
+  /// `floor(q * (count - 1)) + 1`, located in the bucket counts; the
+  /// estimate interpolates linearly inside the winning *finite* bucket.
+  /// Ranks landing in the trailing overflow bucket return the last
+  /// finite edge (`bounds().back()`) — never an invented value past it.
+  /// This differs from core::InferenceService's per-tier p95, which is
+  /// exact nearest-rank over a rolling window of raw samples: the
+  /// histogram estimate is quantized to bucket edges (within one bucket
+  /// width of the sample quantile), the service one is an actual sample.
   double Percentile(double q) const;
 
   const std::vector<double>& bounds() const { return bounds_; }

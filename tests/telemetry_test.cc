@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -119,6 +120,54 @@ TEST(TelemetryTest, HistogramPercentilesAreOrderedAndBracketed) {
       MetricsRegistry::Instance().GetHistogram("test.empty_hist");
   empty->Reset();
   EXPECT_EQ(empty->Percentile(0.5), 0.0);
+}
+
+TEST(TelemetryTest, PercentileOverflowBucketClampsToLastFiniteEdge) {
+  // Regression: the estimate used to interpolate into the overflow
+  // bucket (up to bounds.back() * 2), inventing latencies no
+  // observation ever had. Anything landing past the last finite edge
+  // must now report exactly that edge.
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.overflow_clamp", std::vector<double>{10, 20, 30});
+  h->Reset();
+  for (int v = 0; v < 10; ++v) h->Observe(1000.0);  // all overflow
+  EXPECT_EQ(h->Percentile(0.5), 30.0);
+  EXPECT_EQ(h->Percentile(1.0), 30.0);
+  // Mixed: the p99 rank falls in the overflow bucket, still clamped.
+  h->Reset();
+  for (int v = 0; v < 95; ++v) h->Observe(5.0);
+  for (int v = 0; v < 5; ++v) h->Observe(1e9);
+  EXPECT_EQ(h->Percentile(0.99), 30.0);
+  EXPECT_LE(h->Percentile(0.5), 10.0);
+}
+
+TEST(TelemetryTest, PercentileDefinitionsReconcile) {
+  // The repo deliberately carries two percentile definitions:
+  //  - util::Histogram::Percentile — bucket-interpolated nearest rank
+  //    (rank = floor(q*(count-1)) + 1), clamped at the last finite edge;
+  //  - core::InferenceService's TierP95Locked — exact nearest rank over
+  //    the raw rolling sample window (index = min(n-1, floor(0.95*n))).
+  // They must agree to within one bucket width whenever the rank lands
+  // in a finite bucket; this pins that reconciliation down.
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.reconcile", std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80,
+                                            90, 100});
+  h->Reset();
+  std::vector<double> samples;
+  for (int v = 1; v <= 100; ++v) samples.push_back(static_cast<double>(v));
+  for (double s : samples) h->Observe(s);
+
+  // Service-style exact nearest rank (the window is already sorted).
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(0.95 * static_cast<double>(samples.size())));
+  const double exact_p95 = samples[rank];  // 96
+  const double bucket_p95 = h->Percentile(0.95);
+  const double bucket_width = 10.0;
+  EXPECT_NEAR(bucket_p95, exact_p95, bucket_width);
+  // Both stay within the histogram's finite range.
+  EXPECT_LE(bucket_p95, 100.0);
+  EXPECT_LE(exact_p95, 100.0);
 }
 
 TEST(TelemetryTest, DefaultLatencyBoundsAreStrictlyAscending) {
