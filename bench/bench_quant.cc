@@ -1,0 +1,389 @@
+/// \file bench_quant.cc
+/// \brief Throughput + parity gates for the int8 quantized inference
+/// path (nn/quant.h) and the padding-free length-bucketed batch
+/// scheduler (core/engine.h, DESIGN.md §16).
+///
+/// Trains a compact LSTM and transformer on a deterministic synthetic
+/// task, attaches the int8 path (calibrated on the training set), and
+/// measures single-core batched prediction three ways per model:
+///
+///  * fp32 unbucketed — the pre-PR baseline schedule;
+///  * fp32 bucketed   — the new default schedule (scheduler-only gain);
+///  * int8 bucketed   — the quantized serving path.
+///
+/// Gates (exit non-zero on violation):
+///  * transformer int8 throughput >= 2x the fp32 unbucketed baseline
+///    (scaled by CUISINE_BENCH_GATE_SCALE; WARN-only under --smoke,
+///    where millisecond windows are too noisy to gate);
+///  * fp32 bucketed predictions bit-identical to unbucketed for 1/2/4
+///    workers (always enforced, even under --smoke);
+///  * int8 accuracy within 0.5 points of fp32 accuracy per model (the
+///    Table IV parity bar; WARN-only under --smoke, whose undertrained
+///    near-chance models make point-level parity sampling noise);
+///  * the int8 kernel actually ran (gemm.int8_calls advanced).
+///
+/// Writes BENCH_quant.json and the METRICS_bench_quant.json telemetry
+/// sidecar (gemm.int8_*, encoder.pad_ratio when encoders ran).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "nn/lstm.h"
+#include "nn/quant.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+#include "util/telemetry.h"
+
+namespace {
+
+using cuisine::core::NeuralTrainOptions;
+using cuisine::core::PredictQuantizedInto;
+using cuisine::core::PredictScheduleOptions;
+using cuisine::core::PredictSequencesInto;
+using cuisine::core::SequenceForwardFn;
+using cuisine::core::SequencePredictions;
+using cuisine::core::TrainSequenceClassifier;
+using cuisine::features::EncodedSequence;
+
+constexpr int32_t kNumClasses = 4;
+constexpr int64_t kVocab = 256;
+/// Encoded frame length. Real lengths are much shorter (below), so the
+/// batch is padding-heavy — the regime the padding-free scheduler and
+/// the per-length quantized forwards are built for.
+constexpr int32_t kMaxLen = 48;
+
+/// Deterministic synthetic corpus: the class is decided by the first
+/// token; filler tokens and the (geometric-ish) length are noise. Every
+/// model here can learn it to ~100%, which makes the int8-vs-fp32
+/// accuracy parity gate sharp instead of flaky.
+void MakeCorpus(size_t n, uint64_t seed, std::vector<EncodedSequence>* x,
+                std::vector<int32_t>* y) {
+  cuisine::util::Rng rng(seed);
+  x->clear();
+  y->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<int32_t>(rng.NextBelow(kNumClasses));
+    const auto len = static_cast<int32_t>(4 + rng.NextBelow(21));  // 4..24
+    EncodedSequence seq;
+    seq.ids.assign(kMaxLen, 0);
+    seq.mask.assign(kMaxLen, 0);
+    seq.ids[0] = 10 + label;
+    for (int32_t t = 1; t < len; ++t) {
+      seq.ids[t] = static_cast<int32_t>(
+          20 + rng.NextBelow(static_cast<uint64_t>(kVocab - 20)));
+    }
+    std::fill(seq.mask.begin(), seq.mask.begin() + len, 1);
+    seq.length = len;
+    x->push_back(std::move(seq));
+    y->push_back(label);
+  }
+}
+
+double Accuracy(const std::vector<int32_t>& pred,
+                const std::vector<int32_t>& truth) {
+  size_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    hits += pred[i] == truth[i] ? 1u : 0u;
+  }
+  return pred.empty() ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(pred.size());
+}
+
+/// Best-of-3 seconds per call with a calibrated repeat count, after a
+/// warm-up call (scratch high-water, thread-local packs, page-in).
+template <typename Fn>
+double TimeIt(Fn&& fn, double window) {
+  using Clock = std::chrono::steady_clock;
+  fn();
+  auto t0 = Clock::now();
+  fn();
+  const double once = std::chrono::duration<double>(Clock::now() - t0).count();
+  const size_t reps =
+      once > window ? 1 : static_cast<size_t>(window / (once + 1e-9)) + 1;
+  double best = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    t0 = Clock::now();
+    for (size_t r = 0; r < reps; ++r) fn();
+    const double per =
+        std::chrono::duration<double>(Clock::now() - t0).count() / reps;
+    best = std::min(best, per);
+  }
+  return best;
+}
+
+struct ModelRow {
+  std::string workload;
+  double fp32_unbucketed_eps = 0.0;  ///< examples per second
+  double fp32_bucketed_eps = 0.0;
+  double int8_eps = 0.0;
+  double int8_speedup = 0.0;     ///< int8 bucketed vs fp32 unbucketed
+  double bucket_speedup = 0.0;   ///< fp32 bucketed vs fp32 unbucketed
+  double fp32_accuracy = 0.0;
+  double int8_accuracy = 0.0;
+  bool bit_identical = true;
+};
+
+ModelRow Measure(const char* workload, const SequenceForwardFn& forward,
+                 const cuisine::nn::QuantizedSequenceModel& quantized,
+                 const std::vector<EncodedSequence>& x,
+                 const std::vector<int32_t>& y, double window) {
+  ModelRow row;
+  row.workload = workload;
+  const auto n = static_cast<double>(x.size());
+
+  PredictScheduleOptions plain;
+  plain.num_workers = 1;
+  plain.length_bucketed = false;
+  PredictScheduleOptions bucketed;
+  bucketed.num_workers = 1;
+
+  SequencePredictions out;
+  row.fp32_unbucketed_eps =
+      n / TimeIt([&] { PredictSequencesInto(forward, x, plain, &out); },
+                 window);
+  const SequencePredictions fp32_reference = out;
+  row.fp32_bucketed_eps =
+      n / TimeIt([&] { PredictSequencesInto(forward, x, bucketed, &out); },
+                 window);
+  row.int8_eps =
+      n / TimeIt([&] { PredictQuantizedInto(quantized, x, bucketed, &out); },
+                 window);
+  row.int8_speedup = row.int8_eps / row.fp32_unbucketed_eps;
+  row.bucket_speedup = row.fp32_bucketed_eps / row.fp32_unbucketed_eps;
+
+  // Bit-identity of the bucketed fp32 schedule, any worker count.
+  for (const size_t workers : {1u, 2u, 4u}) {
+    PredictScheduleOptions schedule;
+    schedule.num_workers = workers;
+    SequencePredictions got;
+    PredictSequencesInto(forward, x, schedule, &got);
+    if (got.labels != fp32_reference.labels ||
+        got.probas != fp32_reference.probas) {
+      row.bit_identical = false;
+      std::fprintf(stderr,
+                   "%s: bucketed fp32 diverged from unbucketed at "
+                   "num_workers=%zu\n",
+                   workload, workers);
+    }
+  }
+
+  row.fp32_accuracy = Accuracy(fp32_reference.labels, y);
+  SequencePredictions int8_out;
+  PredictQuantizedInto(quantized, x, bucketed, &int8_out);
+  row.int8_accuracy = Accuracy(int8_out.labels, y);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_quant.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  cuisine::benchutil::InitTraceFromEnv();
+  const double gate_scale = cuisine::benchutil::GateScale();
+  const double speedup_gate = 2.0 * gate_scale;
+  const double parity_gate = 0.5;  // Table IV accuracy points
+  const double window = smoke ? 0.05 : 0.4;
+  const size_t n_train = smoke ? 96 : 384;
+  const size_t n_eval = smoke ? 128 : 768;
+  std::printf("== int8 quantized inference bench%s ==\n",
+              smoke ? " (smoke)" : "");
+  std::printf(
+      "eval batch %zu, frame %d, real lengths 4..24 (padding-heavy); "
+      "transformer gate %.2fx (scale %.2f)\n\n",
+      n_eval, kMaxLen, speedup_gate, gate_scale);
+
+  std::vector<EncodedSequence> train_x, eval_x;
+  std::vector<int32_t> train_y, eval_y;
+  MakeCorpus(n_train, /*seed=*/101, &train_x, &train_y);
+  MakeCorpus(n_eval, /*seed=*/102, &eval_x, &eval_y);
+
+  NeuralTrainOptions train_options;
+  train_options.epochs = smoke ? 2 : 3;
+  train_options.batch_size = 16;
+  train_options.learning_rate = 2e-3;
+  train_options.weight_decay = 0.0;
+  train_options.num_workers = 0;  // training speed is not under test
+
+  // ---- LSTM ----
+  cuisine::nn::LstmConfig lstm_config;
+  lstm_config.vocab_size = kVocab;
+  lstm_config.embedding_dim = 64;
+  lstm_config.hidden_size = 64;
+  lstm_config.num_layers = 2;
+  lstm_config.dropout = 0.0f;
+  const auto lstm =
+      std::make_shared<cuisine::nn::LstmClassifier>(lstm_config, kNumClasses);
+  const SequenceForwardFn lstm_forward =
+      [lstm](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+        return lstm->ForwardLogits(s, t, r);
+      };
+  {
+    const auto make_replica = [lstm_config]() {
+      auto net = std::make_shared<cuisine::nn::LstmClassifier>(lstm_config,
+                                                               kNumClasses);
+      return cuisine::core::SequenceNet{
+          [net](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+            return net->ForwardLogits(s, t, r);
+          },
+          net->Parameters()};
+    };
+    auto history = TrainSequenceClassifier(lstm_forward, lstm->Parameters(),
+                                           train_x, train_y, {}, {},
+                                           train_options, make_replica);
+    if (!history.ok()) {
+      std::fprintf(stderr, "LSTM training failed\n");
+      return 1;
+    }
+  }
+  const auto lstm_int8 = cuisine::nn::QuantizeLstmClassifier(
+      *lstm, {train_x.data(), train_x.size()});
+
+  // ---- Transformer ----
+  cuisine::nn::TransformerConfig tf_config;
+  tf_config.vocab_size = kVocab;
+  tf_config.max_length = kMaxLen;
+  tf_config.d_model = 64;
+  tf_config.num_heads = 4;
+  tf_config.num_layers = 2;
+  tf_config.d_ff = 128;
+  tf_config.dropout = 0.0f;
+  const auto transformer = std::make_shared<cuisine::nn::TransformerClassifier>(
+      tf_config, kNumClasses);
+  const SequenceForwardFn tf_forward =
+      [transformer](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+        return transformer->ForwardLogits(s, t, r);
+      };
+  {
+    const auto make_replica = [tf_config]() {
+      auto net = std::make_shared<cuisine::nn::TransformerClassifier>(
+          tf_config, kNumClasses);
+      return cuisine::core::SequenceNet{
+          [net](const EncodedSequence& s, bool t, cuisine::util::Rng* r) {
+            return net->ForwardLogits(s, t, r);
+          },
+          net->Parameters()};
+    };
+    auto history = TrainSequenceClassifier(tf_forward,
+                                           transformer->Parameters(), train_x,
+                                           train_y, {}, {}, train_options,
+                                           make_replica);
+    if (!history.ok()) {
+      std::fprintf(stderr, "transformer training failed\n");
+      return 1;
+    }
+  }
+  const auto tf_int8 = cuisine::nn::QuantizeTransformerClassifier(
+      *transformer, {train_x.data(), train_x.size()});
+
+  // ---- Measure ----
+  auto* int8_calls =
+      cuisine::util::MetricsRegistry::Instance().GetCounter("gemm.int8_calls");
+  const uint64_t int8_calls_before = int8_calls->value();
+
+  std::vector<ModelRow> rows;
+  rows.push_back(
+      Measure("lstm_predict", lstm_forward, *lstm_int8, eval_x, eval_y,
+              window));
+  rows.push_back(Measure("transformer_predict", tf_forward, *tf_int8, eval_x,
+                         eval_y, window));
+  const uint64_t int8_calls_ran = int8_calls->value() - int8_calls_before;
+
+  for (const ModelRow& r : rows) {
+    std::printf(
+        "%-20s fp32 %8.0f ex/s | fp32+buckets %8.0f ex/s (%.2fx) | "
+        "int8+buckets %8.0f ex/s (%.2fx)\n",
+        r.workload.c_str(), r.fp32_unbucketed_eps, r.fp32_bucketed_eps,
+        r.bucket_speedup, r.int8_eps, r.int8_speedup);
+    std::printf(
+        "%-20s accuracy fp32 %.2f%% | int8 %.2f%% | bucketed fp32 "
+        "bit-identical: %s\n",
+        "", r.fp32_accuracy, r.int8_accuracy,
+        r.bit_identical ? "yes" : "NO");
+  }
+  std::printf("int8 kernel calls during measurement: %llu\n\n",
+              static_cast<unsigned long long>(int8_calls_ran));
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"int8_quantized_inference\",\n");
+  std::fprintf(f, "  \"acceptance_speedup\": %.3f,\n", speedup_gate);
+  std::fprintf(f, "  \"gate_scale\": %.3f,\n", gate_scale);
+  std::fprintf(f, "  \"accuracy_parity_points\": %.2f,\n", parity_gate);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ModelRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"fp32_unbucketed_eps\": %.6g, "
+        "\"fp32_bucketed_eps\": %.6g, \"int8_eps\": %.6g, "
+        "\"int8_speedup\": %.3f, \"bucket_speedup\": %.3f, "
+        "\"fp32_accuracy\": %.2f, \"int8_accuracy\": %.2f, "
+        "\"bit_identical\": %s}%s\n",
+        r.workload.c_str(), r.fp32_unbucketed_eps, r.fp32_bucketed_eps,
+        r.int8_eps, r.int8_speedup, r.bucket_speedup, r.fp32_accuracy,
+        r.int8_accuracy, r.bit_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  cuisine::benchutil::ExportMetrics("bench_quant");
+
+  // ---- Gates ----
+  bool ok = true;
+  for (const ModelRow& r : rows) {
+    if (!r.bit_identical) {
+      std::fprintf(stderr, "GATE FAILED: %s bucketed fp32 not bit-identical\n",
+                   r.workload.c_str());
+      ok = false;
+    }
+    const double drift = r.fp32_accuracy - r.int8_accuracy;
+    if (drift > parity_gate || drift < -parity_gate) {
+      // Under --smoke the models are deliberately undertrained (near-
+      // chance accuracy), where point-level parity is sampling noise —
+      // warn only; the full run enforces the Table IV bar.
+      std::fprintf(stderr,
+                   "%s: %s int8 accuracy %.2f%% drifts %.2f points "
+                   "from fp32 %.2f%% (bar %.2f)\n",
+                   smoke ? "WARN (smoke)" : "GATE FAILED", r.workload.c_str(),
+                   r.int8_accuracy, drift, r.fp32_accuracy, parity_gate);
+      if (!smoke) ok = false;
+    }
+  }
+  if (int8_calls_ran == 0) {
+    std::fprintf(stderr, "GATE FAILED: gemm.int8_calls never advanced — the "
+                         "quantized path did not run\n");
+    ok = false;
+  }
+  const double tf_speedup = rows[1].int8_speedup;
+  if (tf_speedup < speedup_gate) {
+    std::fprintf(stderr, "%s: transformer int8 speedup %.3fx < gate %.2fx\n",
+                 smoke ? "WARN (smoke)" : "GATE FAILED", tf_speedup,
+                 speedup_gate);
+    if (!smoke) ok = false;
+  }
+  if (ok) std::printf("all gates passed\n");
+  return ok ? 0 : 1;
+}

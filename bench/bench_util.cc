@@ -28,6 +28,11 @@ bool EnvFlag(const char* name) {
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
+double GateScale() {
+  const double scale = EnvDouble("CUISINE_BENCH_GATE_SCALE", 1.0);
+  return scale > 0.0 ? scale : 1.0;
+}
+
 bool InitTraceFromEnv() {
   const char* path = std::getenv("CUISINE_TRACE_FILE");
   if (path == nullptr || *path == '\0') return false;

@@ -30,6 +30,14 @@ double EnvDouble(const char* name, double fallback);
 int64_t EnvInt(const char* name, int64_t fallback);
 bool EnvFlag(const char* name);
 
+/// CUISINE_BENCH_GATE_SCALE (default 1.0): multiplier applied to every
+/// bench acceptance threshold. CI on slow or noisy hardware can relax
+/// the gates (e.g. 0.5) — or tighten them — without patching benches;
+/// each bench records its *effective* gate in its BENCH_*.json, so a
+/// scaled run is self-describing. Values <= 0 are clamped to the
+/// default.
+double GateScale();
+
 /// The bench-default experiment configuration: paper-shaped corpus at a
 /// CPU-budget scale, compact transformer dims, all caps env-overridable.
 core::ExperimentConfig DefaultConfig(double default_scale);

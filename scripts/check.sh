@@ -9,9 +9,12 @@
 # test exercises the sharded interner under the race detector. The asan
 # suite re-runs the preprocessing-adjacent tests explicitly (interning
 # arenas, string_view lifetimes and id remaps are where lifetime bugs
-# would live). The default suite finishes with bench smoke runs that
-# export metrics snapshots and validate their JSON, including the
-# bench_pipeline bit-identity cross-checks. The tsan suite ends with a
+# would live), plus the int8 quantization tests (packed panels and the
+# CSQ8 snapshot decoder parse length-prefixed untrusted bytes). The
+# default suite finishes with bench smoke runs that export metrics
+# snapshots and validate their JSON, including the bench_pipeline
+# bit-identity cross-checks and the bench_quant int8-vs-fp32 accuracy
+# parity and bucketed bit-identity gates. The tsan suite ends with a
 # chaos pass: the bench_service soak with the fault injector armed and
 # concurrent clients under the race detector, gating 100% explicit
 # responses and zero sheds at nominal load. Every suite additionally
@@ -47,6 +50,11 @@ for suite in "${suites[@]}"; do
     # Per-worker arenas in sharded training/prediction under TSan; the
     # bit-identity tests drive 3- and 4-worker runs over both models.
     ./build-tsan/tests/nn_arena_test --gtest_filter='Models/ArenaBitIdentityTest.*'
+    echo "==== ${suite}: bucketed-schedule race pass ===="
+    # Length-bucketed PredictBatch with 1/2/8 workers plus the batched
+    # int8 forwards under TSan; the bit-identity assertions double as
+    # determinism checks on the sharded schedule.
+    ./build-tsan/tests/quant_test --gtest_filter='BucketScheduleTest.*:QuantizedModelTest.*'
     echo "==== ${suite}: service chaos pass ===="
     # Admission queue, circuit breakers and injected faults with four
     # concurrent clients under TSan; gates zero sheds at nominal load
@@ -70,6 +78,11 @@ for suite in "${suites[@]}"; do
     # Bump-allocated autograd nodes, slab consolidation on Reset, scope
     # save/restore — the places a lifetime bug in the arena would live.
     ./build-asan/tests/nn_arena_test
+    echo "==== ${suite}: quantized path lifetime pass ===="
+    # Packed int8 panels, thread-local quantization scratch and the
+    # CSQ8 snapshot decode (length-prefixed records from untrusted
+    # bytes) under the memory sanitizer.
+    ./build-asan/tests/quant_test
     echo "==== ${suite}: fuzz + chaos soak (asan) ===="
     # The hostile-input fuzz surfaces (ill-formed UTF-8, truncated
     # envelopes, bit-flipped checkpoints) under the memory sanitizer —
@@ -94,6 +107,15 @@ for suite in "${suites[@]}"; do
     # Nominal bit-identity vs direct PredictBatch, zero sheds, and a
     # short fault-injected soak with 100% explicit responses.
     ./build/bench/bench_service --smoke
+    echo "==== ${suite}: int8 quantization smoke ===="
+    # Trains tiny LSTM/transformer classifiers, quantizes them, and
+    # gates fp32-bucketed bit-identity and that the int8 kernel really
+    # ran. The throughput and accuracy-parity gates are warn-only under
+    # --smoke (undertrained models, millisecond windows); the full run
+    # (./build/bench/bench_quant) enforces >= 2x transformer throughput
+    # — scalable via CUISINE_BENCH_GATE_SCALE — and +/- 0.5 points
+    # parity.
+    ./build/bench/bench_quant --smoke
     echo "==== ${suite}: fuzz + chaos soak smoke ===="
     # Fixed-seed fuzz sweep over every parser surface + differential
     # oracles + checkpoint corruption + service traffic, with telemetry

@@ -69,4 +69,42 @@ void RunShards(size_t num_shards, util::FunctionRef<void(size_t)> shard_fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void BuildLengthBucketsInto(const std::vector<features::EncodedSequence>& x,
+                            size_t max_bucket_size, BucketPlan* plan) {
+  const size_t n = x.size();
+  const size_t cap = std::max<size_t>(1, max_bucket_size);
+  plan->order.resize(n);
+  plan->bucket_begin.clear();
+  if (n == 0) return;
+  for (size_t i = 0; i < n; ++i) plan->order[i] = i;
+  // std::sort, not stable_sort: introsort is in-place (stable_sort
+  // allocates a merge buffer, which would break warmed callers'
+  // zero-allocation contract); the index tiebreak restores stability.
+  std::sort(plan->order.begin(), plan->order.end(),
+            [&x](size_t a, size_t b) {
+              if (x[a].length != x[b].length) return x[a].length > x[b].length;
+              return a < b;
+            });
+  plan->bucket_begin.push_back(0);
+  size_t bucket_len = static_cast<size_t>(x[plan->order[0]].length);
+  size_t bucket_size = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    const auto len = static_cast<size_t>(x[plan->order[pos]].length);
+    if (pos > 0 && (len != bucket_len || bucket_size == cap)) {
+      plan->bucket_begin.push_back(pos);
+      bucket_len = len;
+      bucket_size = 0;
+    }
+    ++bucket_size;
+  }
+  plan->bucket_begin.push_back(n);
+}
+
+BucketPlan BuildLengthBuckets(const std::vector<features::EncodedSequence>& x,
+                              size_t max_bucket_size) {
+  BucketPlan plan;
+  BuildLengthBucketsInto(x, max_bucket_size, &plan);
+  return plan;
+}
+
 }  // namespace cuisine::core

@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "features/sequence_encoder.h"
 #include "util/rng.h"
 #include "util/small_function.h"
 
@@ -47,5 +49,46 @@ util::Rng MakeExampleRng(uint64_t seed, uint64_t step, uint64_t index);
 /// non-owning callable view: the single-shard fast path stays
 /// allocation-free (no std::function wrap per call).
 void RunShards(size_t num_shards, util::FunctionRef<void(size_t)> shard_fn);
+
+// ---------------------------------------------------------------------------
+// Padding-free length-bucketed batch scheduling.
+//
+// Every sequential forward trims to the true (non-pad) length, so the
+// cost of an example is its length, not the padded width. A batch in
+// input order hands each worker an arbitrary mix of cheap and expensive
+// examples; the plan below visits examples longest-first so (a) the
+// round-robin shard assignment gives every worker an even long/short
+// mix, and (b) per-thread grow-once scratch warms to its high-water
+// size on the first example instead of regrowing down the batch.
+//
+// The plan only *reorders* the visit sequence — results still land in
+// slots indexed by the original example index — so scheduled prediction
+// keeps the engine's bit-identical-for-any-worker-count contract, and
+// is bit-identical to the unscheduled path.
+// ---------------------------------------------------------------------------
+
+/// A visit schedule over one batch: `order` holds the example indices
+/// longest-first (ties by ascending index, so the plan is a permutation
+/// determined only by the lengths), and `bucket_begin` frames runs of
+/// equal-length examples capped at the builder's max bucket size —
+/// `order[bucket_begin[b] .. bucket_begin[b+1])` is bucket b.
+struct BucketPlan {
+  std::vector<size_t> order;
+  std::vector<size_t> bucket_begin;
+
+  size_t num_buckets() const {
+    return bucket_begin.empty() ? 0 : bucket_begin.size() - 1;
+  }
+};
+
+/// Builds the plan into `plan`, reusing its buffers — a warmed caller
+/// re-planning a same-sized batch performs zero heap allocations.
+/// `max_bucket_size` caps examples per bucket (minimum 1).
+void BuildLengthBucketsInto(const std::vector<features::EncodedSequence>& x,
+                            size_t max_bucket_size, BucketPlan* plan);
+
+/// Convenience allocating form of BuildLengthBucketsInto.
+BucketPlan BuildLengthBuckets(const std::vector<features::EncodedSequence>& x,
+                              size_t max_bucket_size);
 
 }  // namespace cuisine::core

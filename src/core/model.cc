@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "ml/classifier.h"
+#include "nn/quant.h"
 #include "nn/serialization.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -21,6 +22,11 @@ util::Status Model::Save(const std::string& /*path*/) const {
 util::Status Model::Load(const std::string& /*path*/) {
   return util::Status::NotImplemented(name() +
                                       " does not support checkpointing");
+}
+
+util::Status Model::AttachQuantized(const ModelDataset& /*calibration*/) {
+  return util::Status::NotImplemented(name() +
+                                      " has no quantized inference path");
 }
 
 namespace {
@@ -127,6 +133,37 @@ class SequenceModelBase : public Model {
     return PredictSequences(forward_, *inputs.sequences, num_workers);
   }
 
+  util::Status AttachQuantized(const ModelDataset& calibration) override {
+    if (forward_ == nullptr) {
+      return util::Status::FailedPrecondition(name() +
+                                              ": Fit before AttachQuantized");
+    }
+    CUISINE_RETURN_NOT_OK(
+        ValidateSequenceDataset(calibration, /*need_labels=*/false));
+    if (calibration.sequences->empty()) {
+      return util::Status::InvalidArgument(
+          name() + ": calibration set must be non-empty");
+    }
+    CUISINE_ASSIGN_OR_RETURN(quantized_,
+                             BuildQuantized(*calibration.sequences));
+    return util::Status::OK();
+  }
+
+  bool HasQuantized() const override { return quantized_ != nullptr; }
+
+  const nn::QuantizedSequenceModel* Quantized() const override {
+    return quantized_.get();
+  }
+
+  Predictions PredictBatchQuantized(const ModelDataset& inputs,
+                                    size_t num_workers) const override {
+    if (quantized_ == nullptr) return PredictBatch(inputs, num_workers);
+    CUISINE_CHECK(inputs.sequences != nullptr);
+    PredictScheduleOptions schedule;
+    schedule.num_workers = num_workers;
+    return PredictQuantized(*quantized_, *inputs.sequences, schedule);
+  }
+
   double EvaluateLoss(const ModelDataset& data,
                       size_t num_workers) const override {
     CUISINE_CHECK(forward_ != nullptr);
@@ -147,7 +184,11 @@ class SequenceModelBase : public Model {
       return util::Status::FailedPrecondition(
           name() + ": Fit before Load (Fit defines the architecture)");
     }
-    return nn::LoadCheckpoint(path, &params_);
+    CUISINE_RETURN_NOT_OK(nn::LoadCheckpoint(path, &params_));
+    // The int8 path snapshots the fp32 weights at attach time; loaded
+    // parameters make it stale, so drop it (re-attach to re-quantize).
+    quantized_.reset();
+    return util::Status::OK();
   }
 
   const TrainHistory* history() const override {
@@ -161,6 +202,12 @@ class SequenceModelBase : public Model {
   }
 
  protected:
+  /// Builds the int8 path from the fitted network; calibration is
+  /// non-empty. Only called after a successful Fit.
+  virtual util::Result<std::unique_ptr<nn::QuantizedSequenceModel>>
+  BuildQuantized(
+      const std::vector<features::EncodedSequence>& calibration) const = 0;
+
   /// Resolves a Fit call's training options against the recipe defaults.
   static NeuralTrainOptions Resolved(NeuralTrainOptions recipe,
                                      const FitOptions& fit) {
@@ -172,6 +219,7 @@ class SequenceModelBase : public Model {
   SequenceForwardFn forward_;
   std::vector<nn::Tensor> params_;
   TrainHistory history_;
+  std::unique_ptr<nn::QuantizedSequenceModel> quantized_;
 };
 
 /// LSTM / GRU behind the unified interface (both train with the
@@ -195,6 +243,7 @@ class RecurrentModelAdapter final : public SequenceModelBase {
       return util::Status::InvalidArgument(name() +
                                            " needs the sequence vocabulary");
     }
+    quantized_.reset();  // a refit invalidates any attached int8 path
     const int64_t vocab_size = static_cast<int64_t>(train.vocab->size());
     SequenceNetFactory make_replica;
     if (cell_ == Cell::kLstm) {
@@ -208,6 +257,15 @@ class RecurrentModelAdapter final : public SequenceModelBase {
             },
             net->Parameters()};
       };
+      // The master network is kept by the adapter (not only inside the
+      // forward closure): AttachQuantized reads its modules directly.
+      lstm_ = std::make_shared<nn::LstmClassifier>(config, options.num_classes);
+      gru_.reset();
+      forward_ = [net = lstm_](const features::EncodedSequence& s, bool t,
+                               util::Rng* r) {
+        return net->ForwardLogits(s, t, r);
+      };
+      params_ = lstm_->Parameters();
     } else {
       nn::GruConfig config = context_.sequential.gru;
       config.vocab_size = vocab_size;
@@ -219,10 +277,14 @@ class RecurrentModelAdapter final : public SequenceModelBase {
             },
             net->Parameters()};
       };
+      gru_ = std::make_shared<nn::GruClassifier>(config, options.num_classes);
+      lstm_.reset();
+      forward_ = [net = gru_](const features::EncodedSequence& s, bool t,
+                              util::Rng* r) {
+        return net->ForwardLogits(s, t, r);
+      };
+      params_ = gru_->Parameters();
     }
-    SequenceNet master = make_replica();
-    forward_ = master.forward;
-    params_ = master.params;
 
     static const std::vector<features::EncodedSequence> kNoSequences;
     static const std::vector<int32_t> kNoLabels;
@@ -237,9 +299,23 @@ class RecurrentModelAdapter final : public SequenceModelBase {
     return util::Status::OK();
   }
 
+ protected:
+  util::Result<std::unique_ptr<nn::QuantizedSequenceModel>> BuildQuantized(
+      const std::vector<features::EncodedSequence>& calibration)
+      const override {
+    if (lstm_ != nullptr) {
+      return nn::QuantizeLstmClassifier(
+          *lstm_, std::span<const features::EncodedSequence>(calibration));
+    }
+    return nn::QuantizeGruClassifier(
+        *gru_, std::span<const features::EncodedSequence>(calibration));
+  }
+
  private:
   Cell cell_;
   ModelContext context_;
+  std::shared_ptr<nn::LstmClassifier> lstm_;
+  std::shared_ptr<nn::GruClassifier> gru_;
 };
 
 /// Transformer classifier with an optional MLM pretraining stage: the
@@ -267,6 +343,7 @@ class TransformerModelAdapter final : public SequenceModelBase {
       return util::Status::InvalidArgument(name() +
                                            " needs the sequence vocabulary");
     }
+    quantized_.reset();  // a refit invalidates any attached int8 path
     nn::TransformerConfig config = context_.sequential.transformer;
     config.vocab_size = static_cast<int64_t>(train.vocab->size());
     config.max_length = context_.sequential.max_sequence_length + 2;
@@ -274,6 +351,7 @@ class TransformerModelAdapter final : public SequenceModelBase {
 
     auto model =
         std::make_shared<nn::TransformerClassifier>(config, options.num_classes);
+    net_ = model;  // kept for AttachQuantized (reads the fitted modules)
     forward_ = [model](const features::EncodedSequence& s, bool t,
                        util::Rng* r) { return model->ForwardLogits(s, t, r); };
     params_ = model->Parameters();
@@ -342,6 +420,14 @@ class TransformerModelAdapter final : public SequenceModelBase {
     return has_pretrain_ ? &pretrain_loss_ : nullptr;
   }
 
+ protected:
+  util::Result<std::unique_ptr<nn::QuantizedSequenceModel>> BuildQuantized(
+      const std::vector<features::EncodedSequence>& calibration)
+      const override {
+    return nn::QuantizeTransformerClassifier(
+        *net_, std::span<const features::EncodedSequence>(calibration));
+  }
+
  private:
   std::string display_name_;
   ModelContext context_;
@@ -350,6 +436,7 @@ class TransformerModelAdapter final : public SequenceModelBase {
   NeuralTrainOptions finetune_;
   uint64_t seed_offset_;
   std::vector<double> pretrain_loss_;
+  std::shared_ptr<nn::TransformerClassifier> net_;
 };
 
 template <typename Classifier, typename Options>

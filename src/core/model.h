@@ -188,6 +188,33 @@ class Model {
   virtual Predictions PredictBatch(const ModelDataset& inputs,
                                    size_t num_workers = 1) const = 0;
 
+  // ---- Int8 quantized serving (nn/quant.h) ----
+
+  /// Builds and attaches the int8 post-training-quantized inference
+  /// path, calibrating activation scales over `calibration` (its
+  /// sequences; labels unused). Requires a successful Fit. The default
+  /// returns NotImplemented — only the sequential neural adapters
+  /// quantize. Re-Fit or Load invalidates the attachment (the adapters
+  /// drop it; call AttachQuantized again).
+  virtual util::Status AttachQuantized(const ModelDataset& calibration);
+
+  /// True once AttachQuantized has succeeded.
+  virtual bool HasQuantized() const { return false; }
+
+  /// The attached quantized path, or nullptr (snapshotting and parity
+  /// tests reach through this).
+  virtual const nn::QuantizedSequenceModel* Quantized() const {
+    return nullptr;
+  }
+
+  /// As PredictBatch through the attached int8 path. Without an
+  /// attachment this IS PredictBatch — a bit-exact fp32 fallback — so
+  /// callers can route to it unconditionally.
+  virtual Predictions PredictBatchQuantized(const ModelDataset& inputs,
+                                            size_t num_workers = 1) const {
+    return PredictBatch(inputs, num_workers);
+  }
+
   /// Mean cross-entropy on a labelled set (same sharding contract).
   virtual double EvaluateLoss(const ModelDataset& data,
                               size_t num_workers = 1) const = 0;
@@ -204,6 +231,44 @@ class Model {
   virtual const std::vector<double>* pretrain_loss() const { return nullptr; }
   /// Trainable parameter count (0 for statistical models or before Fit).
   virtual int64_t NumParameters() const { return 0; }
+};
+
+/// \brief A view of another model's int8 path as a `Model` of its own,
+/// for slotting into tier lists (core/service.h) that speak `const
+/// Model*`: `PredictBatch` routes to the base's `PredictBatchQuantized`
+/// (bit-exact fp32 fallback when nothing is attached). Non-owning — the
+/// base must outlive the wrapper. Read-only: Fit is rejected; attach
+/// and fit through the base.
+class QuantizedModel final : public Model {
+ public:
+  explicit QuantizedModel(const Model* base) : base_(base) {}
+
+  std::string name() const override { return base_->name() + "-int8"; }
+  ModelInput input() const override { return base_->input(); }
+
+  util::Status Fit(const ModelDataset& /*train*/,
+                   const FitOptions& /*options*/) override {
+    return util::Status::FailedPrecondition(
+        name() + " is a serving view; Fit the base model instead");
+  }
+
+  Predictions PredictBatch(const ModelDataset& inputs,
+                           size_t num_workers = 1) const override {
+    return base_->PredictBatchQuantized(inputs, num_workers);
+  }
+
+  double EvaluateLoss(const ModelDataset& data,
+                      size_t num_workers = 1) const override {
+    return base_->EvaluateLoss(data, num_workers);
+  }
+
+  bool HasQuantized() const override { return base_->HasQuantized(); }
+  const nn::QuantizedSequenceModel* Quantized() const override {
+    return base_->Quantized();
+  }
+
+ private:
+  const Model* base_;
 };
 
 /// Everything a factory needs to build a model.

@@ -8,6 +8,7 @@
 #include "core/checkpoint.h"
 #include "core/engine.h"
 #include "nn/arena.h"
+#include "nn/quant.h"
 #include "nn/serialization.h"
 #include "util/deadline.h"
 #include "util/fault_injector.h"
@@ -443,9 +444,44 @@ double EvaluateSequenceLoss(const SequenceForwardFn& forward,
   return loss / static_cast<double>(x.size());
 }
 
+namespace {
+
+/// Runs per_example(i) over every example of `x`, sharded across the
+/// schedule's workers — through the length-bucketed plan when the
+/// schedule asks for it, in plain round-robin input order otherwise.
+/// Per-example work must be independent of visit order (the engine
+/// contract), which makes the two schedules produce identical results.
+void RunScheduled(const std::vector<features::EncodedSequence>& x,
+                  const PredictScheduleOptions& schedule,
+                  util::FunctionRef<void(size_t)> per_example) {
+  const size_t shards =
+      std::min(ResolveWorkerCount(schedule.num_workers), x.size());
+  if (!schedule.length_bucketed) {
+    RunShards(shards, [&](size_t shard) {
+      for (size_t i = shard; i < x.size(); i += shards) per_example(i);
+    });
+    return;
+  }
+  // The plan is rebuilt into a thread-local to keep warmed callers
+  // allocation-free; RunShards blocks, so it outlives every shard. The
+  // local reference pins the *caller's* instance — shard lambdas run on
+  // pool threads, where naming the thread_local would resolve to a
+  // different (empty) object.
+  static thread_local BucketPlan plan_storage;
+  BucketPlan& plan = plan_storage;
+  BuildLengthBucketsInto(x, schedule.max_bucket_size, &plan);
+  RunShards(shards, [&](size_t shard) {
+    for (size_t pos = shard; pos < plan.order.size(); pos += shards) {
+      per_example(plan.order[pos]);
+    }
+  });
+}
+
+}  // namespace
+
 void PredictSequencesInto(const SequenceForwardFn& forward,
                           const std::vector<features::EncodedSequence>& x,
-                          size_t num_workers, bool use_arena,
+                          const PredictScheduleOptions& schedule,
                           SequencePredictions* out) {
   out->labels.resize(x.size());
   out->probas.resize(x.size());
@@ -455,36 +491,43 @@ void PredictSequencesInto(const SequenceForwardFn& forward,
   EngineMetrics& metrics = Metrics();
   metrics.predict_batches->Add();
   metrics.predict_examples->Add(x.size());
-  const size_t shards = std::min(ResolveWorkerCount(num_workers), x.size());
-  RunShards(shards, [&](size_t shard) {
+  RunScheduled(x, schedule, [&](size_t i) {
+    // Cancellation/chaos checkpoints (util/deadline.h): a deadlined
+    // request stops burning cores between examples, and an armed
+    // FaultInjector exercises the service's retry path. Both are a
+    // thread-local load when no request context is installed.
+    util::ThrowIfCancelled("engine.predict");
+    util::MaybeInjectFault("engine.predict");
     util::Rng rng(0);  // unused: dropout is off in eval mode
-    for (size_t i = shard; i < x.size(); i += shards) {
-      // Cancellation/chaos checkpoints (util/deadline.h): a deadlined
-      // request stops burning cores between examples, and an armed
-      // FaultInjector exercises the service's retry path. Both are a
-      // thread-local load when no request context is installed.
-      util::ThrowIfCancelled("engine.predict");
-      util::MaybeInjectFault("engine.predict");
-      RunInStepScope(use_arena, [&] {
-        nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
-        const auto k = static_cast<size_t>(logits.cols());
-        // Reuse the caller's row; softmax in place over the single row.
-        std::vector<float>& proba = out->probas[i];
-        proba.assign(logits.data(), logits.data() + k);
-        float mx = proba[0];
-        for (float v : proba) mx = std::max(mx, v);
-        float sum = 0.0f;
-        for (float& v : proba) {
-          v = std::exp(v - mx);
-          sum += v;
-        }
-        for (float& v : proba) v /= sum;
-        out->labels[i] = static_cast<int32_t>(
-            std::max_element(proba.begin(), proba.end()) - proba.begin());
-      });
-    }
+    RunInStepScope(schedule.use_arena, [&] {
+      nn::Tensor logits = forward(x[i], /*training=*/false, &rng);
+      const auto k = static_cast<size_t>(logits.cols());
+      // Reuse the caller's row; softmax in place over the single row.
+      std::vector<float>& proba = out->probas[i];
+      proba.assign(logits.data(), logits.data() + k);
+      float mx = proba[0];
+      for (float v : proba) mx = std::max(mx, v);
+      float sum = 0.0f;
+      for (float& v : proba) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (float& v : proba) v /= sum;
+      out->labels[i] = static_cast<int32_t>(
+          std::max_element(proba.begin(), proba.end()) - proba.begin());
+    });
   });
   metrics.predict_ms->Observe(watch.ElapsedMillis());
+}
+
+void PredictSequencesInto(const SequenceForwardFn& forward,
+                          const std::vector<features::EncodedSequence>& x,
+                          size_t num_workers, bool use_arena,
+                          SequencePredictions* out) {
+  PredictScheduleOptions schedule;
+  schedule.num_workers = num_workers;
+  schedule.use_arena = use_arena;
+  PredictSequencesInto(forward, x, schedule, out);
 }
 
 SequencePredictions PredictSequences(
@@ -493,6 +536,43 @@ SequencePredictions PredictSequences(
     bool use_arena) {
   SequencePredictions out;
   PredictSequencesInto(forward, x, num_workers, use_arena, &out);
+  return out;
+}
+
+void PredictQuantizedInto(const nn::QuantizedSequenceModel& model,
+                          const std::vector<features::EncodedSequence>& x,
+                          const PredictScheduleOptions& schedule,
+                          SequencePredictions* out) {
+  out->labels.resize(x.size());
+  out->probas.resize(x.size());
+  if (x.empty()) return;
+  CUISINE_TRACE_SPAN("engine.predict");
+  util::Stopwatch watch;
+  EngineMetrics& metrics = Metrics();
+  metrics.predict_batches->Add();
+  metrics.predict_examples->Add(x.size());
+  const auto k = static_cast<size_t>(model.num_classes());
+  RunScheduled(x, schedule, [&](size_t i) {
+    // Same cancellation/chaos checkpoints as the fp32 path, so a
+    // deadlined or fault-injected request behaves identically on the
+    // quantized service rung.
+    util::ThrowIfCancelled("engine.predict");
+    util::MaybeInjectFault("engine.predict");
+    std::vector<float>& proba = out->probas[i];
+    proba.resize(k);
+    model.PredictProba(x[i], proba.data());
+    out->labels[i] = static_cast<int32_t>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+  });
+  metrics.predict_ms->Observe(watch.ElapsedMillis());
+}
+
+SequencePredictions PredictQuantized(
+    const nn::QuantizedSequenceModel& model,
+    const std::vector<features::EncodedSequence>& x,
+    const PredictScheduleOptions& schedule) {
+  SequencePredictions out;
+  PredictQuantizedInto(model, x, schedule, &out);
   return out;
 }
 

@@ -29,6 +29,10 @@
 /// (seed, step, example index), so training is bit-identical for any
 /// worker count given a fixed seed (the determinism contract, DESIGN.md).
 
+namespace cuisine::nn {
+class QuantizedSequenceModel;
+}  // namespace cuisine::nn
+
 namespace cuisine::core {
 
 /// Forward pass of a sequence classifier: one encoded sequence ->
@@ -133,9 +137,25 @@ struct SequencePredictions {
   std::vector<std::vector<float>> probas;
 };
 
+/// How a prediction batch is scheduled over the engine's workers.
+struct PredictScheduleOptions {
+  /// Shard count (0 = hardware concurrency).
+  size_t num_workers = 1;
+  /// Arena-backed per-example autograd memory (fp32 path only).
+  bool use_arena = true;
+  /// Visit examples through a length-bucketed plan (core/engine.h):
+  /// longest-first order balances shards and warms per-thread scratch
+  /// at its high-water size. Results are written to input-order slots
+  /// either way, so this is bit-identical to the unbucketed path for
+  /// any worker count — disable only to measure the difference.
+  bool length_bucketed = true;
+  /// Examples per equal-length bucket in the plan.
+  size_t max_bucket_size = 64;
+};
+
 /// Batched prediction, sharded over `num_workers` threads (0 =
-/// hardware). Output order matches the input order and is bit-identical
-/// for any worker count.
+/// hardware) through the default length-bucketed schedule. Output order
+/// matches the input order and is bit-identical for any worker count.
 SequencePredictions PredictSequences(
     const SequenceForwardFn& forward,
     const std::vector<features::EncodedSequence>& x, size_t num_workers = 1,
@@ -147,6 +167,27 @@ SequencePredictions PredictSequences(
 void PredictSequencesInto(const SequenceForwardFn& forward,
                           const std::vector<features::EncodedSequence>& x,
                           size_t num_workers, bool use_arena,
+                          SequencePredictions* out);
+
+/// Fully-scheduled form: bucketing is controlled by `schedule` (the
+/// two-argument overloads use its defaults).
+void PredictSequencesInto(const SequenceForwardFn& forward,
+                          const std::vector<features::EncodedSequence>& x,
+                          const PredictScheduleOptions& schedule,
+                          SequencePredictions* out);
+
+/// Batched prediction through an attached int8 quantized path
+/// (nn/quant.h), scheduled like PredictSequences. Output order matches
+/// the input order and is bit-identical for any worker count.
+SequencePredictions PredictQuantized(
+    const nn::QuantizedSequenceModel& model,
+    const std::vector<features::EncodedSequence>& x,
+    const PredictScheduleOptions& schedule = {});
+
+/// As PredictQuantized, into caller-owned reusable storage.
+void PredictQuantizedInto(const nn::QuantizedSequenceModel& model,
+                          const std::vector<features::EncodedSequence>& x,
+                          const PredictScheduleOptions& schedule,
                           SequencePredictions* out);
 
 // ---- Masked-language-model pretraining ----

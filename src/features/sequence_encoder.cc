@@ -3,8 +3,50 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace cuisine::features {
+
+namespace {
+
+/// Encoder telemetry, resolved once. `encoder.pad_ratio` is the batch
+/// scheduler's motivating number: the fraction of emitted positions
+/// that are padding — work a padded batched forward would waste and the
+/// length-bucketed scheduler (core/engine.h) skips. The length
+/// histogram shows the distribution the buckets partition.
+struct EncoderMetrics {
+  util::Counter* sequences =
+      util::MetricsRegistry::Instance().GetCounter("encoder.sequences");
+  util::Counter* real_positions =
+      util::MetricsRegistry::Instance().GetCounter("encoder.real_positions");
+  util::Counter* pad_positions =
+      util::MetricsRegistry::Instance().GetCounter("encoder.pad_positions");
+  util::Gauge* pad_ratio =
+      util::MetricsRegistry::Instance().GetGauge("encoder.pad_ratio");
+  util::Histogram* seq_length = util::MetricsRegistry::Instance().GetHistogram(
+      "encoder.seq_length", {4, 8, 16, 24, 32, 48, 64});
+};
+
+EncoderMetrics& Metrics() {
+  static EncoderMetrics* metrics = new EncoderMetrics();
+  return *metrics;
+}
+
+/// Records one encoded sequence and refreshes the running pad ratio.
+void RecordEncoded(const EncodedSequence& seq) {
+  EncoderMetrics& m = Metrics();
+  m.sequences->Add();
+  const auto real = static_cast<uint64_t>(seq.length);
+  const auto pad = seq.ids.size() - real;
+  m.real_positions->Add(real);
+  m.pad_positions->Add(pad);
+  m.seq_length->Observe(static_cast<double>(seq.length));
+  const double total =
+      static_cast<double>(m.real_positions->value() + m.pad_positions->value());
+  m.pad_ratio->Set(static_cast<double>(m.pad_positions->value()) / total);
+}
+
+}  // namespace
 
 SequenceEncoder::SequenceEncoder(const text::Vocabulary* vocab,
                                  SequenceEncoderOptions options)
@@ -42,6 +84,7 @@ EncodedSequence SequenceEncoder::Encode(
   out.ids.resize(max_len, vocab_->pad_id());
   out.mask.assign(max_len, 0);
   std::fill(out.mask.begin(), out.mask.begin() + out.length, 1);
+  RecordEncoded(out);
   return out;
 }
 
@@ -88,6 +131,7 @@ EncodedSequence SequenceEncoder::EncodeIds(
   out.ids.resize(max_len, vocab_->pad_id());
   out.mask.assign(max_len, 0);
   std::fill(out.mask.begin(), out.mask.begin() + out.length, 1);
+  RecordEncoded(out);
   return out;
 }
 

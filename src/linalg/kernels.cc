@@ -5,6 +5,14 @@
 #include <string>
 #include <vector>
 
+// The int8 microkernel has a runtime-dispatched AVX-512 variant; the
+// intrinsics header is baseline-safe to include (each intrinsic is
+// guarded by the function-level target attribute below).
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CUISINE_INT8_AVX512 1
+#include <immintrin.h>
+#endif
+
 #include "util/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -244,7 +252,324 @@ void GemmBlocked(size_t m, size_t k, size_t n, const float* a, const float* b,
   }
 }
 
+/// Int8 GEMM counters, mirroring GemmMetrics (ops = 2*m*k*n int MACs).
+struct Int8Metrics {
+  util::Counter* calls =
+      util::MetricsRegistry::Instance().GetCounter("gemm.int8_calls");
+  util::Counter* ops =
+      util::MetricsRegistry::Instance().GetCounter("gemm.int8_ops");
+};
+
+Int8Metrics& QuantMetrics() {
+  static Int8Metrics* metrics = new Int8Metrics();
+  return *metrics;
+}
+
+/// kMR x kNR int32 register tile over int8 panels; same named-row
+/// accumulator trick as the fp32 MicroKernel (the widening multiply
+/// vectorizes to pmaddwd-style sequences under -O2).
+inline void Int8MicroKernel(size_t kc, const int8_t* __restrict ap,
+                            const int8_t* __restrict bp,
+                            int32_t* __restrict acc) {
+  static_assert(kMR == 4, "Int8MicroKernel names one accumulator per row");
+  int32_t r0[kNR] = {0}, r1[kNR] = {0}, r2[kNR] = {0}, r3[kNR] = {0};
+  for (size_t p = 0; p < kc; ++p) {
+    const int8_t* __restrict bv = bp + p * kNR;
+    const int32_t a0 = ap[p * kMR + 0];
+    const int32_t a1 = ap[p * kMR + 1];
+    const int32_t a2 = ap[p * kMR + 2];
+    const int32_t a3 = ap[p * kMR + 3];
+    for (size_t c = 0; c < kNR; ++c) {
+      const int32_t bc = bv[c];
+      r0[c] += a0 * bc;
+      r1[c] += a1 * bc;
+      r2[c] += a2 * bc;
+      r3[c] += a3 * bc;
+    }
+  }
+  for (size_t c = 0; c < kNR; ++c) {
+    acc[0 * kNR + c] = r0[c];
+    acc[1 * kNR + c] = r1[c];
+    acc[2 * kNR + c] = r2[c];
+    acc[3 * kNR + c] = r3[c];
+  }
+}
+
+/// True when this host runs the AVX-512 int8 microkernel. The choice is
+/// a process-wide constant (CPUID cannot change), so the pack layout it
+/// implies is stable for the life of every packed buffer. Both kernels
+/// accumulate in exact int32 arithmetic and share one dequant epilogue,
+/// so the dispatch never changes results — only throughput.
+bool Int8UseAvx512() {
+#ifdef CUISINE_INT8_AVX512
+  static const bool use =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+  return use;
+#else
+  return false;
+#endif
+}
+
+#ifdef CUISINE_INT8_AVX512
+/// kMR x kNR int32 tile over pair-interleaved panels: B holds depth
+/// pairs per column (byte 2c = b[2q, c], byte 2c+1 = b[2q+1, c]), A
+/// holds the matching sign-extended int16 pairs per row. One vpmaddwd
+/// per (row, pair) computes 16 columns x 2 depths of exact int32 MACs.
+__attribute__((target("avx512f,avx512bw"))) inline void Int8MicroKernelAvx512(
+    size_t kpairs, const int16_t* __restrict ap, const int8_t* __restrict bp,
+    int32_t* __restrict acc) {
+  static_assert(kMR == 4 && kNR == 16,
+                "the AVX-512 tile is 4 rows x one zmm of int32");
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  for (size_t q = 0; q < kpairs; ++q) {
+    const __m512i b = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + q * 2 * kNR)));
+    int32_t pair[kMR];
+    std::memcpy(pair, ap + q * 2 * kMR, sizeof(pair));
+    acc0 = _mm512_add_epi32(acc0,
+                            _mm512_madd_epi16(_mm512_set1_epi32(pair[0]), b));
+    acc1 = _mm512_add_epi32(acc1,
+                            _mm512_madd_epi16(_mm512_set1_epi32(pair[1]), b));
+    acc2 = _mm512_add_epi32(acc2,
+                            _mm512_madd_epi16(_mm512_set1_epi32(pair[2]), b));
+    acc3 = _mm512_add_epi32(acc3,
+                            _mm512_madd_epi16(_mm512_set1_epi32(pair[3]), b));
+  }
+  _mm512_storeu_si512(acc + 0 * kNR, acc0);
+  _mm512_storeu_si512(acc + 1 * kNR, acc1);
+  _mm512_storeu_si512(acc + 2 * kNR, acc2);
+  _mm512_storeu_si512(acc + 3 * kNR, acc3);
+}
+#endif  // CUISINE_INT8_AVX512
+
+/// Depth padded to the SIMD pair granularity; the padding row is zero
+/// in both packed operands, so it contributes nothing.
+size_t Int8PaddedDepth(size_t k) { return (k + 1) & ~static_cast<size_t>(1); }
+
+/// The dequant epilogue, shared by both microkernels. The expression
+/// per element is fixed — `float(acc) * a_scale * col_scale (+ bias)` —
+/// which is what makes results bit-identical across kernels and runs.
+inline void Int8StoreTile(size_t mr, size_t nr, size_t n, size_t jr,
+                          const int32_t* acc, float a_scale,
+                          const float* col_scales, const float* bias,
+                          bool accumulate, float* c) {
+  for (size_t r = 0; r < mr; ++r) {
+    float* crow = c + r * n + jr;
+    const int32_t* arow = acc + r * kNR;
+    if (accumulate) {
+      if (bias != nullptr) {
+        for (size_t cc = 0; cc < nr; ++cc) {
+          crow[cc] += static_cast<float>(arow[cc]) * a_scale *
+                          col_scales[jr + cc] +
+                      bias[jr + cc];
+        }
+      } else {
+        for (size_t cc = 0; cc < nr; ++cc) {
+          crow[cc] +=
+              static_cast<float>(arow[cc]) * a_scale * col_scales[jr + cc];
+        }
+      }
+    } else {
+      if (bias != nullptr) {
+        for (size_t cc = 0; cc < nr; ++cc) {
+          crow[cc] = static_cast<float>(arow[cc]) * a_scale *
+                         col_scales[jr + cc] +
+                     bias[jr + cc];
+        }
+      } else {
+        for (size_t cc = 0; cc < nr; ++cc) {
+          crow[cc] =
+              static_cast<float>(arow[cc]) * a_scale * col_scales[jr + cc];
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
+
+size_t Int8PackedSize(size_t k, size_t n) {
+  return ((n + kNR - 1) / kNR) * kNR * Int8PaddedDepth(k);
+}
+
+void Int8PackB(size_t k, size_t n, const int8_t* b, int8_t* dst) {
+  const size_t kp = Int8PaddedDepth(k);
+  if (Int8UseAvx512()) {
+    // Pair-interleaved panels for vpmaddwd: 2 * kNR bytes per depth
+    // pair q, byte 2c holding b[2q, c] and byte 2c+1 holding b[2q+1, c].
+    for (size_t jr = 0; jr < n; jr += kNR) {
+      const size_t nr = std::min(kNR, n - jr);
+      for (size_t q = 0; q < kp / 2; ++q) {
+        const size_t p0 = 2 * q, p1 = 2 * q + 1;
+        for (size_t c = 0; c < kNR; ++c) {
+          *dst++ = c < nr ? b[p0 * n + jr + c] : static_cast<int8_t>(0);
+          *dst++ = (c < nr && p1 < k) ? b[p1 * n + jr + c]
+                                      : static_cast<int8_t>(0);
+        }
+      }
+    }
+    return;
+  }
+  for (size_t jr = 0; jr < n; jr += kNR) {
+    const size_t nr = std::min(kNR, n - jr);
+    for (size_t p = 0; p < kp; ++p) {
+      const int8_t* src = b + p * n + jr;
+      for (size_t c = 0; c < kNR; ++c) {
+        *dst++ = (p < k && c < nr) ? src[c] : static_cast<int8_t>(0);
+      }
+    }
+  }
+}
+
+void Int8GemmPrepacked(size_t m, size_t k, size_t n, const int8_t* a,
+                       const int8_t* b_packed, float a_scale,
+                       const float* col_scales, const float* bias,
+                       bool accumulate, float* c) {
+  Int8Metrics& metrics = QuantMetrics();
+  metrics.calls->Add();
+  metrics.ops->Add(2 * static_cast<uint64_t>(m) * k * n);
+  if (m == 0 || n == 0) return;
+  const size_t kp = Int8PaddedDepth(k);
+  const size_t packed_rows = (m + kMR - 1) / kMR * kMR;
+  int32_t acc[kMR * kNR];  // fully written by either microkernel
+
+#ifdef CUISINE_INT8_AVX512
+  if (Int8UseAvx512()) {
+    // A packs to sign-extended int16 depth pairs per row, matching the
+    // pair-interleaved B panels: 2 * kMR int16 per pair q, row r at
+    // (q * kMR + r) * 2. Thread-local grow-once, like the scalar path.
+    static thread_local std::vector<int16_t> apack16;
+    if (apack16.size() < packed_rows * kp) apack16.resize(packed_rows * kp);
+    int16_t* dst = apack16.data();
+    for (size_t ir = 0; ir < m; ir += kMR) {
+      const size_t mr = std::min(kMR, m - ir);
+      for (size_t q = 0; q < kp / 2; ++q) {
+        const size_t p0 = 2 * q, p1 = 2 * q + 1;
+        for (size_t r = 0; r < kMR; ++r) {
+          const bool live = r < mr;
+          *dst++ = live ? static_cast<int16_t>(a[(ir + r) * k + p0])
+                        : static_cast<int16_t>(0);
+          *dst++ = (live && p1 < k)
+                       ? static_cast<int16_t>(a[(ir + r) * k + p1])
+                       : static_cast<int16_t>(0);
+        }
+      }
+    }
+    for (size_t jr = 0; jr < n; jr += kNR) {
+      const size_t nr = std::min(kNR, n - jr);
+      const int8_t* bpanel = b_packed + (jr / kNR) * kp * kNR;
+      for (size_t ir = 0; ir < m; ir += kMR) {
+        const size_t mr = std::min(kMR, m - ir);
+        const int16_t* apanel = apack16.data() + (ir / kMR) * kp * kMR;
+        Int8MicroKernelAvx512(kp / 2, apanel, bpanel, acc);
+        Int8StoreTile(mr, nr, n, jr, acc, a_scale, col_scales, bias,
+                      accumulate, c + ir * n);
+      }
+    }
+    return;
+  }
+#endif  // CUISINE_INT8_AVX512
+
+  // Pack A into kMR-row depth-major int8 panels (zero-filled edge rows,
+  // discarded at store time). Weight matrices here are at most a few
+  // hundred deep, so a single-level packing over the full k keeps the
+  // panel resident in L1 without the fp32 kernel's k-blocking. The
+  // buffer is thread-local grow-once: steady-state calls are
+  // allocation-free (the inference hot-loop contract).
+  static thread_local std::vector<int8_t> apack;
+  if (apack.size() < packed_rows * k) apack.resize(packed_rows * k);
+  {
+    int8_t* dst = apack.data();
+    for (size_t ir = 0; ir < m; ir += kMR) {
+      const size_t mr = std::min(kMR, m - ir);
+      for (size_t p = 0; p < k; ++p) {
+        for (size_t r = 0; r < kMR; ++r) {
+          *dst++ = r < mr ? a[(ir + r) * k + p] : static_cast<int8_t>(0);
+        }
+      }
+    }
+  }
+  for (size_t jr = 0; jr < n; jr += kNR) {
+    const size_t nr = std::min(kNR, n - jr);
+    const int8_t* bpanel = b_packed + (jr / kNR) * kp * kNR;
+    for (size_t ir = 0; ir < m; ir += kMR) {
+      const size_t mr = std::min(kMR, m - ir);
+      const int8_t* apanel = apack.data() + (ir / kMR) * k * kMR;
+      Int8MicroKernel(k, apanel, bpanel, acc);
+      Int8StoreTile(mr, nr, n, jr, acc, a_scale, col_scales, bias, accumulate,
+                    c + ir * n);
+    }
+  }
+}
+
+float AbsMax(const float* x, size_t n) {
+  float mx = 0.0f;
+  for (size_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+  return mx;
+}
+
+namespace {
+
+#ifdef CUISINE_INT8_AVX512
+/// Vectorized quantizer, bit-exact to the scalar loop below: the same
+/// IEEE multiply, the same +/-0.5 round-half-away (copysign picks the
+/// identical addend for every nonzero value, and both variants truncate
+/// -0.5..0.5 to 0), the same clamp order, the same truncating cast.
+/// Branchless matters here: activation signs are random, so the scalar
+/// `v >= 0` branch mispredicts roughly every other element.
+__attribute__((target("avx512f"))) void QuantizeInt8Avx512(const float* x,
+                                                           size_t n, float inv,
+                                                           int8_t* out) {
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m512 vhalf = _mm512_set1_ps(0.5f);
+  const __m512 vsignbit = _mm512_set1_ps(-0.0f);
+  const __m512 vhi = _mm512_set1_ps(127.0f);
+  const __m512 vlo = _mm512_set1_ps(-127.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_mul_ps(_mm512_loadu_ps(x + i), vinv);
+    // or/and on the integer view: the float forms need AVX512DQ, which
+    // the runtime dispatch deliberately does not require.
+    const __m512 half = _mm512_castsi512_ps(_mm512_or_si512(
+        _mm512_and_si512(_mm512_castps_si512(v), _mm512_castps_si512(vsignbit)),
+        _mm512_castps_si512(vhalf)));
+    v = _mm512_max_ps(_mm512_min_ps(_mm512_add_ps(v, half), vhi), vlo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm512_cvtepi32_epi8(_mm512_cvttps_epi32(v)));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i] * inv;
+    float r = v >= 0.0f ? v + 0.5f : v - 0.5f;
+    r = r > 127.0f ? 127.0f : r;
+    r = r < -127.0f ? -127.0f : r;
+    out[i] = static_cast<int8_t>(static_cast<int32_t>(r));
+  }
+}
+#endif  // CUISINE_INT8_AVX512
+
+}  // namespace
+
+void QuantizeInt8(const float* x, size_t n, float scale, int8_t* out) {
+  const float inv = 1.0f / scale;
+#ifdef CUISINE_INT8_AVX512
+  if (Int8UseAvx512()) {
+    QuantizeInt8Avx512(x, n, inv, out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    const float v = x[i] * inv;
+    // Round-half-away-from-zero, branchless-ish; clamp to the symmetric
+    // int8 range so -128 never appears (keeps |q| <= 127 invariants).
+    float r = v >= 0.0f ? v + 0.5f : v - 0.5f;
+    r = r > 127.0f ? 127.0f : r;
+    r = r < -127.0f ? -127.0f : r;
+    out[i] = static_cast<int8_t>(static_cast<int32_t>(r));
+  }
+}
 
 void GemmKernel(size_t m, size_t k, size_t n, const float* a, const float* b,
                 float* c, bool accumulate) {
@@ -283,15 +608,125 @@ void GemmParallelKernel(size_t m, size_t k, size_t n, const float* a,
   });
 }
 
+namespace {
+
+#ifdef CUISINE_INT8_AVX512
+// 16-lane replicas of the Scalar{Exp,Tanh,Sigmoid} helpers, bit-exact
+// lane for lane: the identical operation sequence (same clamps, same
+// polynomial association, same exponent bit-stuffing), compiled with
+// fp-contract off so the compiler cannot fuse a mul+add pair into an
+// FMA that the baseline scalar build (no FMA ISA) would round
+// differently. Division and conversions are correctly rounded in both
+// ISAs, so every lane matches the scalar call exactly.
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) inline __m512
+Avx512Exp(__m512 x) {
+  x = _mm512_min_ps(x, _mm512_set1_ps(88.37f));
+  x = _mm512_max_ps(x, _mm512_set1_ps(-87.3365478515625f));
+  const __m512 magic = _mm512_set1_ps(12582912.0f);  // 1.5 * 2^23
+  const __m512 fn = _mm512_sub_ps(
+      _mm512_add_ps(_mm512_mul_ps(x, _mm512_set1_ps(1.44269504088896341f)),
+                    magic),
+      magic);
+  __m512 r =
+      _mm512_sub_ps(x, _mm512_mul_ps(fn, _mm512_set1_ps(0.693359375f)));
+  r = _mm512_sub_ps(r, _mm512_mul_ps(fn, _mm512_set1_ps(-2.12194440e-4f)));
+  __m512 p = _mm512_set1_ps(1.9875691500e-4f);
+  p = _mm512_add_ps(_mm512_mul_ps(p, r), _mm512_set1_ps(1.3981999507e-3f));
+  p = _mm512_add_ps(_mm512_mul_ps(p, r), _mm512_set1_ps(8.3334519073e-3f));
+  p = _mm512_add_ps(_mm512_mul_ps(p, r), _mm512_set1_ps(4.1665795894e-2f));
+  p = _mm512_add_ps(_mm512_mul_ps(p, r), _mm512_set1_ps(1.6666665459e-1f));
+  p = _mm512_add_ps(_mm512_mul_ps(p, r), _mm512_set1_ps(5.0000001201e-1f));
+  const __m512 y =
+      _mm512_add_ps(_mm512_add_ps(_mm512_mul_ps(_mm512_mul_ps(p, r), r), r),
+                    _mm512_set1_ps(1.0f));
+  const __m512i n = _mm512_cvttps_epi32(fn);
+  const __m512 scale = _mm512_castsi512_ps(
+      _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23));
+  return _mm512_mul_ps(y, scale);
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) inline __m512
+Avx512Tanh(__m512 x) {
+  const __m512i abs_mask = _mm512_set1_epi32(0x7fffffff);
+  const __m512 ax =
+      _mm512_castsi512_ps(_mm512_and_si512(_mm512_castps_si512(x), abs_mask));
+  const __m512 t = Avx512Exp(_mm512_mul_ps(_mm512_set1_ps(-2.0f), ax));
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 r = _mm512_div_ps(_mm512_sub_ps(one, t), _mm512_add_ps(one, t));
+  // copysign(r, x): clear r's sign (r can round to a tiny negative when
+  // t lands just above 1), then stamp x's sign bit in.
+  const __m512i sign = _mm512_and_si512(_mm512_castps_si512(x),
+                                        _mm512_set1_epi32(0x80000000U));
+  return _mm512_castsi512_ps(_mm512_or_si512(
+      _mm512_and_si512(_mm512_castps_si512(r), abs_mask), sign));
+}
+
+__attribute__((target("avx512f"), optimize("fp-contract=off"))) inline __m512
+Avx512Sigmoid(__m512 x) {
+  const __m512 neg = _mm512_castsi512_ps(_mm512_xor_si512(
+      _mm512_castps_si512(x), _mm512_set1_epi32(0x80000000U)));
+  const __m512 one = _mm512_set1_ps(1.0f);
+  return _mm512_div_ps(one, _mm512_add_ps(one, Avx512Exp(neg)));
+}
+
+__attribute__((target("avx512f"))) void VecExpAvx512(const float* x, float* y,
+                                                     size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, Avx512Exp(_mm512_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = ScalarExp(x[i]);
+}
+
+__attribute__((target("avx512f"))) void VecTanhAvx512(const float* x, float* y,
+                                                      size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, Avx512Tanh(_mm512_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = ScalarTanh(x[i]);
+}
+
+__attribute__((target("avx512f"))) void VecSigmoidAvx512(const float* x,
+                                                         float* y, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, Avx512Sigmoid(_mm512_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = ScalarSigmoid(x[i]);
+}
+#endif  // CUISINE_INT8_AVX512
+
+}  // namespace
+
 void VecExp(const float* x, float* y, size_t n) {
+#ifdef CUISINE_INT8_AVX512
+  if (Int8UseAvx512()) {
+    VecExpAvx512(x, y, n);
+    return;
+  }
+#endif
   for (size_t i = 0; i < n; ++i) y[i] = ScalarExp(x[i]);
 }
 
 void VecTanh(const float* x, float* y, size_t n) {
+#ifdef CUISINE_INT8_AVX512
+  if (Int8UseAvx512()) {
+    VecTanhAvx512(x, y, n);
+    return;
+  }
+#endif
   for (size_t i = 0; i < n; ++i) y[i] = ScalarTanh(x[i]);
 }
 
 void VecSigmoid(const float* x, float* y, size_t n) {
+#ifdef CUISINE_INT8_AVX512
+  if (Int8UseAvx512()) {
+    VecSigmoidAvx512(x, y, n);
+    return;
+  }
+#endif
   for (size_t i = 0; i < n; ++i) y[i] = ScalarSigmoid(x[i]);
 }
 

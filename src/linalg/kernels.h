@@ -59,6 +59,48 @@ void GemmParallelKernel(size_t m, size_t k, size_t n, const float* a,
                         size_t num_workers);
 
 // ---------------------------------------------------------------------------
+// Int8 quantized GEMM family (the "quantized backend" this layer
+// reserves space for). Weights are quantized per output channel
+// (symmetric, scale = absmax/127) and pre-packed once into the same
+// kNR-column depth-major panels as the fp32 kernel; activations are
+// quantized per call with one scale. Accumulation is int32 and the
+// epilogue dequantizes to fp32:
+//   c[i,j] (+)= acc[i,j] * a_scale * col_scales[j] (+ bias[j])
+// Telemetry mirrors the fp32 counters as gemm.int8_calls/gemm.int8_ops.
+// ---------------------------------------------------------------------------
+
+/// Bytes (= elements) of the packed buffer for a k x n int8 weight:
+/// n rounded up to the panel width, times k rounded up to an even depth
+/// (the SIMD path consumes depth pairs; the padding rows are zero).
+size_t Int8PackedSize(size_t k, size_t n);
+
+/// Packs a row-major k x n int8 weight into kNR-column depth-major
+/// panels; edge columns and the odd-k padding row are zero-filled. The
+/// in-panel element order is an internal contract between this packer
+/// and the microkernel selected for this host (scalar, or the AVX-512
+/// pair-interleaved layout) — consumers must treat the buffer as
+/// opaque. `dst` must hold Int8PackedSize(k, n) elements.
+void Int8PackB(size_t k, size_t n, const int8_t* b, int8_t* dst);
+
+/// C[m,n] (+)= dequant(A[m,k] * Bpacked[k,n]): int8 x int8 -> int32
+/// blocked microkernel with an fp32 dequant epilogue. `a` is row-major
+/// int8, `b_packed` comes from Int8PackB, `col_scales` has n entries,
+/// `bias` (nullable) is added after dequantization. Deterministic:
+/// integer accumulation is exact, and the epilogue's FLOP sequence per
+/// row is fixed, so results are bit-identical across runs and callers.
+void Int8GemmPrepacked(size_t m, size_t k, size_t n, const int8_t* a,
+                       const int8_t* b_packed, float a_scale,
+                       const float* col_scales, const float* bias,
+                       bool accumulate, float* c);
+
+/// max |x[i]| over a span (0 for an empty span).
+float AbsMax(const float* x, size_t n);
+
+/// Symmetric int8 quantization of a span: q = clamp(round(x / scale),
+/// -127, 127). `scale` must be positive.
+void QuantizeInt8(const float* x, size_t n, float scale, int8_t* out);
+
+// ---------------------------------------------------------------------------
 // Scalar transcendental helpers, written to auto-vectorize when inlined
 // into a loop (branch-free: clamps + polynomial + exponent bit-twiddling).
 // ---------------------------------------------------------------------------

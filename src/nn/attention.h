@@ -30,6 +30,12 @@ class MultiHeadSelfAttention final : public Module {
   int64_t num_heads() const { return num_heads_; }
   int64_t head_dim() const { return head_dim_; }
 
+  // Projection accessors (read by the predict-only quantized engine).
+  const Linear& query() const { return query_; }
+  const Linear& key() const { return key_; }
+  const Linear& value() const { return value_; }
+  const Linear& output() const { return output_; }
+
  private:
   int64_t num_heads_;
   int64_t head_dim_;

@@ -32,6 +32,10 @@ class GruCell final : public Module {
 
   int64_t hidden_size() const { return hidden_size_; }
 
+  const Tensor& w_input() const { return w_input_; }
+  const Tensor& w_hidden() const { return w_hidden_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   int64_t hidden_size_;
   Tensor w_input_;   // [input, 3H]
@@ -63,6 +67,11 @@ class GruClassifier final : public Module {
 
   const GruConfig& config() const { return config_; }
   int32_t num_classes() const { return num_classes_; }
+  const Embedding& embedding() const { return embedding_; }
+  const std::vector<std::unique_ptr<GruCell>>& cells() const {
+    return cells_;
+  }
+  const Linear& head() const { return head_; }
 
  private:
   GruConfig config_;

@@ -66,6 +66,9 @@ class LayerNorm final : public Module {
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+
  private:
   Tensor gamma_;  // [1, dim], ones
   Tensor beta_;   // [1, dim], zeros

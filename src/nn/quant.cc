@@ -1,0 +1,784 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "linalg/kernels.h"
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace cuisine::nn {
+
+namespace {
+
+/// Quantized-path metrics, resolved once (same idiom as GemmMetrics).
+struct QuantCounters {
+  util::Counter* predict_examples =
+      util::MetricsRegistry::Instance().GetCounter("quant.predict_examples");
+  util::Counter* calibration_examples = util::MetricsRegistry::Instance()
+                                            .GetCounter("quant.calibration_examples");
+};
+
+QuantCounters& Counters() {
+  static QuantCounters* counters = new QuantCounters();
+  return *counters;
+}
+
+/// Activation absmax per quantized matmul site, keyed by the site's
+/// address; filled by one fp32 pass over the calibration set.
+using CalibRecorder = std::unordered_map<const void*, float>;
+
+void RecordSite(CalibRecorder* rec, const QuantizedLinearWeights* site,
+                const float* x, size_t n) {
+  float& mx = (*rec)[site];
+  mx = std::max(mx, linalg::AbsMax(x, n));
+}
+
+void FinalizeScale(QuantizedLinearWeights* site, const CalibRecorder& rec) {
+  const auto it = rec.find(site);
+  const float absmax = it != rec.end() ? it->second : 0.0f;
+  site->act_scale = std::max(absmax, 1e-6f) / 127.0f;
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi), as tensor.cc
+
+inline void EnsureF(std::vector<float>& v, size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+
+/// y[i,j] += bias[j] — the AddRowBroadcast pass of Linear::Forward.
+void AddBiasRows(size_t m, size_t n, const float* bias, float* y) {
+  for (size_t i = 0; i < m; ++i) {
+    float* yr = y + i * n;
+    for (size_t j = 0; j < n; ++j) yr[j] += bias[j];
+  }
+}
+
+/// Row-wise LayerNorm with the exact LayerNormOp forward formula
+/// (biased variance, eps 1e-5). In-place allowed (y may alias x).
+void LayerNormRows(size_t m, size_t n, const float* gamma, const float* beta,
+                   const float* x, float* y) {
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* row = x + i * n;
+    float mean = 0.0f;
+    for (size_t j = 0; j < n; ++j) mean += row[j];
+    mean *= inv_n;
+    float var = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var *= inv_n;
+    const float istd = 1.0f / std::sqrt(var + 1e-5f);
+    float* yr = y + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      yr[j] = (row[j] - mean) * istd * gamma[j] + beta[j];
+    }
+  }
+}
+
+/// In-place tanh-approximation GELU (the Gelu op's forward formula,
+/// element-for-element: the cubic, the tanh, and the outer blend use
+/// the same expressions, just split into passes so the tanh runs
+/// through the wide VecTanh kernel instead of a scalar loop).
+void GeluInPlace(float* x, size_t n) {
+  static thread_local std::vector<float> inner;  // grow-once scratch
+  EnsureF(inner, n);
+  float* t = inner.data();
+  for (size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    t[i] = kGeluC * (v + 0.044715f * v * v * v);
+  }
+  linalg::VecTanh(t, t, n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 0.5f * x[i] * (1.0f + t[i]);
+  }
+}
+
+/// In-place row softmax with the SoftmaxRows forward formula. The
+/// subtract/scale passes stay scalar loops (they auto-vectorize); the
+/// exp pass goes through VecExp.
+void SoftmaxRowsInPlace(size_t m, size_t n, float* x) {
+  for (size_t i = 0; i < m; ++i) {
+    float* row = x + i * n;
+    const float mx = linalg::VecMax(row, n);
+    for (size_t j = 0; j < n; ++j) row[j] -= mx;
+    linalg::VecExp(row, row, n);
+    const float inv = 1.0f / linalg::VecSum(row, n);
+    for (size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+}
+
+/// Final probability softmax, matching the trainer's predict epilogue.
+void PredictSoftmax(float* logits, size_t k) {
+  float mx = logits[0];
+  for (size_t j = 1; j < k; ++j) mx = std::max(mx, logits[j]);
+  float sum = 0.0f;
+  for (size_t j = 0; j < k; ++j) {
+    logits[j] = std::exp(logits[j] - mx);
+    sum += logits[j];
+  }
+  for (size_t j = 0; j < k; ++j) logits[j] /= sum;
+}
+
+std::vector<float> CopyTensor(const Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.size());
+}
+
+}  // namespace
+
+void QuantizedLinearWeights::Apply(size_t m, const float* x, float* y,
+                                   bool accumulate, bool with_bias) const {
+  static thread_local std::vector<int8_t> qbuf;
+  const size_t count = m * static_cast<size_t>(in);
+  if (qbuf.size() < count) qbuf.resize(count);
+  linalg::QuantizeInt8(x, count, act_scale, qbuf.data());
+  linalg::Int8GemmPrepacked(
+      m, static_cast<size_t>(in), static_cast<size_t>(out), qbuf.data(),
+      packed.data(), act_scale, col_scales.data(),
+      with_bias && !bias.empty() ? bias.data() : nullptr, accumulate, y);
+}
+
+void QuantizedLinearWeights::ApplyFloat(size_t m, const float* x, float* y,
+                                        bool accumulate,
+                                        bool with_bias) const {
+  linalg::GemmKernel(m, static_cast<size_t>(in), static_cast<size_t>(out), x,
+                     f32.data(), y, accumulate);
+  if (with_bias && !bias.empty()) {
+    AddBiasRows(m, static_cast<size_t>(out), bias.data(), y);
+  }
+}
+
+QuantizedTensor QuantizedLinearWeights::ToRecord() const {
+  QuantizedTensor record;
+  record.rows = in;
+  record.cols = out;
+  record.act_scale = act_scale;
+  record.scales = col_scales;
+  record.values = values;
+  return record;
+}
+
+util::Status QuantizedLinearWeights::FromRecord(const QuantizedTensor& record) {
+  if (record.rows != in || record.cols != out) {
+    return util::Status::InvalidArgument(
+        "quantized record shape " + std::to_string(record.rows) + "x" +
+        std::to_string(record.cols) + " does not match weight " +
+        std::to_string(in) + "x" + std::to_string(out));
+  }
+  if (record.scales.size() != static_cast<size_t>(out) ||
+      record.values.size() != static_cast<size_t>(in * out)) {
+    return util::Status::InvalidArgument("quantized record payload size mismatch");
+  }
+  if (!(record.act_scale > 0.0f)) {
+    return util::Status::InvalidArgument(
+        "quantized record has non-positive activation scale");
+  }
+  act_scale = record.act_scale;
+  col_scales = record.scales;
+  values = record.values;
+  packed.assign(linalg::Int8PackedSize(static_cast<size_t>(in),
+                                       static_cast<size_t>(out)),
+                0);
+  linalg::Int8PackB(static_cast<size_t>(in), static_cast<size_t>(out),
+                    values.data(), packed.data());
+  return util::Status::OK();
+}
+
+QuantizedLinearWeights QuantizeWeightPerCol(const Tensor& weight,
+                                            const Tensor* bias) {
+  QuantizedLinearWeights q;
+  q.in = weight.rows();
+  q.out = weight.cols();
+  const auto rows = static_cast<size_t>(q.in);
+  const auto cols = static_cast<size_t>(q.out);
+  q.f32 = CopyTensor(weight);
+  if (bias != nullptr) {
+    CUISINE_CHECK(bias->rows() == 1 && bias->cols() == q.out);
+    q.bias = CopyTensor(*bias);
+  }
+  q.col_scales.resize(cols);
+  for (size_t j = 0; j < cols; ++j) {
+    float absmax = 0.0f;
+    for (size_t i = 0; i < rows; ++i) {
+      absmax = std::max(absmax, std::fabs(q.f32[i * cols + j]));
+    }
+    q.col_scales[j] = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+  }
+  q.values.resize(rows * cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const float v = q.f32[i * cols + j] / q.col_scales[j];
+      const float r = v >= 0.0f ? v + 0.5f : v - 0.5f;
+      q.values[i * cols + j] = static_cast<int8_t>(static_cast<int32_t>(
+          std::min(127.0f, std::max(-127.0f, r))));
+    }
+  }
+  q.packed.assign(linalg::Int8PackedSize(rows, cols), 0);
+  linalg::Int8PackB(rows, cols, q.values.data(), q.packed.data());
+  return q;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transformer
+// ---------------------------------------------------------------------------
+
+/// Grow-once per-thread scratch of the raw-buffer transformer forward.
+struct TransformerScratch {
+  std::vector<float> x;       // [S, d] residual stream
+  std::vector<float> sum;     // [S, d] residual-add staging
+  std::vector<float> qm, km, vm, ctx;  // [S, d]
+  std::vector<float> qh, kh, vh, ch;   // [S, dh] per-head slices
+  std::vector<float> scores;  // [S, S]
+  std::vector<float> mid;     // [S, d_ff]
+  std::vector<float> row;     // [1, max(d, classes)]
+};
+
+class QuantizedTransformer final : public QuantizedSequenceModel {
+ public:
+  QuantizedTransformer(const TransformerClassifier& model,
+                       std::span<const features::EncodedSequence> calibration) {
+    CUISINE_CHECK(!calibration.empty());
+    const TransformerEncoder& encoder = model.encoder();
+    config_ = encoder.config();
+    classes_ = model.num_classes();
+    tok_emb_ = CopyTensor(encoder.token_embedding().table());
+    pos_emb_ = CopyTensor(encoder.position_embedding().table());
+    embed_gamma_ = CopyTensor(encoder.embed_norm().gamma());
+    embed_beta_ = CopyTensor(encoder.embed_norm().beta());
+    for (const auto& layer : encoder.layers()) {
+      Layer l;
+      l.query = QuantizeWeightPerCol(layer->attention().query().weight(),
+                                     &layer->attention().query().bias());
+      l.key = QuantizeWeightPerCol(layer->attention().key().weight(),
+                                   &layer->attention().key().bias());
+      l.value = QuantizeWeightPerCol(layer->attention().value().weight(),
+                                     &layer->attention().value().bias());
+      l.output = QuantizeWeightPerCol(layer->attention().output().weight(),
+                                      &layer->attention().output().bias());
+      l.n1_gamma = CopyTensor(layer->norm1().gamma());
+      l.n1_beta = CopyTensor(layer->norm1().beta());
+      l.n2_gamma = CopyTensor(layer->norm2().gamma());
+      l.n2_beta = CopyTensor(layer->norm2().beta());
+      l.ffn_in = QuantizeWeightPerCol(layer->feed_forward().in().weight(),
+                                      &layer->feed_forward().in().bias());
+      l.ffn_out = QuantizeWeightPerCol(layer->feed_forward().out().weight(),
+                                       &layer->feed_forward().out().bias());
+      layers_.push_back(std::move(l));
+    }
+    pooler_ = QuantizeWeightPerCol(model.pooler().weight(),
+                                   &model.pooler().bias());
+    head_ = QuantizeWeightPerCol(model.head().weight(), &model.head().bias());
+
+    // Calibration: one fp32 pass recording each site's input absmax.
+    CalibRecorder rec;
+    std::vector<float> logits(static_cast<size_t>(classes_));
+    for (const auto& seq : calibration) {
+      Counters().calibration_examples->Add();
+      ForwardLogits(seq, logits.data(), /*int8=*/false, &rec);
+    }
+    for (Layer& l : layers_) {
+      FinalizeScale(&l.query, rec);
+      FinalizeScale(&l.key, rec);
+      FinalizeScale(&l.value, rec);
+      FinalizeScale(&l.output, rec);
+      FinalizeScale(&l.ffn_in, rec);
+      FinalizeScale(&l.ffn_out, rec);
+    }
+    FinalizeScale(&pooler_, rec);
+    FinalizeScale(&head_, rec);
+  }
+
+  std::string name() const override { return "Transformer-int8"; }
+  int32_t num_classes() const override { return classes_; }
+
+  void PredictProba(const features::EncodedSequence& seq,
+                    float* proba) const override {
+    Counters().predict_examples->Add();
+    ForwardLogits(seq, proba, /*int8=*/true, nullptr);
+    PredictSoftmax(proba, static_cast<size_t>(classes_));
+  }
+
+  void PredictProbaFloat(const features::EncodedSequence& seq,
+                         float* proba) const override {
+    ForwardLogits(seq, proba, /*int8=*/false, nullptr);
+    PredictSoftmax(proba, static_cast<size_t>(classes_));
+  }
+
+  std::string Serialize() const override {
+    std::vector<QuantizedTensor> records;
+    for (const Layer& l : layers_) {
+      records.push_back(l.query.ToRecord());
+      records.push_back(l.key.ToRecord());
+      records.push_back(l.value.ToRecord());
+      records.push_back(l.output.ToRecord());
+      records.push_back(l.ffn_in.ToRecord());
+      records.push_back(l.ffn_out.ToRecord());
+    }
+    records.push_back(pooler_.ToRecord());
+    records.push_back(head_.ToRecord());
+    return SerializeQuantizedTensors(records);
+  }
+
+  util::Status Restore(const std::string& bytes) override {
+    std::vector<QuantizedTensor> records;
+    CUISINE_RETURN_NOT_OK(DeserializeQuantizedTensors(bytes, &records));
+    if (records.size() != 6 * layers_.size() + 2) {
+      return util::Status::InvalidArgument(
+          "quantized snapshot holds " + std::to_string(records.size()) +
+          " tensors, model expects " +
+          std::to_string(6 * layers_.size() + 2));
+    }
+    size_t r = 0;
+    for (Layer& l : layers_) {
+      CUISINE_RETURN_NOT_OK(l.query.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.key.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.value.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.output.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.ffn_in.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.ffn_out.FromRecord(records[r++]));
+    }
+    CUISINE_RETURN_NOT_OK(pooler_.FromRecord(records[r++]));
+    return head_.FromRecord(records[r]);
+  }
+
+ private:
+  struct Layer {
+    /// All six matmuls of the layer run int8: the attention projections
+    /// read LayerNorm outputs (well-conditioned activations), so
+    /// per-tensor calibration holds there as well as in the FFN.
+    QuantizedLinearWeights query, key, value, output;
+    std::vector<float> n1_gamma, n1_beta, n2_gamma, n2_beta;
+    QuantizedLinearWeights ffn_in, ffn_out;
+  };
+
+  /// The eval-mode TransformerClassifier forward over raw buffers.
+  /// `rec` non-null = calibration (fp32 math + absmax recording).
+  void ForwardLogits(const features::EncodedSequence& seq, float* logits,
+                     bool int8, CalibRecorder* rec) const {
+    const auto S = static_cast<size_t>(seq.length);
+    CUISINE_CHECK(S >= 1 && S <= seq.ids.size());
+    CUISINE_CHECK(static_cast<int64_t>(S) <= config_.max_length);
+    const auto d = static_cast<size_t>(config_.d_model);
+    const auto dff = static_cast<size_t>(config_.d_ff);
+    const auto nh = static_cast<size_t>(config_.num_heads);
+    const size_t dh = d / nh;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    static thread_local TransformerScratch ws;
+    EnsureF(ws.x, S * d);
+    EnsureF(ws.sum, S * d);
+    EnsureF(ws.qm, S * d);
+    EnsureF(ws.km, S * d);
+    EnsureF(ws.vm, S * d);
+    EnsureF(ws.ctx, S * d);
+    EnsureF(ws.qh, S * dh);
+    EnsureF(ws.kh, S * dh);
+    EnsureF(ws.vh, S * dh);
+    EnsureF(ws.ch, S * dh);
+    EnsureF(ws.scores, S * S);
+    EnsureF(ws.mid, S * dff);
+    EnsureF(ws.row, std::max(d, static_cast<size_t>(classes_)));
+
+    // Token + position embeddings, then the embedding LayerNorm.
+    for (size_t t = 0; t < S; ++t) {
+      const float* te = tok_emb_.data() + static_cast<size_t>(seq.ids[t]) * d;
+      const float* pe = pos_emb_.data() + t * d;
+      float* xr = ws.x.data() + t * d;
+      for (size_t j = 0; j < d; ++j) xr[j] = te[j] + pe[j];
+    }
+    LayerNormRows(S, d, embed_gamma_.data(), embed_beta_.data(), ws.x.data(),
+                  ws.x.data());
+
+    for (const Layer& layer : layers_) {
+      // ---- Multi-head self-attention (int8 projections, fp32 scores).
+      if (rec != nullptr) {
+        RecordSite(rec, &layer.query, ws.x.data(), S * d);
+        RecordSite(rec, &layer.key, ws.x.data(), S * d);
+        RecordSite(rec, &layer.value, ws.x.data(), S * d);
+      }
+      if (int8) {
+        layer.query.Apply(S, ws.x.data(), ws.qm.data(),
+                          /*accumulate=*/false, /*with_bias=*/true);
+        layer.key.Apply(S, ws.x.data(), ws.km.data(),
+                        /*accumulate=*/false, /*with_bias=*/true);
+        layer.value.Apply(S, ws.x.data(), ws.vm.data(),
+                          /*accumulate=*/false, /*with_bias=*/true);
+      } else {
+        layer.query.ApplyFloat(S, ws.x.data(), ws.qm.data(),
+                               /*accumulate=*/false, /*with_bias=*/true);
+        layer.key.ApplyFloat(S, ws.x.data(), ws.km.data(),
+                             /*accumulate=*/false, /*with_bias=*/true);
+        layer.value.ApplyFloat(S, ws.x.data(), ws.vm.data(),
+                               /*accumulate=*/false, /*with_bias=*/true);
+      }
+      for (size_t h = 0; h < nh; ++h) {
+        const size_t off = h * dh;
+        for (size_t t = 0; t < S; ++t) {
+          std::memcpy(ws.qh.data() + t * dh, ws.qm.data() + t * d + off,
+                      dh * sizeof(float));
+          std::memcpy(ws.kh.data() + t * dh, ws.km.data() + t * d + off,
+                      dh * sizeof(float));
+          std::memcpy(ws.vh.data() + t * dh, ws.vm.data() + t * d + off,
+                      dh * sizeof(float));
+        }
+        linalg::GemmTransposeBKernel(S, dh, S, ws.qh.data(), ws.kh.data(),
+                                     ws.scores.data(), /*accumulate=*/false);
+        // Trimmed sequences have an identically-zero mask bias; the
+        // `+ 0.0f` keeps the ScaleAddRowBroadcast FLOP sequence.
+        for (size_t i = 0; i < S * S; ++i) {
+          ws.scores[i] = scale * ws.scores[i] + 0.0f;
+        }
+        SoftmaxRowsInPlace(S, S, ws.scores.data());
+        linalg::GemmKernel(S, S, dh, ws.scores.data(), ws.vh.data(),
+                           ws.ch.data(), /*accumulate=*/false);
+        for (size_t t = 0; t < S; ++t) {
+          std::memcpy(ws.ctx.data() + t * d + off, ws.ch.data() + t * dh,
+                      dh * sizeof(float));
+        }
+      }
+      if (rec != nullptr) {
+        RecordSite(rec, &layer.output, ws.ctx.data(), S * d);
+      }
+      if (int8) {
+        layer.output.Apply(S, ws.ctx.data(), ws.qm.data(),
+                           /*accumulate=*/false, /*with_bias=*/true);
+      } else {
+        layer.output.ApplyFloat(S, ws.ctx.data(), ws.qm.data(),
+                                /*accumulate=*/false, /*with_bias=*/true);
+      }
+      for (size_t i = 0; i < S * d; ++i) ws.sum[i] = ws.x[i] + ws.qm[i];
+      LayerNormRows(S, d, layer.n1_gamma.data(), layer.n1_beta.data(),
+                    ws.sum.data(), ws.x.data());
+
+      // ---- Feed-forward (the quantized pair). ----
+      if (rec != nullptr) RecordSite(rec, &layer.ffn_in, ws.x.data(), S * d);
+      if (int8) {
+        layer.ffn_in.Apply(S, ws.x.data(), ws.mid.data(),
+                           /*accumulate=*/false, /*with_bias=*/true);
+      } else {
+        layer.ffn_in.ApplyFloat(S, ws.x.data(), ws.mid.data(),
+                                /*accumulate=*/false, /*with_bias=*/true);
+      }
+      GeluInPlace(ws.mid.data(), S * dff);
+      if (rec != nullptr) {
+        RecordSite(rec, &layer.ffn_out, ws.mid.data(), S * dff);
+      }
+      if (int8) {
+        layer.ffn_out.Apply(S, ws.mid.data(), ws.qm.data(),
+                            /*accumulate=*/false, /*with_bias=*/true);
+      } else {
+        layer.ffn_out.ApplyFloat(S, ws.mid.data(), ws.qm.data(),
+                                 /*accumulate=*/false, /*with_bias=*/true);
+      }
+      for (size_t i = 0; i < S * d; ++i) ws.sum[i] = ws.x[i] + ws.qm[i];
+      LayerNormRows(S, d, layer.n2_gamma.data(), layer.n2_beta.data(),
+                    ws.sum.data(), ws.x.data());
+    }
+
+    // [CLS] pooler (fused linear + tanh) and classification head.
+    const float* cls = ws.x.data();
+    if (rec != nullptr) RecordSite(rec, &pooler_, cls, d);
+    if (int8) {
+      pooler_.Apply(1, cls, ws.row.data(), /*accumulate=*/false,
+                    /*with_bias=*/true);
+    } else {
+      pooler_.ApplyFloat(1, cls, ws.row.data(), /*accumulate=*/false,
+                         /*with_bias=*/true);
+    }
+    linalg::VecTanh(ws.row.data(), ws.row.data(), d);
+    if (rec != nullptr) RecordSite(rec, &head_, ws.row.data(), d);
+    if (int8) {
+      head_.Apply(1, ws.row.data(), logits, /*accumulate=*/false,
+                  /*with_bias=*/true);
+    } else {
+      head_.ApplyFloat(1, ws.row.data(), logits, /*accumulate=*/false,
+                       /*with_bias=*/true);
+    }
+  }
+
+  TransformerConfig config_;
+  int32_t classes_ = 0;
+  std::vector<float> tok_emb_, pos_emb_;
+  std::vector<float> embed_gamma_, embed_beta_;
+  std::vector<Layer> layers_;
+  QuantizedLinearWeights pooler_, head_;
+};
+
+// ---------------------------------------------------------------------------
+// LSTM / GRU
+// ---------------------------------------------------------------------------
+
+/// Grow-once per-thread scratch of the recurrent forwards.
+struct RecurrentScratch {
+  std::vector<float> h;       // [layers, H] hidden states
+  std::vector<float> c;       // [layers, H] cell states (LSTM)
+  std::vector<float> preact;  // [1, 4H] (LSTM) fused gate preactivation
+  std::vector<float> xi, hi;  // [1, 3H] (GRU) input / hidden projections
+};
+
+/// One recurrent layer: quantized input/hidden projections (biasless —
+/// the fused bias is applied inside the gate nonlinearity, matching the
+/// autograd cells) plus the fp32 bias.
+struct QuantizedGates {
+  QuantizedLinearWeights w_input;
+  QuantizedLinearWeights w_hidden;
+  std::vector<float> bias;
+};
+
+/// Shared machinery of the quantized LSTM/GRU classifiers: embedding
+/// table copy, per-layer quantized gates, quantized head.
+class QuantizedRecurrentBase : public QuantizedSequenceModel {
+ public:
+  int32_t num_classes() const override { return classes_; }
+
+  void PredictProba(const features::EncodedSequence& seq,
+                    float* proba) const override {
+    Counters().predict_examples->Add();
+    ForwardLogits(seq, proba, /*int8=*/true, nullptr);
+    PredictSoftmax(proba, static_cast<size_t>(classes_));
+  }
+
+  void PredictProbaFloat(const features::EncodedSequence& seq,
+                         float* proba) const override {
+    ForwardLogits(seq, proba, /*int8=*/false, nullptr);
+    PredictSoftmax(proba, static_cast<size_t>(classes_));
+  }
+
+  std::string Serialize() const override {
+    std::vector<QuantizedTensor> records;
+    for (const QuantizedGates& l : layers_) {
+      records.push_back(l.w_input.ToRecord());
+      records.push_back(l.w_hidden.ToRecord());
+    }
+    records.push_back(head_.ToRecord());
+    return SerializeQuantizedTensors(records);
+  }
+
+  util::Status Restore(const std::string& bytes) override {
+    std::vector<QuantizedTensor> records;
+    CUISINE_RETURN_NOT_OK(DeserializeQuantizedTensors(bytes, &records));
+    if (records.size() != 2 * layers_.size() + 1) {
+      return util::Status::InvalidArgument(
+          "quantized snapshot holds " + std::to_string(records.size()) +
+          " tensors, model expects " + std::to_string(2 * layers_.size() + 1));
+    }
+    size_t r = 0;
+    for (QuantizedGates& l : layers_) {
+      CUISINE_RETURN_NOT_OK(l.w_input.FromRecord(records[r++]));
+      CUISINE_RETURN_NOT_OK(l.w_hidden.FromRecord(records[r++]));
+    }
+    return head_.FromRecord(records[r]);
+  }
+
+ protected:
+  /// Gate recurrence of one timestep for one layer: input x (row of
+  /// `in` floats), states h/c (H floats). Implemented by LSTM/GRU.
+  virtual void StepLayer(const QuantizedGates& layer, const float* x,
+                         float* h, float* c, bool int8,
+                         CalibRecorder* rec) const = 0;
+
+  bool uses_cell_state() const { return uses_cell_state_; }
+
+  void ForwardLogits(const features::EncodedSequence& seq, float* logits,
+                     bool int8, CalibRecorder* rec) const {
+    const auto S = static_cast<size_t>(seq.length);
+    CUISINE_CHECK(S >= 1 && S <= seq.ids.size());
+    const auto E = static_cast<size_t>(embedding_dim_);
+    const auto H = static_cast<size_t>(hidden_);
+    const size_t L = layers_.size();
+
+    static thread_local RecurrentScratch ws;
+    EnsureF(ws.h, L * H);
+    EnsureF(ws.c, L * H);
+    std::fill(ws.h.begin(), ws.h.begin() + L * H, 0.0f);
+    std::fill(ws.c.begin(), ws.c.begin() + L * H, 0.0f);
+
+    for (size_t t = 0; t < S; ++t) {
+      const float* input =
+          emb_.data() + static_cast<size_t>(seq.ids[t]) * E;
+      for (size_t l = 0; l < L; ++l) {
+        StepLayer(layers_[l], input, ws.h.data() + l * H,
+                  ws.c.data() + l * H, int8, rec);
+        input = ws.h.data() + l * H;
+      }
+    }
+    const float* top = ws.h.data() + (L - 1) * H;
+    if (rec != nullptr) RecordSite(rec, &head_, top, H);
+    if (int8) {
+      head_.Apply(1, top, logits, /*accumulate=*/false, /*with_bias=*/true);
+    } else {
+      head_.ApplyFloat(1, top, logits, /*accumulate=*/false,
+                       /*with_bias=*/true);
+    }
+  }
+
+  void Calibrate(std::span<const features::EncodedSequence> calibration) {
+    CUISINE_CHECK(!calibration.empty());
+    CalibRecorder rec;
+    std::vector<float> logits(static_cast<size_t>(classes_));
+    for (const auto& seq : calibration) {
+      Counters().calibration_examples->Add();
+      ForwardLogits(seq, logits.data(), /*int8=*/false, &rec);
+    }
+    for (QuantizedGates& l : layers_) {
+      FinalizeScale(&l.w_input, rec);
+      FinalizeScale(&l.w_hidden, rec);
+    }
+    FinalizeScale(&head_, rec);
+  }
+
+  int32_t classes_ = 0;
+  int64_t embedding_dim_ = 0;
+  int64_t hidden_ = 0;
+  bool uses_cell_state_ = false;
+  std::vector<float> emb_;  // [vocab, E]
+  std::vector<QuantizedGates> layers_;
+  QuantizedLinearWeights head_;
+};
+
+class QuantizedLstm final : public QuantizedRecurrentBase {
+ public:
+  QuantizedLstm(const LstmClassifier& model,
+                std::span<const features::EncodedSequence> calibration) {
+    classes_ = model.num_classes();
+    embedding_dim_ = model.config().embedding_dim;
+    hidden_ = model.config().hidden_size;
+    uses_cell_state_ = true;
+    emb_ = CopyTensor(model.embedding().table());
+    for (const auto& cell : model.cells()) {
+      QuantizedGates l;
+      l.w_input = QuantizeWeightPerCol(cell->w_input(), nullptr);
+      l.w_hidden = QuantizeWeightPerCol(cell->w_hidden(), nullptr);
+      l.bias = CopyTensor(cell->bias());
+      layers_.push_back(std::move(l));
+    }
+    head_ = QuantizeWeightPerCol(model.head().weight(), &model.head().bias());
+    Calibrate(calibration);
+  }
+
+  std::string name() const override { return "LSTM-int8"; }
+
+ protected:
+  void StepLayer(const QuantizedGates& layer, const float* x, float* h,
+                 float* c, bool int8, CalibRecorder* rec) const override {
+    const auto H = static_cast<size_t>(hidden_);
+    static thread_local RecurrentScratch ws;
+    EnsureF(ws.preact, 4 * H);
+    if (rec != nullptr) {
+      RecordSite(rec, &layer.w_input, x,
+                 static_cast<size_t>(layer.w_input.in));
+      RecordSite(rec, &layer.w_hidden, h, H);
+    }
+    if (int8) {
+      layer.w_input.Apply(1, x, ws.preact.data(), /*accumulate=*/false,
+                          /*with_bias=*/false);
+      layer.w_hidden.Apply(1, h, ws.preact.data(), /*accumulate=*/true,
+                           /*with_bias=*/false);
+    } else {
+      layer.w_input.ApplyFloat(1, x, ws.preact.data(), /*accumulate=*/false,
+                               /*with_bias=*/false);
+      layer.w_hidden.ApplyFloat(1, h, ws.preact.data(), /*accumulate=*/true,
+                                /*with_bias=*/false);
+    }
+    // Gate block order i, f, g, o; bias fused into each nonlinearity
+    // (the AddRowBroadcastActivate sequence of LstmCell::Step).
+    const float* p = ws.preact.data();
+    const float* b = layer.bias.data();
+    for (size_t j = 0; j < H; ++j) {
+      const float i = linalg::ScalarSigmoid(p[j] + b[j]);
+      const float f = linalg::ScalarSigmoid(p[H + j] + b[H + j]);
+      const float g = linalg::ScalarTanh(p[2 * H + j] + b[2 * H + j]);
+      const float o = linalg::ScalarSigmoid(p[3 * H + j] + b[3 * H + j]);
+      c[j] = f * c[j] + i * g;
+      h[j] = o * linalg::ScalarTanh(c[j]);
+    }
+  }
+};
+
+class QuantizedGru final : public QuantizedRecurrentBase {
+ public:
+  QuantizedGru(const GruClassifier& model,
+               std::span<const features::EncodedSequence> calibration) {
+    classes_ = model.num_classes();
+    embedding_dim_ = model.config().embedding_dim;
+    hidden_ = model.config().hidden_size;
+    emb_ = CopyTensor(model.embedding().table());
+    for (const auto& cell : model.cells()) {
+      QuantizedGates l;
+      l.w_input = QuantizeWeightPerCol(cell->w_input(), nullptr);
+      l.w_hidden = QuantizeWeightPerCol(cell->w_hidden(), nullptr);
+      l.bias = CopyTensor(cell->bias());
+      layers_.push_back(std::move(l));
+    }
+    head_ = QuantizeWeightPerCol(model.head().weight(), &model.head().bias());
+    Calibrate(calibration);
+  }
+
+  std::string name() const override { return "GRU-int8"; }
+
+ protected:
+  void StepLayer(const QuantizedGates& layer, const float* x, float* h,
+                 float* /*c*/, bool int8, CalibRecorder* rec) const override {
+    const auto H = static_cast<size_t>(hidden_);
+    static thread_local RecurrentScratch ws;
+    EnsureF(ws.xi, 3 * H);
+    EnsureF(ws.hi, 3 * H);
+    if (rec != nullptr) {
+      RecordSite(rec, &layer.w_input, x,
+                 static_cast<size_t>(layer.w_input.in));
+      RecordSite(rec, &layer.w_hidden, h, H);
+    }
+    if (int8) {
+      layer.w_input.Apply(1, x, ws.xi.data(), /*accumulate=*/false,
+                          /*with_bias=*/false);
+      layer.w_hidden.Apply(1, h, ws.hi.data(), /*accumulate=*/false,
+                           /*with_bias=*/false);
+    } else {
+      layer.w_input.ApplyFloat(1, x, ws.xi.data(), /*accumulate=*/false,
+                               /*with_bias=*/false);
+      layer.w_hidden.ApplyFloat(1, h, ws.hi.data(), /*accumulate=*/false,
+                                /*with_bias=*/false);
+    }
+    // Gate block order r, z, n; candidate resets only the hidden
+    // contribution (the GruCell::Step formula).
+    const float* xi = ws.xi.data();
+    const float* hi = ws.hi.data();
+    const float* b = layer.bias.data();
+    for (size_t j = 0; j < H; ++j) {
+      const float r = linalg::ScalarSigmoid(xi[j] + hi[j] + b[j]);
+      const float z =
+          linalg::ScalarSigmoid(xi[H + j] + hi[H + j] + b[H + j]);
+      const float n = linalg::ScalarTanh(xi[2 * H + j] + r * hi[2 * H + j] +
+                                         b[2 * H + j]);
+      h[j] = (1.0f - z) * n + z * h[j];
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<QuantizedSequenceModel> QuantizeTransformerClassifier(
+    const TransformerClassifier& model,
+    std::span<const features::EncodedSequence> calibration) {
+  return std::make_unique<QuantizedTransformer>(model, calibration);
+}
+
+std::unique_ptr<QuantizedSequenceModel> QuantizeLstmClassifier(
+    const LstmClassifier& model,
+    std::span<const features::EncodedSequence> calibration) {
+  return std::make_unique<QuantizedLstm>(model, calibration);
+}
+
+std::unique_ptr<QuantizedSequenceModel> QuantizeGruClassifier(
+    const GruClassifier& model,
+    std::span<const features::EncodedSequence> calibration) {
+  return std::make_unique<QuantizedGru>(model, calibration);
+}
+
+}  // namespace cuisine::nn

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/sequence_encoder.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+#include "util/status.h"
+
+/// \file quant.h
+/// \brief Int8 post-training-quantized inference paths for the
+/// sequential models (DESIGN.md "Int8 quantized serving").
+///
+/// Quantization scheme:
+///  * Weights: per-output-channel symmetric int8
+///    (scale_j = absmax(column j) / 127), quantized once at attach time
+///    and pre-packed into the kernel layer's panel layout
+///    (linalg::Int8PackB) so the hot loop never re-packs.
+///  * Activations: per-tensor symmetric int8 with a scale calibrated by
+///    one fp32 pass over a small calibration set (each quantized matmul
+///    site records the absmax of its input).
+///  * Matmuls run int8 x int8 -> int32 with an fp32 dequant epilogue
+///    (linalg::Int8GemmPrepacked); everything between matmuls —
+///    softmax, LayerNorm, GELU, gate nonlinearities, residual adds —
+///    stays fp32 with the autograd ops' exact formulas (the GELU/softmax
+///    transcendentals go through the linalg Vec* kernels, which are
+///    bit-exact to the Scalar* helpers the autograd path inlines).
+///
+/// The quantized engines are *predict-only* re-implementations of the
+/// eval-mode forwards over raw float buffers: no autograd graph, no
+/// per-op tensor allocation (thread-local grow-once scratch), which is
+/// where most of the single-core speedup comes from; the int8 matmuls
+/// stack on top. Per-example computation is independent of batch order
+/// and worker assignment, so batched quantized prediction keeps the
+/// engine's bit-identical-for-any-worker-count contract.
+
+namespace cuisine::nn {
+
+/// One quantized affine map: per-output-channel int8 weight, fp32 bias,
+/// calibrated input activation scale, and the pre-packed kernel panels.
+struct QuantizedLinearWeights {
+  int64_t in = 0;
+  int64_t out = 0;
+  /// Calibrated input activation scale (absmax/127; > 0 once built).
+  float act_scale = 0.0f;
+  std::vector<float> col_scales;  ///< per-output-channel weight scales
+  std::vector<float> bias;        ///< fp32 bias; empty = no bias
+  std::vector<int8_t> values;     ///< row-major [in, out] (snapshot source)
+  std::vector<int8_t> packed;     ///< Int8PackB panels, hot-loop operand
+  std::vector<float> f32;         ///< fp32 weight copy (calibration path)
+
+  /// y[m, out] (+)= dequant(quantize(x[m, in]) . W), plus the bias when
+  /// `with_bias` and one is present. Thread-safe and allocation-free
+  /// once the thread's quantize scratch has warmed.
+  void Apply(size_t m, const float* x, float* y, bool accumulate,
+             bool with_bias) const;
+
+  /// The fp32 reference path over the unquantized weight copy — same
+  /// call shape as Apply, used by calibration and parity tests.
+  void ApplyFloat(size_t m, const float* x, float* y, bool accumulate,
+                  bool with_bias) const;
+
+  /// Snapshot of the quantized payload (shape, scales, int8 values,
+  /// activation scale). The fp32 bias travels with the attached model,
+  /// not the record.
+  QuantizedTensor ToRecord() const;
+
+  /// Restores a snapshot into an already-shaped weight (in/out/bias come
+  /// from the attach step); validates shape and scale counts, then
+  /// re-packs. InvalidArgument on any mismatch.
+  util::Status FromRecord(const QuantizedTensor& record);
+};
+
+/// Per-output-channel symmetric quantization of a [in, out] weight
+/// tensor; `bias` may be null. act_scale is left 0 for calibration.
+QuantizedLinearWeights QuantizeWeightPerCol(const Tensor& weight,
+                                            const Tensor* bias);
+
+/// \brief A predict-only int8 forward path attached to one trained
+/// sequence classifier. Instances are immutable after construction
+/// (Restore excepted) and safe for concurrent PredictProba calls.
+class QuantizedSequenceModel {
+ public:
+  virtual ~QuantizedSequenceModel() = default;
+
+  /// Display name, e.g. "Transformer-int8".
+  virtual std::string name() const = 0;
+  virtual int32_t num_classes() const = 0;
+
+  /// Softmax probabilities of one sequence into proba[num_classes],
+  /// through the int8 matmul path.
+  virtual void PredictProba(const features::EncodedSequence& seq,
+                            float* proba) const = 0;
+
+  /// The same engine with fp32 matmuls (the calibration-mode math);
+  /// reference for quantization-error and parity tests.
+  virtual void PredictProbaFloat(const features::EncodedSequence& seq,
+                                 float* proba) const = 0;
+
+  /// Serialises the quantized payloads ("CSQ8", nn/serialization.h).
+  virtual std::string Serialize() const = 0;
+
+  /// Restores payloads serialized from an identically-shaped model —
+  /// re-attaching a snapshot without re-running calibration.
+  virtual util::Status Restore(const std::string& bytes) = 0;
+};
+
+// Builders: quantize the model's matmul weights and run one fp32
+// calibration pass over `calibration` (must be non-empty) to set the
+// activation scales. The source model is only read during the call.
+//
+// Quantized sites: the transformer quantizes the attention q/k/v/output
+// projections, the FFN pair, pooler and head (attention *scores* —
+// q.k^T, softmax, attn.v — stay fp32); the recurrent models quantize
+// the gate matmuls (input and hidden projections of every layer) and
+// the head.
+std::unique_ptr<QuantizedSequenceModel> QuantizeTransformerClassifier(
+    const TransformerClassifier& model,
+    std::span<const features::EncodedSequence> calibration);
+std::unique_ptr<QuantizedSequenceModel> QuantizeLstmClassifier(
+    const LstmClassifier& model,
+    std::span<const features::EncodedSequence> calibration);
+std::unique_ptr<QuantizedSequenceModel> QuantizeGruClassifier(
+    const GruClassifier& model,
+    std::span<const features::EncodedSequence> calibration);
+
+}  // namespace cuisine::nn

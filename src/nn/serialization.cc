@@ -43,6 +43,12 @@ class Reader {
     return true;
   }
 
+  bool Skip(size_t n) {
+    if (n > remaining()) return false;
+    pos_ += n;
+    return true;
+  }
+
   const char* cursor() const { return bytes_.data() + pos_; }
   size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
@@ -167,6 +173,116 @@ util::Status DeserializeTensors(const std::string& bytes,
     std::memcpy((*tensors)[i].data(), staged[i].data(),
                 staged[i].size() * sizeof(float));
   }
+  return util::Status::OK();
+}
+
+namespace {
+
+constexpr char kQuantMagic[4] = {'C', 'S', 'Q', '8'};
+constexpr uint32_t kQuantVersion = 1;
+
+}  // namespace
+
+std::string SerializeQuantizedTensors(const std::vector<QuantizedTensor>& qs) {
+  std::string out;
+  AppendBytes(&out, kQuantMagic, sizeof(kQuantMagic));
+  AppendValue(&out, kQuantVersion);
+  AppendValue(&out, static_cast<uint64_t>(qs.size()));
+  AppendValue(&out, util::Crc32c(out.data(), out.size()));
+  for (const QuantizedTensor& q : qs) {
+    AppendValue(&out, q.rows);
+    AppendValue(&out, q.cols);
+    AppendValue(&out, q.act_scale);
+    // One CRC over scales || values: a flipped bit in either fails it.
+    const uint32_t scales_crc = util::Crc32c(
+        q.scales.data(), q.scales.size() * sizeof(float));
+    const uint32_t payload_crc = util::Crc32cExtend(
+        scales_crc, q.values.data(), q.values.size());
+    AppendValue(&out, payload_crc);
+    AppendBytes(&out, q.scales.data(), q.scales.size() * sizeof(float));
+    AppendBytes(&out, q.values.data(), q.values.size());
+  }
+  return out;
+}
+
+util::Status DeserializeQuantizedTensors(const std::string& bytes,
+                                         std::vector<QuantizedTensor>* out) {
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Read(&magic) || std::memcmp(magic, kQuantMagic, 4) != 0) {
+    return util::Status::InvalidArgument("bad quantized snapshot magic");
+  }
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kQuantVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported quantized snapshot version");
+  }
+  uint64_t count = 0;
+  if (!reader.Read(&count)) {
+    return util::Status::InvalidArgument("truncated quantized snapshot");
+  }
+  const size_t header_len = sizeof(kQuantMagic) + sizeof(version) + sizeof(count);
+  uint32_t expected = 0;
+  if (!reader.Read(&expected)) {
+    return util::Status::InvalidArgument("truncated quantized snapshot");
+  }
+  if (util::Crc32c(bytes.data(), header_len) != expected) {
+    return util::Status::InvalidArgument(
+        "quantized snapshot header checksum mismatch");
+  }
+  // An adversarial count cannot force a huge reserve: each tensor needs
+  // at least its fixed header, so bound count by the bytes left.
+  constexpr size_t kPerTensorHeader =
+      2 * sizeof(int64_t) + sizeof(float) + sizeof(uint32_t);
+  if (count > reader.remaining() / kPerTensorHeader) {
+    return util::Status::InvalidArgument(
+        "quantized snapshot declares more tensors than the bytes hold");
+  }
+  std::vector<QuantizedTensor> staged(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    QuantizedTensor& q = staged[i];
+    uint32_t payload_crc = 0;
+    if (!reader.Read(&q.rows) || !reader.Read(&q.cols) ||
+        !reader.Read(&q.act_scale) || !reader.Read(&payload_crc)) {
+      return util::Status::InvalidArgument("truncated quantized snapshot");
+    }
+    const std::string tag = "quantized tensor " + std::to_string(i);
+    if (q.rows < 0 || q.cols < 0) {
+      return util::Status::InvalidArgument(tag + " has negative shape");
+    }
+    if (q.cols > 0 && q.rows > std::numeric_limits<int64_t>::max() / q.cols) {
+      return util::Status::InvalidArgument(tag + " shape overflows");
+    }
+    const auto elements = static_cast<uint64_t>(q.rows * q.cols);
+    const uint64_t payload_bytes =
+        static_cast<uint64_t>(q.cols) * sizeof(float) + elements;
+    if (payload_bytes > reader.remaining()) {
+      return util::Status::InvalidArgument(
+          tag + " declares more payload than the bytes hold");
+    }
+    const uint32_t scales_crc =
+        util::Crc32c(reader.cursor(), q.cols * sizeof(float));
+    if (util::Crc32cExtend(scales_crc,
+                           reader.cursor() + q.cols * sizeof(float),
+                           elements) != payload_crc) {
+      return util::Status::InvalidArgument(
+          tag + " checksum mismatch (corrupt snapshot)");
+    }
+    q.scales.resize(static_cast<size_t>(q.cols));
+    if (!reader.ReadFloats(q.scales.data(), q.scales.size())) {
+      return util::Status::InvalidArgument("truncated quantized snapshot");
+    }
+    q.values.resize(elements);
+    std::memcpy(q.values.data(), reader.cursor(), elements);
+    if (!reader.Skip(elements)) {
+      return util::Status::InvalidArgument("truncated quantized snapshot");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes in quantized snapshot");
+  }
+  *out = std::move(staged);
   return util::Status::OK();
 }
 

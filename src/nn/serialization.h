@@ -49,4 +49,40 @@ util::Status LoadCheckpoint(const std::string& path,
                             std::vector<Tensor>* tensors,
                             util::FileSystem* fs = nullptr);
 
+// ---------------------------------------------------------------------------
+// Quantized tensor snapshots ("CSQ8"): int8 weights with their
+// per-output-channel scales and the calibrated activation scale, so an
+// attached int8 inference path (nn/quant.h) survives a round trip
+// without re-running calibration.
+//
+// Format (little-endian):
+//   magic "CSQ8" | uint32 version=1 | uint64 tensor count |
+//   uint32 CRC-32C over the preceding 16 header bytes |
+//   per tensor: int64 rows | int64 cols | float act_scale |
+//               uint32 CRC-32C over (scales || values) |
+//               cols float32 scales | rows*cols int8 values.
+// ---------------------------------------------------------------------------
+
+/// One per-output-channel symmetric int8 quantized matrix, unpacked
+/// (row-major), plus the activation scale calibrated for its input.
+struct QuantizedTensor {
+  int64_t rows = 0;             ///< input features (k)
+  int64_t cols = 0;             ///< output channels (n)
+  float act_scale = 0.0f;       ///< calibrated input activation scale
+  std::vector<float> scales;    ///< per-column weight scales, [cols]
+  std::vector<int8_t> values;   ///< row-major int8 weights, [rows*cols]
+};
+
+/// Serialises quantized tensors to a checksummed "CSQ8" byte string.
+std::string SerializeQuantizedTensors(const std::vector<QuantizedTensor>& qs);
+
+/// Parses SerializeQuantizedTensors() output. Unlike DeserializeTensors
+/// the shapes come from the blob (the quantized path is attached, not
+/// architecture-defined), but every declared count/shape is bound-checked
+/// against the byte length before any allocation and both CRCs are
+/// verified; returns InvalidArgument and leaves `out` untouched on any
+/// corruption.
+util::Status DeserializeQuantizedTensors(const std::string& bytes,
+                                         std::vector<QuantizedTensor>* out);
+
 }  // namespace cuisine::nn

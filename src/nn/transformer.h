@@ -41,6 +41,9 @@ class FeedForward final : public Module {
   Tensor Forward(const Tensor& x) const;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
+  const Linear& in() const { return in_; }
+  const Linear& out() const { return out_; }
+
  private:
   Linear in_;
   Linear out_;
@@ -53,6 +56,11 @@ class TransformerEncoderLayer final : public Module {
   Tensor Forward(const Tensor& x, const Tensor& mask_bias, bool training,
                  util::Rng* rng) const;
   void CollectParameters(std::vector<Tensor>* out) const override;
+
+  const MultiHeadSelfAttention& attention() const { return attention_; }
+  const FeedForward& feed_forward() const { return feed_forward_; }
+  const LayerNorm& norm1() const { return norm1_; }
+  const LayerNorm& norm2() const { return norm2_; }
 
  private:
   MultiHeadSelfAttention attention_;
@@ -76,6 +84,11 @@ class TransformerEncoder final : public Module {
 
   const TransformerConfig& config() const { return config_; }
   const Embedding& token_embedding() const { return token_embedding_; }
+  const Embedding& position_embedding() const { return position_embedding_; }
+  const LayerNorm& embed_norm() const { return embed_norm_; }
+  const std::vector<std::unique_ptr<TransformerEncoderLayer>>& layers() const {
+    return layers_;
+  }
 
  private:
   TransformerConfig config_;
@@ -99,6 +112,8 @@ class TransformerClassifier final : public Module {
 
   TransformerEncoder* encoder() { return &encoder_; }
   const TransformerEncoder& encoder() const { return encoder_; }
+  const Linear& pooler() const { return pooler_; }
+  const Linear& head() const { return head_; }
   int32_t num_classes() const { return num_classes_; }
 
  private:

@@ -8,6 +8,7 @@
 #include "features/sparse.h"
 #include "features/vectorizer.h"
 #include "text/corpus.h"
+#include "util/telemetry.h"
 
 namespace cuisine::features {
 namespace {
@@ -284,6 +285,66 @@ TEST_F(SequenceEncoderTest, EmptyDocumentGetsUnkForRecurrentModels) {
   const EncodedSequence seq = enc.Encode({});
   EXPECT_EQ(seq.length, 1);
   EXPECT_EQ(seq.ids[0], vocab_.unk_id());
+}
+
+TEST_F(SequenceEncoderTest, EmptyDocumentClsSepIsLengthTwo) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 4, .add_cls_sep = true});
+  const EncodedSequence seq = enc.Encode({});
+  EXPECT_EQ(seq.length, 2);
+  EXPECT_EQ(seq.ids[0], vocab_.cls_id());
+  EXPECT_EQ(seq.ids[1], vocab_.sep_id());
+  EXPECT_EQ(seq.ids[2], vocab_.pad_id());
+  EXPECT_EQ(seq.mask, (std::vector<int32_t>{1, 1, 0, 0}));
+}
+
+TEST_F(SequenceEncoderTest, ClsSepExactBudgetIsNotTruncated) {
+  // max_length 5 leaves a budget of exactly 3 tokens: all of them fit,
+  // the result is exactly max_length long with no padding.
+  const SequenceEncoder enc(&vocab_, {.max_length = 5, .add_cls_sep = true});
+  const EncodedSequence seq = enc.Encode({"stir", "heat", "bake"});
+  EXPECT_EQ(seq.length, 5);
+  EXPECT_EQ(seq.ids[0], vocab_.cls_id());
+  EXPECT_EQ(seq.ids[1], vocab_.Lookup("stir"));
+  EXPECT_EQ(seq.ids[3], vocab_.Lookup("bake"));
+  EXPECT_EQ(seq.ids[4], vocab_.sep_id());
+  EXPECT_EQ(seq.mask, (std::vector<int32_t>{1, 1, 1, 1, 1}));
+}
+
+TEST_F(SequenceEncoderTest, ClsSepOneOverBudgetTruncatesToMaxLength) {
+  // One token over budget: the overflow is dropped, [SEP] survives in
+  // the last slot and length lands exactly on max_length.
+  const SequenceEncoder enc(&vocab_, {.max_length = 5, .add_cls_sep = true});
+  const EncodedSequence seq = enc.Encode({"stir", "heat", "bake", "stir"});
+  EXPECT_EQ(seq.length, 5);
+  ASSERT_EQ(seq.ids.size(), 5u);
+  EXPECT_EQ(seq.ids[0], vocab_.cls_id());
+  EXPECT_EQ(seq.ids[3], vocab_.Lookup("bake"));
+  EXPECT_EQ(seq.ids[4], vocab_.sep_id());
+}
+
+TEST_F(SequenceEncoderTest, RecurrentExactMaxLengthKeepsLastToken) {
+  const SequenceEncoder enc(&vocab_, {.max_length = 3, .add_cls_sep = false});
+  const EncodedSequence seq = enc.Encode({"stir", "heat", "bake"});
+  EXPECT_EQ(seq.length, 3);
+  EXPECT_EQ(seq.ids[2], vocab_.Lookup("bake"));
+  EXPECT_EQ(seq.mask, (std::vector<int32_t>{1, 1, 1}));
+}
+
+TEST_F(SequenceEncoderTest, PadRatioTelemetryTracksPadding) {
+  auto& registry = cuisine::util::MetricsRegistry::Instance();
+  const uint64_t real_before =
+      registry.GetCounter("encoder.real_positions")->value();
+  const uint64_t pad_before =
+      registry.GetCounter("encoder.pad_positions")->value();
+  const SequenceEncoder enc(&vocab_, {.max_length = 8, .add_cls_sep = false});
+  (void)enc.Encode({"stir", "heat"});  // 2 real, 6 pad
+  EXPECT_EQ(registry.GetCounter("encoder.real_positions")->value(),
+            real_before + 2);
+  EXPECT_EQ(registry.GetCounter("encoder.pad_positions")->value(),
+            pad_before + 6);
+  const double ratio = registry.GetGauge("encoder.pad_ratio")->value();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 1.0);
 }
 
 TEST_F(SequenceEncoderTest, UnknownTokensMapToUnk) {

@@ -1,0 +1,710 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/model.h"
+#include "core/service.h"
+#include "core/trainer.h"
+#include "features/sequence_encoder.h"
+#include "linalg/kernels.h"
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "nn/quant.h"
+#include "nn/serialization.h"
+#include "nn/transformer.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+/// \file quant_test.cc
+/// \brief Tests of the int8 quantized inference path (linalg int8
+/// kernels, nn/quant engines, CSQ8 snapshots, the model-layer attach
+/// API) and the padding-free length-bucketed batch scheduler — in
+/// particular its bit-identity contract against the unbucketed path.
+
+namespace cuisine {
+namespace {
+
+// ---- int8 kernel family ----
+
+TEST(Int8KernelTest, GemmMatchesNaiveReferenceExactly) {
+  util::Rng rng(11);
+  const struct {
+    size_t m, k, n;
+  } shapes[] = {{1, 1, 1},  {3, 5, 17},  {5, 33, 31},
+                {4, 16, 16}, {7, 40, 100}, {2, 64, 3}};
+  for (const auto& s : shapes) {
+    std::vector<int8_t> a(s.m * s.k), b(s.k * s.n);
+    for (auto& v : a) {
+      v = static_cast<int8_t>(static_cast<int32_t>(rng.NextBelow(255)) - 127);
+    }
+    for (auto& v : b) {
+      v = static_cast<int8_t>(static_cast<int32_t>(rng.NextBelow(255)) - 127);
+    }
+    std::vector<float> col_scales(s.n), bias(s.n);
+    for (size_t j = 0; j < s.n; ++j) {
+      col_scales[j] = 0.01f + 0.001f * static_cast<float>(j);
+      bias[j] = 0.5f - 0.01f * static_cast<float>(j);
+    }
+    const float a_scale = 0.02f;
+
+    std::vector<int8_t> packed(linalg::Int8PackedSize(s.k, s.n), 0);
+    linalg::Int8PackB(s.k, s.n, b.data(), packed.data());
+
+    for (const bool accumulate : {false, true}) {
+      for (const bool with_bias : {false, true}) {
+        std::vector<float> c(s.m * s.n, 0.25f);
+        std::vector<float> expected = c;
+        linalg::Int8GemmPrepacked(s.m, s.k, s.n, a.data(), packed.data(),
+                                  a_scale, col_scales.data(),
+                                  with_bias ? bias.data() : nullptr,
+                                  accumulate, c.data());
+        for (size_t i = 0; i < s.m; ++i) {
+          for (size_t j = 0; j < s.n; ++j) {
+            int32_t acc = 0;
+            for (size_t p = 0; p < s.k; ++p) {
+              acc += static_cast<int32_t>(a[i * s.k + p]) *
+                     static_cast<int32_t>(b[p * s.n + j]);
+            }
+            // The kernel epilogue's exact expression, for bitwise match.
+            float v = static_cast<float>(acc) * a_scale * col_scales[j];
+            if (with_bias) v += bias[j];
+            if (accumulate) {
+              expected[i * s.n + j] += v;
+            } else {
+              expected[i * s.n + j] = v;
+            }
+          }
+        }
+        for (size_t idx = 0; idx < c.size(); ++idx) {
+          ASSERT_EQ(c[idx], expected[idx])
+              << "shape " << s.m << "x" << s.k << "x" << s.n << " acc="
+              << accumulate << " bias=" << with_bias << " idx=" << idx;
+        }
+      }
+    }
+  }
+}
+
+TEST(Int8KernelTest, QuantizeRoundsHalfAwayFromZeroAndClamps) {
+  const float x[] = {0.0f, 1.4f, 1.5f, -1.5f, -1.4f, 200.0f, -200.0f, 126.6f};
+  int8_t q[8];
+  linalg::QuantizeInt8(x, 8, /*scale=*/1.0f, q);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);
+  EXPECT_EQ(q[2], 2);
+  EXPECT_EQ(q[3], -2);
+  EXPECT_EQ(q[4], -1);
+  EXPECT_EQ(q[5], 127);
+  EXPECT_EQ(q[6], -127);
+  EXPECT_EQ(q[7], 127);
+
+  // A non-unit scale divides before rounding.
+  const float y[] = {0.05f, -0.05f};
+  linalg::QuantizeInt8(y, 2, /*scale=*/0.1f, q);
+  EXPECT_EQ(q[0], 1);   // 0.5 rounds away from zero
+  EXPECT_EQ(q[1], -1);
+}
+
+TEST(Int8KernelTest, AbsMax) {
+  const float x[] = {0.5f, -3.0f, 2.0f};
+  EXPECT_FLOAT_EQ(linalg::AbsMax(x, 3), 3.0f);
+  EXPECT_FLOAT_EQ(linalg::AbsMax(x, 0), 0.0f);
+}
+
+TEST(QuantWeightsTest, PerColumnScalesAndZeroColumns) {
+  nn::Tensor w = nn::Tensor::Zeros(3, 2);
+  // Column 0: absmax 2.54 -> scale 0.02; column 1: all zero -> scale 1.
+  w.data()[0] = 2.54f;
+  w.data()[2] = -1.27f;
+  w.data()[4] = 0.5f;
+  const nn::QuantizedLinearWeights q =
+      nn::QuantizeWeightPerCol(w, /*bias=*/nullptr);
+  EXPECT_EQ(q.in, 3);
+  EXPECT_EQ(q.out, 2);
+  EXPECT_FLOAT_EQ(q.col_scales[0], 2.54f / 127.0f);
+  EXPECT_FLOAT_EQ(q.col_scales[1], 1.0f);
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(q.values[2], -64);  // -1.27/0.02 = -63.5 rounds away to -64
+  EXPECT_EQ(q.values[1], 0);
+  EXPECT_EQ(q.values[3], 0);
+  EXPECT_EQ(q.values[5], 0);
+}
+
+// ---- Bucket plan ----
+
+std::vector<features::EncodedSequence> MakeLengths(
+    const std::vector<int32_t>& lengths) {
+  std::vector<features::EncodedSequence> x;
+  for (int32_t len : lengths) {
+    features::EncodedSequence seq;
+    seq.ids.assign(static_cast<size_t>(std::max<int32_t>(len, 1)), 1);
+    seq.mask.assign(seq.ids.size(), 1);
+    seq.length = len;
+    x.push_back(std::move(seq));
+  }
+  return x;
+}
+
+TEST(BucketPlanTest, OrderIsLongestFirstPermutationWithStableTies) {
+  const auto x = MakeLengths({3, 7, 3, 1, 7, 5, 7, 1});
+  const core::BucketPlan plan = core::BuildLengthBuckets(x, 64);
+  ASSERT_EQ(plan.order.size(), x.size());
+  // Permutation.
+  std::vector<size_t> sorted = plan.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // Non-increasing lengths; equal lengths in ascending input order.
+  for (size_t pos = 1; pos < plan.order.size(); ++pos) {
+    const int32_t prev = x[plan.order[pos - 1]].length;
+    const int32_t cur = x[plan.order[pos]].length;
+    EXPECT_GE(prev, cur);
+    if (prev == cur) EXPECT_LT(plan.order[pos - 1], plan.order[pos]);
+  }
+  EXPECT_EQ(plan.order[0], 1u);  // first 7, then 4, 6, then the 5...
+  EXPECT_EQ(plan.order[1], 4u);
+  EXPECT_EQ(plan.order[2], 6u);
+  EXPECT_EQ(plan.order[3], 5u);
+}
+
+TEST(BucketPlanTest, BucketsHoldEqualLengthsAndRespectCap) {
+  const auto x = MakeLengths({4, 4, 4, 4, 4, 2, 2, 9});
+  const core::BucketPlan plan = core::BuildLengthBuckets(x, 2);
+  ASSERT_GE(plan.num_buckets(), 1u);
+  EXPECT_EQ(plan.bucket_begin.front(), 0u);
+  EXPECT_EQ(plan.bucket_begin.back(), x.size());
+  for (size_t b = 0; b < plan.num_buckets(); ++b) {
+    const size_t begin = plan.bucket_begin[b];
+    const size_t end = plan.bucket_begin[b + 1];
+    ASSERT_LT(begin, end);
+    EXPECT_LE(end - begin, 2u);  // cap
+    for (size_t pos = begin; pos < end; ++pos) {
+      EXPECT_EQ(x[plan.order[pos]].length, x[plan.order[begin]].length);
+    }
+  }
+  // 1 bucket of 9s, 3 capped buckets of 4s, 1 bucket of 2s.
+  EXPECT_EQ(plan.num_buckets(), 5u);
+}
+
+TEST(BucketPlanTest, EmptyBatchAndReuse) {
+  core::BucketPlan plan = core::BuildLengthBuckets({}, 8);
+  EXPECT_TRUE(plan.order.empty());
+  EXPECT_EQ(plan.num_buckets(), 0u);
+  // Reusing a warmed plan shrinks/regrows correctly.
+  core::BuildLengthBucketsInto(MakeLengths({2, 5}), 8, &plan);
+  ASSERT_EQ(plan.order.size(), 2u);
+  EXPECT_EQ(plan.order[0], 1u);
+  EXPECT_EQ(plan.num_buckets(), 2u);
+}
+
+// ---- Bit-identity of the bucketed fp32 schedule ----
+
+/// Variable-length synthetic classification task: class decided by the
+/// first token, lengths spread so bucketing has real work to do.
+struct VarTask {
+  std::vector<features::EncodedSequence> x;
+  std::vector<int32_t> y;
+};
+
+VarTask MakeVarTask(int n, int32_t max_len, uint64_t seed) {
+  util::Rng rng(seed);
+  VarTask task;
+  for (int i = 0; i < n; ++i) {
+    const auto cls = static_cast<int32_t>(rng.NextBelow(3));
+    const auto len =
+        static_cast<int32_t>(1 + rng.NextBelow(static_cast<uint64_t>(max_len)));
+    features::EncodedSequence seq;
+    seq.ids.assign(static_cast<size_t>(max_len), 0);
+    seq.mask.assign(static_cast<size_t>(max_len), 0);
+    seq.ids[0] = 10 + cls;
+    for (int32_t t = 1; t < len; ++t) {
+      seq.ids[t] = static_cast<int32_t>(5 + rng.NextBelow(8));
+    }
+    std::fill(seq.mask.begin(), seq.mask.begin() + len, 1);
+    seq.length = len;
+    task.x.push_back(std::move(seq));
+    task.y.push_back(cls);
+  }
+  return task;
+}
+
+TEST(BucketScheduleTest, Fp32PredictionsBitIdenticalToUnbucketed) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const VarTask task = MakeVarTask(60, 12, 7);
+
+  core::PredictScheduleOptions plain;
+  plain.length_bucketed = false;
+  core::SequencePredictions reference;
+  core::PredictSequencesInto(forward, task.x, plain, &reference);
+
+  for (const size_t workers : {1u, 2u, 8u}) {
+    for (const size_t bucket_cap : {1u, 4u, 64u}) {
+      core::PredictScheduleOptions bucketed;
+      bucketed.num_workers = workers;
+      bucketed.length_bucketed = true;
+      bucketed.max_bucket_size = bucket_cap;
+      core::SequencePredictions got;
+      core::PredictSequencesInto(forward, task.x, bucketed, &got);
+      ASSERT_EQ(got.labels, reference.labels)
+          << "workers=" << workers << " cap=" << bucket_cap;
+      ASSERT_EQ(got.probas, reference.probas)  // float-exact
+          << "workers=" << workers << " cap=" << bucket_cap;
+    }
+  }
+}
+
+TEST(BucketScheduleTest, MinimalAndEmptyDocBatchesFlowThrough) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 4;
+  config.hidden_size = 4;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  // All-minimal batch: every doc is the empty-document encoding (a lone
+  // [UNK] and nothing but padding behind it).
+  std::vector<features::EncodedSequence> x;
+  for (int i = 0; i < 5; ++i) {
+    features::EncodedSequence seq;
+    seq.ids = {1, 0, 0, 0};  // [UNK] + pads
+    seq.mask = {1, 0, 0, 0};
+    seq.length = 1;
+    x.push_back(std::move(seq));
+  }
+  core::PredictScheduleOptions schedule;
+  schedule.num_workers = 4;
+  const core::SequencePredictions pred =
+      core::PredictSequences(forward, x, schedule.num_workers);
+  ASSERT_EQ(pred.labels.size(), x.size());
+  for (const auto& proba : pred.probas) {
+    ASSERT_EQ(proba.size(), 3u);
+    float sum = 0.0f;
+    for (float p : proba) sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+  // Identical inputs, identical rows.
+  for (size_t i = 1; i < pred.probas.size(); ++i) {
+    EXPECT_EQ(pred.probas[i], pred.probas[0]);
+  }
+}
+
+// ---- Quantized engines vs the autograd forward ----
+
+std::span<const features::EncodedSequence> Span(
+    const std::vector<features::EncodedSequence>& x) {
+  return {x.data(), x.size()};
+}
+
+TEST(QuantizedModelTest, LstmFloatPathMatchesAutogradForward) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const VarTask task = MakeVarTask(20, 10, 13);
+  const auto q = nn::QuantizeLstmClassifier(model, Span(task.x));
+  ASSERT_EQ(q->name(), "LSTM-int8");
+  ASSERT_EQ(q->num_classes(), 3);
+
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const core::SequencePredictions ref =
+      core::PredictSequences(forward, task.x);
+  std::vector<float> proba(3);
+  for (size_t i = 0; i < task.x.size(); ++i) {
+    q->PredictProbaFloat(task.x[i], proba.data());
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(proba[j], ref.probas[i][j], 2e-5f) << "i=" << i;
+    }
+  }
+}
+
+TEST(QuantizedModelTest, GruFloatPathMatchesAutogradForward) {
+  nn::GruConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  const nn::GruClassifier model(config, 3);
+  const VarTask task = MakeVarTask(20, 10, 17);
+  const auto q = nn::QuantizeGruClassifier(model, Span(task.x));
+  ASSERT_EQ(q->name(), "GRU-int8");
+
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const core::SequencePredictions ref =
+      core::PredictSequences(forward, task.x);
+  std::vector<float> proba(3);
+  for (size_t i = 0; i < task.x.size(); ++i) {
+    q->PredictProbaFloat(task.x[i], proba.data());
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(proba[j], ref.probas[i][j], 2e-5f) << "i=" << i;
+    }
+  }
+}
+
+VarTask MakeClsSepTask(int n, int32_t max_len, uint64_t seed) {
+  // [CLS] body [SEP] shape: id 2 = CLS, 3 = SEP stand-ins; real ids 5+.
+  util::Rng rng(seed);
+  VarTask task;
+  for (int i = 0; i < n; ++i) {
+    const auto cls = static_cast<int32_t>(rng.NextBelow(3));
+    const auto body = static_cast<int32_t>(
+        rng.NextBelow(static_cast<uint64_t>(max_len - 2)));
+    features::EncodedSequence seq;
+    seq.ids.assign(static_cast<size_t>(max_len), 0);
+    seq.mask.assign(static_cast<size_t>(max_len), 0);
+    seq.ids[0] = 2;
+    seq.ids[1] = 10 + cls;
+    for (int32_t t = 0; t < body; ++t) {
+      seq.ids[2 + t] = static_cast<int32_t>(5 + rng.NextBelow(4));
+    }
+    seq.ids[2 + body] = 3;
+    seq.length = 3 + body;
+    std::fill(seq.mask.begin(), seq.mask.begin() + seq.length, 1);
+    task.x.push_back(std::move(seq));
+    task.y.push_back(cls);
+  }
+  return task;
+}
+
+TEST(QuantizedModelTest, TransformerFloatPathMatchesAutogradForward) {
+  nn::TransformerConfig config;
+  config.vocab_size = 20;
+  config.max_length = 12;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.d_ff = 32;
+  config.dropout = 0.0f;
+  const nn::TransformerClassifier model(config, 3);
+  const VarTask task = MakeClsSepTask(20, 12, 19);
+  const auto q = nn::QuantizeTransformerClassifier(model, Span(task.x));
+  ASSERT_EQ(q->name(), "Transformer-int8");
+
+  const core::SequenceForwardFn forward =
+      [&model](const features::EncodedSequence& seq, bool training,
+               util::Rng* rng) {
+        return model.ForwardLogits(seq, training, rng);
+      };
+  const core::SequencePredictions ref =
+      core::PredictSequences(forward, task.x);
+  std::vector<float> proba(3);
+  for (size_t i = 0; i < task.x.size(); ++i) {
+    q->PredictProbaFloat(task.x[i], proba.data());
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(proba[j], ref.probas[i][j], 5e-5f) << "i=" << i;
+    }
+  }
+}
+
+TEST(QuantizedModelTest, Int8ProbasCloseToFloatProbas) {
+  nn::TransformerConfig config;
+  config.vocab_size = 20;
+  config.max_length = 12;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.d_ff = 32;
+  config.dropout = 0.0f;
+  const nn::TransformerClassifier model(config, 3);
+  const VarTask task = MakeClsSepTask(30, 12, 23);
+  const auto q = nn::QuantizeTransformerClassifier(model, Span(task.x));
+  std::vector<float> pf(3), pi(3);
+  for (const auto& seq : task.x) {
+    q->PredictProbaFloat(seq, pf.data());
+    q->PredictProba(seq, pi.data());
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(pi[j], pf[j], 0.05f);  // int8 error stays small
+    }
+  }
+}
+
+TEST(QuantizedModelTest, BatchedQuantizedPredictionBitIdenticalAnyWorkers) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const VarTask task = MakeVarTask(40, 10, 29);
+  const auto q = nn::QuantizeLstmClassifier(model, Span(task.x));
+
+  core::PredictScheduleOptions one;
+  one.num_workers = 1;
+  const core::SequencePredictions ref =
+      core::PredictQuantized(*q, task.x, one);
+  ASSERT_EQ(ref.labels.size(), task.x.size());
+  for (const size_t workers : {2u, 8u}) {
+    core::PredictScheduleOptions schedule;
+    schedule.num_workers = workers;
+    const core::SequencePredictions got =
+        core::PredictQuantized(*q, task.x, schedule);
+    ASSERT_EQ(got.labels, ref.labels) << "workers=" << workers;
+    ASSERT_EQ(got.probas, ref.probas) << "workers=" << workers;
+  }
+}
+
+// ---- CSQ8 snapshots ----
+
+TEST(QuantSnapshotTest, RoundTripRestoresBitIdenticalInt8Path) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const VarTask calib = MakeVarTask(10, 10, 31);
+  const VarTask eval = MakeVarTask(15, 10, 37);
+  const auto original = nn::QuantizeLstmClassifier(model, Span(calib.x));
+  const std::string bytes = original->Serialize();
+
+  // A second attachment with *different* calibration has different
+  // activation scales; Restore overwrites them with the snapshot's.
+  const auto restored = nn::QuantizeLstmClassifier(model, Span(eval.x));
+  ASSERT_TRUE(restored->Restore(bytes).ok());
+  std::vector<float> pa(3), pb(3);
+  for (const auto& seq : eval.x) {
+    original->PredictProba(seq, pa.data());
+    restored->PredictProba(seq, pb.data());
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST(QuantSnapshotTest, CorruptionAndTruncationAreRejected) {
+  nn::LstmConfig config;
+  config.vocab_size = 20;
+  config.embedding_dim = 8;
+  config.hidden_size = 8;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  const nn::LstmClassifier model(config, 3);
+  const VarTask calib = MakeVarTask(5, 8, 41);
+  const auto q = nn::QuantizeLstmClassifier(model, Span(calib.x));
+  const std::string bytes = q->Serialize();
+
+  std::vector<nn::QuantizedTensor> records;
+  ASSERT_TRUE(nn::DeserializeQuantizedTensors(bytes, &records).ok());
+  ASSERT_EQ(records.size(), 3u);  // w_input, w_hidden, head
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] ^= 0x7f;
+  EXPECT_FALSE(nn::DeserializeQuantizedTensors(bad, &records).ok());
+  // Flipped payload byte fails the payload CRC.
+  bad = bytes;
+  bad[bytes.size() - 3] ^= 0x01;
+  EXPECT_FALSE(nn::DeserializeQuantizedTensors(bad, &records).ok());
+  // Truncation.
+  EXPECT_FALSE(
+      nn::DeserializeQuantizedTensors(bytes.substr(0, bytes.size() / 2),
+                                      &records)
+          .ok());
+  // Trailing garbage.
+  EXPECT_FALSE(nn::DeserializeQuantizedTensors(bytes + "x", &records).ok());
+  // Restore rejects a snapshot with the wrong tensor count.
+  nn::LstmConfig deep = config;
+  deep.num_layers = 2;
+  const nn::LstmClassifier other(deep, 3);
+  const auto q2 = nn::QuantizeLstmClassifier(other, Span(calib.x));
+  EXPECT_FALSE(q2->Restore(bytes).ok());
+}
+
+// ---- Model-layer attach API ----
+
+/// A tiny fitted dataset through the real pipeline types.
+struct TinyCorpus {
+  text::Vocabulary vocab;
+  std::vector<features::EncodedSequence> train_x, test_x;
+  std::vector<int32_t> train_y, test_y;
+  core::ModelDataset train, test;
+
+  TinyCorpus() {
+    const char* words[] = {"stir", "heat", "bake", "salt", "oil", "rice"};
+    for (const char* w : words) vocab.Add(w);
+    util::Rng rng(43);
+    const features::SequenceEncoder enc(
+        &vocab, {.max_length = 8, .add_cls_sep = false});
+    auto make = [&](int n, std::vector<features::EncodedSequence>* x,
+                    std::vector<int32_t>* y) {
+      for (int i = 0; i < n; ++i) {
+        const auto cls = static_cast<int32_t>(rng.NextBelow(3));
+        std::vector<std::string> doc = {words[cls]};
+        const auto extra = rng.NextBelow(4);
+        for (uint64_t e = 0; e < extra; ++e) {
+          doc.push_back(words[3 + rng.NextBelow(3)]);
+        }
+        x->push_back(enc.Encode(doc));
+        y->push_back(cls);
+      }
+    };
+    make(120, &train_x, &train_y);
+    make(40, &test_x, &test_y);
+    train.sequences = &train_x;
+    train.labels = &train_y;
+    train.vocab = &vocab;
+    test.sequences = &test_x;
+    test.labels = &test_y;
+    test.vocab = &vocab;
+  }
+};
+
+core::ModelContext TinyContext() {
+  core::ModelContext context;
+  context.num_classes = 3;
+  context.sequential.lstm.embedding_dim = 8;
+  context.sequential.lstm.hidden_size = 8;
+  context.sequential.lstm.num_layers = 1;
+  context.sequential.lstm.dropout = 0.0f;
+  context.sequential.lstm_train.epochs = 4;
+  context.sequential.lstm_train.learning_rate = 5e-2;
+  return context;
+}
+
+TEST(ModelQuantizedTest, AttachFallbackAndAgreement) {
+  TinyCorpus corpus;
+  const core::ModelContext context = TinyContext();
+  auto created = core::ModelRegistry::Instance().Create("lstm", context);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<core::Model> model = std::move(*created);
+
+  core::FitOptions fit;
+  fit.num_classes = 3;
+  ASSERT_TRUE(model->Fit(corpus.train, fit).ok());
+
+  // Without an attachment the quantized entry point IS the fp32 one.
+  EXPECT_FALSE(model->HasQuantized());
+  EXPECT_EQ(model->Quantized(), nullptr);
+  const core::Predictions fp32 = model->PredictBatch(corpus.test);
+  const core::Predictions fallback = model->PredictBatchQuantized(corpus.test);
+  EXPECT_EQ(fallback.labels, fp32.labels);
+  EXPECT_EQ(fallback.probas, fp32.probas);
+
+  // Empty calibration is rejected; a real one attaches.
+  const std::vector<features::EncodedSequence> none;
+  core::ModelDataset empty;
+  empty.sequences = &none;
+  EXPECT_FALSE(model->AttachQuantized(empty).ok());
+  ASSERT_TRUE(model->AttachQuantized(corpus.train).ok());
+  EXPECT_TRUE(model->HasQuantized());
+  ASSERT_NE(model->Quantized(), nullptr);
+  EXPECT_EQ(model->Quantized()->name(), "LSTM-int8");
+
+  // Int8 predictions agree with fp32 on a learnable task.
+  const core::Predictions int8 = model->PredictBatchQuantized(corpus.test);
+  ASSERT_EQ(int8.labels.size(), fp32.labels.size());
+  size_t agree = 0;
+  for (size_t i = 0; i < int8.labels.size(); ++i) {
+    agree += int8.labels[i] == fp32.labels[i] ? 1u : 0u;
+  }
+  EXPECT_GE(agree * 10, int8.labels.size() * 9);  // >= 90% agreement
+
+  // The serving wrapper routes to the quantized path of the base.
+  const core::QuantizedModel wrapper(model.get());
+  EXPECT_EQ(wrapper.name(), "LSTM-int8");
+  EXPECT_TRUE(wrapper.HasQuantized());
+  const core::Predictions wrapped = wrapper.PredictBatch(corpus.test);
+  EXPECT_EQ(wrapped.labels, int8.labels);
+  EXPECT_EQ(wrapped.probas, int8.probas);
+  EXPECT_FALSE(wrapper.Quantized() == nullptr);
+}
+
+TEST(ModelQuantizedTest, StatisticalModelsHaveNoQuantizedPath) {
+  const core::ModelContext context;
+  auto created = core::ModelRegistry::Instance().Create("logreg", context);
+  ASSERT_TRUE(created.ok());
+  const core::ModelDataset empty;
+  EXPECT_FALSE((*created)->AttachQuantized(empty).ok());
+  EXPECT_FALSE((*created)->HasQuantized());
+}
+
+TEST(ModelQuantizedTest, RequiresFitBeforeAttach) {
+  const core::ModelContext context = TinyContext();
+  auto created = core::ModelRegistry::Instance().Create("lstm", context);
+  ASSERT_TRUE(created.ok());
+  TinyCorpus corpus;
+  EXPECT_FALSE((*created)->AttachQuantized(corpus.train).ok());
+}
+
+// ---- Service: the int8 degradation rung ----
+
+/// A primary that always hard-fails, forcing the ladder downward.
+class AlwaysFailingModel final : public core::Model {
+ public:
+  std::string name() const override { return "broken-fp32"; }
+  core::ModelInput input() const override {
+    return core::ModelInput::kSequence;
+  }
+  util::Status Fit(const core::ModelDataset&,
+                   const core::FitOptions&) override {
+    return util::Status::OK();
+  }
+  core::Predictions PredictBatch(const core::ModelDataset&,
+                                 size_t) const override {
+    throw std::runtime_error("broken tier");
+  }
+  double EvaluateLoss(const core::ModelDataset&, size_t) const override {
+    return 0.0;
+  }
+};
+
+TEST(ServiceQuantizedTest, Int8RungServesWhenFp32TierFails) {
+  TinyCorpus corpus;
+  const core::ModelContext context = TinyContext();
+  auto created = core::ModelRegistry::Instance().Create("lstm", context);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<core::Model> base = std::move(*created);
+  core::FitOptions fit;
+  fit.num_classes = 3;
+  ASSERT_TRUE(base->Fit(corpus.train, fit).ok());
+  ASSERT_TRUE(base->AttachQuantized(corpus.train).ok());
+
+  AlwaysFailingModel broken;
+  const core::QuantizedModel int8(base.get());
+  core::ServiceOptions options;
+  options.retry_attempts = 1;
+  core::InferenceService service(
+      {{"fp32", &broken}, {"int8", &int8}}, options);
+  const core::InferenceResponse response = service.Predict(corpus.test);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.served_by, "int8");
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.tier_index, 1u);
+  EXPECT_EQ(response.predictions.labels,
+            base->PredictBatchQuantized(corpus.test).labels);
+}
+
+}  // namespace
+}  // namespace cuisine
